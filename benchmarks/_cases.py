@@ -1,0 +1,62 @@
+"""Shared benchmark configuration: the nine Table 1 rows and budgets.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_BUDGET``   — seconds per formal check (default 60; the
+  paper used 100 s on a 32-core Xeon).
+* ``REPRO_BENCH_DEPTH_BUDGET`` — seconds for each "max # of clock cycles"
+  ramp (default 5).
+* ``REPRO_BENCH_TRIGGER`` — RISC trigger repetition count (default 2;
+  the paper's Trojans use 100 — pass 100 to reproduce the exact setting
+  with a correspondingly larger budget).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.designs.trojans import (
+    aes_t700,
+    aes_t800,
+    aes_t1200,
+    mc8051_t400,
+    mc8051_t700,
+    mc8051_t800,
+    risc_t100,
+    risc_t300,
+    risc_t400,
+)
+
+BUDGET = float(os.environ.get("REPRO_BENCH_BUDGET", "60"))
+DEPTH_BUDGET = float(os.environ.get("REPRO_BENCH_DEPTH_BUDGET", "5"))
+TRIGGER_COUNT = int(os.environ.get("REPRO_BENCH_TRIGGER", "2"))
+
+
+def _risc(factory):
+    return lambda: factory(trigger_count=TRIGGER_COUNT)
+
+
+# label -> (factory, max_cycles, paper row ground truth)
+TABLE1_CASES = [
+    ("MC8051-T400", mc8051_t400, 12),
+    ("MC8051-T700", mc8051_t700, 12),
+    ("MC8051-T800", mc8051_t800, 12),
+    ("RISC-T100", _risc(risc_t100), 8 + 4 * (TRIGGER_COUNT + 3)),
+    ("RISC-T300", _risc(risc_t300), 8 + 4 * (TRIGGER_COUNT + 3)),
+    ("RISC-T400", _risc(risc_t400), 8 + 4 * (TRIGGER_COUNT + 3)),
+    ("AES-T700", aes_t700, 24),
+    ("AES-T800", aes_t800, 12),
+    ("AES-T1200", aes_t1200, 16),
+]
+
+# Expected paper verdicts (Table 1): every Trojan except AES-T1200 is
+# detected by BMC and ATPG; FANCI and VeriTrust detect none.
+PAPER_DETECTED = {label: label != "AES-T1200" for label, _f, _c in TABLE1_CASES}
+
+
+def build_case(label):
+    for case_label, factory, cycles in TABLE1_CASES:
+        if case_label == label:
+            netlist, spec = factory()
+            return netlist, spec, cycles
+    raise KeyError(label)

@@ -1,0 +1,77 @@
+"""Ablation — cone-of-influence reduction.
+
+DESIGN.md calls COI reduction the decision that makes the AES key-register
+checks cheap (the key's cone excludes the 12k-cell round datapath). This
+bench measures the same BMC check with COI on vs off: encoded variables,
+clauses and time per bound.
+
+Run standalone::
+
+    python benchmarks/bench_ablation_coi.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "benchmarks")
+from _cases import BUDGET  # noqa: E402
+
+from repro.bench import fmt_seconds, render_table
+from repro.bmc import BmcEngine
+from repro.designs.trojans import aes_t800, mc8051_t800
+from repro.properties.monitors import build_corruption_monitor
+
+CASES = [("MC8051-T800", mc8051_t800, 12), ("AES-T800", aes_t800, 12)]
+
+
+def run(case_factory, cycles, use_coi):
+    netlist, spec = case_factory()
+    register = spec.trojan.target_register
+    monitor = build_corruption_monitor(
+        netlist, spec.critical[register], functional=True
+    )
+    engine = BmcEngine(
+        monitor.netlist,
+        monitor.objective_net,
+        property_name="coi={}".format(use_coi),
+        use_coi=use_coi,
+        pinned_inputs=spec.pinned_inputs,
+    )
+    return engine.check(cycles, time_budget=BUDGET)
+
+
+@pytest.mark.parametrize("use_coi", [True, False])
+def test_coi_both_modes_detect(benchmark, use_coi):
+    result = benchmark.pedantic(
+        run, args=(mc8051_t800, 12, use_coi), rounds=1, iterations=1
+    )
+    assert result.detected
+
+
+def main():
+    rows = []
+    for label, factory, cycles in CASES:
+        for use_coi in (True, False):
+            result = run(factory, cycles, use_coi)
+            rows.append([
+                label,
+                "on" if use_coi else "off",
+                result.status,
+                result.cone[0],
+                result.variables,
+                result.clauses,
+                fmt_seconds(result.elapsed),
+            ])
+    print(render_table(
+        ["Design", "COI", "status", "cone cells", "SAT vars", "clauses",
+         "time"],
+        rows,
+        title="Cone-of-influence ablation (same property, same bound)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

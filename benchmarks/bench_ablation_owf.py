@@ -1,0 +1,79 @@
+"""Ablation — the Section 4.5.1 one-way-function limitation.
+
+A Trojan gated by a multi-round ARX mixer of the input history: generating
+its trigger is a preimage search, and both engines exhaust any practical
+budget without a verdict — the paper's "BMC or ATPG exits by stating the
+design is untestable; we cannot verify the trustworthiness of such
+designs". The same design with the mixer reduced to one round is easy,
+showing the budget exhaustion is the OWF's doing, not the harness's.
+
+Run standalone::
+
+    python benchmarks/bench_ablation_owf.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "benchmarks")  # noqa: E402
+
+from repro.bench import fmt_seconds, render_table
+from repro.core.backends import run_objective
+from repro.designs import build_mc8051
+from repro.designs.trojans.attacks import add_owf_trigger
+from repro.properties.monitors import build_corruption_monitor
+
+OWF_BUDGET = 10.0
+
+
+def run(rounds, engine="bmc"):
+    netlist, spec = build_mc8051()
+    attacked, _info = add_owf_trigger(netlist, "stack_pointer",
+                                      rounds=rounds)
+    monitor = build_corruption_monitor(
+        attacked, spec.critical["stack_pointer"], functional=False
+    )
+    return run_objective(
+        engine,
+        monitor.netlist,
+        monitor.objective_net,
+        40,
+        property_name="owf-{}r".format(rounds),
+        pinned_inputs=spec.pinned_inputs,
+        time_budget=OWF_BUDGET,
+    )
+
+
+@pytest.mark.parametrize("engine", ["bmc", "atpg"])
+def test_owf_trigger_defeats_engines(benchmark, engine):
+    result = benchmark.pedantic(run, args=(12, engine), rounds=1,
+                                iterations=1)
+    # no verdict within budget: the documented limitation
+    assert result.status == "unknown"
+
+
+def main():
+    rows = []
+    for rounds in (1, 4, 12):
+        for engine in ("bmc", "atpg"):
+            result = run(rounds, engine)
+            rows.append([
+                "{}-round mixer".format(rounds),
+                engine,
+                result.status,
+                result.bound,
+                fmt_seconds(result.elapsed),
+            ])
+    print(render_table(
+        ["Trigger", "engine", "status", "bound reached", "time"],
+        rows,
+        title="OWF-trigger limitation (budget {}s): deeper mixers defeat "
+              "both engines".format(OWF_BUDGET),
+    ))
+
+
+if __name__ == "__main__":
+    main()

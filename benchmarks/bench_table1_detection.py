@@ -1,0 +1,168 @@
+"""Table 1 — detecting the Trust-Hub Trojans.
+
+Regenerates every column group of the paper's Table 1 for all nine
+Trojans: FANCI and VeriTrust verdicts, BMC and ATPG detection with time
+and peak memory, and the "max # of clock cycles" unrolled within a fixed
+wall-clock budget.
+
+Run standalone for the full table::
+
+    python benchmarks/bench_table1_detection.py
+
+Under pytest-benchmark, each (Trojan, engine) detection cell is measured
+as its own benchmark (single round — these are seconds-long formal runs,
+not microbenchmarks).
+
+Expected shape (paper vs. this reproduction): FANCI/VeriTrust detect
+nothing; BMC and ATPG detect everything except AES-T1200 (whose 2^128-1
+cycle trigger is out of any bounded check's reach — the design is
+certified only "trustworthy for T cycles"); ATPG uses far less memory
+than BMC and unrolls deeper in the same budget.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "benchmarks")
+from _cases import BUDGET, DEPTH_BUDGET, TABLE1_CASES, build_case  # noqa: E402
+
+from repro.bench import (
+    baseline_run,
+    detection_run,
+    fmt_memory,
+    fmt_seconds,
+    max_bound_within_budget,
+    render_table,
+)
+from repro.properties.monitors import build_corruption_monitor
+
+
+def run_formal_cell(label, engine):
+    netlist, spec, cycles = build_case(label)
+    register = spec.trojan.target_register
+    return detection_run(
+        label,
+        netlist,
+        spec,
+        register,
+        engine,
+        cycles,
+        time_budget=BUDGET,
+        functional=True,
+        measure_memory=True,
+    )
+
+
+def run_depth_cell(label, engine):
+    netlist, spec, _cycles = build_case(label)
+    register = spec.trojan.target_register
+    monitor = build_corruption_monitor(
+        netlist, spec.critical[register], functional=True
+    )
+    bound, _elapsed = max_bound_within_budget(
+        monitor.netlist,
+        monitor.objective_net,
+        engine,
+        DEPTH_BUDGET,
+        pinned_inputs=spec.pinned_inputs,
+    )
+    return bound
+
+
+def run_baseline_cell(label):
+    netlist, spec, _cycles = build_case(label)
+    return baseline_run(
+        label,
+        netlist,
+        spec.trojan.trojan_nets,
+        fanci_samples=2048,
+        veritrust_cycles=32,
+        veritrust_lanes=32,
+        max_fanci_wires=2500,
+    )
+
+
+CASE_IDS = [label for label, _f, _c in TABLE1_CASES]
+
+
+@pytest.mark.parametrize("label", CASE_IDS)
+@pytest.mark.parametrize("engine", ["bmc", "atpg"])
+def test_table1_formal_cell(benchmark, label, engine):
+    result = benchmark.pedantic(
+        run_formal_cell, args=(label, engine), rounds=1, iterations=1
+    )
+    if label == "AES-T1200":
+        # the N/A row: no counterexample may exist within the bound
+        assert not result.detected
+    else:
+        # every other Trojan: detected (and replay-confirmed), or an
+        # honest budget abort — never a wrong "proved clean"
+        if result.detected:
+            assert result.confirmed
+        else:
+            assert result.status == "unknown"
+
+
+@pytest.mark.parametrize("label", ["MC8051-T800", "RISC-T300", "AES-T800"])
+def test_table1_baseline_cell(benchmark, label):
+    row = benchmark.pedantic(
+        run_baseline_cell, args=(label,), rounds=1, iterations=1
+    )
+    assert not row.fanci_detected  # DeTrust-shaped: FANCI misses
+    assert not row.veritrust_detected
+
+
+def main():
+    formal_rows = []
+    depth_rows = []
+    for label, _factory, _cycles in TABLE1_CASES:
+        base = run_baseline_cell(label)
+        cells = {}
+        for engine in ("bmc", "atpg"):
+            cells[engine] = run_formal_cell(label, engine)
+        bmc, atpg = cells["bmc"], cells["atpg"]
+        formal_rows.append([
+            label,
+            "Yes" if base.fanci_detected else "No",
+            "Yes" if base.veritrust_detected else "No",
+            bmc.verdict,
+            fmt_seconds(bmc.elapsed),
+            fmt_memory(bmc.peak_memory),
+            atpg.verdict,
+            fmt_seconds(atpg.elapsed),
+            fmt_memory(atpg.peak_memory),
+        ])
+        depth_rows.append([
+            label,
+            run_depth_cell(label, "bmc"),
+            run_depth_cell(label, "atpg-backward"),
+        ])
+    print(render_table(
+        ["Trojan", "FANCI", "VeriTrust", "BMC", "BMC time", "BMC mem",
+         "ATPG", "ATPG time", "ATPG mem"],
+        formal_rows,
+        title="Table 1 — detection of Trust-Hub Trojans "
+              "(budget {}s per check)".format(BUDGET),
+    ))
+    ratios = [
+        row[2] / row[1] for row in depth_rows if row[1] and row[2]
+    ]
+    print()
+    print(render_table(
+        ["Trojan", "BMC max cycles", "ATPG max cycles"],
+        depth_rows,
+        title="Table 1 — max # of clock cycles unrolled in {}s".format(
+            DEPTH_BUDGET
+        ),
+    ))
+    if ratios:
+        print("mean ATPG/BMC depth ratio: {:.2f}x (paper: ~3x)".format(
+            sum(ratios) / len(ratios)
+        ))
+
+
+if __name__ == "__main__":
+    main()

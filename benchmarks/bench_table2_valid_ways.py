@@ -1,0 +1,122 @@
+"""Table 2 — valid ways to update the RISC registers.
+
+Table 2 is the paper's specification artifact: the datasheet-derived valid
+ways for each RISC register. This bench (a) prints our machine-readable
+rendition of the table, (b) *validates* it — the Trojan-free RISC must
+satisfy the functional no-corruption property for every listed register
+(the paper's false-positive check, Section 3.3.2: "Our technique did not
+flag these designs"), as must the clean MC8051 and AES cores.
+
+Run standalone::
+
+    python benchmarks/bench_table2_valid_ways.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "benchmarks")
+from _cases import BUDGET  # noqa: E402
+
+from repro.bench import fmt_seconds, render_table
+from repro.core.backends import run_objective
+from repro.designs import build_aes, build_mc8051, build_risc
+from repro.properties.monitors import build_corruption_monitor
+
+CHECK_CYCLES = 12
+
+CLEAN_DESIGNS = [
+    ("risc", build_risc),
+    ("mc8051", build_mc8051),
+    ("aes", build_aes),
+]
+
+
+def check_register(netlist, spec, register, engine="bmc",
+                   cycles=CHECK_CYCLES):
+    monitor = build_corruption_monitor(
+        netlist, spec.critical[register], functional=True
+    )
+    return run_objective(
+        engine,
+        monitor.netlist,
+        monitor.objective_net,
+        cycles,
+        property_name="table2:{}".format(register),
+        pinned_inputs=spec.pinned_inputs,
+        time_budget=BUDGET,
+    )
+
+
+def _risc_registers():
+    _netlist, spec = build_risc()
+    return list(spec.critical)
+
+
+@pytest.mark.parametrize("register", _risc_registers())
+def test_clean_risc_register_not_flagged(benchmark, register):
+    netlist, spec = build_risc()
+    result = benchmark.pedantic(
+        check_register, args=(netlist, spec, register), rounds=1,
+        iterations=1,
+    )
+    assert result.status == "proved", (register, result.status)
+
+
+@pytest.mark.parametrize("name,builder", CLEAN_DESIGNS)
+def test_clean_designs_not_flagged_any_register(benchmark, name, builder):
+    netlist, spec = builder()
+
+    def audit():
+        outcomes = {}
+        for register in spec.critical:
+            outcomes[register] = check_register(netlist, spec, register)
+        return outcomes
+
+    outcomes = benchmark.pedantic(audit, rounds=1, iterations=1)
+    for register, result in outcomes.items():
+        assert result.status == "proved", (name, register, result.status)
+
+
+def main():
+    netlist, spec = build_risc()
+    spec_rows = []
+    for register, reg_spec in spec.critical.items():
+        for way in reg_spec.ways:
+            spec_rows.append([
+                register,
+                way.cycle,
+                way.name,
+                way.expression,
+            ])
+    print(render_table(
+        ["Register", "Cycle", "Valid way", "Condition"],
+        spec_rows,
+        title="Table 2 — valid ways to update registers in RISC",
+    ))
+    print()
+    check_rows = []
+    for name, builder in CLEAN_DESIGNS:
+        netlist, spec = builder()
+        for register in spec.critical:
+            result = check_register(netlist, spec, register)
+            check_rows.append([
+                name,
+                register,
+                result.status,
+                result.bound,
+                fmt_seconds(result.elapsed),
+            ])
+    print(render_table(
+        ["Design", "Register", "Eq.(2)+values", "bound", "time"],
+        check_rows,
+        title="False-positive check: clean designs vs their own specs "
+              "(must all prove)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Make the benchmark-local helpers importable regardless of pytest's cwd."""
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = str(Path(__file__).resolve().parent)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)

@@ -1,0 +1,57 @@
+"""Run every benchmark's standalone table generator and save the outputs.
+
+    python benchmarks/run_all.py [results_dir]
+
+Each bench's stdout is captured to ``results/<bench>.txt`` and echoed; the
+set of files under ``benchmarks/results/`` is the paper-table artifact
+bundle referenced by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import io
+import sys
+import time
+from pathlib import Path
+
+BENCHES = [
+    "bench_table1_detection",
+    "bench_table2_valid_ways",
+    "bench_table3_pseudo_bypass",
+    "bench_fig1_stack_pointer",
+    "bench_fig2_pseudo_critical",
+    "bench_fig3_bypass",
+    "bench_ablation_bmc_vs_atpg",
+    "bench_ablation_coi",
+    "bench_ablation_detrust",
+    "bench_ablation_owf",
+]
+
+
+def main():
+    bench_dir = Path(__file__).resolve().parent
+    sys.path.insert(0, str(bench_dir))
+    results = Path(sys.argv[1]) if len(sys.argv) > 1 else bench_dir / "results"
+    results.mkdir(parents=True, exist_ok=True)
+    for name in BENCHES:
+        module = importlib.import_module(name)
+        print("=" * 72)
+        print("##", name)
+        print("=" * 72, flush=True)
+        buffer = io.StringIO()
+        started = time.perf_counter()
+        with contextlib.redirect_stdout(buffer):
+            module.main()
+        elapsed = time.perf_counter() - started
+        text = buffer.getvalue()
+        print(text)
+        print("[{} finished in {:.1f}s]".format(name, elapsed), flush=True)
+        (results / (name + ".txt")).write_text(
+            text + "\n[completed in {:.1f}s]\n".format(elapsed)
+        )
+
+
+if __name__ == "__main__":
+    main()

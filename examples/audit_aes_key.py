@@ -1,0 +1,69 @@
+"""Audit the AES key register (the paper's Example 3 and the T1200 row).
+
+AES-T800 corrupts the key register after a specific four-plaintext
+sequence — BMC finds exactly that sequence. AES-T1200's 2^128-cycle
+counter is beyond any bounded check: the auditor's honest verdict is
+"trustworthy for T cycles, reset every T cycles" (Section 3.2).
+
+    python examples/audit_aes_key.py
+"""
+
+from __future__ import annotations
+
+from repro.core.backends import run_objective
+from repro.designs.trojans import aes_t800, aes_t1200
+from repro.designs.trojans.aes_trojans import T800_SEQUENCE
+from repro.properties.monitors import build_corruption_monitor
+
+
+def audit(label, netlist, spec, cycles, budget=120):
+    monitor = build_corruption_monitor(
+        netlist, spec.critical["key_register"], functional=True
+    )
+    result = run_objective(
+        "bmc",
+        monitor.netlist,
+        monitor.objective_net,
+        cycles,
+        property_name=label,
+        pinned_inputs=spec.pinned_inputs,
+        time_budget=budget,
+    )
+    print("[{}] {}".format(label, result.summary()))
+    return result
+
+
+def main():
+    netlist, spec = aes_t800()
+    print("=== AES-T800:", spec.trojan.trigger)
+    result = audit("aes-t800", netlist, spec, cycles=12)
+    if result.detected:
+        print("counterexample plaintext sequence (start pulses):")
+        expected = iter(T800_SEQUENCE)
+        for cycle, words in enumerate(result.witness.inputs):
+            if words.get("start"):
+                marker = ""
+                try:
+                    if words["pt_in"] == next(expected):
+                        marker = "   <- Table 1 trigger value"
+                except StopIteration:
+                    pass
+                print("  cycle {:>2}: pt = {:032x}{}".format(
+                    cycle, words["pt_in"], marker))
+    print()
+
+    netlist, spec = aes_t1200()
+    print("=== AES-T1200:", spec.trojan.trigger)
+    result = audit("aes-t1200", netlist, spec, cycles=16, budget=90)
+    if not result.detected:
+        print(
+            "no counterexample within {0} cycles: the design is certified "
+            "trustworthy for {0} cycles only — the SoC integrator must "
+            "reset it at least every {0} cycles (paper, Section 3.2).".format(
+                result.bound
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Export the interchange artifacts of the paper's toolflow.
+
+Section 3.3.1: "We generated Verilog assertions for the data corruption
+property ... embedded into the respective designs and provided as input to
+the BMC engine." This example writes, for the RISC core:
+
+* ``risc.v``       — the structural Verilog netlist (round-trips through
+  this library's own parser),
+* ``risc_props.sv`` — the Eq. (2)/(3)/(4) assertion text for every
+  Table 2 register, consumable by a commercial flow.
+
+    python examples/generate_assertions.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.designs import build_risc
+from repro.hdl import parse_verilog, write_verilog
+from repro.properties import render_spec
+
+
+def main():
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "out_assertions")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    netlist, spec = build_risc()
+
+    verilog = write_verilog(netlist)
+    (out_dir / "risc.v").write_text(verilog)
+    # prove the export is faithful: re-import and compare structure
+    twin = parse_verilog(verilog)
+    assert len(twin.flops) == len(netlist.flops)
+    print("wrote {} ({} lines, {} cells, {} flops; re-import OK)".format(
+        out_dir / "risc.v", len(verilog.splitlines()),
+        len(netlist.cells), len(netlist.flops),
+    ))
+
+    blocks = []
+    for register, reg_spec in spec.critical.items():
+        blocks.append("// " + "=" * 70)
+        blocks.append("// register: {} — {}".format(
+            register, reg_spec.description))
+        blocks.append(render_spec(reg_spec))
+    text = "\n".join(blocks)
+    (out_dir / "risc_props.sv").write_text(text)
+    print("wrote {} ({} assertion lines for {} registers)".format(
+        out_dir / "risc_props.sv", len(text.splitlines()),
+        len(spec.critical),
+    ))
+    print()
+    print("sample (stack pointer):")
+    print(render_spec(spec.critical["stack_pointer"]))
+
+
+if __name__ == "__main__":
+    main()

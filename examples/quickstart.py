@@ -1,0 +1,80 @@
+"""Quickstart: audit a tiny 3PIP for data-corrupting Trojans.
+
+Builds an 8-bit "secret register" core with a DeTrust-style Trojan (five
+loads of 0xA5 arm it; then the secret's low bit is flipped), writes the
+defender's valid-way spec, and runs Algorithm 1 with both formal engines.
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import TrojanDetector
+from repro.netlist import Circuit, stats
+from repro.properties import DesignSpec, RegisterSpec, ValidWay
+
+
+def build_design(trojan=True):
+    """An 8-bit secret register: reset clears it, load writes key_in."""
+    c = Circuit("secret_core")
+    reset = c.input("reset", 1)
+    load = c.input("load", 1)
+    key_in = c.input("key_in", 8)
+
+    secret = c.reg("secret", 8)
+    next_value = c.select(
+        secret.q,
+        (reset, c.const(0, 8)),
+        (load, key_in),
+    )
+
+    if trojan:
+        # DeTrust-style trigger: count loads of the magic value 0xA5
+        counter = c.reg("counter", 3)
+        magic = key_in.eq_const(0xA5) & load
+        done = counter.q.eq_const(5)
+        counter.hold_unless((reset, c.const(0, 3)), (magic & ~done,
+                                                     counter.q + 1))
+        next_value = c.mux(done, next_value, next_value ^ c.const(1, 8))
+
+    secret.drive(next_value)
+    c.output("out", secret.q)
+    return c.finalize()
+
+
+def defender_spec():
+    """What the datasheet says: the only valid ways to update `secret`."""
+    ways = [
+        ValidWay("reset", lambda m: m.input("reset"),
+                 value=lambda m: m.const(0, 8), expression="reset"),
+        ValidWay("load", lambda m: m.input("load"),
+                 value=lambda m: m.input("key_in"), expression="load"),
+    ]
+    return DesignSpec(
+        name="secret_core",
+        critical={"secret": RegisterSpec("secret", ways)},
+        pinned_inputs={"reset": 0},
+    )
+
+
+def main():
+    for label, trojan in (("Trojan-infected", True), ("clean", False)):
+        netlist = build_design(trojan=trojan)
+        print("=== {} design: {}".format(label, stats(netlist)))
+        for engine in ("bmc", "atpg"):
+            report = TrojanDetector(
+                netlist,
+                defender_spec(),
+                max_cycles=15,
+                engine=engine,
+                time_budget=60,
+            ).run()
+            print("[{}] {}".format(engine, report.summary()))
+            finding = report.findings["secret"]
+            if finding.corrupted:
+                print(finding.corruption.witness.format(netlist))
+        print()
+
+
+if __name__ == "__main__":
+    main()

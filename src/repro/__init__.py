@@ -1,0 +1,48 @@
+"""repro — reproduction of "Detecting Malicious Modifications of Data in
+Third-Party Intellectual Property Cores" (Rajendran, Vedula, Karri — DAC'15).
+
+A pure-Python framework for detecting data-corrupting hardware Trojans in
+gate-level IP cores with bounded model checking and sequential ATPG, plus
+every substrate it needs: a netlist IR and builder, a logic simulator, a
+CDCL SAT solver, PODEM-based ATPG, the paper's security-property monitors
+(no-data-corruption, pseudo-critical, bypass), the FANCI / VeriTrust
+baselines, and Trust-Hub-style benchmark designs (RISC, MC8051, AES) with
+their Trojans.
+
+Quickstart::
+
+    from repro import TrojanDetector
+    from repro.designs.trojans import risc_t100
+
+    design, spec = risc_t100()
+    report = TrojanDetector(design, spec, max_cycles=40).run()
+    print(report.summary())
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy re-exports keep `import repro` cheap while exposing the main API
+    # at the top level.
+    if name == "TrojanDetector":
+        from repro.core.detector import TrojanDetector
+
+        return TrojanDetector
+    if name == "ValidWays":
+        from repro.properties.valid_ways import ValidWays
+
+        return ValidWays
+    if name == "Circuit":
+        from repro.netlist.builder import Circuit
+
+        return Circuit
+    if name == "SequentialSimulator":
+        from repro.sim.sequential import SequentialSimulator
+
+        return SequentialSimulator
+    raise AttributeError("module 'repro' has no attribute {!r}".format(name))

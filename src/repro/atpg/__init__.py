@@ -1,0 +1,31 @@
+"""Test-generation substrate: SCOAP, faults, PODEM, fault simulation, and
+the sequential property-justification engines."""
+
+from repro.atpg.fault_sim import FaultSimResult, FaultSimulator
+from repro.atpg.faults import Fault, collapse_faults, full_fault_list
+from repro.atpg.podem import ABORTED, TESTABLE, UNTESTABLE, CombPodem, PodemResult
+from repro.atpg.podem_seq import PodemJustifier
+from repro.atpg.scoap import Scoap, compute_scoap
+from repro.atpg.sequential import JustifyResult, SequentialJustifier
+
+__all__ = [
+    "FaultSimResult",
+    "FaultSimulator",
+    "Fault",
+    "collapse_faults",
+    "full_fault_list",
+    "ABORTED",
+    "TESTABLE",
+    "UNTESTABLE",
+    "CombPodem",
+    "PodemResult",
+    "PodemJustifier",
+    "Scoap",
+    "compute_scoap",
+    "JustifyResult",
+    "SequentialJustifier",
+]
+
+from repro.atpg.testgen import GeneratedTests, generate_tests  # noqa: E402
+
+__all__ += ["GeneratedTests", "generate_tests"]

@@ -1,0 +1,75 @@
+"""Stuck-at fault machinery.
+
+The classical single-stuck-at model the paper leans on twice: the monitor
+output is checked as a stuck-at-1 fault (Section 3.2, via [26]), and the
+Attack-1 analysis argues a pseudo-critical register cannot hold a constant
+"because such faults are revealed during functional testing" (Section 4.1)
+— which our fault simulator substantiates.
+
+A fault site is an (output) net; faults on a cell's input pins are modelled
+at the driving net after fan-out-aware collapsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import fanout_map
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault at a net."""
+
+    net: int
+    stuck_at: int  # 0 or 1
+
+    def __str__(self):
+        return "s-a-{}@{}".format(self.stuck_at, self.net)
+
+
+def full_fault_list(netlist):
+    """Both polarities at every driven net (inputs, cell outputs, flop Qs)."""
+    faults = []
+    for net in range(2, netlist.num_nets):
+        if netlist.is_driven(net):
+            faults.append(Fault(net, 0))
+            faults.append(Fault(net, 1))
+    return faults
+
+
+def collapse_faults(netlist):
+    """Equivalence-collapsed fault list.
+
+    Classic rules: a fan-out-free net driving an inverter/buffer carries the
+    same fault class as the inverter output (s-a-v on a NOT input ==
+    s-a-(1-v) on its output); the controlled-value fault on every input of
+    an AND/NAND (OR/NOR) gate is equivalent to the corresponding output
+    fault, so only one representative per gate is kept.
+    """
+    fanout = fanout_map(netlist)
+    keep = set(full_fault_list(netlist))
+
+    def fanout_free(net):
+        return len(fanout.get(net, ())) == 1
+
+    for cell in netlist.cells:
+        out = cell.output
+        if cell.kind in (Kind.BUF, Kind.NOT):
+            inp = cell.inputs[0]
+            if fanout_free(inp):
+                invert = cell.kind is Kind.NOT
+                for value in (0, 1):
+                    equivalent = Fault(inp, value ^ (1 if invert else 0))
+                    # the input fault is equivalent to the output fault
+                    keep.discard(Fault(inp, value))
+                    _ = equivalent
+        elif cell.kind in (Kind.AND, Kind.NAND, Kind.OR, Kind.NOR):
+            controlling = 0 if cell.kind in (Kind.AND, Kind.NAND) else 1
+            for inp in cell.inputs:
+                if fanout_free(inp):
+                    # input stuck at the controlling value == output stuck
+                    # at the controlled output value: keep the output fault
+                    keep.discard(Fault(inp, controlling))
+    return sorted(keep, key=lambda f: (f.net, f.stuck_at))

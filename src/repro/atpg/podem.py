@@ -1,0 +1,312 @@
+"""Combinational PODEM test generation with the 5-valued D-calculus.
+
+Generates a test pattern for a single stuck-at fault in the combinational
+view of a netlist (primary inputs + flop Q pins are controllable, primary
+outputs + flop D pins are observable). This is the engine of [26]'s
+monitor-output formulation in its original habitat: given the monitor's
+violation net, a test for its stuck-at-1 fault *is* an input assignment
+driving the violation to 0/1 across the fault-free/faulty pair.
+
+Standard PODEM structure: objective selection (excite the fault, then
+advance the D-frontier), SCOAP-guided backtrace to an unassigned input,
+implication by 5-valued evaluation, X-path pruning, chronological
+backtracking with a backtrack budget (``aborted`` faults are reported as
+such, the TetraMAX behaviour the paper describes for one-way functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atpg.scoap import compute_scoap
+from repro.atpg.values import (
+    D,
+    DBAR,
+    ONE,
+    X,
+    ZERO,
+    and5,
+    fold,
+    is_d_value,
+    mux5,
+    not5,
+    or5,
+    xor5,
+)
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import topological_cells
+
+TESTABLE = "testable"
+UNTESTABLE = "untestable"
+ABORTED = "aborted"
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one fault's test generation."""
+
+    status: str
+    fault: object
+    test: dict | None = None  # controllable net -> 0/1
+    backtracks: int = 0
+    observed_at: int | None = None  # net where the D value surfaced
+
+
+class CombPodem:
+    """PODEM over the combinational view of a netlist."""
+
+    def __init__(self, netlist, max_backtracks=10000):
+        self.netlist = netlist
+        self.max_backtracks = max_backtracks
+        self._order = [netlist.cells[i] for i in topological_cells(netlist)]
+        self.controllable = sorted(
+            netlist.input_net_set() | netlist.flop_q_set()
+        )
+        observable = set()
+        for nets in netlist.outputs.values():
+            observable.update(nets)
+        observable.update(flop.d for flop in netlist.flops)
+        self.observable = sorted(observable)
+        self._scoap = compute_scoap(netlist)
+        self._consumers = {}
+        for cell in self._order:
+            for net in set(cell.inputs):
+                self._consumers.setdefault(net, []).append(cell)
+        self._cell_of_output = {c.output: c for c in self._order}
+
+    # ------------------------------------------------------------------ API
+
+    def generate_test(self, fault):
+        """PODEM main loop for one stuck-at fault."""
+        assignment = {}
+        decisions = []  # (net, value, flipped)
+        backtracks = 0
+        while True:
+            values = self._simulate(assignment, fault)
+            observed = self._observed_at(values)
+            if observed is not None:
+                test = {
+                    net: assignment.get(net, 0) for net in self.controllable
+                }
+                return PodemResult(
+                    TESTABLE, fault, test, backtracks, observed
+                )
+            objective = self._objective(values, fault)
+            target = None
+            if objective is not None:
+                target = self._backtrace(*objective, values)
+            if target is None:
+                # dead end: flip the most recent unflipped decision
+                while True:
+                    backtracks += 1
+                    if backtracks > self.max_backtracks:
+                        return PodemResult(ABORTED, fault, None, backtracks)
+                    if not decisions:
+                        return PodemResult(
+                            UNTESTABLE, fault, None, backtracks
+                        )
+                    net, value, flipped = decisions.pop()
+                    del assignment[net]
+                    if not flipped:
+                        assignment[net] = value ^ 1
+                        decisions.append((net, value ^ 1, True))
+                        break
+                continue
+            net, value = target
+            assignment[net] = value
+            decisions.append((net, value, False))
+
+    # ------------------------------------------------------------ internals
+
+    def _simulate(self, assignment, fault):
+        """5-valued evaluation with the fault injected at its site."""
+        values = {0: ZERO, 1: ONE}
+        for net in self.controllable:
+            values[net] = assignment.get(net, X)
+            if net == fault.net:
+                values[net] = self._inject(values[net], fault)
+        for cell in self._order:
+            ins = [values[n] for n in cell.inputs]
+            kind = cell.kind
+            if kind is Kind.AND:
+                value = fold(and5, ins)
+            elif kind is Kind.OR:
+                value = fold(or5, ins)
+            elif kind is Kind.XOR:
+                value = fold(xor5, ins)
+            elif kind is Kind.NOT:
+                value = not5(ins[0])
+            elif kind is Kind.BUF:
+                value = ins[0]
+            elif kind is Kind.NAND:
+                value = not5(fold(and5, ins))
+            elif kind is Kind.NOR:
+                value = not5(fold(or5, ins))
+            elif kind is Kind.XNOR:
+                value = not5(fold(xor5, ins))
+            else:  # MUX
+                value = mux5(ins[0], ins[1], ins[2])
+            if cell.output == fault.net:
+                value = self._inject(value, fault)
+            values[cell.output] = value
+        return values
+
+    @staticmethod
+    def _inject(good, fault):
+        """Combine the good value with the stuck-at faulty value."""
+        if good == X:
+            return X
+        if good in (ZERO, ONE):
+            if good == fault.stuck_at:
+                return good  # not excited
+            return D if good == ONE else DBAR
+        # D / D' through the fault site: faulty component is forced
+        return D if fault.stuck_at == 0 else DBAR
+
+    def _observed_at(self, values):
+        for net in self.observable:
+            if is_d_value(values[net]):
+                return net
+        return None
+
+    def _objective(self, values, fault):
+        """(net, value) the search should pursue next, or None if hopeless."""
+        site = values.get(fault.net, X)
+        if site == X:
+            # excite the fault
+            return (fault.net, fault.stuck_at ^ 1)
+        if not is_d_value(site):
+            return None  # fault blocked: site stuck at its own value
+        # advance the D-frontier: a gate with a D input and X output that
+        # still has an X path to an observable point
+        frontier = []
+        for cell in self._order:
+            if values[cell.output] != X:
+                continue
+            if any(is_d_value(values[n]) for n in cell.inputs):
+                frontier.append(cell)
+        for cell in frontier:
+            if not self._x_path(cell.output, values):
+                continue
+            kind = cell.kind
+            if kind in (Kind.AND, Kind.NAND, Kind.OR, Kind.NOR):
+                noncontrolling = (
+                    1 if kind in (Kind.AND, Kind.NAND) else 0
+                )
+                for net in cell.inputs:
+                    if values[net] == X:
+                        return (net, noncontrolling)
+            elif kind in (Kind.XOR, Kind.XNOR):
+                for net in cell.inputs:
+                    if values[net] == X:
+                        return (net, 0)
+            elif kind is Kind.MUX:
+                sel, d0, d1 = cell.inputs
+                if values[sel] == X:
+                    steer = 1 if is_d_value(values[d1]) else 0
+                    return (sel, steer)
+                data = d1 if values[sel] == ONE else d0
+                if values[data] == X:
+                    return (data, 0)
+        return None
+
+    def _x_path(self, net, values):
+        """Is there a path from ``net`` to an observable point through X?"""
+        seen = set()
+        stack = [net]
+        observable = set(self.observable)
+        while stack:
+            current = stack.pop()
+            if current in observable:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            for cell in self._consumers.get(current, ()):
+                if values[cell.output] == X and cell.output not in seen:
+                    stack.append(cell.output)
+            if current in observable:
+                return True
+        return False
+
+    def _backtrace(self, net, value, values):
+        """Map an objective to an unassigned controllable input."""
+        scoap = self._scoap
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 100000:  # pragma: no cover
+                return None
+            cell = self._cell_of_output.get(net)
+            if cell is None:
+                # controllable input (or flop Q): decide here if still X
+                if values.get(net, X) == X:
+                    return (net, value)
+                return None
+            kind = cell.kind
+            ins = cell.inputs
+            if kind is Kind.NOT:
+                net, value = ins[0], value ^ 1
+                continue
+            if kind is Kind.BUF:
+                net = ins[0]
+                continue
+            if kind is Kind.NAND:
+                kind, value = Kind.AND, value ^ 1
+            elif kind is Kind.NOR:
+                kind, value = Kind.OR, value ^ 1
+            if kind in (Kind.AND, Kind.OR):
+                x_ins = [n for n in ins if values[n] == X]
+                if not x_ins:
+                    return None
+                if (kind is Kind.AND and value == 0) or (
+                    kind is Kind.OR and value == 1
+                ):
+                    table = scoap.cc0 if kind is Kind.AND else scoap.cc1
+                    net = min(x_ins, key=lambda n: table.get(n, 1.0))
+                    value = 0 if kind is Kind.AND else 1
+                else:
+                    table = scoap.cc1 if kind is Kind.AND else scoap.cc0
+                    net = max(x_ins, key=lambda n: table.get(n, 1.0))
+                    value = 1 if kind is Kind.AND else 0
+                continue
+            if kind in (Kind.XOR, Kind.XNOR):
+                parity = value ^ (1 if kind is Kind.XNOR else 0)
+                known = 0
+                x_ins = []
+                for n in ins:
+                    v = values[n]
+                    if v == X:
+                        x_ins.append(n)
+                    elif v in (ZERO, ONE):
+                        known ^= v
+                    else:
+                        return None  # D on the path: don't disturb
+                if not x_ins:
+                    return None
+                net = x_ins[0]
+                value = (parity ^ known) if len(x_ins) == 1 else 0
+                continue
+            if kind is Kind.MUX:
+                sel, d0, d1 = ins
+                sv = values[sel]
+                if sv == ZERO:
+                    net = d0
+                    continue
+                if sv == ONE:
+                    net = d1
+                    continue
+                if sv == X:
+                    net, value = sel, 0
+                    continue
+                return None
+            return None  # pragma: no cover
+
+    # ------------------------------------------------------------- coverage
+
+    def run_fault_list(self, faults):
+        """Generate tests for a whole fault list; returns a result dict."""
+        results = {}
+        for fault in faults:
+            results[fault] = self.generate_test(fault)
+        return results

@@ -1,0 +1,428 @@
+"""PODEM-style sequential justification with forward implication.
+
+The second (and default) ATPG engine. Where
+:class:`~repro.atpg.sequential.SequentialJustifier` searches *backwards*
+over line-justification choices, :class:`PodemJustifier` follows PODEM's
+discipline (Goel 1981), the one production ATPG is built on:
+
+* decisions are made **only on primary inputs** (here: input bits at
+  specific time frames of the unrolled design);
+* after every decision the engine runs **event-driven 3-valued forward
+  implication** over the unrolled circuit, so any conflict with the
+  objective is observed immediately — the failure mode that drowns
+  backward search (re-refuting the same infeasible sub-goal under
+  thousands of contexts) cannot occur, because implications are global;
+* the next decision target is found by **backtracing** from the objective
+  through X-valued gates to an unassigned input, guided by SCOAP
+  controllabilities (hardest-first for all-controlling requirements,
+  easiest-first for any-of requirements);
+* chronological backtracking flips the most recent un-flipped decision.
+
+The engine is sound and complete for bounded justification: SAT returns a
+primary-input witness, UNSAT proves the objective unreachable within the
+bound. Frame 0 is the reset state; pinned inputs (e.g. ``reset = 0``) are
+folded into the base implication.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from collections import deque
+
+from repro.atpg.scoap import compute_scoap
+from repro.atpg.sequential import JustifyResult, PROVED, UNKNOWN_STATUS, VIOLATED
+from repro.bmc.witness import Witness
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import cone_of_influence, topological_cells
+
+
+def _eval3_cell(kind, ins, vals):
+    if kind is Kind.AND or kind is Kind.NAND:
+        out = 1
+        for net in ins:
+            v = vals[net]
+            if v == 0:
+                out = 0
+                break
+            if v is None:
+                out = None
+        if out is None:
+            return None
+        return out ^ 1 if kind is Kind.NAND else out
+    if kind is Kind.OR or kind is Kind.NOR:
+        out = 0
+        for net in ins:
+            v = vals[net]
+            if v == 1:
+                out = 1
+                break
+            if v is None:
+                out = None
+        if out is None:
+            return None
+        return out ^ 1 if kind is Kind.NOR else out
+    if kind is Kind.XOR or kind is Kind.XNOR:
+        out = 0
+        for net in ins:
+            v = vals[net]
+            if v is None:
+                return None
+            out ^= v
+        return out ^ 1 if kind is Kind.XNOR else out
+    if kind is Kind.NOT:
+        v = vals[ins[0]]
+        return None if v is None else v ^ 1
+    if kind is Kind.BUF:
+        return vals[ins[0]]
+    if kind is Kind.MUX:
+        sel = vals[ins[0]]
+        d0 = vals[ins[1]]
+        d1 = vals[ins[2]]
+        if sel == 0:
+            return d0
+        if sel == 1:
+            return d1
+        if d0 is not None and d0 == d1:
+            return d0
+        return None
+    raise ValueError(kind)  # pragma: no cover
+
+
+class _Budget(Exception):
+    pass
+
+
+class PodemJustifier:
+    """Justifies ``objective_net == 1`` within a bound, PODEM-style."""
+
+    def __init__(self, netlist, objective_net, property_name="", use_coi=True,
+                 pinned_inputs=None):
+        self.netlist = netlist
+        self.objective_net = objective_net
+        self.property_name = property_name
+        self.pinned_inputs = dict(pinned_inputs or {})
+
+        if use_coi:
+            cone, cell_idxs, _flops = cone_of_influence(netlist, [objective_net])
+        else:
+            cone = None
+            cell_idxs = topological_cells(netlist)
+        self._cells = [netlist.cells[i] for i in cell_idxs]
+        self._flops = [
+            f
+            for f in netlist.flops
+            if cone is None or f.q in cone
+        ]
+        input_nets = sorted(
+            net
+            for net in netlist.input_net_set()
+            if cone is None or net in cone
+        )
+        self._cone_counts = (len(self._cells), len(self._flops), len(input_nets))
+
+        pinned_bits = {}
+        for name, word in self.pinned_inputs.items():
+            for bit, net in enumerate(netlist.inputs[name]):
+                pinned_bits[net] = (word >> bit) & 1
+        self._pinned_bits = pinned_bits
+        self._free_inputs = {
+            net for net in input_nets if net not in pinned_bits
+        }
+        self._input_name = {}
+        for name, nets in netlist.inputs.items():
+            for bit, net in enumerate(nets):
+                self._input_name[net] = (name, bit)
+
+        # structural indexes for event-driven propagation
+        self._cell_of_output = {}
+        self._consumers = {}  # net -> list of cells reading it
+        for cell in self._cells:
+            self._cell_of_output[cell.output] = cell
+            for net in set(cell.inputs):
+                self._consumers.setdefault(net, []).append(cell)
+        self._flops_of_d = {}
+        for flop in self._flops:
+            self._flops_of_d.setdefault(flop.d, []).append(flop)
+        self._driver_flop = {f.q: f for f in self._flops}
+
+        self._scoap = compute_scoap(netlist)
+        # search state (created per check)
+        self._vals = []
+        self._frames = 0
+        self.backtracks = 0
+        self.decisions = 0
+        self._deadline = None
+        self._tick = 0
+
+    # ------------------------------------------------------------------ API
+
+    def check(self, max_cycles, time_budget=None, backtrack_budget=None,
+              measure_memory=False, start_cycle=1):
+        start = time.perf_counter()
+        self._deadline = None if time_budget is None else start + time_budget
+        self._backtrack_budget = backtrack_budget
+        self.backtracks = 0
+        self.decisions = 0
+        snapshotting = False
+        if measure_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            snapshotting = True
+        peak = 0
+        try:
+            if measure_memory:
+                tracemalloc.reset_peak()
+            status = PROVED
+            bound = 0
+            witness = None
+            per_bound = []
+            for t in range(start_cycle, max_cycles + 1):
+                bound_start = time.perf_counter()
+                try:
+                    found = self._search(t)
+                except _Budget:
+                    status = UNKNOWN_STATUS
+                    per_bound.append(time.perf_counter() - bound_start)
+                    break
+                per_bound.append(time.perf_counter() - bound_start)
+                if found:
+                    status = VIOLATED
+                    bound = t
+                    witness = Witness(
+                        inputs=self._extract_inputs(t),
+                        violation_cycle=t - 1,
+                        property_name=self.property_name,
+                    )
+                    break
+                bound = t
+            if measure_memory:
+                _cur, peak = tracemalloc.get_traced_memory()
+        finally:
+            if snapshotting:
+                tracemalloc.stop()
+        return JustifyResult(
+            status=status,
+            bound=bound,
+            witness=witness,
+            elapsed=time.perf_counter() - start,
+            peak_memory=peak,
+            backtracks=self.backtracks,
+            decisions=self.decisions,
+            assignments=0,
+            cone=self._cone_counts,
+            property_name=self.property_name,
+            per_bound_elapsed=per_bound,
+        )
+
+    # ------------------------------------------------------------- plumbing
+
+    def _budget_tick(self):
+        self._tick += 1
+        if self._tick & 1023:
+            return
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise _Budget
+        if (
+            self._backtrack_budget is not None
+            and self.backtracks > self._backtrack_budget
+        ):
+            raise _Budget
+
+    def _base_values(self, frames):
+        """Fresh per-frame value arrays: reset state + pinned inputs,
+        fully implied forward."""
+        num = self.netlist.num_nets
+        vals = []
+        for t in range(frames):
+            frame = [None] * num
+            frame[0] = 0
+            frame[1] = 1
+            for net, bit in self._pinned_bits.items():
+                frame[net] = bit
+            if t == 0:
+                for flop in self._flops:
+                    frame[flop.q] = flop.init
+            else:
+                prev = vals[t - 1]
+                for flop in self._flops:
+                    frame[flop.q] = prev[flop.d]
+            for cell in self._cells:
+                frame[cell.output] = _eval3_cell(cell.kind, cell.inputs, frame)
+            vals.append(frame)
+        return vals
+
+    def _propagate(self, net, frame, undo):
+        """Event-driven forward implication from one changed (net, frame)."""
+        queue = deque([(net, frame)])
+        vals = self._vals
+        frames = self._frames
+        while queue:
+            src, t = queue.popleft()
+            frame_vals = vals[t]
+            for cell in self._consumers.get(src, ()):
+                new = _eval3_cell(cell.kind, cell.inputs, frame_vals)
+                out = cell.output
+                if new != frame_vals[out]:
+                    undo.append((out, t, frame_vals[out]))
+                    frame_vals[out] = new
+                    queue.append((out, t))
+            if t + 1 < frames:
+                for flop in self._flops_of_d.get(src, ()):
+                    new = frame_vals[flop.d]
+                    nxt = vals[t + 1]
+                    if new != nxt[flop.q]:
+                        undo.append((flop.q, t + 1, nxt[flop.q]))
+                        nxt[flop.q] = new
+                        queue.append((flop.q, t + 1))
+
+    def _undo(self, undo):
+        vals = self._vals
+        for net, t, old in reversed(undo):
+            vals[t][net] = old
+
+    # ------------------------------------------------------------ backtrace
+
+    def _backtrace(self, net, frame, value):
+        """Walk from an X objective through X gates to an unassigned free
+        input; returns (net, frame, value) or None if no input supports it."""
+        scoap = self._scoap
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 100000:  # pragma: no cover - structural safety net
+                return None
+            if net in self._free_inputs:
+                if self._vals[frame][net] is None:
+                    return (net, frame, value)
+                return None
+            flop = self._driver_flop.get(net)
+            if flop is not None:
+                if frame == 0:
+                    return None
+                net, frame = flop.d, frame - 1
+                continue
+            cell = self._cell_of_output.get(net)
+            if cell is None:
+                return None  # pinned input or net outside the cone
+            kind = cell.kind
+            ins = cell.inputs
+            vals = self._vals[frame]
+            if kind is Kind.NOT:
+                net, value = ins[0], value ^ 1
+                continue
+            if kind is Kind.BUF:
+                net = ins[0]
+                continue
+            if kind is Kind.NAND:
+                kind, value = Kind.AND, value ^ 1
+            elif kind is Kind.NOR:
+                kind, value = Kind.OR, value ^ 1
+            if kind is Kind.AND or kind is Kind.OR:
+                controlling = 0 if kind is Kind.AND else 1
+                x_inputs = [n for n in ins if vals[n] is None]
+                if not x_inputs:
+                    return None
+                if value == controlling:
+                    # any single X input set to the controlling value: easiest
+                    table = scoap.cc0 if controlling == 0 else scoap.cc1
+                    net = min(x_inputs, key=lambda n: table.get(n, 1.0))
+                    value = controlling
+                else:
+                    # all X inputs must take the non-controlling value: hardest
+                    table = scoap.cc1 if controlling == 0 else scoap.cc0
+                    net = max(x_inputs, key=lambda n: table.get(n, 1.0))
+                    value = controlling ^ 1
+                continue
+            if kind is Kind.XOR or kind is Kind.XNOR:
+                parity = value ^ (1 if kind is Kind.XNOR else 0)
+                known = 0
+                x_inputs = []
+                for n in ins:
+                    v = vals[n]
+                    if v is None:
+                        x_inputs.append(n)
+                    else:
+                        known ^= v
+                if not x_inputs:
+                    return None
+                net = x_inputs[0]
+                # single remaining X input is forced; otherwise free choice
+                value = (parity ^ known) if len(x_inputs) == 1 else 0
+                continue
+            if kind is Kind.MUX:
+                sel, d0, d1 = ins
+                sv = vals[sel]
+                if sv == 0:
+                    net = d0
+                    continue
+                if sv == 1:
+                    net = d1
+                    continue
+                # select is X: steer it toward the cheaper data arm
+                cost0 = scoap.cost(d0, value) if vals[d0] is None else (
+                    0.0 if vals[d0] == value else float("inf")
+                )
+                cost1 = scoap.cost(d1, value) if vals[d1] is None else (
+                    0.0 if vals[d1] == value else float("inf")
+                )
+                net, value = (sel, 0) if cost0 <= cost1 else (sel, 1)
+                continue
+            return None  # pragma: no cover - closed enum
+
+    # --------------------------------------------------------------- search
+
+    def _search(self, frames):
+        self._frames = frames
+        self._vals = self._base_values(frames)
+        obj = self.objective_net
+        obj_frame = frames - 1
+        # decision stack: (net, frame, value, flipped, undo list)
+        stack = []
+        while True:
+            self._budget_tick()
+            value = self._vals[obj_frame][obj]
+            if value == 1:
+                return True
+            if value is None:
+                target = self._backtrace(obj, obj_frame, 1)
+            else:
+                target = None
+            if target is not None:
+                net, t, v = target
+                undo = []
+                self._vals[t][net] = v
+                undo.append((net, t, None))
+                self._propagate(net, t, undo)
+                stack.append((net, t, v, False, undo))
+                self.decisions += 1
+                continue
+            # conflict (objective 0) or no input supports the objective:
+            # flip the most recent unflipped decision
+            while True:
+                self.backtracks += 1
+                if not stack:
+                    return False
+                net, t, v, flipped, undo = stack.pop()
+                self._undo(undo)
+                if not flipped:
+                    undo = []
+                    self._vals[t][net] = v ^ 1
+                    undo.append((net, t, None))
+                    self._propagate(net, t, undo)
+                    stack.append((net, t, v ^ 1, True, undo))
+                    break
+
+    def _extract_inputs(self, frames):
+        sequence = []
+        for t in range(frames):
+            words = {
+                name: self.pinned_inputs.get(name, 0)
+                for name in self.netlist.inputs
+            }
+            frame_vals = self._vals[t]
+            for net in self._free_inputs:
+                if frame_vals[net]:
+                    name, bit = self._input_name[net]
+                    words[name] |= 1 << bit
+            sequence.append(words)
+        return sequence

@@ -1,0 +1,109 @@
+"""Portfolio sequential-ATPG: backward justification + PODEM, staged.
+
+The two structural engines have complementary strengths (measured across
+the nine Trust-Hub Trojans):
+
+* the backward line-justifier excels when the witness is a narrow
+  constant-matching sequence (the AES plaintext triggers: milliseconds),
+  but drowns on properties with wide symbolic arithmetic (the RISC
+  program-counter functional check);
+* PODEM's input-space search with forward implication handles the
+  arithmetic-heavy monitors, but wanders on long constant-scan FSMs.
+
+Industrial ATPG is itself a staged portfolio of engines with per-fault
+abort limits; :class:`PortfolioJustifier` reproduces that discipline:
+
+1. backward ramp      (35% of the budget)
+2. PODEM ramp         (35%)
+3. backward single-shot at the full bound (15%) — sticky monitors make a
+   single deep search complete for "violated within T"
+4. PODEM single-shot  (remainder)
+
+The first conclusive stage (violated with a witness, or proved through the
+full bound) wins; otherwise the result is ``unknown`` at the deepest bound
+any stage cleared, the "aborted fault" outcome of a production tool.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.atpg.podem_seq import PodemJustifier
+from repro.atpg.sequential import (
+    PROVED,
+    SequentialJustifier,
+    UNKNOWN_STATUS,
+    VIOLATED,
+)
+
+
+class PortfolioJustifier:
+    """Staged backward + PODEM justification under one budget."""
+
+    STAGES = (
+        ("backward", "ramp", 0.30),
+        ("podem", "ramp", 0.45),
+        ("backward", "single", 0.15),
+        ("podem", "single", 0.10),
+    )
+
+    def __init__(self, netlist, objective_net, property_name="", use_coi=True,
+                 pinned_inputs=None):
+        self.netlist = netlist
+        self.objective_net = objective_net
+        self.property_name = property_name
+        self.use_coi = use_coi
+        self.pinned_inputs = pinned_inputs
+        self.stage_results = []
+
+    def _make(self, which):
+        cls = SequentialJustifier if which == "backward" else PodemJustifier
+        return cls(
+            self.netlist,
+            self.objective_net,
+            property_name=self.property_name,
+            use_coi=self.use_coi,
+            pinned_inputs=self.pinned_inputs,
+        )
+
+    def check(self, max_cycles, time_budget=None, measure_memory=False,
+              start_cycle=1, backtrack_budget=None):
+        start = time.perf_counter()
+        if time_budget is None:
+            time_budget = 60.0
+        best = None
+        deepest = 0
+        self.stage_results = []
+        for which, mode, share in self.STAGES:
+            remaining = time_budget - (time.perf_counter() - start)
+            if remaining <= 0:
+                break
+            stage_budget = min(remaining, time_budget * share)
+            engine = self._make(which)
+            kwargs = {
+                "time_budget": stage_budget,
+                "measure_memory": measure_memory,
+                "backtrack_budget": backtrack_budget,
+            }
+            if mode == "single":
+                kwargs["start_cycle"] = max_cycles
+            else:
+                kwargs["start_cycle"] = start_cycle
+            result = engine.check(max_cycles, **kwargs)
+            self.stage_results.append((which, mode, result))
+            if result.status == VIOLATED:
+                result.elapsed = time.perf_counter() - start
+                return result
+            if result.status == PROVED and mode == "ramp":
+                result.elapsed = time.perf_counter() - start
+                return result
+            if mode == "ramp":
+                deepest = max(deepest, result.bound)
+        # no stage concluded: report the deepest cleanly-proved bound
+        last = self.stage_results[-1][2] if self.stage_results else None
+        if last is None:
+            raise RuntimeError("portfolio ran no stages")  # pragma: no cover
+        last.status = UNKNOWN_STATUS
+        last.bound = deepest
+        last.elapsed = time.perf_counter() - start
+        return last

@@ -1,0 +1,177 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+Controllability ``CC0(n)`` / ``CC1(n)`` estimates how many line assignments
+it takes to force net ``n`` to 0 / 1; observability ``CO(n)`` estimates the
+cost of propagating ``n`` to an output. The ATPG engines use these to order
+backtrace choices — the structural guidance the paper credits for ATPG
+"efficiently balancing depth-first and breadth-first searches" (footnote 3).
+
+Sequential nets are handled Bellman-Ford style: a flop's Q costs its D plus
+one (a clock cycle), iterated to a fixpoint, so costs are finite even
+through state-holding loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import fanout_map, topological_cells
+
+INF = float("inf")
+
+
+@dataclass
+class Scoap:
+    """Controllability/observability tables indexed by net id."""
+
+    cc0: dict
+    cc1: dict
+    co: dict
+
+    def cost(self, net, value):
+        """Controllability of driving ``net`` to ``value``."""
+        return self.cc1[net] if value else self.cc0[net]
+
+
+def _cell_controllability(kind, ins, cc0, cc1):
+    """(cc0, cc1) of a cell's output from its input costs."""
+    if kind is Kind.AND:
+        zero = min(cc0[i] for i in ins) + 1
+        one = sum(cc1[i] for i in ins) + 1
+        return zero, one
+    if kind is Kind.OR:
+        zero = sum(cc0[i] for i in ins) + 1
+        one = min(cc1[i] for i in ins) + 1
+        return zero, one
+    if kind is Kind.NAND:
+        zero, one = _cell_controllability(Kind.AND, ins, cc0, cc1)
+        return one, zero
+    if kind is Kind.NOR:
+        zero, one = _cell_controllability(Kind.OR, ins, cc0, cc1)
+        return one, zero
+    if kind is Kind.NOT:
+        return cc1[ins[0]] + 1, cc0[ins[0]] + 1
+    if kind is Kind.BUF:
+        return cc0[ins[0]] + 1, cc1[ins[0]] + 1
+    if kind in (Kind.XOR, Kind.XNOR):
+        # Fold pairwise: cost of parity p is the cheapest input-parity split.
+        zero, one = cc0[ins[0]], cc1[ins[0]]
+        for net in ins[1:]:
+            new_zero = min(zero + cc0[net], one + cc1[net]) + 1
+            new_one = min(zero + cc1[net], one + cc0[net]) + 1
+            zero, one = new_zero, new_one
+        if kind is Kind.XNOR:
+            zero, one = one, zero
+        return zero, one
+    if kind is Kind.MUX:
+        sel, d0, d1 = ins
+        zero = min(cc0[sel] + cc0[d0], cc1[sel] + cc0[d1]) + 1
+        one = min(cc0[sel] + cc1[d0], cc1[sel] + cc1[d1]) + 1
+        return zero, one
+    raise ValueError("unknown kind {!r}".format(kind))  # pragma: no cover
+
+
+def compute_scoap(netlist, max_passes=None):
+    """Compute SCOAP measures for every net of a netlist."""
+    order = topological_cells(netlist)
+    cc0 = {net: INF for net in range(netlist.num_nets)}
+    cc1 = {net: INF for net in range(netlist.num_nets)}
+    cc0[0] = 0.0
+    cc1[0] = INF  # const0 can never be 1
+    cc1[1] = 0.0
+    cc0[1] = INF
+    for nets in netlist.inputs.values():
+        for net in nets:
+            cc0[net] = cc1[net] = 1.0
+    if max_passes is None:
+        max_passes = len(netlist.flops) + 2
+
+    for _ in range(max_passes):
+        changed = False
+        for flop in netlist.flops:
+            for table in (cc0, cc1):
+                relaxed = table[flop.d] + 1
+                if relaxed < table[flop.q]:
+                    table[flop.q] = relaxed
+                    changed = True
+            # A resettable flop can always present its init value.
+            init_table = cc1 if flop.init else cc0
+            if 1.0 < init_table[flop.q]:
+                init_table[flop.q] = 1.0
+                changed = True
+        for idx in order:
+            cell = netlist.cells[idx]
+            zero, one = _cell_controllability(cell.kind, cell.inputs, cc0, cc1)
+            if zero < cc0[cell.output]:
+                cc0[cell.output] = zero
+                changed = True
+            if one < cc1[cell.output]:
+                cc1[cell.output] = one
+                changed = True
+        if not changed:
+            break
+
+    co = _observability(netlist, cc0, cc1, max_passes)
+    return Scoap(cc0=cc0, cc1=cc1, co=co)
+
+
+def _observability(netlist, cc0, cc1, max_passes):
+    co = {net: INF for net in range(netlist.num_nets)}
+    for nets in netlist.outputs.values():
+        for net in nets:
+            co[net] = 0.0
+    fanout = fanout_map(netlist)
+    order = list(reversed(topological_cells(netlist)))
+    for _ in range(max_passes):
+        changed = False
+        for idx in order:
+            cell = netlist.cells[idx]
+            out_co = co[cell.output]
+            if out_co is INF:
+                continue
+            for pos, net in enumerate(cell.inputs):
+                side = _side_cost(cell, pos, cc0, cc1)
+                relaxed = out_co + side + 1
+                if relaxed < co[net]:
+                    co[net] = relaxed
+                    changed = True
+        for flop in netlist.flops:
+            relaxed = co[flop.q] + 1
+            if relaxed < co[flop.d]:
+                co[flop.d] = relaxed
+                changed = True
+        # propagate through fanout stems (a net observable through any branch)
+        for net, consumers in fanout.items():
+            best = co[net]
+            for kind, payload in consumers:
+                if kind == "output":
+                    best = min(best, 0.0)
+            if best < co[net]:
+                co[net] = best
+                changed = True
+        if not changed:
+            break
+    return co
+
+
+def _side_cost(cell, pos, cc0, cc1):
+    """Cost of setting a cell's *other* inputs to non-controlling values."""
+    kind = cell.kind
+    others = [n for i, n in enumerate(cell.inputs) if i != pos]
+    if kind in (Kind.AND, Kind.NAND):
+        return sum(cc1[n] for n in others)
+    if kind in (Kind.OR, Kind.NOR):
+        return sum(cc0[n] for n in others)
+    if kind in (Kind.NOT, Kind.BUF):
+        return 0.0
+    if kind in (Kind.XOR, Kind.XNOR):
+        return sum(min(cc0[n], cc1[n]) for n in others)
+    if kind is Kind.MUX:
+        sel, d0, d1 = cell.inputs
+        if pos == 0:  # observing sel requires d0 != d1
+            return min(cc0[d0] + cc1[d1], cc1[d0] + cc0[d1])
+        if pos == 1:  # observing d0 requires sel = 0
+            return cc0[sel]
+        return cc1[sel]  # observing d1 requires sel = 1
+    raise ValueError("unknown kind {!r}".format(kind))  # pragma: no cover

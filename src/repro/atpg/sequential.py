@@ -1,0 +1,633 @@
+"""Sequential justification engine — the ATPG half of the paper.
+
+Section 3.2 repurposes a *full-sequential ATPG* for property checking: the
+property is synthesized as a monitor circuit appended to the design, and the
+tool is asked to generate a test that sets the monitor output to 1 (the
+stuck-at-1 formulation of Abraham & Vedula [26]: a test for the s-a-1 fault
+at the monitor output must drive the line to 0 ... and conversely a
+*justification* of 1 is a property violation). Unlike BMC's translation to
+CNF, ATPG searches the circuit *structure* directly, guided by testability
+measures — which is why the paper observes it unrolls ~3x more clock cycles
+than BMC in the same time at an order of magnitude less memory.
+
+:class:`SequentialJustifier` implements that search: a backward
+line-justification over time frames (decisions on gate choices, forced
+implications chained immediately) with
+
+* choice ordering by SCOAP controllability,
+* a trail/undo stack for chronological backtracking,
+* reconvergence consistency via the shared assignment store,
+* wall-clock and backtrack budgets (for the "max cycles within budget"
+  experiments of Tables 1 and 3).
+
+The justified cube is turned into a primary-input witness; unassigned
+inputs default to 0 — by construction the objective holds for *any* value
+of the unassigned inputs.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+
+from repro.atpg.scoap import compute_scoap
+from repro.bmc.witness import Witness
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import cone_of_influence
+
+VIOLATED = "violated"
+PROVED = "proved"
+UNKNOWN_STATUS = "unknown"
+
+
+class _BudgetExhausted(Exception):
+    """Raised inside the search; ``kind`` is "time" or "backtracks"."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        super().__init__(kind)
+
+
+def _eval3(cell, vals):
+    """3-valued (0/1/None) evaluation of one cell over a value array."""
+    kind = cell.kind
+    ins = cell.inputs
+    if kind is Kind.AND or kind is Kind.NAND:
+        out = 1
+        for net in ins:
+            v = vals[net]
+            if v == 0:
+                out = 0
+                break
+            if v is None:
+                out = None
+        if out is None:
+            return None
+        return out ^ 1 if kind is Kind.NAND else out
+    if kind is Kind.OR or kind is Kind.NOR:
+        out = 0
+        for net in ins:
+            v = vals[net]
+            if v == 1:
+                out = 1
+                break
+            if v is None:
+                out = None
+        if out is None:
+            return None
+        return out ^ 1 if kind is Kind.NOR else out
+    if kind is Kind.XOR or kind is Kind.XNOR:
+        out = 0
+        for net in ins:
+            v = vals[net]
+            if v is None:
+                return None
+            out ^= v
+        return out ^ 1 if kind is Kind.XNOR else out
+    if kind is Kind.NOT:
+        v = vals[ins[0]]
+        return None if v is None else v ^ 1
+    if kind is Kind.BUF:
+        return vals[ins[0]]
+    if kind is Kind.MUX:
+        sel = vals[ins[0]]
+        d0 = vals[ins[1]]
+        d1 = vals[ins[2]]
+        if sel == 0:
+            return d0
+        if sel == 1:
+            return d1
+        if d0 is not None and d0 == d1:
+            return d0
+        return None
+    raise ValueError("unknown kind {!r}".format(kind))  # pragma: no cover
+
+
+@dataclass
+class JustifyResult:
+    """Outcome of a sequential-ATPG property check."""
+
+    status: str  # violated / proved / unknown
+    bound: int
+    witness: Witness | None = None
+    elapsed: float = 0.0
+    peak_memory: int = 0
+    backtracks: int = 0
+    decisions: int = 0
+    assignments: int = 0
+    cone: tuple = (0, 0, 0)
+    property_name: str = ""
+    per_bound_elapsed: list = field(default_factory=list)
+
+    @property
+    def detected(self):
+        return self.status == VIOLATED
+
+    def summary(self):
+        return (
+            "[{}] {} at bound {} ({:.2f}s, {} backtracks, {} decisions, "
+            "cone={})".format(
+                self.property_name or "atpg",
+                self.status,
+                self.bound,
+                self.elapsed,
+                self.backtracks,
+                self.decisions,
+                self.cone,
+            )
+        )
+
+
+class SequentialJustifier:
+    """Justifies ``objective_net == 1`` within a bounded number of cycles."""
+
+    def __init__(self, netlist, objective_net, property_name="", use_coi=True,
+                 pinned_inputs=None):
+        self.netlist = netlist
+        self.objective_net = objective_net
+        self.property_name = property_name
+        self.pinned_inputs = dict(pinned_inputs or {})
+        self._pinned_bits = {}
+        for name, word in self.pinned_inputs.items():
+            for bit, net in enumerate(netlist.inputs[name]):
+                self._pinned_bits[net] = (word >> bit) & 1
+        if use_coi:
+            cone, cell_idxs, flop_idxs = cone_of_influence(
+                netlist, [objective_net]
+            )
+            self._cone_counts = (
+                len(cell_idxs),
+                len(flop_idxs),
+                len(cone & netlist.input_net_set()),
+            )
+        else:
+            self._cone_counts = (
+                len(netlist.cells),
+                len(netlist.flops),
+                sum(len(v) for v in netlist.inputs.values()),
+            )
+        self._scoap = compute_scoap(netlist)
+        self._input_bit = {}
+        for name, nets in netlist.inputs.items():
+            for bit, net in enumerate(nets):
+                self._input_bit[net] = (name, bit)
+        # search state
+        self._assign = {}
+        self._trail = []
+        self._pending = {}
+        self._failed_cubes = set()
+        self._restart_limit = None
+        self._rng = random.Random(0)
+        self._jitter = 0.0
+        # Per-frame ternary constant propagation: nets whose value is
+        # *implied* by the reset state and the pinned inputs regardless of
+        # the free inputs. Justification consults this first — requirements
+        # on determined nets never branch (the sequential-learning analogue
+        # of constant propagation across time frames).
+        self._tern = []
+        from repro.netlist.traversal import topological_cells
+
+        self._topo_cells = [
+            netlist.cells[i] for i in topological_cells(netlist)
+        ]
+        self._steps = 0
+        self._next_check = 0
+        self._deadline = None
+        self._backtrack_budget = None
+        self.backtracks = 0
+        self.decisions = 0
+
+    # ------------------------------------------------------------------ API
+
+    def check(self, max_cycles, time_budget=None, backtrack_budget=None,
+              measure_memory=False, start_cycle=1):
+        """Search frames ``1..max_cycles`` for a justification of the objective."""
+        start = time.perf_counter()
+        self._deadline = None if time_budget is None else start + time_budget
+        self._backtrack_budget = backtrack_budget
+        self.backtracks = 0
+        self.decisions = 0
+        snapshotting = False
+        if measure_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            snapshotting = True
+        peak = 0
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 1_000_000))
+        try:
+            if measure_memory:
+                tracemalloc.reset_peak()
+            status = PROVED
+            bound = 0
+            witness = None
+            per_bound = []
+            for t in range(start_cycle, max_cycles + 1):
+                bound_start = time.perf_counter()
+                self._extend_ternary(t)
+                outcome = self._search_bound(t)
+                per_bound.append(time.perf_counter() - bound_start)
+                if outcome == "budget":
+                    status = UNKNOWN_STATUS
+                    break
+                if outcome == "found":
+                    status = VIOLATED
+                    bound = t
+                    witness = Witness(
+                        inputs=self._extract_inputs(t),
+                        violation_cycle=t - 1,
+                        property_name=self.property_name,
+                    )
+                    break
+                bound = t
+            if measure_memory:
+                _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            sys.setrecursionlimit(old_limit)
+            if snapshotting:
+                tracemalloc.stop()
+        return JustifyResult(
+            status=status,
+            bound=bound,
+            witness=witness,
+            elapsed=time.perf_counter() - start,
+            peak_memory=peak,
+            backtracks=self.backtracks,
+            decisions=self.decisions,
+            assignments=len(self._assign),
+            cone=self._cone_counts,
+            property_name=self.property_name,
+            per_bound_elapsed=per_bound,
+        )
+
+    # ------------------------------------------------------------- restarts
+
+    def _search_bound(self, t):
+        """Search one bound with randomized restarts.
+
+        Plain chronological backtracking can drown re-refuting the same
+        infeasible sub-goal under many contexts (no conflict-driven
+        learning); like a CDCL solver, we restart with a jittered choice
+        order and a geometrically growing backtrack budget. The failed-cube
+        memo survives restarts, so work is not fully repeated, and the final
+        attempt runs unbounded — the procedure stays complete.
+
+        Returns "found", "exhausted" (proved for this bound) or "budget".
+        """
+        attempt = 0
+        base = 4000
+        while True:
+            self._assign = {}
+            self._trail = []
+            self._pending = {f: [] for f in range(t)}
+            self._pending[t - 1].append((self.objective_net, 1))
+            if base * (4 ** attempt) <= 16_000_000:
+                self._restart_limit = self.backtracks + base * (4 ** attempt)
+            else:
+                self._restart_limit = None  # final attempt: unbounded
+            self._rng = random.Random(attempt * 7919 + 13)
+            self._jitter = 0.0 if attempt == 0 else 1.0
+            try:
+                found = self._process_frame(t - 1)
+            except _BudgetExhausted as exhausted:
+                if exhausted.kind == "restart":
+                    attempt += 1
+                    continue
+                return "budget"
+            return "found" if found else "exhausted"
+
+    # -------------------------------------------------------------- ternary
+
+    def _extend_ternary(self, frames):
+        netlist = self.netlist
+        while len(self._tern) < frames:
+            t = len(self._tern)
+            vals = [None] * netlist.num_nets
+            vals[0] = 0
+            vals[1] = 1
+            for net, bit in self._pinned_bits.items():
+                vals[net] = bit
+            if t == 0:
+                for flop in netlist.flops:
+                    vals[flop.q] = flop.init
+            else:
+                prev = self._tern[t - 1]
+                for flop in netlist.flops:
+                    vals[flop.q] = prev[flop.d]
+            for cell in self._topo_cells:
+                vals[cell.output] = _eval3(cell, vals)
+            self._tern.append(vals)
+
+    # ----------------------------------------------------------- search core
+
+    def _budget_tick(self):
+        self._steps += 1
+        if self._steps < self._next_check:
+            return
+        self._next_check = self._steps + 2048
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise _BudgetExhausted("time")
+        if (
+            self._backtrack_budget is not None
+            and self.backtracks > self._backtrack_budget
+        ):
+            raise _BudgetExhausted("backtracks")
+        if (
+            self._restart_limit is not None
+            and self.backtracks > self._restart_limit
+        ):
+            raise _BudgetExhausted("restart")
+
+    def _set(self, key, value):
+        self._assign[key] = value
+        self._trail.append(key)
+
+    def _undo_to(self, mark):
+        trail = self._trail
+        assign = self._assign
+        while len(trail) > mark:
+            entry = trail.pop()
+            if entry.__class__ is tuple and entry[0] == "pend":
+                self._pending[entry[1]].pop()
+            else:
+                del assign[entry]
+
+    # Frame-at-a-time processing: all requirements of a frame are justified
+    # together inside its combinational logic before descending to the
+    # previous frame. This keeps conflicts between state bits (e.g. the bits
+    # of a trigger counter) local to one frame instead of being rediscovered
+    # exponentially across the whole unrolled depth — the structural
+    # equivalent of reverse-time-frame processing in sequential ATPG.
+
+    def _process_frame(self, frame):
+        # State-cube learning: whether a requirement cube is justifiable
+        # within `frame` remaining clock cycles depends only on (cube,
+        # frame) — frames above the cut contribute nothing but the cube
+        # itself. Failed cubes are pruned forever, across bounds too.
+        key = (frozenset(self._pending[frame]), frame)
+        if key in self._failed_cubes:
+            self.backtracks += 1
+            return False
+        obligations = self._pending[frame]
+
+        def done():
+            if frame == 0:
+                return True
+            return self._process_frame(frame - 1)
+
+        ok = self._justify_pending(obligations, 0, frame, done)
+        if not ok:
+            self._failed_cubes.add(key)
+        return ok
+
+    def _justify_pending(self, obligations, index, frame, k):
+        if index >= len(obligations):
+            return k()
+        net, value = obligations[index]
+        return self._justify(
+            net,
+            frame,
+            value,
+            lambda: self._justify_pending(obligations, index + 1, frame, k),
+        )
+
+    def _justify(self, net, frame, value, k):
+        """Try to justify ``net == value`` at ``frame``; call ``k`` on success.
+
+        Returns True iff a consistent extension satisfying ``k`` exists.
+        Leaves the assignment extended on success and unchanged on failure.
+        Flop requirements are *deferred* to the previous frame's pending
+        list rather than recursed into (see :meth:`_process_frame`).
+        """
+        self._budget_tick()
+        implied = self._tern[frame][net]
+        if implied is not None:
+            return implied == value and k()
+        key = (net, frame)
+        existing = self._assign.get(key)
+        if existing is not None:
+            return existing == value and k()
+        kind, payload = self.netlist.driver_of(net)
+        if kind == "input":
+            mark = len(self._trail)
+            self._set(key, value)
+            if k():
+                return True
+            self._undo_to(mark)
+            return False
+        if kind == "flop":
+            flop = self.netlist.flops[payload]
+            if frame == 0:
+                return flop.init == value and k()
+            mark = len(self._trail)
+            self._set(key, value)
+            self._pending[frame - 1].append((flop.d, value))
+            self._trail.append(("pend", frame - 1))
+            if k():
+                return True
+            self._undo_to(mark)
+            return False
+        # combinational cell
+        cell = self.netlist.cells[payload]
+        mark = len(self._trail)
+        self._set(key, value)
+        if self._justify_cell(cell, frame, value, k):
+            return True
+        self._undo_to(mark)
+        return False
+
+    def _justify_cell(self, cell, frame, value, k):
+        kind = cell.kind
+        ins = cell.inputs
+        if kind is Kind.BUF:
+            return self._justify(ins[0], frame, value, k)
+        if kind is Kind.NOT:
+            return self._justify(ins[0], frame, 1 - value, k)
+        if kind is Kind.NAND:
+            return self._justify_and(ins, frame, 1 - value, k)
+        if kind is Kind.NOR:
+            return self._justify_or(ins, frame, 1 - value, k)
+        if kind is Kind.AND:
+            return self._justify_and(ins, frame, value, k)
+        if kind is Kind.OR:
+            return self._justify_or(ins, frame, value, k)
+        if kind is Kind.XOR:
+            return self._justify_xor(ins, frame, value, k)
+        if kind is Kind.XNOR:
+            return self._justify_xor(ins, frame, 1 - value, k)
+        if kind is Kind.MUX:
+            return self._justify_mux(ins, frame, value, k)
+        raise ValueError("unknown kind {!r}".format(kind))  # pragma: no cover
+
+    def _known_value(self, net, frame):
+        """Implied (ternary) or assigned value of a net, else None."""
+        implied = self._tern[frame][net]
+        if implied is not None:
+            return implied
+        return self._assign.get((net, frame))
+
+    def _choice_key(self, net, frame, value, table):
+        """Order choices: already-satisfied first, contradicted last, then
+        by controllability (jittered on restart attempts)."""
+        known = self._known_value(net, frame)
+        if known is not None:
+            return (0.0, 0.0) if known == value else (float("inf"), 0.0)
+        cost = table.get(net, 1.0)
+        if self._jitter:
+            cost *= self._rng.uniform(0.25, 4.0)
+        return (1.0, cost)
+
+    def _justify_and(self, ins, frame, value, k):
+        if value == 1:
+            return self._justify_all(ins, 0, frame, 1, k)
+        # choose one input to be 0, cheapest controllability first
+        cc0 = self._scoap.cc0
+        order = sorted(ins, key=lambda n: self._choice_key(n, frame, 0, cc0))
+        return self._try_choices(
+            [((net, frame, 0),) for net in order], k
+        )
+
+    def _justify_or(self, ins, frame, value, k):
+        if value == 0:
+            return self._justify_all(ins, 0, frame, 0, k)
+        cc1 = self._scoap.cc1
+        order = sorted(ins, key=lambda n: self._choice_key(n, frame, 1, cc1))
+        return self._try_choices(
+            [((net, frame, 1),) for net in order], k
+        )
+
+    def _justify_all(self, ins, index, frame, value, k):
+        """All of ``ins[index:]`` must equal ``value`` at ``frame``."""
+        if index == len(ins):
+            return k()
+        return self._justify(
+            ins[index],
+            frame,
+            value,
+            lambda: self._justify_all(ins, index + 1, frame, value, k),
+        )
+
+    def _justify_xor(self, ins, frame, parity, k):
+        if len(ins) == 1:
+            return self._justify(ins[0], frame, parity, k)
+        first, rest = ins[0], ins[1:]
+        existing = self._known_value(first, frame)
+        if existing is not None:
+            # no branching: the first input is already decided
+            return self._justify(
+                first,
+                frame,
+                existing,
+                lambda: self._justify_xor(rest, frame, parity ^ existing, k),
+            )
+        cc0 = self._scoap.cc0.get(first, 1.0)
+        cc1 = self._scoap.cc1.get(first, 1.0)
+        options = [(0, parity), (1, parity ^ 1)]
+        if (cc1 < cc0) if not self._jitter else self._rng.random() < 0.5:
+            options.reverse()
+        self.decisions += 1
+        for first_value, rest_parity in options:
+            mark = len(self._trail)
+            if self._justify(
+                first,
+                frame,
+                first_value,
+                lambda rp=rest_parity: self._justify_xor(rest, frame, rp, k),
+            ):
+                return True
+            self._undo_to(mark)
+            self.backtracks += 1
+        return False
+
+    def _justify_mux(self, ins, frame, value, k):
+        sel, d0, d1 = ins
+        sel_existing = self._known_value(sel, frame)
+        if sel_existing is not None:
+            # select line already decided: no branching, but still record
+            # the requirement on sel for assignment consistency
+            data = d1 if sel_existing else d0
+            return self._justify(
+                sel,
+                frame,
+                sel_existing,
+                lambda: self._justify(data, frame, value, k),
+            )
+        cost0 = self._scoap.cc0.get(sel, 1.0) + self._scoap.cost(d0, value)
+        cost1 = self._scoap.cc1.get(sel, 1.0) + self._scoap.cost(d1, value)
+        if self._jitter:
+            cost0 *= self._rng.uniform(0.25, 4.0)
+            cost1 *= self._rng.uniform(0.25, 4.0)
+        d0_existing = self._known_value(d0, frame)
+        d1_existing = self._known_value(d1, frame)
+        if d0_existing == value:
+            cost0 = -1.0
+        elif d0_existing is not None:
+            cost0 = float("inf")
+        if d1_existing == value:
+            cost1 = -1.0
+        elif d1_existing is not None:
+            cost1 = float("inf")
+        choices = [
+            ((sel, frame, 0), (d0, frame, value)),
+            ((sel, frame, 1), (d1, frame, value)),
+        ]
+        if cost1 < cost0:
+            choices.reverse()
+        return self._try_choices(choices, k)
+
+    def _try_choices(self, choices, k):
+        """Try alternative obligation tuples; backtrack between them."""
+        self.decisions += 1
+        for obligations in choices:
+            mark = len(self._trail)
+            if self._justify_obligations(obligations, 0, k):
+                return True
+            self._undo_to(mark)
+            self.backtracks += 1
+        return False
+
+    def _justify_obligations(self, obligations, index, k):
+        if index == len(obligations):
+            return k()
+        net, frame, value = obligations[index]
+        return self._justify(
+            net,
+            frame,
+            value,
+            lambda: self._justify_obligations(obligations, index + 1, k),
+        )
+
+    # ------------------------------------------------------------ extraction
+
+    def _extract_inputs(self, frames):
+        sequence = [
+            {
+                name: self.pinned_inputs.get(name, 0)
+                for name in self.netlist.inputs
+            }
+            for _ in range(frames)
+        ]
+        for (net, frame), value in self._assign.items():
+            if value and 0 <= frame < frames:
+                entry = self._input_bit.get(net)
+                if entry is not None:
+                    name, bit = entry
+                    sequence[frame][name] |= 1 << bit
+        return sequence
+
+
+def check_objective(netlist, objective_net, max_cycles, **kwargs):
+    """One-shot convenience wrapper around :class:`SequentialJustifier`."""
+    property_name = kwargs.pop("property_name", "")
+    use_coi = kwargs.pop("use_coi", True)
+    pinned_inputs = kwargs.pop("pinned_inputs", None)
+    justifier = SequentialJustifier(
+        netlist,
+        objective_net,
+        property_name=property_name,
+        use_coi=use_coi,
+        pinned_inputs=pinned_inputs,
+    )
+    return justifier.check(max_cycles, **kwargs)

@@ -1,0 +1,168 @@
+"""Stuck-at test-set generation: PODEM + fault-simulation compaction.
+
+The classical ATPG production flow, and the machinery behind the paper's
+Section 4.1 argument — "such faults are revealed during functional testing"
+— made concrete: generate a compact test set for a design's collapsed
+stuck-at fault list, then measure the coverage any given functional suite
+achieves.
+
+Flow (per undetected fault, hardest first by SCOAP observability):
+
+1. PODEM generates a test cube for the fault (combinational view: flop Qs
+   are controllable, flop Ds observable — single-time-frame tests);
+2. the pattern is *fault-simulated* against every remaining fault and all
+   collaterally-detected faults are dropped (the standard compaction that
+   keeps test sets small);
+3. aborted faults are retried once with a larger backtrack budget and
+   otherwise reported, untestable faults are proven redundant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.atpg.faults import collapse_faults
+from repro.atpg.podem import ABORTED, TESTABLE, UNTESTABLE, CombPodem
+from repro.atpg.scoap import compute_scoap
+from repro.sim.engine import CombEvaluator
+
+
+@dataclass
+class GeneratedTests:
+    """Result of a test-generation run."""
+
+    patterns: list = field(default_factory=list)  # dict: net -> bit
+    detected: dict = field(default_factory=dict)  # Fault -> pattern index
+    untestable: list = field(default_factory=list)
+    aborted: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def coverage(self):
+        total = (
+            len(self.detected) + len(self.untestable) + len(self.aborted)
+        )
+        covered = len(self.detected) + len(self.untestable)
+        return covered / total if total else 1.0
+
+    def summary(self):
+        return (
+            "{} patterns detect {} faults; {} untestable, {} aborted "
+            "(coverage {:.1%}, {:.2f}s)".format(
+                len(self.patterns),
+                len(self.detected),
+                len(self.untestable),
+                len(self.aborted),
+                self.coverage,
+                self.elapsed,
+            )
+        )
+
+
+class _SingleFrameFaultSim:
+    """Bit-parallel single-time-frame fault simulation for compaction."""
+
+    def __init__(self, netlist, batch=63):
+        self.netlist = netlist
+        self.batch = batch
+        self.controllable = sorted(
+            netlist.input_net_set() | netlist.flop_q_set()
+        )
+        observable = set()
+        for nets in netlist.outputs.values():
+            observable.update(nets)
+        observable.update(flop.d for flop in netlist.flops)
+        self.observable = sorted(observable)
+
+    def detected_by(self, pattern, faults):
+        """Subset of ``faults`` the pattern detects (single frame)."""
+        hits = []
+        remaining = list(faults)
+        while remaining:
+            chunk = remaining[: self.batch]
+            remaining = remaining[self.batch :]
+            hits.extend(self._chunk(pattern, chunk))
+        return hits
+
+    def _chunk(self, pattern, chunk):
+        lanes = len(chunk) + 1
+        evaluator = CombEvaluator(self.netlist, lanes=lanes)
+        values = evaluator.fresh_values()
+        mask = evaluator.mask
+        for net in self.controllable:
+            values[net] = mask if pattern.get(net, 0) else 0
+        inject = {}
+        for k, fault in enumerate(chunk):
+            lane_bit = 1 << (k + 1)
+            masks = inject.setdefault(fault.net, [0, 0])
+            masks[1 if fault.stuck_at else 0] |= lane_bit
+
+        def apply_injection(net):
+            masks = inject.get(net)
+            if masks is not None:
+                values[net] = (values[net] & ~masks[0]) | masks[1]
+
+        for net in self.controllable:
+            apply_injection(net)
+        for kind, ins, out in evaluator._program:
+            from repro.netlist.cells import Cell
+
+            values[out] = Cell(kind, ins, out).eval(values) & mask
+            apply_injection(out)
+        hits = []
+        for k, fault in enumerate(chunk):
+            for net in self.observable:
+                word = values[net]
+                good = word & 1
+                faulty = (word >> (k + 1)) & 1
+                if good != faulty:
+                    hits.append(fault)
+                    break
+        return hits
+
+
+def generate_tests(netlist, faults=None, max_backtracks=2000,
+                   retry_backtracks=20000, time_budget=None):
+    """Generate a compact single-frame stuck-at test set."""
+    start = time.perf_counter()
+    if faults is None:
+        faults = collapse_faults(netlist)
+    scoap = compute_scoap(netlist)
+    pending = sorted(
+        faults,
+        key=lambda f: -scoap.co.get(f.net, 0.0)
+        if scoap.co.get(f.net) != float("inf")
+        else 0.0,
+    )
+    simulator = _SingleFrameFaultSim(netlist)
+    result = GeneratedTests()
+    podem = CombPodem(netlist, max_backtracks=max_backtracks)
+    retry = CombPodem(netlist, max_backtracks=retry_backtracks)
+    while pending:
+        if time_budget is not None and (
+            time.perf_counter() - start > time_budget
+        ):
+            result.aborted.extend(pending)
+            break
+        fault = pending.pop(0)
+        outcome = podem.generate_test(fault)
+        if outcome.status == ABORTED:
+            outcome = retry.generate_test(fault)
+        if outcome.status == UNTESTABLE:
+            result.untestable.append(fault)
+            continue
+        if outcome.status != TESTABLE:
+            result.aborted.append(fault)
+            continue
+        index = len(result.patterns)
+        result.patterns.append(outcome.test)
+        result.detected[fault] = index
+        # compaction: drop everything else this pattern also catches
+        collateral = simulator.detected_by(outcome.test, pending)
+        for hit in collateral:
+            result.detected[hit] = index
+        hit_set = set(collateral)
+        pending = [f for f in pending if f not in hit_set]
+    result.elapsed = time.perf_counter() - start
+    return result

@@ -1,0 +1,115 @@
+"""Multi-valued algebras for test generation.
+
+* The 3-valued algebra ``{0, 1, X}`` (X = unassigned/unknown) drives the
+  justification engines; it is represented as Python ``0``, ``1``, ``None``.
+* The 5-valued Roth/D-calculus ``{0, 1, X, D, D'}`` drives combinational
+  PODEM: ``D`` means "1 in the good circuit, 0 in the faulty circuit" and
+  ``D'`` the reverse, letting one evaluation track both circuits at once.
+
+Values are small ints; tables are precomputed for the 2-input forms and
+reduced n-ary by folding.
+"""
+
+from __future__ import annotations
+
+ZERO = 0
+ONE = 1
+X = 2
+D = 3  # good 1 / faulty 0
+DBAR = 4  # good 0 / faulty 1
+
+NAMES = {ZERO: "0", ONE: "1", X: "X", D: "D", DBAR: "D'"}
+
+# Decompose into (good, faulty) pairs; X maps to None components.
+_GOOD = {ZERO: 0, ONE: 1, X: None, D: 1, DBAR: 0}
+_FAULTY = {ZERO: 0, ONE: 1, X: None, D: 0, DBAR: 1}
+
+
+def _compose(good, faulty):
+    if good is None or faulty is None:
+        return X
+    if good == faulty:
+        return ONE if good else ZERO
+    return D if good else DBAR
+
+
+def _and2_bool(a, b):
+    if a == 0 or b == 0:
+        return 0
+    if a is None or b is None:
+        return None
+    return 1
+
+
+def _or2_bool(a, b):
+    if a == 1 or b == 1:
+        return 1
+    if a is None or b is None:
+        return None
+    return 0
+
+
+def _xor2_bool(a, b):
+    if a is None or b is None:
+        return None
+    return a ^ b
+
+
+def and5(a, b):
+    return _compose(
+        _and2_bool(_GOOD[a], _GOOD[b]), _and2_bool(_FAULTY[a], _FAULTY[b])
+    )
+
+
+def or5(a, b):
+    return _compose(
+        _or2_bool(_GOOD[a], _GOOD[b]), _or2_bool(_FAULTY[a], _FAULTY[b])
+    )
+
+
+def xor5(a, b):
+    return _compose(
+        _xor2_bool(_GOOD[a], _GOOD[b]), _xor2_bool(_FAULTY[a], _FAULTY[b])
+    )
+
+
+def not5(a):
+    good = _GOOD[a]
+    faulty = _FAULTY[a]
+    return _compose(
+        None if good is None else 1 - good,
+        None if faulty is None else 1 - faulty,
+    )
+
+
+def mux5(sel, d0, d1):
+    sg, s_f = _GOOD[sel], _FAULTY[sel]
+    g = _GOOD[d1] if sg == 1 else _GOOD[d0] if sg == 0 else None
+    f = _FAULTY[d1] if s_f == 1 else _FAULTY[d0] if s_f == 0 else None
+    if sg is None and _GOOD[d0] == _GOOD[d1]:
+        g = _GOOD[d0]
+    if s_f is None and _FAULTY[d0] == _FAULTY[d1]:
+        f = _FAULTY[d0]
+    return _compose(g, f)
+
+
+def fold(op, values):
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+def is_d_value(v):
+    """True for the fault-difference values D / D'."""
+    return v in (D, DBAR)
+
+
+def good_value(v):
+    """Good-circuit component (0/1/None)."""
+    return _GOOD[v]
+
+
+def faulty_value(v):
+    """Faulty-circuit component (0/1/None)."""
+    return _FAULTY[v]

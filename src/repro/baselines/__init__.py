@@ -1,0 +1,21 @@
+"""Baseline detectors (FANCI, VeriTrust) and DeTrust trigger shaping."""
+
+from repro.baselines.detrust import (
+    chunk_constants,
+    split_comparator,
+    wide_comparator,
+)
+from repro.baselines.fanci import Fanci, FanciReport, WireScore
+from repro.baselines.veritrust import PinActivity, VeriTrust, VeriTrustReport
+
+__all__ = [
+    "chunk_constants",
+    "split_comparator",
+    "wide_comparator",
+    "Fanci",
+    "FanciReport",
+    "WireScore",
+    "PinActivity",
+    "VeriTrust",
+    "VeriTrustReport",
+]

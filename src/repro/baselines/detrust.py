@@ -1,0 +1,119 @@
+"""DeTrust-style trigger restructuring (Zhang, Yuan, Xu — CCS'14).
+
+DeTrust defeats FANCI by splitting a wide trigger comparison into narrow
+chunks that arrive over multiple clock cycles (each comparator gate's
+control values rise from 2^-128 to 2^-k), and defeats VeriTrust by making
+every Trojan gate's inputs functional signals whose partial-match activity
+looks like ordinary decode logic.
+
+The Trojan constructors in :mod:`repro.designs.trojans` apply these
+transformations inline; this module provides the reusable pieces plus a
+generic :func:`split_comparator` used by the ablation bench that contrasts
+naive and DeTrust-shaped triggers under FANCI.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PropertyError
+
+
+def sequence_recognizer(circuit, matches, step, reset, name="seq"):
+    """One-hot recognizer for a symbol sequence (a DeTrust trigger FSM).
+
+    ``matches[k]`` is the 1-bit "symbol k observed" condition; a symbol is
+    consumed whenever ``step`` is 1. A wrong symbol restarts the scan; the
+    final stage latches ("fired"). One-hot encoding is used deliberately:
+    each stage bit is a flat AND/OR of functional signals (DeTrust's
+    every-gate-functional requirement) with no priority mux chains.
+    """
+    n = len(matches)
+    stages = [
+        circuit.reg("{}_s{}".format(name, k), 1, init=1 if k == 0 else 0)
+        for k in range(n + 1)
+    ]
+    advance = [stages[k].q & matches[k] & step for k in range(n)]
+    nexts = [None] * (n + 1)
+    nexts[n] = stages[n].q | advance[n - 1]
+    for k in range(1, n):
+        nexts[k] = advance[k - 1] | (stages[k].q & ~step)
+    others = circuit.any_of(*[nexts[k] for k in range(1, n + 1)])
+    nexts[0] = ~others
+    for k in range(n + 1):
+        stages[k].drive(
+            circuit.mux(
+                reset, nexts[k], circuit.const(1 if k == 0 else 0, 1)
+            )
+        )
+    return stages[n].q
+
+
+def chunk_constants(constant, width, chunk_bits):
+    """Split a ``width``-bit constant into LSB-first chunks."""
+    if width % chunk_bits:
+        raise PropertyError(
+            "width {} not divisible by chunk size {}".format(width, chunk_bits)
+        )
+    chunks = []
+    for k in range(width // chunk_bits):
+        chunks.append((constant >> (k * chunk_bits)) & ((1 << chunk_bits) - 1))
+    return chunks
+
+
+def wide_comparator(circuit, value, constant):
+    """The *naive* trigger FANCI catches: one monolithic wide AND gate.
+
+    Returns a 1-bit BitVec that is 1 iff ``value == constant``. Control
+    value of each input at the AND gate is 2^-(width-1).
+    """
+    bits = []
+    for i in range(value.width):
+        bit_net = value.nets[i]
+        if (constant >> i) & 1:
+            bits.append(bit_net)
+        else:
+            bits.append(circuit.gate("not", bit_net))
+    wide = circuit.netlist.add_cell("and", bits)
+    return circuit.bv([wide])
+
+
+def split_comparator(circuit, value, constant, chunk_bits, step, reset,
+                     name="detrust"):
+    """A DeTrust serial comparator: chunked over consecutive cycles.
+
+    Compares chunk ``k`` of ``value`` against chunk ``k`` of ``constant``
+    on the ``k``-th cycle after ``reset`` last restarted the scan; the
+    result latches when all chunks matched. ``step`` gates the scan
+    advance (e.g. a phase strobe); pass ``circuit.true()`` for every-cycle
+    scanning. Every comparator gate sees at most ``chunk_bits`` inputs, so
+    its FANCI control values are at worst 2^-(chunk_bits-1).
+    """
+    chunks = chunk_constants(constant, value.width, chunk_bits)
+    count = len(chunks)
+    index_width = max(1, (count - 1).bit_length())
+    index = circuit.reg("{}_index".format(name), index_width)
+    matched = circuit.reg("{}_matched".format(name), 1, init=1)
+    chunk_eqs = []
+    for k in range(1 << index_width):
+        if k < count:
+            lo = k * chunk_bits
+            chunk_eqs.append(
+                value[lo : lo + chunk_bits].eq_const(chunks[k])
+            )
+        else:
+            chunk_eqs.append(circuit.false())
+    current = circuit.word_select(index.q, chunk_eqs)
+    at_end = index.q.eq_const(count - 1)
+    scanning = step & ~at_end
+    index.hold_unless(
+        (reset, circuit.const(0, index_width)),
+        (scanning, index.q + 1),
+    )
+    matched.hold_unless(
+        (reset, circuit.true()),
+        (step & ~current, circuit.false()),
+    )
+    fired = circuit.reg("{}_fired".format(name), 1)
+    fired.hold_unless(
+        (step & at_end & matched.q & current, circuit.true()),
+    )
+    return fired.q

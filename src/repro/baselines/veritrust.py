@@ -1,0 +1,179 @@
+"""VeriTrust — verification for hardware trust (Zhang, Yuan, Wei, Sun,
+Xu — DAC'13), as a simulation-based activation/influence analysis.
+
+VeriTrust's premise: trigger inputs of a Trojan do not drive the circuit's
+*functional* behaviour — under a (non-triggering) verification suite they
+never determine any gate's output. This implementation runs the suite
+bit-parallel and, per gate input pin, counts *influence events*: cycles in
+which flipping just that pin would have changed the gate's output (for an
+AND pin that means all other pins were 1, for a MUX data pin that the
+select pointed at it, and so on). Pins with zero observed influence are
+candidate trigger wires; gates are ranked by how dormant they are and the
+top ``suspects`` are handed to the (manual, per the original flow)
+inspection step.
+
+The DeTrust evasion the paper's Tables 1 and 3 rely on is inherited:
+DeTrust-shaped Trojans drive every Trojan gate with functional signals
+whose partial-match activity is indistinguishable from ordinary decode
+logic (an opcode comparator also influences rarely), so under a realistic
+suite the Trojan never surfaces in the top suspects — while a naive
+always-dormant monolithic trigger does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import Kind
+from repro.sim.engine import CombEvaluator
+from repro.sim.random_stim import StimulusGenerator
+
+
+@dataclass
+class PinActivity:
+    """Observed influence of one gate-input pin."""
+
+    net: int  # the gate's output net (identifies the gate)
+    pin: int
+    source: int  # the net feeding the pin
+    influence: int  # cycles in which the pin determined the output
+    observed: int
+
+    @property
+    def rate(self):
+        return self.influence / self.observed if self.observed else 0.0
+
+
+@dataclass
+class VeriTrustReport:
+    """Outcome of a VeriTrust analysis."""
+
+    dormant: list = field(default_factory=list)  # PinActivity with zero influence
+    ranked: list = field(default_factory=list)  # all pins by ascending rate
+    cycles: int = 0
+    suspects: int = 20
+
+    def suspicious_nets(self):
+        """Output nets of the top-ranked (most dormant) gates."""
+        return [activity.net for activity in self.ranked[: self.suspects]]
+
+    def detects(self, trojan_nets):
+        """Did a Trojan wire make the inspected suspect list?"""
+        trojan_nets = set(trojan_nets)
+        return any(net in trojan_nets for net in self.suspicious_nets())
+
+    def summary(self):
+        return (
+            "VeriTrust: {} pins observed over {} cycles, {} dormant, "
+            "inspecting top {}".format(
+                len(self.ranked), self.cycles, len(self.dormant), self.suspects
+            )
+        )
+
+
+class VeriTrust:
+    """Simulation-based dormant-pin analysis."""
+
+    def __init__(self, netlist, cycles=64, lanes=64, seed=0, suspects=20,
+                 stimulus=None):
+        self.netlist = netlist
+        self.cycles = cycles
+        self.lanes = lanes
+        self.seed = seed
+        self.suspects = suspects
+        self.stimulus = stimulus  # optional explicit per-cycle input dicts
+
+    def analyze(self):
+        netlist = self.netlist
+        evaluator = CombEvaluator(netlist, lanes=self.lanes)
+        values = evaluator.fresh_values()
+        mask = evaluator.mask
+        for flop in netlist.flops:
+            values[flop.q] = mask if flop.init else 0
+        generator = StimulusGenerator(netlist, seed=self.seed)
+        influence = {}  # (cell index, pin) -> count
+        observed = 0
+
+        for cycle in range(self.cycles):
+            if self.stimulus is not None:
+                words = self.stimulus[cycle % len(self.stimulus)]
+                for name, word in words.items():
+                    evaluator.set_word(values, netlist.inputs[name], word)
+            else:
+                for name, nets in netlist.inputs.items():
+                    evaluator.set_word_lanes(
+                        values,
+                        nets,
+                        generator.random_lane_words(len(nets), self.lanes),
+                    )
+            evaluator.propagate(values)
+            observed += self.lanes
+            for index, cell in enumerate(netlist.cells):
+                masks = _influence_masks(cell, values, mask)
+                for pin, pin_mask in enumerate(masks):
+                    if pin_mask:
+                        key = (index, pin)
+                        influence[key] = influence.get(key, 0) + bin(
+                            pin_mask
+                        ).count("1")
+            updates = [(f.q, values[f.d]) for f in netlist.flops]
+            for q, value in updates:
+                values[q] = value
+
+        report = VeriTrustReport(cycles=observed, suspects=self.suspects)
+        activities = []
+        for index, cell in enumerate(netlist.cells):
+            if cell.kind in (Kind.BUF, Kind.NOT):
+                continue  # single-input gates always influence
+            for pin, source in enumerate(cell.inputs):
+                count = influence.get((index, pin), 0)
+                activity = PinActivity(
+                    net=cell.output,
+                    pin=pin,
+                    source=source,
+                    influence=count,
+                    observed=observed,
+                )
+                activities.append(activity)
+                if count == 0:
+                    report.dormant.append(activity)
+        activities.sort(key=lambda a: a.rate)
+        report.ranked = activities
+        return report
+
+
+def _influence_masks(cell, values, mask):
+    """Per-pin lane masks: lanes where flipping the pin flips the output."""
+    kind = cell.kind
+    ins = cell.inputs
+    if kind in (Kind.AND, Kind.NAND):
+        masks = []
+        for pin in range(len(ins)):
+            others = mask
+            for j, net in enumerate(ins):
+                if j != pin:
+                    others &= values[net]
+            masks.append(others)
+        return masks
+    if kind in (Kind.OR, Kind.NOR):
+        masks = []
+        for pin in range(len(ins)):
+            others = 0
+            for j, net in enumerate(ins):
+                if j != pin:
+                    others |= values[net]
+            masks.append((~others) & mask)
+        return masks
+    if kind in (Kind.XOR, Kind.XNOR):
+        return [mask] * len(ins)
+    if kind in (Kind.NOT, Kind.BUF):
+        return [mask]
+    if kind is Kind.MUX:
+        sel, d0, d1 = ins
+        sel_influences = (values[d0] ^ values[d1]) & mask
+        return [
+            sel_influences,
+            (~values[sel]) & mask,  # d0 matters when sel = 0
+            values[sel] & mask,  # d1 matters when sel = 1
+        ]
+    raise ValueError(kind)  # pragma: no cover

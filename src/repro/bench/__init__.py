@@ -1,0 +1,26 @@
+"""Benchmark harness: measurement primitives and table rendering."""
+
+from repro.bench.harness import (
+    BaselineRow,
+    DetectionRow,
+    baseline_run,
+    detection_run,
+    max_bound_within_budget,
+)
+from repro.bench.tables import fmt_bool, fmt_memory, fmt_seconds, render_table
+
+__all__ = [
+    "BaselineRow",
+    "DetectionRow",
+    "baseline_run",
+    "detection_run",
+    "max_bound_within_budget",
+    "fmt_bool",
+    "fmt_memory",
+    "fmt_seconds",
+    "render_table",
+]
+
+from repro.bench.plot import bar_chart, series_compare, sparkline  # noqa: E402
+
+__all__ += ["bar_chart", "series_compare", "sparkline"]

@@ -1,0 +1,167 @@
+"""Bounded model checking engine.
+
+Implements the paper's Section 3.1 flow: the no-data-corruption property is
+synthesized into the design as a monitor circuit whose 1-bit *objective net*
+goes high in any cycle where the property is violated (the monitors make it
+sticky, so checking the final unrolled frame covers all earlier cycles).
+:class:`BmcEngine` unrolls the objective's cone of influence frame by frame
+on an incremental CDCL solver and asks, at each bound ``t``, "can the
+objective be 1 at frame t?".
+
+* SAT → the property is violated; the model is decoded into a
+  :class:`~repro.bmc.witness.Witness` (the paper's counterexample/trigger).
+* UNSAT at every bound up to ``T`` → the design is *trustworthy for T
+  clock cycles* (the paper's guarantee, Section 3.2 — reset the design
+  every T cycles).
+* Budget exhausted → ``unknown``, reporting the deepest proved bound
+  (the "max # of clock cycles" columns of Tables 1 and 3).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+
+from repro.bmc.unroll import Unroller
+from repro.bmc.witness import Witness
+from repro.sat.solver import SAT, UNKNOWN, UNSAT, Solver
+
+VIOLATED = "violated"
+PROVED = "proved"
+UNKNOWN_STATUS = "unknown"
+
+
+@dataclass
+class BmcResult:
+    """Outcome of a bounded check."""
+
+    status: str  # violated / proved / unknown
+    bound: int  # violated: frame count to violation; else deepest proved bound
+    witness: Witness | None = None
+    elapsed: float = 0.0
+    peak_memory: int = 0  # bytes (tracemalloc), 0 when not measured
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    clauses: int = 0
+    variables: int = 0
+    cone: tuple = (0, 0, 0)
+    property_name: str = ""
+    per_bound_elapsed: list = field(default_factory=list)
+
+    @property
+    def detected(self):
+        return self.status == VIOLATED
+
+    def summary(self):
+        head = "[{}] {} at bound {}".format(
+            self.property_name or "bmc", self.status, self.bound
+        )
+        tail = " ({:.2f}s, {} conflicts, {} vars, {} clauses, cone={})".format(
+            self.elapsed, self.conflicts, self.variables, self.clauses, self.cone
+        )
+        return head + tail
+
+
+class BmcEngine:
+    """Incremental BMC over a 1-bit objective net."""
+
+    def __init__(self, netlist, objective_net, property_name="", use_coi=True,
+                 solver=None, pinned_inputs=None):
+        self.netlist = netlist
+        self.objective_net = objective_net
+        self.property_name = property_name
+        self.solver = solver if solver is not None else Solver()
+        self.unroller = Unroller(
+            netlist,
+            self.solver,
+            [objective_net],
+            use_coi=use_coi,
+            pinned_inputs=pinned_inputs,
+        )
+
+    def check(self, max_cycles, time_budget=None, conflict_budget=None,
+              measure_memory=False, start_cycle=1):
+        """Check whether the objective can be 1 within ``max_cycles`` cycles."""
+        start = time.perf_counter()
+        base_conflicts = self.solver.stats.conflicts
+        base_decisions = self.solver.stats.decisions
+        base_props = self.solver.stats.propagations
+        snapshotting = False
+        if measure_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            snapshotting = True
+        peak = 0
+        try:
+            if measure_memory:
+                tracemalloc.reset_peak()
+            status = PROVED
+            bound = 0
+            witness = None
+            per_bound = []
+            for t in range(start_cycle, max_cycles + 1):
+                bound_start = time.perf_counter()
+                remaining = None
+                if time_budget is not None:
+                    remaining = time_budget - (time.perf_counter() - start)
+                    if remaining <= 0:
+                        status = UNKNOWN_STATUS
+                        break
+                self.unroller.extend_to(t)
+                objective_lit = self.unroller.lit(self.objective_net, t - 1)
+                result = self.solver.solve(
+                    assumptions=[objective_lit],
+                    conflict_budget=conflict_budget,
+                    time_budget=remaining,
+                )
+                per_bound.append(time.perf_counter() - bound_start)
+                if result.status == SAT:
+                    status = VIOLATED
+                    bound = t
+                    witness = Witness(
+                        inputs=self.unroller.input_assignment(result.model, t),
+                        violation_cycle=t - 1,
+                        property_name=self.property_name,
+                    )
+                    break
+                if result.status == UNKNOWN:
+                    status = UNKNOWN_STATUS
+                    break
+                bound = t  # proved up to t
+            if measure_memory:
+                _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            if snapshotting:
+                tracemalloc.stop()
+        stats = self.solver.stats
+        return BmcResult(
+            status=status,
+            bound=bound,
+            witness=witness,
+            elapsed=time.perf_counter() - start,
+            peak_memory=peak,
+            conflicts=stats.conflicts - base_conflicts,
+            decisions=stats.decisions - base_decisions,
+            propagations=stats.propagations - base_props,
+            clauses=len(self.solver.clauses),
+            variables=self.solver.num_vars,
+            cone=self.unroller.cone_size,
+            property_name=self.property_name,
+            per_bound_elapsed=per_bound,
+        )
+
+
+def check_objective(netlist, objective_net, max_cycles, **kwargs):
+    """One-shot convenience wrapper around :class:`BmcEngine`."""
+    property_name = kwargs.pop("property_name", "")
+    use_coi = kwargs.pop("use_coi", True)
+    pinned_inputs = kwargs.pop("pinned_inputs", None)
+    engine = BmcEngine(
+        netlist,
+        objective_net,
+        property_name=property_name,
+        use_coi=use_coi,
+        pinned_inputs=pinned_inputs,
+    )
+    return engine.check(max_cycles, **kwargs)

@@ -1,0 +1,192 @@
+"""k-induction: unbounded proofs of the no-corruption properties.
+
+The paper's guarantee is bounded — "the SoC integrator has to reset the
+design once the number of clock cycles exceeds this value" (Section 3.2).
+This module extends the flow past that limitation: if the monitor's
+violation signal is 1-inductive (or k-inductive), the property holds for
+*every* clock cycle and no periodic reset is needed.
+
+Standard strengthening-free k-induction over the monitor objective:
+
+* **base case** — BMC for ``k`` frames from the reset state (violation
+  unreachable within k cycles);
+* **inductive step** — from an *arbitrary* state, ``k`` violation-free
+  frames imply no violation in frame ``k+1``. UNSAT proves the property
+  for all time; SAT yields only a might-be-unreachable counterexample, so
+  ``k`` is increased.
+
+Simple-path constraints are omitted (they rarely pay off at these design
+sizes); without them k-induction is sound but incomplete — ``unknown`` at
+the depth limit falls back to the paper's bounded guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bmc.engine import BmcEngine
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import cone_of_influence
+from repro.sat.solver import SAT, UNKNOWN, UNSAT, Solver
+from repro.sat.tseitin import encode_cell
+
+PROVED_UNBOUNDED = "proved-unbounded"
+VIOLATED = "violated"
+UNKNOWN_STATUS = "unknown"
+
+
+@dataclass
+class InductionResult:
+    """Outcome of a k-induction proof attempt."""
+
+    status: str  # proved-unbounded / violated / unknown
+    k: int  # the k that closed the proof (or the last one tried)
+    base_bound: int = 0
+    elapsed: float = 0.0
+    witness: object = None
+    property_name: str = ""
+
+    @property
+    def proved_forever(self):
+        return self.status == PROVED_UNBOUNDED
+
+    def summary(self):
+        return "[{}] {} at k={} ({:.2f}s)".format(
+            self.property_name or "k-induction", self.status, self.k,
+            self.elapsed,
+        )
+
+
+class _FreeStateUnroller:
+    """Unrolls the COI like :class:`~repro.bmc.unroll.Unroller`, but frame
+    0's flops are *free variables* (arbitrary state) — the inductive-step
+    formula."""
+
+    def __init__(self, netlist, solver, target_nets, pinned_inputs=None):
+        cone, cell_idxs, flop_idxs = cone_of_influence(netlist, target_nets)
+        self.netlist = netlist
+        self.solver = solver
+        self._cells = [netlist.cells[i] for i in cell_idxs]
+        self._flops = [netlist.flops[i] for i in flop_idxs]
+        pinned = {}
+        for name, word in (pinned_inputs or {}).items():
+            for bit, net in enumerate(netlist.inputs[name]):
+                pinned[net] = (word >> bit) & 1
+        self._input_nets = [
+            (net, pinned.get(net))
+            for name, nets in netlist.inputs.items()
+            for net in nets
+            if net in cone
+        ]
+        self.frames = 0
+        self._lit = {}
+        self.true_lit = solver.new_var()
+        solver.add_clause([self.true_lit])
+
+    def extend_to(self, count):
+        while self.frames < count:
+            self._build(self.frames)
+            self.frames += 1
+
+    def _build(self, t):
+        solver = self.solver
+        lit = self._lit
+        lit[(0, t)] = -self.true_lit
+        lit[(1, t)] = self.true_lit
+        for net, pinned in self._input_nets:
+            if pinned is None:
+                lit[(net, t)] = solver.new_var()
+            else:
+                lit[(net, t)] = self.true_lit if pinned else -self.true_lit
+        for flop in self._flops:
+            if t == 0:
+                lit[(flop.q, 0)] = solver.new_var()  # arbitrary state
+            else:
+                lit[(flop.q, t)] = lit[(flop.d, t - 1)]
+        for cell in self._cells:
+            ins = [lit[(n, t)] for n in cell.inputs]
+            if cell.kind is Kind.BUF:
+                lit[(cell.output, t)] = ins[0]
+            elif cell.kind is Kind.NOT:
+                lit[(cell.output, t)] = -ins[0]
+            else:
+                out = solver.new_var()
+                lit[(cell.output, t)] = out
+                encode_cell(solver, cell.kind, out, ins)
+
+    def lit(self, net, frame):
+        return self._lit[(net, frame)]
+
+
+def prove_by_induction(netlist, objective_net, max_k=8, time_budget=None,
+                       pinned_inputs=None, property_name=""):
+    """Try to prove ``objective_net`` never rises, for all time.
+
+    The objective must be the *per-cycle violation* net (not the sticky
+    flop): the step formula asserts it 0 in frames 0..k-1 and asks for 1 in
+    frame k.
+    """
+    start = time.perf_counter()
+
+    def remaining():
+        if time_budget is None:
+            return None
+        left = time_budget - (time.perf_counter() - start)
+        return max(left, 0.001)
+
+    base_engine = BmcEngine(
+        netlist,
+        objective_net,
+        property_name=property_name + ":base",
+        pinned_inputs=pinned_inputs,
+    )
+    step_solver = Solver()
+    step = _FreeStateUnroller(
+        netlist, step_solver, [objective_net], pinned_inputs=pinned_inputs
+    )
+
+    for k in range(1, max_k + 1):
+        # base: no violation within k cycles from reset
+        base = base_engine.check(
+            k, start_cycle=k, time_budget=remaining()
+        )
+        if base.status == "violated":
+            return InductionResult(
+                status=VIOLATED, k=k, base_bound=base.bound,
+                witness=base.witness,
+                elapsed=time.perf_counter() - start,
+                property_name=property_name,
+            )
+        if base.status == "unknown":
+            return InductionResult(
+                status=UNKNOWN_STATUS, k=k,
+                elapsed=time.perf_counter() - start,
+                property_name=property_name,
+            )
+        # step: k clean frames from an arbitrary state, then a violation
+        step.extend_to(k + 1)
+        for frame in range(k):
+            step_solver.add_clause([-step.lit(objective_net, frame)])
+        result = step_solver.solve(
+            assumptions=[step.lit(objective_net, k)],
+            time_budget=remaining(),
+        )
+        if result.status == UNSAT:
+            return InductionResult(
+                status=PROVED_UNBOUNDED, k=k, base_bound=k,
+                elapsed=time.perf_counter() - start,
+                property_name=property_name,
+            )
+        if result.status == UNKNOWN:
+            return InductionResult(
+                status=UNKNOWN_STATUS, k=k,
+                elapsed=time.perf_counter() - start,
+                property_name=property_name,
+            )
+        # SAT: the step fails at this k — deepen and retry
+    return InductionResult(
+        status=UNKNOWN_STATUS, k=max_k,
+        elapsed=time.perf_counter() - start,
+        property_name=property_name,
+    )

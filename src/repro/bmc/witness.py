@@ -1,0 +1,125 @@
+"""Counterexample witnesses and their replay validation.
+
+A :class:`Witness` is the "set of input sequences" the paper's Algorithm 1
+prints when a register can be corrupted: one dict of input-port words per
+clock cycle. Witnesses are replayed on the logic simulator so detection
+results never rest on the solver alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.sequential import SequentialSimulator
+
+
+@dataclass
+class Witness:
+    """An input sequence that violates a property at ``violation_cycle``."""
+
+    inputs: list  # one {port: word} dict per cycle
+    violation_cycle: int
+    property_name: str = ""
+    notes: dict = field(default_factory=dict)
+
+    def __len__(self):
+        return len(self.inputs)
+
+    def format(self, netlist=None, max_cycles=40):
+        """Human-readable dump of the stimulus, one line per cycle."""
+        lines = [
+            "witness for {!r}: {} cycles, violation at cycle {}".format(
+                self.property_name, len(self.inputs), self.violation_cycle
+            )
+        ]
+        for t, words in enumerate(self.inputs[:max_cycles]):
+            parts = []
+            for name, word in sorted(words.items()):
+                width = (
+                    len(netlist.inputs[name]) if netlist is not None else None
+                )
+                if width:
+                    parts.append("{}={:0{}x}".format(name, word, (width + 3) // 4))
+                else:
+                    parts.append("{}={:x}".format(name, word))
+            lines.append("  cycle {:>3}: {}".format(t, " ".join(parts)))
+        if len(self.inputs) > max_cycles:
+            lines.append("  ... ({} more cycles)".format(len(self.inputs) - max_cycles))
+        return "\n".join(lines)
+
+
+def replay(netlist, witness, observe_registers=(), observe_outputs=(), net_probe=None):
+    """Replay a witness on the simulator.
+
+    Returns a :class:`~repro.sim.sequential.Trace` over the requested
+    registers/outputs; with ``net_probe`` (a net id) also returns the
+    per-cycle value of that net, as ``(trace, probe_values)``.
+    """
+    sim = SequentialSimulator(netlist)
+    probe_values = []
+    trace = None
+    if net_probe is None:
+        trace = sim.run(
+            witness.inputs,
+            observe_registers=observe_registers,
+            observe_outputs=observe_outputs,
+        )
+        return trace
+    from repro.sim.sequential import Trace
+
+    trace = Trace(
+        registers={name: [] for name in observe_registers},
+        outputs={name: [] for name in observe_outputs},
+    )
+    for words in witness.inputs:
+        for name, word in words.items():
+            sim.set_input(name, word)
+        sim.propagate()
+        probe_values.append(sim.net_value(net_probe))
+        for name in observe_outputs:
+            trace.outputs[name].append(sim.output_value(name))
+        sim.clock()
+        for name in observe_registers:
+            trace.registers[name].append(sim.register_value(name))
+    return trace, probe_values
+
+
+def witness_to_vcd(netlist, witness, path, registers=None, outputs=None):
+    """Replay a witness and dump the trace as a VCD waveform file.
+
+    Inputs, the requested registers (default: all) and outputs (default:
+    all) appear as signals, so a counterexample can be inspected in any
+    waveform viewer. Returns the written path.
+    """
+    from repro.sim.vcd import VcdWriter
+
+    if registers is None:
+        registers = list(netlist.registers)
+    if outputs is None:
+        outputs = list(netlist.outputs)
+    trace = replay(
+        netlist, witness, observe_registers=registers,
+        observe_outputs=outputs,
+    )
+    writer = VcdWriter(netlist.name)
+    for name in netlist.inputs:
+        writer.add_signal(
+            "in_" + name,
+            len(netlist.inputs[name]),
+            [words.get(name, 0) for words in witness.inputs],
+        )
+    widths = {name: netlist.register_width(name) for name in registers}
+    widths.update({name: len(netlist.outputs[name]) for name in outputs})
+    writer.add_trace(trace, widths)
+    writer.write(path)
+    return path
+
+
+def confirms_violation(netlist, witness, violation_net):
+    """True iff replaying the witness drives ``violation_net`` to 1.
+
+    ``violation_net`` is the monitor's combinational violation signal; it
+    must be 1 during the witness's violation cycle.
+    """
+    _trace, probe = replay(netlist, witness, net_probe=violation_net)
+    return any(probe)

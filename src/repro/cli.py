@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``audit``
+    Run Algorithm 1 on a bundled benchmark design::
+
+        python -m repro audit --design mc8051-t800 --engine bmc
+        python -m repro audit --design risc-t100 --engine atpg \\
+            --max-cycles 24 --budget 120 --check-bypass
+
+``list``
+    Show the bundled designs and their ground-truth Trojans.
+
+``export``
+    Write a design's structural Verilog and its assertion file::
+
+        python -m repro export --design risc --out out_dir/
+
+``stats``
+    Print netlist statistics for a design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import TrojanDetector
+from repro.designs import build_aes, build_mc8051, build_risc
+from repro.designs.router import build_router, router_redirect_trojan
+from repro.designs.trojans import (
+    aes_t700,
+    aes_t800,
+    aes_t1200,
+    mc8051_t400,
+    mc8051_t700,
+    mc8051_t800,
+    risc_figure1,
+    risc_t100,
+    risc_t300,
+    risc_t400,
+)
+
+DESIGNS = {
+    "risc": build_risc,
+    "mc8051": build_mc8051,
+    "aes": build_aes,
+    "router": build_router,
+    "risc-t100": risc_t100,
+    "risc-t300": risc_t300,
+    "risc-t400": risc_t400,
+    "risc-fig1": risc_figure1,
+    "mc8051-t400": mc8051_t400,
+    "mc8051-t700": mc8051_t700,
+    "mc8051-t800": mc8051_t800,
+    "aes-t700": aes_t700,
+    "aes-t800": aes_t800,
+    "aes-t1200": aes_t1200,
+    "router-redirect": router_redirect_trojan,
+}
+
+
+def build_design(name):
+    try:
+        factory = DESIGNS[name]
+    except KeyError:
+        raise SystemExit(
+            "unknown design {!r}; try: {}".format(
+                name, ", ".join(sorted(DESIGNS))
+            )
+        )
+    return factory()
+
+
+def cmd_list(_args, out=sys.stdout):
+    for name in sorted(DESIGNS):
+        _netlist, spec = build_design(name)
+        if spec.trojan is None:
+            print("{:18s} clean ({} critical registers)".format(
+                name, len(spec.critical)), file=out)
+        else:
+            print("{:18s} {} — {}".format(
+                name, spec.trojan.name, spec.trojan.payload), file=out)
+    return 0
+
+
+def cmd_stats(args, out=sys.stdout):
+    from repro.netlist import stats
+
+    netlist, _spec = build_design(args.design)
+    print(stats(netlist), file=out)
+    return 0
+
+
+def cmd_audit(args, out=sys.stdout):
+    netlist, spec = build_design(args.design)
+    registers = args.register or None
+    detector = TrojanDetector(
+        netlist,
+        spec,
+        max_cycles=args.max_cycles,
+        engine=args.engine,
+        functional=not args.no_functional,
+        check_pseudo_critical=args.check_pseudo_critical,
+        check_bypass=args.check_bypass,
+        time_budget=args.budget,
+    )
+    report = detector.run(registers=registers)
+    print(report.summary(), file=out)
+    if args.witness:
+        for finding in report.findings.values():
+            if finding.corrupted:
+                print(finding.corruption.witness.format(netlist), file=out)
+    return 1 if report.trojan_found else 0
+
+
+def cmd_export(args, out=sys.stdout):
+    from pathlib import Path
+
+    from repro.hdl import write_verilog
+    from repro.properties import render_spec
+
+    netlist, spec = build_design(args.design)
+    target = Path(args.out)
+    target.mkdir(parents=True, exist_ok=True)
+    verilog_path = target / "{}.v".format(args.design)
+    verilog_path.write_text(write_verilog(netlist))
+    print("wrote", verilog_path, file=out)
+    blocks = [render_spec(s) for s in spec.critical.values()]
+    props_path = target / "{}_props.sv".format(args.design)
+    props_path.write_text("\n".join(blocks))
+    print("wrote", props_path, file=out)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Formal detection of data-corrupting hardware Trojans "
+                    "(DAC'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled designs")
+
+    p_stats = sub.add_parser("stats", help="netlist statistics")
+    p_stats.add_argument("--design", required=True)
+
+    p_audit = sub.add_parser("audit", help="run Algorithm 1")
+    p_audit.add_argument("--design", required=True)
+    p_audit.add_argument("--engine", default="bmc",
+                         choices=["bmc", "atpg", "atpg-backward",
+                                  "atpg-podem"])
+    p_audit.add_argument("--max-cycles", type=int, default=16)
+    p_audit.add_argument("--budget", type=float, default=120.0,
+                         help="seconds per property check")
+    p_audit.add_argument("--register", action="append",
+                         help="audit only this register (repeatable)")
+    p_audit.add_argument("--check-pseudo-critical", action="store_true")
+    p_audit.add_argument("--check-bypass", action="store_true")
+    p_audit.add_argument("--no-functional", action="store_true",
+                         help="authorization-only Eq.(2), skip value checks")
+    p_audit.add_argument("--witness", action="store_true",
+                         help="print counterexample input sequences")
+
+    p_export = sub.add_parser("export", help="write Verilog + assertions")
+    p_export.add_argument("--design", required=True)
+    p_export.add_argument("--out", default="export")
+    return parser
+
+
+def main(argv=None, out=sys.stdout):
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "stats": cmd_stats,
+        "audit": cmd_audit,
+        "export": cmd_export,
+    }[args.command]
+    return handler(args, out=out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Uniform interface over the formal engines.
+
+Algorithm 1 and the benchmark harness run the same monitor circuits
+through either engine:
+
+* ``"bmc"``  — the incremental CDCL-based bounded model checker
+  (:class:`~repro.bmc.engine.BmcEngine`), the paper's Cadence-SMV role.
+* ``"atpg"`` — the staged portfolio (backward justification + PODEM,
+  :class:`~repro.atpg.portfolio.PortfolioJustifier`), the
+  paper's TetraMAX full-sequential role.
+* ``"atpg-backward"`` — the backward line-justification engine
+  (:class:`~repro.atpg.sequential.SequentialJustifier`), kept as an
+  ablation of the implication machinery.
+
+All three consume a 1-bit sticky objective net and return result objects
+sharing the ``status`` / ``bound`` / ``witness`` / ``detected`` /
+``elapsed`` / ``peak_memory`` shape.
+"""
+
+from __future__ import annotations
+
+from repro.atpg.podem_seq import PodemJustifier
+from repro.atpg.portfolio import PortfolioJustifier
+from repro.atpg.sequential import SequentialJustifier
+from repro.bmc.engine import BmcEngine
+from repro.errors import ReproError
+
+ENGINES = ("bmc", "atpg", "atpg-podem", "atpg-backward")
+
+
+def make_engine(name, netlist, objective_net, property_name="",
+                pinned_inputs=None, use_coi=True):
+    """Instantiate a formal engine by name."""
+    if name == "bmc":
+        return BmcEngine(
+            netlist,
+            objective_net,
+            property_name=property_name,
+            pinned_inputs=pinned_inputs,
+            use_coi=use_coi,
+        )
+    if name == "atpg":
+        return PortfolioJustifier(
+            netlist,
+            objective_net,
+            property_name=property_name,
+            pinned_inputs=pinned_inputs,
+            use_coi=use_coi,
+        )
+    if name == "atpg-podem":
+        return PodemJustifier(
+            netlist,
+            objective_net,
+            property_name=property_name,
+            pinned_inputs=pinned_inputs,
+            use_coi=use_coi,
+        )
+    if name == "atpg-backward":
+        return SequentialJustifier(
+            netlist,
+            objective_net,
+            property_name=property_name,
+            pinned_inputs=pinned_inputs,
+            use_coi=use_coi,
+        )
+    raise ReproError(
+        "unknown engine {!r}; pick one of {}".format(name, ENGINES)
+    )
+
+
+def run_objective(name, netlist, objective_net, max_cycles, property_name="",
+                  pinned_inputs=None, use_coi=True, **check_kwargs):
+    """One-shot: build the named engine and run its bounded check."""
+    engine = make_engine(
+        name,
+        netlist,
+        objective_net,
+        property_name=property_name,
+        pinned_inputs=pinned_inputs,
+        use_coi=use_coi,
+    )
+    return engine.check(max_cycles, **check_kwargs)

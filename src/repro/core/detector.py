@@ -1,0 +1,205 @@
+"""Algorithm 1: detecting data corruption, pseudo-critical and bypass
+registers.
+
+The paper's complete flow (Section 4.3)::
+
+    for each critical register R:
+        for each register P in the design:
+            if CheckPseudoCritical(D, R, P, V, T): promote P to critical
+        if CheckForCorruption(D, R, V, T):  -> "R is corrupted", witness
+        if CheckBypass(D, R, V, T):         -> "R is bypassed", witness
+    "No data-corruption Trojan found for T clock cycles"
+
+:class:`TrojanDetector` implements exactly that, on either formal backend.
+Every counterexample is replayed on the logic simulator before it is
+reported (the ``witness_confirmed`` flag), so a detection never rests on
+the solver alone.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bmc.witness import confirms_violation
+from repro.core.backends import run_objective
+from repro.core.registers import pseudo_critical_candidates
+from repro.core.report import DetectionReport, RegisterFinding
+from repro.properties.bypass import BypassChecker
+from repro.properties.monitors import (
+    build_corruption_monitor,
+    build_tracking_monitor,
+)
+from repro.properties.valid_ways import RegisterSpec
+
+
+class TrojanDetector:
+    """Runs Algorithm 1 over a design and its valid-way spec.
+
+    Parameters
+    ----------
+    netlist, spec:
+        The design under audit and its :class:`DesignSpec`.
+    max_cycles:
+        T — the bound the trustworthiness guarantee covers; the paper
+        resets the design every T cycles (Section 3.2).
+    engine:
+        ``"bmc"``, ``"atpg"`` or ``"atpg-backward"``.
+    functional:
+        Check the documented update *values*, not just update
+        authorization. This is what catches Trojans like RISC-T100 whose
+        payload fires inside an authorized update slot (the PC increments
+        by two instead of one).
+    check_pseudo_critical / check_bypass:
+        Enable the Section 4 attacks' defenses (Eq. 3 / Eq. 4).
+    time_budget:
+        Wall-clock budget per individual property check, in seconds.
+    """
+
+    def __init__(self, netlist, spec, max_cycles=40, engine="bmc",
+                 functional=True, check_pseudo_critical=False,
+                 check_bypass=False, time_budget=None,
+                 pseudo_critical_cycles=None, stop_on_first=True):
+        self.netlist = netlist
+        self.spec = spec
+        self.max_cycles = max_cycles
+        self.engine = engine
+        self.functional = functional
+        self.check_pseudo_critical = check_pseudo_critical
+        self.check_bypass = check_bypass
+        self.time_budget = time_budget
+        self.pseudo_critical_cycles = (
+            pseudo_critical_cycles
+            if pseudo_critical_cycles is not None
+            else max(4, max_cycles // 2)
+        )
+        self.stop_on_first = stop_on_first
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, registers=None):
+        """Run Algorithm 1; returns a :class:`DetectionReport`."""
+        start = time.perf_counter()
+        report = DetectionReport(
+            design=self.netlist.name,
+            engine=self.engine,
+            max_cycles=self.max_cycles,
+            trojan_info=self.spec.trojan,
+        )
+        names = registers or list(self.spec.critical)
+        for register in names:
+            finding = self._audit_register(register)
+            report.findings[register] = finding
+            if self.stop_on_first and finding.trojan_found:
+                break
+        report.elapsed = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------ internals
+
+    def _audit_register(self, register):
+        reg_start = time.perf_counter()
+        spec = self.spec.spec_for(register)
+        finding = RegisterFinding(register=register)
+
+        if self.check_pseudo_critical:
+            finding.pseudo_criticals = self._find_pseudo_criticals(spec)
+
+        finding.corruption = self.check_corruption(spec)
+        if finding.corruption.detected:
+            monitor = self._monitor_for(spec)
+            finding.witness_confirmed = confirms_violation(
+                monitor.netlist,
+                finding.corruption.witness,
+                monitor.violation_net,
+            )
+
+        # Corruption checks on promoted pseudo-critical registers: their
+        # update authorization mirrors the critical register's, but the
+        # documented *values* do not transfer (a tracking register may hold
+        # the bitwise complement), so these run non-functionally — and the
+        # valid-way window shifts by the copy's delay relative to the
+        # critical register (way_delay 2 for "after" copies, 0 for
+        # "before" ones).
+        if not (self.stop_on_first and finding.corruption.detected):
+            for name, direction in finding.pseudo_criticals:
+                shadow_spec = RegisterSpec(
+                    register=name,
+                    ways=spec.ways,
+                    description="pseudo-critical shadow of {} ({})".format(
+                        register, direction
+                    ),
+                    observe_latency=spec.observe_latency,
+                )
+                result = self.check_corruption(
+                    shadow_spec,
+                    functional=False,
+                    way_delay=2 if direction == "after" else 0,
+                )
+                finding.pseudo_corruptions[name] = result
+                if self.stop_on_first and result.detected:
+                    break
+
+        if self.check_bypass and not (
+            self.stop_on_first and finding.trojan_found
+        ):
+            finding.bypass = self.check_bypass_register(spec)
+
+        finding.elapsed = time.perf_counter() - reg_start
+        return finding
+
+    def _monitor_for(self, spec, functional=None, way_delay=1):
+        if functional is None:
+            functional = self.functional
+        return build_corruption_monitor(
+            self.netlist, spec, functional=functional, way_delay=way_delay
+        )
+
+    def check_corruption(self, spec, functional=None, way_delay=1):
+        """Eq. (2) on one register spec; returns the engine result."""
+        monitor = self._monitor_for(spec, functional, way_delay)
+        return run_objective(
+            self.engine,
+            monitor.netlist,
+            monitor.objective_net,
+            self.max_cycles,
+            property_name=monitor.property_name,
+            pinned_inputs=self.spec.pinned_inputs,
+            time_budget=self.time_budget,
+        )
+
+    def check_tracking(self, spec, candidate, direction):
+        """Eq. (3) for one candidate/direction; returns the engine result."""
+        monitor = build_tracking_monitor(
+            self.netlist, spec, candidate, direction=direction
+        )
+        return run_objective(
+            self.engine,
+            monitor.netlist,
+            monitor.objective_net,
+            self.pseudo_critical_cycles,
+            property_name=monitor.property_name,
+            pinned_inputs=self.spec.pinned_inputs,
+            time_budget=self.time_budget,
+        )
+
+    def _find_pseudo_criticals(self, spec):
+        found = []
+        for candidate in pseudo_critical_candidates(
+            self.netlist, self.spec, spec.register
+        ):
+            for direction in ("after", "before"):
+                result = self.check_tracking(spec, candidate, direction)
+                # "proved" = no valid sequence makes the candidate diverge
+                # from the critical register: it tracks, hence is
+                # pseudo-critical (for the checked bound).
+                if result.status == "proved":
+                    found.append((candidate, direction))
+                    break
+        return found
+
+    def check_bypass_register(self, spec):
+        """Eq. (4) via CEGIS; returns a BypassResult."""
+        checker = BypassChecker(self.netlist, spec)
+        return checker.check(
+            self.max_cycles, time_budget=self.time_budget
+        )

@@ -1,0 +1,41 @@
+"""Register discovery for Algorithm 1.
+
+"A defender can obtain the list of registers by parsing the netlist" — the
+netlist IR already groups flops into named registers, so discovery here
+means enumerating candidates for the pseudo-critical search: every
+same-width register that is not the critical register itself, not monitor
+bookkeeping, and not excluded by the spec.
+"""
+
+from __future__ import annotations
+
+MONITOR_PREFIX = "__mon"
+
+
+def all_registers(netlist):
+    """Names of every register in the design (monitor registers excluded)."""
+    return [
+        name
+        for name in netlist.registers
+        if not name.startswith(MONITOR_PREFIX)
+    ]
+
+
+def pseudo_critical_candidates(netlist, spec, critical_register):
+    """Candidate registers for the Eq. (3) tracking check.
+
+    Only same-width registers can be bitwise copies of the critical
+    register (Section 4.1's x / not-x argument is per-bit on an equal-width
+    register). The spec may whitelist candidates explicitly
+    (``candidate_registers``) or blacklist some (``exclude_registers``).
+    """
+    width = netlist.register_width(critical_register)
+    exclude = set(spec.exclude_registers) | {critical_register}
+    names = spec.candidate_registers or all_registers(netlist)
+    return [
+        name
+        for name in names
+        if name not in exclude
+        and not name.startswith(MONITOR_PREFIX)
+        and netlist.register_width(name) == width
+    ]

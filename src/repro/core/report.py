@@ -1,0 +1,120 @@
+"""Detection reports for Algorithm 1 runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RegisterFinding:
+    """Everything Algorithm 1 learned about one critical register."""
+
+    register: str
+    pseudo_criticals: list = field(default_factory=list)  # (name, direction)
+    corruption: object = None  # engine result for Eq. (2)
+    bypass: object = None  # BypassResult for Eq. (4)
+    pseudo_corruptions: dict = field(default_factory=dict)  # name -> result
+    witness_confirmed: bool | None = None
+    elapsed: float = 0.0
+
+    @property
+    def corrupted(self):
+        return self.corruption is not None and self.corruption.detected
+
+    @property
+    def bypassed(self):
+        return self.bypass is not None and self.bypass.detected
+
+    @property
+    def pseudo_corrupted(self):
+        return any(r.detected for r in self.pseudo_corruptions.values())
+
+    @property
+    def trojan_found(self):
+        return self.corrupted or self.bypassed or self.pseudo_corrupted
+
+
+@dataclass
+class DetectionReport:
+    """Outcome of a full Algorithm 1 run over a design."""
+
+    design: str
+    engine: str
+    max_cycles: int
+    findings: dict = field(default_factory=dict)  # register -> RegisterFinding
+    elapsed: float = 0.0
+    trojan_info: object = None
+
+    @property
+    def trojan_found(self):
+        return any(f.trojan_found for f in self.findings.values())
+
+    def trusted_for(self):
+        """Cycles the design is certified trustworthy for (min over checks),
+        or 0 if a Trojan was found."""
+        if self.trojan_found:
+            return 0
+        bounds = []
+        for finding in self.findings.values():
+            if finding.corruption is not None:
+                bounds.append(finding.corruption.bound)
+            if finding.bypass is not None:
+                bounds.append(finding.bypass.bound)
+        return min(bounds) if bounds else 0
+
+    def summary(self):
+        lines = [
+            "Algorithm 1 on {!r} via {} (bound {} cycles): {}".format(
+                self.design,
+                self.engine,
+                self.max_cycles,
+                "TROJAN FOUND" if self.trojan_found else
+                "no data-corruption Trojan found for {} clock cycles".format(
+                    self.trusted_for()
+                ),
+            )
+        ]
+        for register, finding in self.findings.items():
+            parts = []
+            if finding.pseudo_criticals:
+                parts.append(
+                    "pseudo-critical: {}".format(
+                        ", ".join(
+                            "{} ({})".format(n, d)
+                            for n, d in finding.pseudo_criticals
+                        )
+                    )
+                )
+            if finding.corrupted:
+                parts.append(
+                    "CORRUPTED at cycle {} (witness {}confirmed)".format(
+                        finding.corruption.bound,
+                        "" if finding.witness_confirmed else "NOT ",
+                    )
+                )
+            for name, result in finding.pseudo_corruptions.items():
+                if result.detected:
+                    parts.append(
+                        "pseudo-critical {} CORRUPTED at cycle {}".format(
+                            name, result.bound
+                        )
+                    )
+            if finding.bypassed:
+                parts.append(
+                    "BYPASSED (p={:#x}, q={:#x}) after prefix of {} "
+                    "cycles".format(
+                        finding.bypass.p_value,
+                        finding.bypass.q_value,
+                        finding.bypass.bound,
+                    )
+                )
+            if not parts:
+                parts.append("clean within bound")
+            lines.append("  {}: {}".format(register, "; ".join(parts)))
+        if self.trojan_info is not None:
+            lines.append(
+                "  [ground truth: {} — {}]".format(
+                    self.trojan_info.name, self.trojan_info.payload
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Benchmark designs: RISC (PIC16F84A-style), MC8051-style, AES-128, and a
+4-port packet router."""
+
+from repro.designs.aes import build_aes
+from repro.designs.mc8051 import build_mc8051
+from repro.designs.risc import build_risc
+from repro.designs.router import build_router, router_redirect_trojan
+
+__all__ = [
+    "build_aes",
+    "build_mc8051",
+    "build_risc",
+    "build_router",
+    "router_redirect_trojan",
+]

@@ -1,0 +1,245 @@
+"""Gate-level iterative AES-128 encryption core (the Trust-Hub AES stand-in).
+
+One round per clock cycle with an on-the-fly key schedule: 16 S-boxes in
+the datapath plus 4 in the key expansion, each synthesized from the FIPS
+truth table by the builder's memoized-Shannon LUT synthesizer. Verified
+bit-exact against :mod:`repro.designs.aes_ref` (FIPS-197 Appendix B).
+
+Protocol::
+
+    load_key = 1            key_register <- key_in           (one cycle)
+    start = 1               state <- pt_in ^ key, round <- 1, busy
+    10 busy cycles          one AES round each cycle
+    done = 1                ct_out holds the ciphertext
+
+The **critical register** is ``key_register`` (valid ways: reset, load) —
+the register every AES Trojan in Table 1 corrupts. Its cone of influence
+excludes the round datapath entirely, which is why the paper's key checks
+stay cheap on a 10k+-gate core (and why ours do: the engines unroll only
+the load mux plus whatever trigger logic a Trojan grafts on).
+
+Bit convention: 128-bit words are big-endian as written in hex — byte 0
+(the first byte of the FIPS block) occupies bits [120:128] of the port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.designs.aes_ref import RCON, SBOX
+from repro.netlist.builder import Circuit
+from repro.properties.valid_ways import DesignSpec, RegisterSpec, ValidWay
+
+
+def block_byte(word, index):
+    """Byte ``index`` (0 = first/most-significant) of a 128-bit BitVec."""
+    hi = 128 - 8 * index
+    return word[hi - 8 : hi]
+
+
+def bytes_to_word(circuit, bytes_):
+    """16 byte BitVecs (b0 first) -> one 128-bit BitVec."""
+    word = bytes_[15]
+    for b in reversed(bytes_[:15]):
+        word = word.cat(b)
+    return word
+
+
+def sbox_byte(circuit, byte):
+    """S-box lookup as synthesized logic (memoized Shannon cofactoring)."""
+    return circuit.lut_word(byte, SBOX, 8)
+
+
+def xtime_byte(circuit, byte):
+    """GF(2^8) multiply-by-x: shift left, conditionally xor 0x1B."""
+    shifted = byte.shl_const(1)
+    reduce_mask = byte[7].repeat(8) & circuit.const(0x1B, 8)
+    return shifted ^ reduce_mask
+
+
+def aes_round_bytes(circuit, state_bytes, is_last):
+    """SubBytes + ShiftRows + (MixColumns unless last), byte-list form."""
+    sub = [sbox_byte(circuit, b) for b in state_bytes]
+    shifted = [sub[4 * (((i // 4) + (i % 4)) % 4) + (i % 4)] for i in range(16)]
+    mixed = []
+    for col in range(4):
+        a = shifted[4 * col : 4 * col + 4]
+        xt = [xtime_byte(circuit, b) for b in a]
+        mixed.append(xt[0] ^ (xt[1] ^ a[1]) ^ a[2] ^ a[3])
+        mixed.append(a[0] ^ xt[1] ^ (xt[2] ^ a[2]) ^ a[3])
+        mixed.append(a[0] ^ a[1] ^ xt[2] ^ (xt[3] ^ a[3]))
+        mixed.append((xt[0] ^ a[0]) ^ a[1] ^ a[2] ^ xt[3])
+    out = [circuit.mux(is_last, m, s) for m, s in zip(mixed, shifted)]
+    return out
+
+
+def key_expand_bytes(circuit, rk_bytes, rcon_byte):
+    """One AES-128 key-schedule step in byte-list form."""
+    w3 = rk_bytes[12:16]
+    temp = [sbox_byte(circuit, w3[(i + 1) % 4]) for i in range(4)]
+    temp[0] = temp[0] ^ rcon_byte
+    out = [None] * 16
+    for i in range(4):
+        out[i] = rk_bytes[i] ^ temp[i]
+    for w in range(1, 4):
+        for i in range(4):
+            out[4 * w + i] = rk_bytes[4 * w + i] ^ out[4 * (w - 1) + i]
+    return out
+
+
+@dataclass
+class AesSignals:
+    """Internal signals handed to Trojan constructors."""
+
+    circuit: object
+    reset: object
+    load_key: object
+    start: object
+    pt_in: object
+    key_in: object
+    busy: object
+    round_counter: object
+    regs: dict = field(default_factory=dict)
+
+
+def build_aes(trojan=None, rounds=10, name="aes"):
+    """Construct the AES core; returns ``(netlist, DesignSpec)``."""
+    c = Circuit(name)
+    reset = c.input("reset", 1)
+    load_key = c.input("load_key", 1)
+    start = c.input("start", 1)
+    key_in = c.input("key_in", 128)
+    pt_in = c.input("pt_in", 128)
+
+    key_reg = c.reg("key_register", 128)
+    state = c.reg("state", 128)
+    round_key = c.reg("round_key", 128)
+    round_counter = c.reg("round_counter", 4)
+    busy = c.reg("busy", 1)
+    done = c.reg("done", 1)
+
+    key_bytes = [block_byte(key_reg.q, i) for i in range(16)]
+    state_bytes = [block_byte(state.q, i) for i in range(16)]
+    rk_bytes = [block_byte(round_key.q, i) for i in range(16)]
+
+    is_last = round_counter.q.eq_const(rounds)
+    # rcon for the *next* round key: indexed by the current round counter.
+    rcon_table = [0] * 16
+    for i, value in enumerate(RCON):
+        rcon_table[i] = value
+    rcon_now = c.lut_word(round_counter.q, rcon_table, 8)
+    rcon_first = c.const(RCON[0], 8)
+
+    # First round key (computed from the key register when start fires).
+    first_rk = key_expand_bytes(c, key_bytes, rcon_first)
+    next_rk = key_expand_bytes(c, rk_bytes, rcon_now)
+
+    round_out = aes_round_bytes(c, state_bytes, is_last)
+    round_result = bytes_to_word(c, round_out) ^ round_key.q
+
+    stepping = busy.q & ~start
+
+    nexts = {}
+    nexts["key_register"] = c.select(
+        key_reg.q,
+        (reset, c.const(0, 128)),
+        (load_key, key_in),
+    )
+    nexts["state"] = c.select(
+        state.q,
+        (reset, c.const(0, 128)),
+        (start, pt_in ^ key_reg.q),
+        (stepping, round_result),
+    )
+    nexts["round_key"] = c.select(
+        round_key.q,
+        (reset, c.const(0, 128)),
+        (start, bytes_to_word(c, first_rk)),
+        (stepping, bytes_to_word(c, next_rk)),
+    )
+    nexts["round_counter"] = c.select(
+        round_counter.q,
+        (reset, c.const(0, 4)),
+        (start, c.const(1, 4)),
+        (stepping & ~is_last, round_counter.q + 1),
+    )
+    nexts["busy"] = c.select(
+        busy.q,
+        (reset, c.false()),
+        (start, c.true()),
+        (stepping & is_last, c.false()),
+    )
+    nexts["done"] = c.select(
+        done.q,
+        (reset | start, c.false()),
+        (stepping & is_last, c.true()),
+    )
+
+    trojan_info = None
+    if trojan is not None:
+        signals = AesSignals(
+            circuit=c,
+            reset=reset,
+            load_key=load_key,
+            start=start,
+            pt_in=pt_in,
+            key_in=key_in,
+            busy=busy,
+            round_counter=round_counter,
+            regs={
+                "key_register": key_reg,
+                "state": state,
+                "round_key": round_key,
+            },
+        )
+        nets_before = c.netlist.num_nets
+        trojan_info = trojan(signals, nexts)
+        trojan_info.trojan_nets = frozenset(
+            range(nets_before, c.netlist.num_nets)
+        )
+
+    key_reg.drive(nexts["key_register"])
+    state.drive(nexts["state"])
+    round_key.drive(nexts["round_key"])
+    round_counter.drive(nexts["round_counter"])
+    busy.drive(nexts["busy"])
+    done.drive(nexts["done"])
+
+    c.output("ct_out", state.q)
+    c.output("done_out", done.q)
+    c.output("busy_out", busy.q)
+
+    netlist = c.finalize()
+    return netlist, aes_design_spec(trojan_info)
+
+
+def aes_register_specs():
+    key_ways = [
+        ValidWay("reset", lambda m: m.input("reset"),
+                 value=lambda m: m.const(0, 128), expression="reset"),
+        ValidWay("load", lambda m: m.input("load_key"),
+                 value=lambda m: m.input("key_in"), expression="load_key"),
+    ]
+    return {
+        "key_register": RegisterSpec(
+            "key_register",
+            key_ways,
+            description="the AES secret-key register",
+            # key -> round_key -> state -> ct_out: an encryption must run
+            # for a key change to reach an output.
+            observe_latency=12,
+        ),
+    }
+
+
+def aes_design_spec(trojan_info=None):
+    return DesignSpec(
+        name="aes",
+        critical=aes_register_specs(),
+        trojan=trojan_info,
+        notes=(
+            "Iterative AES-128, one round per cycle, on-the-fly key "
+            "schedule. Critical register: key_register."
+        ),
+        pinned_inputs={"reset": 0},
+    )

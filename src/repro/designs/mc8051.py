@@ -1,0 +1,336 @@
+"""An 8051-style microcontroller core (the Trust-Hub MC8051 stand-in).
+
+A single-cycle accumulator machine with the 8051's architectural registers
+that the MC8051 Trojans target: the accumulator (ACC), the stack pointer
+(SP, reset value 0x07 as on a real 8051), the interrupt-enable register
+(IE) and a UART receive register. Instructions are 16 bits — an 8051
+opcode byte in [15:8] (real 8051 encodings where one exists) and an
+immediate operand byte in [7:0] — supplied on the ``instr`` port, which
+models the code-memory fetch interface.
+
+Supported instructions::
+
+    0x00 NOP               0x74 MOV  A,#data      0xE3 MOVX A,@R1
+    0xE0 MOVX A,@DPTR      0xF3 MOVX @R1,A        0x24 ADD  A,#data
+    0xC0 PUSH              0xD0 POP               0x12 LCALL addr
+    0x22 RET               0x80 SJMP addr         0xA8 MOV  IE,#data
+    0xF5 MOV  B,#data      0x32 RETI
+
+Interrupts: when IE.EA (bit 7) and IE.EX0 (bit 0) are set and
+``ext_interrupt`` is high, the core vectors to 0x03 and pushes two stack
+bytes (SP += 2), mirroring the 8051's LCALL-like interrupt entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.builder import Circuit
+from repro.properties.valid_ways import DesignSpec, RegisterSpec, ValidWay
+
+NOP = 0x00
+MOV_A_DATA = 0x74
+MOVX_A_R1 = 0xE3
+MOVX_A_DPTR = 0xE0
+MOVX_R1_A = 0xF3
+ADD_A_DATA = 0x24
+PUSH = 0xC0
+POP = 0xD0
+LCALL = 0x12
+RET = 0x22
+SJMP = 0x80
+MOV_IE_DATA = 0xA8
+MOV_B_DATA = 0xF5
+RETI = 0x32
+
+OPCODE_NAMES = {
+    NOP: "NOP", MOV_A_DATA: "MOV A,#data", MOVX_A_R1: "MOVX A,@R1",
+    MOVX_A_DPTR: "MOVX A,@DPTR", MOVX_R1_A: "MOVX @R1,A",
+    ADD_A_DATA: "ADD A,#data", PUSH: "PUSH", POP: "POP", LCALL: "LCALL",
+    RET: "RET", SJMP: "SJMP", MOV_IE_DATA: "MOV IE,#data",
+    MOV_B_DATA: "MOV B,#data", RETI: "RETI",
+}
+
+SP_RESET = 0x07  # 8051 stack pointer reset value
+INT_VECTOR = 0x03  # external interrupt 0 vector
+
+
+def instruction(opcode, operand=0):
+    """Assemble a 16-bit instruction word (opcode byte + operand byte)."""
+    return ((opcode & 0xFF) << 8) | (operand & 0xFF)
+
+
+@dataclass
+class Mc8051Signals:
+    """Internal signals handed to Trojan constructors."""
+
+    circuit: object
+    reset: object
+    opcode: object
+    operand: object
+    uart_rx: object
+    uart_valid: object
+    xdata_in: object
+    interrupt_taken: object
+    is_mov_a: object
+    is_movx_a_r1: object
+    is_movx_a_dptr: object
+    is_movx_r1_a: object
+    regs: dict = field(default_factory=dict)
+
+
+def build_mc8051(trojan=None, name="mc8051"):
+    """Construct the MC8051 core; returns ``(netlist, DesignSpec)``."""
+    c = Circuit(name)
+    reset = c.input("reset", 1)
+    instr = c.input("instr", 16)
+    ext_int = c.input("ext_interrupt", 1)
+    xdata_in = c.input("xdata_in", 8)
+    uart_rx = c.input("uart_rx", 8)
+    uart_valid = c.input("uart_valid", 1)
+
+    acc = c.reg("acc", 8)
+    b_reg = c.reg("b_reg", 8)
+    sp = c.reg("stack_pointer", 8, init=SP_RESET)
+    ie = c.reg("interrupt_enable", 8)
+    pc = c.reg("program_counter", 8)
+    uart_data = c.reg("uart_data", 8)
+    carry = c.reg("carry", 1)
+
+    opcode = instr[8:16]
+    operand = instr[0:8]
+
+    is_mov_a = opcode.eq_const(MOV_A_DATA)
+    is_movx_a_r1 = opcode.eq_const(MOVX_A_R1)
+    is_movx_a_dptr = opcode.eq_const(MOVX_A_DPTR)
+    is_movx_r1_a = opcode.eq_const(MOVX_R1_A)
+    is_add = opcode.eq_const(ADD_A_DATA)
+    is_push = opcode.eq_const(PUSH)
+    is_pop = opcode.eq_const(POP)
+    is_lcall = opcode.eq_const(LCALL)
+    is_ret = opcode.eq_const(RET)
+    is_sjmp = opcode.eq_const(SJMP)
+    is_mov_ie = opcode.eq_const(MOV_IE_DATA)
+    is_mov_b = opcode.eq_const(MOV_B_DATA)
+    is_reti = opcode.eq_const(RETI)
+
+    int_enabled = ie.q[7] & ie.q[0]
+    interrupt_taken = int_enabled & ext_int
+
+    add_sum, add_carry = c._ripple_add(acc.q, operand, 0)
+
+    # --- probes -----------------------------------------------------------
+    c.probe("is_mov_a", is_mov_a)
+    c.probe("is_movx_read", is_movx_a_r1 | is_movx_a_dptr)
+    c.probe("is_add", is_add)
+    c.probe("is_push", is_push)
+    c.probe("is_pop", is_pop)
+    c.probe("is_lcall", is_lcall)
+    c.probe("is_ret", is_ret)
+    c.probe("is_sjmp", is_sjmp)
+    c.probe("is_mov_ie", is_mov_ie)
+    c.probe("is_mov_b", is_mov_b)
+    c.probe("is_reti", is_reti)
+    c.probe("interrupt_taken", interrupt_taken)
+    c.probe("operand", operand)
+    c.probe("add_sum", add_sum)
+
+    # --- next-state logic ---------------------------------------------------
+    nexts = {}
+    nexts["acc"] = c.select(
+        acc.q,
+        (reset, c.const(0, 8)),
+        (interrupt_taken, acc.q),
+        (is_mov_a, operand),
+        (is_movx_a_r1 | is_movx_a_dptr, xdata_in),
+        (is_add, add_sum),
+    )
+    nexts["b_reg"] = c.select(
+        b_reg.q,
+        (reset, c.const(0, 8)),
+        (interrupt_taken, b_reg.q),
+        (is_mov_b, operand),
+    )
+    nexts["stack_pointer"] = c.select(
+        sp.q,
+        (reset, c.const(SP_RESET, 8)),
+        (interrupt_taken, sp.q + 2),
+        (is_push, sp.q + 1),
+        (is_pop, sp.q - 1),
+        (is_lcall, sp.q + 2),
+        (is_ret | is_reti, sp.q - 2),
+    )
+    nexts["interrupt_enable"] = c.select(
+        ie.q,
+        (reset, c.const(0, 8)),
+        (interrupt_taken, ie.q),
+        (is_mov_ie, operand),
+    )
+    nexts["program_counter"] = c.select(
+        pc.q + 1,
+        (reset, c.const(0, 8)),
+        (interrupt_taken, c.const(INT_VECTOR, 8)),
+        (is_lcall | is_sjmp, operand),
+    )
+    nexts["uart_data"] = c.select(
+        uart_data.q,
+        (reset, c.const(0, 8)),
+        (uart_valid, uart_rx),
+    )
+    nexts["carry"] = c.select(
+        carry.q,
+        (reset, c.false()),
+        (is_add & ~interrupt_taken, add_carry),
+    )
+
+    # --- Trojan splice ------------------------------------------------------
+    trojan_info = None
+    if trojan is not None:
+        signals = Mc8051Signals(
+            circuit=c,
+            reset=reset,
+            opcode=opcode,
+            operand=operand,
+            uart_rx=uart_rx,
+            uart_valid=uart_valid,
+            xdata_in=xdata_in,
+            interrupt_taken=interrupt_taken,
+            is_mov_a=is_mov_a,
+            is_movx_a_r1=is_movx_a_r1,
+            is_movx_a_dptr=is_movx_a_dptr,
+            is_movx_r1_a=is_movx_r1_a,
+            regs={
+                "acc": acc,
+                "b_reg": b_reg,
+                "stack_pointer": sp,
+                "interrupt_enable": ie,
+                "program_counter": pc,
+                "uart_data": uart_data,
+            },
+        )
+        nets_before = c.netlist.num_nets
+        trojan_info = trojan(signals, nexts)
+        trojan_info.trojan_nets = frozenset(
+            range(nets_before, c.netlist.num_nets)
+        )
+
+    acc.drive(nexts["acc"])
+    b_reg.drive(nexts["b_reg"])
+    sp.drive(nexts["stack_pointer"])
+    ie.drive(nexts["interrupt_enable"])
+    pc.drive(nexts["program_counter"])
+    uart_data.drive(nexts["uart_data"])
+    carry.drive(nexts["carry"])
+
+    c.output("acc_out", acc.q)
+    c.output("pc_out", pc.q)
+    c.output("sp_out", sp.q)
+    c.output("ie_out", ie.q)
+    c.output("xdata_out", acc.q)  # MOVX @R1,A drives ACC onto the bus
+    c.output("xdata_write", is_movx_r1_a & ~interrupt_taken)
+
+    netlist = c.finalize()
+    return netlist, mc8051_design_spec(trojan_info)
+
+
+# --------------------------------------------------------------------------
+# Valid-way specification
+# --------------------------------------------------------------------------
+
+
+def mc8051_register_specs():
+    """Valid ways for the MC8051 critical registers (datasheet semantics)."""
+
+    def not_int(cond_builder):
+        return lambda m: cond_builder(m) & ~m.probe("interrupt_taken")
+
+    acc_ways = [
+        ValidWay("reset", lambda m: m.input("reset"),
+                 value=lambda m: m.const(0, 8), expression="reset"),
+        ValidWay("mov_a_data", not_int(lambda m: m.probe("is_mov_a")),
+                 value=lambda m: m.probe("operand"),
+                 expression="opcode == MOV_A_DATA"),
+        ValidWay("movx_read", not_int(lambda m: m.probe("is_movx_read")),
+                 value=lambda m: m.input("xdata_in"),
+                 expression="opcode in {MOVX A,@R1 / MOVX A,@DPTR}"),
+        ValidWay("add", not_int(lambda m: m.probe("is_add")),
+                 value=lambda m: m.probe("add_sum"),
+                 expression="opcode == ADD_A_DATA"),
+    ]
+    sp_ways = [
+        ValidWay("reset", lambda m: m.input("reset"),
+                 value=lambda m: m.const(SP_RESET, 8), expression="reset"),
+        ValidWay("interrupt", lambda m: m.probe("interrupt_taken"),
+                 value=lambda m: m.reg("stack_pointer") + 2,
+                 expression="interrupt_taken"),
+        ValidWay("push", not_int(lambda m: m.probe("is_push")),
+                 value=lambda m: m.reg("stack_pointer") + 1,
+                 expression="opcode == PUSH"),
+        ValidWay("pop", not_int(lambda m: m.probe("is_pop")),
+                 value=lambda m: m.reg("stack_pointer") - 1,
+                 expression="opcode == POP"),
+        ValidWay("lcall", not_int(lambda m: m.probe("is_lcall")),
+                 value=lambda m: m.reg("stack_pointer") + 2,
+                 expression="opcode == LCALL"),
+        ValidWay("ret", not_int(lambda m: m.probe("is_ret") | m.probe("is_reti")),
+                 value=lambda m: m.reg("stack_pointer") - 2,
+                 expression="opcode in {RET, RETI}"),
+    ]
+    ie_ways = [
+        ValidWay("reset", lambda m: m.input("reset"),
+                 value=lambda m: m.const(0, 8), expression="reset"),
+        ValidWay("mov_ie", not_int(lambda m: m.probe("is_mov_ie")),
+                 value=lambda m: m.probe("operand"),
+                 expression="opcode == MOV_IE_DATA"),
+    ]
+    uart_ways = [
+        ValidWay("reset", lambda m: m.input("reset"),
+                 value=lambda m: m.const(0, 8), expression="reset"),
+        ValidWay("rx", lambda m: m.input("uart_valid"),
+                 value=lambda m: m.input("uart_rx"),
+                 expression="uart_valid"),
+    ]
+    pc_ways = [
+        ValidWay("reset", lambda m: m.input("reset"),
+                 value=lambda m: m.const(0, 8), expression="reset"),
+        ValidWay("interrupt", lambda m: m.probe("interrupt_taken"),
+                 value=lambda m: m.const(INT_VECTOR, 8),
+                 expression="interrupt_taken"),
+        ValidWay("jump", not_int(
+            lambda m: m.probe("is_lcall") | m.probe("is_sjmp")),
+            value=lambda m: m.probe("operand"),
+            expression="opcode in {LCALL, SJMP}"),
+        ValidWay("increment", not_int(
+            lambda m: ~(m.probe("is_lcall") | m.probe("is_sjmp"))),
+            value=lambda m: m.reg("program_counter") + 1,
+            expression="default fetch"),
+    ]
+    return {
+        "acc": RegisterSpec("acc", acc_ways,
+                            description="accumulator", observe_latency=1),
+        "stack_pointer": RegisterSpec(
+            "stack_pointer", sp_ways,
+            description="stack pointer (reset 0x07)", observe_latency=1),
+        "interrupt_enable": RegisterSpec(
+            "interrupt_enable", ie_ways,
+            description="interrupt enable register", observe_latency=2),
+        "uart_data": RegisterSpec(
+            "uart_data", uart_ways,
+            description="UART receive register", observe_latency=2),
+        "program_counter": RegisterSpec(
+            "program_counter", pc_ways,
+            description="program counter", observe_latency=1),
+    }
+
+
+def mc8051_design_spec(trojan_info=None):
+    return DesignSpec(
+        name="mc8051",
+        critical=mc8051_register_specs(),
+        trojan=trojan_info,
+        pinned_inputs={"reset": 0},
+        notes=(
+            "8051-style single-cycle core. The reset values (SP = 0x07) and "
+            "the LCALL/RET +-2 stack discipline follow the 8051 datasheet."
+        ),
+    )

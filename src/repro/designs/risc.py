@@ -1,0 +1,592 @@
+"""A 4-cycle non-pipelined RISC processor (PIC16F84A-flavoured).
+
+This is the reproduction of the Trust-Hub "RISC" benchmark the paper's case
+study dissects (Section 3.4 / Table 2): a 4-clock-per-instruction
+accumulator machine with a hardware stack, data RAM, EEPROM interface,
+sleep mode and a single interrupt. Every register row of Table 2 exists
+here with the documented update semantics:
+
+==================== =====================================================
+Register             Valid ways (cycle = phase within the instruction)
+==================== =====================================================
+program_counter      reset -> 0; Q4 & !stall -> +1; Q4 interrupt -> 0x04;
+                     Q4 RETURN -> stack[SP]; Q4 GOTO/CALL -> literal;
+                     Q4 MOVWF PCL -> W
+stack_pointer        reset -> 0; Q2 RETURN -> -1; Q4 CALL -> +1
+interrupt_enable     ext. interrupt / ALU overflow / EEPROM write complete
+                     -> 1; reset / RETFIE / interrupt taken -> 0
+eeprom_data          Q4 & !stall & EEREAD -> eeprom_in
+eeprom_address       Q4 & !stall & !sleep -> RAM[0x09]
+instruction_register Q4 -> instr_in (the RAM[PC] fetch interface)
+sleep_flag           reset -> 0; Q4 SLEEP -> 1; wake on ext. interrupt
+==================== =====================================================
+
+Instruction format: 14 bits, opcode in bits [13:10] (so the DeTrust
+trigger "4 MSBs of the instruction in 0x4-0xB" reads ``instr[13:10]``),
+literal/address operand in bits [7:0], file address in bits [3:0].
+
+The program memory is modelled as the ``instr_in`` input port — the fetch
+interface. BMC/ATPG counterexamples are therefore *instruction sequences*,
+exactly the form the paper reports ("a counterexample, which has 100 ADD
+instructions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.builder import Circuit
+from repro.properties.valid_ways import (
+    DesignSpec,
+    RegisterSpec,
+    ValidWay,
+)
+
+NOP = 0x0
+GOTO = 0x1
+CALL = 0x2
+RETURN = 0x3
+MOVLW = 0x4
+ADDLW = 0x5
+MOVWF = 0x6
+MOVF = 0x7
+EEREAD = 0x8
+EEWRITE = 0x9
+SLEEP = 0xA
+ANDLW = 0xB
+IORLW = 0xC
+XORLW = 0xD
+SUBLW = 0xE
+RETFIE = 0xF
+
+OPCODE_NAMES = {
+    NOP: "NOP", GOTO: "GOTO", CALL: "CALL", RETURN: "RETURN",
+    MOVLW: "MOVLW", ADDLW: "ADDLW", MOVWF: "MOVWF", MOVF: "MOVF",
+    EEREAD: "EEREAD", EEWRITE: "EEWRITE", SLEEP: "SLEEP", ANDLW: "ANDLW",
+    IORLW: "IORLW", XORLW: "XORLW", SUBLW: "SUBLW", RETFIE: "RETFIE",
+}
+
+# The DeTrust trigger window: opcodes 0x4..0xB (Figure 1 / Section 3.4).
+TRIGGER_RANGE = (MOVLW, ANDLW)
+
+PCL_FILE_ADDRESS = 0x02  # MOVWF to file 0x02 writes the program counter
+EEPROM_ADDR_FILE = 0x09  # RAM[0x09] feeds the EEPROM address register
+
+
+def instruction(opcode, operand=0):
+    """Assemble a 14-bit instruction word."""
+    return ((opcode & 0xF) << 10) | (operand & 0xFF)
+
+
+@dataclass
+class RiscSignals:
+    """Internal signals handed to Trojan constructors.
+
+    Everything a DeTrust-style Trojan needs: the builder, decoded
+    instruction signals, phase strobes and the architectural registers.
+    """
+
+    circuit: object
+    reset: object
+    p1: object
+    p2: object
+    p3: object
+    p4: object
+    stall: object
+    sleep: object
+    opcode: object  # effective opcode (NOP when stalled/sleeping)
+    raw_opcode: object  # opcode bits straight from the instruction register
+    operand: object
+    eeprom_in: object
+    is_eeread: object
+    interrupt_taken: object
+    regs: dict = field(default_factory=dict)  # name -> Reg
+
+
+def build_risc(trojan=None, name="risc"):
+    """Construct the RISC core; returns ``(netlist, DesignSpec)``.
+
+    ``trojan`` is an optional callable ``trojan(signals, nexts) ->
+    TrojanInfo`` that may rewrite entries of ``nexts`` (register name ->
+    next-value BitVec) and add its own trigger state; this is how the
+    Trust-Hub/DeTrust Trojans are spliced in without touching the clean
+    core below.
+    """
+    c = Circuit(name)
+    reset = c.input("reset", 1)
+    instr_in = c.input("instr_in", 14)
+    ext_int = c.input("ext_interrupt", 1)
+    eeprom_in = c.input("eeprom_in", 8)
+
+    phase = c.reg("phase", 2)
+    ir = c.reg("instruction_register", 14)
+    pc = c.reg("program_counter", 8)
+    sp = c.reg("stack_pointer", 3)
+    stack = [c.reg("stack_{}".format(i), 8) for i in range(8)]
+    w = c.reg("w_register", 8)
+    ram = [c.reg("ram_{:02x}".format(i), 8) for i in range(16)]
+    ee_data = c.reg("eeprom_data", 8)
+    ee_addr = c.reg("eeprom_address", 8)
+    sleepf = c.reg("sleep_flag", 1)
+    ie = c.reg("interrupt_enable", 1)
+    stall = c.reg("stall", 1)
+
+    p1 = phase.q.eq_const(0)
+    p2 = phase.q.eq_const(1)
+    p3 = phase.q.eq_const(2)
+    p4 = phase.q.eq_const(3)
+
+    # Effective instruction: branches flush the next fetch (stall) and
+    # sleep freezes execution — both read as NOP.
+    suppress = stall.q | sleepf.q
+    eff_ir = c.mux(suppress, ir.q, c.const(instruction(NOP), 14))
+    opcode = eff_ir[10:14]
+    raw_opcode = c.bv(ir.q.nets[10:14])
+    operand = eff_ir[0:8]
+    f_addr = eff_ir[0:4]
+
+    is_goto = opcode.eq_const(GOTO)
+    is_call = opcode.eq_const(CALL)
+    is_return = opcode.eq_const(RETURN)
+    is_movlw = opcode.eq_const(MOVLW)
+    is_addlw = opcode.eq_const(ADDLW)
+    is_movwf = opcode.eq_const(MOVWF)
+    is_movf = opcode.eq_const(MOVF)
+    is_eeread = opcode.eq_const(EEREAD)
+    is_eewrite = opcode.eq_const(EEWRITE)
+    is_sleep = opcode.eq_const(SLEEP)
+    is_andlw = opcode.eq_const(ANDLW)
+    is_iorlw = opcode.eq_const(IORLW)
+    is_xorlw = opcode.eq_const(XORLW)
+    is_sublw = opcode.eq_const(SUBLW)
+    is_retfie = opcode.eq_const(RETFIE)
+    is_movwf_pcl = is_movwf & f_addr.eq_const(PCL_FILE_ADDRESS)
+
+    interrupt_taken = ie.q & p4 & ~stall.q & ~sleepf.q
+
+    # --- datapath pieces -------------------------------------------------
+    ram_read = c.word_select(f_addr, [r.q for r in ram])
+    stack_top = c.word_select(sp.q, [s.q for s in stack])
+    add_sum, add_carry = c._ripple_add(w.q, operand, 0)
+    overflow_event = is_addlw & p4 & add_carry
+    write_complete_event = is_eewrite & p4
+    ram9 = ram[EEPROM_ADDR_FILE].q
+
+    # --- probes for the valid-way spec -----------------------------------
+    c.probe("p1", p1)
+    c.probe("p2", p2)
+    c.probe("p4", p4)
+    c.probe("is_goto", is_goto)
+    c.probe("is_call", is_call)
+    c.probe("is_return", is_return)
+    c.probe("is_movwf_pcl", is_movwf_pcl)
+    c.probe("is_eeread", is_eeread)
+    c.probe("is_sleep", is_sleep)
+    c.probe("is_retfie", is_retfie)
+    c.probe("interrupt_taken", interrupt_taken)
+    c.probe("overflow_event", overflow_event)
+    c.probe("write_complete_event", write_complete_event)
+    c.probe("stack_top", stack_top)
+    c.probe("branch_target", operand)
+    c.probe("ram9", ram9)
+    c.probe("not_stall", ~stall.q)
+    c.probe("not_sleep", ~sleepf.q)
+    c.probe("opcode", opcode)
+
+    # --- next-state logic -------------------------------------------------
+    nexts = {}
+    nexts["phase"] = c.select(phase.q + 1, (reset, c.const(0, 2)))
+    nexts["instruction_register"] = c.select(
+        ir.q,
+        (reset, c.const(instruction(NOP), 14)),
+        (p4, instr_in),
+    )
+    branch_taken = c.any_of(
+        is_goto & p4,
+        is_call & p4,
+        is_return & p4,
+        interrupt_taken,
+        is_movwf_pcl & p4,
+    )
+    nexts["stall"] = c.select(
+        stall.q,
+        (reset, c.false()),
+        (p4, branch_taken),
+    )
+    nexts["program_counter"] = c.select(
+        pc.q,
+        (reset, c.const(0, 8)),
+        (interrupt_taken, c.const(0x04, 8)),
+        (is_return & p4, stack_top),
+        (is_goto & p4, operand),
+        (is_call & p4, operand),
+        (is_movwf_pcl & p4, w.q),
+        (p4 & ~stall.q & ~sleepf.q, pc.q + 1),
+    )
+    nexts["stack_pointer"] = c.select(
+        sp.q,
+        (reset, c.const(0, 3)),
+        (is_return & p2, sp.q - 1),
+        (is_call & p4, sp.q + 1),
+    )
+    return_address = pc.q + 1
+    for i, entry in enumerate(stack):
+        nexts[entry.name] = c.select(
+            entry.q,
+            (is_call & p3 & sp.q.eq_const(i), return_address),
+        )
+    nexts["w_register"] = c.select(
+        w.q,
+        (is_movlw & p4, operand),
+        (is_addlw & p4, add_sum),
+        (is_andlw & p4, w.q & operand),
+        (is_iorlw & p4, w.q | operand),
+        (is_xorlw & p4, w.q ^ operand),
+        (is_sublw & p4, operand - w.q),
+        (is_movf & p4, ram_read),
+    )
+    for i, entry in enumerate(ram):
+        if i == PCL_FILE_ADDRESS:
+            nexts[entry.name] = entry.q  # file 0x02 is the PC, not RAM
+            continue
+        nexts[entry.name] = c.select(
+            entry.q,
+            (is_movwf & p4 & f_addr.eq_const(i), w.q),
+        )
+    nexts["eeprom_data"] = c.select(
+        ee_data.q,
+        (p4 & ~stall.q & is_eeread, eeprom_in),
+    )
+    nexts["eeprom_address"] = c.select(
+        ee_addr.q,
+        (p4 & ~stall.q & ~sleepf.q, ram9),
+    )
+    nexts["sleep_flag"] = c.select(
+        sleepf.q,
+        (reset, c.false()),
+        (ext_int & sleepf.q, c.false()),
+        (is_sleep & p4, c.true()),
+    )
+    nexts["interrupt_enable"] = c.select(
+        ie.q,
+        (reset, c.false()),
+        (ext_int, c.true()),
+        (overflow_event, c.true()),
+        (write_complete_event, c.true()),
+        (interrupt_taken, c.false()),
+        (is_retfie & p4, c.false()),
+    )
+
+    # --- Trojan splice -----------------------------------------------------
+    trojan_info = None
+    if trojan is not None:
+        signals = RiscSignals(
+            circuit=c,
+            reset=reset,
+            p1=p1,
+            p2=p2,
+            p3=p3,
+            p4=p4,
+            stall=stall.q,
+            sleep=sleepf.q,
+            opcode=opcode,
+            raw_opcode=raw_opcode,
+            operand=operand,
+            eeprom_in=eeprom_in,
+            is_eeread=is_eeread,
+            interrupt_taken=interrupt_taken,
+            regs={
+                "program_counter": pc,
+                "stack_pointer": sp,
+                "eeprom_data": ee_data,
+                "eeprom_address": ee_addr,
+                "interrupt_enable": ie,
+                "w_register": w,
+            },
+        )
+        nets_before = c.netlist.num_nets
+        trojan_info = trojan(signals, nexts)
+        trojan_info.trojan_nets = frozenset(
+            range(nets_before, c.netlist.num_nets)
+        )
+
+    # --- drive registers ---------------------------------------------------
+    phase.drive(nexts["phase"])
+    ir.drive(nexts["instruction_register"])
+    stall.drive(nexts["stall"])
+    pc.drive(nexts["program_counter"])
+    sp.drive(nexts["stack_pointer"])
+    for entry in stack:
+        entry.drive(nexts[entry.name])
+    w.drive(nexts["w_register"])
+    for entry in ram:
+        entry.drive(nexts[entry.name])
+    ee_data.drive(nexts["eeprom_data"])
+    ee_addr.drive(nexts["eeprom_address"])
+    sleepf.drive(nexts["sleep_flag"])
+    ie.drive(nexts["interrupt_enable"])
+
+    # --- outputs ------------------------------------------------------------
+    c.output("pc_out", pc.q)
+    c.output("eeprom_address_out", ee_addr.q)
+    c.output("eeprom_data_out", ee_data.q)
+    c.output("w_out", w.q)
+    c.output("sleep_out", sleepf.q)
+    c.output("stack_pointer_out", sp.q)
+
+    netlist = c.finalize()
+    spec = risc_design_spec(trojan_info)
+    return netlist, spec
+
+
+# --------------------------------------------------------------------------
+# Valid-way specification (Table 2)
+# --------------------------------------------------------------------------
+
+
+def risc_register_specs():
+    """The Table 2 valid-way specs, keyed by register name."""
+
+    def pc_ways():
+        return [
+            ValidWay(
+                "reset",
+                lambda m: m.input("reset"),
+                value=lambda m: m.const(0, 8),
+                cycle="any",
+                expression="reset",
+            ),
+            ValidWay(
+                "interrupt",
+                lambda m: m.probe("interrupt_taken"),
+                value=lambda m: m.const(0x04, 8),
+                cycle="4",
+                expression="interrupt_taken",
+            ),
+            ValidWay(
+                "return",
+                lambda m: m.probe("is_return") & m.probe("p4"),
+                value=lambda m: m.probe("stack_top"),
+                cycle="4",
+                expression="is_return && q4",
+            ),
+            ValidWay(
+                "goto",
+                lambda m: m.probe("is_goto") & m.probe("p4"),
+                value=lambda m: m.probe("branch_target"),
+                cycle="4",
+                expression="is_goto && q4",
+            ),
+            ValidWay(
+                "call",
+                lambda m: m.probe("is_call") & m.probe("p4"),
+                value=lambda m: m.probe("branch_target"),
+                cycle="4",
+                expression="is_call && q4",
+            ),
+            ValidWay(
+                "dest_pcl",
+                lambda m: m.probe("is_movwf_pcl") & m.probe("p4"),
+                value=lambda m: m.reg("w_register"),
+                cycle="4",
+                expression="is_movwf_pcl && q4",
+            ),
+            ValidWay(
+                "increment",
+                lambda m: (
+                    m.probe("p4")
+                    & m.probe("not_stall")
+                    & m.probe("not_sleep")
+                ),
+                value=lambda m: m.reg("program_counter") + 1,
+                cycle="4",
+                expression="q4 && !stall && !sleep",
+            ),
+        ]
+
+    def sp_ways():
+        return [
+            ValidWay(
+                "reset",
+                lambda m: m.input("reset"),
+                value=lambda m: m.const(0, 3),
+                cycle="any",
+                expression="reset",
+            ),
+            ValidWay(
+                "return_pop",
+                lambda m: m.probe("is_return") & m.probe("p2"),
+                value=lambda m: m.reg("stack_pointer") - 1,
+                cycle="2",
+                expression="is_return && q2",
+            ),
+            ValidWay(
+                "call_push",
+                lambda m: m.probe("is_call") & m.probe("p4"),
+                value=lambda m: m.reg("stack_pointer") + 1,
+                cycle="4",
+                expression="is_call && q4",
+            ),
+        ]
+
+    def ie_ways():
+        return [
+            ValidWay(
+                "reset",
+                lambda m: m.input("reset"),
+                value=lambda m: m.const(0, 1),
+                cycle="any",
+                expression="reset",
+            ),
+            ValidWay(
+                "ext_interrupt",
+                lambda m: m.input("ext_interrupt"),
+                value=lambda m: m.const(1, 1),
+                cycle="any",
+                expression="ext_interrupt",
+            ),
+            ValidWay(
+                "overflow",
+                lambda m: m.probe("overflow_event"),
+                value=lambda m: m.const(1, 1),
+                cycle="any",
+                expression="alu_overflow",
+            ),
+            ValidWay(
+                "write_complete",
+                lambda m: m.probe("write_complete_event"),
+                value=lambda m: m.const(1, 1),
+                cycle="any",
+                expression="eeprom_write_complete",
+            ),
+            ValidWay(
+                "taken",
+                lambda m: m.probe("interrupt_taken"),
+                value=lambda m: m.const(0, 1),
+                cycle="4",
+                expression="interrupt_taken",
+            ),
+            ValidWay(
+                "retfie",
+                lambda m: m.probe("is_retfie") & m.probe("p4"),
+                value=lambda m: m.const(0, 1),
+                cycle="4",
+                expression="is_retfie && q4",
+            ),
+        ]
+
+    def ee_data_ways():
+        return [
+            ValidWay(
+                "eeprom_read",
+                lambda m: (
+                    m.probe("p4") & m.probe("not_stall") & m.probe("is_eeread")
+                ),
+                value=lambda m: m.input("eeprom_in"),
+                cycle="4",
+                expression="q4 && !stall && eeprom_read",
+            ),
+        ]
+
+    def ee_addr_ways():
+        return [
+            ValidWay(
+                "load_ram9",
+                lambda m: (
+                    m.probe("p4")
+                    & m.probe("not_stall")
+                    & m.probe("not_sleep")
+                ),
+                value=lambda m: m.probe("ram9"),
+                cycle="4",
+                expression="q4 && !stall && !sleep",
+            ),
+        ]
+
+    def ir_ways():
+        return [
+            ValidWay(
+                "reset",
+                lambda m: m.input("reset"),
+                value=lambda m: m.const(instruction(NOP), 14),
+                cycle="any",
+                expression="reset",
+            ),
+            ValidWay(
+                "fetch",
+                lambda m: m.probe("p4"),
+                value=lambda m: m.input("instr_in"),
+                cycle="4",
+                expression="q4",
+            ),
+        ]
+
+    def sleep_ways():
+        return [
+            ValidWay(
+                "reset",
+                lambda m: m.input("reset"),
+                value=lambda m: m.const(0, 1),
+                cycle="any",
+                expression="reset",
+            ),
+            ValidWay(
+                "wake",
+                lambda m: m.input("ext_interrupt") & m.reg("sleep_flag"),
+                value=lambda m: m.const(0, 1),
+                cycle="any",
+                expression="ext_interrupt && sleep_flag",
+            ),
+            ValidWay(
+                "sleep_inst",
+                lambda m: m.probe("is_sleep") & m.probe("p4"),
+                value=lambda m: m.const(1, 1),
+                cycle="4",
+                expression="is_sleep && q4",
+            ),
+        ]
+
+    return {
+        "program_counter": RegisterSpec(
+            "program_counter", pc_ways(),
+            description="Table 2: program counter", observe_latency=2,
+        ),
+        "stack_pointer": RegisterSpec(
+            "stack_pointer", sp_ways(),
+            description="Table 2: stack pointer", observe_latency=2,
+        ),
+        "interrupt_enable": RegisterSpec(
+            "interrupt_enable", ie_ways(),
+            description="Table 2: interrupt enable", observe_latency=2,
+        ),
+        "eeprom_data": RegisterSpec(
+            "eeprom_data", ee_data_ways(),
+            description="Table 2: EEPROM data", observe_latency=1,
+        ),
+        "eeprom_address": RegisterSpec(
+            "eeprom_address", ee_addr_ways(),
+            description="Table 2: EEPROM address", observe_latency=1,
+        ),
+        "instruction_register": RegisterSpec(
+            "instruction_register", ir_ways(),
+            description="Table 2: instruction register", observe_latency=4,
+        ),
+        "sleep_flag": RegisterSpec(
+            "sleep_flag", sleep_ways(),
+            description="Table 2: sleep flag", observe_latency=1,
+        ),
+    }
+
+
+def risc_design_spec(trojan_info=None):
+    return DesignSpec(
+        name="risc",
+        critical=risc_register_specs(),
+        trojan=trojan_info,
+        pinned_inputs={"reset": 0},
+        notes=(
+            "PIC16F84A-style 4-cycle core; valid ways follow Table 2 of the "
+            "paper (clears of the interrupt-enable flag and the sleep wake "
+            "path come from the datasheet semantics)."
+        ),
+    )

@@ -1,0 +1,207 @@
+"""A 4-port packet router — the paper's third motivating critical register.
+
+Section 1.3 lists "a destination address register of a router" alongside
+keys and stack pointers. This design is a wormhole-style router input
+stage: a header flit latches the destination port into ``dest_register``;
+following body flits stream to that output port until the tail flit.
+
+Flit format (16 bits)::
+
+    [15]    header flag
+    [14]    tail flag
+    [13:12] destination port (header flits only)
+    [11:0]  payload
+
+Critical register: ``dest_register`` — valid ways: reset, and a header
+flit arriving while idle. A Trojan that redirects it mid-packet steals
+traffic to an attacker-chosen port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.builder import Circuit
+from repro.properties.valid_ways import DesignSpec, RegisterSpec, ValidWay
+
+FLIT_HEADER = 1 << 15
+FLIT_TAIL = 1 << 14
+
+
+def header_flit(dest, payload=0):
+    return FLIT_HEADER | ((dest & 0x3) << 12) | (payload & 0xFFF)
+
+
+def body_flit(payload, tail=False):
+    word = payload & 0xFFF
+    if tail:
+        word |= FLIT_TAIL
+    return word
+
+
+@dataclass
+class RouterSignals:
+    """Internal signals handed to Trojan constructors."""
+
+    circuit: object
+    reset: object
+    in_valid: object
+    is_header: object
+    is_tail: object
+    flit_dest: object
+    payload: object
+    busy: object
+    regs: dict = field(default_factory=dict)
+
+
+def build_router(trojan=None, name="router"):
+    """Construct the router; returns ``(netlist, DesignSpec)``."""
+    c = Circuit(name)
+    reset = c.input("reset", 1)
+    in_valid = c.input("in_valid", 1)
+    in_flit = c.input("in_flit", 16)
+
+    dest = c.reg("dest_register", 2)
+    busy = c.reg("busy", 1)
+    out_data = c.reg("out_data", 12)
+    out_strobe = c.reg("out_strobe", 1)
+
+    is_header = in_flit[15] & in_valid
+    is_tail = in_flit[14] & in_valid
+    flit_dest = in_flit[12:14]
+    payload = in_flit[0:12]
+
+    accept_header = is_header & ~busy.q
+
+    c.probe("accept_header", accept_header)
+    c.probe("flit_dest", flit_dest)
+    c.probe("is_tail", is_tail)
+
+    nexts = {}
+    nexts["dest_register"] = c.select(
+        dest.q,
+        (reset, c.const(0, 2)),
+        (accept_header, flit_dest),
+    )
+    nexts["busy"] = c.select(
+        busy.q,
+        (reset, c.false()),
+        (accept_header, c.true()),
+        (is_tail & busy.q, c.false()),
+    )
+    nexts["out_data"] = c.select(
+        out_data.q,
+        (reset, c.const(0, 12)),
+        (in_valid & busy.q, payload),
+    )
+    nexts["out_strobe"] = c.select(
+        c.false(),
+        (in_valid & busy.q & ~reset, c.true()),
+    )
+
+    trojan_info = None
+    if trojan is not None:
+        signals = RouterSignals(
+            circuit=c,
+            reset=reset,
+            in_valid=in_valid,
+            is_header=is_header,
+            is_tail=is_tail,
+            flit_dest=flit_dest,
+            payload=payload,
+            busy=busy,
+            regs={"dest_register": dest, "busy": busy},
+        )
+        nets_before = c.netlist.num_nets
+        trojan_info = trojan(signals, nexts)
+        trojan_info.trojan_nets = frozenset(
+            range(nets_before, c.netlist.num_nets)
+        )
+
+    dest.drive(nexts["dest_register"])
+    busy.drive(nexts["busy"])
+    out_data.drive(nexts["out_data"])
+    out_strobe.drive(nexts["out_strobe"])
+
+    # one-hot output port select: where the current packet is streaming
+    port_select = c.bv(
+        [dest.q.eq_const(p).nets[0] for p in range(4)]
+    )
+    gated = c.bv(
+        [
+            (port_select[p] & out_strobe.q).nets[0]
+            for p in range(4)
+        ]
+    )
+    c.output("port_valid", gated)
+    c.output("port_data", out_data.q)
+    c.output("dest_out", dest.q)
+
+    netlist = c.finalize()
+    return netlist, router_design_spec(trojan_info)
+
+
+def router_register_specs():
+    dest_ways = [
+        ValidWay("reset", lambda m: m.input("reset"),
+                 value=lambda m: m.const(0, 2), expression="reset"),
+        ValidWay(
+            "header",
+            lambda m: m.probe("accept_header"),
+            value=lambda m: m.probe("flit_dest"),
+            expression="in_valid && header && !busy",
+        ),
+    ]
+    return {
+        "dest_register": RegisterSpec(
+            "dest_register",
+            dest_ways,
+            description="destination port of the in-flight packet",
+            observe_latency=2,
+        ),
+    }
+
+
+def router_design_spec(trojan_info=None):
+    return DesignSpec(
+        name="router",
+        critical=router_register_specs(),
+        trojan=trojan_info,
+        notes="wormhole router input stage; critical register: the "
+              "destination address (Section 1.3's third example)",
+        pinned_inputs={"reset": 0},
+    )
+
+
+def router_redirect_trojan(attacker_port=3, magic=0xBAD):
+    """Traffic-stealing Trojan: two consecutive body flits carrying the
+    magic payload redirect the rest of the packet to the attacker's port.
+
+    Returns ``(netlist, spec)`` like the other Trojan factories.
+    """
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        match = signals.payload.eq_const(magic) & signals.in_valid
+        armed = c.reg("redirect_armed", 1)
+        fired = c.reg("redirect_fired", 1)
+        armed.drive(match)
+        fired.drive(fired.q | (armed.q & match))
+        nexts["dest_register"] = c.mux(
+            fired.q,
+            nexts["dest_register"],
+            c.const(attacker_port, 2),
+        )
+        from repro.properties.valid_ways import TrojanInfo
+
+        return TrojanInfo(
+            name="ROUTER-REDIRECT",
+            trigger="payload 0x{:03x} on two consecutive flits".format(magic),
+            payload="destination register forced to port {}".format(
+                attacker_port
+            ),
+            target_register="dest_register",
+            trigger_cycles=2,
+        )
+
+    return build_router(trojan=trojan, name="router_redirect")

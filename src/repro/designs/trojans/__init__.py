@@ -1,0 +1,35 @@
+"""Trust-Hub-style Trojans (DeTrust-shaped) and the Section 4 attacks."""
+
+from repro.designs.trojans.aes_trojans import aes_t700, aes_t800, aes_t1200
+from repro.designs.trojans.attacks import (
+    add_bypass,
+    add_owf_trigger,
+    add_pseudo_critical,
+)
+from repro.designs.trojans.mc8051_trojans import (
+    mc8051_t400,
+    mc8051_t700,
+    mc8051_t800,
+)
+from repro.designs.trojans.risc_trojans import (
+    risc_figure1,
+    risc_t100,
+    risc_t300,
+    risc_t400,
+)
+
+__all__ = [
+    "aes_t700",
+    "aes_t800",
+    "aes_t1200",
+    "add_bypass",
+    "add_owf_trigger",
+    "add_pseudo_critical",
+    "mc8051_t400",
+    "mc8051_t700",
+    "mc8051_t800",
+    "risc_figure1",
+    "risc_t100",
+    "risc_t300",
+    "risc_t400",
+]

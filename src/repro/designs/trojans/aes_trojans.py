@@ -1,0 +1,257 @@
+"""Trust-Hub AES Trojans (Table 1 rows 7-9), DeTrust-shaped by default.
+
+* AES-T700 — trigger: a single magic plaintext. The DeTrust shape compares
+  it ``chunk_bits`` at a time over consecutive cycles (every comparator
+  gate stays narrow, so FANCI's control values look benign); the naive
+  shape is one monolithic wide AND over all 128 bits — what FANCI catches.
+  Payload: the least-significant key byte is inverted in the key register
+  (the paper modified the Trust-Hub payload "to corrupt instead of leaking
+  the key" — footnote 2).
+* AES-T800 — trigger: *four* specific plaintexts started in sequence
+  (the exact values of Table 1). Payload: corrupts the key register.
+* AES-T1200 — trigger: a free-running ``counter_width``-bit cycle counter
+  reaching all-ones. With the paper's width of 128 the trigger sits
+  2^128 - 1 cycles away: BMC/ATPG correctly report no counterexample and
+  the design is certified only "trustworthy for T cycles" (the Table 1
+  N/A row). Smaller widths make the same Trojan detectable and are used
+  by the tests/ablations.
+"""
+
+from __future__ import annotations
+
+from repro.designs.aes import build_aes
+from repro.properties.valid_ways import TrojanInfo
+
+T700_PLAINTEXT = 0x00112233445566778899AABBCCDDEEFF
+T800_SEQUENCE = (
+    0x3243F6A8885A308D313198A2E0370734,
+    0x00112233445566778899AABBCCDDEEFF,
+    0x00000000000000000000000000000001,
+    0x00000000000000000000000000000001,
+)
+KEY_CORRUPTION_MASK_T700 = 0xFF  # LSB 8 bits of the key register
+KEY_CORRUPTION_MASK_T800 = (1 << 128) - 1
+
+
+def _chunked_match(circuit, signals, constant, chunk_bits, name):
+    """DeTrust serial comparator: ``pt_in`` is compared against
+    ``constant`` one chunk per cycle while it is held stable; returns the
+    latched all-chunks-matched signal.
+
+    The selected plaintext chunk and the selected constant chunk are
+    *registered* before the comparison — the flop boundary keeps every
+    combinational cone narrow (FANCI's cones stop at state elements), so
+    no gate's control values drop below a plausible detection threshold.
+    """
+    c = circuit
+    chunks = 128 // chunk_bits
+    # index scans 0..chunks (one extra step: the compare lags by a cycle)
+    index_width = max(1, chunks.bit_length())
+    index = c.reg("{}_index".format(name), index_width)
+    matched = c.reg("{}_matched".format(name), 1, init=1)
+    pt_chunks = [
+        signals.pt_in[k * chunk_bits : (k + 1) * chunk_bits]
+        for k in range(chunks)
+    ]
+    const_table = [
+        (constant >> (k * chunk_bits)) & ((1 << chunk_bits) - 1)
+        for k in range(chunks)
+    ]
+    pad = (1 << index_width) - chunks
+    selected_pt = c.word_select(
+        index.q, pt_chunks + [c.const(0, chunk_bits)] * pad
+    )
+    selected_const = c.lut_word(
+        index.q, const_table + [0] * pad, chunk_bits
+    )
+    # flop boundary: the comparison sees only registered operands
+    pt_stage = c.reg("{}_pt_stage".format(name), chunk_bits)
+    pt_stage.drive(selected_pt)
+    const_stage = c.reg("{}_const_stage".format(name), chunk_bits)
+    const_stage.drive(selected_const)
+    current = pt_stage.q == const_stage.q
+
+    at_end = index.q.eq_const(chunks)
+    scanning = ~at_end
+    checking = ~index.q.eq_const(0)  # stage regs valid from index 1 on
+    index.hold_unless(
+        (signals.reset, c.const(0, index_width)),
+        (signals.start, c.const(0, index_width)),
+        (scanning, index.q + 1),
+    )
+    matched.hold_unless(
+        (signals.reset | signals.start, c.true()),
+        (checking & ~current, c.false()),
+    )
+    # `done` registers scan completion so the fired latch's cone is just
+    # {done, matched, fired} — the trigger never concentrates into one
+    # wide-support gate (the property FANCI keys on)
+    done = c.reg("{}_done".format(name), 1)
+    done.drive(at_end & ~signals.start)
+    fired = c.reg("{}_fired".format(name), 1)
+    fired.hold_unless(
+        (signals.reset, c.false()),
+        (done.q & matched.q, c.true()),
+    )
+    return fired.q
+
+
+def aes_t700(detrust=True, chunk_bits=8):
+    """AES-T700; ``detrust=False`` builds the naive wide-AND trigger."""
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        if detrust:
+            fired = _chunked_match(
+                c, signals, T700_PLAINTEXT, chunk_bits, "t700"
+            )
+        else:
+            # Naive Trust-Hub shape: one monolithic 128-bit comparison,
+            # realized as a single wide AND gate — FANCI's textbook catch.
+            bits = []
+            for i in range(128):
+                bit = signals.pt_in[i]
+                if (T700_PLAINTEXT >> i) & 1:
+                    bits.append(bit.nets[0])
+                else:
+                    bits.append(c.gate("not", bit.nets[0]))
+            wide = c.netlist.add_cell("and", bits)
+            match_now = c.bv([wide]) & signals.start
+            latch = c.reg("t700_fired", 1)
+            latch.hold_unless(
+                (signals.reset, c.false()),
+                (match_now, c.true()),
+            )
+            fired = latch.q
+        key_reg = signals.regs["key_register"]
+        corrupted = key_reg.q ^ c.const(KEY_CORRUPTION_MASK_T700, 128)
+        nexts["key_register"] = c.mux(
+            fired & ~signals.load_key, nexts["key_register"], corrupted
+        )
+        return TrojanInfo(
+            name="AES-T700",
+            trigger="plaintext == 128'h00112233445566778899aabbccddeeff"
+            + ("" if detrust else " (naive single-cycle comparator)"),
+            payload="modifies LSB 8 bits of the key register",
+            target_register="key_register",
+            trigger_cycles=(128 // chunk_bits) if detrust else 1,
+        )
+
+    return build_aes(trojan=trojan, name="aes_t700")
+
+
+def aes_t800():
+    """AES-T800: four plaintexts in sequence corrupt the key register."""
+
+    def trojan(signals, nexts):
+        from repro.baselines.detrust import sequence_recognizer
+
+        c = signals.circuit
+        # One-hot sequence FSM over start pulses. Each plaintext match is
+        # a two-stage *registered* reduction tree (16 byte equalities ->
+        # 4 group ANDs -> 1 match): every combinational cone stays at or
+        # under 8 inputs, the flop boundaries doing DeTrust's work of
+        # keeping FANCI's per-gate control values unremarkable.
+        matches = []
+        for idx, constant in enumerate(T800_SEQUENCE):
+            stage0 = []
+            for k in range(16):
+                eq = signals.pt_in[8 * k : 8 * k + 8].eq_const(
+                    (constant >> (8 * k)) & 0xFF
+                )
+                reg = c.reg("t800_m{}_b{}".format(idx, k), 1)
+                reg.drive(eq)
+                stage0.append(reg.q)
+            stage1 = []
+            for g in range(4):
+                group = c.all_of(*stage0[4 * g : 4 * g + 4])
+                reg = c.reg("t800_m{}_g{}".format(idx, g), 1)
+                reg.drive(group)
+                stage1.append(reg.q)
+            matches.append(c.all_of(*stage1))
+        # the match tree lags the plaintext by two cycles: delay the
+        # sequence strobe to stay aligned
+        start_d1 = c.reg("t800_start_d1", 1)
+        start_d1.drive(signals.start)
+        start_d2 = c.reg("t800_start_d2", 1)
+        start_d2.drive(start_d1.q)
+        fired = sequence_recognizer(
+            c, matches, start_d2.q, signals.reset, name="t800"
+        )
+        key_reg = signals.regs["key_register"]
+        corrupted = key_reg.q ^ c.const(KEY_CORRUPTION_MASK_T800, 128)
+        nexts["key_register"] = c.mux(
+            fired & ~signals.load_key, nexts["key_register"], corrupted
+        )
+        return TrojanInfo(
+            name="AES-T800",
+            trigger="plaintext sequence 128'h3243...0734, 128'h0011...eeff, "
+            "128'h1, 128'h1",
+            payload="modifies key register",
+            target_register="key_register",
+            trigger_cycles=len(T800_SEQUENCE),
+        )
+
+    return build_aes(trojan=trojan, name="aes_t800")
+
+
+def aes_t1200(counter_width=128):
+    """AES-T1200: key corrupted after 2**counter_width - 1 clock cycles."""
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        # The cycle counter is a prescaler chain of <=8-bit segments with
+        # *registered* carries, and the all-ones detector is a registered
+        # reduction tree — DeTrust staging again: a monolithic 128-bit
+        # incrementer's carry chain and a 128-input comparator would both
+        # hand FANCI exactly the wide low-control-value cones it hunts.
+        # The segment lags shift the trigger point by a few cycles out of
+        # 2^width — immaterial.
+        segments = []
+        pulses = []
+        advance = c.true()
+        for index, lo in enumerate(range(0, counter_width, 8)):
+            width = min(8, counter_width - lo)
+            seg = c.reg("t1200_seg{}".format(index), width)
+            seg.hold_unless(
+                (signals.reset, c.const(0, width)),
+                (advance, seg.q + 1),
+            )
+            segments.append(seg)
+            wrap = c.reg("t1200_carry{}".format(index), 1)
+            # no reset conjunct: reset clears the segments themselves, and
+            # a narrower cone keeps the carry pulse under FANCI's radar
+            wrap.drive(seg.q.eq_const((1 << width) - 1) & advance)
+            pulses.append(wrap)
+            advance = wrap.q
+        slices = []
+        for index, seg in enumerate(segments):
+            ones = c.reg("t1200_ones{}".format(index), 1)
+            ones.drive(seg.q.eq_const((1 << seg.width) - 1))
+            slices.append(ones.q)
+        while len(slices) > 4:
+            grouped = []
+            for g in range(0, len(slices), 4):
+                reg = c.reg(
+                    "t1200_grp{}_{}".format(len(slices), g // 4), 1
+                )
+                reg.drive(c.all_of(*slices[g : g + 4]))
+                grouped.append(reg.q)
+            slices = grouped
+        fired = c.all_of(*slices)
+        key_reg = signals.regs["key_register"]
+        corrupted = key_reg.q ^ c.const(KEY_CORRUPTION_MASK_T800, 128)
+        nexts["key_register"] = c.mux(
+            fired & ~signals.load_key, nexts["key_register"], corrupted
+        )
+        return TrojanInfo(
+            name="AES-T1200",
+            trigger="after 2^{} - 1 clock cycles (free-running counter)".format(
+                counter_width
+            ),
+            payload="modifies key register",
+            target_register="key_register",
+            trigger_cycles=(1 << counter_width) - 1,
+        )
+
+    return build_aes(trojan=trojan, name="aes_t1200")

@@ -1,0 +1,125 @@
+"""Trust-Hub MC8051 Trojans, restructured DeTrust-style (Table 1 rows 1-3).
+
+* MC8051-T400 — trigger: the four MOV/MOVX instructions of Table 1
+  observed in order on consecutive cycles (a DeTrust multi-cycle trigger
+  FSM); payload: prevents interrupts by clearing the interrupt-enable
+  register.
+* MC8051-T700 — trigger: MOV A,#data preceded by MOV A,#0x55 (the
+  DeTrust two-cycle restructuring of the single-instruction trigger);
+  payload: the moved data is replaced with 0x00.
+* MC8051-T800 — trigger: UART receive data equals 0xFF, matched nibble
+  by nibble over two cycles (DeTrust's split of a one-byte compare);
+  payload: decrements the stack pointer by two.
+"""
+
+from __future__ import annotations
+
+from repro.designs.mc8051 import (
+    MOV_A_DATA,
+    MOVX_A_DPTR,
+    MOVX_A_R1,
+    MOVX_R1_A,
+    build_mc8051,
+)
+from repro.properties.valid_ways import TrojanInfo
+
+T400_SEQUENCE = (MOV_A_DATA, MOVX_A_R1, MOVX_A_DPTR, MOVX_R1_A)
+T700_ARMING_OPERAND = 0x55
+T800_UART_VALUE = 0xFF
+
+
+def mc8051_t400():
+    """MC8051-T400: four-instruction sequence disables interrupts."""
+
+    def trojan(signals, nexts):
+        from repro.baselines.detrust import sequence_recognizer
+
+        c = signals.circuit
+        matches = [
+            signals.opcode.eq_const(op) for op in T400_SEQUENCE
+        ]
+        # One-hot sequence FSM: one symbol per executed instruction.
+        fired = sequence_recognizer(
+            c, matches, c.true(), signals.reset, name="t400"
+        )
+        nexts["interrupt_enable"] = c.mux(
+            fired, nexts["interrupt_enable"], c.const(0x00, 8)
+        )
+        return TrojanInfo(
+            name="MC8051-T400",
+            trigger="MOV A,#data ; MOVX A,@R1 ; MOVX A,@DPTR ; MOVX @R1,A "
+            "executed in sequence",
+            payload="prevents interrupt (interrupt-enable register forced "
+            "to 0x00)",
+            target_register="interrupt_enable",
+            trigger_cycles=len(T400_SEQUENCE),
+        )
+
+    return build_mc8051(trojan=trojan, name="mc8051_t400")
+
+
+def mc8051_t700():
+    """MC8051-T700: MOV A,#data writes 0x00 once armed."""
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        # DeTrust staging: the opcode match and the operand match are
+        # registered separately, so no combinational cone sees more than
+        # one byte of the trigger (keeps FANCI's control values benign).
+        op_seen = c.reg("t700_op_seen", 1)
+        op_seen.drive(signals.is_mov_a & ~signals.reset)
+        val_seen = c.reg("t700_val_seen", 1)
+        val_seen.drive(
+            signals.operand.eq_const(T700_ARMING_OPERAND) & ~signals.reset
+        )
+        payload_active = op_seen.q & val_seen.q & signals.is_mov_a
+        nexts["acc"] = c.mux(payload_active, nexts["acc"], c.const(0x00, 8))
+        return TrojanInfo(
+            name="MC8051-T700",
+            trigger="MOV A,#data preceded by MOV A,#0x{:02X}".format(
+                T700_ARMING_OPERAND
+            ),
+            payload="modifies the data to 0x00",
+            target_register="acc",
+            trigger_cycles=2,
+        )
+
+    return build_mc8051(trojan=trojan, name="mc8051_t700")
+
+
+def mc8051_t800():
+    """MC8051-T800: UART data 0xFF decrements the stack pointer by two."""
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        low = signals.uart_rx[0:4]
+        high = signals.uart_rx[4:8]
+        lo_match = low.eq_const(T800_UART_VALUE & 0xF) & signals.uart_valid
+        hi_match = (
+            high.eq_const(T800_UART_VALUE >> 4) & signals.uart_valid
+        )
+        # DeTrust nibble FSM: low nibble seen, then high nibble seen.
+        stage = c.reg("t800_stage", 1)
+        stage.hold_unless(
+            (signals.reset, c.false()),
+            (c.true(), lo_match),
+        )
+        fired = c.reg("t800_fired", 1)
+        fired.hold_unless(
+            (signals.reset, c.false()),
+            (stage.q & hi_match, c.true()),
+        )
+        sp = signals.regs["stack_pointer"]
+        nexts["stack_pointer"] = c.mux(
+            fired.q, nexts["stack_pointer"], sp.q - 2
+        )
+        return TrojanInfo(
+            name="MC8051-T800",
+            trigger="UART input data equals 0x{:02X} (nibble-matched over "
+            "two cycles)".format(T800_UART_VALUE),
+            payload="decrements stack pointer by two",
+            target_register="stack_pointer",
+            trigger_cycles=2,
+        )
+
+    return build_mc8051(trojan=trojan, name="mc8051_t800")

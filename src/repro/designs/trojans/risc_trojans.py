@@ -1,0 +1,153 @@
+"""Trust-Hub RISC Trojans, restructured DeTrust-style (Table 1 rows 4-6).
+
+All three share the trigger of Figure 1 / Section 3.4: the four MSBs of the
+instruction register lie in 0x4-0xB for ``trigger_count`` consecutive
+instructions. The trigger is a counter FSM — its vector arrives over
+hundreds of clock cycles, which is exactly the DeTrust construction that
+defeats FANCI (each compare is 4 bits wide, activation probability 8/16)
+and VeriTrust (every Trojan gate is driven by functional instruction
+bits).
+
+Payloads (Table 1):
+
+* RISC-T100 — increments the program counter by two instead of one.
+* RISC-T300 — loads the EEPROM data register although EEPROM read is
+  disabled.
+* RISC-T400 — forces the EEPROM address register to 0x00 during a stall.
+* figure1   — decrements the stack pointer by two (the paper's Figure 1).
+
+``trigger_count`` defaults to 8 instructions (32 clock cycles) so a
+pure-Python solver exhibits the same detection behaviour the paper reports
+at 100 instructions (400 cycles); pass ``trigger_count=100`` for the
+paper's exact setting.
+"""
+
+from __future__ import annotations
+
+from repro.designs.risc import TRIGGER_RANGE, build_risc
+from repro.properties.valid_ways import TrojanInfo
+
+DEFAULT_TRIGGER_COUNT = 8
+
+
+def _instruction_range_trigger(signals, trigger_count, name):
+    """Counter FSM: fires after ``trigger_count`` consecutive in-range
+    instructions; returns the latched fired signal (1-bit BitVec)."""
+    c = signals.circuit
+    lo, hi = TRIGGER_RANGE
+    width = max(1, trigger_count.bit_length())
+    in_range = signals.opcode.in_range(lo, hi)
+    counter = c.reg("{}_counter".format(name), width)
+    done = counter.q.eq_const(trigger_count)
+    step = signals.p4  # one count per instruction, sampled at Q4
+    counter.hold_unless(
+        (signals.reset, c.const(0, width)),
+        (step & in_range & ~done, counter.q + 1),
+        (step & ~in_range, c.const(0, width)),
+    )
+    fired = c.reg("{}_fired".format(name), 1)
+    fired.hold_unless(
+        (signals.reset, c.false()),
+        (done, c.true()),
+    )
+    return fired.q | done
+
+
+def risc_t100(trigger_count=DEFAULT_TRIGGER_COUNT):
+    """RISC-T100: PC += 2 once triggered. Returns (netlist, spec)."""
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        fired = _instruction_range_trigger(signals, trigger_count, "t100")
+        pc = signals.regs["program_counter"]
+        increment_slot = (
+            signals.p4 & ~signals.stall & ~signals.sleep
+        )
+        payload_active = fired & increment_slot
+        nexts["program_counter"] = c.mux(
+            payload_active, nexts["program_counter"], pc.q + 2
+        )
+        return TrojanInfo(
+            name="RISC-T100",
+            trigger="instr[13:10] in 0x4-0xB for {} instructions".format(
+                trigger_count
+            ),
+            payload="increments program counter by two",
+            target_register="program_counter",
+            trigger_cycles=4 * trigger_count,
+        )
+
+    return build_risc(trojan=trojan, name="risc_t100")
+
+
+def risc_t300(trigger_count=DEFAULT_TRIGGER_COUNT):
+    """RISC-T300: EEPROM data loads while EEPROM read is disabled."""
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        fired = _instruction_range_trigger(signals, trigger_count, "t300")
+        payload_active = (
+            fired & signals.p4 & ~signals.stall & ~signals.is_eeread
+        )
+        nexts["eeprom_data"] = c.mux(
+            payload_active, nexts["eeprom_data"], signals.eeprom_in
+        )
+        return TrojanInfo(
+            name="RISC-T300",
+            trigger="instr[13:10] in 0x4-0xB for {} instructions".format(
+                trigger_count
+            ),
+            payload="modifies the data written to memory (EEPROM data "
+            "register loads with read disabled)",
+            target_register="eeprom_data",
+            trigger_cycles=4 * trigger_count,
+        )
+
+    return build_risc(trojan=trojan, name="risc_t300")
+
+
+def risc_t400(trigger_count=DEFAULT_TRIGGER_COUNT):
+    """RISC-T400: EEPROM address forced to 0x00 during a stall."""
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        fired = _instruction_range_trigger(signals, trigger_count, "t400")
+        payload_active = fired & signals.p4 & signals.stall
+        nexts["eeprom_address"] = c.mux(
+            payload_active, nexts["eeprom_address"], c.const(0x00, 8)
+        )
+        return TrojanInfo(
+            name="RISC-T400",
+            trigger="instr[13:10] in 0x4-0xB for {} instructions".format(
+                trigger_count
+            ),
+            payload="modifies the data address to 0x00",
+            target_register="eeprom_address",
+            trigger_cycles=4 * trigger_count,
+        )
+
+    return build_risc(trojan=trojan, name="risc_t400")
+
+
+def risc_figure1(trigger_count=DEFAULT_TRIGGER_COUNT):
+    """The Figure 1 Trojan: stack pointer decremented by two."""
+
+    def trojan(signals, nexts):
+        c = signals.circuit
+        fired = _instruction_range_trigger(signals, trigger_count, "fig1")
+        sp = signals.regs["stack_pointer"]
+        payload_active = fired & signals.p4
+        nexts["stack_pointer"] = c.mux(
+            payload_active, nexts["stack_pointer"], sp.q - 2
+        )
+        return TrojanInfo(
+            name="RISC-FIG1",
+            trigger="instr[13:10] in 0x4-0xB for {} instructions".format(
+                trigger_count
+            ),
+            payload="decrements the stack pointer by two",
+            target_register="stack_pointer",
+            trigger_cycles=4 * trigger_count,
+        )
+
+    return build_risc(trojan=trojan, name="risc_fig1")

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Sub-hierarchies mirror the package
+layout (netlist construction, simulation, SAT solving, formal engines).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (bad net id, missing driver, ...)."""
+
+
+class CombinationalLoopError(NetlistError):
+    """The combinational portion of a netlist contains a cycle."""
+
+    def __init__(self, nets):
+        self.nets = list(nets)
+        super().__init__(
+            "combinational loop through nets: {}".format(self.nets[:20])
+        )
+
+
+class WidthError(NetlistError):
+    """Word-level operands have incompatible widths."""
+
+
+class SimulationError(ReproError):
+    """Problem while simulating a netlist (unknown input, bad stimulus)."""
+
+
+class EncodingError(ReproError):
+    """Problem while encoding a circuit into CNF."""
+
+
+class SolverError(ReproError):
+    """Internal SAT-solver failure (should never happen on valid input)."""
+
+
+class ResourceBudgetExceeded(ReproError):
+    """A formal engine ran out of its time or conflict budget.
+
+    The paper (Sections 3.2 and 3.3) caps each run at a fixed wall-clock
+    budget and reports the largest bound reached; engines raise this error
+    (or return a partial verdict) when the budget is exhausted.
+    """
+
+    def __init__(self, message, bound_reached=0):
+        self.bound_reached = bound_reached
+        super().__init__(message)
+
+
+class PropertyError(ReproError):
+    """Malformed security-property specification (valid ways, monitors)."""
+
+
+class HdlError(ReproError):
+    """Verilog parsing or writing failure."""
+
+
+class HdlSyntaxError(HdlError):
+    """Syntax error while parsing structural Verilog."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = "" if line is None else " at line {}:{}".format(line, column)
+        super().__init__(message + location)

@@ -1,0 +1,7 @@
+"""Structural Verilog interchange: writer, lexer/parser, elaborator."""
+
+from repro.hdl.elaborate import elaborate, parse_verilog
+from repro.hdl.parser import parse
+from repro.hdl.writer import write_verilog
+
+__all__ = ["elaborate", "parse_verilog", "parse", "write_verilog"]

@@ -1,0 +1,196 @@
+"""Elaboration: lower a parsed Verilog module onto the netlist IR.
+
+Produces a :class:`~repro.netlist.netlist.Netlist` that simulates
+identically to the source (round-trip tested against the writer). Register
+*grouping* is a netlist-level convenience that plain Verilog does not
+carry; pass ``register_groups`` (name -> list of flop q signal refs, e.g.
+``{"counter": ["n5", "n6"]}``) to restore it after import.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HdlError
+from repro.hdl import parser as ast
+from repro.netlist.cells import Kind
+from repro.netlist.netlist import Netlist
+
+_GATE_KINDS = {
+    "and": Kind.AND,
+    "or": Kind.OR,
+    "nand": Kind.NAND,
+    "nor": Kind.NOR,
+    "xor": Kind.XOR,
+    "xnor": Kind.XNOR,
+    "not": Kind.NOT,
+    "buf": Kind.BUF,
+}
+
+
+class _Elaborator:
+    def __init__(self, module, clock):
+        self.module = module
+        self.netlist = Netlist(module.name)
+        self.signals = {}  # name -> list of net ids
+        self.directions = {}
+        self.clock = clock
+        self.flop_inits = {}  # net -> 0/1
+        self.pending_flops = []  # (q net, d net)
+        self.output_names = []
+
+    def run(self):
+        decls = [i for i in self.module.items if isinstance(i, ast.Decl)]
+        clock = self.clock or self._guess_clock()
+        for decl in decls:
+            for name in decl.names:
+                if name == clock:
+                    continue
+                if name in self.signals:
+                    raise HdlError("duplicate signal {!r}".format(name))
+                if decl.direction == "input":
+                    nets = self.netlist.add_input(name, decl.width)
+                else:
+                    nets = self.netlist.new_nets(decl.width, name)
+                self.signals[name] = nets
+                self.directions[name] = decl.direction
+                if decl.direction == "output":
+                    self.output_names.append(name)
+
+        for item in self.module.items:
+            if isinstance(item, ast.InitialAssign):
+                net = self._ref_net(item.target)
+                self.flop_inits[net] = item.value.value & 1
+
+        for item in self.module.items:
+            if isinstance(item, ast.Instance):
+                self._instance(item)
+            elif isinstance(item, ast.Assign):
+                self._assign(item)
+            elif isinstance(item, ast.AlwaysFf):
+                self.pending_flops.append(
+                    (self._ref_net(item.target), self._operand_net(item.source))
+                )
+
+        for q_net, d_net in self.pending_flops:
+            self.netlist.add_flop(
+                d_net, q=q_net, init=self.flop_inits.get(q_net, 0)
+            )
+
+        for name in self.output_names:
+            self.netlist.add_output(name, self.signals[name])
+        return self.netlist
+
+    def _guess_clock(self):
+        for item in self.module.items:
+            if isinstance(item, ast.AlwaysFf):
+                return item.clock
+        return "clk"
+
+    def _ref_net(self, ref):
+        try:
+            nets = self.signals[ref.name]
+        except KeyError:
+            raise HdlError("undeclared signal {!r}".format(ref.name)) from None
+        bit = ref.bit if ref.bit is not None else 0
+        if ref.bit is None and len(nets) != 1:
+            raise HdlError(
+                "vector {!r} used without a bit select".format(ref.name)
+            )
+        if not 0 <= bit < len(nets):
+            raise HdlError(
+                "bit {} out of range for {!r}".format(bit, ref.name)
+            )
+        return nets[bit]
+
+    def _operand_net(self, operand):
+        if isinstance(operand, ast.Const):
+            if operand.value not in (0, 1) or operand.width != 1:
+                raise HdlError(
+                    "only 1-bit constants allowed in expressions"
+                )
+            return operand.value
+        if isinstance(operand, ast.Ref):
+            return self._ref_net(operand)
+        raise HdlError("unsupported operand {!r}".format(operand))
+
+    def _instance(self, item):
+        kind = _GATE_KINDS[item.gate]
+        out = self._ref_net(item.operands[0])
+        ins = [self._operand_net(op) for op in item.operands[1:]]
+        self.netlist.add_cell(kind, ins, output=out)
+
+    def _assign(self, item):
+        out = self._ref_net(item.target)
+        expr = item.expr
+        if isinstance(expr, (ast.Ref, ast.Const)):
+            self.netlist.add_cell(
+                Kind.BUF, (self._operand_net(expr),), output=out
+            )
+        elif isinstance(expr, ast.Unary):
+            self.netlist.add_cell(
+                Kind.NOT, (self._operand_net(expr.operand),), output=out
+            )
+        elif isinstance(expr, ast.Binary):
+            kind = {"&": Kind.AND, "|": Kind.OR, "^": Kind.XOR}[expr.op]
+            self.netlist.add_cell(
+                kind,
+                tuple(self._operand_net(op) for op in expr.operands),
+                output=out,
+            )
+        elif isinstance(expr, ast.Ternary):
+            self.netlist.add_cell(
+                Kind.MUX,
+                (
+                    self._operand_net(expr.condition),
+                    self._operand_net(expr.if_false),
+                    self._operand_net(expr.if_true),
+                ),
+                output=out,
+            )
+        else:
+            raise HdlError("unsupported expression {!r}".format(expr))
+
+
+def elaborate(module, clock=None, register_groups=None):
+    """Lower a :class:`~repro.hdl.parser.ModuleAst` to a netlist.
+
+    ``register_groups`` maps group names to lists of *signal names* from
+    the Verilog source (e.g. ``{"counter": ["n5", "n6"]}``); each listed
+    signal must be a 1-bit reg driven by an always block.
+    """
+    elaborator = _Elaborator(module, clock)
+    netlist = elaborator.run()
+    if register_groups:
+        q_to_flop = {
+            flop.q: index for index, flop in enumerate(netlist.flops)
+        }
+        for name, refs in register_groups.items():
+            indexes = []
+            for ref in refs:
+                if isinstance(ref, int):
+                    net = ref
+                else:
+                    nets = elaborator.signals.get(ref)
+                    if not nets or len(nets) != 1:
+                        raise HdlError(
+                            "register group {!r}: no scalar signal "
+                            "{!r}".format(name, ref)
+                        )
+                    net = nets[0]
+                if net not in q_to_flop:
+                    raise HdlError(
+                        "register group {!r}: {!r} is not a flop".format(
+                            name, ref
+                        )
+                    )
+                indexes.append(q_to_flop[net])
+            netlist.add_register(name, indexes)
+    return netlist
+
+
+def parse_verilog(text, clock=None, register_groups=None):
+    """Parse + elaborate structural Verilog text into a netlist."""
+    from repro.hdl.parser import parse
+
+    return elaborate(
+        parse(text), clock=clock, register_groups=register_groups
+    )

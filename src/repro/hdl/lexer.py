@@ -1,0 +1,107 @@
+"""Tokenizer for the structural Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HdlSyntaxError
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "wire", "reg", "assign",
+    "always", "posedge", "initial", "begin", "end",
+    "and", "or", "nand", "nor", "xor", "xnor", "not", "buf",
+}
+
+PUNCT = ["<=", "(", ")", "[", "]", ":", ";", ",", "=", "?", "@", "~", "&",
+         "|", "^"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "number" | "sized" | keyword | punctuation
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(text):
+    """Tokenize Verilog source; returns a list of :class:`Token`."""
+    tokens = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i)
+            if end == -1:
+                raise HdlSyntaxError("unterminated block comment", line, column)
+            skipped = text[i : end + 2]
+            line += skipped.count("\n")
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = word if word in KEYWORDS else "id"
+            tokens.append(Token(kind, word, line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            # sized literal like 4'b1010 / 8'hff / 3'd5
+            if j < n and text[j] == "'":
+                k = j + 1
+                if k < n and text[k] in "bdhBDH":
+                    k += 1
+                    start = k
+                    while k < n and (text[k].isalnum() or text[k] == "_"):
+                        k += 1
+                    tokens.append(Token("sized", text[i:k], line, column))
+                    column += k - i
+                    i = k
+                    continue
+            tokens.append(Token("number", text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        for punct in PUNCT:
+            if text.startswith(punct, i):
+                tokens.append(Token(punct, punct, line, column))
+                column += len(punct)
+                i += len(punct)
+                break
+        else:
+            raise HdlSyntaxError(
+                "unexpected character {!r}".format(ch), line, column
+            )
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+def parse_sized_literal(text):
+    """Decode ``4'b1010``-style literals; returns (width, value)."""
+    width_text, _, rest = text.partition("'")
+    base_char = rest[0].lower()
+    digits = rest[1:].replace("_", "")
+    base = {"b": 2, "d": 10, "h": 16}[base_char]
+    return int(width_text), int(digits, base)

@@ -1,0 +1,297 @@
+"""Recursive-descent parser for the structural Verilog subset.
+
+Grammar (the subset :mod:`repro.hdl.writer` emits, which covers flat
+gate-level netlists as delivered by synthesis):
+
+.. code-block:: text
+
+    module      := "module" id "(" id ("," id)* ")" ";" item* "endmodule"
+    item        := decl | instance | assign | always_ff | initial_block
+                 | reg_comment
+    decl        := ("input"|"output"|"wire"|"reg") range? id ("," id)* ";"
+    range       := "[" number ":" number "]"
+    instance    := gate id? "(" operand ("," operand)* ")" ";"
+    assign      := "assign" lvalue "=" expr ";"
+    expr        := ternary
+    ternary     := unary ("?" unary ":" unary)?
+    unary       := "~"? operand | operand (("&"|"|"|"^") operand)*
+    operand     := id ("[" number "]")? | sized_literal
+    always_ff   := "always" "@" "(" "posedge" id ")" lvalue "<=" operand ";"
+    initial     := "initial" ("begin" init_stmt* "end" | init_stmt)
+    init_stmt   := lvalue "=" sized_literal ";"
+
+Produces a :class:`ModuleAst`; :mod:`repro.hdl.elaborate` lowers it onto
+the netlist IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HdlSyntaxError
+from repro.hdl.lexer import parse_sized_literal, tokenize
+
+GATES = ("and", "or", "nand", "nor", "xor", "xnor", "not", "buf")
+
+
+# ----------------------------------------------------------------- AST types
+
+
+@dataclass
+class Ref:
+    """A signal reference: a scalar name or one bit of a vector."""
+
+    name: str
+    bit: int | None = None
+
+
+@dataclass
+class Const:
+    width: int
+    value: int
+
+
+@dataclass
+class Unary:
+    op: str  # "~"
+    operand: object
+
+
+@dataclass
+class Binary:
+    op: str  # & | ^
+    operands: list
+
+
+@dataclass
+class Ternary:
+    condition: object
+    if_true: object
+    if_false: object
+
+
+@dataclass
+class Decl:
+    direction: str  # input / output / wire / reg
+    width: int
+    names: list
+
+
+@dataclass
+class Instance:
+    gate: str
+    name: str
+    operands: list  # first is the output
+
+
+@dataclass
+class Assign:
+    target: Ref
+    expr: object
+
+
+@dataclass
+class AlwaysFf:
+    clock: str
+    target: Ref
+    source: object
+
+
+@dataclass
+class InitialAssign:
+    target: Ref
+    value: Const
+
+
+@dataclass
+class ModuleAst:
+    name: str
+    ports: list
+    items: list = field(default_factory=list)
+
+
+# ------------------------------------------------------------------- parser
+
+
+class Parser:
+    def __init__(self, text):
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # token plumbing -------------------------------------------------------
+
+    def peek(self):
+        return self.tokens[self.position]
+
+    def advance(self):
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind):
+        token = self.peek()
+        if token.kind != kind:
+            raise HdlSyntaxError(
+                "expected {!r}, found {!r}".format(kind, token.text),
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def accept(self, kind):
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    # grammar --------------------------------------------------------------
+
+    def parse_module(self):
+        self.expect("module")
+        name = self.expect("id").text
+        self.expect("(")
+        ports = [self.expect("id").text]
+        while self.accept(","):
+            ports.append(self.expect("id").text)
+        self.expect(")")
+        self.expect(";")
+        module = ModuleAst(name=name, ports=ports)
+        while self.peek().kind != "endmodule":
+            item = self._item()
+            if isinstance(item, list):
+                module.items.extend(item)
+            else:
+                module.items.append(item)
+        self.expect("endmodule")
+        return module
+
+    def _item(self):
+        token = self.peek()
+        if token.kind in ("input", "output", "wire", "reg"):
+            return self._decl()
+        if token.kind in GATES:
+            return self._instance()
+        if token.kind == "assign":
+            return self._assign()
+        if token.kind == "always":
+            return self._always()
+        if token.kind == "initial":
+            return self._initial()
+        raise HdlSyntaxError(
+            "unexpected {!r}".format(token.text), token.line, token.column
+        )
+
+    def _decl(self):
+        direction = self.advance().kind
+        width = 1
+        if self.accept("["):
+            msb = int(self.expect("number").text)
+            self.expect(":")
+            lsb = int(self.expect("number").text)
+            if lsb != 0:
+                raise HdlSyntaxError("only [N:0] ranges supported")
+            width = msb + 1
+            self.expect("]")
+        names = [self.expect("id").text]
+        while self.accept(","):
+            names.append(self.expect("id").text)
+        self.expect(";")
+        return Decl(direction, width, names)
+
+    def _instance(self):
+        gate = self.advance().kind
+        name = ""
+        token = self.accept("id")
+        if token is not None:
+            name = token.text
+        self.expect("(")
+        operands = [self._operand()]
+        while self.accept(","):
+            operands.append(self._operand())
+        self.expect(")")
+        self.expect(";")
+        return Instance(gate, name, operands)
+
+    def _assign(self):
+        self.expect("assign")
+        target = self._lvalue()
+        self.expect("=")
+        expr = self._expr()
+        self.expect(";")
+        return Assign(target, expr)
+
+    def _always(self):
+        self.expect("always")
+        self.expect("@")
+        self.expect("(")
+        self.expect("posedge")
+        clock = self.expect("id").text
+        self.expect(")")
+        target = self._lvalue()
+        self.expect("<=")
+        source = self._operand()
+        self.expect(";")
+        return AlwaysFf(clock, target, source)
+
+    def _initial(self):
+        self.expect("initial")
+        items = []
+        if self.accept("begin"):
+            while not self.accept("end"):
+                items.append(self._init_assign())
+        else:
+            items.append(self._init_assign())
+        return items if len(items) != 1 else items[0]
+
+    def _init_assign(self):
+        target = self._lvalue()
+        self.expect("=")
+        literal = self.expect("sized")
+        width, value = parse_sized_literal(literal.text)
+        self.expect(";")
+        return InitialAssign(target, Const(width, value))
+
+    def _lvalue(self):
+        name = self.expect("id").text
+        bit = None
+        if self.accept("["):
+            bit = int(self.expect("number").text)
+            self.expect("]")
+        return Ref(name, bit)
+
+    def _expr(self):
+        first = self._unary()
+        token = self.peek()
+        if token.kind == "?":
+            self.advance()
+            if_true = self._unary()
+            self.expect(":")
+            if_false = self._unary()
+            return Ternary(first, if_true, if_false)
+        if token.kind in ("&", "|", "^"):
+            op = token.kind
+            operands = [first]
+            while self.accept(op):
+                operands.append(self._unary())
+            return Binary(op, operands)
+        return first
+
+    def _unary(self):
+        if self.accept("~"):
+            return Unary("~", self._operand())
+        return self._operand()
+
+    def _operand(self):
+        token = self.peek()
+        if token.kind == "sized":
+            self.advance()
+            width, value = parse_sized_literal(token.text)
+            return Const(width, value)
+        return self._lvalue()
+
+
+def parse(text):
+    """Parse Verilog text into a :class:`ModuleAst`."""
+    parser = Parser(text)
+    module = parser.parse_module()
+    parser.expect("eof")
+    return module

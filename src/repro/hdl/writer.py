@@ -1,0 +1,152 @@
+"""Structural Verilog writer.
+
+Emits a netlist as a flat, synthesizable structural Verilog module:
+primitive gate instances (``and``/``or``/...), ``assign`` ternaries for
+muxes, one ``always @(posedge clk)`` block per flop, ``initial`` blocks
+recording reset values, and named probe/register groupings as comments.
+The emitted subset is exactly what :mod:`repro.hdl.parser` accepts, so
+netlists round-trip (a property test in the suite).
+
+This is the interchange artifact of the paper's flow: "assertions were
+embedded into the respective designs and provided as input to the BMC
+engine" — :func:`write_verilog` plus
+:func:`repro.properties.sva.render_spec` reproduce those inputs for an
+external commercial toolchain.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.netlist.cells import Kind
+
+_PRIMITIVES = {
+    Kind.AND: "and",
+    Kind.OR: "or",
+    Kind.NAND: "nand",
+    Kind.NOR: "nor",
+    Kind.XOR: "xor",
+    Kind.XNOR: "xnor",
+    Kind.NOT: "not",
+    Kind.BUF: "buf",
+}
+
+
+def _sanitize(name):
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if not text or text[0].isdigit():
+        text = "s_" + text
+    return text
+
+
+def write_verilog(netlist, module_name=None, clock="clk"):
+    """Render a netlist as structural Verilog text."""
+    module_name = _sanitize(module_name or netlist.name)
+    out = io.StringIO()
+
+    def net_ref(net):
+        if net == 0:
+            return "1'b0"
+        if net == 1:
+            return "1'b1"
+        return "n{}".format(net)
+
+    ports = [clock]
+    decls = ["  input {};".format(clock)]
+    connect = []
+    for name, nets in netlist.inputs.items():
+        pname = _sanitize(name)
+        ports.append(pname)
+        if len(nets) == 1:
+            decls.append("  input {};".format(pname))
+            connect.append("  assign n{} = {};".format(nets[0], pname))
+        else:
+            decls.append(
+                "  input [{}:0] {};".format(len(nets) - 1, pname)
+            )
+            for bit, net in enumerate(nets):
+                connect.append(
+                    "  assign n{} = {}[{}];".format(net, pname, bit)
+                )
+    for name, nets in netlist.outputs.items():
+        pname = _sanitize(name)
+        ports.append(pname)
+        if len(nets) == 1:
+            decls.append("  output {};".format(pname))
+            connect.append("  assign {} = {};".format(pname, net_ref(nets[0])))
+        else:
+            decls.append(
+                "  output [{}:0] {};".format(len(nets) - 1, pname)
+            )
+            for bit, net in enumerate(nets):
+                connect.append(
+                    "  assign {}[{}] = {};".format(pname, bit, net_ref(net))
+                )
+
+    out.write("module {}({});\n".format(module_name, ", ".join(ports)))
+    for line in decls:
+        out.write(line + "\n")
+
+    wires = []
+    for nets in netlist.inputs.values():
+        wires.extend(nets)
+    wires.extend(cell.output for cell in netlist.cells)
+    if wires:
+        out.write(
+            "  wire {};\n".format(", ".join("n{}".format(n) for n in wires))
+        )
+    regs = [flop.q for flop in netlist.flops]
+    if regs:
+        out.write(
+            "  reg {};\n".format(", ".join("n{}".format(n) for n in regs))
+        )
+    for line in connect:
+        out.write(line + "\n")
+
+    for name, idxs in netlist.registers.items():
+        out.write(
+            "  // register {}: {}\n".format(
+                _sanitize(name),
+                ", ".join("n{}".format(netlist.flops[i].q) for i in idxs),
+            )
+        )
+
+    for index, cell in enumerate(netlist.cells):
+        if cell.kind is Kind.MUX:
+            sel, d0, d1 = cell.inputs
+            out.write(
+                "  assign {} = {} ? {} : {};\n".format(
+                    net_ref(cell.output),
+                    net_ref(sel),
+                    net_ref(d1),
+                    net_ref(d0),
+                )
+            )
+        else:
+            out.write(
+                "  {} g{}({}, {});\n".format(
+                    _PRIMITIVES[cell.kind],
+                    index,
+                    net_ref(cell.output),
+                    ", ".join(net_ref(n) for n in cell.inputs),
+                )
+            )
+
+    for flop in netlist.flops:
+        out.write(
+            "  always @(posedge {}) {} <= {};\n".format(
+                clock, net_ref(flop.q), net_ref(flop.d)
+            )
+        )
+    if netlist.flops:
+        out.write("  initial begin\n")
+        for flop in netlist.flops:
+            out.write(
+                "    {} = 1'b{};\n".format(net_ref(flop.q), flop.init)
+            )
+        out.write("  end\n")
+    out.write("endmodule\n")
+    return out.getvalue()

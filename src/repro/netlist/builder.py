@@ -1,0 +1,570 @@
+"""Word-level circuit builder on top of the gate-level netlist IR.
+
+:class:`Circuit` is the construction front-end used by every design in this
+repository. It exposes multi-bit values as :class:`BitVec` (an immutable,
+LSB-first tuple of net ids with operator overloads) and registers as
+:class:`Reg` (a named flop group whose next-state logic is connected after
+the fact with :meth:`Reg.drive`).
+
+All arithmetic is unsigned; widths must match exactly (no implicit
+extension) — use :meth:`BitVec.zext` explicitly. The builder lowers
+everything to the primitive cell library (AND/OR/NOT/XOR/XNOR/NAND/NOR/
+BUF/MUX + DFF), including a truth-table LUT synthesizer with memoized
+Shannon cofactoring used for the AES S-box.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError, WidthError
+from repro.netlist.cells import CONST0, CONST1, Kind
+from repro.netlist.netlist import Netlist
+
+
+class BitVec:
+    """An immutable word of nets, LSB first, bound to a :class:`Circuit`."""
+
+    __slots__ = ("circuit", "nets")
+
+    def __init__(self, circuit, nets):
+        self.circuit = circuit
+        self.nets = tuple(nets)
+
+    # ---------------------------------------------------------------- basics
+
+    @property
+    def width(self):
+        return len(self.nets)
+
+    def __len__(self):
+        return len(self.nets)
+
+    def __iter__(self):
+        return iter(self.nets)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return BitVec(self.circuit, self.nets[index])
+        return BitVec(self.circuit, (self.nets[index],))
+
+    def bit(self, index):
+        """Net id of a single bit."""
+        return self.nets[index]
+
+    def _check_same(self, other):
+        if not isinstance(other, BitVec):
+            raise WidthError("expected BitVec, got {!r}".format(type(other)))
+        if other.circuit is not self.circuit:
+            raise NetlistError("operands belong to different circuits")
+        if other.width != self.width:
+            raise WidthError(
+                "width mismatch: {} vs {}".format(self.width, other.width)
+            )
+
+    # ------------------------------------------------------------- bitwise
+
+    def _map2(self, other, kind):
+        self._check_same(other)
+        c = self.circuit
+        return BitVec(
+            c,
+            [c.gate(kind, a, b) for a, b in zip(self.nets, other.nets)],
+        )
+
+    def __and__(self, other):
+        return self._map2(other, Kind.AND)
+
+    def __or__(self, other):
+        return self._map2(other, Kind.OR)
+
+    def __xor__(self, other):
+        return self._map2(other, Kind.XOR)
+
+    def __invert__(self):
+        c = self.circuit
+        return BitVec(c, [c.gate(Kind.NOT, n) for n in self.nets])
+
+    # ----------------------------------------------------------- reductions
+
+    def reduce_and(self):
+        """1-bit AND of all bits."""
+        return BitVec(self.circuit, (self.circuit.gate(Kind.AND, *self.nets),))
+
+    def reduce_or(self):
+        """1-bit OR of all bits."""
+        return BitVec(self.circuit, (self.circuit.gate(Kind.OR, *self.nets),))
+
+    def reduce_xor(self):
+        """1-bit XOR (parity) of all bits."""
+        return BitVec(self.circuit, (self.circuit.gate(Kind.XOR, *self.nets),))
+
+    # ----------------------------------------------------------- comparison
+
+    def __eq__(self, other):  # noqa: D105 - circuit equality, not identity
+        self._check_same(other)
+        c = self.circuit
+        bits = [c.gate(Kind.XNOR, a, b) for a, b in zip(self.nets, other.nets)]
+        return BitVec(c, (c.gate(Kind.AND, *bits),))
+
+    def __ne__(self, other):
+        self._check_same(other)
+        c = self.circuit
+        bits = [c.gate(Kind.XOR, a, b) for a, b in zip(self.nets, other.nets)]
+        return BitVec(c, (c.gate(Kind.OR, *bits),))
+
+    __hash__ = None
+
+    def eq_const(self, value):
+        """1-bit signal: ``self == value`` (constant folded to literals)."""
+        c = self.circuit
+        bits = []
+        for i, net in enumerate(self.nets):
+            if (value >> i) & 1:
+                bits.append(net)
+            else:
+                bits.append(c.gate(Kind.NOT, net))
+        return BitVec(c, (c.gate(Kind.AND, *bits),))
+
+    def ult(self, other):
+        """Unsigned less-than: 1-bit ``self < other``."""
+        self._check_same(other)
+        # a < b  <=>  borrow out of a - b
+        _, borrow = self.circuit._ripple_sub(self, other)
+        return borrow
+
+    def ule(self, other):
+        """Unsigned less-or-equal: 1-bit ``self <= other``."""
+        return ~other.ult(self)
+
+    def in_range(self, lo, hi):
+        """1-bit signal: ``lo <= self <= hi`` for integer constants."""
+        c = self.circuit
+        lo_bv = c.const(lo, self.width)
+        hi_bv = c.const(hi, self.width)
+        return lo_bv.ule(self) & self.ule(hi_bv)
+
+    # ----------------------------------------------------------- arithmetic
+
+    def __add__(self, other):
+        if isinstance(other, int):
+            other = self.circuit.const(other, self.width)
+        self._check_same(other)
+        total, _carry = self.circuit._ripple_add(self, other, CONST0)
+        return total
+
+    def __sub__(self, other):
+        if isinstance(other, int):
+            other = self.circuit.const(other, self.width)
+        self._check_same(other)
+        diff, _borrow = self.circuit._ripple_sub(self, other)
+        return diff
+
+    # ------------------------------------------------------------ structure
+
+    def cat(self, *others):
+        """Concatenate: ``self`` provides the low bits."""
+        nets = list(self.nets)
+        for other in others:
+            if other.circuit is not self.circuit:
+                raise NetlistError("operands belong to different circuits")
+            nets.extend(other.nets)
+        return BitVec(self.circuit, nets)
+
+    def zext(self, width):
+        """Zero-extend to ``width`` bits."""
+        if width < self.width:
+            raise WidthError("zext target narrower than value")
+        pad = (CONST0,) * (width - self.width)
+        return BitVec(self.circuit, self.nets + pad)
+
+    def repeat(self, count):
+        """Replicate a 1-bit value ``count`` times."""
+        if self.width != 1:
+            raise WidthError("repeat() needs a 1-bit value")
+        return BitVec(self.circuit, self.nets * count)
+
+    def shl_const(self, amount):
+        """Logical shift left by a constant, width preserved."""
+        pad = (CONST0,) * min(amount, self.width)
+        return BitVec(self.circuit, (pad + self.nets)[: self.width])
+
+    def shr_const(self, amount):
+        """Logical shift right by a constant, width preserved."""
+        pad = (CONST0,) * min(amount, self.width)
+        return BitVec(self.circuit, (self.nets + pad)[amount : amount + self.width])
+
+    def named(self, name):
+        """Attach debug names ``name[i]`` to the nets; returns self."""
+        for i, net in enumerate(self.nets):
+            self.circuit.netlist.set_net_name(net, "{}[{}]".format(name, i))
+        return self
+
+
+class Reg:
+    """A named register: flops created eagerly, next-state connected later.
+
+    The D pins are placeholder nets; :meth:`drive` buffers the final
+    next-state word onto them. Every register must be driven exactly once
+    before the circuit is finalized.
+    """
+
+    __slots__ = ("circuit", "name", "q", "_d_nets", "_driven", "flop_indexes")
+
+    def __init__(self, circuit, name, width, init):
+        netlist = circuit.netlist
+        d_nets = netlist.new_nets(width, "{}_d".format(name))
+        flop_indexes = []
+        q_nets = []
+        for bit in range(width):
+            q = netlist.add_flop(
+                d_nets[bit],
+                init=(init >> bit) & 1,
+                name="{}[{}]".format(name, bit),
+            )
+            q_nets.append(q)
+            flop_indexes.append(len(netlist.flops) - 1)
+        netlist.add_register(name, flop_indexes)
+        self.circuit = circuit
+        self.name = name
+        self.q = BitVec(circuit, q_nets)
+        self._d_nets = d_nets
+        self._driven = False
+        self.flop_indexes = flop_indexes
+
+    @property
+    def width(self):
+        return self.q.width
+
+    def drive(self, next_value):
+        """Connect the register's next-state logic (exactly once)."""
+        if self._driven:
+            raise NetlistError("register {!r} already driven".format(self.name))
+        if next_value.width != self.width:
+            raise WidthError(
+                "register {!r} is {} bits, next value is {}".format(
+                    self.name, self.width, next_value.width
+                )
+            )
+        netlist = self.circuit.netlist
+        for d_net, src in zip(self._d_nets, next_value.nets):
+            netlist.add_cell(Kind.BUF, (src,), output=d_net)
+        self._driven = True
+
+    def hold_unless(self, *updates):
+        """Drive with a priority mux chain: ``updates`` are (cond, value).
+
+        The first matching condition wins; with no match the register holds
+        its value. This is the idiom for "valid ways to update a register".
+        """
+        value = self.q
+        for cond, new in reversed(updates):
+            value = self.circuit.mux(cond, value, new)
+        self.drive(value)
+
+
+class Circuit:
+    """Word-level builder wrapping a :class:`Netlist`."""
+
+    def __init__(self, name="top"):
+        self.netlist = Netlist(name)
+        self._regs = {}
+        # structural-hashing caches
+        self._gate_cache = {}
+        self._lut_cache = {}
+
+    @classmethod
+    def attach(cls, netlist):
+        """Wrap an *existing* netlist so more logic can be added to it.
+
+        Used by the monitor synthesizers: they clone a finished design and
+        attach a fresh builder to append shadow registers and comparators.
+        Structural-hash caches start empty (existing gates are not reused,
+        which only costs a few duplicate gates).
+        """
+        circuit = cls.__new__(cls)
+        circuit.netlist = netlist
+        circuit._regs = {}
+        circuit._gate_cache = {}
+        circuit._lut_cache = {}
+        return circuit
+
+    def probe(self, name, value):
+        """Expose a :class:`BitVec` as a named probe on the netlist."""
+        self.netlist.add_probe(name, value.nets)
+        return value
+
+    # ----------------------------------------------------------- primitives
+
+    def gate(self, kind, *inputs):
+        """Add (or reuse, via structural hashing) a gate; returns output net.
+
+        Constant folding handles the easy identities so generated designs do
+        not drown in const-fed gates.
+        """
+        kind = Kind(kind)
+        inputs = self._fold(kind, list(inputs))
+        if isinstance(inputs, int):  # folded to a constant / existing net
+            return inputs
+        key = (kind, tuple(inputs))
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.netlist.add_cell(kind, inputs)
+        self._gate_cache[key] = out
+        return out
+
+    def _fold(self, kind, ins):
+        """Constant folding; returns a net id (int) when folded."""
+        if kind is Kind.NOT:
+            if ins[0] == CONST0:
+                return CONST1
+            if ins[0] == CONST1:
+                return CONST0
+            return ins
+        if kind is Kind.BUF:
+            return ins[0]
+        if kind is Kind.MUX:
+            sel, d0, d1 = ins
+            if sel == CONST0:
+                return d0
+            if sel == CONST1:
+                return d1
+            if d0 == d1:
+                return d0
+            if d0 == CONST0 and d1 == CONST1:
+                return sel
+            return ins
+        if kind is Kind.AND:
+            if CONST0 in ins:
+                return CONST0
+            ins = sorted({n for n in ins if n != CONST1})
+            if not ins:
+                return CONST1
+            if len(ins) == 1:
+                return ins[0]
+            return ins
+        if kind is Kind.OR:
+            if CONST1 in ins:
+                return CONST1
+            ins = sorted({n for n in ins if n != CONST0})
+            if not ins:
+                return CONST0
+            if len(ins) == 1:
+                return ins[0]
+            return ins
+        if kind is Kind.XOR:
+            parity = ins.count(CONST1) & 1
+            live = sorted(n for n in ins if n not in (CONST0, CONST1))
+            # x ^ x = 0: drop pairs
+            dedup = []
+            for net in live:
+                if dedup and dedup[-1] == net:
+                    dedup.pop()
+                else:
+                    dedup.append(net)
+            if not dedup:
+                return CONST1 if parity else CONST0
+            if parity:
+                if len(dedup) == 1:
+                    return self.gate(Kind.NOT, dedup[0])
+                return self.gate(
+                    Kind.NOT, self.gate(Kind.XOR, *dedup)
+                )
+            if len(dedup) == 1:
+                return dedup[0]
+            return dedup
+        # NAND / NOR / XNOR: build as inverted base gate through the cache
+        if kind is Kind.NAND:
+            return self.gate(Kind.NOT, self.gate(Kind.AND, *ins))
+        if kind is Kind.NOR:
+            return self.gate(Kind.NOT, self.gate(Kind.OR, *ins))
+        if kind is Kind.XNOR:
+            return self.gate(Kind.NOT, self.gate(Kind.XOR, *ins))
+        raise NetlistError("unknown gate kind {!r}".format(kind))  # pragma: no cover
+
+    # -------------------------------------------------------------- values
+
+    def input(self, name, width=1):
+        """Declare an input port; returns its :class:`BitVec`."""
+        return BitVec(self, self.netlist.add_input(name, width))
+
+    def output(self, name, value):
+        """Declare an output port driven by ``value``."""
+        self.netlist.add_output(name, value.nets)
+        return value
+
+    def const(self, value, width):
+        """Constant word (two's-complement truncation for negatives)."""
+        value &= (1 << width) - 1
+        return BitVec(
+            self, [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+        )
+
+    def reg(self, name, width, init=0):
+        """Declare a named register; connect it later with ``drive``."""
+        reg = Reg(self, name, width, init)
+        self._regs[name] = reg
+        return reg
+
+    def bv(self, nets):
+        """Wrap raw net ids into a :class:`BitVec`."""
+        return BitVec(self, nets)
+
+    # ------------------------------------------------------------ operators
+
+    def mux(self, sel, if_false, if_true):
+        """Word-level mux: ``if_true`` when ``sel`` (1-bit) is 1."""
+        if sel.width != 1:
+            raise WidthError("mux select must be 1 bit")
+        if if_false.width != if_true.width:
+            raise WidthError(
+                "mux arm widths differ: {} vs {}".format(
+                    if_false.width, if_true.width
+                )
+            )
+        s = sel.nets[0]
+        return BitVec(
+            self,
+            [
+                self.gate(Kind.MUX, s, a, b)
+                for a, b in zip(if_false.nets, if_true.nets)
+            ],
+        )
+
+    def select(self, default, *arms):
+        """Priority select: ``arms`` are (cond, value); first match wins."""
+        value = default
+        for cond, arm in reversed(arms):
+            value = self.mux(cond, value, arm)
+        return value
+
+    def word_select(self, sel, values):
+        """Mux tree: returns ``values[sel]`` (register-file read port).
+
+        ``values`` must have ``2**sel.width`` entries of equal width.
+        """
+        if len(values) != (1 << sel.width):
+            raise WidthError(
+                "need {} values for a {}-bit select, got {}".format(
+                    1 << sel.width, sel.width, len(values)
+                )
+            )
+        layer = list(values)
+        for bit in range(sel.width):
+            sel_bit = sel[bit]
+            layer = [
+                self.mux(sel_bit, layer[2 * i], layer[2 * i + 1])
+                for i in range(len(layer) // 2)
+            ]
+        return layer[0]
+
+    def _ripple_add(self, a, b, carry_in):
+        """Ripple-carry adder; returns (sum BitVec, carry-out net)."""
+        carry = carry_in
+        bits = []
+        for x, y in zip(a.nets, b.nets):
+            bits.append(self.gate(Kind.XOR, x, y, carry))
+            carry = self.gate(
+                Kind.OR,
+                self.gate(Kind.AND, x, y),
+                self.gate(Kind.AND, carry, self.gate(Kind.OR, x, y)),
+            )
+        return BitVec(self, bits), BitVec(self, (carry,))
+
+    def _ripple_sub(self, a, b):
+        """a - b; returns (difference, borrow-out as 1-bit BitVec)."""
+        diff, carry = self._ripple_add(a, ~b, CONST1)
+        borrow = self.gate(Kind.NOT, carry.nets[0])
+        return diff, BitVec(self, (borrow,))
+
+    def true(self):
+        return BitVec(self, (CONST1,))
+
+    def false(self):
+        return BitVec(self, (CONST0,))
+
+    def any_of(self, *conds):
+        """1-bit OR of 1-bit conditions."""
+        return BitVec(self, (self.gate(Kind.OR, *(c.nets[0] for c in conds)),))
+
+    def all_of(self, *conds):
+        """1-bit AND of 1-bit conditions."""
+        return BitVec(self, (self.gate(Kind.AND, *(c.nets[0] for c in conds)),))
+
+    # ----------------------------------------------------------------- LUTs
+
+    def lut(self, inputs, table):
+        """Synthesize ``f(inputs)`` from a truth table (one output bit).
+
+        ``table`` is an integer whose bit ``k`` is the function value for the
+        input assignment ``k`` (inputs LSB-first). Synthesis is Shannon
+        cofactoring on the highest variable with global memoization, which
+        shares cofactors ROBDD-style across calls — this keeps the 16+4
+        AES S-boxes to a few thousand gates instead of tens of thousands.
+        """
+        if isinstance(inputs, BitVec):
+            inputs = list(inputs.nets)
+        n = len(inputs)
+        mask = (1 << (1 << n)) - 1
+        return BitVec(self, (self._lut_node(tuple(inputs), table & mask),))
+
+    def lut_word(self, inputs, values, out_width):
+        """Synthesize a multi-bit LUT: ``values[k]`` is the output word."""
+        if isinstance(inputs, BitVec):
+            input_nets = list(inputs.nets)
+        else:
+            input_nets = list(inputs)
+        n = len(input_nets)
+        if len(values) != (1 << n):
+            raise WidthError(
+                "need {} table entries, got {}".format(1 << n, len(values))
+            )
+        bits = []
+        for bit in range(out_width):
+            table = 0
+            for k, value in enumerate(values):
+                if (value >> bit) & 1:
+                    table |= 1 << k
+            bits.append(self.lut(input_nets, table).nets[0])
+        return BitVec(self, bits)
+
+    def _lut_node(self, inputs, table):
+        n = len(inputs)
+        if n == 0:
+            return CONST1 if table & 1 else CONST0
+        full = (1 << (1 << n)) - 1
+        if table == 0:
+            return CONST0
+        if table == full:
+            return CONST1
+        key = (inputs, table)
+        cached = self._lut_cache.get(key)
+        if cached is not None:
+            return cached
+        top = inputs[-1]
+        rest = inputs[:-1]
+        half = 1 << (n - 1)
+        lo_mask = (1 << half) - 1
+        f0 = table & lo_mask  # top = 0 cofactor
+        f1 = (table >> half) & lo_mask  # top = 1 cofactor
+        if f0 == f1:
+            node = self._lut_node(rest, f0)
+        else:
+            n0 = self._lut_node(rest, f0)
+            n1 = self._lut_node(rest, f1)
+            node = self.gate(Kind.MUX, top, n0, n1)
+        self._lut_cache[key] = node
+        return node
+
+    # ------------------------------------------------------------- finalize
+
+    def finalize(self):
+        """Check the circuit is fully built; returns the netlist.
+
+        Verifies every register was driven and no allocated net is left
+        floating (undriven nets that are never read are tolerated only if
+        unnamed scratch).
+        """
+        for name, reg in self._regs.items():
+            if not reg._driven:
+                raise NetlistError("register {!r} never driven".format(name))
+        return self.netlist

@@ -1,0 +1,275 @@
+"""Netlist optimization: constant propagation, dead-logic sweep, and
+structural hashing over finished netlists.
+
+Monitor synthesis, Trojan splicing and the attack transformations all
+leave redundancy behind (constant-fed gates, duplicated comparators,
+unread scratch logic). :func:`optimize` cleans a netlist in place-like
+fashion — it returns a *new* netlist plus a net remap — which shrinks the
+engines' encodings. The pass is verified by the SAT equivalence checker in
+the test suite: optimization must never change the sequential behaviour.
+
+Passes (to fixpoint):
+
+1. constant propagation — gates with constant inputs fold (same rules the
+   builder applies during construction, now applicable after rewiring);
+2. structural hashing — identical (kind, inputs) gates merge;
+3. dead sweep — cells/flops driving nothing observable (outputs, probes,
+   register groups) are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import CONST0, CONST1, Kind
+from repro.netlist.netlist import Netlist
+from repro.netlist.traversal import topological_cells
+
+
+@dataclass
+class OptimizeStats:
+    """What the optimizer removed."""
+
+    cells_before: int = 0
+    cells_after: int = 0
+    flops_before: int = 0
+    flops_after: int = 0
+    folded: int = 0
+    merged: int = 0
+    swept: int = 0
+    rounds: int = 0
+    net_map: dict = field(default_factory=dict)
+
+    def __str__(self):
+        return (
+            "optimize: cells {} -> {} (folded {}, merged {}, swept {}), "
+            "flops {} -> {}, {} rounds".format(
+                self.cells_before, self.cells_after, self.folded,
+                self.merged, self.swept, self.flops_before,
+                self.flops_after, self.rounds,
+            )
+        )
+
+
+def _fold_cell(kind, ins):
+    """Return a replacement net id if the cell folds, else None."""
+    if kind is Kind.BUF:
+        return ins[0]
+    if kind is Kind.NOT:
+        if ins[0] == CONST0:
+            return CONST1
+        if ins[0] == CONST1:
+            return CONST0
+        return None
+    if kind is Kind.AND:
+        if CONST0 in ins:
+            return CONST0
+        live = [n for n in ins if n != CONST1]
+        if not live:
+            return CONST1
+        if len(set(live)) == 1:
+            return live[0]
+        return None
+    if kind is Kind.OR:
+        if CONST1 in ins:
+            return CONST1
+        live = [n for n in ins if n != CONST0]
+        if not live:
+            return CONST0
+        if len(set(live)) == 1:
+            return live[0]
+        return None
+    if kind is Kind.XOR:
+        if all(n in (CONST0, CONST1) for n in ins):
+            parity = sum(1 for n in ins if n == CONST1) & 1
+            return CONST1 if parity else CONST0
+        if len(ins) == 2:
+            if ins[0] == CONST0:
+                return ins[1]
+            if ins[1] == CONST0:
+                return ins[0]
+            if ins[0] == ins[1]:
+                return CONST0
+        return None
+    if kind is Kind.MUX:
+        sel, d0, d1 = ins
+        if sel == CONST0:
+            return d0
+        if sel == CONST1:
+            return d1
+        if d0 == d1:
+            return d0
+        return None
+    return None  # NAND/NOR/XNOR left to hashing (rare after the builder)
+
+
+def optimize(netlist, keep_probes=True, max_rounds=8):
+    """Return ``(optimized netlist, OptimizeStats)``.
+
+    Ports, register groups and (by default) probes are preserved; their
+    nets are the sweep roots.
+    """
+    stats = OptimizeStats(
+        cells_before=len(netlist.cells),
+        flops_before=len(netlist.flops),
+    )
+    # net -> replacement net (union-find-ish, path compressed on read)
+    replace = {}
+
+    def resolve(net):
+        while net in replace:
+            net = replace[net]
+        return net
+
+    cells = {cell.output: (cell.kind, tuple(cell.inputs))
+             for cell in netlist.cells}
+    flops = [(flop.d, flop.q, flop.init) for flop in netlist.flops]
+
+    for round_index in range(max_rounds):
+        changed = False
+        hashed = {}
+        for out in list(cells):
+            kind, ins = cells[out]
+            new_ins = tuple(resolve(n) for n in ins)
+            folded = _fold_cell(kind, new_ins)
+            if folded is not None:
+                replace[out] = folded
+                del cells[out]
+                stats.folded += 1
+                changed = True
+                continue
+            key = (kind, new_ins)
+            twin = hashed.get(key)
+            if twin is not None and twin != out:
+                replace[out] = twin
+                del cells[out]
+                stats.merged += 1
+                changed = True
+                continue
+            hashed[key] = out
+            if new_ins != ins:
+                cells[out] = (kind, new_ins)
+                changed = True
+        stats.rounds = round_index + 1
+        if not changed:
+            break
+
+    # roots: outputs, register flops, probes
+    roots = set()
+    for nets in netlist.outputs.values():
+        roots.update(resolve(n) for n in nets)
+    kept_flop_idx = set()
+    for idxs in netlist.registers.values():
+        kept_flop_idx.update(idxs)
+    if keep_probes:
+        for nets in netlist.probes.values():
+            roots.update(resolve(n) for n in nets)
+    for idx in kept_flop_idx:
+        roots.add(resolve(flops[idx][1]))
+
+    # mark live cells/flops backwards
+    live = set(roots)
+    frontier = list(roots)
+    flop_by_q = {resolve(q): (resolve(d), idx)
+                 for idx, (d, q, _i) in enumerate(flops)}
+    live_flops = set(kept_flop_idx)
+    while frontier:
+        net = frontier.pop()
+        entry = cells.get(net)
+        if entry is not None:
+            for source in entry[1]:
+                source = resolve(source)
+                if source not in live:
+                    live.add(source)
+                    frontier.append(source)
+            continue
+        flop_entry = flop_by_q.get(net)
+        if flop_entry is not None:
+            d_net, idx = flop_entry
+            live_flops.add(idx)
+            if d_net not in live:
+                live.add(d_net)
+                frontier.append(d_net)
+    # flops kept alive need their d-cones too
+    pending = list(live_flops)
+    seen_flops = set()
+    while pending:
+        idx = pending.pop()
+        if idx in seen_flops:
+            continue
+        seen_flops.add(idx)
+        d_net = resolve(flops[idx][0])
+        if d_net not in live:
+            live.add(d_net)
+            frontier = [d_net]
+            while frontier:
+                net = frontier.pop()
+                entry = cells.get(net)
+                if entry is not None:
+                    for source in entry[1]:
+                        source = resolve(source)
+                        if source not in live:
+                            live.add(source)
+                            frontier.append(source)
+                    continue
+                flop_entry = flop_by_q.get(net)
+                if flop_entry is not None:
+                    _d, fidx = flop_entry
+                    if fidx not in seen_flops:
+                        live_flops.add(fidx)
+                        pending.append(fidx)
+
+    # rebuild
+    out = Netlist(netlist.name)
+    net_map = {CONST0: CONST0, CONST1: CONST1}
+    for name, nets in netlist.inputs.items():
+        new_nets = out.add_input(name, len(nets))
+        for old, new in zip(nets, new_nets):
+            net_map[old] = new
+
+    def mapped(net):
+        net = resolve(net)
+        if net not in net_map:
+            net_map[net] = out.new_net(netlist.net_name(net))
+        return net_map[net]
+
+    # flops first (q nets must exist before cells read them)
+    flop_index_map = {}
+    for idx in sorted(seen_flops):
+        d, q, init = flops[idx]
+        q_new = mapped(q)
+        # d filled later; reserve with a placeholder net now
+        flop_index_map[idx] = (d, q_new, init)
+    # order cells topologically in the ORIGINAL netlist and emit live ones
+    order = topological_cells(netlist)
+    emitted = 0
+    for cell_idx in order:
+        cell = netlist.cells[cell_idx]
+        if cell.output in replace or cell.output not in cells:
+            continue
+        if resolve(cell.output) not in live:
+            continue
+        kind, ins = cells[cell.output]
+        out.add_cell(kind, tuple(mapped(n) for n in ins),
+                     output=mapped(cell.output))
+        emitted += 1
+    for idx in sorted(seen_flops):
+        d, q_new, init = flop_index_map[idx]
+        out.add_flop(mapped(d), q=q_new, init=init)
+    # flop index remap for register groups
+    new_flop_of_old = {
+        old: position for position, old in enumerate(sorted(seen_flops))
+    }
+    for name, idxs in netlist.registers.items():
+        out.add_register(name, [new_flop_of_old[i] for i in idxs])
+    for name, nets in netlist.outputs.items():
+        out.add_output(name, [mapped(n) for n in nets])
+    if keep_probes:
+        for name, nets in netlist.probes.items():
+            out.add_probe(name, [mapped(n) for n in nets])
+
+    stats.cells_after = emitted
+    stats.flops_after = len(seen_flops)
+    stats.swept = stats.cells_before - stats.folded - stats.merged - emitted
+    stats.net_map = net_map
+    return out, stats

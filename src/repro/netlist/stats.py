@@ -1,0 +1,69 @@
+"""Netlist statistics: gate counts, depth, register inventory.
+
+These are the numbers a hardware engineer quotes about a design ("~8k gates,
+depth 42, 19 registers / 310 flops") and what the benchmark harness records
+next to every experiment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.netlist.traversal import levelize, topological_cells
+
+
+@dataclass
+class NetlistStats:
+    """Summary statistics for a netlist."""
+
+    name: str
+    num_nets: int
+    num_cells: int
+    num_flops: int
+    num_registers: int
+    depth: int
+    cells_by_kind: dict = field(default_factory=dict)
+    registers: dict = field(default_factory=dict)  # name -> width
+    input_bits: int = 0
+    output_bits: int = 0
+
+    def __str__(self):
+        kinds = ", ".join(
+            "{}:{}".format(k, v) for k, v in sorted(self.cells_by_kind.items())
+        )
+        return (
+            "{}: {} cells ({}), {} flops in {} registers, depth {}, "
+            "{} input bits, {} output bits".format(
+                self.name,
+                self.num_cells,
+                kinds,
+                self.num_flops,
+                self.num_registers,
+                self.depth,
+                self.input_bits,
+                self.output_bits,
+            )
+        )
+
+
+def stats(netlist):
+    """Compute :class:`NetlistStats` for a netlist."""
+    order = topological_cells(netlist)
+    level = levelize(netlist, order)
+    depth = max(level.values(), default=0)
+    kinds = Counter(str(cell.kind) for cell in netlist.cells)
+    return NetlistStats(
+        name=netlist.name,
+        num_nets=netlist.num_nets,
+        num_cells=len(netlist.cells),
+        num_flops=len(netlist.flops),
+        num_registers=len(netlist.registers),
+        depth=depth,
+        cells_by_kind=dict(kinds),
+        registers={
+            name: len(idxs) for name, idxs in netlist.registers.items()
+        },
+        input_bits=sum(len(v) for v in netlist.inputs.values()),
+        output_bits=sum(len(v) for v in netlist.outputs.values()),
+    )

@@ -1,0 +1,92 @@
+"""Structural validation of netlists.
+
+:func:`validate` performs the checks a downstream tool relies on before
+simulation or formal analysis: every read net is driven, no net has two
+drivers (enforced at construction), the combinational logic is acyclic, and
+port/register bookkeeping is consistent. It returns a :class:`ValidationReport`
+and raises on hard errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+from repro.netlist.traversal import topological_cells
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate`."""
+
+    ok: bool = True
+    floating_nets: list = field(default_factory=list)
+    unread_nets: list = field(default_factory=list)
+    messages: list = field(default_factory=list)
+
+    def __str__(self):
+        lines = ["valid" if self.ok else "INVALID"]
+        lines.extend(self.messages)
+        if self.floating_nets:
+            lines.append("floating nets: {}".format(self.floating_nets[:10]))
+        if self.unread_nets:
+            lines.append("{} unread nets".format(len(self.unread_nets)))
+        return "\n".join(lines)
+
+
+def validate(netlist, allow_floating=False):
+    """Validate a netlist; raises :class:`NetlistError` on hard problems.
+
+    Hard problems: a *read* net without a driver, or a combinational loop
+    (raised by the topological sort). Allocated-but-undriven nets that are
+    also never read are reported but tolerated (scratch allocations).
+    """
+    report = ValidationReport()
+
+    read = set()
+    for cell in netlist.cells:
+        read.update(cell.inputs)
+    for flop in netlist.flops:
+        read.add(flop.d)
+    for nets in netlist.outputs.values():
+        read.update(nets)
+
+    for net in read:
+        if not netlist.is_driven(net):
+            raise NetlistError(
+                "net {} ({}) is read but has no driver".format(
+                    net, netlist.net_name(net)
+                )
+            )
+
+    floating = [n for n in netlist.undriven_nets() if n not in read]
+    if floating:
+        report.floating_nets = floating
+        if not allow_floating:
+            raise NetlistError(
+                "{} allocated nets are floating (first: {})".format(
+                    len(floating),
+                    [netlist.net_name(n) for n in floating[:5]],
+                )
+            )
+
+    driven = set(range(2)) | netlist.input_net_set() | netlist.flop_q_set()
+    driven.update(cell.output for cell in netlist.cells)
+    report.unread_nets = sorted(driven - read - set(range(2)))
+
+    # raises CombinationalLoopError on cyclic logic
+    topological_cells(netlist)
+
+    for name, idxs in netlist.registers.items():
+        for idx in idxs:
+            if not 0 <= idx < len(netlist.flops):
+                raise NetlistError(
+                    "register {!r} references invalid flop {}".format(name, idx)
+                )
+
+    report.messages.append(
+        "{} cells, {} flops, {} registers".format(
+            len(netlist.cells), len(netlist.flops), len(netlist.registers)
+        )
+    )
+    return report

@@ -1,0 +1,465 @@
+"""Eq. (4): bypass-register detection via CEGIS.
+
+Attack 2 (Section 4.2) replaces the critical register's fan-out with a
+Trojan-controlled *bypass register*; once triggered, the critical register
+R no longer influences any output. Eq. (4) formalizes the defense: in a
+trustworthy design there is **no** input prefix S after which the outputs
+are insensitive to R's value for **all** continuations:
+
+    not exists S . forall i_{t+1} . forall p != q . o_{t+1,p} == o_{t+1,q}
+
+The exists/forall alternation makes this a 2QBF problem, outside plain
+BMC. :class:`BypassChecker` solves it with counterexample-guided inductive
+synthesis (CEGIS):
+
+1. *Synthesis*: SAT query for (S, p, q) with p != q such that, for every
+   future-input **sample** collected so far, the two design copies (R cut
+   and overridden with p vs q at cycle t) produce identical outputs over
+   the next L cycles. The prefix frames are symbolic; each sample adds two
+   constant-input suffix copies.
+2. *Verification*: the candidate S is replayed on the logic simulator to
+   obtain the concrete state at cycle t; a second SAT query then searches
+   for a future input making some output differ between the p and q
+   copies. A hit becomes a new sample; a miss proves the candidate — the
+   register is bypassed and the Trojan is reported with its trigger S.
+
+``L`` is the register's documented observe latency
+(:attr:`RegisterSpec.observe_latency`): how many cycles the environment
+needs to expose R on an output (e.g. a stack pointer needs a RETURN to
+reach the program counter).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.bmc.unroll import Unroller
+from repro.bmc.witness import Witness
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import (
+    cone_of_influence,
+    transitive_fanout_outputs,
+)
+from repro.sat.solver import SAT, UNSAT, Solver
+from repro.sat.tseitin import encode_cell, encode_xor2
+from repro.sim.sequential import SequentialSimulator
+
+VIOLATED = "violated"  # bypass found (Eq. 4 violated)
+PROVED = "proved"
+UNKNOWN_STATUS = "unknown"
+
+
+@dataclass
+class BypassResult:
+    """Outcome of an Eq. (4) check."""
+
+    status: str
+    bound: int
+    witness: Witness | None = None
+    p_value: int | None = None
+    q_value: int | None = None
+    samples_used: int = 0
+    cegis_iterations: int = 0
+    elapsed: float = 0.0
+    peak_memory: int = 0
+    property_name: str = ""
+    observed_outputs: tuple = ()
+    latency: int = 1
+
+    @property
+    def detected(self):
+        return self.status == VIOLATED
+
+    def summary(self):
+        extra = ""
+        if self.detected:
+            extra = " p={:#x} q={:#x}".format(self.p_value, self.q_value)
+        return (
+            "[{}] {} at bound {} ({:.2f}s, {} CEGIS iters, {} samples{})".format(
+                self.property_name or "bypass",
+                self.status,
+                self.bound,
+                self.elapsed,
+                self.cegis_iterations,
+                self.samples_used,
+                extra,
+            )
+        )
+
+
+class _SuffixEncoder:
+    """Encodes L frames of the design with the critical register cut."""
+
+    def __init__(self, netlist, r_q_nets, outputs):
+        self.netlist = netlist
+        self.r_q_set = set(r_q_nets)
+        self.r_q_nets = list(r_q_nets)
+        self.outputs = outputs
+        target_nets = []
+        for name in outputs:
+            target_nets.extend(netlist.outputs[name])
+        cone, cell_idxs, flop_idxs = cone_of_influence(netlist, target_nets)
+        self.cone = cone
+        self.cells = [netlist.cells[i] for i in cell_idxs]
+        self.flops = [netlist.flops[i] for i in flop_idxs]
+        self.input_nets = [
+            net for net in sorted(netlist.input_net_set()) if net in cone
+        ]
+        self.state_flops = [f for f in self.flops if f.q not in self.r_q_set]
+
+    def encode(self, solver, true_lit, base_state, r_override, input_lits, frames):
+        """Encode ``frames`` suffix frames; returns output lits per frame.
+
+        ``base_state`` maps non-R flop q nets -> literal at the cut,
+        ``r_override`` maps R q nets -> literal, ``input_lits`` is a list of
+        dicts (net -> literal) per suffix frame.
+        """
+        lit = {}
+        out_lits = []
+        for k in range(frames):
+            lit[(0, k)] = -true_lit
+            lit[(1, k)] = true_lit
+            for net in self.input_nets:
+                lit[(net, k)] = input_lits[k][net]
+            for flop in self.flops:
+                if k == 0:
+                    if flop.q in self.r_q_set:
+                        lit[(flop.q, 0)] = r_override[flop.q]
+                    else:
+                        lit[(flop.q, 0)] = base_state[flop.q]
+                else:
+                    lit[(flop.q, k)] = lit[(flop.d, k - 1)]
+            for cell in self.cells:
+                ins = [lit[(n, k)] for n in cell.inputs]
+                if cell.kind is Kind.BUF:
+                    lit[(cell.output, k)] = ins[0]
+                elif cell.kind is Kind.NOT:
+                    lit[(cell.output, k)] = -ins[0]
+                else:
+                    out = solver.new_var()
+                    lit[(cell.output, k)] = out
+                    encode_cell(solver, cell.kind, out, ins)
+            frame_outputs = []
+            for name in self.outputs:
+                for net in self.netlist.outputs[name]:
+                    frame_outputs.append(lit[(net, k)])
+            out_lits.append(frame_outputs)
+        return out_lits
+
+
+class BypassChecker:
+    """Checks Eq. (4) for one critical register."""
+
+    def __init__(self, netlist, spec, outputs=None):
+        self.netlist = netlist
+        self.spec = spec
+        self.register = spec.register
+        self.r_q_nets = netlist.register_q_nets(self.register)
+        if outputs is None:
+            outputs = transitive_fanout_outputs(netlist, self.r_q_nets)
+        self.outputs = tuple(sorted(outputs))
+        self.latency = max(1, spec.observe_latency)
+        self._suffix = (
+            _SuffixEncoder(netlist, self.r_q_nets, self.outputs)
+            if self.outputs
+            else None
+        )
+
+    # ------------------------------------------------------------------ API
+
+    def check(self, max_cycles, time_budget=None, max_cegis_iters=64, seed=0):
+        """Search prefixes of length 1..max_cycles for a bypass condition."""
+        start = time.perf_counter()
+        name = "no-bypass({})".format(self.register)
+        if not self.outputs:
+            # R drives nothing at all: trivially unobservable.
+            return BypassResult(
+                status=VIOLATED,
+                bound=0,
+                witness=Witness([], 0, property_name=name),
+                p_value=0,
+                q_value=1,
+                property_name=name,
+                elapsed=time.perf_counter() - start,
+            )
+        rng = random.Random(seed)
+        samples = [self._random_sample(rng)]
+        iterations = 0
+        bound = 0
+        status = PROVED
+        for t in range(1, max_cycles + 1):
+            remaining = None
+            if time_budget is not None:
+                remaining = time_budget - (time.perf_counter() - start)
+                if remaining <= 0:
+                    status = UNKNOWN_STATUS
+                    break
+            outcome = self._check_prefix(
+                t, samples, max_cegis_iters, remaining, rng
+            )
+            iterations += outcome["iterations"]
+            if outcome["status"] == VIOLATED:
+                return BypassResult(
+                    status=VIOLATED,
+                    bound=t,
+                    witness=Witness(
+                        outcome["inputs"], t - 1, property_name=name
+                    ),
+                    p_value=outcome["p"],
+                    q_value=outcome["q"],
+                    samples_used=len(samples),
+                    cegis_iterations=iterations,
+                    elapsed=time.perf_counter() - start,
+                    property_name=name,
+                    observed_outputs=self.outputs,
+                    latency=self.latency,
+                )
+            if outcome["status"] == UNKNOWN_STATUS:
+                status = UNKNOWN_STATUS
+                break
+            bound = t
+        return BypassResult(
+            status=status,
+            bound=bound,
+            samples_used=len(samples),
+            cegis_iterations=iterations,
+            elapsed=time.perf_counter() - start,
+            property_name=name,
+            observed_outputs=self.outputs,
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _random_sample(self, rng):
+        """A random future-input vector: list (len=L) of {net: 0/1}."""
+        return [
+            {net: rng.getrandbits(1) for net in self._suffix.input_nets}
+            for _ in range(self.latency)
+        ]
+
+    # Encoding a synthesis formula costs O(prefix + samples * 2 * latency *
+    # suffix-cone) gate encodings — on a large design this alone can dwarf
+    # the solving time, so the budget must bound it too.
+    MAX_SAMPLES = 12
+
+    def _check_prefix(self, t, samples, max_iters, time_budget, rng):
+        start = time.perf_counter()
+        iterations = 0
+        while True:
+            if max_iters is not None and iterations >= max_iters:
+                return {"status": UNKNOWN_STATUS, "iterations": iterations}
+            if len(samples) > self.MAX_SAMPLES:
+                # keep the most recent counterexamples: they refute the
+                # latest candidates and keep the formula bounded
+                del samples[: len(samples) - self.MAX_SAMPLES]
+            remaining = None
+            if time_budget is not None:
+                remaining = time_budget - (time.perf_counter() - start)
+                if remaining <= 0:
+                    return {"status": UNKNOWN_STATUS, "iterations": iterations}
+            iterations += 1
+            candidate = self._synthesize(t, samples, remaining)
+            if candidate is None:
+                return {"status": PROVED, "iterations": iterations}
+            if candidate == "unknown":
+                return {"status": UNKNOWN_STATUS, "iterations": iterations}
+            inputs, p, q = candidate
+            counterexample = self._verify(inputs, p, q, remaining)
+            if counterexample is None:
+                return {
+                    "status": VIOLATED,
+                    "iterations": iterations,
+                    "inputs": inputs,
+                    "p": p,
+                    "q": q,
+                }
+            if counterexample == "unknown":
+                return {"status": UNKNOWN_STATUS, "iterations": iterations}
+            samples.append(counterexample)
+
+    def _synthesize(self, t, samples, time_budget):
+        """SAT query: find (S, p, q), p != q, agreeing on every sample.
+
+        The time budget bounds *encoding* as well as solving: building a
+        sample's two suffix copies on a 10k-cell design is itself costly.
+        """
+        start = time.perf_counter()
+        deadline = None if time_budget is None else start + time_budget
+        solver = Solver()
+        suffix = self._suffix
+        # Symbolic prefix: unroll the D-cones of all suffix-state flops.
+        prefix_targets = [f.d for f in suffix.state_flops]
+        if not prefix_targets:
+            prefix_targets = [0]
+        unroller = Unroller(self.netlist, solver, prefix_targets)
+        unroller.extend_to(t)
+        true_lit = unroller.true_lit
+
+        def state_lit(flop):
+            if unroller.has_lit(flop.d, t - 1):
+                return unroller.lit(flop.d, t - 1)
+            # flop outside the prefix cone: its value is its reset value
+            # only at t == 1; otherwise it is unconstrained — allocate.
+            if t == 1:
+                return true_lit if flop.init else -true_lit
+            return solver.new_var()
+
+        base_state = {f.q: state_lit(f) for f in suffix.state_flops}
+        p_lits = {q: solver.new_var() for q in suffix.r_q_nets}
+        q_lits = {q: solver.new_var() for q in suffix.r_q_nets}
+        # p != q
+        diff_bits = []
+        for net in suffix.r_q_nets:
+            d = solver.new_var()
+            encode_xor2(solver, d, p_lits[net], q_lits[net])
+            diff_bits.append(d)
+        solver.add_clause(diff_bits)
+        # Each sample: two constant-input suffix copies must agree.
+        for sample in samples:
+            if deadline is not None and time.perf_counter() > deadline:
+                return "unknown"
+            input_lits = [
+                {
+                    net: (true_lit if bits[net] else -true_lit)
+                    for net in suffix.input_nets
+                }
+                for bits in sample
+            ]
+            outs_a = suffix.encode(
+                solver, true_lit, base_state, p_lits, input_lits, self.latency
+            )
+            outs_b = suffix.encode(
+                solver, true_lit, base_state, q_lits, input_lits, self.latency
+            )
+            for frame_a, frame_b in zip(outs_a, outs_b):
+                for la, lb in zip(frame_a, frame_b):
+                    solver.add_clause([-la, lb])
+                    solver.add_clause([la, -lb])
+        solve_budget = None
+        if deadline is not None:
+            solve_budget = max(deadline - time.perf_counter(), 0.001)
+        result = solver.solve(time_budget=solve_budget)
+        if result.status == UNSAT:
+            return None
+        if result.status != SAT:
+            return "unknown"
+        model = result.model
+        inputs = unroller.input_assignment(model, t)
+        p = self._decode_word(model, p_lits)
+        q = self._decode_word(model, q_lits)
+        return inputs, p, q
+
+    def _decode_word(self, model, lit_map):
+        word = 0
+        for bit, net in enumerate(self.r_q_nets):
+            literal = lit_map[net]
+            value = model[abs(literal)]
+            if literal < 0:
+                value = not value
+            if value:
+                word |= 1 << bit
+        return word
+
+    def _state_after(self, inputs):
+        """Concrete flop values after running the prefix on the simulator."""
+        sim = SequentialSimulator(self.netlist)
+        for words in inputs:
+            sim.step(words)
+        return {
+            flop.q: sim.net_value(flop.q) for flop in self.netlist.flops
+        }
+
+    def _verify(self, inputs, p, q, time_budget):
+        """Search a future input exposing R; None means bypass confirmed."""
+        suffix = self._suffix
+        state = self._state_after(inputs)
+        solver = Solver()
+        true_lit = solver.new_var()
+        solver.add_clause([true_lit])
+
+        def const(bit):
+            return true_lit if bit else -true_lit
+
+        base_state = {
+            f.q: const(state[f.q]) for f in suffix.state_flops
+        }
+        p_map = {
+            net: const((p >> i) & 1)
+            for i, net in enumerate(suffix.r_q_nets)
+        }
+        q_map = {
+            net: const((q >> i) & 1)
+            for i, net in enumerate(suffix.r_q_nets)
+        }
+        input_lits = [
+            {net: solver.new_var() for net in suffix.input_nets}
+            for _ in range(self.latency)
+        ]
+        outs_a = suffix.encode(
+            solver, true_lit, base_state, p_map, input_lits, self.latency
+        )
+        outs_b = suffix.encode(
+            solver, true_lit, base_state, q_map, input_lits, self.latency
+        )
+        diffs = []
+        for frame_a, frame_b in zip(outs_a, outs_b):
+            for la, lb in zip(frame_a, frame_b):
+                d = solver.new_var()
+                encode_xor2(solver, d, la, lb)
+                diffs.append(d)
+        solver.add_clause(diffs)
+        result = solver.solve(time_budget=time_budget)
+        if result.status == UNSAT:
+            return None
+        if result.status != SAT:
+            return "unknown"
+        model = result.model
+        sample = []
+        for frame in input_lits:
+            sample.append(
+                {net: int(model[frame[net]]) for net in suffix.input_nets}
+            )
+        return sample
+
+
+def validate_bypass(netlist, result, register, trials=16, seed=1):
+    """Randomized replay check of a bypass finding.
+
+    Runs the witness prefix, overrides the register with p and q, and
+    drives ``trials`` random future-input sequences of the check's latency:
+    all observed outputs must match between the two overrides for the
+    finding to stand.
+    """
+    if not result.detected:
+        return False
+    rng = random.Random(seed)
+    outputs = result.observed_outputs
+    q_nets = netlist.register_q_nets(register)
+    for _ in range(trials):
+        future = [
+            {
+                name: rng.getrandbits(len(nets))
+                for name, nets in netlist.inputs.items()
+            }
+            for _ in range(result.latency)
+        ]
+        observations = []
+        for value in (result.p_value, result.q_value):
+            sim = SequentialSimulator(netlist)
+            for words in result.witness.inputs:
+                sim.step(words)
+            for i, net in enumerate(q_nets):
+                sim.values[net] = (value >> i) & 1
+            seen = []
+            for words in future:
+                for name, word in words.items():
+                    sim.set_input(name, word)
+                sim.propagate()
+                seen.append(tuple(sim.output_value(n) for n in outputs))
+                sim.clock()
+            observations.append(seen)
+        if observations[0] != observations[1]:
+            return False
+    return True

@@ -1,0 +1,127 @@
+"""Verilog/SVA assertion text generation.
+
+The paper's toolflow ("We generated Verilog assertions for the data
+corruption property ... embedded into the respective designs and provided
+as input to the BMC engine", Section 3.3.1) exchanges properties as Verilog
+assertion text. This module renders a :class:`RegisterSpec` into the
+equivalent SystemVerilog assertions so the same specs can be consumed by a
+commercial flow. Conditions use each way's ``expression`` string (the
+human-readable form of its circuit condition).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PropertyError
+
+
+def _cond_expr(way):
+    if way.expression:
+        return way.expression
+    raise PropertyError(
+        "valid way {!r} has no textual expression; set ValidWay.expression "
+        "to emit assertions".format(way.name)
+    )
+
+
+def corruption_assertion(spec, clock="clk", reset=None):
+    """Eq. (2) as an SVA property block for one register.
+
+    The register may change between consecutive cycles only when some valid
+    way was active (checks each bit, per the paper's partial-corruption
+    note).
+    """
+    register = spec.register
+    valid = " || ".join("({})".format(_cond_expr(w)) for w in spec.ways)
+    lines = [
+        "// Eq.(2) no-data-corruption property for register '{}'".format(
+            register
+        ),
+        "// valid ways: {}".format(", ".join(w.name for w in spec.ways)),
+        "property p_no_corruption_{};".format(register),
+        "  @(posedge {}) ".format(clock)
+        + ("disable iff ({}) ".format(reset) if reset else "")
+        + "!({}) |=> ({} == $past({}));".format(valid, register, register),
+        "endproperty",
+        "assert_no_corruption_{0}: assert property (p_no_corruption_{0});".format(
+            register
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def functional_assertions(spec, clock="clk", reset=None):
+    """Per-way value checks ("CALL increments the stack pointer by 1")."""
+    blocks = []
+    for way in spec.ways:
+        if way.value is None:
+            continue
+        cond = _cond_expr(way)
+        value = way.value_expression if hasattr(way, "value_expression") else None
+        comment = "// way '{}' (cycle {}): {}".format(
+            way.name, way.cycle, cond
+        )
+        body = (
+            "property p_{0}_{1};\n"
+            "  @(posedge {2}) {3}({4}) |=> "
+            "({0} == $past(`EXPECTED_{0}_{1}));\n"
+            "endproperty\n"
+            "assert_{0}_{1}: assert property (p_{0}_{1});".format(
+                spec.register,
+                way.name,
+                clock,
+                "disable iff ({}) ".format(reset) if reset else "",
+                cond,
+            )
+        )
+        _ = value
+        blocks.append(comment + "\n" + body)
+    return "\n\n".join(blocks)
+
+
+def tracking_assertion(spec, candidate, clock="clk", direction="after"):
+    """Eq. (3) pseudo-critical tracking as an SVA block."""
+    register = spec.register
+    if direction == "after":
+        relation = "({cand} == $past({reg})) || ({cand} == ~$past({reg}))"
+    else:
+        relation = "($past({cand}) == {reg}) || ($past({cand}) == ~{reg})"
+    relation = relation.format(cand=candidate, reg=register)
+    valid = " || ".join("({})".format(_cond_expr(w)) for w in spec.ways)
+    lines = [
+        "// Eq.(3) pseudo-critical tracking: does '{}' mirror '{}'?".format(
+            candidate, register
+        ),
+        "property p_tracks_{}_{};".format(candidate, register),
+        "  @(posedge {}) ({}) |=> {};".format(clock, valid, relation),
+        "endproperty",
+        "assert_tracks_{0}_{1}: assert property (p_tracks_{0}_{1});".format(
+            candidate, register
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def bypass_comment(spec):
+    """Eq. (4) cannot be a plain SVA assertion (exists/forall); emit the
+    documentation block the integrator attaches to the CEGIS check."""
+    return (
+        "// Eq.(4) no-bypass property for register '{0}':\n"
+        "//   not exists S . forall i . forall p != q .\n"
+        "//       outputs(t+1..t+{1}) identical under {0} = p and {0} = q\n"
+        "// Checked by repro.properties.bypass.BypassChecker (CEGIS), not\n"
+        "// expressible as a bounded SVA assertion.".format(
+            spec.register, max(1, spec.observe_latency)
+        )
+    )
+
+
+def render_spec(spec, clock="clk", reset=None, candidates=()):
+    """Full assertion file for one register spec."""
+    parts = [corruption_assertion(spec, clock, reset)]
+    functional = functional_assertions(spec, clock, reset)
+    if functional:
+        parts.append(functional)
+    for candidate in candidates:
+        parts.append(tracking_assertion(spec, candidate, clock))
+    parts.append(bypass_comment(spec))
+    return "\n\n".join(parts) + "\n"

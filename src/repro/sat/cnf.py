@@ -1,0 +1,72 @@
+"""CNF formula container.
+
+Variables are positive integers ``1..num_vars``; literals are non-zero
+signed integers (DIMACS convention). :class:`Cnf` is a plain container used
+to stage clauses before handing them to the solver, and for DIMACS I/O and
+the brute-force reference checker used by the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.errors import EncodingError
+
+
+class Cnf:
+    """A CNF formula: a variable pool plus a clause list."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses = []
+
+    def new_var(self):
+        """Allocate a fresh variable; returns its (positive) index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count):
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals):
+        """Add a clause; literals must reference allocated variables."""
+        clause = []
+        for lit in literals:
+            if not isinstance(lit, int) or lit == 0:
+                raise EncodingError("bad literal {!r}".format(lit))
+            if abs(lit) > self.num_vars:
+                raise EncodingError(
+                    "literal {} references unallocated variable".format(lit)
+                )
+            clause.append(lit)
+        self.clauses.append(clause)
+        return clause
+
+    def add_clauses(self, clauses):
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self):
+        return len(self.clauses)
+
+    def evaluate(self, assignment):
+        """Evaluate under ``assignment``: dict/list var -> bool."""
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(lit)] == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def enumerate_models(self, limit=None):
+        """Brute-force model enumeration (testing aid; exponential)."""
+        if self.num_vars > 22:
+            raise EncodingError("too many variables to enumerate")
+        models = []
+        for bits in product((False, True), repeat=self.num_vars):
+            assignment = {i + 1: bits[i] for i in range(self.num_vars)}
+            if self.evaluate(assignment):
+                models.append(assignment)
+                if limit is not None and len(models) >= limit:
+                    break
+        return models

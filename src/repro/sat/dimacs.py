@@ -1,0 +1,63 @@
+"""DIMACS CNF reader/writer.
+
+Interoperability with external SAT tooling: formulas built by the Tseitin
+encoder can be exported for cross-checking with any off-the-shelf solver,
+and regression CNFs can be loaded back.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.sat.cnf import Cnf
+
+
+def dumps(cnf, comments=()):
+    """Render a :class:`Cnf` in DIMACS format."""
+    lines = ["c {}".format(c) for c in comments]
+    lines.append("p cnf {} {}".format(cnf.num_vars, len(cnf.clauses)))
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def dump(cnf, path, comments=()):
+    with open(path, "w") as handle:
+        handle.write(dumps(cnf, comments))
+
+
+def loads(text):
+    """Parse DIMACS text into a :class:`Cnf`."""
+    cnf = Cnf()
+    declared_vars = None
+    pending = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise EncodingError("bad DIMACS header: {!r}".format(line))
+            declared_vars = int(parts[2])
+            cnf.num_vars = declared_vars
+            continue
+        pending.extend(int(tok) for tok in line.split())
+    if declared_vars is None:
+        raise EncodingError("missing DIMACS header")
+    clause = []
+    for lit in pending:
+        if lit == 0:
+            cnf.add_clause(clause)
+            clause = []
+        else:
+            if abs(lit) > cnf.num_vars:
+                cnf.num_vars = abs(lit)
+            clause.append(lit)
+    if clause:
+        raise EncodingError("trailing clause without terminating 0")
+    return cnf
+
+
+def load(path):
+    with open(path) as handle:
+        return loads(handle.read())

@@ -1,0 +1,529 @@
+"""A CDCL SAT solver (MiniSat-style) in pure Python.
+
+This is the decision procedure behind the BMC engine, standing in for the
+SAT core of Cadence SMV used by the paper. Features:
+
+* two-watched-literal unit propagation,
+* 1-UIP conflict analysis with clause learning,
+* VSIDS variable activities with phase saving,
+* Luby-sequence restarts,
+* learned-clause database reduction,
+* incremental solving under assumptions (the BMC bound loop re-solves the
+  same growing formula with a different "violation at frame t" assumption),
+* conflict and wall-clock budgets (the paper caps every run at a fixed
+  time budget and reports the largest bound reached — engines need a solver
+  that can give up cleanly with ``UNKNOWN``).
+
+The implementation favours clarity over micro-optimization but is careful
+about the things that dominate in CPython: tight propagate loop, list-based
+watcher schemes, no per-literal object allocation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+from repro.errors import SolverError
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits, learned):
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a :meth:`Solver.solve` call."""
+
+    status: str
+    model: dict | None = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    elapsed: float = 0.0
+
+    def __bool__(self):
+        return self.status == SAT
+
+
+@dataclass
+class SolverStats:
+    """Cumulative statistics across all solve calls."""
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    solve_calls: int = 0
+    max_clauses: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def luby(i):
+    """The reluctant-doubling (Luby) sequence, 1-indexed: 1,1,2,1,1,2,4,..."""
+    if i < 1:
+        raise SolverError("luby is 1-indexed")
+    while True:
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i -= (1 << k) - 1
+
+
+class Solver:
+    """Incremental CDCL solver."""
+
+    def __init__(self, restart_base=100, var_decay=0.95, cla_decay=0.999):
+        self.num_vars = 0
+        self.clauses = []  # problem clauses
+        self.learnts = []  # learned clauses
+        self.watches = {}  # literal -> list of _Clause watching it
+        self.assign = [0]  # var -> 0 / 1 / -1
+        self.level = [0]
+        self.reason = [None]
+        self.activity = [0.0]
+        self.phase = [False]
+        self.trail = []
+        self.trail_lim = []
+        self.qhead = 0
+        self.heap = []
+        self.in_heap = [False]
+        self.var_inc = 1.0
+        self.var_decay = var_decay
+        self.cla_inc = 1.0
+        self.cla_decay = cla_decay
+        self.restart_base = restart_base
+        self.root_unsat = False
+        self.max_learnts = 4000.0
+        self.stats = SolverStats()
+
+    # -------------------------------------------------------------- problem
+
+    def new_var(self):
+        self.num_vars += 1
+        self.assign.append(0)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        self.in_heap.append(False)
+        self._heap_insert(self.num_vars)
+        return self.num_vars
+
+    def new_vars(self, count):
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals):
+        """Add a problem clause. Must be called at decision level 0."""
+        if self.trail_lim:
+            self._backtrack(0)
+        seen = set()
+        lits = []
+        for lit in literals:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise SolverError("bad literal {!r}".format(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            lits.append(lit)
+        # Drop root-false literals, detect root-satisfied clauses.
+        final = []
+        for lit in lits:
+            v = self._value(lit)
+            if v == 1 and self.level[abs(lit)] == 0:
+                return True
+            if v == -1 and self.level[abs(lit)] == 0:
+                continue
+            final.append(lit)
+        if not final:
+            self.root_unsat = True
+            return False
+        if len(final) == 1:
+            if not self._enqueue(final[0], None):
+                self.root_unsat = True
+                return False
+            if self._propagate() is not None:
+                self.root_unsat = True
+                return False
+            return True
+        clause = _Clause(final, learned=False)
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def add_cnf(self, cnf):
+        """Import a :class:`~repro.sat.cnf.Cnf` (allocating variables)."""
+        while self.num_vars < cnf.num_vars:
+            self.new_var()
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------ searching
+
+    def solve(self, assumptions=(), conflict_budget=None, time_budget=None):
+        """Search for a model consistent with ``assumptions``.
+
+        Returns a :class:`SolveResult` whose status is ``"sat"``,
+        ``"unsat"`` (under the given assumptions) or ``"unknown"`` when a
+        budget ran out.
+        """
+        start = time.perf_counter()
+        self.stats.solve_calls += 1
+        base_conflicts = self.stats.conflicts
+        base_decisions = self.stats.decisions
+        base_props = self.stats.propagations
+
+        def result(status, model=None):
+            return SolveResult(
+                status=status,
+                model=model,
+                conflicts=self.stats.conflicts - base_conflicts,
+                decisions=self.stats.decisions - base_decisions,
+                propagations=self.stats.propagations - base_props,
+                elapsed=time.perf_counter() - start,
+            )
+
+        if self.root_unsat:
+            return result(UNSAT)
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self.root_unsat = True
+            return result(UNSAT)
+
+        assumptions = list(assumptions)
+        restart_round = 0
+        conflicts_since_restart = 0
+        restart_limit = self.restart_base * luby(1)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self.root_unsat = True
+                    return result(UNSAT)
+                if self._decision_level() <= len(assumptions):
+                    # Conflict entirely under assumptions: analyze to learn,
+                    # then report UNSAT under these assumptions.
+                    learnt, bt = self._analyze(conflict)
+                    self._record_learnt(learnt, bt)
+                    if self._decision_level() <= len(assumptions) and bt == 0:
+                        pass
+                    # The learnt clause may allow progress, but a conflict at
+                    # or below the assumption frontier means the assumptions
+                    # are jointly inconsistent with the formula.
+                    return result(UNSAT)
+                learnt, bt = self._analyze(conflict)
+                self._record_learnt(learnt, bt)
+                self._decay_activities()
+                if conflict_budget is not None and (
+                    self.stats.conflicts - base_conflicts >= conflict_budget
+                ):
+                    self._backtrack(0)
+                    return result(UNKNOWN)
+                if time_budget is not None and (
+                    self.stats.conflicts - base_conflicts
+                ) % 64 == 0 and time.perf_counter() - start > time_budget:
+                    self._backtrack(0)
+                    return result(UNKNOWN)
+                if conflicts_since_restart >= restart_limit:
+                    restart_round += 1
+                    conflicts_since_restart = 0
+                    restart_limit = self.restart_base * luby(restart_round + 1)
+                    self.stats.restarts += 1
+                    self._backtrack(0)
+                if len(self.learnts) > self.max_learnts:
+                    self._reduce_db()
+                continue
+
+            if time_budget is not None and (
+                time.perf_counter() - start > time_budget
+            ):
+                self._backtrack(0)
+                return result(UNKNOWN)
+
+            # Assumption decisions first.
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                if abs(lit) > self.num_vars or lit == 0:
+                    raise SolverError("bad assumption {!r}".format(lit))
+                v = self._value(lit)
+                if v == -1:
+                    return result(UNSAT)
+                self.trail_lim.append(len(self.trail))
+                if v == 0:
+                    self._enqueue(lit, None)
+                continue
+
+            # Regular decision.
+            var = self._pick_branch_var()
+            if var is None:
+                model = {
+                    v: self.assign[v] == 1 for v in range(1, self.num_vars + 1)
+                }
+                self._backtrack(0)
+                return result(SAT, model)
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            lit = var if self.phase[var] else -var
+            self._enqueue(lit, None)
+
+    # ----------------------------------------------------------- internals
+
+    def _value(self, lit):
+        v = self.assign[abs(lit)]
+        return v if lit > 0 else -v
+
+    def _decision_level(self):
+        return len(self.trail_lim)
+
+    def _watch(self, clause):
+        self.watches.setdefault(clause.lits[0], []).append(clause)
+        self.watches.setdefault(clause.lits[1], []).append(clause)
+
+    def _enqueue(self, lit, reason):
+        v = self._value(lit)
+        if v == 1:
+            return True
+        if v == -1:
+            return False
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else -1
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self):
+        assign = self.assign
+        watches = self.watches
+        trail = self.trail
+        while self.qhead < len(trail):
+            p = trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            false_lit = -p
+            ws = watches.get(false_lit)
+            if not ws:
+                continue
+            watches[false_lit] = kept = []
+            idx = 0
+            n = len(ws)
+            level = len(self.trail_lim)
+            while idx < n:
+                clause = ws[idx]
+                idx += 1
+                lits = clause.lits
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if first > 0:
+                    first_val = assign[first]
+                else:
+                    first_val = -assign[-first]
+                if first_val == 1:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    lit = lits[k]
+                    value = assign[lit] if lit > 0 else -assign[-lit]
+                    if value != -1:
+                        lits[1], lits[k] = lit, lits[1]
+                        other = watches.get(lit)
+                        if other is None:
+                            watches[lit] = [clause]
+                        else:
+                            other.append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if first_val == -1:
+                    kept.extend(ws[idx:])
+                    self.qhead = len(trail)
+                    return clause
+                var = first if first > 0 else -first
+                assign[var] = 1 if first > 0 else -1
+                self.level[var] = level
+                self.reason[var] = clause
+                self.phase[var] = first > 0
+                trail.append(first)
+        return None
+
+    def _analyze(self, conflict):
+        """1-UIP conflict analysis; returns (learnt clause, backjump level)."""
+        learnt = [None]  # position 0 reserved for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p = None
+        reason_lits = conflict.lits
+        if conflict.learned:
+            self._bump_clause(conflict)
+        trail_idx = len(self.trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for q in reason_lits:
+                if p is not None and q == p:
+                    continue
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[trail_idx])]:
+                trail_idx -= 1
+            p_lit = self.trail[trail_idx]
+            trail_idx -= 1
+            p = p_lit
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self.reason[abs(p_lit)]
+            if reason is None:
+                raise SolverError("UIP search hit a decision without reason")
+            if reason.learned:
+                self._bump_clause(reason)
+            reason_lits = reason.lits
+        learnt[0] = -p
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # Find the second-highest decision level and move it to position 1.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self.level[abs(learnt[i])] > self.level[abs(learnt[max_i])]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self.level[abs(learnt[1])]
+
+    def _record_learnt(self, learnt, bt_level):
+        self._backtrack(bt_level)
+        if len(learnt) == 1:
+            if not self._enqueue(learnt[0], None):
+                self.root_unsat = True
+            return
+        clause = _Clause(learnt, learned=True)
+        clause.activity = self.cla_inc
+        self.learnts.append(clause)
+        self.stats.learned_clauses += 1
+        self._watch(clause)
+        self._enqueue(learnt[0], clause)
+
+    def _backtrack(self, target_level):
+        if self._decision_level() <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for i in range(len(self.trail) - 1, boundary - 1, -1):
+            lit = self.trail[i]
+            var = abs(lit)
+            self.assign[var] = 0
+            self.reason[var] = None
+            if not self.in_heap[var]:
+                self._heap_insert(var)
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self.qhead = min(self.qhead, len(self.trail))
+
+    # ---------------------------------------------------------- activities
+
+    def _bump_var(self, var):
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+        if not self.in_heap[var]:
+            self._heap_insert(var)
+        else:
+            # Lazy heap: push a fresh entry, stale ones are skipped on pop.
+            heappush(self.heap, (-self.activity[var], var))
+
+    def _bump_clause(self, clause):
+        clause.activity += self.cla_inc
+        if clause.activity > 1e20:
+            for c in self.learnts:
+                c.activity *= 1e-20
+            self.cla_inc *= 1e-20
+
+    def _decay_activities(self):
+        self.var_inc /= self.var_decay
+        self.cla_inc /= self.cla_decay
+
+    def _heap_insert(self, var):
+        self.in_heap[var] = True
+        heappush(self.heap, (-self.activity[var], var))
+
+    def _pick_branch_var(self):
+        while self.heap:
+            neg_act, var = heappop(self.heap)
+            if self.assign[var] == 0 and -neg_act == self.activity[var]:
+                self.in_heap[var] = False
+                return var
+            if self.assign[var] != 0:
+                self.in_heap[var] = False
+        # Heap exhausted: linear scan fallback (stale entries were dropped).
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == 0:
+                return var
+        return None
+
+    # ------------------------------------------------------------ reduction
+
+    def _is_reason(self, clause):
+        lit = clause.lits[0]
+        return self._value(lit) == 1 and self.reason[abs(lit)] is clause
+
+    def _reduce_db(self):
+        """Drop the less active half of the learned clauses."""
+        self.learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self.learnts) // 2
+        kept = []
+        removed = 0
+        for i, clause in enumerate(self.learnts):
+            if i >= keep_from or len(clause.lits) <= 2 or self._is_reason(clause):
+                kept.append(clause)
+            else:
+                self._unwatch(clause)
+                removed += 1
+        self.learnts = kept
+        self.stats.deleted_clauses += removed
+        self.max_learnts *= 1.1
+
+    def _unwatch(self, clause):
+        for lit in clause.lits[:2]:
+            watchers = self.watches.get(lit)
+            if watchers is not None:
+                try:
+                    watchers.remove(clause)
+                except ValueError:
+                    pass
+
+    # ------------------------------------------------------------- utility
+
+    def value_in_model(self, model, lit):
+        truth = model[abs(lit)]
+        return truth if lit > 0 else not truth

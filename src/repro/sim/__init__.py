@@ -1,0 +1,14 @@
+"""Logic simulation: bit-parallel evaluation, sequential runs, VCD, stimulus."""
+
+from repro.sim.engine import CombEvaluator
+from repro.sim.random_stim import StimulusGenerator
+from repro.sim.sequential import SequentialSimulator, Trace
+from repro.sim.vcd import VcdWriter
+
+__all__ = [
+    "CombEvaluator",
+    "StimulusGenerator",
+    "SequentialSimulator",
+    "Trace",
+    "VcdWriter",
+]

@@ -1,0 +1,124 @@
+"""Levelized bit-parallel logic simulation.
+
+Net values are Python integers used as *pattern vectors*: bit ``k`` of every
+net's word is the value of that net under stimulus pattern ``k``. A
+:class:`CombEvaluator` with ``lanes = 1`` is an ordinary single-pattern
+simulator; with ``lanes = 64`` (or any width — Python ints are unbounded) it
+evaluates 64 patterns per pass, which is what makes the FANCI sampling and
+fault-simulation substrates tractable in pure Python.
+
+The evaluator is *compiled* once per netlist: cells are stored in topological
+order and replayed linearly — no event wheel, every gate evaluates every
+pass. For the design sizes in this repository (10^3–10^5 gates) the oblivious
+approach beats an event-driven one in CPython by a wide margin.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import topological_cells
+
+
+class CombEvaluator:
+    """Evaluates the combinational portion of a netlist, bit-parallel."""
+
+    def __init__(self, netlist, lanes=1):
+        if lanes < 1:
+            raise SimulationError("lanes must be >= 1")
+        self.netlist = netlist
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        self._order = topological_cells(netlist)
+        # Pre-decode cells into a flat program of (opcode, inputs, output)
+        self._program = [
+            (cell.kind, cell.inputs, cell.output)
+            for cell in (netlist.cells[i] for i in self._order)
+        ]
+
+    def fresh_values(self):
+        """A value array with constants set; everything else 0."""
+        values = [0] * self.netlist.num_nets
+        values[1] = self.mask
+        return values
+
+    def propagate(self, values):
+        """Evaluate all combinational cells in place over ``values``.
+
+        ``values`` must already hold the input-port nets and flop Q nets.
+        """
+        mask = self.mask
+        for kind, ins, out in self._program:
+            if kind is Kind.AND:
+                acc = values[ins[0]]
+                for net in ins[1:]:
+                    acc &= values[net]
+                values[out] = acc
+            elif kind is Kind.OR:
+                acc = values[ins[0]]
+                for net in ins[1:]:
+                    acc |= values[net]
+                values[out] = acc
+            elif kind is Kind.XOR:
+                acc = values[ins[0]]
+                for net in ins[1:]:
+                    acc ^= values[net]
+                values[out] = acc
+            elif kind is Kind.NOT:
+                values[out] = ~values[ins[0]] & mask
+            elif kind is Kind.MUX:
+                sel = values[ins[0]]
+                values[out] = (values[ins[1]] & ~sel) | (values[ins[2]] & sel)
+            elif kind is Kind.BUF:
+                values[out] = values[ins[0]]
+            elif kind is Kind.NAND:
+                acc = values[ins[0]]
+                for net in ins[1:]:
+                    acc &= values[net]
+                values[out] = ~acc & mask
+            elif kind is Kind.NOR:
+                acc = values[ins[0]]
+                for net in ins[1:]:
+                    acc |= values[net]
+                values[out] = ~acc & mask
+            elif kind is Kind.XNOR:
+                acc = values[ins[0]]
+                for net in ins[1:]:
+                    acc ^= values[net]
+                values[out] = ~acc & mask
+            else:  # pragma: no cover - closed enum
+                raise SimulationError("unknown cell kind {!r}".format(kind))
+        return values
+
+    # ------------------------------------------------------------- word I/O
+
+    def set_word(self, values, nets, word):
+        """Broadcast an integer word onto nets (same value in every lane)."""
+        mask = self.mask
+        for i, net in enumerate(nets):
+            values[net] = mask if (word >> i) & 1 else 0
+
+    def set_word_lanes(self, values, nets, words):
+        """Set per-lane words: ``words[k]`` drives lane ``k``."""
+        if len(words) > self.lanes:
+            raise SimulationError(
+                "{} words but only {} lanes".format(len(words), self.lanes)
+            )
+        for i, net in enumerate(nets):
+            acc = 0
+            for lane, word in enumerate(words):
+                if (word >> i) & 1:
+                    acc |= 1 << lane
+            values[net] = acc
+
+    def get_word(self, values, nets, lane=0):
+        """Read nets as an integer word from one lane."""
+        word = 0
+        for i, net in enumerate(nets):
+            if (values[net] >> lane) & 1:
+                word |= 1 << i
+        return word
+
+    def get_word_lanes(self, values, nets):
+        """Read nets as a list of per-lane integer words."""
+        return [self.get_word(values, nets, lane) for lane in range(self.lanes)]

@@ -1,0 +1,67 @@
+"""Fault simulation tests, including the Section 4.1 argument: a stuck
+pseudo-critical register bit is revealed by functional testing."""
+
+from repro.atpg import Fault, FaultSimulator, full_fault_list
+from repro.netlist import Circuit
+from repro.sim import StimulusGenerator
+
+from tests.conftest import build_counter, build_secret_design
+
+
+def test_detects_injected_output_fault():
+    nl = build_counter(4)
+    bit0 = nl.register_q_nets("count")[0]
+    sim = FaultSimulator(nl)
+    result = sim.run([Fault(bit0, 0)], [{"en": 1}] * 3)
+    assert Fault(bit0, 0) in result.detected
+    # count becomes 1 at the first edge; the stuck bit is visible on the
+    # output during the following cycle
+    assert result.detected[Fault(bit0, 0)] == 1
+
+
+def test_undetected_without_stimulus():
+    nl = build_counter(4)
+    bit0 = nl.register_q_nets("count")[0]
+    sim = FaultSimulator(nl)
+    result = sim.run([Fault(bit0, 0)], [{"en": 0}] * 3)
+    assert Fault(bit0, 0) in result.undetected
+    assert result.coverage == 0.0
+
+
+def test_batching_matches_small_batches():
+    nl = build_counter(3)
+    faults = full_fault_list(nl)
+    stim = [{"en": 1}] * 6
+    big = FaultSimulator(nl, batch=63).run(faults, stim)
+    small = FaultSimulator(nl, batch=3).run(faults, stim)
+    assert set(big.detected) == set(small.detected)
+
+
+def test_coverage_on_counter_with_random_stimulus():
+    nl = build_counter(4)
+    gen = StimulusGenerator(nl, seed=3)
+    stim = gen.random_sequence(40)
+    result = FaultSimulator(nl).run(full_fault_list(nl), stim)
+    assert result.coverage > 0.5
+    assert result.patterns == 40
+
+
+def test_stuck_pseudo_critical_bit_revealed():
+    """Section 4.1: an attacker cannot force a pseudo-critical register bit
+    to a constant — functional testing with valid update sequences reveals
+    the stuck-at fault at an output."""
+    nl = build_secret_design(trojan=False, pseudo=True)
+    pseudo_bit = nl.register_q_nets("pseudo_secret")[0]
+    functional_suite = [
+        {"reset": 1, "load": 0, "key_in": 0},
+        {"reset": 0, "load": 1, "key_in": 0xFF},
+        {"reset": 0, "load": 0, "key_in": 0},
+        {"reset": 0, "load": 1, "key_in": 0x00},
+        {"reset": 0, "load": 0, "key_in": 0},
+    ]
+    sim = FaultSimulator(nl)
+    result = sim.run(
+        [Fault(pseudo_bit, 0), Fault(pseudo_bit, 1)], functional_suite
+    )
+    assert Fault(pseudo_bit, 0) in result.detected
+    assert Fault(pseudo_bit, 1) in result.detected

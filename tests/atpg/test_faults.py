@@ -1,0 +1,46 @@
+"""Fault list and collapsing tests."""
+
+from repro.atpg import Fault, collapse_faults, full_fault_list
+from repro.netlist import Circuit
+
+from tests.conftest import build_counter
+
+
+def test_full_list_covers_driven_nets():
+    nl = build_counter(2)
+    faults = full_fault_list(nl)
+    nets = {f.net for f in faults}
+    for cell in nl.cells:
+        assert cell.output in nets
+    for flop in nl.flops:
+        assert flop.q in nets
+    # both polarities present
+    assert Fault(nl.cells[0].output, 0) in faults
+    assert Fault(nl.cells[0].output, 1) in faults
+
+
+def test_collapse_is_subset():
+    nl = build_counter(4)
+    full = set(full_fault_list(nl))
+    collapsed = set(collapse_faults(nl))
+    assert collapsed <= full
+    assert len(collapsed) < len(full)
+
+
+def test_collapse_drops_controlled_and_inputs():
+    c = Circuit("cl")
+    a = c.input("a", 1)
+    b = c.input("b", 1)
+    y = a & b
+    c.output("y", y)
+    nl = c.finalize()
+    collapsed = set(collapse_faults(nl))
+    # s-a-0 on fanout-free AND inputs is equivalent to output s-a-0
+    assert Fault(a.nets[0], 0) not in collapsed
+    assert Fault(b.nets[0], 0) not in collapsed
+    assert Fault(a.nets[0], 1) in collapsed
+    assert Fault(y.nets[0], 0) in collapsed
+
+
+def test_fault_str():
+    assert str(Fault(12, 1)) == "s-a-1@12"

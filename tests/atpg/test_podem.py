@@ -1,0 +1,136 @@
+"""Combinational PODEM tests: generated tests validated by fault simulation
+semantics (apply pattern to good and faulty circuit; outputs must differ)."""
+
+import pytest
+
+from repro.atpg import CombPodem, Fault, TESTABLE, UNTESTABLE
+from repro.netlist import Circuit
+from repro.sim import CombEvaluator
+
+
+def apply_with_fault(netlist, pattern, fault):
+    """Evaluate (good, faulty) observable values for a full input pattern."""
+    results = []
+    for inject in (False, True):
+        ev = CombEvaluator(netlist)
+        values = ev.fresh_values()
+        for net, bit in pattern.items():
+            values[net] = bit
+        if inject:
+            values[fault.net] = fault.stuck_at
+        # propagate with injection at the fault site
+        for kind, ins, out in ev._program:
+            from repro.netlist.cells import Cell
+
+            cell = Cell(kind, ins, out)
+            values[out] = cell.eval(values) & 1
+            if inject and out == fault.net:
+                values[out] = fault.stuck_at
+        observable = []
+        for nets in netlist.outputs.values():
+            observable.extend(values[n] for n in nets)
+        for flop in netlist.flops:
+            observable.append(values[flop.d])
+        results.append(tuple(observable))
+    return results
+
+
+def build_and_or():
+    c = Circuit("ao")
+    a = c.input("a", 1)
+    b = c.input("b", 1)
+    d = c.input("d", 1)
+    y = (a & b) | d
+    c.output("y", y)
+    return c.finalize(), y.nets[0]
+
+
+class TestBasicFaults:
+    def test_output_stuck_at_0(self):
+        nl, y = build_and_or()
+        result = CombPodem(nl).generate_test(Fault(y, 0))
+        assert result.status == TESTABLE
+        good, faulty = apply_with_fault(nl, result.test, Fault(y, 0))
+        assert good != faulty
+
+    def test_internal_fault(self):
+        nl, _y = build_and_or()
+        and_net = nl.cells[0].output
+        for stuck in (0, 1):
+            fault = Fault(and_net, stuck)
+            result = CombPodem(nl).generate_test(fault)
+            assert result.status == TESTABLE
+            good, faulty = apply_with_fault(nl, result.test, fault)
+            assert good != faulty
+
+    def test_untestable_redundant_fault(self):
+        # y = a | ~a is constant 1: s-a-1 at y is untestable
+        c = Circuit("red")
+        a = c.input("a", 1)
+        y = a | ~a
+        c.output("y", y)
+        nl = c.finalize()
+        result = CombPodem(nl).generate_test(Fault(y.nets[0], 1))
+        assert result.status == UNTESTABLE
+
+
+class TestWholeFaultList:
+    @pytest.mark.parametrize("builder", [build_and_or])
+    def test_full_coverage_small_circuit(self, builder):
+        from repro.atpg import full_fault_list
+
+        nl, _ = builder()
+        podem = CombPodem(nl)
+        results = podem.run_fault_list(full_fault_list(nl))
+        for fault, result in results.items():
+            if result.status != TESTABLE:
+                continue
+            good, faulty = apply_with_fault(nl, result.test, fault)
+            assert good != faulty, fault
+
+    def test_comparator_faults_testable(self):
+        c = Circuit("cmp")
+        a = c.input("a", 4)
+        y = a.eq_const(0xA)
+        c.output("y", y)
+        nl = c.finalize()
+        podem = CombPodem(nl)
+        fault = Fault(y.nets[0], 0)
+        result = podem.generate_test(fault)
+        assert result.status == TESTABLE
+        # the test must set a == 0xA to excite s-a-0 at the compare output
+        word = sum(
+            result.test.get(net, 0) << bit
+            for bit, net in enumerate(nl.inputs["a"])
+        )
+        assert word == 0xA
+
+
+class TestSequentialView:
+    def test_flop_pins_are_pseudo_ports(self):
+        c = Circuit("seq")
+        en = c.input("en", 1)
+        r = c.reg("r", 2)
+        r.hold_unless((en, r.q + 1))
+        c.output("y", r.q)
+        nl = c.finalize()
+        podem = CombPodem(nl)
+        assert set(nl.register_q_nets("r")) <= set(podem.controllable)
+        d_nets = set(nl.register_d_nets("r"))
+        assert d_nets <= set(podem.observable)
+
+
+def test_monitor_output_stuck_at_formulation(trojan_design, spec):
+    """The paper's Section 3.2 trick: a test for s-a-1 at the monitor
+    output is an input pattern driving the (combinationally viewed)
+    violation signal to 0 in the good circuit — i.e. the property holds
+    for that pattern; s-a-0 tests force a violation pattern if one exists
+    in the combinational view."""
+    from repro.properties.monitors import build_corruption_monitor
+
+    monitor = build_corruption_monitor(trojan_design, spec)
+    podem = CombPodem(monitor.netlist)
+    result = podem.generate_test(Fault(monitor.violation_net, 1))
+    # s-a-1 is testable iff the violation net can be 0 somewhere: trivially
+    # yes (any cycle without corruption)
+    assert result.status == TESTABLE

@@ -1,0 +1,111 @@
+"""PODEM sequential justifier tests (mirrors the backward engine's suite:
+the two must agree with BMC on every verdict)."""
+
+from repro.netlist import Circuit
+from repro.atpg import PodemJustifier
+from repro.bmc import BmcEngine, confirms_violation
+
+from tests.conftest import build_counter, build_secret_design, secret_spec
+
+
+def counter_objective(value, width=4):
+    nl = build_counter(width)
+    c = Circuit.attach(nl)
+    return nl, c.bv(nl.register_q_nets("count")).eq_const(value).nets[0]
+
+
+def test_bounds_match_bmc():
+    for value in (1, 3, 6):
+        nl, obj = counter_objective(value)
+        bmc = BmcEngine(nl, obj).check(12)
+        podem = PodemJustifier(nl, obj).check(12)
+        assert podem.status == bmc.status == "violated"
+        assert podem.bound == bmc.bound
+
+
+def test_proved_case():
+    nl, obj = counter_objective(9)
+    assert PodemJustifier(nl, obj).check(6).status == "proved"
+
+
+def test_witness_confirms():
+    nl, obj = counter_objective(4)
+    result = PodemJustifier(nl, obj).check(10)
+    assert result.detected
+    assert confirms_violation(nl, result.witness, obj)
+
+
+def test_pinned_inputs():
+    nl, obj = counter_objective(2)
+    blocked = PodemJustifier(nl, obj, pinned_inputs={"en": 0}).check(8)
+    assert blocked.status == "proved"
+    forced = PodemJustifier(nl, obj, pinned_inputs={"en": 1}).check(8)
+    assert forced.detected
+
+
+def test_budget_unknown():
+    nl, obj = counter_objective(15)
+    assert PodemJustifier(nl, obj).check(100, time_budget=0.0).status == (
+        "unknown"
+    )
+
+
+def test_trojan_monitor_never_wrong_under_budget():
+    """PODEM is the portfolio's arithmetic-property specialist; on
+    counter/comparator monitors it may abort — but it must never return a
+    wrong verdict, and any detection must carry a valid witness. (The
+    composite 'atpg' backend covers this design via the backward stage —
+    see test_portfolio.)"""
+    from repro.properties.monitors import build_corruption_monitor
+
+    nl = build_secret_design(trojan=True)
+    monitor = build_corruption_monitor(nl, secret_spec())
+    result = PodemJustifier(monitor.netlist, monitor.objective_net).check(
+        15, time_budget=10
+    )
+    assert result.status in ("violated", "unknown")
+    if result.detected:
+        assert confirms_violation(
+            monitor.netlist, result.witness, monitor.violation_net
+        )
+
+
+def test_clean_monitor_never_wrong_under_budget():
+    from repro.properties.monitors import build_corruption_monitor
+
+    nl = build_secret_design(trojan=False)
+    monitor = build_corruption_monitor(nl, secret_spec())
+    result = PodemJustifier(monitor.netlist, monitor.objective_net).check(
+        8, time_budget=10
+    )
+    assert result.status in ("proved", "unknown")
+
+
+def test_cross_engine_agreement_random_fsm():
+    """All three engines agree on reachability of random target values."""
+    import random
+
+    from repro.atpg import SequentialJustifier
+
+    rng = random.Random(4)
+    c = Circuit("fsm")
+    step = c.input("step", 2)
+    state = c.reg("state", 3)
+    # a little random walk FSM: +1, +2, hold, reset-to-5
+    state.hold_unless(
+        (step.eq_const(1), state.q + 1),
+        (step.eq_const(2), state.q + 2),
+        (step.eq_const(3), c.const(5, 3)),
+    )
+    c.output("s", state.q)
+    nl = c.finalize()
+    cc = Circuit.attach(nl)
+    for _ in range(4):
+        target = rng.randrange(8)
+        obj = cc.bv(nl.register_q_nets("state")).eq_const(target).nets[0]
+        verdicts = {
+            BmcEngine(nl, obj).check(6).status,
+            SequentialJustifier(nl, obj).check(6).status,
+            PodemJustifier(nl, obj).check(6).status,
+        }
+        assert len(verdicts) == 1, (target, verdicts)

@@ -1,0 +1,49 @@
+"""Portfolio justifier tests."""
+
+from repro.atpg.portfolio import PortfolioJustifier
+from repro.netlist import Circuit
+
+from tests.conftest import build_counter, build_secret_design, secret_spec
+
+
+def counter_objective(value, width=4):
+    nl = build_counter(width)
+    c = Circuit.attach(nl)
+    return nl, c.bv(nl.register_q_nets("count")).eq_const(value).nets[0]
+
+
+def test_finds_violation():
+    nl, obj = counter_objective(4)
+    result = PortfolioJustifier(nl, obj).check(10, time_budget=30)
+    assert result.detected
+    assert result.bound == 5
+
+
+def test_proved_by_first_stage():
+    nl, obj = counter_objective(9)
+    justifier = PortfolioJustifier(nl, obj)
+    result = justifier.check(5, time_budget=30)
+    assert result.status == "proved"
+    # the backward ramp concludes; later stages never run
+    assert len(justifier.stage_results) == 1
+
+
+def test_unknown_reports_deepest_bound():
+    nl, obj = counter_objective(15)
+    result = PortfolioJustifier(nl, obj).check(100, time_budget=0.2)
+    assert result.status in ("unknown", "violated")
+
+
+def test_detects_trojan_monitor():
+    from repro.bmc.witness import confirms_violation
+    from repro.properties.monitors import build_corruption_monitor
+
+    nl = build_secret_design(trojan=True)
+    monitor = build_corruption_monitor(nl, secret_spec())
+    result = PortfolioJustifier(
+        monitor.netlist, monitor.objective_net
+    ).check(15, time_budget=60)
+    assert result.detected
+    assert confirms_violation(
+        monitor.netlist, result.witness, monitor.violation_net
+    )

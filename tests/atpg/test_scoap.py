@@ -1,0 +1,70 @@
+"""SCOAP testability measure tests."""
+
+from repro.atpg import compute_scoap
+from repro.netlist import Circuit
+
+from tests.conftest import build_counter
+
+
+def test_inputs_cost_one():
+    c = Circuit("s")
+    a = c.input("a", 1)
+    b = c.input("b", 1)
+    y = a & b
+    c.output("y", y)
+    nl = c.finalize()
+    scoap = compute_scoap(nl)
+    assert scoap.cc0[a.nets[0]] == 1
+    assert scoap.cc1[a.nets[0]] == 1
+    # AND: hard-1 (both inputs), easy-0 (either input)
+    assert scoap.cc1[y.nets[0]] == 3  # 1 + 1 + 1
+    assert scoap.cc0[y.nets[0]] == 2  # min(1,1) + 1
+
+
+def test_constants():
+    c = Circuit("s")
+    a = c.input("a", 1)
+    c.output("y", a)
+    nl = c.finalize()
+    scoap = compute_scoap(nl)
+    assert scoap.cc0[0] == 0
+    assert scoap.cc1[0] == float("inf")  # const0 can never be 1
+    assert scoap.cc1[1] == 0
+
+
+def test_deep_and_tree_harder_than_shallow():
+    c = Circuit("s")
+    a = c.input("a", 8)
+    wide = a.reduce_and()
+    single = a[0]
+    c.output("w", wide)
+    c.output("s1", single)
+    nl = c.finalize()
+    scoap = compute_scoap(nl)
+    assert scoap.cc1[wide.nets[0]] > scoap.cc1[single.nets[0]]
+
+
+def test_sequential_costs_finite():
+    nl = build_counter(4)
+    scoap = compute_scoap(nl)
+    for flop in nl.flops:
+        assert scoap.cc0[flop.q] < float("inf")
+        assert scoap.cc1[flop.q] < float("inf")
+
+
+def test_observability_zero_at_outputs():
+    nl = build_counter(4)
+    scoap = compute_scoap(nl)
+    for net in nl.outputs["value"]:
+        assert scoap.co[net] == 0.0
+    # flop D pins observable through the registers
+    for flop in nl.flops:
+        assert scoap.co[flop.d] < float("inf")
+
+
+def test_cost_helper():
+    nl = build_counter(2)
+    scoap = compute_scoap(nl)
+    net = nl.flops[0].q
+    assert scoap.cost(net, 0) == scoap.cc0[net]
+    assert scoap.cost(net, 1) == scoap.cc1[net]

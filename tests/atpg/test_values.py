@@ -1,0 +1,114 @@
+"""5-valued D-calculus tests: exhaustive against the (good, faulty) pair
+semantics."""
+
+import itertools
+
+import pytest
+
+from repro.atpg.values import (
+    D,
+    DBAR,
+    ONE,
+    X,
+    ZERO,
+    and5,
+    faulty_value,
+    fold,
+    good_value,
+    is_d_value,
+    mux5,
+    not5,
+    or5,
+    xor5,
+)
+
+ALL = [ZERO, ONE, X, D, DBAR]
+
+
+def pair(v):
+    return good_value(v), faulty_value(v)
+
+
+def check_op(op, pyop, a, b):
+    """Oracle for the 5-valued algebra with its standard pessimism: if
+    EITHER the good or the faulty component comes out unknown, the result
+    is X and both components are lost (X carries no per-circuit data)."""
+    ga, fa = pair(a)
+    gb, fb = pair(b)
+    result = op(a, b)
+    gr, fr = pair(result)
+
+    def comp(x, y):
+        if x is None or y is None:
+            # determined only if the op is insensitive to the unknown
+            candidates = {
+                pyop(xx, yy)
+                for xx in ([x] if x is not None else [0, 1])
+                for yy in ([y] if y is not None else [0, 1])
+            }
+            return candidates.pop() if len(candidates) == 1 else None
+        return pyop(x, y)
+
+    expected_good = comp(ga, gb)
+    expected_faulty = comp(fa, fb)
+    if expected_good is None or expected_faulty is None:
+        expected_good = expected_faulty = None  # collapse to X
+    assert gr == expected_good
+    assert fr == expected_faulty
+
+
+@pytest.mark.parametrize("a", ALL)
+@pytest.mark.parametrize("b", ALL)
+def test_and_or_xor_exhaustive(a, b):
+    check_op(and5, lambda x, y: x & y, a, b)
+    check_op(or5, lambda x, y: x | y, a, b)
+    check_op(xor5, lambda x, y: x ^ y, a, b)
+
+
+@pytest.mark.parametrize("a", ALL)
+def test_not(a):
+    g, f = pair(a)
+    gr, fr = pair(not5(a))
+    assert gr == (None if g is None else 1 - g)
+    assert fr == (None if f is None else 1 - f)
+
+
+def test_d_semantics():
+    assert and5(D, ONE) == D
+    assert and5(D, ZERO) == ZERO
+    assert and5(D, DBAR) == ZERO  # good 1&0=0, faulty 0&1=0
+    assert or5(D, DBAR) == ONE
+    assert xor5(D, D) == ZERO
+    assert xor5(D, DBAR) == ONE
+    assert not5(D) == DBAR
+
+
+@pytest.mark.parametrize("sel", ALL)
+@pytest.mark.parametrize("d0", [ZERO, ONE, D])
+@pytest.mark.parametrize("d1", [ZERO, ONE, DBAR])
+def test_mux_exhaustive(sel, d0, d1):
+    result = mux5(sel, d0, d1)
+
+    def component_expectation(component):
+        s = component(sel)
+        lo, hi = component(d0), component(d1)
+        if s == 0:
+            return lo
+        if s == 1:
+            return hi
+        if lo == hi and lo is not None:
+            return lo
+        return None
+
+    expected_good = component_expectation(good_value)
+    expected_faulty = component_expectation(faulty_value)
+    if expected_good is None or expected_faulty is None:
+        expected_good = expected_faulty = None  # X collapses both
+    assert good_value(result) == expected_good
+    assert faulty_value(result) == expected_faulty
+
+
+def test_fold_and_is_d():
+    assert fold(and5, [ONE, ONE, D]) == D
+    assert is_d_value(D) and is_d_value(DBAR)
+    assert not is_d_value(X) and not is_d_value(ONE)

@@ -1,0 +1,119 @@
+"""DeTrust transformation tests."""
+
+import pytest
+
+from repro.baselines import chunk_constants, split_comparator, wide_comparator
+from repro.baselines.detrust import sequence_recognizer
+from repro.errors import PropertyError
+from repro.netlist import Circuit, validate
+from repro.sim import SequentialSimulator
+
+
+def test_chunk_constants():
+    assert chunk_constants(0xABCD, 16, 4) == [0xD, 0xC, 0xB, 0xA]
+    with pytest.raises(PropertyError):
+        chunk_constants(0xAB, 8, 3)
+
+
+def test_wide_comparator_semantics():
+    c = Circuit("w")
+    a = c.input("a", 8)
+    y = wide_comparator(c, a, 0x3C)
+    c.output("y", y)
+    nl = c.finalize()
+    sim = SequentialSimulator(nl)
+    for value in (0x3C, 0x3D, 0x00, 0xFF):
+        sim.set_input("a", value)
+        sim.propagate()
+        assert sim.output_value("y") == int(value == 0x3C)
+
+
+def test_split_comparator_scans_chunks():
+    c = Circuit("s")
+    a = c.input("a", 16)
+    rst = c.input("rst", 1)
+    fired = split_comparator(
+        c, a, 0xBEEF, chunk_bits=4, step=c.true(), reset=rst
+    )
+    c.output("fired", fired)
+    nl = c.finalize()
+    validate(nl)
+    sim = SequentialSimulator(nl)
+    sim.step({"rst": 1, "a": 0})
+    sim.set_input("rst", 0)
+    sim.set_input("a", 0xBEEF)
+    for _ in range(4):
+        assert sim.output_value("fired") == 0
+        sim.step()
+    sim.propagate()
+    assert sim.output_value("fired") == 1
+
+
+def test_split_comparator_rejects_mismatch():
+    c = Circuit("s")
+    a = c.input("a", 16)
+    rst = c.input("rst", 1)
+    fired = split_comparator(
+        c, a, 0xBEEF, chunk_bits=4, step=c.true(), reset=rst
+    )
+    c.output("fired", fired)
+    nl = c.finalize()
+    sim = SequentialSimulator(nl)
+    sim.step({"rst": 1, "a": 0})
+    sim.set_input("rst", 0)
+    sim.set_input("a", 0xBEEF ^ 0x10)  # wrong second nibble
+    for _ in range(6):
+        sim.step()
+    sim.propagate()
+    assert sim.output_value("fired") == 0
+
+
+class TestSequenceRecognizer:
+    def build(self):
+        c = Circuit("seq")
+        sym = c.input("sym", 4)
+        step = c.input("step", 1)
+        rst = c.input("rst", 1)
+        matches = [sym.eq_const(v) for v in (1, 2, 3)]
+        fired = sequence_recognizer(c, matches, step, rst)
+        c.output("fired", fired)
+        return c.finalize()
+
+    def run(self, nl, symbols):
+        sim = SequentialSimulator(nl)
+        sim.step({"rst": 1, "sym": 0, "step": 0})
+        sim.set_input("rst", 0)
+        for s in symbols:
+            sim.step({"sym": s, "step": 1})
+        sim.propagate()
+        return sim.output_value("fired")
+
+    def test_exact_sequence_fires(self):
+        assert self.run(self.build(), [1, 2, 3]) == 1
+
+    def test_wrong_order_does_not(self):
+        assert self.run(self.build(), [2, 1, 3]) == 0
+
+    def test_interruption_restarts(self):
+        assert self.run(self.build(), [1, 2, 9, 1, 2, 3]) == 1
+        assert self.run(self.build(), [1, 2, 9, 2, 3]) == 0
+
+    def test_fired_latches(self):
+        nl = self.build()
+        sim = SequentialSimulator(nl)
+        sim.step({"rst": 1, "sym": 0, "step": 0})
+        sim.set_input("rst", 0)
+        for s in (1, 2, 3, 9, 9):
+            sim.step({"sym": s, "step": 1})
+        sim.propagate()
+        assert sim.output_value("fired") == 1
+
+    def test_non_step_cycles_hold(self):
+        nl = self.build()
+        sim = SequentialSimulator(nl)
+        sim.step({"rst": 1, "sym": 0, "step": 0})
+        sim.set_input("rst", 0)
+        for s, st in ((1, 1), (7, 0), (2, 1), (7, 0), (3, 1)):
+            sim.step({"sym": s, "step": st})
+        sim.propagate()
+        assert sim.output_value("fired") == 1

@@ -1,0 +1,90 @@
+"""FANCI tests: the DeTrust story in miniature — wide single-cycle triggers
+are flagged, chunked multi-cycle triggers are not."""
+
+import pytest
+
+from repro.baselines import Fanci, wide_comparator
+from repro.netlist import Circuit
+
+from tests.conftest import build_secret_design
+
+
+def build_with_wide_trigger(width=32):
+    """A design with a naive wide comparator feeding a payload mux."""
+    c = Circuit("naive")
+    data = c.input("data", width)
+    load = c.input("load", 1)
+    reg = c.reg("r", 8)
+    trigger = wide_comparator(c, data, 0x5A5A5A5A & ((1 << width) - 1))
+    reg.hold_unless((load, data[0:8]), (trigger, c.const(0xFF, 8)))
+    c.output("y", reg.q)
+    return c.finalize(), trigger.nets[0]
+
+
+class TestControlValues:
+    def test_xor_has_high_cv(self):
+        c = Circuit("x")
+        a = c.input("a", 1)
+        b = c.input("b", 1)
+        y = a ^ b
+        c.output("y", y)
+        nl = c.finalize()
+        report = Fanci(nl, samples=128).analyze([y.nets[0]])
+        score = report.scores[y.nets[0]]
+        assert score.mean == 1.0  # every input always controls an XOR
+
+    def test_wide_and_has_tiny_cv(self):
+        nl, trigger_net = build_with_wide_trigger()
+        report = Fanci(nl, samples=512).analyze([trigger_net])
+        score = report.scores[trigger_net]
+        assert score.mean < 0.01
+
+    def test_small_comparator_cv_moderate(self):
+        c = Circuit("cmp4")
+        a = c.input("a", 4)
+        y = a.eq_const(0x9)
+        c.output("y", y)
+        nl = c.finalize()
+        report = Fanci(nl, samples=2048, threshold=2 ** -10).analyze(
+            [y.nets[0]]
+        )
+        score = report.scores[y.nets[0]]
+        # each input controls when the other 3 match: CV = 2^-3
+        assert 0.05 < score.mean < 0.3
+        assert not score.flagged(2 ** -10)
+        assert not score.flagged(2 ** -10, use_median=True)
+
+
+class TestDetection:
+    def test_naive_trigger_flagged(self):
+        nl, trigger_net = build_with_wide_trigger()
+        report = Fanci(nl, samples=1024, threshold=2 ** -10).analyze()
+        assert trigger_net in report.flagged_nets
+        assert report.detects({trigger_net})
+
+    def test_detrust_chunked_trigger_not_flagged(self):
+        """MC8051-T800's nibble-matched trigger: every Trojan gate's
+        control values stay far above the threshold."""
+        from repro.designs.trojans import mc8051_t800
+
+        nl, spec = mc8051_t800()
+        report = Fanci(nl, samples=2048, threshold=2 ** -10).analyze()
+        assert not report.detects(spec.trojan.trojan_nets)
+
+    def test_clean_design_no_false_positives(self):
+        nl = build_secret_design(trojan=False)
+        report = Fanci(nl, samples=2048, threshold=2 ** -10).analyze()
+        assert report.flagged_nets == []
+
+    def test_summary(self):
+        nl = build_secret_design(trojan=False)
+        report = Fanci(nl, samples=64).analyze()
+        assert "FANCI" in report.summary()
+
+
+def test_cone_truncation_bounds_work():
+    nl, trigger_net = build_with_wide_trigger(width=32)
+    analyzer = Fanci(nl, max_cone_cells=4, samples=64)
+    report = analyzer.analyze([trigger_net])
+    # truncated cone still yields a score (frontier nets as pseudo-inputs)
+    assert trigger_net in report.scores

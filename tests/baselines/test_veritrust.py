@@ -1,0 +1,79 @@
+"""VeriTrust tests: dormant-pin analysis under random activation."""
+
+from repro.baselines import VeriTrust, wide_comparator
+from repro.netlist import Circuit
+
+from tests.conftest import build_secret_design
+
+
+def test_xor_pins_always_influence():
+    c = Circuit("x")
+    a = c.input("a", 4)
+    b = c.input("b", 4)
+    c.output("y", a ^ b)
+    nl = c.finalize()
+    report = VeriTrust(nl, cycles=8, lanes=32).analyze()
+    assert report.dormant == []
+
+
+def test_wide_trigger_gate_is_dormant():
+    c = Circuit("naive")
+    data = c.input("data", 32)
+    load = c.input("load", 1)
+    reg = c.reg("r", 8)
+    trigger = wide_comparator(c, data, 0x13371337)
+    reg.hold_unless((load, data[0:8]), (trigger, c.const(0xFF, 8)))
+    c.output("y", reg.q)
+    nl = c.finalize()
+    report = VeriTrust(nl, cycles=32, lanes=64, suspects=10).analyze()
+    # the payload mux select (driven by the never-firing trigger) tops the
+    # dormancy ranking
+    assert report.detects({trigger.nets[0]} | set(
+        cell.output for cell in nl.cells if trigger.nets[0] in cell.inputs
+    ))
+
+
+def test_detrust_trojan_not_in_top_suspects():
+    """MC8051-T800 (a genuinely DeTrust-shaped Trojan): its nibble-FSM
+    wires either activate under random traffic (not dormant) or hide among
+    ordinary rarely-influencing decode logic — either way it stays out of
+    a realistic inspection budget."""
+    from repro.designs.trojans import mc8051_t800
+
+    nl, spec = mc8051_t800()
+    report = VeriTrust(nl, cycles=48, lanes=64, suspects=10).analyze()
+    assert not report.detects(spec.trojan.trojan_nets)
+
+
+def test_semi_naive_toy_is_caught():
+    """The conftest toy's 9-bit single-cycle arming condition is exactly
+    what VeriTrust *can* catch — a sanity check that the analysis has
+    teeth."""
+    nl = build_secret_design(trojan=True)
+    counter_nets = set(nl.register_q_nets("troj_counter"))
+    trojan_cone = set(counter_nets)
+    for cell in nl.cells:
+        if counter_nets & set(cell.inputs):
+            trojan_cone.add(cell.output)
+    report = VeriTrust(nl, cycles=64, lanes=64, suspects=3).analyze()
+    assert report.detects(trojan_cone)
+
+
+def test_report_shape():
+    nl = build_secret_design(trojan=False)
+    report = VeriTrust(nl, cycles=16, lanes=32).analyze()
+    assert report.cycles == 16 * 32
+    assert report.ranked
+    assert "VeriTrust" in report.summary()
+    first = report.ranked[0]
+    assert first.rate <= report.ranked[-1].rate
+
+
+def test_explicit_stimulus():
+    nl = build_secret_design(trojan=False)
+    stim = [
+        {"reset": 0, "load": 1, "key_in": 0xAA},
+        {"reset": 0, "load": 0, "key_in": 0x00},
+    ]
+    report = VeriTrust(nl, cycles=8, stimulus=stim, lanes=1).analyze()
+    assert report.cycles == 8

@@ -1,0 +1,84 @@
+"""Bench harness tests."""
+
+from repro.bench import (
+    baseline_run,
+    detection_run,
+    fmt_bool,
+    fmt_memory,
+    fmt_seconds,
+    max_bound_within_budget,
+    render_table,
+)
+from repro.properties import DesignSpec
+from repro.properties.monitors import build_corruption_monitor
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def design_and_spec(trojan=True):
+    netlist = build_secret_design(trojan=trojan)
+    spec = DesignSpec(name="toy", critical={"secret": secret_spec()})
+    return netlist, spec
+
+
+class TestDetectionRun:
+    def test_detects_and_confirms(self):
+        netlist, spec = design_and_spec()
+        row = detection_run(
+            "toy", netlist, spec, "secret", "bmc", 15, time_budget=30
+        )
+        assert row.detected and row.confirmed
+        assert row.verdict == "Yes"
+        assert row.peak_memory > 0
+
+    def test_clean_is_na(self):
+        netlist, spec = design_and_spec(trojan=False)
+        row = detection_run(
+            "toy", netlist, spec, "secret", "bmc", 8, time_budget=30
+        )
+        assert not row.detected
+        assert row.verdict == "N/A"
+
+
+class TestDepthRamp:
+    def test_continues_past_detection(self):
+        netlist, spec = design_and_spec()
+        monitor = build_corruption_monitor(netlist, secret_spec())
+        bound, elapsed = max_bound_within_budget(
+            monitor.netlist, monitor.objective_net, "bmc", 2.0,
+            pinned_inputs=spec.pinned_inputs,
+        )
+        # the Trojan fires at bound 7; the ramp must push well past it
+        assert bound > 7
+        assert elapsed <= 3.0
+
+
+class TestBaselineRun:
+    def test_runs_and_scores(self):
+        netlist, spec = design_and_spec()
+        trojan_nets = set(netlist.register_q_nets("troj_counter"))
+        row = baseline_run(
+            "toy", netlist, trojan_nets,
+            fanci_samples=256, veritrust_cycles=8, veritrust_lanes=16,
+        )
+        assert row.elapsed > 0
+        assert isinstance(row.fanci_detected, bool)
+
+
+class TestTables:
+    def test_render_table(self):
+        text = render_table(
+            ["a", "bb"], [["1", "2"], ["333"]], title="T"
+        )
+        assert "T" in text
+        assert "| 333" in text
+        assert text.count("+-") >= 3
+
+    def test_formatters(self):
+        assert fmt_seconds(None) == "-"
+        assert fmt_seconds(0.001) == "<0.01"
+        assert fmt_seconds(1.5) == "1.50"
+        assert fmt_memory(0) == "-"
+        assert fmt_memory(2 * 1024 * 1024) == "2.0 MB"
+        assert "GB" in fmt_memory(3 * 1024 ** 3)
+        assert fmt_bool(True) == "Yes"

@@ -1,0 +1,84 @@
+"""BMC engine tests against exhaustively-known small FSMs."""
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.bmc import BmcEngine, confirms_violation
+
+from tests.conftest import build_counter
+
+
+def counter_reaches(value, width=4):
+    nl = build_counter(width)
+    c = Circuit.attach(nl)
+    objective = c.bv(nl.register_q_nets("count")).eq_const(value)
+    return nl, objective.nets[0]
+
+
+class TestBounds:
+    def test_exact_violation_bound(self):
+        # count == 7 observable at frame 7, i.e. bound 8 (value + 1)
+        nl, obj = counter_reaches(7)
+        result = BmcEngine(nl, obj).check(10)
+        assert result.status == "violated"
+        assert result.bound == 8
+
+    def test_proved_below_reachability(self):
+        nl, obj = counter_reaches(9)
+        result = BmcEngine(nl, obj).check(8)
+        assert result.status == "proved"
+        assert result.bound == 8
+
+    def test_witness_replays(self):
+        nl, obj = counter_reaches(5)
+        result = BmcEngine(nl, obj).check(8)
+        assert confirms_violation(nl, result.witness, obj)
+        assert len(result.witness.inputs) == 6
+        assert all(
+            frame["en"] == 1 for frame in result.witness.inputs[:5]
+        )
+
+    def test_incremental_reuse(self):
+        nl, obj = counter_reaches(6)
+        engine = BmcEngine(nl, obj)
+        first = engine.check(3)
+        assert first.status == "proved"
+        second = engine.check(10, start_cycle=4)
+        assert second.status == "violated"
+        assert second.bound == 7
+
+    def test_time_budget_unknown(self):
+        nl, obj = counter_reaches(15, width=4)
+        result = BmcEngine(nl, obj).check(200, time_budget=0.0)
+        assert result.status == "unknown"
+
+    def test_stats_populated(self):
+        nl, obj = counter_reaches(3)
+        result = BmcEngine(nl, obj).check(5, measure_memory=True)
+        assert result.variables > 0
+        assert result.clauses > 0
+        assert result.peak_memory > 0
+        assert result.cone[0] > 0
+        assert "violated" in result.summary()
+
+
+class TestPinnedInputs:
+    def test_pinned_enable_blocks_counting(self):
+        nl, obj = counter_reaches(2)
+        result = BmcEngine(nl, obj, pinned_inputs={"en": 0}).check(10)
+        assert result.status == "proved"
+
+    def test_pinned_enable_forces_counting(self):
+        nl, obj = counter_reaches(2)
+        result = BmcEngine(nl, obj, pinned_inputs={"en": 1}).check(10)
+        assert result.status == "violated"
+        assert result.bound == 3
+
+
+def test_check_objective_wrapper():
+    from repro.bmc import check_objective
+
+    nl, obj = counter_reaches(2)
+    result = check_objective(nl, obj, 5, property_name="count2")
+    assert result.detected
+    assert result.property_name == "count2"

@@ -1,0 +1,85 @@
+"""k-induction tests: unbounded certification beyond the paper's bounded
+guarantee."""
+
+import pytest
+
+from repro.bmc.induction import prove_by_induction
+from repro.properties.monitors import build_corruption_monitor
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def test_clean_design_proved_forever():
+    netlist = build_secret_design(trojan=False)
+    monitor = build_corruption_monitor(netlist, secret_spec())
+    result = prove_by_induction(
+        monitor.netlist, monitor.violation_net, max_k=4,
+        property_name="secret-forever",
+    )
+    assert result.proved_forever
+    assert result.k <= 2
+    assert "proved-unbounded" in result.summary()
+
+
+def test_trojan_found_in_base_case():
+    netlist = build_secret_design(trojan=True)
+    monitor = build_corruption_monitor(netlist, secret_spec())
+    result = prove_by_induction(
+        monitor.netlist, monitor.violation_net, max_k=12
+    )
+    assert result.status == "violated"
+    assert result.witness is not None
+    from repro.bmc.witness import confirms_violation
+
+    assert confirms_violation(
+        monitor.netlist, result.witness, monitor.violation_net
+    )
+
+
+def test_budget_exhaustion_is_unknown():
+    netlist = build_secret_design(trojan=True)
+    monitor = build_corruption_monitor(netlist, secret_spec())
+    result = prove_by_induction(
+        monitor.netlist, monitor.violation_net, max_k=12, time_budget=0.0
+    )
+    assert result.status == "unknown"
+
+
+def test_true_but_non_inductive_property_is_unknown():
+    # a mod-10 counter never shows 15, but the step formula may start in
+    # the unreachable state 14 and count to 15 — k-induction (without
+    # reachability strengthening) cannot close the proof
+    from repro.netlist import Circuit
+
+    c = Circuit("mod10")
+    enable = c.input("en", 1)
+    count = c.reg("count", 4)
+    wrapped = c.mux(count.q.eq_const(9), count.q + 1, c.const(0, 4))
+    count.hold_unless((enable, wrapped))
+    c.output("v", count.q)
+    nl = c.finalize()
+    cc = Circuit.attach(nl)
+    objective = cc.bv(nl.register_q_nets("count")).eq_const(15)
+    result = prove_by_induction(nl, objective.nets[0], max_k=3)
+    assert result.status == "unknown"
+    assert result.k == 3
+
+
+def test_risc_stack_pointer_unbounded():
+    """The headline extension: the clean RISC stack pointer is certified
+    for ALL cycles — no periodic reset needed (contrast Section 3.2)."""
+    from repro.designs import build_risc
+
+    netlist, spec = build_risc()
+    monitor = build_corruption_monitor(
+        netlist, spec.critical["stack_pointer"], functional=False
+    )
+    result = prove_by_induction(
+        monitor.netlist,
+        monitor.violation_net,
+        max_k=3,
+        time_budget=60,
+        pinned_inputs=spec.pinned_inputs,
+        property_name="risc-sp-forever",
+    )
+    assert result.proved_forever

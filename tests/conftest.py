@@ -1,0 +1,97 @@
+"""Shared fixtures: small designs exercised across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.properties.valid_ways import RegisterSpec, ValidWay
+
+
+def build_secret_design(trojan=True, trigger_value=0xA5, trigger_count=5,
+                        pseudo=False, invert_pseudo=True, bypass=False):
+    """A miniature 3PIP: an 8-bit secret register with a load interface.
+
+    Optional Trojan: after ``trigger_count`` loads of ``trigger_value``,
+    the secret's LSB is flipped. Optional pseudo-critical copy and bypass
+    register reproduce the Section 4 attacks in miniature.
+    """
+    c = Circuit("secret_core")
+    reset = c.input("reset", 1)
+    load = c.input("load", 1)
+    key_in = c.input("key_in", 8)
+    secret = c.reg("secret", 8)
+    nxt = c.select(
+        secret.q, (reset, c.const(0, 8)), (load, key_in)
+    )
+    if trojan:
+        counter = c.reg("troj_counter", 3)
+        seen = key_in.eq_const(trigger_value) & load
+        counter.hold_unless(
+            (reset, c.const(0, 3)),
+            (seen & ~counter.q.eq_const(trigger_count), counter.q + 1),
+        )
+        fired = counter.q.eq_const(trigger_count)
+        nxt = c.mux(fired, nxt, nxt ^ c.const(0x01, 8))
+    secret.drive(nxt)
+    out_value = secret.q
+    if pseudo:
+        shadow = c.reg("pseudo_secret", 8)
+        shadow.drive(~secret.q if invert_pseudo else secret.q)
+        c.output("shadow_out", shadow.q)
+    if bypass:
+        rogue = c.reg("bypass_secret", 8)
+        rogue.drive(rogue.q + 1)
+        armed = c.reg("bypass_armed", 1)
+        armed.drive(armed.q | (key_in.eq_const(0x3C) & load))
+        out_value = c.mux(armed.q, secret.q, rogue.q)
+    c.output("out", out_value ^ c.const(0x55, 8))
+    return c.finalize()
+
+
+def secret_spec():
+    """Valid ways for the miniature secret register."""
+    return RegisterSpec(
+        register="secret",
+        ways=[
+            ValidWay(
+                "reset",
+                lambda m: m.input("reset"),
+                value=lambda m: m.const(0, 8),
+                expression="reset",
+            ),
+            ValidWay(
+                "load",
+                lambda m: m.input("load"),
+                value=lambda m: m.input("key_in"),
+                expression="load",
+            ),
+        ],
+        observe_latency=1,
+    )
+
+
+@pytest.fixture
+def trojan_design():
+    return build_secret_design(trojan=True)
+
+
+@pytest.fixture
+def clean_design():
+    return build_secret_design(trojan=False)
+
+
+@pytest.fixture
+def spec():
+    return secret_spec()
+
+
+def build_counter(width=4, with_output=True):
+    """An enabled counter, the suite's minimal sequential design."""
+    c = Circuit("counter")
+    enable = c.input("en", 1)
+    count = c.reg("count", width)
+    count.hold_unless((enable, count.q + 1))
+    if with_output:
+        c.output("value", count.q)
+    return c.finalize()

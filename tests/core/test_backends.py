@@ -1,0 +1,37 @@
+"""Backend dispatch tests."""
+
+import pytest
+
+from repro.core import ENGINES, make_engine, run_objective
+from repro.errors import ReproError
+from repro.netlist import Circuit
+
+from tests.conftest import build_counter
+
+
+def objective():
+    nl = build_counter(3)
+    c = Circuit.attach(nl)
+    return nl, c.bv(nl.register_q_nets("count")).eq_const(3).nets[0]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_all_engines_agree(engine):
+    nl, obj = objective()
+    result = run_objective(engine, nl, obj, 8, time_budget=30)
+    assert result.status == "violated"
+    assert result.bound == 4
+
+
+def test_unknown_engine_rejected():
+    nl, obj = objective()
+    with pytest.raises(ReproError):
+        make_engine("z3", nl, obj)
+
+
+def test_pinned_inputs_threaded_through():
+    nl, obj = objective()
+    result = run_objective(
+        "bmc", nl, obj, 8, pinned_inputs={"en": 0}, time_budget=30
+    )
+    assert result.status == "proved"

@@ -1,0 +1,42 @@
+"""Register discovery tests."""
+
+from repro.core import all_registers, pseudo_critical_candidates
+from repro.properties import DesignSpec
+from repro.properties.monitors import build_corruption_monitor
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def test_all_registers_excludes_monitors():
+    nl = build_secret_design(trojan=True)
+    monitor = build_corruption_monitor(nl, secret_spec())
+    names = all_registers(monitor.netlist)
+    assert "secret" in names
+    assert not any(n.startswith("__mon") for n in names)
+
+
+def test_candidates_same_width_only():
+    nl = build_secret_design(trojan=True, pseudo=True)
+    spec = DesignSpec(name="d", critical={"secret": secret_spec()})
+    candidates = pseudo_critical_candidates(nl, spec, "secret")
+    assert "pseudo_secret" in candidates
+    assert "troj_counter" not in candidates  # 3-bit vs 8-bit
+    assert "secret" not in candidates
+
+
+def test_whitelist_and_blacklist():
+    nl = build_secret_design(trojan=False, pseudo=True)
+    spec = DesignSpec(
+        name="d",
+        critical={"secret": secret_spec()},
+        exclude_registers=["pseudo_secret"],
+    )
+    assert pseudo_critical_candidates(nl, spec, "secret") == []
+    spec2 = DesignSpec(
+        name="d",
+        critical={"secret": secret_spec()},
+        candidate_registers=["pseudo_secret"],
+    )
+    assert pseudo_critical_candidates(nl, spec2, "secret") == [
+        "pseudo_secret"
+    ]

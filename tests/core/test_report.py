@@ -1,0 +1,64 @@
+"""Report object tests."""
+
+from repro.bmc.engine import BmcResult
+from repro.core.report import DetectionReport, RegisterFinding
+from repro.properties import TrojanInfo
+from repro.properties.bypass import BypassResult
+
+
+def make_result(status, bound):
+    return BmcResult(status=status, bound=bound)
+
+
+def test_trusted_for_minimum_over_checks():
+    report = DetectionReport(design="d", engine="bmc", max_cycles=10)
+    f1 = RegisterFinding("r1", corruption=make_result("proved", 10))
+    f2 = RegisterFinding("r2", corruption=make_result("proved", 7))
+    report.findings = {"r1": f1, "r2": f2}
+    assert not report.trojan_found
+    assert report.trusted_for() == 7
+
+
+def test_trojan_found_zeroes_trust():
+    report = DetectionReport(design="d", engine="bmc", max_cycles=10)
+    finding = RegisterFinding("r", corruption=make_result("violated", 4))
+    finding.witness_confirmed = True
+    report.findings = {"r": finding}
+    assert report.trojan_found
+    assert report.trusted_for() == 0
+    assert "TROJAN FOUND" in report.summary()
+
+
+def test_bypass_in_summary():
+    report = DetectionReport(design="d", engine="bmc", max_cycles=10)
+    finding = RegisterFinding("r", corruption=make_result("proved", 10))
+    finding.bypass = BypassResult(
+        status="violated", bound=3, p_value=1, q_value=2
+    )
+    report.findings = {"r": finding}
+    assert finding.bypassed
+    assert "BYPASSED" in report.summary()
+    assert "p=0x1" in report.summary()
+
+
+def test_pseudo_corruption_counts_as_trojan():
+    report = DetectionReport(design="d", engine="bmc", max_cycles=10)
+    finding = RegisterFinding("r", corruption=make_result("proved", 10))
+    finding.pseudo_criticals = [("copy", "after")]
+    finding.pseudo_corruptions = {"copy": make_result("violated", 5)}
+    report.findings = {"r": finding}
+    assert finding.pseudo_corrupted
+    assert report.trojan_found
+    assert "copy CORRUPTED" in report.summary()
+
+
+def test_ground_truth_line():
+    info = TrojanInfo(name="X-1", trigger="t", payload="does bad things",
+                      target_register="r")
+    report = DetectionReport(
+        design="d", engine="atpg", max_cycles=5, trojan_info=info
+    )
+    report.findings = {"r": RegisterFinding(
+        "r", corruption=make_result("proved", 5))}
+    assert "X-1" in report.summary()
+    assert "does bad things" in report.summary()

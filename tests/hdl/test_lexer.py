@@ -1,0 +1,51 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import HdlSyntaxError
+from repro.hdl.lexer import parse_sized_literal, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop eof
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("module foo") == ["module", "id"]
+    assert kinds("wire wires") == ["wire", "id"]
+
+
+def test_punctuation():
+    assert kinds("a <= b;") == ["id", "<=", "id", ";"]
+    assert kinds("x = s ? a : b;") == ["id", "=", "id", "?", "id", ":",
+                                       "id", ";"]
+
+
+def test_comments_skipped():
+    assert kinds("a // comment\nb") == ["id", "id"]
+    assert kinds("a /* multi\nline */ b") == ["id", "id"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(HdlSyntaxError):
+        tokenize("/* oops")
+
+
+def test_line_numbers():
+    tokens = tokenize("a\nbb\n  c")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[2].line == 3
+    assert tokens[2].column == 3
+
+
+def test_sized_literals():
+    assert parse_sized_literal("4'b1010") == (4, 10)
+    assert parse_sized_literal("8'hFF") == (8, 255)
+    assert parse_sized_literal("3'd5") == (3, 5)
+    assert parse_sized_literal("16'hAB_CD") == (16, 0xABCD)
+
+
+def test_bad_character():
+    with pytest.raises(HdlSyntaxError):
+        tokenize("a $ b")

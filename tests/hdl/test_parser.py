@@ -1,0 +1,85 @@
+"""Parser tests for the structural Verilog subset."""
+
+import pytest
+
+from repro.errors import HdlSyntaxError
+from repro.hdl import parser as ast
+from repro.hdl.parser import parse
+
+EXAMPLE = """
+module top(clk, a, y);
+  input clk;
+  input [3:0] a;
+  output y;
+  wire n2, n3;
+  reg q;
+  and g0(n2, a[0], a[1]);
+  not g1(n3, n2);
+  assign y = q ? n2 : n3;
+  always @(posedge clk) q <= n3;
+  initial begin
+    q = 1'b1;
+  end
+endmodule
+"""
+
+
+def test_parses_example():
+    module = parse(EXAMPLE)
+    assert module.name == "top"
+    assert module.ports == ["clk", "a", "y"]
+    decls = [i for i in module.items if isinstance(i, ast.Decl)]
+    assert any(d.width == 4 for d in decls)
+    instances = [i for i in module.items if isinstance(i, ast.Instance)]
+    assert [i.gate for i in instances] == ["and", "not"]
+    assert instances[0].operands[1].bit == 0
+    assigns = [i for i in module.items if isinstance(i, ast.Assign)]
+    assert isinstance(assigns[0].expr, ast.Ternary)
+    ffs = [i for i in module.items if isinstance(i, ast.AlwaysFf)]
+    assert ffs[0].clock == "clk"
+    inits = [i for i in module.items if isinstance(i, ast.InitialAssign)]
+    assert inits[0].value.value == 1
+
+
+def test_binary_expression():
+    module = parse(
+        "module m(a, b, y);\ninput a, b;\noutput y;\n"
+        "assign y = a & b;\nendmodule"
+    )
+    assign = [i for i in module.items if isinstance(i, ast.Assign)][0]
+    assert isinstance(assign.expr, ast.Binary)
+    assert assign.expr.op == "&"
+
+
+def test_unary_expression():
+    module = parse(
+        "module m(a, y);\ninput a;\noutput y;\nassign y = ~a;\nendmodule"
+    )
+    assign = [i for i in module.items if isinstance(i, ast.Assign)][0]
+    assert isinstance(assign.expr, ast.Unary)
+
+
+def test_single_initial_without_begin():
+    module = parse(
+        "module m(clk, y);\ninput clk;\noutput y;\nreg q;\n"
+        "assign y = q;\nalways @(posedge clk) q <= q;\n"
+        "initial q = 1'b0;\nendmodule"
+    )
+    inits = [i for i in module.items if isinstance(i, ast.InitialAssign)]
+    assert len(inits) == 1
+
+
+def test_errors_carry_location():
+    with pytest.raises(HdlSyntaxError) as info:
+        parse("module m(a);\ninput a\nendmodule")
+    assert "line" in str(info.value)
+
+
+def test_nonzero_lsb_rejected():
+    with pytest.raises(HdlSyntaxError):
+        parse("module m(a);\ninput [3:1] a;\nendmodule")
+
+
+def test_garbage_item_rejected():
+    with pytest.raises(HdlSyntaxError):
+        parse("module m(a);\nbanana;\nendmodule")

@@ -1,0 +1,55 @@
+"""Writer-specific unit tests (beyond the round-trip suite)."""
+
+from repro.hdl import write_verilog
+from repro.netlist import Circuit
+
+from tests.conftest import build_counter, build_secret_design
+
+
+def test_module_header_and_ports():
+    text = write_verilog(build_counter(4), module_name="cnt")
+    assert text.startswith("module cnt(clk, en, value);")
+    assert "input clk;" in text
+    assert "output [3:0] value;" in text
+    assert text.rstrip().endswith("endmodule")
+
+
+def test_flops_get_always_blocks_and_inits():
+    c = Circuit("ff")
+    a = c.input("a", 1)
+    r = c.reg("r", 2, init=0b10)
+    r.drive(r.q ^ a.cat(a))
+    c.output("y", r.q)
+    text = write_verilog(c.finalize())
+    assert text.count("always @(posedge clk)") == 2
+    assert "= 1'b1;" in text and "= 1'b0;" in text
+
+
+def test_register_groups_commented():
+    text = write_verilog(build_secret_design(trojan=False))
+    assert "// register secret:" in text
+
+
+def test_mux_as_ternary():
+    c = Circuit("m")
+    s = c.input("s", 1)
+    a = c.input("a", 1)
+    b = c.input("b", 1)
+    c.output("y", c.mux(s, a, b))
+    text = write_verilog(c.finalize())
+    assert " ? " in text and " : " in text
+
+
+def test_constant_outputs():
+    c = Circuit("k")
+    a = c.input("a", 1)
+    _ = a  # port must exist, but output is constant
+    c.output("y", c.const(1, 1))
+    text = write_verilog(c.finalize())
+    assert "assign y = 1'b1;" in text
+
+
+def test_custom_clock_name():
+    text = write_verilog(build_counter(2), clock="sysclk")
+    assert "posedge sysclk" in text
+    assert "input sysclk;" in text

@@ -1,0 +1,93 @@
+"""Builder edge cases: degenerate widths, shift extremes, select chains."""
+
+import pytest
+
+from repro.errors import WidthError
+from repro.netlist import CONST0, CONST1, Circuit
+from repro.sim import SequentialSimulator
+
+
+def out_value(circuit, netlist, inputs):
+    sim = SequentialSimulator(netlist)
+    for name, value in inputs.items():
+        sim.set_input(name, value)
+    sim.propagate()
+    return sim.output_value("y")
+
+
+class TestShiftExtremes:
+    def test_shift_past_width_is_zero(self):
+        c = Circuit("s")
+        a = c.input("a", 4)
+        c.output("y", a.shl_const(10))
+        nl = c.finalize()
+        assert out_value(c, nl, {"a": 0xF}) == 0
+
+    def test_shift_zero_is_identity(self):
+        c = Circuit("s")
+        a = c.input("a", 4)
+        c.output("y", a.shr_const(0))
+        nl = c.finalize()
+        assert out_value(c, nl, {"a": 0xB}) == 0xB
+
+
+class TestOneBitWords:
+    def test_one_bit_arithmetic(self):
+        c = Circuit("one")
+        a = c.input("a", 1)
+        b = c.input("b", 1)
+        c.output("y", a + b)
+        nl = c.finalize()
+        assert out_value(c, nl, {"a": 1, "b": 1}) == 0  # wraps mod 2
+
+    def test_one_bit_comparisons(self):
+        c = Circuit("one")
+        a = c.input("a", 1)
+        b = c.input("b", 1)
+        c.output("y", a.ult(b))
+        nl = c.finalize()
+        assert out_value(c, nl, {"a": 0, "b": 1}) == 1
+        assert out_value(c, nl, {"a": 1, "b": 1}) == 0
+
+
+class TestConstants:
+    def test_negative_constant_truncates(self):
+        c = Circuit("k")
+        value = c.const(-1, 4)
+        assert all(net == CONST1 for net in value.nets)
+        value = c.const(-2, 4)
+        assert value.nets[0] == CONST0
+
+    def test_oversized_constant_masks(self):
+        c = Circuit("k")
+        value = c.const(0x1FF, 8)
+        assert value.nets[7] == CONST1  # 0xFF
+
+    def test_in_range_degenerate(self):
+        c = Circuit("k")
+        a = c.input("a", 4)
+        c.output("y", a.in_range(5, 5))
+        nl = c.finalize()
+        assert out_value(c, nl, {"a": 5}) == 1
+        assert out_value(c, nl, {"a": 6}) == 0
+
+
+class TestWordSelectErrors:
+    def test_wrong_entry_count(self):
+        c = Circuit("w")
+        sel = c.input("s", 2)
+        with pytest.raises(WidthError):
+            c.word_select(sel, [c.const(0, 4)] * 3)
+
+
+class TestDeepSelectChain:
+    def test_sixteen_arm_priority(self):
+        c = Circuit("p")
+        which = c.input("which", 4)
+        arms = [
+            (which.eq_const(k), c.const(k * 3, 8)) for k in range(16)
+        ]
+        c.output("y", c.select(c.const(0xEE, 8), *arms))
+        nl = c.finalize()
+        for k in range(16):
+            assert out_value(c, nl, {"which": k}) == (k * 3) & 0xFF

@@ -1,0 +1,73 @@
+"""Unit tests for primitive cells."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import Cell, Flop, Kind
+
+
+class TestCellConstruction:
+    def test_unary_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            Cell(Kind.NOT, (2, 3), 4)
+
+    def test_mux_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            Cell(Kind.MUX, (2, 3), 4)
+
+    def test_variadic_needs_input(self):
+        with pytest.raises(NetlistError):
+            Cell(Kind.AND, (), 4)
+
+    def test_variadic_accepts_many(self):
+        cell = Cell(Kind.AND, tuple(range(2, 10)), 10)
+        assert len(cell.inputs) == 8
+
+    def test_flop_init_checked(self):
+        with pytest.raises(NetlistError):
+            Flop(2, 3, init=2)
+
+
+class TestCellEval:
+    def eval(self, kind, ins, n_inputs=None):
+        nets = tuple(range(2, 2 + len(ins)))
+        cell = Cell(kind, nets, 99)
+        values = {net: val for net, val in zip(nets, ins)}
+        return cell.eval(values) & 1
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_two_input_gates(self, a, b):
+        assert self.eval(Kind.AND, [a, b]) == (a & b)
+        assert self.eval(Kind.OR, [a, b]) == (a | b)
+        assert self.eval(Kind.XOR, [a, b]) == (a ^ b)
+        assert self.eval(Kind.NAND, [a, b]) == 1 - (a & b)
+        assert self.eval(Kind.NOR, [a, b]) == 1 - (a | b)
+        assert self.eval(Kind.XNOR, [a, b]) == 1 - (a ^ b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    def test_unary_gates(self, a):
+        assert self.eval(Kind.NOT, [a]) == 1 - a
+        assert self.eval(Kind.BUF, [a]) == a
+
+    @pytest.mark.parametrize("sel", [0, 1])
+    @pytest.mark.parametrize("d0", [0, 1])
+    @pytest.mark.parametrize("d1", [0, 1])
+    def test_mux(self, sel, d0, d1):
+        assert self.eval(Kind.MUX, [sel, d0, d1]) == (d1 if sel else d0)
+
+    def test_variadic_semantics(self):
+        assert self.eval(Kind.AND, [1, 1, 1]) == 1
+        assert self.eval(Kind.AND, [1, 0, 1]) == 0
+        assert self.eval(Kind.OR, [0, 0, 1]) == 1
+        assert self.eval(Kind.XOR, [1, 1, 1]) == 1
+        assert self.eval(Kind.XOR, [1, 1, 0]) == 0
+
+    def test_bit_parallel_eval(self):
+        cell = Cell(Kind.AND, (2, 3), 4)
+        # lanes: 0b1100 & 0b1010 = 0b1000
+        assert cell.eval({2: 0b1100, 3: 0b1010}) == 0b1000
+
+    def test_is_inverting(self):
+        assert Cell(Kind.NAND, (2, 3), 4).is_inverting
+        assert not Cell(Kind.AND, (2, 3), 4).is_inverting

@@ -1,0 +1,147 @@
+"""Unit tests for the Netlist container."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import CONST0, CONST1, Kind, Netlist
+
+
+@pytest.fixture
+def netlist():
+    return Netlist("dut")
+
+
+class TestNets:
+    def test_constants_predefined(self, netlist):
+        assert netlist.driver_of(CONST0) == ("const", 0)
+        assert netlist.driver_of(CONST1) == ("const", 1)
+
+    def test_new_net_allocates_sequentially(self, netlist):
+        first = netlist.new_net()
+        second = netlist.new_net()
+        assert second == first + 1
+
+    def test_named_nets(self, netlist):
+        net = netlist.new_net("foo")
+        assert netlist.net_name(net) == "foo"
+        assert netlist.net_name(netlist.new_net()).startswith("n")
+
+    def test_new_nets_names_bits(self, netlist):
+        nets = netlist.new_nets(3, "bus")
+        assert netlist.net_name(nets[2]) == "bus[2]"
+
+    def test_invalid_net_rejected(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.driver_of(999)
+
+
+class TestCellsAndFlops:
+    def test_add_cell_returns_output(self, netlist):
+        a = netlist.new_net()
+        b = netlist.new_net()
+        out = netlist.add_cell(Kind.AND, (a, b))
+        assert netlist.driver_of(out) == ("cell", 0)
+
+    def test_double_drive_rejected(self, netlist):
+        a = netlist.new_net()
+        out = netlist.add_cell(Kind.BUF, (a,))
+        with pytest.raises(NetlistError):
+            netlist.add_cell(Kind.BUF, (a,), output=out)
+
+    def test_add_flop(self, netlist):
+        d = netlist.new_net()
+        q = netlist.add_flop(d, init=1)
+        assert netlist.flops[0].q == q
+        assert netlist.flops[0].init == 1
+
+    def test_rewire_flop_d(self, netlist):
+        d1 = netlist.new_net()
+        d2 = netlist.new_net()
+        netlist.add_flop(d1)
+        netlist.rewire_flop_d(0, d2)
+        assert netlist.flops[0].d == d2
+
+    def test_string_kind_accepted(self, netlist):
+        a = netlist.new_net()
+        out = netlist.add_cell("not", (a,))
+        assert netlist.cells[0].kind is Kind.NOT
+        assert out
+
+
+class TestPorts:
+    def test_input_bits_driven(self, netlist):
+        nets = netlist.add_input("data", 4)
+        assert len(nets) == 4
+        for net in nets:
+            assert netlist.driver_of(net) == ("input", "data")
+
+    def test_duplicate_port_rejected(self, netlist):
+        netlist.add_input("x")
+        with pytest.raises(NetlistError):
+            netlist.add_input("x")
+        with pytest.raises(NetlistError):
+            netlist.add_output("x", [CONST0])
+
+    def test_output_over_existing_nets(self, netlist):
+        nets = netlist.add_input("a", 2)
+        netlist.add_output("y", nets)
+        assert netlist.outputs["y"] == nets
+
+
+class TestRegisters:
+    def _make_reg(self, netlist, width=4, init=0b1010):
+        idxs = []
+        for bit in range(width):
+            d = netlist.new_net()
+            netlist.add_flop(d, init=(init >> bit) & 1)
+            idxs.append(len(netlist.flops) - 1)
+        netlist.add_register("r", idxs)
+        return idxs
+
+    def test_register_roundtrip(self, netlist):
+        self._make_reg(netlist)
+        assert netlist.register_width("r") == 4
+        assert netlist.register_init("r") == 0b1010
+        assert len(netlist.register_q_nets("r")) == 4
+        assert len(netlist.register_d_nets("r")) == 4
+
+    def test_register_of_flop(self, netlist):
+        self._make_reg(netlist)
+        mapping = netlist.register_of_flop()
+        assert mapping[0] == ("r", 0)
+        assert mapping[3] == ("r", 3)
+
+    def test_unknown_register(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.register_q_nets("nope")
+
+    def test_duplicate_register(self, netlist):
+        self._make_reg(netlist)
+        with pytest.raises(NetlistError):
+            netlist.add_register("r", [0])
+
+
+class TestProbesAndClone:
+    def test_probe_roundtrip(self, netlist):
+        nets = netlist.add_input("a", 2)
+        netlist.add_probe("p", nets)
+        assert netlist.probe_nets("p") == nets
+        with pytest.raises(NetlistError):
+            netlist.add_probe("p", nets)
+
+    def test_clone_is_independent(self, netlist):
+        a = netlist.add_input("a", 1)[0]
+        netlist.add_cell(Kind.NOT, (a,))
+        twin = netlist.clone()
+        twin.add_cell(Kind.BUF, (a,))
+        assert len(twin.cells) == 2
+        assert len(netlist.cells) == 1
+        # clone shares no containers
+        twin.add_input("b", 1)
+        assert "b" not in netlist.inputs
+
+    def test_clone_preserves_drivers(self, netlist):
+        a = netlist.add_input("a", 1)[0]
+        out = netlist.add_cell(Kind.NOT, (a,))
+        twin = netlist.clone()
+        assert twin.driver_of(out) == ("cell", 0)

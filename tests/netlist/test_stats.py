@@ -1,0 +1,23 @@
+"""Stats tests."""
+
+from repro.netlist import stats
+
+from tests.conftest import build_counter, build_secret_design
+
+
+def test_counter_stats():
+    info = stats(build_counter(width=4))
+    assert info.num_flops == 4
+    assert info.num_registers == 1
+    assert info.registers["count"] == 4
+    assert info.input_bits == 1
+    assert info.output_bits == 4
+    assert info.depth >= 2
+    assert sum(info.cells_by_kind.values()) == info.num_cells
+
+
+def test_secret_design_stats_str():
+    info = stats(build_secret_design())
+    text = str(info)
+    assert "secret_core" in text
+    assert "flops" in text

@@ -1,0 +1,50 @@
+"""Validation tests."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Circuit, Kind, Netlist, validate
+
+from tests.conftest import build_secret_design
+
+
+def test_valid_design_passes():
+    report = validate(build_secret_design())
+    assert report.ok
+    assert "cells" in str(report)
+
+
+def test_undriven_read_net_rejected():
+    nl = Netlist("bad")
+    floating = nl.new_net()
+    nl.add_cell(Kind.NOT, (floating,))
+    with pytest.raises(NetlistError):
+        validate(nl)
+
+
+def test_floating_allocation_flagged():
+    nl = Netlist("f")
+    nl.new_net("scratch")
+    with pytest.raises(NetlistError):
+        validate(nl)
+    report = validate(nl, allow_floating=True)
+    assert report.floating_nets
+
+
+def test_unread_nets_reported():
+    c = Circuit("u")
+    a = c.input("a", 1)
+    _unused = ~a  # gate output never consumed
+    c.output("y", a)
+    report = validate(c.finalize())
+    assert report.unread_nets
+
+
+def test_loop_rejected():
+    nl = Netlist("loop")
+    a = nl.new_net()
+    b = nl.new_net()
+    nl.add_cell(Kind.BUF, (a,), output=b)
+    nl.add_cell(Kind.BUF, (b,), output=a)
+    with pytest.raises(Exception):
+        validate(nl)

@@ -1,0 +1,72 @@
+"""Valid-way coverage tests, including the Trust-Hub dormancy claim."""
+
+from repro.properties.coverage import measure_way_coverage
+from repro.sim import StimulusGenerator
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def directed_suite():
+    return [
+        {"reset": 1, "load": 0, "key_in": 0x00},
+        {"reset": 0, "load": 1, "key_in": 0x12},
+        {"reset": 0, "load": 0, "key_in": 0x00},
+        {"reset": 0, "load": 1, "key_in": 0x34},
+        {"reset": 1, "load": 0, "key_in": 0x00},
+        {"reset": 0, "load": 0, "key_in": 0x00},
+    ]
+
+
+def test_directed_suite_exercises_every_way():
+    nl = build_secret_design(trojan=False)
+    report = measure_way_coverage(nl, secret_spec(), directed_suite())
+    assert report.fully_exercised
+    assert report.ways["load"].condition_hits == 2
+    assert report.ways["load"].update_hits == 2
+    assert report.violations == 0
+    assert "way coverage" in report.summary()
+
+
+def test_unexercised_way_reported():
+    nl = build_secret_design(trojan=False)
+    suite = [{"reset": 0, "load": 0, "key_in": 0}] * 5
+    report = measure_way_coverage(nl, secret_spec(), suite)
+    assert not report.fully_exercised
+    assert "NOT EXERCISED" in report.summary()
+
+
+def test_trojan_passes_functional_verification():
+    """The Trust-Hub premise: a full-coverage functional suite that never
+    utters the trigger sees zero violations on the infected design."""
+    nl = build_secret_design(trojan=True, trigger_value=0xA5)
+    suite = [
+        {"reset": 1, "load": 0, "key_in": 0},
+        {"reset": 0, "load": 1, "key_in": 0x11},  # never 0xA5
+        {"reset": 0, "load": 1, "key_in": 0x22},
+        {"reset": 0, "load": 0, "key_in": 0x00},
+        {"reset": 1, "load": 0, "key_in": 0},
+    ]
+    report = measure_way_coverage(nl, secret_spec(), suite)
+    assert report.fully_exercised  # verification looks complete...
+    assert report.violations == 0  # ...and the Trojan stays invisible
+
+
+def test_triggering_suite_shows_violation():
+    nl = build_secret_design(trojan=True, trigger_value=0xA5,
+                             trigger_count=2)
+    suite = [{"reset": 0, "load": 1, "key_in": 0xA5}] * 3 + [
+        {"reset": 0, "load": 0, "key_in": 0x00}
+    ] * 3
+    report = measure_way_coverage(nl, secret_spec(), suite)
+    assert report.violations > 0
+    assert report.unauthorized_changes
+
+
+def test_random_suite_has_partial_coverage():
+    nl = build_secret_design(trojan=False)
+    gen = StimulusGenerator(nl, seed=1)
+    report = measure_way_coverage(
+        nl, secret_spec(), gen.random_sequence(40)
+    )
+    assert report.cycles == 40
+    assert report.ways["load"].condition_hits > 0

@@ -1,0 +1,176 @@
+"""Monitor synthesis tests for Eq. (2) and Eq. (3)."""
+
+import pytest
+
+from repro.bmc import BmcEngine, confirms_violation
+from repro.errors import PropertyError
+from repro.netlist import Circuit, validate
+from repro.properties import (
+    RegisterSpec,
+    ValidWay,
+    build_corruption_monitor,
+    build_tracking_monitor,
+)
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+class TestCorruptionMonitor:
+    def test_monitor_netlist_is_valid(self, trojan_design, spec):
+        monitor = build_corruption_monitor(trojan_design, spec)
+        validate(monitor.netlist)
+        # the original design is untouched (clone semantics)
+        assert len(trojan_design.cells) < len(monitor.netlist.cells)
+
+    def test_detects_trojan(self, trojan_design, spec):
+        monitor = build_corruption_monitor(trojan_design, spec)
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(15)
+        assert result.detected
+        assert confirms_violation(
+            monitor.netlist, result.witness, monitor.violation_net
+        )
+
+    def test_clean_design_not_flagged(self, clean_design, spec):
+        monitor = build_corruption_monitor(clean_design, spec)
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(12)
+        assert result.status == "proved"
+
+    def test_witness_actually_corrupts_register(self, trojan_design, spec):
+        from repro.sim import SequentialSimulator
+
+        monitor = build_corruption_monitor(trojan_design, spec)
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(15)
+        sim = SequentialSimulator(trojan_design)
+        previous = sim.register_value("secret")
+        corrupted = False
+        for words in result.witness.inputs:
+            loaded = words["load"]
+            key = words["key_in"]
+            reset = words["reset"]
+            sim.step(words)
+            value = sim.register_value("secret")
+            expected = 0 if reset else (key if loaded else previous)
+            if value != expected:
+                corrupted = True
+            previous = value
+        assert corrupted
+
+    def test_functional_mode_catches_wrong_values(self):
+        # design loads key_in ^ 1 instead of key_in: plain Eq.2 accepts,
+        # functional mode rejects
+        c = Circuit("bad")
+        reset = c.input("reset", 1)
+        load = c.input("load", 1)
+        key_in = c.input("key_in", 8)
+        secret = c.reg("secret", 8)
+        secret.drive(
+            c.select(
+                secret.q,
+                (reset, c.const(0, 8)),
+                (load, key_in ^ c.const(1, 8)),
+            )
+        )
+        c.output("out", secret.q)
+        nl = c.finalize()
+        plain = build_corruption_monitor(nl, secret_spec(), functional=False)
+        assert BmcEngine(plain.netlist, plain.objective_net).check(8).status \
+            == "proved"
+        functional = build_corruption_monitor(
+            nl, secret_spec(), functional=True
+        )
+        result = BmcEngine(
+            functional.netlist, functional.objective_net
+        ).check(8)
+        assert result.detected
+
+    def test_way_priority_matches_first_wins(self):
+        # reset and load together: value must follow reset (priority)
+        nl = build_secret_design(trojan=False)
+        monitor = build_corruption_monitor(nl, secret_spec(), functional=True)
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(8)
+        assert result.status == "proved"  # no false positive on overlap
+
+    def test_monitor_registers_named(self, trojan_design, spec):
+        monitor = build_corruption_monitor(trojan_design, spec)
+        assert all(name.startswith("__mon") for name in monitor.monitor_registers)
+        for name in monitor.monitor_registers:
+            assert name in monitor.netlist.registers
+
+
+class TestTrackingMonitor:
+    def test_direct_copy_tracks(self):
+        nl = build_secret_design(trojan=False, pseudo=True, invert_pseudo=False)
+        monitor = build_tracking_monitor(nl, secret_spec(), "pseudo_secret")
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(10)
+        assert result.status == "proved"  # tracks => pseudo-critical
+
+    def test_inverted_copy_tracks(self):
+        nl = build_secret_design(trojan=False, pseudo=True, invert_pseudo=True)
+        monitor = build_tracking_monitor(nl, secret_spec(), "pseudo_secret")
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(10)
+        assert result.status == "proved"
+
+    def test_unrelated_register_does_not_track(self):
+        c = Circuit("nt")
+        reset = c.input("reset", 1)
+        load = c.input("load", 1)
+        key_in = c.input("key_in", 8)
+        secret = c.reg("secret", 8)
+        secret.drive(
+            c.select(secret.q, (reset, c.const(0, 8)), (load, key_in))
+        )
+        other = c.reg("other", 8)
+        other.drive(other.q + 1)
+        c.output("o1", secret.q)
+        c.output("o2", other.q)
+        nl = c.finalize()
+        monitor = build_tracking_monitor(nl, secret_spec(), "other")
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(10)
+        assert result.detected  # counterexample: 'other' diverges
+
+    def test_direction_before(self):
+        # R loads from P one cycle later: P is pseudo-critical *before* R
+        c = Circuit("pre")
+        reset = c.input("reset", 1)
+        load = c.input("load", 1)
+        key_in = c.input("key_in", 8)
+        pre = c.reg("pre_secret", 8)
+        pre.drive(c.select(pre.q, (reset, c.const(0, 8)), (load, key_in)))
+        secret = c.reg("secret", 8)
+        secret.drive(pre.q)
+        c.output("o", secret.q)
+        nl = c.finalize()
+        spec = RegisterSpec(
+            register="secret",
+            ways=[ValidWay("always", lambda m: m.true(), expression="1")],
+        )
+        monitor = build_tracking_monitor(
+            nl, spec, "pre_secret", direction="before"
+        )
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(10)
+        assert result.status == "proved"
+
+    def test_width_mismatch_rejected(self, trojan_design, spec):
+        with pytest.raises(PropertyError):
+            build_tracking_monitor(trojan_design, spec, "troj_counter")
+
+    def test_invalid_direction_rejected(self, clean_design, spec):
+        with pytest.raises(PropertyError):
+            build_tracking_monitor(
+                clean_design, spec, "secret", direction="sideways"
+            )
+
+    def test_bit_objectives_exposed(self):
+        nl = build_secret_design(trojan=False, pseudo=True)
+        monitor = build_tracking_monitor(nl, secret_spec(), "pseudo_secret")
+        assert len(monitor.bit_objectives) == 8
+
+    def test_environment_constraint_excludes_invalid_updates(self):
+        # In the Trojan design the secret IS corrupted eventually; but the
+        # tracking property only considers valid sequences, so a faithful
+        # pseudo-copy still "tracks" (the corrupting sequence violates the
+        # environment and is excluded).
+        nl = build_secret_design(trojan=True, pseudo=True)
+        monitor = build_tracking_monitor(nl, secret_spec(), "pseudo_secret")
+        result = BmcEngine(monitor.netlist, monitor.objective_net).check(10)
+        assert result.status == "proved"

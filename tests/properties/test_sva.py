@@ -1,0 +1,60 @@
+"""Assertion-text generation tests."""
+
+import pytest
+
+from repro.errors import PropertyError
+from repro.properties import (
+    RegisterSpec,
+    ValidWay,
+    bypass_comment,
+    corruption_assertion,
+    render_spec,
+    tracking_assertion,
+)
+
+from tests.conftest import secret_spec
+
+
+def test_corruption_assertion_structure():
+    text = corruption_assertion(secret_spec(), clock="clk")
+    assert "property p_no_corruption_secret;" in text
+    assert "@(posedge clk)" in text
+    assert "(reset) || (load)" in text
+    assert "$past(secret)" in text
+    assert "assert_no_corruption_secret" in text
+
+
+def test_disable_iff_reset():
+    text = corruption_assertion(secret_spec(), reset="rst_n")
+    assert "disable iff (rst_n)" in text
+
+
+def test_tracking_assertion_directions():
+    after = tracking_assertion(secret_spec(), "shadow", direction="after")
+    assert "shadow == $past(secret)" in after
+    before = tracking_assertion(secret_spec(), "shadow", direction="before")
+    assert "$past(shadow) == secret" in before
+
+
+def test_bypass_comment_mentions_latency():
+    spec = secret_spec()
+    spec.observe_latency = 3
+    text = bypass_comment(spec)
+    assert "t+3" in text
+    assert "CEGIS" in text
+
+
+def test_render_spec_combines_everything():
+    text = render_spec(secret_spec(), candidates=["shadow"])
+    assert "p_no_corruption_secret" in text
+    assert "p_tracks_shadow_secret" in text
+    assert "Eq.(4)" in text
+
+
+def test_missing_expression_rejected():
+    spec = RegisterSpec(
+        register="r",
+        ways=[ValidWay("w", lambda m: m.true())],  # no expression
+    )
+    with pytest.raises(PropertyError):
+        corruption_assertion(spec)

@@ -1,0 +1,51 @@
+"""Cnf container tests."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.sat import Cnf
+
+
+def test_variable_allocation():
+    cnf = Cnf()
+    assert cnf.new_var() == 1
+    assert cnf.new_vars(3) == [2, 3, 4]
+    assert cnf.num_vars == 4
+
+
+def test_add_clause_validates_literals():
+    cnf = Cnf()
+    cnf.new_var()
+    cnf.add_clause([1, -1])
+    with pytest.raises(EncodingError):
+        cnf.add_clause([0])
+    with pytest.raises(EncodingError):
+        cnf.add_clause([5])
+
+
+def test_evaluate():
+    cnf = Cnf()
+    a, b = cnf.new_vars(2)
+    cnf.add_clause([a, b])
+    cnf.add_clause([-a, b])
+    assert cnf.evaluate({a: False, b: True})
+    assert not cnf.evaluate({a: True, b: False})
+
+
+def test_enumerate_models():
+    cnf = Cnf()
+    a, b = cnf.new_vars(2)
+    cnf.add_clause([a, b])
+    models = cnf.enumerate_models()
+    assert len(models) == 3
+    assert all(m[a] or m[b] for m in models)
+
+
+def test_enumerate_limit_and_guard():
+    cnf = Cnf()
+    cnf.new_vars(3)
+    assert len(cnf.enumerate_models(limit=2)) == 2
+    big = Cnf()
+    big.num_vars = 30
+    with pytest.raises(EncodingError):
+        big.enumerate_models()

@@ -1,0 +1,44 @@
+"""DIMACS I/O tests."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.sat import Cnf, dumps, loads
+
+
+def test_roundtrip():
+    cnf = Cnf()
+    a, b, c = cnf.new_vars(3)
+    cnf.add_clause([a, -b])
+    cnf.add_clause([b, c, -a])
+    text = dumps(cnf, comments=["test formula"])
+    assert text.startswith("c test formula\np cnf 3 2\n")
+    back = loads(text)
+    assert back.num_vars == 3
+    assert back.clauses == [[1, -2], [2, 3, -1]]
+
+
+def test_file_roundtrip(tmp_path):
+    from repro.sat import dump, load
+
+    cnf = Cnf()
+    a, b = cnf.new_vars(2)
+    cnf.add_clause([a, b])
+    path = tmp_path / "f.cnf"
+    dump(cnf, str(path))
+    assert load(str(path)).clauses == [[1, 2]]
+
+
+def test_multiline_clause():
+    cnf = loads("p cnf 3 1\n1 2\n3 0\n")
+    assert cnf.clauses == [[1, 2, 3]]
+
+
+def test_missing_header_rejected():
+    with pytest.raises(EncodingError):
+        loads("1 2 0\n")
+
+
+def test_trailing_clause_rejected():
+    with pytest.raises(EncodingError):
+        loads("p cnf 2 1\n1 2\n")

@@ -1,0 +1,79 @@
+"""Bit-parallel combinational evaluator tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.netlist import Circuit
+from repro.sim import CombEvaluator
+
+
+def build_alu():
+    c = Circuit("alu")
+    a = c.input("a", 8)
+    b = c.input("b", 8)
+    c.output("sum", a + b)
+    c.output("and_", a & b)
+    c.output("eq", a == b)
+    return c.finalize()
+
+
+class TestSingleLane:
+    def test_word_roundtrip(self):
+        nl = build_alu()
+        ev = CombEvaluator(nl)
+        values = ev.fresh_values()
+        ev.set_word(values, nl.inputs["a"], 0xAB)
+        assert ev.get_word(values, nl.inputs["a"]) == 0xAB
+
+    def test_propagate_computes_outputs(self):
+        nl = build_alu()
+        ev = CombEvaluator(nl)
+        values = ev.fresh_values()
+        ev.set_word(values, nl.inputs["a"], 100)
+        ev.set_word(values, nl.inputs["b"], 200)
+        ev.propagate(values)
+        assert ev.get_word(values, nl.outputs["sum"]) == (100 + 200) & 0xFF
+        assert ev.get_word(values, nl.outputs["and_"]) == 100 & 200
+
+    def test_lanes_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            CombEvaluator(build_alu(), lanes=0)
+
+
+class TestMultiLane:
+    def test_lanes_independent(self):
+        nl = build_alu()
+        lanes = 16
+        ev = CombEvaluator(nl, lanes=lanes)
+        values = ev.fresh_values()
+        rng = random.Random(1)
+        xs = [rng.getrandbits(8) for _ in range(lanes)]
+        ys = [rng.getrandbits(8) for _ in range(lanes)]
+        ev.set_word_lanes(values, nl.inputs["a"], xs)
+        ev.set_word_lanes(values, nl.inputs["b"], ys)
+        ev.propagate(values)
+        sums = ev.get_word_lanes(values, nl.outputs["sum"])
+        for lane in range(lanes):
+            assert sums[lane] == (xs[lane] + ys[lane]) & 0xFF
+
+    def test_too_many_lane_words_rejected(self):
+        nl = build_alu()
+        ev = CombEvaluator(nl, lanes=2)
+        with pytest.raises(SimulationError):
+            ev.set_word_lanes(ev.fresh_values(), nl.inputs["a"], [1, 2, 3])
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=st.integers(0, 255), y=st.integers(0, 255))
+    def test_broadcast_equals_lane(self, x, y):
+        nl = build_alu()
+        ev = CombEvaluator(nl, lanes=8)
+        values = ev.fresh_values()
+        ev.set_word(values, nl.inputs["a"], x)
+        ev.set_word(values, nl.inputs["b"], y)
+        ev.propagate(values)
+        for lane in range(8):
+            assert ev.get_word(values, nl.outputs["eq"], lane) == int(x == y)

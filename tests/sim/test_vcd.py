@@ -1,0 +1,39 @@
+"""VCD writer tests."""
+
+from repro.sim import SequentialSimulator, VcdWriter
+
+from tests.conftest import build_counter
+
+
+def test_vcd_structure(tmp_path):
+    writer = VcdWriter("dut")
+    writer.add_signal("count", 4, [0, 1, 2, 2, 3])
+    writer.add_signal("flag", 1, [0, 0, 1, 1, 0])
+    text = writer.dumps()
+    assert "$var wire 4" in text
+    assert "$var wire 1" in text
+    assert "$enddefinitions" in text
+    # value changes only when the value changes
+    assert text.count("b10 ") == 1  # count == 2 appears once
+    path = tmp_path / "dump.vcd"
+    writer.write(str(path))
+    assert path.read_text() == text
+
+
+def test_vcd_from_trace():
+    sim = SequentialSimulator(build_counter(4))
+    trace = sim.run([{"en": 1}] * 5, observe_registers=["count"],
+                    observe_outputs=["value"])
+    writer = VcdWriter("counter")
+    writer.add_trace(trace, widths={"count": 4, "value": 4})
+    text = writer.dumps()
+    assert "count" in text and "value" in text
+    assert "#5" in text
+
+
+def test_identifier_uniqueness():
+    writer = VcdWriter()
+    for i in range(200):
+        writer.add_signal("s{}".format(i), 1, [0])
+    idents = [ident for _n, _w, ident in writer._vars]
+    assert len(set(idents)) == len(idents)

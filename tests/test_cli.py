@@ -1,0 +1,61 @@
+"""CLI tests."""
+
+import io
+
+import pytest
+
+from repro.cli import build_design, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_list_shows_designs():
+    code, text = run_cli(["list"])
+    assert code == 0
+    assert "mc8051-t800" in text
+    assert "MC8051-T800" in text
+    assert "router-redirect" in text
+
+
+def test_stats():
+    code, text = run_cli(["stats", "--design", "router"])
+    assert code == 0
+    assert "cells" in text
+
+
+def test_audit_finds_trojan_and_exits_nonzero():
+    code, text = run_cli([
+        "audit", "--design", "mc8051-t700", "--engine", "bmc",
+        "--max-cycles", "8", "--register", "acc", "--witness",
+    ])
+    assert code == 1
+    assert "TROJAN FOUND" in text
+    assert "cycle" in text  # witness printed
+
+
+def test_audit_clean_design_exits_zero():
+    code, text = run_cli([
+        "audit", "--design", "router", "--max-cycles", "6",
+    ])
+    assert code == 0
+    assert "no data-corruption Trojan" in text
+
+
+def test_export(tmp_path):
+    code, text = run_cli([
+        "export", "--design", "router", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    assert (tmp_path / "router.v").exists()
+    assert "p_no_corruption_dest_register" in (
+        tmp_path / "router_props.sv"
+    ).read_text()
+
+
+def test_unknown_design_rejected():
+    with pytest.raises(SystemExit):
+        build_design("z80")
