@@ -31,6 +31,7 @@ import time
 from repro.atpg.podem_seq import PodemJustifier
 from repro.atpg.sequential import (
     PROVED,
+    JustifyResult,
     SequentialJustifier,
     UNKNOWN_STATUS,
     VIOLATED,
@@ -102,7 +103,14 @@ class PortfolioJustifier:
         # no stage concluded: report the deepest cleanly-proved bound
         last = self.stage_results[-1][2] if self.stage_results else None
         if last is None:
-            raise RuntimeError("portfolio ran no stages")  # pragma: no cover
+            # budget spent before any stage could start (e.g. a zero
+            # time_budget): still a partial verdict, never an exception
+            return JustifyResult(
+                status=UNKNOWN_STATUS,
+                bound=0,
+                elapsed=time.perf_counter() - start,
+                property_name=self.property_name,
+            )
         last.status = UNKNOWN_STATUS
         last.bound = deepest
         last.elapsed = time.perf_counter() - start

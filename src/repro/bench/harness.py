@@ -54,7 +54,8 @@ class DetectionRow:
 
 
 def detection_run(label, netlist, spec, register, engine, max_cycles,
-                  time_budget=None, functional=True, measure_memory=True):
+                  time_budget=None, functional=True, measure_memory=True,
+                  runner=None):
     """Run one Eq. (2) detection and replay-validate any witness.
 
     The verdict run is clean; the peak-memory figure comes from a *separate
@@ -62,21 +63,53 @@ def detection_run(label, netlist, spec, register, engine, max_cycles,
     slows the structural engines by an order of magnitude, which must not
     distort the timing/budget columns. The footprint scale (a CNF database
     vs. a justification trail) shows within a couple of seconds.
+
+    With ``runner`` (a :class:`~repro.runner.supervisor.CheckRunner`) the
+    verdict check executes under supervision: an engine crash, hang or
+    budget blow-up yields a row whose ``status`` names the failure
+    (``crashed`` / ``timeout`` / ``budget``) instead of killing the whole
+    benchmark sweep — one bad (design, engine) cell no longer costs the
+    table.
     """
     monitor = build_corruption_monitor(
         netlist, spec.critical[register], functional=functional
     )
+    property_name = "{}:{}".format(label, engine)
 
     def fresh_engine():
         return make_engine(
             engine,
             monitor.netlist,
             monitor.objective_net,
-            property_name="{}:{}".format(label, engine),
+            property_name=property_name,
             pinned_inputs=spec.pinned_inputs,
         )
 
-    result = fresh_engine().check(max_cycles, time_budget=time_budget)
+    extra = {}
+    if runner is not None:
+        from repro.runner import ObjectiveTask
+
+        task = ObjectiveTask(
+            engine=engine,
+            netlist=monitor.netlist,
+            objective_net=monitor.objective_net,
+            max_cycles=max_cycles,
+            property_name=property_name,
+            pinned_inputs=spec.pinned_inputs,
+            check_kwargs={"time_budget": time_budget},
+        )
+        outcome = runner.run(task, name=property_name)
+        result = outcome.verdict
+        extra["outcome"] = outcome
+        if not outcome.ok:
+            # supervision verdicts outrank the engine's "unknown"
+            result_status = outcome.status
+            measure_memory = False
+        else:
+            result_status = result.status
+    else:
+        result = fresh_engine().check(max_cycles, time_budget=time_budget)
+        result_status = result.status
     confirmed = bool(
         result.detected
         and confirms_violation(
@@ -94,11 +127,12 @@ def detection_run(label, netlist, spec, register, engine, max_cycles,
         label=label,
         engine=engine,
         detected=result.detected,
-        status=result.status,
+        status=result_status,
         bound=result.bound,
         elapsed=result.elapsed,
         peak_memory=peak,
         confirmed=confirmed,
+        extra=extra,
     )
 
 

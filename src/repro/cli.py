@@ -10,6 +10,16 @@ Commands
         python -m repro audit --design risc-t100 --engine atpg \\
             --max-cycles 24 --budget 120 --check-bypass
 
+    Resource supervision (see README "Resource limits & graceful
+    degradation"): ``--workers 1`` isolates each check in a worker
+    process, ``--check-timeout`` hard-kills hung checks, ``--retries``
+    re-runs crashed/exhausted checks, and ``--resume ckpt.json``
+    checkpoints completed registers so an interrupted audit picks up
+    where it left off::
+
+        python -m repro audit --design aes-t1200 --workers 1 \\
+            --check-timeout 30 --retries 2 --resume aes_audit.json
+
 ``list``
     Show the bundled designs and their ground-truth Trojans.
 
@@ -95,8 +105,22 @@ def cmd_stats(args, out=sys.stdout):
 
 
 def cmd_audit(args, out=sys.stdout):
+    from repro.errors import CheckpointError
+    from repro.runner import CheckRunner
+
     netlist, spec = build_design(args.design)
     registers = args.register or None
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    if args.check_timeout is not None and args.check_timeout <= 0:
+        raise SystemExit("--check-timeout must be positive")
+    runner = CheckRunner.configure(
+        workers=args.workers,
+        check_timeout=args.check_timeout,
+        retries=args.retries,
+    )
     detector = TrojanDetector(
         netlist,
         spec,
@@ -106,8 +130,12 @@ def cmd_audit(args, out=sys.stdout):
         check_pseudo_critical=args.check_pseudo_critical,
         check_bypass=args.check_bypass,
         time_budget=args.budget,
+        runner=runner,
     )
-    report = detector.run(registers=registers)
+    try:
+        report = detector.run(registers=registers, checkpoint=args.resume)
+    except CheckpointError as exc:
+        raise SystemExit("cannot resume: {}".format(exc))
     print(report.summary(), file=out)
     if args.witness:
         for finding in report.findings.values():
@@ -164,6 +192,19 @@ def build_parser():
                          help="authorization-only Eq.(2), skip value checks")
     p_audit.add_argument("--witness", action="store_true",
                          help="print counterexample input sequences")
+    p_audit.add_argument("--workers", type=int, default=0,
+                         help="run each property check in an isolated "
+                              "worker process (0 = in-process)")
+    p_audit.add_argument("--check-timeout", type=float, default=None,
+                         help="hard wall-clock seconds per check attempt; "
+                              "a hung engine is killed, not waited on "
+                              "(needs --workers)")
+    p_audit.add_argument("--retries", type=int, default=0,
+                         help="re-run a crashed/exhausted check up to N "
+                              "extra times")
+    p_audit.add_argument("--resume", metavar="CHECKPOINT.json", default=None,
+                         help="persist completed register findings here and "
+                              "resume from them if the file exists")
 
     p_export = sub.add_parser("export", help="write Verilog + assertions")
     p_export.add_argument("--design", required=True)

@@ -19,13 +19,53 @@ sharing the ``status`` / ``bound`` / ``witness`` / ``detected`` /
 
 from __future__ import annotations
 
+import inspect
+
 from repro.atpg.podem_seq import PodemJustifier
 from repro.atpg.portfolio import PortfolioJustifier
 from repro.atpg.sequential import SequentialJustifier
 from repro.bmc.engine import BmcEngine
-from repro.errors import ReproError
+from repro.errors import EngineArgumentError, ReproError
 
 ENGINES = ("bmc", "atpg", "atpg-podem", "atpg-backward")
+
+
+def validate_check_kwargs(name, engine, check_kwargs):
+    """Reject check kwargs the engine's ``check`` does not accept.
+
+    Engines differ in their knobs (``conflict_budget`` is BMC-only,
+    ``backtrack_budget`` is ATPG-only); without validation a misspelled
+    or misrouted kwarg surfaces as a ``TypeError`` from deep inside the
+    engine — or vanishes entirely behind a ``**kwargs`` signature.
+    """
+    signature = inspect.signature(engine.check)
+    accepts_var_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    )
+    if accepts_var_kwargs:
+        return
+    accepted = {
+        p.name
+        for p in signature.parameters.values()
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+        and p.name != "self"
+    }
+    unknown = sorted(set(check_kwargs) - accepted)
+    if unknown:
+        raise EngineArgumentError(
+            "engine {!r} does not accept check argument{} {}; accepted "
+            "arguments: {}".format(
+                name,
+                "" if len(unknown) == 1 else "s",
+                ", ".join(repr(k) for k in unknown),
+                ", ".join(sorted(accepted - {"max_cycles"})),
+            )
+        )
 
 
 def make_engine(name, netlist, objective_net, property_name="",
@@ -79,4 +119,5 @@ def run_objective(name, netlist, objective_net, max_cycles, property_name="",
         pinned_inputs=pinned_inputs,
         use_coi=use_coi,
     )
+    validate_check_kwargs(name, engine, check_kwargs)
     return engine.check(max_cycles, **check_kwargs)

@@ -14,6 +14,14 @@ The paper's complete flow (Section 4.3)::
 Every counterexample is replayed on the logic simulator before it is
 reported (the ``witness_confirmed`` flag), so a detection never rests on
 the solver alone.
+
+Every property check is routed through a supervised
+:class:`~repro.runner.supervisor.CheckRunner`: a solver blow-up, an
+engine crash or a :class:`~repro.errors.ResourceBudgetExceeded` becomes
+a structured partial verdict on the finding (the paper's "largest bound
+reached" degradation, Sections 3.2-3.3) instead of aborting the audit,
+and multi-register audits can checkpoint completed findings to disk and
+resume after an interruption.
 """
 
 from __future__ import annotations
@@ -21,15 +29,19 @@ from __future__ import annotations
 import time
 
 from repro.bmc.witness import confirms_violation
-from repro.core.backends import run_objective
 from repro.core.registers import pseudo_critical_candidates
 from repro.core.report import DetectionReport, RegisterFinding
-from repro.properties.bypass import BypassChecker
 from repro.properties.monitors import (
     build_corruption_monitor,
     build_tracking_monitor,
 )
 from repro.properties.valid_ways import RegisterSpec
+from repro.runner import (
+    AuditCheckpoint,
+    BypassTask,
+    CheckRunner,
+    ObjectiveTask,
+)
 
 
 class TrojanDetector:
@@ -52,13 +64,20 @@ class TrojanDetector:
     check_pseudo_critical / check_bypass:
         Enable the Section 4 attacks' defenses (Eq. 3 / Eq. 4).
     time_budget:
-        Wall-clock budget per individual property check, in seconds.
+        Wall-clock budget per individual property check, in seconds
+        (the engines' cooperative budget).
+    runner:
+        A :class:`~repro.runner.supervisor.CheckRunner` controlling
+        isolation, hard limits and retries. The default runs checks
+        in-process with a single attempt — the pre-supervision
+        behaviour, minus the crashes.
     """
 
     def __init__(self, netlist, spec, max_cycles=40, engine="bmc",
                  functional=True, check_pseudo_critical=False,
                  check_bypass=False, time_budget=None,
-                 pseudo_critical_cycles=None, stop_on_first=True):
+                 pseudo_critical_cycles=None, stop_on_first=True,
+                 runner=None):
         self.netlist = netlist
         self.spec = spec
         self.max_cycles = max_cycles
@@ -73,11 +92,19 @@ class TrojanDetector:
             else max(4, max_cycles // 2)
         )
         self.stop_on_first = stop_on_first
+        self.runner = runner if runner is not None else CheckRunner()
 
     # ------------------------------------------------------------------ API
 
-    def run(self, registers=None):
-        """Run Algorithm 1; returns a :class:`DetectionReport`."""
+    def run(self, registers=None, checkpoint=None):
+        """Run Algorithm 1; returns a :class:`DetectionReport`.
+
+        With ``checkpoint`` (a path or :class:`AuditCheckpoint`),
+        completed register findings are persisted as soon as each
+        register's audit finishes, and a pre-existing checkpoint for the
+        same design/engine/bound restores its findings instead of
+        re-running them.
+        """
         start = time.perf_counter()
         report = DetectionReport(
             design=self.netlist.name,
@@ -86,9 +113,28 @@ class TrojanDetector:
             trojan_info=self.spec.trojan,
         )
         names = registers or list(self.spec.critical)
+        store = None
+        if checkpoint is not None:
+            store = (
+                checkpoint
+                if isinstance(checkpoint, AuditCheckpoint)
+                else AuditCheckpoint(checkpoint)
+            )
+            restored = store.begin(
+                self.netlist.name, self.engine, self.max_cycles
+            )
+            for register in names:
+                if register in restored:
+                    report.findings[register] = restored[register]
         for register in names:
+            if register in report.findings:
+                continue  # restored from the checkpoint
+            if self.stop_on_first and report.trojan_found:
+                break
             finding = self._audit_register(register)
             report.findings[register] = finding
+            if store is not None:
+                store.save_finding(register, finding)
             if self.stop_on_first and finding.trojan_found:
                 break
         report.elapsed = time.perf_counter() - start
@@ -102,9 +148,11 @@ class TrojanDetector:
         finding = RegisterFinding(register=register)
 
         if self.check_pseudo_critical:
-            finding.pseudo_criticals = self._find_pseudo_criticals(spec)
+            finding.pseudo_criticals = self._find_pseudo_criticals(
+                spec, finding
+            )
 
-        finding.corruption = self.check_corruption(spec)
+        finding.corruption = self._corruption_check(spec, finding=finding)
         if finding.corruption.detected:
             monitor = self._monitor_for(spec)
             finding.witness_confirmed = confirms_violation(
@@ -130,10 +178,11 @@ class TrojanDetector:
                     ),
                     observe_latency=spec.observe_latency,
                 )
-                result = self.check_corruption(
+                result = self._corruption_check(
                     shadow_spec,
                     functional=False,
                     way_delay=2 if direction == "after" else 0,
+                    finding=finding,
                 )
                 finding.pseudo_corruptions[name] = result
                 if self.stop_on_first and result.detected:
@@ -142,7 +191,7 @@ class TrojanDetector:
         if self.check_bypass and not (
             self.stop_on_first and finding.trojan_found
         ):
-            finding.bypass = self.check_bypass_register(spec)
+            finding.bypass = self._bypass_check(spec, finding=finding)
 
         finding.elapsed = time.perf_counter() - reg_start
         return finding
@@ -154,41 +203,61 @@ class TrojanDetector:
             self.netlist, spec, functional=functional, way_delay=way_delay
         )
 
-    def check_corruption(self, spec, functional=None, way_delay=1):
-        """Eq. (2) on one register spec; returns the engine result."""
+    def _supervised(self, task, name, finding=None):
+        """Run one check under supervision, recording its outcome."""
+        outcome = self.runner.run(task, name=name)
+        if finding is not None:
+            finding.check_outcomes[name] = outcome
+        return outcome
+
+    def _corruption_check(self, spec, functional=None, way_delay=1,
+                          finding=None):
+        """Eq. (2) on one register spec; returns an engine-shaped result."""
         monitor = self._monitor_for(spec, functional, way_delay)
-        return run_objective(
-            self.engine,
-            monitor.netlist,
-            monitor.objective_net,
-            self.max_cycles,
+        task = ObjectiveTask(
+            engine=self.engine,
+            netlist=monitor.netlist,
+            objective_net=monitor.objective_net,
+            max_cycles=self.max_cycles,
             property_name=monitor.property_name,
             pinned_inputs=self.spec.pinned_inputs,
-            time_budget=self.time_budget,
+            check_kwargs={"time_budget": self.time_budget},
         )
+        name = "corruption({})".format(spec.register)
+        return self._supervised(task, name, finding=finding).verdict
 
-    def check_tracking(self, spec, candidate, direction):
+    def check_corruption(self, spec, functional=None, way_delay=1):
+        """Eq. (2) on one register spec; returns the engine result."""
+        return self._corruption_check(spec, functional, way_delay)
+
+    def check_tracking(self, spec, candidate, direction, finding=None):
         """Eq. (3) for one candidate/direction; returns the engine result."""
         monitor = build_tracking_monitor(
             self.netlist, spec, candidate, direction=direction
         )
-        return run_objective(
-            self.engine,
-            monitor.netlist,
-            monitor.objective_net,
-            self.pseudo_critical_cycles,
+        task = ObjectiveTask(
+            engine=self.engine,
+            netlist=monitor.netlist,
+            objective_net=monitor.objective_net,
+            max_cycles=self.pseudo_critical_cycles,
             property_name=monitor.property_name,
             pinned_inputs=self.spec.pinned_inputs,
-            time_budget=self.time_budget,
+            check_kwargs={"time_budget": self.time_budget},
         )
+        name = "tracking({}->{},{})".format(
+            spec.register, candidate, direction
+        )
+        return self._supervised(task, name, finding=finding).verdict
 
-    def _find_pseudo_criticals(self, spec):
+    def _find_pseudo_criticals(self, spec, finding=None):
         found = []
         for candidate in pseudo_critical_candidates(
             self.netlist, self.spec, spec.register
         ):
             for direction in ("after", "before"):
-                result = self.check_tracking(spec, candidate, direction)
+                result = self.check_tracking(
+                    spec, candidate, direction, finding=finding
+                )
                 # "proved" = no valid sequence makes the candidate diverge
                 # from the critical register: it tracks, hence is
                 # pseudo-critical (for the checked bound).
@@ -197,9 +266,16 @@ class TrojanDetector:
                     break
         return found
 
+    def _bypass_check(self, spec, finding=None):
+        task = BypassTask(
+            netlist=self.netlist,
+            spec=spec,
+            max_cycles=self.max_cycles,
+            time_budget=self.time_budget,
+        )
+        name = "bypass({})".format(spec.register)
+        return self._supervised(task, name, finding=finding).verdict
+
     def check_bypass_register(self, spec):
         """Eq. (4) via CEGIS; returns a BypassResult."""
-        checker = BypassChecker(self.netlist, spec)
-        return checker.check(
-            self.max_cycles, time_budget=self.time_budget
-        )
+        return self._bypass_check(spec)

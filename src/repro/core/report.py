@@ -16,6 +16,11 @@ class RegisterFinding:
     pseudo_corruptions: dict = field(default_factory=dict)  # name -> result
     witness_confirmed: bool | None = None
     elapsed: float = 0.0
+    # per-check resource outcomes (check name -> runner.CheckOutcome):
+    # how each property check ended under supervision — completed, budget
+    # exhausted, hard timeout, or crashed — with attempts and bounds.
+    check_outcomes: dict = field(default_factory=dict)
+    restored: bool = False  # finding came from a resume checkpoint
 
     @property
     def corrupted(self):
@@ -33,6 +38,52 @@ class RegisterFinding:
     def trojan_found(self):
         return self.corrupted or self.bypassed or self.pseudo_corrupted
 
+    @property
+    def degraded_checks(self):
+        """Check outcomes that did not complete (name -> CheckOutcome)."""
+        return {
+            name: outcome
+            for name, outcome in self.check_outcomes.items()
+            if not getattr(outcome, "ok", True)
+        }
+
+    @property
+    def status(self):
+        """``"ok"`` when every supervised check concluded, else ``"degraded"``."""
+        return "degraded" if self.degraded_checks else "ok"
+
+    @property
+    def attempts(self):
+        """Total check attempts spent on this register (0 if unsupervised)."""
+        return sum(
+            getattr(outcome, "num_attempts", 0)
+            for outcome in self.check_outcomes.values()
+        )
+
+    @property
+    def peak_memory(self):
+        """Largest per-check peak RSS observed, in bytes (0 if unmeasured)."""
+        peaks = [
+            getattr(outcome, "peak_memory", 0)
+            for outcome in self.check_outcomes.values()
+        ]
+        return max(peaks, default=0)
+
+    @property
+    def bound_reached(self):
+        """Smallest bound actually certified across this register's checks.
+
+        Equals ``max_cycles`` for a fully completed clean register; less
+        when some check degraded — the honest figure for the paper's
+        "no Trojan found for T clock cycles" statement.
+        """
+        bounds = []
+        if self.corruption is not None:
+            bounds.append(self.corruption.bound)
+        if self.bypass is not None:
+            bounds.append(self.bypass.bound)
+        return min(bounds) if bounds else 0
+
 
 @dataclass
 class DetectionReport:
@@ -49,6 +100,20 @@ class DetectionReport:
     def trojan_found(self):
         return any(f.trojan_found for f in self.findings.values())
 
+    @property
+    def degraded(self):
+        """True when any register's checks hit a resource limit or crash."""
+        return any(f.status == "degraded" for f in self.findings.values())
+
+    @property
+    def resumed_registers(self):
+        """Registers restored from a checkpoint rather than re-audited."""
+        return [
+            name
+            for name, finding in self.findings.items()
+            if getattr(finding, "restored", False)
+        ]
+
     def trusted_for(self):
         """Cycles the design is certified trustworthy for (min over checks),
         or 0 if a Trojan was found."""
@@ -63,15 +128,17 @@ class DetectionReport:
         return min(bounds) if bounds else 0
 
     def summary(self):
+        verdict = (
+            "TROJAN FOUND" if self.trojan_found else
+            "no data-corruption Trojan found for {} clock cycles".format(
+                self.trusted_for()
+            )
+        )
+        if self.degraded and not self.trojan_found:
+            verdict += " [degraded: some checks hit resource limits]"
         lines = [
             "Algorithm 1 on {!r} via {} (bound {} cycles): {}".format(
-                self.design,
-                self.engine,
-                self.max_cycles,
-                "TROJAN FOUND" if self.trojan_found else
-                "no data-corruption Trojan found for {} clock cycles".format(
-                    self.trusted_for()
-                ),
+                self.design, self.engine, self.max_cycles, verdict,
             )
         ]
         for register, finding in self.findings.items():
@@ -108,8 +175,12 @@ class DetectionReport:
                         finding.bypass.bound,
                     )
                 )
+            for name, outcome in finding.degraded_checks.items():
+                parts.append("{} {}".format(name, outcome.describe()))
             if not parts:
                 parts.append("clean within bound")
+            if getattr(finding, "restored", False):
+                parts.append("restored from checkpoint")
             lines.append("  {}: {}".format(register, "; ".join(parts)))
         if self.trojan_info is not None:
             lines.append(

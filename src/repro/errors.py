@@ -55,6 +55,20 @@ class ResourceBudgetExceeded(ReproError):
         super().__init__(message)
 
 
+class EngineArgumentError(ReproError):
+    """A check argument is not accepted by the selected formal engine.
+
+    ``run_objective`` validates its ``**check_kwargs`` against the
+    engine's ``check`` signature up front, so a typo (or an engine-
+    specific knob passed to the wrong engine) fails with the offending
+    argument named instead of a bare ``TypeError`` deep in the call.
+    """
+
+
+class CheckpointError(ReproError):
+    """An audit checkpoint is unreadable or belongs to a different audit."""
+
+
 class PropertyError(ReproError):
     """Malformed security-property specification (valid ways, monitors)."""
 

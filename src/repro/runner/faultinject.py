@@ -1,0 +1,149 @@
+"""Deterministic fault injection for the supervised runner.
+
+Proving the runner's crash isolation, hard timeouts, retry policy and
+checkpoint/resume requires engines that fail *on demand*: the real
+engines are deterministic and (deliberately) hard to crash. A
+:class:`FaultInjector` carries a list of :class:`FaultSpec` rules; the
+supervisor consults it inside the execution context — in the worker
+process under process isolation, inline otherwise — immediately before
+a check runs, so an injected hang really does stall the worker and an
+injected hard crash really does kill it.
+
+Determinism: a rule fires based only on the check *name* and the
+0-based *attempt index* (``first_attempts`` = inject on attempts
+``0..first_attempts-1``), never on wall clock or randomness — so a
+"crash once, then succeed" retry scenario replays identically on every
+run, in-process or across a fork.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.errors import ResourceBudgetExceeded
+
+RAISE = "raise"      # raise a generic engine exception
+BUDGET = "budget"    # raise ResourceBudgetExceeded(bound_reached=...)
+STALL = "stall"      # sleep past the hard timeout (a hung engine)
+CRASH = "crash"      # kill the worker process outright (os._exit)
+MEMORY = "memory"    # raise MemoryError (the RLIMIT_AS outcome)
+
+KINDS = (RAISE, BUDGET, STALL, CRASH, MEMORY)
+
+
+class InjectedFault(RuntimeError):
+    """The generic exception raised by ``raise`` faults."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    Parameters
+    ----------
+    match:
+        ``fnmatch`` pattern tested (case-sensitively) against the check
+        name, e.g. ``"corruption(*)"`` or ``"*stack_pointer*"``.
+    kind:
+        One of :data:`KINDS`.
+    first_attempts:
+        Inject only while the attempt index is below this value; the
+        default (a large number) injects on every attempt. ``1`` gives
+        "fail once, succeed on retry".
+    seconds:
+        Stall duration for ``stall`` faults.
+    bound_reached:
+        The partial bound reported by ``budget`` faults.
+    message:
+        Text carried by raised exceptions.
+    """
+
+    match: str
+    kind: str
+    first_attempts: int = 1 << 30
+    seconds: float = 3600.0
+    bound_reached: int = 0
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                "unknown fault kind {!r}; pick one of {}".format(
+                    self.kind, KINDS
+                )
+            )
+
+    def applies(self, name, attempt_index):
+        return attempt_index < self.first_attempts and fnmatchcase(
+            name, self.match
+        )
+
+
+class FaultInjector:
+    """Applies the first matching :class:`FaultSpec` before a check runs."""
+
+    def __init__(self, faults=()):
+        self.faults = list(faults)
+
+    # ------------------------------------------------- convenience builders
+
+    @classmethod
+    def crash_on(cls, match, **kw):
+        return cls([FaultSpec(match=match, kind=CRASH, **kw)])
+
+    @classmethod
+    def stall_on(cls, match, seconds=3600.0, **kw):
+        return cls([FaultSpec(match=match, kind=STALL, seconds=seconds, **kw)])
+
+    @classmethod
+    def raise_on(cls, match, message="injected engine failure", **kw):
+        return cls([FaultSpec(match=match, kind=RAISE, message=message, **kw)])
+
+    @classmethod
+    def budget_on(cls, match, bound_reached=0, **kw):
+        return cls(
+            [FaultSpec(match=match, kind=BUDGET,
+                       bound_reached=bound_reached, **kw)]
+        )
+
+    @classmethod
+    def memory_on(cls, match, **kw):
+        return cls([FaultSpec(match=match, kind=MEMORY, **kw)])
+
+    # --------------------------------------------------------------- firing
+
+    def spec_for(self, name, attempt_index):
+        for spec in self.faults:
+            if spec.applies(name, attempt_index):
+                return spec
+        return None
+
+    def fire(self, name, attempt_index, in_worker=False):
+        """Apply the first matching rule; no-op when none matches.
+
+        ``in_worker`` tells a ``crash`` fault it may genuinely kill the
+        process; inline it degrades to an uncatchable-by-engines
+        exception so the test process survives while the supervisor
+        still sees a crash.
+        """
+        spec = self.spec_for(name, attempt_index)
+        if spec is None:
+            return
+        if spec.kind == RAISE:
+            raise InjectedFault(spec.message)
+        if spec.kind == BUDGET:
+            raise ResourceBudgetExceeded(
+                spec.message, bound_reached=spec.bound_reached
+            )
+        if spec.kind == MEMORY:
+            raise MemoryError(spec.message)
+        if spec.kind == STALL:
+            time.sleep(spec.seconds)
+            return
+        if spec.kind == CRASH:
+            if in_worker:
+                os._exit(66)  # simulate a segfaulting engine
+            raise InjectedFault("hard crash (inline): " + spec.message)

@@ -1,0 +1,213 @@
+"""The supervised check runner: isolation, budgets, retries.
+
+:class:`CheckRunner` is the single choke point every property check of
+Algorithm 1 (and the benchmark harness) goes through. For each check it
+runs one or more *attempts* under a :class:`RetryPolicy`, each attempt
+either inline (same process, cooperative budgets only — the historical
+behaviour) or in a ``multiprocessing`` worker with a hard wall-clock
+timeout and an ``RLIMIT_AS`` memory cap. Whatever happens — a verdict,
+an exhausted budget, a :class:`ResourceBudgetExceeded`, a hang killed at
+the timeout, or a worker that dies outright — the caller receives a
+structured :class:`CheckOutcome`, never an exception: a single solver
+blow-up can no longer abort a whole audit.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ReproError, ResourceBudgetExceeded
+from repro.runner.outcome import AttemptRecord, CheckOutcome
+from repro.runner.policy import (
+    BUDGET,
+    CRASHED,
+    EXHAUSTED,
+    OK,
+    TIMEOUT,
+    ResourceLimits,
+    RetryPolicy,
+)
+from repro.runner.worker import run_in_process
+
+INLINE = "inline"
+PROCESS = "process"
+
+#: Engine result statuses that count as a conclusive verdict.
+_CONCLUSIVE = ("violated", "proved")
+
+
+class CheckRunner:
+    """Runs property checks under supervision.
+
+    Parameters
+    ----------
+    isolation:
+        ``"inline"`` (default) runs checks in-process — no hard kill is
+        possible, only the engines' cooperative ``time_budget``.
+        ``"process"`` runs each attempt in a worker with hard limits.
+    limits:
+        :class:`ResourceLimits` for process-isolated attempts.
+    retry:
+        :class:`RetryPolicy`; the default makes a single attempt.
+    fault_injector:
+        Optional :class:`~repro.runner.faultinject.FaultInjector`
+        consulted inside the execution context before each attempt.
+    """
+
+    def __init__(self, isolation=INLINE, limits=None, retry=None,
+                 fault_injector=None, mp_context=None):
+        if isolation not in (INLINE, PROCESS):
+            raise ReproError(
+                "unknown isolation {!r}; pick {!r} or {!r}".format(
+                    isolation, INLINE, PROCESS
+                )
+            )
+        self.isolation = isolation
+        self.limits = limits if limits is not None else ResourceLimits()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_injector = fault_injector
+        self.mp_context = mp_context
+
+    @classmethod
+    def configure(cls, workers=0, check_timeout=None, retries=0,
+                  memory_bytes=None, halve_bound=False, backoff=0.0,
+                  fault_injector=None):
+        """Build a runner from flat knobs (the CLI's view of the world)."""
+        return cls(
+            isolation=PROCESS if workers else INLINE,
+            limits=ResourceLimits(
+                wall_timeout=check_timeout, memory_bytes=memory_bytes
+            ),
+            retry=RetryPolicy(
+                attempts=retries + 1, halve_bound=halve_bound,
+                backoff=backoff,
+            ),
+            fault_injector=fault_injector,
+        )
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, task, name=None):
+        """Run ``task`` to a :class:`CheckOutcome`; never raises for
+        engine-side failures (supervisor bugs still propagate)."""
+        if name is None:
+            name = getattr(task, "property_name", "") or "check"
+        start = time.perf_counter()
+        outcome = CheckOutcome(name=name)
+        best_partial = None  # deepest inconclusive engine result
+        for index in range(self.retry.attempts):
+            delay = self.retry.delay_for(index)
+            if delay > 0:
+                time.sleep(delay)
+            attempt_task = self._rescale(task, index)
+            record = self._attempt(attempt_task, name, index)
+            outcome.attempts.append(record)
+            outcome.bound_reached = max(
+                outcome.bound_reached, record.bound_reached
+            )
+            outcome.peak_memory = max(
+                outcome.peak_memory, record.peak_memory
+            )
+            if record.status == OK:
+                outcome.status = OK
+                outcome.result = record._result
+                outcome.error = None
+                break
+            outcome.status = record.status
+            outcome.error = record.error
+            partial = record._result
+            if partial is not None and (
+                best_partial is None or partial.bound > best_partial.bound
+            ):
+                best_partial = partial
+            if not self.retry.should_retry(record.status, index):
+                break
+        if outcome.result is None and best_partial is not None:
+            outcome.result = best_partial
+        outcome.elapsed = time.perf_counter() - start
+        return outcome
+
+    # ------------------------------------------------------------ internals
+
+    def _rescale(self, task, index):
+        """Apply the retry policy's bound/budget schedule to attempt ``index``."""
+        if index == 0:
+            return task
+        max_cycles = getattr(task, "max_cycles", None)
+        if max_cycles is not None and hasattr(task, "with_bound"):
+            new_bound = self.retry.bound_for(index, max_cycles)
+            if new_bound != max_cycles:
+                task = task.with_bound(new_bound)
+        budget = getattr(task, "time_budget", None)
+        if budget is not None and hasattr(task, "with_budget"):
+            new_budget = self.retry.budget_for(index, budget)
+            if new_budget != budget:
+                task = task.with_budget(new_budget)
+        return task
+
+    def _attempt(self, task, name, index):
+        start = time.perf_counter()
+        mode = self.isolation
+        record = AttemptRecord(
+            index=index,
+            status=CRASHED,
+            mode=mode,
+            max_cycles=getattr(task, "max_cycles", 0) or 0,
+            time_budget=getattr(task, "time_budget", None),
+        )
+        record._result = None
+        if mode == PROCESS:
+            message = run_in_process(
+                task,
+                name=name,
+                attempt_index=index,
+                hard_timeout=self.limits.effective_timeout(
+                    record.time_budget
+                ),
+                memory_bytes=self.limits.memory_bytes,
+                injector=self.fault_injector,
+                mp_context=self.mp_context,
+            )
+            self._absorb_message(record, message)
+        else:
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.fire(name, index, in_worker=False)
+                result = task()
+            except ResourceBudgetExceeded as exc:
+                record.status = BUDGET
+                record.error = str(exc)
+                record.bound_reached = getattr(exc, "bound_reached", 0)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                record.status = CRASHED
+                record.error = "{}: {}".format(type(exc).__name__, exc)
+            else:
+                self._absorb_result(record, result)
+        record.elapsed = time.perf_counter() - start
+        return record
+
+    def _absorb_message(self, record, message):
+        kind = message[0]
+        if kind == "ok":
+            self._absorb_result(record, message[1])
+        elif kind == "budget":
+            record.status = BUDGET
+            record.error = message[1]
+            record.bound_reached = message[2]
+        elif kind == "timeout":
+            record.status = TIMEOUT
+            record.error = message[1]
+        else:  # crashed
+            record.status = CRASHED
+            record.error = message[1]
+
+    def _absorb_result(self, record, result):
+        record._result = result
+        record.bound_reached = getattr(result, "bound", 0)
+        record.peak_memory = getattr(result, "peak_memory", 0)
+        status = getattr(result, "status", None)
+        record.status = OK if status in _CONCLUSIVE else EXHAUSTED
+        if record.status == EXHAUSTED:
+            record.error = "engine returned {!r} at bound {}".format(
+                status, record.bound_reached
+            )

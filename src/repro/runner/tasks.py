@@ -1,0 +1,118 @@
+"""Picklable check tasks the supervisor can run in-process or in a worker.
+
+A *task* is a small callable object capturing everything one property
+check needs: the monitor netlist, the objective, the engine name and the
+check kwargs. Tasks are plain dataclasses (no closures) so they survive
+a trip into a ``multiprocessing`` worker under any start method, and
+they expose the two rescaling hooks the retry policy uses:
+
+* :meth:`with_bound` — rebuild the task at a smaller ``max_cycles``
+  (bound-halving on retry);
+* :meth:`with_budget` — rebuild with a scaled cooperative
+  ``time_budget``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ObjectiveTask:
+    """One Eq. (2)/(3) bounded check of a 1-bit objective net."""
+
+    engine: str
+    netlist: object
+    objective_net: int
+    max_cycles: int
+    property_name: str = ""
+    pinned_inputs: object = None
+    use_coi: bool = True
+    check_kwargs: dict = field(default_factory=dict)
+
+    @property
+    def time_budget(self):
+        return self.check_kwargs.get("time_budget")
+
+    def with_bound(self, max_cycles):
+        return replace(self, max_cycles=max_cycles)
+
+    def with_budget(self, time_budget):
+        kwargs = dict(self.check_kwargs)
+        kwargs["time_budget"] = time_budget
+        return replace(self, check_kwargs=kwargs)
+
+    def __call__(self):
+        from repro.core.backends import run_objective
+
+        return run_objective(
+            self.engine,
+            self.netlist,
+            self.objective_net,
+            self.max_cycles,
+            property_name=self.property_name,
+            pinned_inputs=self.pinned_inputs,
+            use_coi=self.use_coi,
+            **self.check_kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class BypassTask:
+    """One Eq. (4) CEGIS bypass check for a critical register."""
+
+    netlist: object
+    spec: object  # RegisterSpec
+    max_cycles: int
+    time_budget: float | None = None
+    max_cegis_iters: int = 64
+    seed: int = 0
+
+    @property
+    def property_name(self):
+        return "no-bypass({})".format(self.spec.register)
+
+    def with_bound(self, max_cycles):
+        return replace(self, max_cycles=max_cycles)
+
+    def with_budget(self, time_budget):
+        return replace(self, time_budget=time_budget)
+
+    def __call__(self):
+        from repro.properties.bypass import BypassChecker
+
+        return BypassChecker(self.netlist, self.spec).check(
+            self.max_cycles,
+            time_budget=self.time_budget,
+            max_cegis_iters=self.max_cegis_iters,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class CallableTask:
+    """Adapter for arbitrary callables (tests, custom engines).
+
+    ``fn`` is called as ``fn(max_cycles=..., time_budget=...)`` when it
+    accepts those keywords, else bare — keeping ad-hoc tasks compatible
+    with the retry policy's rescaling.
+    """
+
+    fn: object
+    max_cycles: int = 0
+    time_budget: float | None = None
+    property_name: str = ""
+    pass_limits: bool = False
+
+    def with_bound(self, max_cycles):
+        return replace(self, max_cycles=max_cycles)
+
+    def with_budget(self, time_budget):
+        return replace(self, time_budget=time_budget)
+
+    def __call__(self):
+        if self.pass_limits:
+            return self.fn(
+                max_cycles=self.max_cycles, time_budget=self.time_budget
+            )
+        return self.fn()

@@ -1,0 +1,117 @@
+"""Process isolation for one check attempt.
+
+The supervisor calls :func:`run_in_process` to execute a task in a
+``multiprocessing`` worker with a hard wall-clock timeout and an
+optional address-space cap. The worker speaks a tiny tagged-tuple
+protocol over a one-way pipe:
+
+* ``("ok", result)`` — the engine returned a result object;
+* ``("budget", message, bound_reached)`` — it raised
+  :class:`ResourceBudgetExceeded`;
+* ``("crashed", message)`` — it raised anything else (including
+  ``MemoryError`` from the rlimit cap), or the process died without
+  sending (segfault, ``os._exit``, OOM-kill) — detected as EOF on the
+  pipe;
+* ``("timeout", message)`` — the supervisor killed the worker after the
+  hard timeout.
+
+On Linux workers are forked, so task objects are *not* re-pickled on
+the way in (only results travel back through the pipe); under spawn
+start methods everything in :mod:`repro.runner.tasks` pickles cleanly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.errors import ResourceBudgetExceeded
+
+_KILL_GRACE = 5.0  # seconds to wait after terminate() before SIGKILL
+
+
+def _apply_memory_cap(memory_bytes):
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    new_hard = hard if hard != resource.RLIM_INFINITY else memory_bytes
+    resource.setrlimit(
+        resource.RLIMIT_AS, (min(memory_bytes, new_hard), new_hard)
+    )
+
+
+def _child_main(conn, task, name, attempt_index, memory_bytes, injector):
+    """Worker entry point: run the task, report through the pipe."""
+    try:
+        if memory_bytes is not None:
+            _apply_memory_cap(memory_bytes)
+        if injector is not None:
+            injector.fire(name, attempt_index, in_worker=True)
+        result = task()
+        conn.send(("ok", result))
+    except ResourceBudgetExceeded as exc:
+        conn.send(("budget", str(exc), getattr(exc, "bound_reached", 0)))
+    except MemoryError as exc:
+        conn.send(("crashed", "MemoryError: {}".format(exc)))
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        try:
+            conn.send(
+                ("crashed", "{}: {}".format(type(exc).__name__, exc))
+            )
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+def _context():
+    """Prefer fork (no task pickling, cheap COW memory) when available."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
+
+
+def run_in_process(task, name="check", attempt_index=0, hard_timeout=None,
+                   memory_bytes=None, injector=None, mp_context=None):
+    """Run ``task()`` in a worker; returns a protocol tuple (see module doc)."""
+    ctx = mp_context if mp_context is not None else _context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_child_main,
+        args=(child_conn, task, name, attempt_index, memory_bytes, injector),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()  # keep exactly one writer so EOF is observable
+    try:
+        if not parent_conn.poll(hard_timeout):
+            proc.terminate()
+            proc.join(_KILL_GRACE)
+            if proc.is_alive():  # pragma: no cover - terminate() sufficed
+                proc.kill()
+                proc.join()
+            return (
+                "timeout",
+                "hard timeout: worker killed after {:.1f}s".format(
+                    hard_timeout
+                ),
+            )
+        try:
+            message = parent_conn.recv()
+        except EOFError:
+            proc.join()
+            return (
+                "crashed",
+                "worker died without a result (exit code {})".format(
+                    proc.exitcode
+                ),
+            )
+        proc.join()
+        return message
+    finally:
+        parent_conn.close()
+        if proc.is_alive():  # pragma: no cover - defensive cleanup
+            proc.kill()
+            proc.join()

@@ -39,6 +39,34 @@ class TestDetectionRun:
         assert not row.detected
         assert row.verdict == "N/A"
 
+    def test_supervised_run_same_verdict(self):
+        from repro.runner import CheckRunner
+
+        netlist, spec = design_and_spec()
+        row = detection_run(
+            "toy", netlist, spec, "secret", "bmc", 15, time_budget=30,
+            runner=CheckRunner(), measure_memory=False,
+        )
+        assert row.detected and row.confirmed
+        assert row.extra["outcome"].ok
+
+    def test_supervised_crash_yields_row_not_exception(self):
+        from repro.runner import CheckRunner, FaultInjector
+
+        netlist, spec = design_and_spec()
+        runner = CheckRunner(
+            isolation="process",
+            fault_injector=FaultInjector.crash_on("toy:bmc"),
+        )
+        row = detection_run(
+            "toy", netlist, spec, "secret", "bmc", 15, time_budget=30,
+            runner=runner,
+        )
+        assert not row.detected
+        assert row.status == "crashed"
+        assert row.verdict == "crashed"
+        assert not row.extra["outcome"].ok
+
 
 class TestDepthRamp:
     def test_continues_past_detection(self):

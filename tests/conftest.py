@@ -86,6 +86,43 @@ def spec():
     return secret_spec()
 
 
+def register_spec_for(register, width=4):
+    """Reset/load valid ways for one register of the dual-register core."""
+    return RegisterSpec(
+        register=register,
+        ways=[
+            ValidWay(
+                "reset",
+                lambda m: m.input("reset"),
+                value=lambda m: m.const(0, width),
+                expression="reset",
+            ),
+            ValidWay(
+                "load",
+                lambda m: m.input("load"),
+                value=lambda m: m.input("din"),
+                expression="load",
+            ),
+        ],
+        observe_latency=1,
+    )
+
+
+def build_dual_register_design(width=4):
+    """Two independent clean critical registers — the minimal multi-register
+    audit, used by the checkpoint/resume and fault-isolation tests."""
+    c = Circuit("dual")
+    reset = c.input("reset", 1)
+    load = c.input("load", 1)
+    din = c.input("din", width)
+    rega = c.reg("rega", width)
+    rega.drive(c.select(rega.q, (reset, c.const(0, width)), (load, din)))
+    regb = c.reg("regb", width)
+    regb.drive(c.select(regb.q, (reset, c.const(0, width)), (load, din)))
+    c.output("out", rega.q ^ regb.q)
+    return c.finalize()
+
+
 def build_counter(width=4, with_output=True):
     """An enabled counter, the suite's minimal sequential design."""
     c = Circuit("counter")

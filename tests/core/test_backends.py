@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ENGINES, make_engine, run_objective
-from repro.errors import ReproError
+from repro.errors import EngineArgumentError, ReproError
 from repro.netlist import Circuit
 
 from tests.conftest import build_counter
@@ -27,6 +27,41 @@ def test_unknown_engine_rejected():
     nl, obj = objective()
     with pytest.raises(ReproError):
         make_engine("z3", nl, obj)
+
+
+class TestCheckKwargValidation:
+    def test_unknown_kwarg_named_in_error(self):
+        nl, obj = objective()
+        with pytest.raises(EngineArgumentError, match="conflict_budgett"):
+            run_objective("bmc", nl, obj, 4, conflict_budgett=10)
+
+    def test_engine_specific_kwarg_rejected_for_wrong_engine(self):
+        nl, obj = objective()
+        # backtrack_budget is an ATPG knob; BMC must reject it by name
+        with pytest.raises(EngineArgumentError, match="backtrack_budget"):
+            run_objective("bmc", nl, obj, 4, backtrack_budget=10)
+        # and conflict_budget is BMC-only
+        with pytest.raises(EngineArgumentError, match="conflict_budget"):
+            run_objective("atpg", nl, obj, 4, conflict_budget=10)
+
+    def test_error_names_the_engine_and_accepted_args(self):
+        nl, obj = objective()
+        with pytest.raises(EngineArgumentError, match="'bmc'") as info:
+            run_objective("bmc", nl, obj, 4, nonsense=1)
+        assert "time_budget" in str(info.value)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_valid_kwargs_still_pass(self, engine):
+        nl, obj = objective()
+        result = run_objective(
+            engine, nl, obj, 8, time_budget=30, measure_memory=False
+        )
+        assert result.status == "violated"
+
+    def test_engine_argument_error_is_a_repro_error(self):
+        nl, obj = objective()
+        with pytest.raises(ReproError):
+            run_objective("bmc", nl, obj, 4, nonsense=1)
 
 
 def test_pinned_inputs_threaded_through():

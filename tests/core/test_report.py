@@ -62,3 +62,29 @@ def test_ground_truth_line():
         "r", corruption=make_result("proved", 5))}
     assert "X-1" in report.summary()
     assert "does bad things" in report.summary()
+
+
+def test_degraded_checks_surface_in_summary():
+    from repro.runner import CheckOutcome
+
+    report = DetectionReport(design="d", engine="bmc", max_cycles=10)
+    finding = RegisterFinding("r", corruption=make_result("unknown", 3))
+    finding.check_outcomes["corruption(r)"] = CheckOutcome(
+        name="corruption(r)", status="timeout", bound_reached=3,
+        error="hard timeout: worker killed after 5.0s",
+    )
+    report.findings = {"r": finding}
+    assert finding.status == "degraded"
+    assert report.degraded
+    text = report.summary()
+    assert "degraded" in text
+    assert "hard timeout" in text
+    # the trust statement honors the partial bound, not max_cycles
+    assert report.trusted_for() == 3
+
+
+def test_ok_finding_reports_ok_status():
+    finding = RegisterFinding("r", corruption=make_result("proved", 10))
+    assert finding.status == "ok"
+    assert finding.degraded_checks == {}
+    assert finding.bound_reached == 10

@@ -1,0 +1,146 @@
+"""Checkpoint serialization and resume-store tests."""
+
+import json
+
+import pytest
+
+from repro.bmc.engine import BmcResult
+from repro.bmc.witness import Witness
+from repro.core.report import DetectionReport, RegisterFinding
+from repro.errors import CheckpointError
+from repro.properties.bypass import BypassResult
+from repro.runner import (
+    AuditCheckpoint,
+    CheckOutcome,
+    finding_from_dict,
+    finding_to_dict,
+)
+from repro.runner.outcome import AttemptRecord
+
+
+def rich_finding():
+    finding = RegisterFinding(register="secret")
+    finding.corruption = BmcResult(
+        status="violated",
+        bound=7,
+        witness=Witness(
+            inputs=[{"load": 1, "key_in": 0xA5}] * 7,
+            violation_cycle=6,
+            property_name="no-corruption(secret)",
+        ),
+        elapsed=1.5,
+        property_name="no-corruption(secret)",
+    )
+    finding.witness_confirmed = True
+    finding.bypass = BypassResult(
+        status="violated", bound=3, p_value=1, q_value=2,
+        property_name="no-bypass(secret)",
+    )
+    finding.pseudo_criticals = [("shadow", "after")]
+    finding.pseudo_corruptions = {
+        "shadow": BmcResult(status="proved", bound=10)
+    }
+    finding.elapsed = 2.5
+    outcome = CheckOutcome(name="corruption(secret)", status="ok")
+    outcome.attempts.append(
+        AttemptRecord(index=0, status="ok", bound_reached=7, elapsed=1.5)
+    )
+    finding.check_outcomes["corruption(secret)"] = outcome
+    return finding
+
+
+class TestFindingRoundTrip:
+    def test_verdicts_and_witness_survive(self):
+        restored = finding_from_dict(finding_to_dict(rich_finding()))
+        assert restored.register == "secret"
+        assert restored.corrupted
+        assert restored.trojan_found
+        assert restored.witness_confirmed
+        assert restored.corruption.bound == 7
+        assert restored.corruption.witness.violation_cycle == 6
+        assert restored.corruption.witness.inputs[0] == {
+            "load": 1, "key_in": 0xA5,
+        }
+        assert restored.bypass.p_value == 1
+        assert restored.bypass.q_value == 2
+        assert restored.pseudo_criticals == [("shadow", "after")]
+        assert not restored.pseudo_corruptions["shadow"].detected
+        assert restored.restored
+
+    def test_round_trip_is_json_clean(self):
+        data = json.loads(json.dumps(finding_to_dict(rich_finding())))
+        assert finding_from_dict(data).corrupted
+
+    def test_check_outcomes_survive(self):
+        restored = finding_from_dict(finding_to_dict(rich_finding()))
+        outcome = restored.check_outcomes["corruption(secret)"]
+        assert outcome.status == "ok"
+        assert outcome.attempts[0].bound_reached == 7
+
+    def test_restored_finding_renders_in_report(self):
+        report = DetectionReport(design="d", engine="bmc", max_cycles=10)
+        report.findings["secret"] = finding_from_dict(
+            finding_to_dict(rich_finding())
+        )
+        text = report.summary()
+        assert "TROJAN FOUND" in text
+        assert "restored from checkpoint" in text
+
+    def test_degraded_finding_round_trip(self):
+        finding = RegisterFinding(register="r")
+        outcome = CheckOutcome(
+            name="corruption(r)", status="timeout", bound_reached=3,
+            error="hard timeout",
+        )
+        finding.check_outcomes["corruption(r)"] = outcome
+        restored = finding_from_dict(finding_to_dict(finding))
+        assert restored.status == "degraded"
+        assert restored.degraded_checks["corruption(r)"].bound_reached == 3
+
+
+class TestAuditCheckpoint:
+    def test_begin_creates_then_restores(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = AuditCheckpoint(path)
+        assert store.begin("dual", "bmc", 10) == {}
+        store.save_finding("secret", rich_finding())
+        assert path.exists()
+
+        fresh = AuditCheckpoint(path)
+        restored = fresh.begin("dual", "bmc", 10)
+        assert set(restored) == {"secret"}
+        assert fresh.completed == frozenset({"secret"})
+        assert restored["secret"].corrupted
+
+    def test_mismatched_audit_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = AuditCheckpoint(path)
+        store.begin("dual", "bmc", 10)
+        store.save_finding("secret", rich_finding())
+        for stamp in (("other", "bmc", 10), ("dual", "atpg", 10),
+                      ("dual", "bmc", 12)):
+            with pytest.raises(CheckpointError):
+                AuditCheckpoint(path).begin(*stamp)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            AuditCheckpoint(path).begin("dual", "bmc", 10)
+
+    def test_save_requires_begin(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            AuditCheckpoint(tmp_path / "x.json").save_finding(
+                "r", rich_finding()
+            )
+
+    def test_writes_are_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = AuditCheckpoint(path)
+        store.begin("dual", "bmc", 10)
+        store.save_finding("a", rich_finding())
+        store.save_finding("b", rich_finding())
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        data = json.loads(path.read_text())
+        assert set(data["findings"]) == {"a", "b"}

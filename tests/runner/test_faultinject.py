@@ -1,0 +1,65 @@
+"""Deterministic fault-injection rule tests."""
+
+import pytest
+
+from repro.errors import ResourceBudgetExceeded
+from repro.runner import FaultInjector, FaultSpec, InjectedFault
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(match="*", kind="explode")
+
+    def test_name_matching_is_glob(self):
+        spec = FaultSpec(match="corruption(*)", kind="raise")
+        assert spec.applies("corruption(secret)", 0)
+        assert not spec.applies("bypass(secret)", 0)
+
+    def test_first_attempts_window(self):
+        spec = FaultSpec(match="*", kind="raise", first_attempts=2)
+        assert spec.applies("x", 0)
+        assert spec.applies("x", 1)
+        assert not spec.applies("x", 2)
+
+
+class TestFaultInjector:
+    def test_no_match_is_noop(self):
+        FaultInjector.raise_on("bypass(*)").fire("corruption(r)", 0)
+
+    def test_raise_fault(self):
+        injector = FaultInjector.raise_on("*", message="boom")
+        with pytest.raises(InjectedFault, match="boom"):
+            injector.fire("corruption(r)", 0)
+
+    def test_budget_fault_carries_bound(self):
+        injector = FaultInjector.budget_on("*", bound_reached=9)
+        with pytest.raises(ResourceBudgetExceeded) as info:
+            injector.fire("corruption(r)", 0)
+        assert info.value.bound_reached == 9
+
+    def test_memory_fault(self):
+        with pytest.raises(MemoryError):
+            FaultInjector.memory_on("*").fire("x", 0)
+
+    def test_inline_crash_degrades_to_exception(self):
+        # a real os._exit would kill the test process — inline it must not
+        with pytest.raises(InjectedFault, match="hard crash"):
+            FaultInjector.crash_on("*").fire("x", 0, in_worker=False)
+
+    def test_first_matching_rule_wins(self):
+        injector = FaultInjector([
+            FaultSpec(match="corruption(*)", kind="budget", bound_reached=3),
+            FaultSpec(match="*", kind="raise"),
+        ])
+        with pytest.raises(ResourceBudgetExceeded):
+            injector.fire("corruption(r)", 0)
+        with pytest.raises(InjectedFault):
+            injector.fire("tracking(r->c,after)", 0)
+
+    def test_deterministic_across_calls(self):
+        injector = FaultInjector.raise_on("*", first_attempts=1)
+        with pytest.raises(InjectedFault):
+            injector.fire("x", 0)
+        injector.fire("x", 1)  # retries succeed, every time
+        injector.fire("x", 1)

@@ -45,6 +45,44 @@ def test_audit_clean_design_exits_zero():
     assert "no data-corruption Trojan" in text
 
 
+def test_audit_with_supervision_flags():
+    # isolated worker + hard timeout + retries must not change the verdict
+    code, text = run_cli([
+        "audit", "--design", "mc8051-t700", "--engine", "bmc",
+        "--max-cycles", "8", "--register", "acc",
+        "--workers", "1", "--check-timeout", "60", "--retries", "1",
+    ])
+    assert code == 1
+    assert "TROJAN FOUND" in text
+
+
+def test_audit_resume_writes_and_reuses_checkpoint(tmp_path):
+    ckpt = tmp_path / "audit.json"
+    argv = [
+        "audit", "--design", "router", "--max-cycles", "6",
+        "--resume", str(ckpt),
+    ]
+    code, text = run_cli(argv)
+    assert code == 0
+    assert ckpt.exists()
+    code, text = run_cli(argv)  # second run restores from the checkpoint
+    assert code == 0
+    assert "restored from checkpoint" in text
+
+
+def test_audit_resume_mismatch_is_a_clear_error(tmp_path):
+    ckpt = tmp_path / "audit.json"
+    run_cli([
+        "audit", "--design", "router", "--max-cycles", "6",
+        "--resume", str(ckpt),
+    ])
+    with pytest.raises(SystemExit, match="cannot resume"):
+        run_cli([
+            "audit", "--design", "router", "--max-cycles", "8",
+            "--resume", str(ckpt),
+        ])
+
+
 def test_export(tmp_path):
     code, text = run_cli([
         "export", "--design", "router", "--out", str(tmp_path),
