@@ -55,16 +55,12 @@ def collapse_faults(netlist):
         return len(fanout.get(net, ())) == 1
 
     for cell in netlist.cells:
-        out = cell.output
         if cell.kind in (Kind.BUF, Kind.NOT):
             inp = cell.inputs[0]
             if fanout_free(inp):
-                invert = cell.kind is Kind.NOT
                 for value in (0, 1):
-                    equivalent = Fault(inp, value ^ (1 if invert else 0))
                     # the input fault is equivalent to the output fault
                     keep.discard(Fault(inp, value))
-                    _ = equivalent
         elif cell.kind in (Kind.AND, Kind.NAND, Kind.OR, Kind.NOR):
             controlling = 0 if cell.kind in (Kind.AND, Kind.NAND) else 1
             for inp in cell.inputs:

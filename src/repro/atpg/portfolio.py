@@ -72,7 +72,6 @@ class PortfolioJustifier:
         start = time.perf_counter()
         if time_budget is None:
             time_budget = 60.0
-        best = None
         deepest = 0
         self.stage_results = []
         for which, mode, share in self.STAGES:

@@ -3,8 +3,10 @@
 from repro.bench.harness import (
     BaselineRow,
     DetectionRow,
+    LintRow,
     baseline_run,
     detection_run,
+    lint_run,
     max_bound_within_budget,
 )
 from repro.bench.tables import fmt_bool, fmt_memory, fmt_seconds, render_table
@@ -12,8 +14,10 @@ from repro.bench.tables import fmt_bool, fmt_memory, fmt_seconds, render_table
 __all__ = [
     "BaselineRow",
     "DetectionRow",
+    "LintRow",
     "baseline_run",
     "detection_run",
+    "lint_run",
     "max_bound_within_budget",
     "fmt_bool",
     "fmt_memory",

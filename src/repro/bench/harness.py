@@ -174,6 +174,50 @@ def tracking_objective(netlist, spec, register, candidate, direction="after"):
 
 
 @dataclass
+class LintRow:
+    """Static lint pre-pass figures for one design.
+
+    The per-rule hit counts and lint runtime sit next to the formal
+    engines' numbers in the experiment tables: the pre-pass costs
+    milliseconds and the hit pattern shows *which* structural signature
+    each Trojan family trips.
+    """
+
+    label: str
+    elapsed: float
+    findings: int
+    rule_hits: dict = field(default_factory=dict)  # rule -> hit count
+    flagged_registers: dict = field(default_factory=dict)  # name -> score
+    max_severity: str | None = None
+
+    @property
+    def flagged(self):
+        """True when lint implicated at least one register."""
+        return bool(self.flagged_registers)
+
+
+def lint_run(label, netlist, spec=None, config=None):
+    """Run the static lint pre-pass on one design; returns a LintRow.
+
+    Mirrors :func:`detection_run`'s shape so a bench sweep can record a
+    lint column per (design) row without re-deriving anything: the
+    engine's own per-rule timing lands in ``rule_hits`` companions via
+    the report, and the row keeps only the table-facing numbers.
+    """
+    from repro.lint import lint_design
+
+    report = lint_design(netlist, spec, config=config, design=label)
+    return LintRow(
+        label=label,
+        elapsed=report.elapsed,
+        findings=len(report.findings),
+        rule_hits=dict(report.rule_hits),
+        flagged_registers=report.register_scores(),
+        max_severity=report.max_severity,
+    )
+
+
+@dataclass
 class BaselineRow:
     """FANCI + VeriTrust verdicts for one design."""
 

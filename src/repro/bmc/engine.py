@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.bmc.unroll import Unroller
 from repro.bmc.witness import Witness
-from repro.sat.solver import SAT, UNKNOWN, UNSAT, Solver
+from repro.sat.solver import SAT, UNKNOWN, Solver
 
 VIOLATED = "violated"
 PROVED = "proved"

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.bmc.engine import BmcEngine
 from repro.netlist.cells import Kind
 from repro.netlist.traversal import cone_of_influence
-from repro.sat.solver import SAT, UNKNOWN, UNSAT, Solver
+from repro.sat.solver import UNKNOWN, UNSAT, Solver
 from repro.sat.tseitin import encode_cell
 
 PROVED_UNBOUNDED = "proved-unbounded"

@@ -20,6 +20,19 @@ Commands
         python -m repro audit --design aes-t1200 --workers 1 \\
             --check-timeout 30 --retries 2 --resume aes_audit.json
 
+``lint``
+    Run the static lint pre-pass (see README "Static lint pre-pass")::
+
+        python -m repro lint --design mc8051-t800
+        python -m repro lint --design aes --json report.json \\
+            --sarif report.sarif --disable unread-net
+
+    Exits 1 when any finding reaches ``--fail-on`` (default
+    ``suspicious``) — same convention as ``audit``, so a Trojan-shaped
+    structure is a nonzero exit. ``--lint-prioritize`` on ``audit``
+    runs this pass first and audits flagged registers before clean
+    ones, attaching the static evidence to each finding.
+
 ``list``
     Show the bundled designs and their ground-truth Trojans.
 
@@ -104,6 +117,62 @@ def cmd_stats(args, out=sys.stdout):
     return 0
 
 
+def _lint_config_from_args(args):
+    from repro.lint import LintConfig
+
+    suppressions = []
+    for entry in args.suppress or []:
+        rule_glob, sep, subject_glob = entry.partition(":")
+        if not sep:
+            raise SystemExit(
+                "--suppress takes RULE_GLOB:SUBJECT_GLOB, got {!r}".format(
+                    entry
+                )
+            )
+        suppressions.append((rule_glob, subject_glob))
+    return LintConfig(
+        wide_comparator_width=args.wide_comparator_width,
+        counter_influence_limit=args.counter_influence_limit,
+        max_depth=args.max_depth_lint,
+        disabled=args.disable or [],
+        suppressions=suppressions,
+    )
+
+
+def cmd_lint(args, out=sys.stdout):
+    from repro.lint import (
+        LintConfigError,
+        Linter,
+        severity_rank,
+        write_sarif,
+    )
+
+    netlist, spec = build_design(args.design)
+    try:
+        config = _lint_config_from_args(args)
+        report = Linter(config=config).run(netlist, spec, design=args.design)
+    except LintConfigError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        if args.json == "-":
+            print(report.to_json(), file=out)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(report.to_json())
+                handle.write("\n")
+            print("wrote", args.json, file=out)
+    if args.sarif:
+        write_sarif(args.sarif, report)
+        print("wrote", args.sarif, file=out)
+    if not args.json or args.json != "-":
+        print(report.summary(), file=out)
+    floor = severity_rank(args.fail_on)
+    failing = [
+        f for f in report.findings if severity_rank(f.severity) >= floor
+    ]
+    return 1 if failing else 0
+
+
 def cmd_audit(args, out=sys.stdout):
     from repro.errors import CheckpointError
     from repro.runner import CheckRunner
@@ -121,6 +190,22 @@ def cmd_audit(args, out=sys.stdout):
         check_timeout=args.check_timeout,
         retries=args.retries,
     )
+    lint_report = None
+    if args.lint_prioritize:
+        from repro.lint import lint_design
+
+        lint_report = lint_design(netlist, spec, design=args.design)
+        print(
+            "lint pre-pass: {} finding{} in {:.2f}s; priority: {}".format(
+                len(lint_report.findings),
+                "" if len(lint_report.findings) == 1 else "s",
+                lint_report.elapsed,
+                ", ".join(
+                    lint_report.prioritize(registers or list(spec.critical))
+                ),
+            ),
+            file=out,
+        )
     detector = TrojanDetector(
         netlist,
         spec,
@@ -131,6 +216,7 @@ def cmd_audit(args, out=sys.stdout):
         check_bypass=args.check_bypass,
         time_budget=args.budget,
         runner=runner,
+        lint_report=lint_report,
     )
     try:
         report = detector.run(registers=registers, checkpoint=args.resume)
@@ -205,6 +291,34 @@ def build_parser():
     p_audit.add_argument("--resume", metavar="CHECKPOINT.json", default=None,
                          help="persist completed register findings here and "
                               "resume from them if the file exists")
+    p_audit.add_argument("--lint-prioritize", action="store_true",
+                         help="run the static lint pre-pass first, audit "
+                              "flagged registers before clean-looking ones "
+                              "and attach lint evidence to findings")
+
+    p_lint = sub.add_parser("lint", help="static structural lint pre-pass")
+    p_lint.add_argument("--design", required=True)
+    p_lint.add_argument("--json", metavar="PATH",
+                        help="write the JSON report here ('-' for stdout)")
+    p_lint.add_argument("--sarif", metavar="PATH",
+                        help="write a SARIF 2.1.0 log here")
+    p_lint.add_argument("--disable", action="append", metavar="RULE",
+                        help="disable a rule by name (repeatable)")
+    p_lint.add_argument("--suppress", action="append",
+                        metavar="RULE_GLOB:SUBJECT_GLOB",
+                        help="suppress findings whose rule and subject "
+                             "match the globs (repeatable)")
+    p_lint.add_argument("--fail-on", default="suspicious",
+                        choices=["info", "warn", "suspicious", "error"],
+                        help="exit 1 when any finding is at least this "
+                             "severe (default: suspicious)")
+    p_lint.add_argument("--wide-comparator-width", type=int, default=16,
+                        help="wide-comparator rule threshold")
+    p_lint.add_argument("--counter-influence-limit", type=int, default=4,
+                        help="counter-feeds-payload-mux breadth limit")
+    p_lint.add_argument("--max-depth-lint", type=int, default=48,
+                        metavar="DEPTH",
+                        help="excessive-depth rule ceiling")
 
     p_export = sub.add_parser("export", help="write Verilog + assertions")
     p_export.add_argument("--design", required=True)
@@ -219,6 +333,7 @@ def main(argv=None, out=sys.stdout):
         "stats": cmd_stats,
         "audit": cmd_audit,
         "export": cmd_export,
+        "lint": cmd_lint,
     }[args.command]
     return handler(args, out=out)
 

@@ -71,13 +71,20 @@ class TrojanDetector:
         isolation, hard limits and retries. The default runs checks
         in-process with a single attempt — the pre-supervision
         behaviour, minus the crashes.
+    lint_report:
+        A :class:`~repro.lint.findings.LintReport` from the static
+        pre-pass. When given, Algorithm 1's outer loop is reordered so
+        lint-flagged registers are audited first (the supervised
+        runner's budget reaches the likeliest suspects before the
+        clean-looking majority), and each register's lint findings are
+        attached to its :class:`RegisterFinding` as ``lint_evidence``.
     """
 
     def __init__(self, netlist, spec, max_cycles=40, engine="bmc",
                  functional=True, check_pseudo_critical=False,
                  check_bypass=False, time_budget=None,
                  pseudo_critical_cycles=None, stop_on_first=True,
-                 runner=None):
+                 runner=None, lint_report=None):
         self.netlist = netlist
         self.spec = spec
         self.max_cycles = max_cycles
@@ -93,6 +100,7 @@ class TrojanDetector:
         )
         self.stop_on_first = stop_on_first
         self.runner = runner if runner is not None else CheckRunner()
+        self.lint_report = lint_report
 
     # ------------------------------------------------------------------ API
 
@@ -113,6 +121,8 @@ class TrojanDetector:
             trojan_info=self.spec.trojan,
         )
         names = registers or list(self.spec.critical)
+        if self.lint_report is not None:
+            names = self.lint_report.prioritize(names)
         store = None
         if checkpoint is not None:
             store = (
@@ -146,6 +156,10 @@ class TrojanDetector:
         reg_start = time.perf_counter()
         spec = self.spec.spec_for(register)
         finding = RegisterFinding(register=register)
+        if self.lint_report is not None:
+            finding.lint_evidence = [
+                f.to_dict() for f in self.lint_report.findings_for(register)
+            ]
 
         if self.check_pseudo_critical:
             finding.pseudo_criticals = self._find_pseudo_criticals(

@@ -21,6 +21,10 @@ class RegisterFinding:
     # exhausted, hard timeout, or crashed — with attempts and bounds.
     check_outcomes: dict = field(default_factory=dict)
     restored: bool = False  # finding came from a resume checkpoint
+    # static lint findings implicating this register (LintFinding dicts,
+    # attached when the detector runs with a lint report); persisted in
+    # checkpoints so a resumed audit keeps its static evidence
+    lint_evidence: list = field(default_factory=list)
 
     @property
     def corrupted(self):
@@ -37,6 +41,11 @@ class RegisterFinding:
     @property
     def trojan_found(self):
         return self.corrupted or self.bypassed or self.pseudo_corrupted
+
+    @property
+    def lint_flagged(self):
+        """True when the static lint pre-pass implicated this register."""
+        return bool(self.lint_evidence)
 
     @property
     def degraded_checks(self):
@@ -179,6 +188,18 @@ class DetectionReport:
                 parts.append("{} {}".format(name, outcome.describe()))
             if not parts:
                 parts.append("clean within bound")
+            if getattr(finding, "lint_evidence", None):
+                parts.append(
+                    "lint: {} static finding{} ({})".format(
+                        len(finding.lint_evidence),
+                        "" if len(finding.lint_evidence) == 1 else "s",
+                        ", ".join(
+                            sorted(
+                                {e["rule"] for e in finding.lint_evidence}
+                            )
+                        ),
+                    )
+                )
             if getattr(finding, "restored", False):
                 parts.append("restored from checkpoint")
             lines.append("  {}: {}".format(register, "; ".join(parts)))

@@ -184,8 +184,6 @@ def add_owf_trigger(netlist, register, rounds=12, name="owf"):
     """
     aug = netlist.clone()
     c = Circuit.attach(aug)
-    q_nets = aug.register_q_nets(register)
-    width = len(q_nets)
     # absorb the widest data port (a 1-bit control port would make the
     # mixer nearly input-independent and the search trivial)
     port_name = max(aug.inputs, key=lambda n: len(aug.inputs[n]))

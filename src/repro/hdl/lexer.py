@@ -73,7 +73,6 @@ def tokenize(text):
                 k = j + 1
                 if k < n and text[k] in "bdhBDH":
                     k += 1
-                    start = k
                     while k < n and (text[k].isalnum() or text[k] == "_"):
                         k += 1
                     tokens.append(Token("sized", text[i:k], line, column))

@@ -1,0 +1,381 @@
+"""Structural analysis core shared by every lint rule.
+
+One :class:`DesignAnalysis` instance per linted netlist, computing (and
+caching) the structural facts the rules query:
+
+* per-net combinational fan-in cones and source supports,
+* the register-to-register dependency graph (who reads whom,
+  combinationally),
+* per-net combinational depth (via :func:`~repro.netlist.traversal.levelize`),
+* the mux tree in front of each register's D pins — the structural
+  "write ports" of the register (:class:`RegisterMuxTree`),
+* dominator tests on write-enable logic (does a single flop's Q gate
+  every path into a select?),
+* structural counter classification (self-incrementing flop groups, the
+  shape of every multi-cycle Trojan trigger in the benchmark suite).
+
+Everything here is pure structure: no simulation, no solver calls. The
+heavy primitives come from :mod:`repro.netlist.traversal` and
+:func:`repro.netlist.stats.stats` so lint and bench share one source of
+design numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import CONST0, CONST1, Kind
+from repro.netlist.stats import stats
+from repro.netlist.traversal import (
+    fanin_cone,
+    fanout_cone,
+    fanout_map,
+    levelize,
+    topological_cells,
+)
+
+_CONSTS = (CONST0, CONST1)
+
+
+@dataclass
+class MuxArm:
+    """One structural write port of a register.
+
+    ``select`` is the 1-bit net enabling the arm; ``values`` maps bit
+    position -> the net written into that bit when the arm is selected.
+    ``is_hold`` marks arms that recirculate the register's own Q (an
+    enable that *keeps* the value is not a way to *update* it).
+    """
+
+    select: int
+    values: dict = field(default_factory=dict)  # bit -> net id
+    is_hold: bool = True
+
+
+@dataclass
+class RegisterMuxTree:
+    """The priority-mux chain feeding one register's D pins."""
+
+    register: str
+    arms: list = field(default_factory=list)  # MuxArm, outermost first
+    default: dict = field(default_factory=dict)  # bit -> terminal net
+    default_holds: bool = True  # terminal recirculates Q on every bit
+
+    @property
+    def update_arms(self):
+        """Arms that can change the register's value."""
+        return [arm for arm in self.arms if not arm.is_hold]
+
+    @property
+    def select_nets(self):
+        return [arm.select for arm in self.arms]
+
+    @property
+    def num_write_ports(self):
+        """Structural ways to update: non-hold arms plus a non-hold default."""
+        return len(self.update_arms) + (0 if self.default_holds else 1)
+
+
+class DesignAnalysis:
+    """Cached structural queries over one netlist (plus optional spec)."""
+
+    def __init__(self, netlist, spec=None):
+        self.netlist = netlist
+        self.spec = spec
+        self._order = None
+        self._level = None
+        self._fanout = None
+        self._stats = None
+        self._register_d_cones = None
+        self._register_reads = None
+        self._register_readers = None
+        self._q_to_register = None
+        self._input_bits = None
+        self._mux_trees = {}
+        self._counters = None
+        self._live_nets = None
+
+    # ------------------------------------------------------------- basics
+
+    @property
+    def critical_registers(self):
+        """Registers named critical by the spec (empty without a spec)."""
+        if self.spec is None:
+            return ()
+        return tuple(self.spec.critical)
+
+    @property
+    def order(self):
+        if self._order is None:
+            self._order = topological_cells(self.netlist)
+        return self._order
+
+    @property
+    def level(self):
+        """Net id -> combinational depth."""
+        if self._level is None:
+            self._level = levelize(self.netlist, self.order)
+        return self._level
+
+    @property
+    def fanout(self):
+        if self._fanout is None:
+            self._fanout = fanout_map(self.netlist)
+        return self._fanout
+
+    @property
+    def stats(self):
+        """The shared :class:`~repro.netlist.stats.NetlistStats`."""
+        if self._stats is None:
+            self._stats = stats(self.netlist)
+        return self._stats
+
+    @property
+    def input_bits(self):
+        if self._input_bits is None:
+            self._input_bits = self.netlist.input_net_set()
+        return self._input_bits
+
+    @property
+    def q_to_register(self):
+        """Flop Q net -> (register name, bit); ungrouped flops absent."""
+        if self._q_to_register is None:
+            mapping = {}
+            for name, idxs in self.netlist.registers.items():
+                for bit, idx in enumerate(idxs):
+                    mapping[self.netlist.flops[idx].q] = (name, bit)
+            self._q_to_register = mapping
+        return self._q_to_register
+
+    # -------------------------------------------------------------- cones
+
+    def comb_cone(self, nets):
+        """Combinational fan-in cone (flop Qs are frontier sources)."""
+        return fanin_cone(self.netlist, nets, through_flops=False)
+
+    def comb_support(self, nets):
+        """Source nets (inputs / flop Qs / constants) of a comb cone."""
+        cone = self.comb_cone(nets)
+        support = set()
+        for net in cone:
+            kind, _ = self.netlist.driver_of(net)
+            if kind in ("input", "flop", "const"):
+                support.add(net)
+        return support
+
+    def seq_fanout(self, nets):
+        """Transitive fan-out, crossing register boundaries."""
+        return fanout_cone(
+            self.netlist, nets, through_flops=True, fanout=self.fanout
+        )
+
+    @property
+    def register_d_cones(self):
+        """Register name -> comb fan-in cone of its D pins."""
+        if self._register_d_cones is None:
+            self._register_d_cones = {
+                name: self.comb_cone(self.netlist.register_d_nets(name))
+                for name in self.netlist.registers
+            }
+        return self._register_d_cones
+
+    # -------------------------------------------- register dependency graph
+
+    @property
+    def register_reads(self):
+        """Register name -> set of register names its D logic reads."""
+        if self._register_reads is None:
+            reads = {}
+            for name, cone in self.register_d_cones.items():
+                sources = set()
+                for net in cone:
+                    entry = self.q_to_register.get(net)
+                    if entry is not None:
+                        sources.add(entry[0])
+                reads[name] = sources
+            self._register_reads = reads
+        return self._register_reads
+
+    @property
+    def register_readers(self):
+        """Register name -> set of register names reading its Q."""
+        if self._register_readers is None:
+            readers = {name: set() for name in self.netlist.registers}
+            for name, sources in self.register_reads.items():
+                for source in sources:
+                    readers[source].add(name)
+            self._register_readers = readers
+        return self._register_readers
+
+    # ----------------------------------------------------------- mux trees
+
+    def _resolve_buffers(self, net):
+        """Follow BUF cells back to the buffered source."""
+        while True:
+            kind, payload = self.netlist.driver_of(net)
+            if kind != "cell":
+                return net
+            cell = self.netlist.cells[payload]
+            if cell.kind is not Kind.BUF:
+                return net
+            net = cell.inputs[0]
+
+    def mux_tree(self, register):
+        """Extract the priority-mux spine feeding ``register``'s D pins.
+
+        Walks each bit's D net down the mux chain's *else* branch
+        (``d0``): every mux on the spine contributes one arm ``(select,
+        value-when-selected)``; the terminal net is the default. Data
+        muxes *inside* arm values (register-file read ports, S-box LUT
+        trees) are deliberately not entered — they select data, not write
+        authorization. Arms are merged across bits by select net, in
+        outermost-first order.
+        """
+        if register in self._mux_trees:
+            return self._mux_trees[register]
+        netlist = self.netlist
+        q_nets = netlist.register_q_nets(register)
+        d_nets = netlist.register_d_nets(register)
+        arms = {}  # select net -> MuxArm
+        arm_order = []
+        tree = RegisterMuxTree(register=register)
+        for bit, d_net in enumerate(d_nets):
+            node = self._resolve_buffers(d_net)
+            while True:
+                kind, payload = netlist.driver_of(node)
+                if kind != "cell":
+                    break
+                cell = netlist.cells[payload]
+                if cell.kind is not Kind.MUX:
+                    break
+                sel, d0, d1 = cell.inputs
+                arm = arms.get(sel)
+                if arm is None:
+                    arm = MuxArm(select=sel)
+                    arms[sel] = arm
+                    arm_order.append(sel)
+                arm.values[bit] = d1
+                if self._resolve_buffers(d1) != q_nets[bit]:
+                    arm.is_hold = False
+                node = self._resolve_buffers(d0)
+            tree.default[bit] = node
+            if node != q_nets[bit]:
+                tree.default_holds = False
+        tree.arms = [arms[sel] for sel in arm_order]
+        self._mux_trees[register] = tree
+        return tree
+
+    # ---------------------------------------------------------- dominators
+
+    def dominates(self, blocker, root, cone=None):
+        """Does ``blocker`` gate every variable path into ``root``?
+
+        True when removing net ``blocker`` disconnects ``root`` from every
+        variable source (input bit or flop Q) of its combinational fan-in
+        cone. This is the write-enable dominator test: a flop whose Q
+        dominates a critical register's update select single-handedly
+        decides whether the update fires — exactly the role of a Trojan
+        trigger latch (and of the paper's pseudo-critical registers).
+        """
+        if root == blocker:
+            return True
+        if cone is None:
+            cone = self.comb_cone([root])
+        if blocker not in cone:
+            return False
+        netlist = self.netlist
+        seen = {blocker}
+        stack = [root]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            kind, payload = netlist.driver_of(net)
+            if kind in ("input", "flop"):
+                return False  # reached a variable source around the blocker
+            if kind == "cell":
+                stack.extend(netlist.cells[payload].inputs)
+        return True
+
+    # ------------------------------------------------------------ counters
+
+    @property
+    def counters(self):
+        """Registers structurally shaped like counters.
+
+        A counter is a flop group (width >= 2) whose D logic contains an
+        XOR cell computing purely over the group's own Q bits — the
+        tell-tale sum bit of a self-increment. This is the shape of every
+        multi-cycle trigger in the benchmark suite (consecutive-
+        instruction counters, free-running cycle counters) as well as of
+        legitimate sequencers; the rules separate the two by fan-out
+        breadth and by what the counter feeds.
+        """
+        if self._counters is None:
+            found = []
+            for name, idxs in self.netlist.registers.items():
+                if len(idxs) < 2:
+                    continue
+                own_q = {self.netlist.flops[i].q for i in idxs}
+                cone = self.register_d_cones[name]
+                if self._has_self_xor(cone, own_q):
+                    found.append(name)
+            self._counters = found
+        return self._counters
+
+    def _has_self_xor(self, cone, own_q):
+        netlist = self.netlist
+        for net in cone:
+            kind, payload = netlist.driver_of(net)
+            if kind != "cell":
+                continue
+            cell = netlist.cells[payload]
+            if cell.kind is not Kind.XOR:
+                continue
+            if self._support_within(cell.inputs, own_q):
+                return True
+        return False
+
+    def _support_within(self, nets, allowed):
+        """Is the comb support of ``nets`` nonempty and within ``allowed``?"""
+        netlist = self.netlist
+        seen = set()
+        stack = list(nets)
+        hit = False
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            if net in _CONSTS:
+                continue
+            kind, payload = netlist.driver_of(net)
+            if kind == "cell":
+                stack.extend(netlist.cells[payload].inputs)
+            elif net in allowed:
+                hit = True
+            else:
+                return False
+        return hit
+
+    # ------------------------------------------------------------ liveness
+
+    @property
+    def live_nets(self):
+        """Nets with a structural path to an output port or probe.
+
+        Computed once as the through-flop fan-in cone of every output and
+        probe net. A cell output missing from this set drives nothing the
+        design's interface can ever observe — dead logic.
+        """
+        if self._live_nets is None:
+            sinks = []
+            for nets in self.netlist.outputs.values():
+                sinks.extend(nets)
+            for nets in self.netlist.probes.values():
+                sinks.extend(nets)
+            self._live_nets = fanin_cone(
+                self.netlist, sinks, through_flops=True
+            )
+        return self._live_nets

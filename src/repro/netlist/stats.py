@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.netlist.traversal import levelize, topological_cells
+from repro.netlist.traversal import fanout_map, levelize, topological_cells
 
 
 @dataclass
@@ -27,6 +27,8 @@ class NetlistStats:
     registers: dict = field(default_factory=dict)  # name -> width
     input_bits: int = 0
     output_bits: int = 0
+    max_fanout: int = 0
+    max_fanout_net: str = ""
 
     def __str__(self):
         kinds = ", ".join(
@@ -34,13 +36,15 @@ class NetlistStats:
         )
         return (
             "{}: {} cells ({}), {} flops in {} registers, depth {}, "
-            "{} input bits, {} output bits".format(
+            "max fan-out {} ({}), {} input bits, {} output bits".format(
                 self.name,
                 self.num_cells,
                 kinds,
                 self.num_flops,
                 self.num_registers,
                 self.depth,
+                self.max_fanout,
+                self.max_fanout_net or "-",
                 self.input_bits,
                 self.output_bits,
             )
@@ -53,6 +57,14 @@ def stats(netlist):
     level = levelize(netlist, order)
     depth = max(level.values(), default=0)
     kinds = Counter(str(cell.kind) for cell in netlist.cells)
+    max_fanout = 0
+    max_fanout_net = ""
+    for net, consumers in fanout_map(netlist).items():
+        if net in (0, 1):
+            continue  # constant fan-out is not a design property
+        if len(consumers) > max_fanout:
+            max_fanout = len(consumers)
+            max_fanout_net = netlist.net_name(net)
     return NetlistStats(
         name=netlist.name,
         num_nets=netlist.num_nets,
@@ -66,4 +78,6 @@ def stats(netlist):
         },
         input_bits=sum(len(v) for v in netlist.inputs.values()),
         output_bits=sum(len(v) for v in netlist.outputs.values()),
+        max_fanout=max_fanout,
+        max_fanout_net=max_fanout_net,
     )

@@ -23,15 +23,44 @@ class ValidationReport:
     floating_nets: list = field(default_factory=list)
     unread_nets: list = field(default_factory=list)
     messages: list = field(default_factory=list)
+    # net id -> debug name, filled by validate() so describe(verbose=True)
+    # can print names without holding the netlist
+    net_names: dict = field(default_factory=dict)
 
-    def __str__(self):
+    def _name(self, net):
+        return self.net_names.get(net, "n{}".format(net))
+
+    def describe(self, verbose=False):
+        """Multi-line report; ``verbose`` lists every net by name.
+
+        The default shows a sample of at most 10 floating nets *and* the
+        total count, so a thousand-net problem is never mistaken for a
+        ten-net one.
+        """
         lines = ["valid" if self.ok else "INVALID"]
         lines.extend(self.messages)
         if self.floating_nets:
-            lines.append("floating nets: {}".format(self.floating_nets[:10]))
+            shown = self.floating_nets if verbose else self.floating_nets[:10]
+            lines.append(
+                "{} floating nets{}: {}{}".format(
+                    len(self.floating_nets),
+                    "" if verbose else " (showing {})".format(len(shown)),
+                    [self._name(n) for n in shown],
+                    "" if verbose or len(shown) == len(self.floating_nets)
+                    else " ...",
+                )
+            )
         if self.unread_nets:
-            lines.append("{} unread nets".format(len(self.unread_nets)))
+            line = "{} unread nets".format(len(self.unread_nets))
+            if verbose:
+                line += ": {}".format(
+                    [self._name(n) for n in self.unread_nets]
+                )
+            lines.append(line)
         return "\n".join(lines)
+
+    def __str__(self):
+        return self.describe(verbose=False)
 
 
 def validate(netlist, allow_floating=False):
@@ -73,6 +102,9 @@ def validate(netlist, allow_floating=False):
     driven = set(range(2)) | netlist.input_net_set() | netlist.flop_q_set()
     driven.update(cell.output for cell in netlist.cells)
     report.unread_nets = sorted(driven - read - set(range(2)))
+
+    for net in report.floating_nets + report.unread_nets:
+        report.net_names[net] = netlist.net_name(net)
 
     # raises CombinationalLoopError on cyclic logic
     topological_cells(netlist)

@@ -129,6 +129,9 @@ def finding_to_dict(finding):
             name: outcome.to_dict()
             for name, outcome in finding.check_outcomes.items()
         },
+        "lint_evidence": [
+            dict(entry) for entry in getattr(finding, "lint_evidence", [])
+        ],
     }
 
 
@@ -154,6 +157,9 @@ def finding_from_dict(data):
         name: CheckOutcome.from_dict(entry)
         for name, entry in data.get("check_outcomes", {}).items()
     }
+    finding.lint_evidence = [
+        dict(entry) for entry in data.get("lint_evidence", [])
+    ]
     finding.restored = True
     return finding
 

@@ -2,7 +2,6 @@
 pseudo-critical register bit is revealed by functional testing."""
 
 from repro.atpg import Fault, FaultSimulator, full_fault_list
-from repro.netlist import Circuit
 from repro.sim import StimulusGenerator
 
 from tests.conftest import build_counter, build_secret_design

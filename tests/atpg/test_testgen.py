@@ -1,6 +1,5 @@
 """Test-set generation tests: correctness by independent fault simulation."""
 
-from repro.atpg import collapse_faults
 from repro.atpg.testgen import GeneratedTests, generate_tests, _SingleFrameFaultSim
 from repro.netlist import Circuit
 

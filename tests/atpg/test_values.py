@@ -1,8 +1,6 @@
 """5-valued D-calculus tests: exhaustive against the (good, faulty) pair
 semantics."""
 
-import itertools
-
 import pytest
 
 from repro.atpg.values import (

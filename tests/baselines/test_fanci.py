@@ -1,8 +1,6 @@
 """FANCI tests: the DeTrust story in miniature — wide single-cycle triggers
 are flagged, chunked multi-cycle triggers are not."""
 
-import pytest
-
 from repro.baselines import Fanci, wide_comparator
 from repro.netlist import Circuit
 

@@ -1,7 +1,5 @@
 """BMC engine tests against exhaustively-known small FSMs."""
 
-import pytest
-
 from repro.netlist import Circuit
 from repro.bmc import BmcEngine, confirms_violation
 

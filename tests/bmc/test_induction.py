@@ -1,8 +1,6 @@
 """k-induction tests: unbounded certification beyond the paper's bounded
 guarantee."""
 
-import pytest
-
 from repro.bmc.induction import prove_by_induction
 from repro.properties.monitors import build_corruption_monitor
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import EncodingError
-from repro.netlist import Circuit
 from repro.sat import SAT, Solver
 from repro.bmc import Unroller
 

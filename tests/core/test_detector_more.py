@@ -1,8 +1,6 @@
 """Additional Algorithm 1 behaviours: engine variants, stop_on_first,
 direct tracking checks, pseudo-critical audit timing windows."""
 
-import pytest
-
 from repro.core import TrojanDetector
 from repro.properties import DesignSpec, RegisterSpec
 

@@ -15,7 +15,7 @@ from repro.properties.monitors import (
     build_tracking_monitor,
 )
 
-from tests.conftest import build_secret_design, secret_spec
+from tests.conftest import build_secret_design
 
 
 @pytest.fixture

@@ -5,8 +5,6 @@ clean core (the Trust-Hub property that functional verification passes)."""
 
 import random
 
-import pytest
-
 from repro.designs.mc8051 import (
     MOV_A_DATA,
     MOV_IE_DATA,
@@ -14,7 +12,6 @@ from repro.designs.mc8051 import (
     MOVX_A_R1,
     MOVX_R1_A,
     NOP as M_NOP,
-    build_mc8051,
     instruction as m_instr,
 )
 from repro.designs.risc import (

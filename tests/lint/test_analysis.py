@@ -1,0 +1,147 @@
+"""Analysis-core tests: mux trees, register graph, counters, dominators."""
+
+from repro.lint import DesignAnalysis
+from repro.netlist import Circuit, Netlist
+from repro.properties.valid_ways import DesignSpec
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def secret_design_spec():
+    return DesignSpec(name="secret", critical={"secret": secret_spec()})
+
+
+class TestMuxTree:
+    def test_clean_secret_has_two_update_arms_and_hold_default(self):
+        analysis = DesignAnalysis(build_secret_design(trojan=False))
+        tree = analysis.mux_tree("secret")
+        assert len(tree.update_arms) == 2  # reset, load
+        assert tree.default_holds
+        assert tree.num_write_ports == 2
+
+    def test_trojan_splice_adds_an_outermost_arm(self):
+        netlist = build_secret_design(trojan=True)
+        analysis = DesignAnalysis(netlist)
+        tree = analysis.mux_tree("secret")
+        assert tree.num_write_ports == 3
+        # the spliced payload mux is outermost: its select reads the
+        # trigger counter, not a primary input
+        outer = tree.arms[0]
+        cone = analysis.comb_cone([outer.select])
+        counter_q = set(netlist.register_q_nets("troj_counter"))
+        assert cone & counter_q
+
+    def test_hold_arms_are_not_write_ports(self):
+        c = Circuit("hold")
+        load = c.input("load", 1)
+        keep = c.input("keep", 1)
+        din = c.input("din", 4)
+        r = c.reg("r", 4)
+        r.drive(c.select(din, (load, din), (keep, r.q)))
+        analysis = DesignAnalysis(c.finalize())
+        tree = analysis.mux_tree("r")
+        holds = [arm for arm in tree.arms if arm.is_hold]
+        assert len(holds) == 1
+        assert len(tree.update_arms) == 1
+        assert not tree.default_holds  # default writes din every cycle
+        assert tree.num_write_ports == 2
+
+    def test_tree_is_cached(self):
+        analysis = DesignAnalysis(build_secret_design(trojan=False))
+        assert analysis.mux_tree("secret") is analysis.mux_tree("secret")
+
+
+class TestRegisterGraph:
+    def test_secret_reads_trigger_counter(self):
+        analysis = DesignAnalysis(build_secret_design(trojan=True))
+        assert "troj_counter" in analysis.register_reads["secret"]
+        assert "secret" in analysis.register_readers["troj_counter"]
+
+    def test_clean_secret_reads_only_itself(self):
+        analysis = DesignAnalysis(build_secret_design(trojan=False))
+        assert analysis.register_reads["secret"] == {"secret"}
+
+
+class TestCounters:
+    def test_trigger_counter_is_classified(self):
+        analysis = DesignAnalysis(build_secret_design(trojan=True))
+        assert "troj_counter" in analysis.counters
+        assert "secret" not in analysis.counters
+
+    def test_clean_design_has_no_counter(self):
+        analysis = DesignAnalysis(build_secret_design(trojan=False))
+        assert analysis.counters == []
+
+
+class TestDominators:
+    def test_net_dominates_itself(self):
+        c = Circuit("d")
+        a = c.input("a", 1)
+        r = c.reg("r", 1)
+        r.drive(r.q & a)
+        analysis = DesignAnalysis(c.finalize())
+        q = analysis.netlist.register_q_nets("r")[0]
+        assert analysis.dominates(q, q)
+
+    def test_single_gatekeeper_flop_dominates(self):
+        c = Circuit("d")
+        armed = c.reg("armed", 1)
+        trig = c.input("trig", 1)
+        armed.drive(armed.q | trig)
+        gate = ~armed.q  # every path to `gate` goes through armed.q
+        c.output("y", gate)
+        analysis = DesignAnalysis(c.finalize())
+        q = analysis.netlist.register_q_nets("armed")[0]
+        root = analysis.netlist.outputs["y"][0]
+        assert analysis.dominates(q, root)
+
+    def test_parallel_source_defeats_domination(self):
+        c = Circuit("d")
+        armed = c.reg("armed", 1)
+        other = c.input("other", 1)
+        armed.drive(armed.q)
+        c.output("y", armed.q[0] | other)
+        analysis = DesignAnalysis(c.finalize())
+        q = analysis.netlist.register_q_nets("armed")[0]
+        root = analysis.netlist.outputs["y"][0]
+        assert not analysis.dominates(q, root)
+
+
+class TestLiveness:
+    def test_orphan_gate_is_not_live(self):
+        c = Circuit("dead")
+        a = c.input("a", 1)
+        orphan = ~a
+        c.output("y", a)
+        netlist = c.finalize()
+        analysis = DesignAnalysis(netlist)
+        assert orphan.nets[0] not in analysis.live_nets
+        assert netlist.outputs["y"][0] in analysis.live_nets
+
+    def test_probed_logic_counts_as_live(self):
+        c = Circuit("probed")
+        a = c.input("a", 1)
+        inner = ~a
+        c.probe("watch", inner)
+        c.output("y", a)
+        analysis = DesignAnalysis(c.finalize())
+        assert inner.nets[0] in analysis.live_nets
+
+
+class TestSharedStats:
+    def test_analysis_and_report_share_one_stats_source(self):
+        from repro.lint import lint_design
+        from repro.netlist import stats
+
+        netlist = build_secret_design(trojan=False)
+        direct = stats(netlist)
+        report = lint_design(netlist, secret_design_spec())
+        assert report.stats.num_cells == direct.num_cells
+        assert report.stats.max_fanout == direct.max_fanout
+        assert report.to_dict()["netlist"]["max_fanout"] == direct.max_fanout
+
+    def test_empty_netlist_analyzes_cleanly(self):
+        analysis = DesignAnalysis(Netlist("empty"))
+        assert analysis.order == []
+        assert analysis.counters == []
+        assert analysis.live_nets == set()

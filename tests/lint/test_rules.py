@@ -1,0 +1,235 @@
+"""Per-rule unit tests on miniature designs with known structure."""
+
+from repro.designs.trojans import add_bypass, add_pseudo_critical
+from repro.lint import LintConfig, lint_design
+from repro.netlist import Circuit, Kind, Netlist
+from repro.properties.valid_ways import DesignSpec
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def secret_design_spec(name="secret"):
+    return DesignSpec(name=name, critical={"secret": secret_spec()})
+
+
+def hits(report, rule):
+    return [f for f in report.findings if f.rule == rule]
+
+
+class TestUndocumentedWritePort:
+    def test_clean_register_matches_its_valid_ways(self):
+        report = lint_design(
+            build_secret_design(trojan=False), secret_design_spec()
+        )
+        assert hits(report, "undocumented-write-port") == []
+
+    def test_trojan_splice_is_an_extra_write_port(self):
+        report = lint_design(
+            build_secret_design(trojan=True), secret_design_spec()
+        )
+        found = hits(report, "undocumented-write-port")
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.register == "secret"
+        assert finding.severity == "suspicious"
+        assert finding.evidence["structural"] == 3
+        assert finding.evidence["declared"] == 2
+
+    def test_rule_needs_a_spec(self):
+        report = lint_design(build_secret_design(trojan=True), spec=None)
+        assert hits(report, "undocumented-write-port") == []
+
+
+class TestWideComparator:
+    def test_wide_equality_compare_is_flagged(self):
+        c = Circuit("wide")
+        data = c.input("data", 24)
+        r = c.reg("r", 1)
+        r.drive(r.q | data.eq_const(0xABCDEF))
+        c.output("y", r.q)
+        report = lint_design(c.finalize())
+        found = hits(report, "wide-comparator")
+        assert len(found) == 1
+        assert found[0].evidence["width"] == 24
+
+    def test_narrow_compare_is_quiet(self):
+        report = lint_design(
+            build_secret_design(trojan=True), secret_design_spec()
+        )
+        assert hits(report, "wide-comparator") == []  # 8-bit eq < 16
+
+    def test_threshold_is_configurable(self):
+        report = lint_design(
+            build_secret_design(trojan=True),
+            secret_design_spec(),
+            config=LintConfig(wide_comparator_width=8),
+        )
+        assert hits(report, "wide-comparator")
+
+
+class TestCounterFeedsPayloadMux:
+    def test_trigger_counter_reaching_write_select_is_flagged(self):
+        report = lint_design(
+            build_secret_design(trojan=True), secret_design_spec()
+        )
+        found = hits(report, "counter-feeds-payload-mux")
+        assert len(found) == 1
+        assert found[0].register == "secret"
+        assert found[0].evidence["counter"] == "troj_counter"
+
+    def test_clean_design_has_no_counter_finding(self):
+        report = lint_design(
+            build_secret_design(trojan=False), secret_design_spec()
+        )
+        assert hits(report, "counter-feeds-payload-mux") == []
+
+    def test_broadly_read_counter_is_exonerated(self):
+        report = lint_design(
+            build_secret_design(trojan=True),
+            secret_design_spec(),
+            config=LintConfig(counter_influence_limit=0),
+        )
+        assert hits(report, "counter-feeds-payload-mux") == []
+
+
+class TestPseudoCriticalCandidate:
+    def test_gatekeeper_flop_on_write_select_is_flagged(self):
+        c = Circuit("gated")
+        trig = c.input("trig", 1)
+        load = c.input("load", 1)
+        din = c.input("din", 4)
+        armed = c.reg("armed", 1)
+        armed.drive(armed.q | trig)
+        r = c.reg("secret", 4)
+        r.drive(c.select(r.q, (load, din), (armed.q, ~r.q)))
+        c.output("y", r.q)
+        spec = secret_design_spec("gated")
+        report = lint_design(c.finalize(), spec)
+        found = hits(report, "pseudo-critical-candidate")
+        assert any(
+            f.register == "secret" and f.evidence.get("dominator") == "armed"
+            for f in found
+        )
+
+    def test_shadow_copy_attack_is_flagged(self):
+        base = build_secret_design(trojan=False)
+        attacked, _info = add_pseudo_critical(base, "secret")
+        report = lint_design(attacked, secret_design_spec())
+        found = hits(report, "pseudo-critical-candidate")
+        assert any(
+            f.evidence.get("candidate") == "pseudo_secret" for f in found
+        )
+
+    def test_clean_secret_design_is_quiet(self):
+        report = lint_design(
+            build_secret_design(trojan=False), secret_design_spec()
+        )
+        assert hits(report, "pseudo-critical-candidate") == []
+
+
+class TestBypassRegisterCandidate:
+    def test_bypass_attack_mux_is_flagged(self):
+        base = build_secret_design(trojan=False)
+        attacked, _info = add_bypass(base, "secret", trigger_input="key_in")
+        report = lint_design(attacked, secret_design_spec())
+        found = hits(report, "bypass-register-candidate")
+        assert found
+        assert any(f.register == "secret" for f in found)
+
+    def test_inline_bypass_variant_is_flagged(self):
+        report = lint_design(
+            build_secret_design(trojan=False, bypass=True),
+            secret_design_spec(),
+        )
+        assert hits(report, "bypass-register-candidate")
+
+    def test_flop_driven_outputs_are_quiet(self):
+        report = lint_design(
+            build_secret_design(trojan=False), secret_design_spec()
+        )
+        assert hits(report, "bypass-register-candidate") == []
+
+
+class TestDeadLogic:
+    def test_orphan_gate_is_reported_once_with_counts(self):
+        c = Circuit("dead")
+        a = c.input("a", 1)
+        _orphan = ~a
+        c.output("y", a)
+        report = lint_design(c.finalize())
+        found = hits(report, "dead-logic")
+        assert len(found) == 1
+        assert found[0].evidence["dead_cells"] == 1
+
+    def test_fully_live_design_is_quiet(self):
+        c = Circuit("live")
+        a = c.input("a", 1)
+        c.output("y", ~a)
+        report = lint_design(c.finalize())
+        assert hits(report, "dead-logic") == []
+
+
+class TestFloatingAndUnread:
+    def test_read_undriven_net_is_an_error_not_a_crash(self):
+        nl = Netlist("broken")
+        phantom = nl.new_net("phantom")
+        nl.add_cell(Kind.NOT, (phantom,))
+        report = lint_design(nl)
+        found = hits(report, "floating-net")
+        assert any(
+            f.severity == "error" and f.evidence.get("read_undriven")
+            for f in found
+        )
+
+    def test_abandoned_allocation_is_a_warning(self):
+        nl = Netlist("scratchy")
+        nl.new_net("scratch")
+        report = lint_design(nl)
+        found = hits(report, "floating-net")
+        assert len(found) == 1
+        assert found[0].severity == "warn"
+
+    def test_unread_driven_net_is_informational(self):
+        c = Circuit("u")
+        a = c.input("a", 1)
+        _orphan = ~a
+        c.output("y", a)
+        report = lint_design(c.finalize())
+        found = hits(report, "unread-net")
+        assert len(found) == 1
+        assert found[0].severity == "info"
+
+    def test_probed_nets_do_not_count_as_unread(self):
+        c = Circuit("p")
+        a = c.input("a", 1)
+        c.probe("watch", ~a)
+        c.output("y", a)
+        report = lint_design(c.finalize())
+        assert hits(report, "unread-net") == []
+
+
+class TestExcessiveDepth:
+    def _deep_chain(self, length):
+        nl = Netlist("deep")
+        prev = nl.add_input("a", 1)[0]
+        flip = nl.add_input("b", 1)[0]
+        for _ in range(length):
+            prev = nl.add_cell(Kind.AND, (prev, flip))
+        nl.add_output("y", [prev])
+        return nl
+
+    def test_deep_chain_is_flagged(self):
+        report = lint_design(self._deep_chain(60))
+        found = hits(report, "excessive-depth")
+        assert len(found) == 1
+        assert found[0].evidence["depth"] == 60
+
+    def test_shallow_design_is_quiet(self):
+        report = lint_design(self._deep_chain(10))
+        assert hits(report, "excessive-depth") == []
+
+    def test_ceiling_is_configurable(self):
+        report = lint_design(
+            self._deep_chain(10), config=LintConfig(max_depth=5)
+        )
+        assert hits(report, "excessive-depth")

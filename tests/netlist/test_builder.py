@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import NetlistError, WidthError
-from repro.netlist import CONST0, CONST1, Circuit, validate
+from repro.netlist import CONST0, Circuit, validate
 from repro.sim import SequentialSimulator
 
 

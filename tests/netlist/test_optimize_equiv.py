@@ -62,7 +62,7 @@ class TestOptimize:
         # duplicated logic + constant-fed gates + dead logic
         s1 = a & b
         s2 = a & b  # structurally hashed at build time already
-        dead = (a ^ b) | a  # never used
+        _dead = (a ^ b) | a  # never used
         masked = s1 & c.const(0xF, 4)  # AND with all-ones folds
         c.output("y", masked ^ s2)
         nl = c.finalize()

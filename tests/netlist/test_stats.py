@@ -21,3 +21,28 @@ def test_secret_design_stats_str():
     text = str(info)
     assert "secret_core" in text
     assert "flops" in text
+    assert "max fan-out" in text
+
+
+def test_max_fanout_identifies_hottest_net():
+    from repro.netlist import Circuit
+
+    c = Circuit("hot")
+    a = c.input("a", 1)
+    b = c.input("b", 1)
+    # a's bit feeds 5 gates; nothing else comes close
+    outs = [(a[0] & b[0]), (a[0] | b[0]), (a[0] ^ b[0]),
+            ~a[0], (a[0] & ~b[0])]
+    for i, bit in enumerate(outs):
+        c.output("y{}".format(i), bit)
+    info = stats(c.finalize())
+    assert info.max_fanout >= 5
+    assert info.max_fanout_net == "a[0]"
+
+
+def test_max_fanout_empty_netlist():
+    from repro.netlist import Netlist
+
+    info = stats(Netlist("empty"))
+    assert info.max_fanout == 0
+    assert info.max_fanout_net == ""

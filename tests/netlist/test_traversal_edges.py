@@ -1,0 +1,86 @@
+"""Traversal edge cases: empty designs, sequential cycles, comb loops."""
+
+import pytest
+
+from repro.errors import CombinationalLoopError
+from repro.netlist import Kind, Netlist
+from repro.netlist.traversal import (
+    fanin_cone,
+    fanout_cone,
+    fanout_map,
+    levelize,
+    topological_cells,
+)
+
+
+class TestEmptyNetlist:
+    def test_topological_order_is_empty(self):
+        assert topological_cells(Netlist("empty")) == []
+
+    def test_levelize_covers_only_constants(self):
+        assert levelize(Netlist("empty")) == {0: 0, 1: 0}
+
+    def test_cones_of_nothing_are_empty(self):
+        nl = Netlist("empty")
+        assert fanin_cone(nl, []) == set()
+        assert fanout_cone(nl, []) == set()
+        assert fanout_map(nl) == {}
+
+
+class TestRegisterOnlyCycle:
+    """Cross-coupled flops are legal: state feedback is not a comb loop."""
+
+    def _cross_coupled(self):
+        nl = Netlist("seq_cycle")
+        qa = nl.new_net("qa")
+        qb = nl.new_net("qb")
+        nl.add_flop(d=qb, q=qa, init=0)
+        nl.add_flop(d=qa, q=qb, init=1)
+        return nl, qa, qb
+
+    def test_topological_sort_accepts_it(self):
+        nl, _qa, _qb = self._cross_coupled()
+        assert topological_cells(nl) == []
+
+    def test_through_flop_cone_terminates_on_the_cycle(self):
+        nl, qa, qb = self._cross_coupled()
+        assert fanin_cone(nl, [qa], through_flops=True) == {qa, qb}
+        assert fanout_cone(nl, [qa], through_flops=True) == {qa, qb}
+
+    def test_self_loop_flop_is_legal(self):
+        nl = Netlist("hold")
+        q = nl.new_net("q")
+        nl.add_flop(d=q, q=q)
+        assert topological_cells(nl) == []
+        assert fanin_cone(nl, [q], through_flops=True) == {q}
+
+
+class TestCombinationalLoop:
+    def _looped(self):
+        nl = Netlist("loop")
+        a = nl.new_net("a")
+        b = nl.new_net("b")
+        nl.add_cell(Kind.NOT, (b,), output=a)
+        nl.add_cell(Kind.NOT, (a,), output=b)
+        return nl, a, b
+
+    def test_topological_sort_raises(self):
+        nl, _a, _b = self._looped()
+        with pytest.raises(CombinationalLoopError):
+            topological_cells(nl)
+
+    def test_loop_error_names_the_looped_nets(self):
+        nl, a, b = self._looped()
+        with pytest.raises(CombinationalLoopError) as excinfo:
+            topological_cells(nl)
+        assert {a, b} & set(excinfo.value.nets or [a, b])
+
+    def test_cells_outside_the_loop_are_still_ordered_first(self):
+        nl, a, _b = self._looped()
+        x = nl.new_net("x")
+        nl.add_flop(d=a, q=x)
+        y = nl.new_net("y")
+        nl.add_cell(Kind.BUF, (x,), output=y)
+        # the loop still poisons the sort, even with clean cells around it
+        with pytest.raises(CombinationalLoopError):
+            topological_cells(nl)

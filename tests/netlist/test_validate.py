@@ -48,3 +48,38 @@ def test_loop_rejected():
     nl.add_cell(Kind.BUF, (b,), output=a)
     with pytest.raises(Exception):
         validate(nl)
+
+
+def test_report_shows_total_floating_count_not_just_sample():
+    nl = Netlist("many")
+    for i in range(25):
+        nl.new_net("scratch{}".format(i))
+    report = validate(nl, allow_floating=True)
+    text = str(report)
+    assert "25 floating nets" in text  # total, not the silent [:10] slice
+    assert "showing 10" in text
+    assert "scratch0" in text
+    assert "scratch24" not in text  # beyond the sample
+
+
+def test_describe_verbose_lists_every_net_by_name():
+    nl = Netlist("many")
+    for i in range(12):
+        nl.new_net("scratch{}".format(i))
+    report = validate(nl, allow_floating=True)
+    verbose = report.describe(verbose=True)
+    for i in range(12):
+        assert "scratch{}".format(i) in verbose
+    assert "showing" not in verbose
+
+
+def test_describe_verbose_names_unread_nets():
+    c = Circuit("u")
+    a = c.input("a", 1)
+    orphan = ~a
+    orphan.named("orphan")
+    c.output("y", a)
+    report = validate(c.finalize())
+    assert "unread" in report.describe()
+    assert "orphan" not in report.describe()  # names only when verbose
+    assert "orphan" in report.describe(verbose=True)

@@ -76,6 +76,13 @@ class TestValidWay:
         assert on_input("load")(ctx).width == 1
         assert on_input("key_in", bit=3)(ctx).width == 1
 
+        c = Circuit("p")
+        a = c.input("a", 2)
+        c.probe("mysig", a)
+        c.output("y", a)
+        probed = ctx_for(c.finalize())
+        assert on_probe("mysig", bit=1)(probed).width == 1
+
 
 class TestSpecs:
     def test_register_spec_requires_ways(self):

@@ -7,8 +7,6 @@ budget runs out — never raise — because Algorithm 1's "largest bound
 reached" degradation depends on it.
 """
 
-import pytest
-
 from repro.atpg.portfolio import PortfolioJustifier
 from repro.bmc.engine import BmcEngine
 from repro.netlist import Circuit

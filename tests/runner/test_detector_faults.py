@@ -7,8 +7,6 @@ uncaught exception — and an interrupted multi-register audit must resume
 from its checkpoint without re-running completed registers.
 """
 
-import pytest
-
 from repro.core import TrojanDetector
 from repro.properties import DesignSpec
 from repro.runner import (

@@ -97,3 +97,77 @@ def test_export(tmp_path):
 def test_unknown_design_rejected():
     with pytest.raises(SystemExit):
         build_design("z80")
+
+
+def test_lint_clean_design_exits_zero():
+    code, text = run_cli(["lint", "--design", "router"])
+    assert code == 0
+    assert "0 findings" in text
+
+
+def test_lint_trojaned_design_exits_nonzero():
+    code, text = run_cli(["lint", "--design", "mc8051-t800"])
+    assert code == 1
+    assert "suspicious" in text
+    assert "stack_pointer" in text
+
+
+def test_lint_fail_on_threshold():
+    # risc's only findings are warn/info hygiene noise
+    code, _ = run_cli(["lint", "--design", "risc"])
+    assert code == 0
+    code, _ = run_cli(["lint", "--design", "risc", "--fail-on", "info"])
+    assert code == 1
+
+
+def test_lint_json_to_stdout_is_parseable():
+    import json
+
+    code, text = run_cli(["lint", "--design", "mc8051-t800", "--json", "-"])
+    assert code == 1
+    data = json.loads(text)
+    assert data["design"] == "mc8051-t800"
+    assert data["register_scores"]["stack_pointer"] > 0
+
+
+def test_lint_sarif_file(tmp_path):
+    import json
+
+    path = tmp_path / "out.sarif"
+    code, _ = run_cli([
+        "lint", "--design", "aes-t1200", "--sarif", str(path),
+    ])
+    assert code == 1
+    log = json.loads(path.read_text())
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"]
+
+
+def test_lint_disable_and_suppress():
+    code, _ = run_cli([
+        "lint", "--design", "mc8051-t800",
+        "--disable", "undocumented-write-port",
+        "--disable", "pseudo-critical-candidate",
+    ])
+    assert code == 0
+    code, _ = run_cli([
+        "lint", "--design", "mc8051-t800",
+        "--suppress", "*:stack_pointer", "--suppress", "*:t800_*",
+    ])
+    assert code == 0
+
+
+def test_lint_bad_suppress_syntax():
+    with pytest.raises(SystemExit, match="RULE_GLOB:SUBJECT_GLOB"):
+        run_cli(["lint", "--design", "risc", "--suppress", "nocolon"])
+
+
+def test_audit_lint_prioritize():
+    code, text = run_cli([
+        "audit", "--design", "mc8051-t700", "--engine", "bmc",
+        "--max-cycles", "8", "--register", "acc", "--lint-prioritize",
+    ])
+    assert code == 1
+    assert "lint pre-pass:" in text
+    assert "TROJAN FOUND" in text
+    assert "lint:" in text  # static evidence echoed in the summary
