@@ -159,6 +159,7 @@ class PodemJustifier:
 
     def check(self, max_cycles, time_budget=None, backtrack_budget=None,
               measure_memory=False, start_cycle=1):
+        start_cycle = max(start_cycle, 1)  # cycles are 1-based
         start = time.perf_counter()
         self._deadline = None if time_budget is None else start + time_budget
         self._backtrack_budget = backtrack_budget
@@ -172,12 +173,20 @@ class PodemJustifier:
         try:
             if measure_memory:
                 tracemalloc.reset_peak()
-            status = PROVED
+            # an empty bound range proves nothing — never report a
+            # vacuous "proved at bound 0" (see BmcEngine.check)
+            status = PROVED if max_cycles >= start_cycle else UNKNOWN_STATUS
             bound = 0
             witness = None
             per_bound = []
             for t in range(start_cycle, max_cycles + 1):
                 bound_start = time.perf_counter()
+                if (
+                    self._deadline is not None
+                    and time.perf_counter() > self._deadline
+                ):
+                    status = UNKNOWN_STATUS
+                    break
                 try:
                     found = self._search(t)
                 except _Budget:

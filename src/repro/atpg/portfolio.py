@@ -70,16 +70,33 @@ class PortfolioJustifier:
     def check(self, max_cycles, time_budget=None, measure_memory=False,
               start_cycle=1, backtrack_budget=None):
         start = time.perf_counter()
+        start_cycle = max(start_cycle, 1)  # cycles are 1-based
+        if max_cycles < start_cycle:
+            # empty requested range: nothing to justify, nothing proved —
+            # the single-shot stage must not "prove" a frame the caller
+            # never asked about (it overrides start_cycle by design)
+            self.stage_results = []
+            return JustifyResult(
+                status=UNKNOWN_STATUS,
+                bound=0,
+                elapsed=time.perf_counter() - start,
+                property_name=self.property_name,
+            )
         if time_budget is None:
             time_budget = 60.0
         deepest = 0
         self.stage_results = []
         for which, mode, share in self.STAGES:
+            if time_budget - (time.perf_counter() - start) <= 0:
+                break
+            engine = self._make(which)
+            # measure the stage budget *after* engine construction: SCOAP
+            # and cone computation are not free, and charging them to the
+            # stage would let the overall budget overshoot
             remaining = time_budget - (time.perf_counter() - start)
             if remaining <= 0:
                 break
             stage_budget = min(remaining, time_budget * share)
-            engine = self._make(which)
             kwargs = {
                 "time_budget": stage_budget,
                 "measure_memory": measure_memory,
@@ -94,7 +111,10 @@ class PortfolioJustifier:
             if result.status == VIOLATED:
                 result.elapsed = time.perf_counter() - start
                 return result
-            if result.status == PROVED and mode == "ramp":
+            if result.status == PROVED:
+                # conclusive in either mode: a ramp proof walked every
+                # bound, and a single-shot proof at the full bound covers
+                # all earlier cycles because the monitors are sticky
                 result.elapsed = time.perf_counter() - start
                 return result
             if mode == "ramp":

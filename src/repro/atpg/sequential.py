@@ -205,6 +205,7 @@ class SequentialJustifier:
     def check(self, max_cycles, time_budget=None, backtrack_budget=None,
               measure_memory=False, start_cycle=1):
         """Search frames ``1..max_cycles`` for a justification of the objective."""
+        start_cycle = max(start_cycle, 1)  # cycles are 1-based
         start = time.perf_counter()
         self._deadline = None if time_budget is None else start + time_budget
         self._backtrack_budget = backtrack_budget
@@ -220,13 +221,24 @@ class SequentialJustifier:
         try:
             if measure_memory:
                 tracemalloc.reset_peak()
-            status = PROVED
+            # an empty bound range proves nothing — never report a
+            # vacuous "proved at bound 0" (see BmcEngine.check)
+            status = PROVED if max_cycles >= start_cycle else UNKNOWN_STATUS
             bound = 0
             witness = None
             per_bound = []
             for t in range(start_cycle, max_cycles + 1):
                 bound_start = time.perf_counter()
                 self._extend_ternary(t)
+                if (
+                    self._deadline is not None
+                    and time.perf_counter() > self._deadline
+                ):
+                    # ternary constant propagation spent the budget: stop
+                    # before starting a search the deadline already forbids
+                    status = UNKNOWN_STATUS
+                    per_bound.append(time.perf_counter() - bound_start)
+                    break
                 outcome = self._search_bound(t)
                 per_bound.append(time.perf_counter() - bound_start)
                 if outcome == "budget":

@@ -55,7 +55,7 @@ class DetectionRow:
 
 def detection_run(label, netlist, spec, register, engine, max_cycles,
                   time_budget=None, functional=True, measure_memory=True,
-                  runner=None):
+                  runner=None, cache_dir=None):
     """Run one Eq. (2) detection and replay-validate any witness.
 
     The verdict run is clean; the peak-memory figure comes from a *separate
@@ -70,6 +70,13 @@ def detection_run(label, netlist, spec, register, engine, max_cycles,
     (``crashed`` / ``timeout`` / ``budget``) instead of killing the whole
     benchmark sweep — one bad (design, engine) cell no longer costs the
     table.
+
+    ``cache_dir`` (with ``runner``) routes the check through the outcome
+    cache: the row's ``extra["cache"]`` records the disposition
+    (``hit`` / ``partial`` / ``miss``) so sweep reports can show
+    hit-rate columns, and ``extra["cache_saved"]`` the solve seconds a
+    hit avoided. Cached verdict rows skip the memory probe — there was
+    no solve to measure.
     """
     monitor = build_corruption_monitor(
         netlist, spec.critical[register], functional=functional
@@ -97,10 +104,16 @@ def detection_run(label, netlist, spec, register, engine, max_cycles,
             property_name=property_name,
             pinned_inputs=spec.pinned_inputs,
             check_kwargs={"time_budget": time_budget},
+            cache_dir=cache_dir,
         )
         outcome = runner.run(task, name=property_name)
         result = outcome.verdict
         extra["outcome"] = outcome
+        if outcome.cache is not None:
+            extra["cache"] = outcome.cache
+            if outcome.cache == "hit":
+                extra["cache_saved"] = getattr(result, "saved_elapsed", 0.0)
+                measure_memory = False  # nothing was solved
         if not outcome.ok:
             # supervision verdicts outrank the engine's "unknown"
             result_status = outcome.status

@@ -34,7 +34,16 @@ UNKNOWN_STATUS = "unknown"
 
 @dataclass
 class BmcResult:
-    """Outcome of a bounded check."""
+    """Outcome of a bounded check.
+
+    All solver statistics are **deltas against this ``check()`` call**:
+    ``conflicts`` / ``decisions`` / ``propagations`` count search work and
+    ``clauses`` / ``variables`` count formula growth attributable to this
+    check alone — consistent even when one engine (or a shared-cone group)
+    serves several ``check()`` calls from the same solver instance. The
+    cumulative end-of-check solver totals are ``total_clauses`` /
+    ``total_variables``.
+    """
 
     status: str  # violated / proved / unknown
     bound: int  # violated: frame count to violation; else deepest proved bound
@@ -44,8 +53,10 @@ class BmcResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
-    clauses: int = 0
-    variables: int = 0
+    clauses: int = 0  # clauses added during this check (delta)
+    variables: int = 0  # variables added during this check (delta)
+    total_clauses: int = 0  # cumulative solver clause count after the check
+    total_variables: int = 0  # cumulative solver variable count after the check
     cone: tuple = (0, 0, 0)
     property_name: str = ""
     per_bound_elapsed: list = field(default_factory=list)
@@ -83,11 +94,19 @@ class BmcEngine:
 
     def check(self, max_cycles, time_budget=None, conflict_budget=None,
               measure_memory=False, start_cycle=1):
-        """Check whether the objective can be 1 within ``max_cycles`` cycles."""
+        """Check whether the objective can be 1 within ``max_cycles`` cycles.
+
+        An empty bound range (``max_cycles < start_cycle``, e.g.
+        ``max_cycles=0``) proves nothing: the result is ``unknown`` at
+        bound 0, never a vacuous ``proved``.
+        """
+        start_cycle = max(start_cycle, 1)  # cycles are 1-based
         start = time.perf_counter()
         base_conflicts = self.solver.stats.conflicts
         base_decisions = self.solver.stats.decisions
         base_props = self.solver.stats.propagations
+        base_clauses = len(self.solver.clauses)
+        base_vars = self.solver.num_vars
         snapshotting = False
         if measure_memory and not tracemalloc.is_tracing():
             tracemalloc.start()
@@ -96,7 +115,10 @@ class BmcEngine:
         try:
             if measure_memory:
                 tracemalloc.reset_peak()
-            status = PROVED
+            # An empty range would otherwise fall through and claim
+            # "proved" without a single solver call — a vacuous
+            # "trustworthy for 0 cycles" verdict callers treat as a pass.
+            status = PROVED if max_cycles >= start_cycle else UNKNOWN_STATUS
             bound = 0
             witness = None
             per_bound = []
@@ -109,6 +131,15 @@ class BmcEngine:
                         status = UNKNOWN_STATUS
                         break
                 self.unroller.extend_to(t)
+                if time_budget is not None:
+                    # re-read the clock: frame encoding above is not free,
+                    # and the solver's cooperative budget must see it or
+                    # the overall budget overshoots by a frame's encoding
+                    remaining = time_budget - (time.perf_counter() - start)
+                    if remaining <= 0:
+                        status = UNKNOWN_STATUS
+                        per_bound.append(time.perf_counter() - bound_start)
+                        break
                 objective_lit = self.unroller.lit(self.objective_net, t - 1)
                 result = self.solver.solve(
                     assumptions=[objective_lit],
@@ -144,8 +175,10 @@ class BmcEngine:
             conflicts=stats.conflicts - base_conflicts,
             decisions=stats.decisions - base_decisions,
             propagations=stats.propagations - base_props,
-            clauses=len(self.solver.clauses),
-            variables=self.solver.num_vars,
+            clauses=len(self.solver.clauses) - base_clauses,
+            variables=self.solver.num_vars - base_vars,
+            total_clauses=len(self.solver.clauses),
+            total_variables=self.solver.num_vars,
             cone=self.unroller.cone_size,
             property_name=self.property_name,
             per_bound_elapsed=per_bound,

@@ -25,6 +25,22 @@ class Witness:
     def __len__(self):
         return len(self.inputs)
 
+    def to_dict(self):
+        """JSON-serializable form (checkpoints, the outcome cache)."""
+        return {
+            "inputs": [dict(words) for words in self.inputs],
+            "violation_cycle": self.violation_cycle,
+            "property_name": self.property_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            inputs=[dict(words) for words in data["inputs"]],
+            violation_cycle=data["violation_cycle"],
+            property_name=data.get("property_name", ""),
+        )
+
     def format(self, netlist=None, max_cycles=40):
         """Human-readable dump of the stimulus, one line per cycle."""
         lines = [

@@ -1,0 +1,60 @@
+"""Cache keys: from (design, objective, engine, config) to one digest.
+
+A key names one *semantic question*: "can this objective net of this
+exact design be driven to 1, under these pinned inputs, as answered by
+this engine family?" Everything that can change the answer is part of
+the key; nothing else is. Budgets, retry policies, isolation modes and
+bound requests are **not** keyed — a ``proved``/``violated`` verdict is
+valid at any budget, and the requested bound is compared against the
+cached bounds at lookup time (that comparison is what enables partial
+resume).
+
+``engine`` is keyed because the engines are different decision
+procedures: sharing verdicts *across* engines would be sound (they
+answer the same question) but would make a cache-poisoning bug in one
+engine silently contaminate the others' results, and would hide
+engine-comparison regressions in the bench tables. Conservative beats
+clever here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.netlist.fingerprint import (
+    config_fingerprint,
+    netlist_fingerprint,
+    objective_fingerprint,
+)
+
+
+@dataclass(frozen=True)
+class CheckKey:
+    """The four fingerprints naming one cacheable check."""
+
+    design_fp: str
+    objective_fp: str
+    engine: str
+    config_fp: str
+
+    @property
+    def digest(self):
+        h = hashlib.sha256()
+        for part in (
+            self.design_fp, self.objective_fp, self.engine, self.config_fp
+        ):
+            h.update(part.encode("utf-8"))
+            h.update(b"\x1f")
+        return h.hexdigest()
+
+
+def check_key(netlist, objective_net, engine, pinned_inputs=None,
+              use_coi=True):
+    """Build the :class:`CheckKey` for one bounded objective check."""
+    return CheckKey(
+        design_fp=netlist_fingerprint(netlist),
+        objective_fp=objective_fingerprint(objective_net, pinned_inputs),
+        engine=engine,
+        config_fp=config_fingerprint(engine, use_coi=use_coi),
+    )

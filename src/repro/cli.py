@@ -33,6 +33,14 @@ Commands
     runs this pass first and audits flagged registers before clean
     ones, attaching the static evidence to each finding.
 
+``cache``
+    Inspect or maintain a check-outcome cache directory (see README
+    "Outcome cache")::
+
+        python -m repro audit --design aes-t1200 --cache-dir .repro-cache
+        python -m repro cache stats --cache-dir .repro-cache
+        python -m repro cache gc --cache-dir .repro-cache
+
 ``list``
     Show the bundled designs and their ground-truth Trojans.
 
@@ -206,6 +214,7 @@ def cmd_audit(args, out=sys.stdout):
             ),
             file=out,
         )
+    cache_dir = None if args.no_cache else args.cache_dir
     detector = TrojanDetector(
         netlist,
         spec,
@@ -217,17 +226,68 @@ def cmd_audit(args, out=sys.stdout):
         time_budget=args.budget,
         runner=runner,
         lint_report=lint_report,
+        cache_dir=cache_dir,
+        share_cones=args.share_cones,
     )
     try:
         report = detector.run(registers=registers, checkpoint=args.resume)
     except CheckpointError as exc:
         raise SystemExit("cannot resume: {}".format(exc))
     print(report.summary(), file=out)
+    if cache_dir is not None:
+        counters = runner.cache_counters
+        print(
+            "cache: {hits} hit(s), {partial_hits} partial, "
+            "{misses} miss(es)".format(**counters),
+            file=out,
+        )
     if args.witness:
         for finding in report.findings.values():
             if finding.corrupted:
                 print(finding.corruption.witness.format(netlist), file=out)
     return 1 if report.trojan_found else 0
+
+
+def cmd_cache(args, out=sys.stdout):
+    from repro.cache import OutcomeCache
+
+    cache = OutcomeCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.json:
+            import json
+
+            print(json.dumps(stats, indent=2, sort_keys=True), file=out)
+        else:
+            print(
+                "{} entr{} ({} violated), deepest proved bound {}, "
+                "{:.2f}s of solve time banked, {} bytes".format(
+                    stats["entries"],
+                    "y" if stats["entries"] == 1 else "ies",
+                    stats["violation_entries"],
+                    stats["deepest_proved"],
+                    stats["solve_seconds_recorded"],
+                    stats["file_bytes"],
+                ),
+                file=out,
+            )
+        return 0
+    if args.cache_command == "gc":
+        before, after, skipped = cache.gc()
+        print(
+            "compacted {} record(s) to {} entr{} ({} unreadable "
+            "line(s) dropped)".format(
+                before, after, "y" if after == 1 else "ies", skipped
+            ),
+            file=out,
+        )
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print("removed {} entr{}".format(
+            removed, "y" if removed == 1 else "ies"), file=out)
+        return 0
+    raise SystemExit("unknown cache command {!r}".format(args.cache_command))
 
 
 def cmd_export(args, out=sys.stdout):
@@ -295,6 +355,17 @@ def build_parser():
                          help="run the static lint pre-pass first, audit "
                               "flagged registers before clean-looking ones "
                               "and attach lint evidence to findings")
+    p_audit.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="consult and populate a content-addressed "
+                              "check-outcome cache in DIR: re-audits of an "
+                              "unchanged design skip solved checks, deeper "
+                              "re-audits resume from the cached bound")
+    p_audit.add_argument("--no-cache", action="store_true",
+                         help="ignore --cache-dir (one-off override)")
+    p_audit.add_argument("--share-cones", action="store_true",
+                         help="batch each register's pseudo-critical "
+                              "tracking checks onto one shared unrolling "
+                              "(BMC only, runs inline)")
 
     p_lint = sub.add_parser("lint", help="static structural lint pre-pass")
     p_lint.add_argument("--design", required=True)
@@ -320,6 +391,21 @@ def build_parser():
                         metavar="DEPTH",
                         help="excessive-depth rule ceiling")
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain a check-outcome cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    c_stats = cache_sub.add_parser("stats", help="entry counts and totals")
+    c_stats.add_argument("--cache-dir", required=True, metavar="DIR")
+    c_stats.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    c_gc = cache_sub.add_parser(
+        "gc", help="compact superseded and unreadable records"
+    )
+    c_gc.add_argument("--cache-dir", required=True, metavar="DIR")
+    c_clear = cache_sub.add_parser("clear", help="drop all cached outcomes")
+    c_clear.add_argument("--cache-dir", required=True, metavar="DIR")
+
     p_export = sub.add_parser("export", help="write Verilog + assertions")
     p_export.add_argument("--design", required=True)
     p_export.add_argument("--out", default="export")
@@ -332,6 +418,7 @@ def main(argv=None, out=sys.stdout):
         "list": cmd_list,
         "stats": cmd_stats,
         "audit": cmd_audit,
+        "cache": cmd_cache,
         "export": cmd_export,
         "lint": cmd_lint,
     }[args.command]

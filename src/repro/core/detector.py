@@ -39,6 +39,7 @@ from repro.properties.valid_ways import RegisterSpec
 from repro.runner import (
     AuditCheckpoint,
     BypassTask,
+    CheckOutcome,
     CheckRunner,
     ObjectiveTask,
 )
@@ -78,13 +79,28 @@ class TrojanDetector:
         runner's budget reaches the likeliest suspects before the
         clean-looking majority), and each register's lint findings are
         attached to its :class:`RegisterFinding` as ``lint_evidence``.
+    cache_dir:
+        Directory of the content-addressed outcome cache
+        (:mod:`repro.cache`). When set, every Eq. (2)/(3) objective
+        check consults the cache before solving and writes its verdict
+        back; re-audits of an unchanged design become cache hits, and
+        deeper re-audits resume from the cached proved bound.
+    share_cones:
+        Batch the Eq. (3) tracking checks of each critical register into
+        shared-cone groups (BMC only): the candidates' monitors are
+        stacked on one clone and served by one unrolling per group
+        (:class:`~repro.bmc.group.MultiObjectiveBmc`). Grouped checks
+        run inline — they bypass the supervised runner's process
+        isolation and the outcome cache, trading fault isolation for
+        not re-encoding the shared cone once per candidate.
     """
 
     def __init__(self, netlist, spec, max_cycles=40, engine="bmc",
                  functional=True, check_pseudo_critical=False,
                  check_bypass=False, time_budget=None,
                  pseudo_critical_cycles=None, stop_on_first=True,
-                 runner=None, lint_report=None):
+                 runner=None, lint_report=None, cache_dir=None,
+                 share_cones=False):
         self.netlist = netlist
         self.spec = spec
         self.max_cycles = max_cycles
@@ -101,6 +117,8 @@ class TrojanDetector:
         self.stop_on_first = stop_on_first
         self.runner = runner if runner is not None else CheckRunner()
         self.lint_report = lint_report
+        self.cache_dir = cache_dir
+        self.share_cones = share_cones
 
     # ------------------------------------------------------------------ API
 
@@ -236,6 +254,7 @@ class TrojanDetector:
             property_name=monitor.property_name,
             pinned_inputs=self.spec.pinned_inputs,
             check_kwargs={"time_budget": self.time_budget},
+            cache_dir=self.cache_dir,
         )
         name = "corruption({})".format(spec.register)
         return self._supervised(task, name, finding=finding).verdict
@@ -257,6 +276,7 @@ class TrojanDetector:
             property_name=monitor.property_name,
             pinned_inputs=self.spec.pinned_inputs,
             check_kwargs={"time_budget": self.time_budget},
+            cache_dir=self.cache_dir,
         )
         name = "tracking({}->{},{})".format(
             spec.register, candidate, direction
@@ -264,10 +284,15 @@ class TrojanDetector:
         return self._supervised(task, name, finding=finding).verdict
 
     def _find_pseudo_criticals(self, spec, finding=None):
+        candidates = list(
+            pseudo_critical_candidates(self.netlist, self.spec, spec.register)
+        )
+        if self.share_cones and self.engine == "bmc" and candidates:
+            return self._find_pseudo_criticals_grouped(
+                spec, candidates, finding=finding
+            )
         found = []
-        for candidate in pseudo_critical_candidates(
-            self.netlist, self.spec, spec.register
-        ):
+        for candidate in candidates:
             for direction in ("after", "before"):
                 result = self.check_tracking(
                     spec, candidate, direction, finding=finding
@@ -278,6 +303,72 @@ class TrojanDetector:
                 if result.status == "proved":
                     found.append((candidate, direction))
                     break
+        return found
+
+    def _find_pseudo_criticals_grouped(self, spec, candidates, finding=None):
+        """Shared-cone variant of the Eq. (3) sweep (BMC only).
+
+        All candidate/direction tracking monitors for this critical
+        register are stacked on *one* clone of the design; objectives
+        whose cones overlap are served by a single
+        :class:`~repro.bmc.group.MultiObjectiveBmc` unrolling each. The
+        verdict semantics match the sequential path exactly — ``proved``
+        promotes, and ``"after"`` wins over ``"before"`` for the same
+        candidate. ``time_budget`` covers each *group*, not each
+        objective, and the grouped solves run inline (no process
+        isolation, no outcome cache).
+        """
+        from repro.bmc.group import MultiObjectiveBmc, group_objectives_by_cone
+
+        base = self.netlist.clone()
+        builds = []  # (candidate, direction, MonitorBuild)
+        for candidate in candidates:
+            for direction in ("after", "before"):
+                builds.append((candidate, direction, build_tracking_monitor(
+                    self.netlist, spec, candidate, direction=direction,
+                    into=base,
+                )))
+        nets = [b.objective_net for _, _, b in builds]
+        names = [b.property_name for _, _, b in builds]
+        results = [None] * len(builds)
+        for group in group_objectives_by_cone(base, nets):
+            multi = MultiObjectiveBmc(
+                base,
+                [nets[i] for i in group],
+                property_names=[names[i] for i in group],
+                pinned_inputs=self.spec.pinned_inputs,
+            )
+            group_results = multi.check_all(
+                self.pseudo_critical_cycles, time_budget=self.time_budget
+            )
+            for i, result in zip(group, group_results):
+                results[i] = result
+        found = []
+        promoted = set()
+        for (candidate, direction, _build), result in zip(builds, results):
+            name = "tracking({}->{},{})".format(
+                spec.register, candidate, direction
+            )
+            if finding is not None:
+                outcome = CheckOutcome(
+                    name=name,
+                    status=(
+                        "ok"
+                        if result.status in ("violated", "proved")
+                        else "exhausted"
+                    ),
+                    result=result,
+                    bound_reached=result.bound,
+                    elapsed=result.elapsed,
+                )
+                if outcome.status != "ok":
+                    outcome.error = "engine returned {!r} at bound {}".format(
+                        result.status, result.bound
+                    )
+                finding.check_outcomes[name] = outcome
+            if result.status == "proved" and candidate not in promoted:
+                promoted.add(candidate)
+                found.append((candidate, direction))
         return found
 
     def _bypass_check(self, spec, finding=None):

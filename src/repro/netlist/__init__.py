@@ -2,6 +2,11 @@
 
 from repro.netlist.builder import BitVec, Circuit, Reg
 from repro.netlist.cells import CONST0, CONST1, Cell, Flop, Kind
+from repro.netlist.fingerprint import (
+    config_fingerprint,
+    netlist_fingerprint,
+    objective_fingerprint,
+)
 from repro.netlist.netlist import Netlist
 from repro.netlist.stats import NetlistStats, stats
 from repro.netlist.traversal import (
@@ -28,6 +33,9 @@ __all__ = [
     "Netlist",
     "NetlistStats",
     "stats",
+    "config_fingerprint",
+    "netlist_fingerprint",
+    "objective_fingerprint",
     "cone_of_influence",
     "fanin_cone",
     "fanout_cone",

@@ -16,7 +16,12 @@ from repro.runner.checkpoint import (
     finding_to_dict,
 )
 from repro.runner.faultinject import FaultInjector, FaultSpec, InjectedFault
-from repro.runner.outcome import AttemptRecord, CheckOutcome, PartialVerdict
+from repro.runner.outcome import (
+    AttemptRecord,
+    CachedResult,
+    CheckOutcome,
+    PartialVerdict,
+)
 from repro.runner.policy import (
     BUDGET,
     CRASHED,
@@ -35,6 +40,7 @@ __all__ = [
     "AttemptRecord",
     "BUDGET",
     "BypassTask",
+    "CachedResult",
     "CallableTask",
     "CheckOutcome",
     "CheckRunner",

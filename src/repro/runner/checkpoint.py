@@ -61,21 +61,13 @@ class RestoredResult:
 def _witness_to_dict(witness):
     if witness is None:
         return None
-    return {
-        "inputs": [dict(words) for words in witness.inputs],
-        "violation_cycle": witness.violation_cycle,
-        "property_name": witness.property_name,
-    }
+    return witness.to_dict()
 
 
 def _witness_from_dict(data):
     if data is None:
         return None
-    return Witness(
-        inputs=[dict(words) for words in data["inputs"]],
-        violation_cycle=data["violation_cycle"],
-        property_name=data.get("property_name", ""),
-    )
+    return Witness.from_dict(data)
 
 
 def result_to_dict(result):

@@ -50,6 +50,37 @@ class PartialVerdict:
 
 
 @dataclass
+class CachedResult:
+    """Engine-result stand-in replayed from the outcome cache.
+
+    Shapes a cache hit like a live engine verdict (``status`` / ``bound``
+    / ``witness`` / ``detected`` / ``elapsed``), with ``cached=True`` and
+    the solve seconds the hit avoided (``saved_elapsed``) for the bench
+    tables. A cached violation carries the stored witness, which callers
+    replay-confirm on the simulator exactly like a fresh one.
+    """
+
+    status: str
+    bound: int
+    witness: object = None
+    elapsed: float = 0.0
+    peak_memory: int = 0
+    property_name: str = ""
+    saved_elapsed: float = 0.0
+    cached: bool = True
+
+    @property
+    def detected(self):
+        return self.status == "violated"
+
+    def summary(self):
+        return "[{}] {} at bound {} (cache hit, ~{:.2f}s saved)".format(
+            self.property_name or "check", self.status, self.bound,
+            self.saved_elapsed,
+        )
+
+
+@dataclass
 class AttemptRecord:
     """One attempt of one check, as seen by the supervisor."""
 
@@ -76,6 +107,10 @@ class CheckOutcome:
     elapsed: float = 0.0  # wall clock across all attempts
     peak_memory: int = 0  # max across attempts that measured it
     error: str | None = None  # last failure description
+    # outcome-cache disposition: None (cache off), "hit" (verdict served
+    # with zero solves), "partial" (resumed from a cached proved bound),
+    # or "miss"
+    cache: str | None = None
 
     @property
     def ok(self):
@@ -122,6 +157,10 @@ class CheckOutcome:
         )
         if self.status != OK:
             text += ", certified {} cycles".format(self.bound_reached)
+        if self.cache == "hit":
+            text += " (cache hit)"
+        elif self.cache == "partial":
+            text += " (resumed from cached bound)"
         if self.error:
             text += " ({})".format(self.error)
         return text
@@ -135,6 +174,7 @@ class CheckOutcome:
             "elapsed": self.elapsed,
             "peak_memory": self.peak_memory,
             "error": self.error,
+            "cache": self.cache,
             "attempts": [
                 {
                     "index": a.index,
@@ -159,6 +199,7 @@ class CheckOutcome:
             elapsed=data.get("elapsed", 0.0),
             peak_memory=data.get("peak_memory", 0),
             error=data.get("error"),
+            cache=data.get("cache"),
         )
         outcome.attempts = [
             AttemptRecord(

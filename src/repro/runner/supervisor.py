@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import time
 
+from repro.bmc.witness import Witness
 from repro.errors import ReproError, ResourceBudgetExceeded
-from repro.runner.outcome import AttemptRecord, CheckOutcome
+from repro.runner.outcome import AttemptRecord, CachedResult, CheckOutcome
 from repro.runner.policy import (
     BUDGET,
     CRASHED,
@@ -67,6 +68,27 @@ class CheckRunner:
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_injector = fault_injector
         self.mp_context = mp_context
+        self._caches = {}  # cache_dir -> OutcomeCache
+
+    def cache_for(self, cache_dir):
+        """Memoized :class:`~repro.cache.OutcomeCache` for a directory."""
+        if cache_dir is None:
+            return None
+        cache = self._caches.get(cache_dir)
+        if cache is None:
+            from repro.cache import OutcomeCache
+
+            cache = self._caches[cache_dir] = OutcomeCache(cache_dir)
+        return cache
+
+    @property
+    def cache_counters(self):
+        """Aggregated hit/partial/miss/store counters across cache dirs."""
+        totals = {"hits": 0, "partial_hits": 0, "misses": 0, "stores": 0}
+        for cache in self._caches.values():
+            for key in totals:
+                totals[key] += cache.counters.get(key, 0)
+        return totals
 
     @classmethod
     def configure(cls, workers=0, check_timeout=None, retries=0,
@@ -94,6 +116,10 @@ class CheckRunner:
             name = getattr(task, "property_name", "") or "check"
         start = time.perf_counter()
         outcome = CheckOutcome(name=name)
+        task, resume_base = self._consult_cache(task, outcome)
+        if outcome.cache == "hit":
+            outcome.elapsed = time.perf_counter() - start
+            return outcome
         best_partial = None  # deepest inconclusive engine result
         for index in range(self.retry.attempts):
             delay = self.retry.delay_for(index)
@@ -124,10 +150,75 @@ class CheckRunner:
                 break
         if outcome.result is None and best_partial is not None:
             outcome.result = best_partial
+        if resume_base:
+            # a resumed check's engine-side bounds only cover the frames
+            # it actually ran; fold the cached certified prefix back in
+            outcome.bound_reached = max(outcome.bound_reached, resume_base)
+            result = outcome.result
+            if result is not None and getattr(result, "status", None) in (
+                "proved", "unknown"
+            ):
+                result.bound = max(result.bound, resume_base)
         outcome.elapsed = time.perf_counter() - start
         return outcome
 
     # ------------------------------------------------------------ internals
+
+    def _consult_cache(self, task, outcome):
+        """Check the outcome cache before spending any solver time.
+
+        Returns ``(task, resume_base)``: the task possibly rewritten to
+        resume past a cached proved bound, and that bound (0 = none).
+        A full hit is written onto ``outcome`` (``cache="hit"``) and the
+        caller returns it without running anything.
+        """
+        cache = self.cache_for(getattr(task, "cache_dir", None))
+        if cache is None or not hasattr(task, "cache_key"):
+            return task, 0
+        entry = cache.lookup(task.cache_key())
+        requested = getattr(task, "max_cycles", 0) or 0
+        if entry is not None:
+            if (
+                entry.has_violation
+                and entry.violation_bound <= requested
+                and entry.witness is not None
+            ):
+                cache.counters["hits"] += 1
+                outcome.cache = "hit"
+                outcome.status = OK
+                outcome.bound_reached = entry.violation_bound
+                outcome.result = CachedResult(
+                    status="violated",
+                    bound=entry.violation_bound,
+                    witness=Witness.from_dict(entry.witness),
+                    property_name=outcome.name,
+                    saved_elapsed=entry.elapsed,
+                )
+                return task, 0
+            if entry.proved_bound >= requested > 0:
+                cache.counters["hits"] += 1
+                outcome.cache = "hit"
+                outcome.status = OK
+                outcome.bound_reached = entry.proved_bound
+                outcome.result = CachedResult(
+                    status="proved",
+                    bound=entry.proved_bound,
+                    property_name=outcome.name,
+                    saved_elapsed=entry.elapsed,
+                )
+                return task, 0
+            if (
+                0 < entry.proved_bound < requested
+                and getattr(task, "start_cycle", 1) == 1
+                and hasattr(task, "with_resume")
+            ):
+                cache.counters["partial_hits"] += 1
+                outcome.cache = "partial"
+                return task.with_resume(entry.proved_bound), entry.proved_bound
+        cache.counters["misses"] += 1
+        if outcome.cache is None:
+            outcome.cache = "miss"
+        return task, 0
 
     def _rescale(self, task, index):
         """Apply the retry policy's bound/budget schedule to attempt ``index``."""

@@ -19,7 +19,18 @@ from dataclasses import dataclass, field, replace
 
 @dataclass(frozen=True)
 class ObjectiveTask:
-    """One Eq. (2)/(3) bounded check of a 1-bit objective net."""
+    """One Eq. (2)/(3) bounded check of a 1-bit objective net.
+
+    With ``cache_dir`` set, the task participates in the outcome cache
+    (:mod:`repro.cache`): the supervisor consults the store before the
+    task runs, and the task writes its verdict back *from wherever it
+    executes* — the worker process under process isolation, the calling
+    process inline — so a crash-killed supervisor still keeps the
+    worker's finished proofs. ``cache_resume_base`` is the cached proved
+    bound a resumed check continues from; the write-back path refuses to
+    extend a proof across a gap (a hand-set ``start_cycle`` without a
+    certified prefix stores nothing but violations).
+    """
 
     engine: str
     netlist: object
@@ -29,10 +40,16 @@ class ObjectiveTask:
     pinned_inputs: object = None
     use_coi: bool = True
     check_kwargs: dict = field(default_factory=dict)
+    cache_dir: str | None = None
+    cache_resume_base: int = 0
 
     @property
     def time_budget(self):
         return self.check_kwargs.get("time_budget")
+
+    @property
+    def start_cycle(self):
+        return self.check_kwargs.get("start_cycle", 1)
 
     def with_bound(self, max_cycles):
         return replace(self, max_cycles=max_cycles)
@@ -42,10 +59,48 @@ class ObjectiveTask:
         kwargs["time_budget"] = time_budget
         return replace(self, check_kwargs=kwargs)
 
+    def with_resume(self, certified_bound):
+        """Resume after a cached proof: skip bounds ``1..certified_bound``."""
+        kwargs = dict(self.check_kwargs)
+        kwargs["start_cycle"] = certified_bound + 1
+        return replace(
+            self, check_kwargs=kwargs, cache_resume_base=certified_bound
+        )
+
+    def cache_key(self):
+        """The content-addressed identity of this check (see repro.cache)."""
+        from repro.cache import check_key
+
+        return check_key(
+            self.netlist,
+            self.objective_net,
+            self.engine,
+            pinned_inputs=self.pinned_inputs,
+            use_coi=self.use_coi,
+        )
+
+    def _store_result(self, result):
+        if self.cache_dir is None:
+            return
+        # only a contiguous certified prefix makes the run's deepest
+        # bound an absolute claim; a foreign start_cycle breaks that
+        contiguous = self.start_cycle == self.cache_resume_base + 1
+        status = getattr(result, "status", None)
+        if not contiguous and status != "violated":
+            return
+        from repro.cache import OutcomeCache
+
+        OutcomeCache(self.cache_dir).record_result(
+            self.cache_key(),
+            result,
+            engine=self.engine,
+            certified_base=self.cache_resume_base if contiguous else 0,
+        )
+
     def __call__(self):
         from repro.core.backends import run_objective
 
-        return run_objective(
+        result = run_objective(
             self.engine,
             self.netlist,
             self.objective_net,
@@ -55,6 +110,11 @@ class ObjectiveTask:
             use_coi=self.use_coi,
             **self.check_kwargs,
         )
+        try:
+            self._store_result(result)
+        except Exception:  # noqa: BLE001 - cache failure must not cost a verdict
+            pass
+        return result
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,159 @@
+"""Shared-cone BMC: grouped verdicts must match single-engine verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bmc import (
+    BmcEngine,
+    MultiObjectiveBmc,
+    confirms_violation,
+    group_objectives_by_cone,
+)
+from repro.errors import ReproError
+from repro.netlist import Circuit
+from repro.properties.monitors import (
+    build_corruption_monitor,
+    build_tracking_monitor,
+)
+from tests.conftest import build_secret_design, secret_spec
+
+
+def two_counter_objectives(width=4):
+    """One netlist, two independent counters, one objective each."""
+    c = Circuit("two_counters")
+    en_a = c.input("en_a", 1)
+    en_b = c.input("en_b", 1)
+    a = c.reg("a", width)
+    a.hold_unless((en_a, a.q + 1))
+    b = c.reg("b", width)
+    b.hold_unless((en_b, b.q + 1))
+    c.output("out", a.q ^ b.q)
+    netlist = c.finalize()
+    circuit = Circuit.attach(netlist)
+    obj_a = circuit.bv(netlist.register_q_nets("a")).eq_const(9).nets[0]
+    obj_b = circuit.bv(netlist.register_q_nets("b")).eq_const(3).nets[0]
+    return netlist, obj_a, obj_b
+
+
+def stacked_secret_monitors(trojan=False):
+    netlist = build_secret_design(trojan=trojan, pseudo=True)
+    spec = secret_spec()
+    base = netlist.clone()
+    tracking = build_tracking_monitor(
+        netlist, spec, "pseudo_secret", direction="after", into=base
+    )
+    corruption = build_corruption_monitor(netlist, spec, into=base)
+    assert tracking.netlist is base and corruption.netlist is base
+    return base, tracking, corruption
+
+
+# ------------------------------------------------------------- grouping
+
+
+def test_overlapping_cones_group_together():
+    base, tracking, corruption = stacked_secret_monitors()
+    groups = group_objectives_by_cone(
+        base, [tracking.objective_net, corruption.objective_net]
+    )
+    assert groups == [[0, 1]]
+
+
+def test_disjoint_cones_stay_separate():
+    netlist, obj_a, obj_b = two_counter_objectives()
+    assert group_objectives_by_cone(netlist, [obj_a, obj_b]) == [[0], [1]]
+
+
+# ------------------------------------------------------------- verdicts
+
+
+def test_grouped_verdicts_match_single_engine():
+    base, tracking, corruption = stacked_secret_monitors()
+    nets = [tracking.objective_net, corruption.objective_net]
+    grouped = MultiObjectiveBmc(
+        base, nets,
+        property_names=[tracking.property_name, corruption.property_name],
+    ).check_all(8)
+    for net, name, result in zip(
+        nets, [tracking.property_name, corruption.property_name], grouped
+    ):
+        single = BmcEngine(base, net, property_name=name).check(8)
+        assert result.status == single.status == "proved"
+        assert result.bound == single.bound == 8
+
+
+def test_grouped_violation_decodes_replayable_witness():
+    netlist = build_secret_design(trojan=True, pseudo=True)
+    spec = secret_spec()
+    base = netlist.clone()
+    corruption = build_corruption_monitor(netlist, spec, into=base)
+    tracking = build_tracking_monitor(
+        netlist, spec, "pseudo_secret", direction="after", into=base
+    )
+    results = MultiObjectiveBmc(
+        base,
+        [corruption.objective_net, tracking.objective_net],
+        property_names=[corruption.property_name, tracking.property_name],
+    ).check_all(10)
+    violated = results[0]
+    assert violated.status == "violated"
+    assert confirms_violation(
+        base, violated.witness, corruption.violation_net
+    )
+    # a violation of one objective must not leak into the other
+    assert results[1].status in ("proved", "violated", "unknown")
+    single = BmcEngine(base, tracking.objective_net).check(10)
+    assert results[1].status == single.status
+
+
+def test_per_objective_bounds():
+    netlist, obj_a, obj_b = two_counter_objectives()
+    results = MultiObjectiveBmc(netlist, [obj_a, obj_b]).check_all([6, 2])
+    assert results[0].status == "proved" and results[0].bound == 6
+    assert results[1].status == "proved" and results[1].bound == 2
+    assert len(results[0].per_bound_elapsed) == 6
+    assert len(results[1].per_bound_elapsed) == 2
+
+
+def test_shared_encoding_is_paid_once():
+    base, tracking, corruption = stacked_secret_monitors()
+    nets = [tracking.objective_net, corruption.objective_net]
+    grouped = MultiObjectiveBmc(base, nets).check_all(6)
+    separate = sum(
+        BmcEngine(base, net).check(6).variables for net in nets
+    )
+    # both grouped results report the same (shared) encoding growth, and
+    # it is strictly smaller than the sum of two separate unrollings
+    assert grouped[0].variables == grouped[1].variables
+    assert grouped[0].variables < separate
+
+
+# ------------------------------------------------------------ edge cases
+
+
+def test_vacuous_ranges_are_unknown():
+    netlist, obj_a, obj_b = two_counter_objectives()
+    multi = MultiObjectiveBmc(netlist, [obj_a, obj_b])
+    assert [r.status for r in multi.check_all(0)] == ["unknown", "unknown"]
+    mixed = multi.check_all([4, 0])
+    assert (mixed[0].status, mixed[0].bound) == ("proved", 4)
+    assert (mixed[1].status, mixed[1].bound) == ("unknown", 0)
+
+
+def test_expired_budget_yields_unknown_not_proved():
+    base, tracking, corruption = stacked_secret_monitors()
+    results = MultiObjectiveBmc(
+        base, [tracking.objective_net, corruption.objective_net]
+    ).check_all(8, time_budget=0.0)
+    assert [r.status for r in results] == ["unknown", "unknown"]
+    assert [r.bound for r in results] == [0, 0]
+
+
+def test_constructor_validation():
+    netlist, obj_a, _obj_b = two_counter_objectives()
+    with pytest.raises(ReproError):
+        MultiObjectiveBmc(netlist, [])
+    with pytest.raises(ReproError):
+        MultiObjectiveBmc(netlist, [obj_a], property_names=["a", "b"])
+    with pytest.raises(ReproError):
+        MultiObjectiveBmc(netlist, [obj_a]).check_all([1, 2])

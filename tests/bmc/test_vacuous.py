@@ -1,0 +1,91 @@
+"""No engine may ever return a vacuous ``proved``.
+
+A bound range that never runs a single solve — ``max_cycles=0``,
+``start_cycle > max_cycles``, or a budget that dies during frame
+encoding — proves nothing. Before the fix, every engine's bound loop
+fell through with its initial ``proved`` status and callers recorded
+"trustworthy for 0 cycles" as a pass; the outcome cache would have
+persisted and replayed that lie forever.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bmc import BmcEngine
+from repro.bmc.unroll import Unroller
+from repro.core.backends import make_engine
+from repro.netlist import Circuit
+from repro.sat.solver import Solver
+from tests.conftest import build_counter
+
+ENGINES = ["bmc", "atpg", "atpg-podem", "atpg-backward"]
+
+
+def counter_objective(width=4, target=9):
+    netlist = build_counter(width)
+    circuit = Circuit.attach(netlist)
+    objective = circuit.bv(
+        netlist.register_q_nets("count")
+    ).eq_const(target).nets[0]
+    return netlist, objective
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_max_cycles_zero_is_unknown(engine):
+    netlist, objective = counter_objective()
+    result = make_engine(engine, netlist, objective).check(0)
+    assert result.status == "unknown"
+    assert result.bound == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_start_cycle_beyond_max_is_unknown(engine):
+    netlist, objective = counter_objective()
+    eng = make_engine(engine, netlist, objective)
+    try:
+        result = eng.check(4, start_cycle=6)
+    except TypeError:
+        pytest.skip("{} does not take start_cycle".format(engine))
+    assert result.status == "unknown"
+    assert result.bound == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_nonempty_range_still_proves(engine):
+    # the guard must not over-trigger: a real range still concludes
+    netlist, objective = counter_objective(target=9)
+    result = make_engine(engine, netlist, objective).check(4)
+    assert result.status == "proved"
+    assert result.bound == 4
+
+
+def test_budget_spent_during_encoding_is_unknown(monkeypatch):
+    # the frame encoding itself can exhaust the cooperative budget; the
+    # engine must notice *after* extend_to and refuse to call that frame
+    # proved (before the fix the budget was computed pre-encoding only)
+    netlist, objective = counter_objective()
+    engine = BmcEngine(netlist, objective)
+
+    real_extend = Unroller.extend_to
+
+    def slow_extend(self, frame_count):
+        real_extend(self, frame_count)
+        monkeypatch.setattr(
+            "repro.bmc.engine.time.perf_counter",
+            lambda offset=engine_start: offset + 3600.0,
+        )
+
+    import time as _time
+
+    engine_start = _time.perf_counter()
+    monkeypatch.setattr(Unroller, "extend_to", slow_extend)
+
+    def no_solve(self, *args, **kwargs):
+        raise AssertionError("solved a frame after the budget expired")
+
+    monkeypatch.setattr(Solver, "solve", no_solve)
+    result = engine.check(8, time_budget=5.0)
+    assert result.status == "unknown"
+    assert result.bound == 0
+    assert len(result.per_bound_elapsed) == 1  # charged, not solved

@@ -1,0 +1,79 @@
+"""Structural fingerprints: stable across rebuilds, sensitive to edits."""
+
+from __future__ import annotations
+
+from repro.netlist import (
+    Circuit,
+    config_fingerprint,
+    netlist_fingerprint,
+    objective_fingerprint,
+)
+from repro.properties.monitors import build_corruption_monitor
+from tests.conftest import build_counter, build_secret_design, secret_spec
+
+
+def test_same_build_same_fingerprint():
+    assert netlist_fingerprint(build_counter()) == netlist_fingerprint(
+        build_counter()
+    )
+
+
+def test_clone_preserves_fingerprint():
+    nl = build_secret_design()
+    assert netlist_fingerprint(nl) == netlist_fingerprint(nl.clone())
+
+
+def test_monitor_names_do_not_perturb_fingerprint():
+    # the monitor builders' unique name prefixes change on every build;
+    # the structural hash must not see them, or no monitor netlist would
+    # ever hit the cache
+    nl = build_secret_design()
+    spec = secret_spec()
+    a = build_corruption_monitor(nl, spec)
+    b = build_corruption_monitor(nl, spec)
+    assert a.objective_net == b.objective_net
+    assert netlist_fingerprint(a.netlist) == netlist_fingerprint(b.netlist)
+
+
+def test_logic_change_changes_fingerprint():
+    assert netlist_fingerprint(
+        build_secret_design(trojan=True)
+    ) != netlist_fingerprint(build_secret_design(trojan=False))
+
+
+def test_init_value_changes_fingerprint():
+    def make(init):
+        c = Circuit("t")
+        en = c.input("en", 1)
+        r = c.reg("r", 4, init=init)
+        r.hold_unless((en, r.q + 1))
+        c.output("o", r.q)
+        return c.finalize()
+
+    assert netlist_fingerprint(make(0)) != netlist_fingerprint(make(3))
+
+
+def test_trigger_constant_changes_fingerprint():
+    # same topology, one comparator constant differs
+    assert netlist_fingerprint(
+        build_secret_design(trigger_value=0xA5)
+    ) != netlist_fingerprint(build_secret_design(trigger_value=0xA6))
+
+
+def test_objective_fingerprint_keys_net_and_pins():
+    base = objective_fingerprint(7)
+    assert base == objective_fingerprint(7)
+    assert base != objective_fingerprint(8)
+    assert base != objective_fingerprint(7, pinned_inputs={"reset": 0})
+    # pin order is canonicalized
+    assert objective_fingerprint(
+        7, pinned_inputs={"a": 1, "b": 0}
+    ) == objective_fingerprint(7, pinned_inputs={"b": 0, "a": 1})
+
+
+def test_config_fingerprint_keys_engine_and_options():
+    assert config_fingerprint("bmc") == config_fingerprint("bmc")
+    assert config_fingerprint("bmc") != config_fingerprint("atpg")
+    assert config_fingerprint("bmc") != config_fingerprint(
+        "bmc", use_coi=False
+    )

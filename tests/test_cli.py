@@ -83,6 +83,75 @@ def test_audit_resume_mismatch_is_a_clear_error(tmp_path):
         ])
 
 
+def test_audit_cache_dir_cold_then_warm(tmp_path):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "audit", "--design", "mc8051-t700", "--engine", "bmc",
+        "--max-cycles", "8", "--register", "acc",
+        "--cache-dir", str(cache_dir),
+    ]
+    code, text = run_cli(argv)
+    assert code == 1
+    assert "TROJAN FOUND" in text
+    assert "0 hit(s)" in text
+    code, text = run_cli(argv)  # warm: the verdict is replayed
+    assert code == 1
+    assert "TROJAN FOUND" in text
+    assert "0 miss(es)" in text
+    assert "1 hit(s)" in text
+
+
+def test_audit_no_cache_overrides_cache_dir(tmp_path):
+    code, text = run_cli([
+        "audit", "--design", "router", "--max-cycles", "6",
+        "--cache-dir", str(tmp_path / "cache"), "--no-cache",
+    ])
+    assert code == 0
+    assert "cache:" not in text
+    assert not (tmp_path / "cache").exists()
+
+
+def test_audit_share_cones_same_verdict():
+    code, text = run_cli([
+        "audit", "--design", "mc8051-t800", "--engine", "bmc",
+        "--max-cycles", "8", "--register", "stack_pointer",
+        "--check-pseudo-critical", "--share-cones",
+    ])
+    assert code == 1
+    assert "TROJAN FOUND" in text
+
+
+def test_cache_stats_gc_clear(tmp_path):
+    cache_dir = tmp_path / "cache"
+    run_cli([
+        "audit", "--design", "router", "--max-cycles", "6",
+        "--cache-dir", str(cache_dir),
+    ])
+    code, text = run_cli(["cache", "stats", "--cache-dir", str(cache_dir)])
+    assert code == 0
+    assert "deepest proved bound 6" in text
+
+    import json
+
+    code, text = run_cli([
+        "cache", "stats", "--cache-dir", str(cache_dir), "--json",
+    ])
+    assert code == 0
+    stats = json.loads(text)
+    assert stats["entries"] >= 1
+    assert stats["deepest_proved"] == 6
+
+    code, text = run_cli(["cache", "gc", "--cache-dir", str(cache_dir)])
+    assert code == 0
+    assert "compacted" in text
+
+    code, text = run_cli(["cache", "clear", "--cache-dir", str(cache_dir)])
+    assert code == 0
+    assert "removed" in text
+    code, text = run_cli(["cache", "stats", "--cache-dir", str(cache_dir)])
+    assert "0 entries" in text
+
+
 def test_export(tmp_path):
     code, text = run_cli([
         "export", "--design", "router", "--out", str(tmp_path),
