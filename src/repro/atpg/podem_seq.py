@@ -35,6 +35,7 @@ from repro.atpg.sequential import JustifyResult, PROVED, UNKNOWN_STATUS, VIOLATE
 from repro.bmc.witness import Witness
 from repro.netlist.cells import Kind
 from repro.netlist.traversal import cone_of_influence, topological_cells
+from repro.obs.tracer import get_tracer
 
 
 def _eval3_cell(kind, ins, vals):
@@ -160,6 +161,31 @@ class PodemJustifier:
     def check(self, max_cycles, time_budget=None, backtrack_budget=None,
               measure_memory=False, start_cycle=1):
         start_cycle = max(start_cycle, 1)  # cycles are 1-based
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._check(max_cycles, time_budget, backtrack_budget,
+                               measure_memory, start_cycle, tracer)
+        with tracer.span(
+            "atpg.check",
+            engine="podem",
+            property=self.property_name,
+            max_cycles=max_cycles,
+            start_cycle=start_cycle,
+        ) as extra:
+            result = self._check(max_cycles, time_budget, backtrack_budget,
+                                 measure_memory, start_cycle, tracer)
+            extra.update(
+                status=result.status,
+                bound=result.bound,
+                backtracks=result.backtracks,
+            )
+            tracer.metrics.counter("atpg.checks").inc()
+            tracer.metrics.counter("atpg.status." + result.status).inc()
+            tracer.metrics.counter("atpg.backtracks").inc(result.backtracks)
+        return result
+
+    def _check(self, max_cycles, time_budget, backtrack_budget,
+               measure_memory, start_cycle, tracer):
         start = time.perf_counter()
         self._deadline = None if time_budget is None else start + time_budget
         self._backtrack_budget = backtrack_budget
@@ -188,7 +214,8 @@ class PodemJustifier:
                     status = UNKNOWN_STATUS
                     break
                 try:
-                    found = self._search(t)
+                    with tracer.span("atpg.bound", t=t):
+                        found = self._search(t)
                 except _Budget:
                     status = UNKNOWN_STATUS
                     per_bound.append(time.perf_counter() - bound_start)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 
 from repro.atpg.podem_seq import PodemJustifier
+from repro.obs.tracer import get_tracer
 from repro.atpg.sequential import (
     PROVED,
     JustifyResult,
@@ -106,7 +107,13 @@ class PortfolioJustifier:
                 kwargs["start_cycle"] = max_cycles
             else:
                 kwargs["start_cycle"] = start_cycle
-            result = engine.check(max_cycles, **kwargs)
+            tracer = get_tracer()
+            with tracer.span(
+                "atpg.stage", engine=which, mode=mode,
+                budget=round(stage_budget, 3),
+            ) as stage_extra:
+                result = engine.check(max_cycles, **kwargs)
+                stage_extra.update(status=result.status, bound=result.bound)
             self.stage_results.append((which, mode, result))
             if result.status == VIOLATED:
                 result.elapsed = time.perf_counter() - start

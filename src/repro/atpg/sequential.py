@@ -37,6 +37,7 @@ from repro.atpg.scoap import compute_scoap
 from repro.bmc.witness import Witness
 from repro.netlist.cells import Kind
 from repro.netlist.traversal import cone_of_influence
+from repro.obs.tracer import get_tracer
 
 VIOLATED = "violated"
 PROVED = "proved"
@@ -206,6 +207,31 @@ class SequentialJustifier:
               measure_memory=False, start_cycle=1):
         """Search frames ``1..max_cycles`` for a justification of the objective."""
         start_cycle = max(start_cycle, 1)  # cycles are 1-based
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._check(max_cycles, time_budget, backtrack_budget,
+                               measure_memory, start_cycle, tracer)
+        with tracer.span(
+            "atpg.check",
+            engine="backward",
+            property=self.property_name,
+            max_cycles=max_cycles,
+            start_cycle=start_cycle,
+        ) as extra:
+            result = self._check(max_cycles, time_budget, backtrack_budget,
+                                 measure_memory, start_cycle, tracer)
+            extra.update(
+                status=result.status,
+                bound=result.bound,
+                backtracks=result.backtracks,
+            )
+            tracer.metrics.counter("atpg.checks").inc()
+            tracer.metrics.counter("atpg.status." + result.status).inc()
+            tracer.metrics.counter("atpg.backtracks").inc(result.backtracks)
+        return result
+
+    def _check(self, max_cycles, time_budget, backtrack_budget,
+               measure_memory, start_cycle, tracer):
         start = time.perf_counter()
         self._deadline = None if time_budget is None else start + time_budget
         self._backtrack_budget = backtrack_budget
@@ -229,31 +255,41 @@ class SequentialJustifier:
             per_bound = []
             for t in range(start_cycle, max_cycles + 1):
                 bound_start = time.perf_counter()
-                self._extend_ternary(t)
-                if (
-                    self._deadline is not None
-                    and time.perf_counter() > self._deadline
-                ):
-                    # ternary constant propagation spent the budget: stop
-                    # before starting a search the deadline already forbids
-                    status = UNKNOWN_STATUS
+                stop = False
+                with tracer.span("atpg.bound", t=t) as bound_extra:
+                    with tracer.span("atpg.encode", t=t):
+                        self._extend_ternary(t)
+                    if (
+                        self._deadline is not None
+                        and time.perf_counter() > self._deadline
+                    ):
+                        # ternary constant propagation spent the budget:
+                        # stop before starting a search the deadline
+                        # already forbids
+                        status = UNKNOWN_STATUS
+                        per_bound.append(time.perf_counter() - bound_start)
+                        bound_extra["outcome"] = "budget"
+                        break
+                    with tracer.span("atpg.search", t=t):
+                        outcome = self._search_bound(t)
                     per_bound.append(time.perf_counter() - bound_start)
+                    bound_extra["outcome"] = outcome
+                    if outcome == "budget":
+                        status = UNKNOWN_STATUS
+                        stop = True
+                    elif outcome == "found":
+                        status = VIOLATED
+                        bound = t
+                        witness = Witness(
+                            inputs=self._extract_inputs(t),
+                            violation_cycle=t - 1,
+                            property_name=self.property_name,
+                        )
+                        stop = True
+                    else:
+                        bound = t
+                if stop:
                     break
-                outcome = self._search_bound(t)
-                per_bound.append(time.perf_counter() - bound_start)
-                if outcome == "budget":
-                    status = UNKNOWN_STATUS
-                    break
-                if outcome == "found":
-                    status = VIOLATED
-                    bound = t
-                    witness = Witness(
-                        inputs=self._extract_inputs(t),
-                        violation_cycle=t - 1,
-                        property_name=self.property_name,
-                    )
-                    break
-                bound = t
             if measure_memory:
                 _current, peak = tracemalloc.get_traced_memory()
         finally:

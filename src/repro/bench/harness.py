@@ -53,6 +53,28 @@ class DetectionRow:
         return "N/A" if self.status in ("proved", "unknown") else self.status
 
 
+def _row_telemetry(result, **runner_fields):
+    """Per-check engine counters for a row's ``extra["telemetry"]``.
+
+    Pulls whichever search statistics the engine's result carries (SAT
+    deltas for BMC, backtrack counts for the structural engines) plus any
+    supervision fields the caller adds; ``None``-valued stats the engine
+    does not track are dropped so sweep reports can ``.get()`` uniformly.
+    """
+    telemetry = dict(runner_fields)
+    for name in ("conflicts", "decisions", "propagations", "backtracks",
+                 "clauses", "variables", "total_clauses",
+                 "total_problem_clauses", "total_learnt_clauses"):
+        value = getattr(result, name, None)
+        if value is not None:
+            telemetry[name] = value
+    per_bound = getattr(result, "per_bound_elapsed", None)
+    if per_bound:
+        telemetry["bounds_timed"] = len(per_bound)
+        telemetry["slowest_bound_seconds"] = max(per_bound)
+    return telemetry
+
+
 def detection_run(label, netlist, spec, register, engine, max_cycles,
                   time_budget=None, functional=True, measure_memory=True,
                   runner=None, cache_dir=None):
@@ -109,6 +131,12 @@ def detection_run(label, netlist, spec, register, engine, max_cycles,
         outcome = runner.run(task, name=property_name)
         result = outcome.verdict
         extra["outcome"] = outcome
+        extra["telemetry"] = _row_telemetry(
+            result,
+            attempts=len(outcome.attempts),
+            attempt_statuses=[a.status for a in outcome.attempts],
+            bound_reached=outcome.bound_reached,
+        )
         if outcome.cache is not None:
             extra["cache"] = outcome.cache
             if outcome.cache == "hit":
@@ -123,6 +151,7 @@ def detection_run(label, netlist, spec, register, engine, max_cycles,
     else:
         result = fresh_engine().check(max_cycles, time_budget=time_budget)
         result_status = result.status
+        extra["telemetry"] = _row_telemetry(result)
     confirmed = bool(
         result.detected
         and confirms_violation(

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.bmc.unroll import Unroller
 from repro.bmc.witness import Witness
+from repro.obs.tracer import get_tracer
 from repro.sat.solver import SAT, UNKNOWN, Solver
 
 VIOLATED = "violated"
@@ -55,7 +56,12 @@ class BmcResult:
     propagations: int = 0
     clauses: int = 0  # clauses added during this check (delta)
     variables: int = 0  # variables added during this check (delta)
-    total_clauses: int = 0  # cumulative solver clause count after the check
+    # Cumulative solver clause count after the check: problem AND learnt
+    # clauses (they both occupy solver memory and both shape fingerprints),
+    # with the two populations also reported separately.
+    total_clauses: int = 0
+    total_problem_clauses: int = 0
+    total_learnt_clauses: int = 0
     total_variables: int = 0  # cumulative solver variable count after the check
     cone: tuple = (0, 0, 0)
     property_name: str = ""
@@ -101,6 +107,28 @@ class BmcEngine:
         bound 0, never a vacuous ``proved``.
         """
         start_cycle = max(start_cycle, 1)  # cycles are 1-based
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._check(max_cycles, time_budget, conflict_budget,
+                               measure_memory, start_cycle, tracer)
+        with tracer.span(
+            "bmc.check",
+            property=self.property_name,
+            max_cycles=max_cycles,
+            start_cycle=start_cycle,
+        ) as extra:
+            result = self._check(max_cycles, time_budget, conflict_budget,
+                                 measure_memory, start_cycle, tracer)
+            extra.update(status=result.status, bound=result.bound)
+            tracer.metrics.counter("bmc.checks").inc()
+            tracer.metrics.counter("bmc.status." + result.status).inc()
+            tracer.metrics.counter("bmc.bounds_solved").inc(
+                len(result.per_bound_elapsed)
+            )
+        return result
+
+    def _check(self, max_cycles, time_budget, conflict_budget,
+               measure_memory, start_cycle, tracer):
         start = time.perf_counter()
         base_conflicts = self.solver.stats.conflicts
         base_decisions = self.solver.stats.decisions
@@ -130,36 +158,47 @@ class BmcEngine:
                     if remaining <= 0:
                         status = UNKNOWN_STATUS
                         break
-                self.unroller.extend_to(t)
-                if time_budget is not None:
-                    # re-read the clock: frame encoding above is not free,
-                    # and the solver's cooperative budget must see it or
-                    # the overall budget overshoots by a frame's encoding
-                    remaining = time_budget - (time.perf_counter() - start)
-                    if remaining <= 0:
-                        status = UNKNOWN_STATUS
-                        per_bound.append(time.perf_counter() - bound_start)
-                        break
-                objective_lit = self.unroller.lit(self.objective_net, t - 1)
-                result = self.solver.solve(
-                    assumptions=[objective_lit],
-                    conflict_budget=conflict_budget,
-                    time_budget=remaining,
-                )
-                per_bound.append(time.perf_counter() - bound_start)
-                if result.status == SAT:
-                    status = VIOLATED
-                    bound = t
-                    witness = Witness(
-                        inputs=self.unroller.input_assignment(result.model, t),
-                        violation_cycle=t - 1,
-                        property_name=self.property_name,
+                stop = False
+                with tracer.span("bmc.bound", t=t) as bound_extra:
+                    with tracer.span("bmc.encode", t=t):
+                        self.unroller.extend_to(t)
+                    if time_budget is not None:
+                        # re-read the clock: frame encoding above is not
+                        # free, and the solver's cooperative budget must
+                        # see it or the overall budget overshoots by a
+                        # frame's encoding
+                        remaining = time_budget - (time.perf_counter() - start)
+                        if remaining <= 0:
+                            status = UNKNOWN_STATUS
+                            per_bound.append(time.perf_counter() - bound_start)
+                            bound_extra["outcome"] = "budget"
+                            break
+                    objective_lit = self.unroller.lit(self.objective_net, t - 1)
+                    result = self.solver.solve(
+                        assumptions=[objective_lit],
+                        conflict_budget=conflict_budget,
+                        time_budget=remaining,
                     )
+                    per_bound.append(time.perf_counter() - bound_start)
+                    bound_extra["outcome"] = result.status
+                    if result.status == SAT:
+                        status = VIOLATED
+                        bound = t
+                        witness = Witness(
+                            inputs=self.unroller.input_assignment(
+                                result.model, t
+                            ),
+                            violation_cycle=t - 1,
+                            property_name=self.property_name,
+                        )
+                        stop = True
+                    elif result.status == UNKNOWN:
+                        status = UNKNOWN_STATUS
+                        stop = True
+                    else:
+                        bound = t  # proved up to t
+                if stop:
                     break
-                if result.status == UNKNOWN:
-                    status = UNKNOWN_STATUS
-                    break
-                bound = t  # proved up to t
             if measure_memory:
                 _current, peak = tracemalloc.get_traced_memory()
         finally:
@@ -177,7 +216,9 @@ class BmcEngine:
             propagations=stats.propagations - base_props,
             clauses=len(self.solver.clauses) - base_clauses,
             variables=self.solver.num_vars - base_vars,
-            total_clauses=len(self.solver.clauses),
+            total_clauses=len(self.solver.clauses) + len(self.solver.learnts),
+            total_problem_clauses=len(self.solver.clauses),
+            total_learnt_clauses=len(self.solver.learnts),
             total_variables=self.solver.num_vars,
             cone=self.unroller.cone_size,
             property_name=self.property_name,

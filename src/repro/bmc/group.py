@@ -37,6 +37,7 @@ from repro.bmc.unroll import Unroller
 from repro.bmc.witness import Witness
 from repro.errors import ReproError
 from repro.netlist.traversal import cone_of_influence
+from repro.obs.tracer import get_tracer
 from repro.sat.solver import SAT, UNKNOWN, Solver
 
 
@@ -129,6 +130,26 @@ class MultiObjectiveBmc:
         results — the whole point is that the group paid for them once.
         """
         start_cycle = max(start_cycle, 1)  # cycles are 1-based
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._check_all(max_cycles, time_budget, conflict_budget,
+                                   start_cycle, tracer)
+        with tracer.span(
+            "bmc.group",
+            objectives=len(self.objective_nets),
+            start_cycle=start_cycle,
+        ) as extra:
+            results = self._check_all(max_cycles, time_budget,
+                                      conflict_budget, start_cycle, tracer)
+            statuses = {}
+            for result in results:
+                statuses[result.status] = statuses.get(result.status, 0) + 1
+            extra.update(**statuses)
+            tracer.metrics.counter("bmc.group_checks").inc()
+        return results
+
+    def _check_all(self, max_cycles, time_budget, conflict_budget,
+                   start_cycle, tracer):
         start = time.perf_counter()
         n = len(self.objective_nets)
         if isinstance(max_cycles, int):
@@ -169,7 +190,8 @@ class MultiObjectiveBmc:
                 if remaining <= 0:
                     out_of_budget = True
                     break
-            self.unroller.extend_to(t)
+            with tracer.span("bmc.encode", t=t):
+                self.unroller.extend_to(t)
             if time_budget is not None:
                 # frame encoding is charged before any solve sees the
                 # budget, same as the single-objective engine
@@ -234,7 +256,11 @@ class MultiObjectiveBmc:
                     propagations=propagations[i],
                     clauses=clause_delta,
                     variables=var_delta,
-                    total_clauses=len(self.solver.clauses),
+                    total_clauses=(
+                        len(self.solver.clauses) + len(self.solver.learnts)
+                    ),
+                    total_problem_clauses=len(self.solver.clauses),
+                    total_learnt_clauses=len(self.solver.learnts),
                     total_variables=self.solver.num_vars,
                     cone=self.unroller.cone_size,
                     property_name=self.property_names[i],

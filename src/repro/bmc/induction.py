@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.bmc.engine import BmcEngine
 from repro.netlist.cells import Kind
 from repro.netlist.traversal import cone_of_influence
+from repro.obs.tracer import get_tracer
 from repro.sat.solver import UNKNOWN, UNSAT, Solver
 from repro.sat.tseitin import encode_cell
 
@@ -127,6 +128,27 @@ def prove_by_induction(netlist, objective_net, max_k=8, time_budget=None,
     flop): the step formula asserts it 0 in frames 0..k-1 and asks for 1 in
     frame k.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _prove_by_induction(
+            netlist, objective_net, max_k, time_budget, pinned_inputs,
+            property_name, tracer,
+        )
+    with tracer.span(
+        "induction.prove", property=property_name, max_k=max_k
+    ) as extra:
+        result = _prove_by_induction(
+            netlist, objective_net, max_k, time_budget, pinned_inputs,
+            property_name, tracer,
+        )
+        extra.update(status=result.status, k=result.k)
+        tracer.metrics.counter("induction.attempts").inc()
+        tracer.metrics.counter("induction.status." + result.status).inc()
+    return result
+
+
+def _prove_by_induction(netlist, objective_net, max_k, time_budget,
+                        pinned_inputs, property_name, tracer):
     start = time.perf_counter()
 
     def remaining():
@@ -165,7 +187,8 @@ def prove_by_induction(netlist, objective_net, max_k=8, time_budget=None,
                 property_name=property_name,
             )
         # step: k clean frames from an arbitrary state, then a violation
-        step.extend_to(k + 1)
+        with tracer.span("induction.encode", k=k):
+            step.extend_to(k + 1)
         for frame in range(k):
             step_solver.add_clause([-step.lit(objective_net, frame)])
         result = step_solver.solve(

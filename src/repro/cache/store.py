@@ -35,6 +35,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.tracer import get_tracer
+
 SCHEMA_VERSION = 1
 FILENAME = "outcomes.jsonl"
 
@@ -180,6 +182,16 @@ class OutcomeCache:
         with open(self.path, "a") as handle:
             handle.write(line)
         self.counters["stores"] += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.point(
+                "cache.store",
+                key=record["key"][:12],
+                engine=engine,
+                proved=record["proved"],
+                vbound=record["vbound"],
+            )
+            tracer.metrics.counter("cache.stores").inc()
         if self._entries is not None:
             entry = self._entries.setdefault(
                 record["key"], CacheEntry(key=record["key"])

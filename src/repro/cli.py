@@ -41,6 +41,18 @@ Commands
         python -m repro cache stats --cache-dir .repro-cache
         python -m repro cache gc --cache-dir .repro-cache
 
+``trace``
+    Summarize a structured-telemetry trace written by
+    ``audit --trace`` (see README "Telemetry & tracing")::
+
+        python -m repro audit --design mc8051-t800 --trace audit.jsonl
+        python -m repro trace summarize audit.jsonl
+
+    ``summarize`` prints the per-phase wall-clock tree, the slowest
+    checks, and the cache/retry/kill tallies. ``audit --profile``
+    additionally wraps every check attempt in ``cProfile`` and drops
+    pstats files next to the trace.
+
 ``list``
     Show the bundled designs and their ground-truth Trojans.
 
@@ -193,10 +205,14 @@ def cmd_audit(args, out=sys.stdout):
         raise SystemExit("--retries must be >= 0")
     if args.check_timeout is not None and args.check_timeout <= 0:
         raise SystemExit("--check-timeout must be positive")
+    if args.profile and not args.trace:
+        raise SystemExit("--profile needs --trace (dumps live next to it)")
+    profile_dir = "{}.profiles".format(args.trace) if args.profile else None
     runner = CheckRunner.configure(
         workers=args.workers,
         check_timeout=args.check_timeout,
         retries=args.retries,
+        profile_dir=profile_dir,
     )
     lint_report = None
     if args.lint_prioritize:
@@ -228,12 +244,17 @@ def cmd_audit(args, out=sys.stdout):
         lint_report=lint_report,
         cache_dir=cache_dir,
         share_cones=args.share_cones,
+        trace=args.trace,
     )
     try:
         report = detector.run(registers=registers, checkpoint=args.resume)
     except CheckpointError as exc:
         raise SystemExit("cannot resume: {}".format(exc))
     print(report.summary(), file=out)
+    if args.trace:
+        print("trace written to {}".format(args.trace), file=out)
+        if profile_dir:
+            print("profiles written to {}/".format(profile_dir), file=out)
     if cache_dir is not None:
         counters = runner.cache_counters
         print(
@@ -246,6 +267,27 @@ def cmd_audit(args, out=sys.stdout):
             if finding.corrupted:
                 print(finding.corruption.witness.format(netlist), file=out)
     return 1 if report.trojan_found else 0
+
+
+def cmd_trace(args, out=sys.stdout):
+    from repro.obs.summary import render, summarize
+
+    if args.trace_command == "summarize":
+        try:
+            summary = summarize(args.trace_file, top=args.top)
+        except OSError as exc:
+            raise SystemExit("cannot read trace: {}".format(exc))
+        if args.json:
+            import json
+
+            print(
+                json.dumps(summary, indent=2, sort_keys=True, default=str),
+                file=out,
+            )
+        else:
+            render(summary, out)
+        return 0
+    raise SystemExit("unknown trace command {!r}".format(args.trace_command))
 
 
 def cmd_cache(args, out=sys.stdout):
@@ -366,6 +408,14 @@ def build_parser():
                          help="batch each register's pseudo-critical "
                               "tracking checks onto one shared unrolling "
                               "(BMC only, runs inline)")
+    p_audit.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                         help="write a structured JSONL telemetry trace "
+                              "of the whole audit here (see "
+                              "'repro trace summarize')")
+    p_audit.add_argument("--profile", action="store_true",
+                         help="wrap every check attempt in cProfile and "
+                              "store pstats dumps next to the trace "
+                              "(needs --trace; slows the engines)")
 
     p_lint = sub.add_parser("lint", help="static structural lint pre-pass")
     p_lint.add_argument("--design", required=True)
@@ -406,6 +456,21 @@ def build_parser():
     c_clear = cache_sub.add_parser("clear", help="drop all cached outcomes")
     c_clear.add_argument("--cache-dir", required=True, metavar="DIR")
 
+    p_trace = sub.add_parser(
+        "trace", help="inspect structured telemetry traces"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    t_sum = trace_sub.add_parser(
+        "summarize",
+        help="per-phase wall-clock tree, slowest checks, cache/retry "
+             "tallies",
+    )
+    t_sum.add_argument("trace_file", metavar="FILE.jsonl")
+    t_sum.add_argument("--top", type=int, default=10,
+                       help="how many slowest checks to list (default 10)")
+    t_sum.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
     p_export = sub.add_parser("export", help="write Verilog + assertions")
     p_export.add_argument("--design", required=True)
     p_export.add_argument("--out", default="export")
@@ -419,6 +484,7 @@ def main(argv=None, out=sys.stdout):
         "stats": cmd_stats,
         "audit": cmd_audit,
         "cache": cmd_cache,
+        "trace": cmd_trace,
         "export": cmd_export,
         "lint": cmd_lint,
     }[args.command]

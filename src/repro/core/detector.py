@@ -30,6 +30,7 @@ import time
 
 from repro.bmc.witness import confirms_violation
 from repro.core.registers import pseudo_critical_candidates
+from repro.obs.tracer import Tracer, get_tracer, tracing
 from repro.core.report import DetectionReport, RegisterFinding
 from repro.properties.monitors import (
     build_corruption_monitor,
@@ -93,6 +94,13 @@ class TrojanDetector:
         run inline — they bypass the supervised runner's process
         isolation and the outcome cache, trading fault isolation for
         not re-encoding the shared cone once per candidate.
+    trace:
+        Structured-telemetry sink for the audit: a path (a JSONL
+        :class:`~repro.obs.tracer.Tracer` is created there and closed
+        when ``run()`` returns) or an existing tracer object. Installed
+        as the process-global tracer for the duration of ``run()``, so
+        every layer underneath — runner, cache, engines, SAT core —
+        emits into one trace tree rooted at the ``audit`` span.
     """
 
     def __init__(self, netlist, spec, max_cycles=40, engine="bmc",
@@ -100,7 +108,7 @@ class TrojanDetector:
                  check_bypass=False, time_budget=None,
                  pseudo_critical_cycles=None, stop_on_first=True,
                  runner=None, lint_report=None, cache_dir=None,
-                 share_cones=False):
+                 share_cones=False, trace=None):
         self.netlist = netlist
         self.spec = spec
         self.max_cycles = max_cycles
@@ -119,6 +127,7 @@ class TrojanDetector:
         self.lint_report = lint_report
         self.cache_dir = cache_dir
         self.share_cones = share_cones
+        self.trace = trace
 
     # ------------------------------------------------------------------ API
 
@@ -131,6 +140,18 @@ class TrojanDetector:
         same design/engine/bound restores its findings instead of
         re-running them.
         """
+        if self.trace is None:
+            return self._run(registers, checkpoint, get_tracer())
+        owned = not hasattr(self.trace, "span")
+        tracer = Tracer(self.trace) if owned else self.trace
+        try:
+            with tracing(tracer):
+                return self._run(registers, checkpoint, tracer)
+        finally:
+            if owned:
+                tracer.close()
+
+    def _run(self, registers, checkpoint, tracer):
         start = time.perf_counter()
         report = DetectionReport(
             design=self.netlist.name,
@@ -138,35 +159,55 @@ class TrojanDetector:
             max_cycles=self.max_cycles,
             trojan_info=self.spec.trojan,
         )
-        names = registers or list(self.spec.critical)
-        if self.lint_report is not None:
-            names = self.lint_report.prioritize(names)
-        store = None
-        if checkpoint is not None:
-            store = (
-                checkpoint
-                if isinstance(checkpoint, AuditCheckpoint)
-                else AuditCheckpoint(checkpoint)
+        audit_span = None
+        if tracer.enabled:
+            audit_span = tracer.begin(
+                "audit",
+                design=self.netlist.name,
+                engine=self.engine,
+                max_cycles=self.max_cycles,
             )
-            restored = store.begin(
-                self.netlist.name, self.engine, self.max_cycles
-            )
+        try:
+            names = registers or list(self.spec.critical)
+            if self.lint_report is not None:
+                names = self.lint_report.prioritize(names)
+            store = None
+            if checkpoint is not None:
+                store = (
+                    checkpoint
+                    if isinstance(checkpoint, AuditCheckpoint)
+                    else AuditCheckpoint(checkpoint)
+                )
+                restored = store.begin(
+                    self.netlist.name, self.engine, self.max_cycles
+                )
+                for register in names:
+                    if register in restored:
+                        report.findings[register] = restored[register]
             for register in names:
-                if register in restored:
-                    report.findings[register] = restored[register]
-        for register in names:
-            if register in report.findings:
-                continue  # restored from the checkpoint
-            if self.stop_on_first and report.trojan_found:
-                break
-            finding = self._audit_register(register)
-            report.findings[register] = finding
-            if store is not None:
-                store.save_finding(register, finding)
-            if self.stop_on_first and finding.trojan_found:
-                break
-        report.elapsed = time.perf_counter() - start
-        return report
+                if register in report.findings:
+                    continue  # restored from the checkpoint
+                if self.stop_on_first and report.trojan_found:
+                    break
+                with tracer.span(
+                    "audit.register", register=register
+                ) as reg_extra:
+                    finding = self._audit_register(register)
+                    reg_extra.update(trojan_found=finding.trojan_found)
+                report.findings[register] = finding
+                if store is not None:
+                    store.save_finding(register, finding)
+                if self.stop_on_first and finding.trojan_found:
+                    break
+            report.elapsed = time.perf_counter() - start
+            return report
+        finally:
+            if audit_span is not None:
+                tracer.end(
+                    audit_span,
+                    trojan_found=report.trojan_found,
+                    registers=len(report.findings),
+                )
 
     # ------------------------------------------------------------ internals
 

@@ -1,0 +1,32 @@
+"""Structured telemetry: span tracing, metrics, trace summaries.
+
+Dependency-free by design (stdlib only, no imports from the rest of
+``repro``) so the SAT core and the worker bootstrap can import it
+without joining the ``repro.sat`` / ``repro.netlist`` import cycle.
+"""
+
+from repro.obs.metrics import Metrics, NULL_METRICS, NullMetrics
+from repro.obs.profiling import profiled
+from repro.obs.tracer import (
+    NULL_TRACER,
+    BufferTracer,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "BufferTracer",
+    "Metrics",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Tracer",
+    "get_tracer",
+    "profiled",
+    "set_tracer",
+    "tracing",
+]

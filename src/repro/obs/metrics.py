@@ -1,0 +1,190 @@
+"""In-process metrics: counters, gauges and histograms.
+
+The registry is deliberately tiny and dependency-free — the engines run
+millions of tight-loop iterations, so an instrument must cost a dict
+lookup plus an integer add, nothing more. Instruments are created on
+first use and live for the registry's lifetime; :meth:`Metrics.snapshot`
+renders everything to plain JSON-serializable dicts (the shape the trace
+file and the bench harness consume).
+
+A :class:`NullMetrics` twin backs the disabled-telemetry path: every
+operation is a no-op on a shared singleton, so instrumented code never
+branches on "is telemetry on?" — it just talks to whichever registry the
+current tracer carries.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins sampled value (plus a high-water mark)."""
+
+    __slots__ = ("value", "high")
+
+    def __init__(self):
+        self.value = 0
+        self.high = 0
+
+    def set(self, value):
+        self.value = value
+        if value > self.high:
+            self.high = value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative samples.
+
+    Buckets are ``< 2**(i + _SHIFT)`` so sub-millisecond latencies and
+    million-conflict counts share one shape; count/total/min/max are
+    exact, buckets are for the summary's rough percentiles.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    _SHIFT = -20  # first bucket boundary 2**-20 (~1e-6)
+    _BUCKETS = 64
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self.buckets = {}
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0:
+            index = 0
+        else:
+            index = min(
+                self._BUCKETS - 1,
+                max(0, int(math.log2(value)) - self._SHIFT + 1),
+            )
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+
+class Metrics:
+    """Create-on-first-use registry of named instruments."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    def counter(self, name):
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name):
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name):
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self):
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": g.value, "high": g.high}
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_counters(self, counters):
+        """Fold a ``{name: value}`` mapping into this registry's counters
+        (used to absorb a worker process's totals into the supervisor's)."""
+        for name, value in counters.items():
+            self.counter(name).inc(value)
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+    value = 0
+    high = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry twin whose instruments do nothing (telemetry disabled)."""
+
+    __slots__ = ()
+
+    def counter(self, name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_counters(self, counters):
+        pass
+
+
+NULL_METRICS = NullMetrics()

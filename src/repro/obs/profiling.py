@@ -1,0 +1,41 @@
+"""Opt-in cProfile wrapper for per-check deterministic profiling.
+
+Tracing answers *where the wall-clock went* between phases; this module
+answers *which Python frames burned it* inside one check. It is opt-in
+(``repro audit --profile``) because cProfile's per-call hook costs real
+time on the solver's hot loops — never leave it on for benchmarking.
+
+Dumps are binary pstats files written next to the trace, one per
+profiled section, readable with ``python -m pstats`` or
+``pstats.Stats(path).sort_stats("cumulative").print_stats(20)``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import re
+from contextlib import contextmanager
+
+
+def _safe_name(name):
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "profile"
+
+
+@contextmanager
+def profiled(directory, name):
+    """Profile the enclosed block and dump pstats to
+    ``directory/<name>.pstats``. A ``None`` directory disables profiling
+    (the block runs bare), so call sites need no conditional."""
+    if not directory:
+        yield None
+        return
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, _safe_name(name) + ".pstats")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield path
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)

@@ -1,0 +1,268 @@
+"""Trace-file reader and summarizer for ``repro trace summarize``.
+
+Consumes the JSONL stream :mod:`repro.obs.tracer` writes and rebuilds
+the span forest, tolerating the damage real traces carry: torn final
+lines from a killed process, spans that never ended, worker events whose
+buffers were dropped. Bad lines are counted, never fatal — the same
+degrade-to-partial policy the outcome cache uses.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Span:
+    """One reconstructed span (or point event, with ``end is None`` and
+    ``point=True``)."""
+
+    __slots__ = ("id", "parent", "name", "start", "end", "attrs",
+                 "end_attrs", "children", "point")
+
+    def __init__(self, span_id, parent, name, start, attrs, point=False):
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.start = start
+        self.end = None
+        self.attrs = attrs
+        self.end_attrs = {}
+        self.children = []
+        self.point = point
+
+    @property
+    def duration(self):
+        if self.point:
+            return 0.0
+        if self.end is None:
+            return None  # unterminated (killed process)
+        return self.end - self.start
+
+
+def load_trace(path):
+    """Parse a trace file.
+
+    Returns ``(events, meta, bad_lines)`` where *events* is the list of
+    parsed event dicts in file order, *meta* the header dict (or ``{}``),
+    and *bad_lines* the number of lines that failed to parse.
+    """
+    events = []
+    meta = {}
+    bad_lines = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                bad_lines += 1
+                continue
+            if not isinstance(event, dict) or "ev" not in event:
+                bad_lines += 1
+                continue
+            if event["ev"] == "meta":
+                meta = event
+            else:
+                events.append(event)
+    return events, meta, bad_lines
+
+
+def build_tree(events):
+    """Reconstruct the span forest from parsed events.
+
+    Returns ``(roots, spans_by_id, dropped)``: *roots* are spans with no
+    (known) parent, *dropped* counts events that could not be linked
+    (end without begin, child of an unknown parent gets promoted to a
+    root rather than lost).
+    """
+    spans = {}
+    roots = []
+    dropped = 0
+    for event in events:
+        kind = event.get("ev")
+        if kind in ("begin", "point"):
+            span = Span(
+                event.get("id"),
+                event.get("parent"),
+                event.get("name", "?"),
+                event.get("t", 0.0),
+                event.get("attrs") or {},
+                point=(kind == "point"),
+            )
+            spans[span.id] = span
+            parent = spans.get(span.parent)
+            if parent is None:
+                roots.append(span)
+            else:
+                parent.children.append(span)
+        elif kind == "end":
+            span = spans.get(event.get("id"))
+            if span is None:
+                dropped += 1
+                continue
+            span.end = event.get("t", 0.0)
+            span.end_attrs = event.get("attrs") or {}
+        else:
+            dropped += 1
+    return roots, spans, dropped
+
+
+def _walk(spans):
+    stack = list(spans)
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(span.children)
+
+
+def _aggregate(children, clock_end):
+    """Fold sibling spans into per-name rows: count, total duration,
+    recursively aggregated children. Unterminated spans are charged up
+    to ``clock_end`` (the last timestamp seen anywhere in the trace)."""
+    by_name = {}
+    order = []
+    for span in children:
+        if span.point:
+            continue
+        row = by_name.get(span.name)
+        if row is None:
+            row = by_name[span.name] = {
+                "name": span.name,
+                "count": 0,
+                "total": 0.0,
+                "unterminated": 0,
+                "_children": [],
+            }
+            order.append(row)
+        row["count"] += 1
+        duration = span.duration
+        if duration is None:
+            duration = max(0.0, clock_end - span.start)
+            row["unterminated"] += 1
+        row["total"] += duration
+        row["_children"].extend(span.children)
+    for row in order:
+        row["children"] = _aggregate(row.pop("_children"), clock_end)
+    return order
+
+
+def summarize(path, top=10):
+    """Build the full summary dict for one trace file."""
+    events, meta, bad_lines = load_trace(path)
+    roots, spans, dropped = build_tree(events)
+    clock_times = [e.get("t", 0.0) for e in events]
+    clock_start = min(clock_times) if clock_times else 0.0
+    clock_end = max(clock_times) if clock_times else 0.0
+
+    # ------------------------------------------------- per-phase tree
+    phase_tree = _aggregate(roots, clock_end)
+
+    # --------------------------------------------- slowest check spans
+    checks = []
+    for span in _walk(roots):
+        if span.name != "runner.check":
+            continue
+        duration = span.duration
+        if duration is None:
+            duration = max(0.0, clock_end - span.start)
+        checks.append({
+            "name": span.attrs.get("check", "?"),
+            "seconds": duration,
+            "status": span.end_attrs.get("status"),
+            "attempts": span.end_attrs.get("attempts"),
+        })
+    checks.sort(key=lambda row: row["seconds"], reverse=True)
+
+    # -------------------------------------- cache / retry / kill tallies
+    tallies = {"cache": {}, "retries": 0, "kills": {}, "restarts": 0}
+    for span in _walk(roots):
+        if span.name.startswith("cache."):
+            outcome = span.name.split(".", 1)[1]
+            tallies["cache"][outcome] = tallies["cache"].get(outcome, 0) + 1
+        elif span.name == "runner.retry":
+            tallies["retries"] += 1
+        elif span.name == "runner.kill":
+            reason = span.attrs.get("reason", "?")
+            tallies["kills"][reason] = tallies["kills"].get(reason, 0) + 1
+        elif span.name == "sat.restart":
+            tallies["restarts"] += 1
+
+    metrics = {}
+    for event in events:
+        if event.get("ev") == "point" and event.get("name") == "metrics.snapshot":
+            metrics = event.get("attrs") or {}
+
+    return {
+        "path": str(path),
+        "meta": meta,
+        "events": len(events),
+        "bad_lines": bad_lines,
+        "dropped_events": dropped,
+        "wall_seconds": max(0.0, clock_end - clock_start),
+        "phases": phase_tree,
+        "slowest_checks": checks[:top],
+        "tallies": tallies,
+        "metrics": metrics,
+    }
+
+
+def render(summary, out):
+    """Human-readable rendering of :func:`summarize`'s dict."""
+    out.write(f"trace: {summary['path']}\n")
+    out.write(
+        f"  {summary['events']} events, "
+        f"{summary['wall_seconds']:.3f}s wall"
+    )
+    if summary["bad_lines"] or summary["dropped_events"]:
+        out.write(
+            f" ({summary['bad_lines']} unparseable line(s), "
+            f"{summary['dropped_events']} unlinked event(s))"
+        )
+    out.write("\n\nphase tree (count x name: total seconds):\n")
+
+    def emit(rows, depth):
+        for row in rows:
+            flag = (
+                f"  [{row['unterminated']} unterminated]"
+                if row["unterminated"] else ""
+            )
+            out.write(
+                f"{'  ' * depth}  {row['count']:>4}x {row['name']}: "
+                f"{row['total']:.3f}s{flag}\n"
+            )
+            emit(row["children"], depth + 1)
+
+    emit(summary["phases"], 0)
+
+    if summary["slowest_checks"]:
+        out.write("\nslowest checks:\n")
+        for row in summary["slowest_checks"]:
+            status = row["status"] or "?"
+            attempts = row["attempts"]
+            out.write(
+                f"  {row['seconds']:8.3f}s  {row['name']}  "
+                f"[{status}, "
+                f"{'?' if attempts is None else attempts} attempt(s)]\n"
+            )
+
+    tallies = summary["tallies"]
+    cache = ", ".join(
+        f"{count} {name}" for name, count in sorted(tallies["cache"].items())
+    ) or "no cache activity"
+    out.write(f"\ncache: {cache}\n")
+    out.write(f"retries: {tallies['retries']}\n")
+    if tallies["kills"]:
+        kills = ", ".join(
+            f"{count} {reason}"
+            for reason, count in sorted(tallies["kills"].items())
+        )
+        out.write(f"worker kills: {kills}\n")
+    out.write(f"solver restarts: {tallies['restarts']}\n")
+
+    counters = summary.get("metrics", {}).get("counters") or {}
+    if counters:
+        out.write("\ncounters:\n")
+        for name, value in sorted(counters.items()):
+            out.write(f"  {name}: {value}\n")

@@ -1,0 +1,296 @@
+"""Hierarchical span tracer writing append-only JSONL event streams.
+
+One trace file is one audit: a ``meta`` header line followed by
+``begin``/``end``/``point`` events. Every event carries a monotonic
+timestamp (``time.perf_counter``), an id, and a parent id, so a reader
+can rebuild the span tree without any knowledge of the code that emitted
+it. The schema (one JSON object per line):
+
+``{"ev": "meta",  "version": 1, "pid": ..., "wall": ..., "mono": ...}``
+``{"ev": "begin", "id": N, "parent": P|null, "name": ..., "t": ..., "attrs": {...}}``
+``{"ev": "end",   "id": N, "t": ..., "attrs": {...}}``
+``{"ev": "point", "id": N, "parent": P|null, "name": ..., "t": ..., "attrs": {...}}``
+
+Three tracer flavours share one interface:
+
+* :class:`Tracer` — writes events to a file handle as they happen and
+  maintains an implicit current-span stack (``span()`` is a context
+  manager; nested spans parent automatically).
+* :class:`NullTracer` — the disabled path. Every method is a no-op and
+  ``enabled`` is ``False``; hot loops gate per-conflict bookkeeping on
+  that flag so disabled tracing costs one attribute read.
+* :class:`BufferTracer` — records events to an in-memory list instead of
+  a file. Worker processes use it and ship the list back over the result
+  pipe; the supervisor re-parents the buffer under its own attempt span
+  with :meth:`Tracer.absorb`.
+
+The *current* tracer is process-global (``get_tracer``/``set_tracer``
+and the ``tracing()`` context manager). The engines are synchronous and
+single-threaded per process, so a global — not a thread-local — is the
+honest scope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import Metrics, NULL_METRICS
+
+SCHEMA_VERSION = 1
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    Instrumented code holds a reference to *some* tracer at all times and
+    never branches on configuration; this class is that reference when
+    telemetry is off. ``metrics`` is the null registry so counter bumps
+    vanish too.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        self.metrics = NULL_METRICS
+
+    @contextmanager
+    def span(self, name, **attrs):
+        # yields a real dict so call sites may update it unconditionally
+        yield {}
+
+    def begin(self, name, **attrs):
+        return None
+
+    def end(self, span_id, **attrs):
+        pass
+
+    def point(self, name, **attrs):
+        pass
+
+    def absorb(self, events, parent=None):
+        pass
+
+    def close(self):
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _TracerBase:
+    """Shared event construction for file- and buffer-backed tracers."""
+
+    enabled = True
+
+    def __init__(self, metrics=None):
+        self.metrics = Metrics() if metrics is None else metrics
+        self._next_id = 1
+        self._stack = []  # open span ids, innermost last
+
+    # Subclasses provide _emit(event_dict).
+
+    def _new_id(self):
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def begin(self, name, **attrs):
+        """Open a span explicitly; returns its id for a later ``end``."""
+        span_id = self._new_id()
+        parent = self._stack[-1] if self._stack else None
+        self._emit({
+            "ev": "begin",
+            "id": span_id,
+            "parent": parent,
+            "name": name,
+            "t": time.perf_counter(),
+            "attrs": attrs,
+        })
+        self._stack.append(span_id)
+        return span_id
+
+    def end(self, span_id, **attrs):
+        """Close a span opened with ``begin``.
+
+        Closing an outer span force-closes anything still open inside it
+        (a crashed child, an exception that skipped a handler): the trace
+        stays a well-formed tree even when the code did not unwind
+        cleanly.
+        """
+        while self._stack:
+            top = self._stack.pop()
+            if top == span_id:
+                break
+            self._emit({"ev": "end", "id": top,
+                        "t": time.perf_counter(), "attrs": {}})
+        self._emit({
+            "ev": "end",
+            "id": span_id,
+            "t": time.perf_counter(),
+            "attrs": attrs,
+        })
+
+    @contextmanager
+    def span(self, name, **attrs):
+        span_id = self.begin(name, **attrs)
+        extra = {}
+        try:
+            yield extra
+        except BaseException:
+            extra.setdefault("error", True)
+            raise
+        finally:
+            self.end(span_id, **extra)
+
+    def point(self, name, **attrs):
+        """Instantaneous event (a restart, a cache hit, a kill)."""
+        self._emit({
+            "ev": "point",
+            "id": self._new_id(),
+            "parent": self._stack[-1] if self._stack else None,
+            "name": name,
+            "t": time.perf_counter(),
+            "attrs": attrs,
+        })
+
+    def absorb(self, events, parent=None):
+        """Graft a worker's buffered events into this trace.
+
+        Ids are remapped into this tracer's id space and every root
+        event (``parent is None``) is re-parented under ``parent`` —
+        structurally, under the span that launched the worker. Unknown
+        event kinds and malformed entries are dropped rather than
+        corrupting the trace. Returns the number of events written.
+        """
+        if parent is None:
+            parent = self._stack[-1] if self._stack else None
+        id_map = {}
+        written = 0
+        for event in events or ():
+            if not isinstance(event, dict):
+                continue
+            kind = event.get("ev")
+            if kind == "meta":
+                continue
+            old_id = event.get("id")
+            if kind in ("begin", "point"):
+                if old_id in id_map:
+                    continue  # duplicate id: drop rather than mis-link
+                new_id = id_map[old_id] = self._new_id()
+                old_parent = event.get("parent")
+                self._emit({
+                    "ev": kind,
+                    "id": new_id,
+                    "parent": id_map.get(old_parent, parent),
+                    "name": event.get("name", "?"),
+                    "t": event.get("t", 0.0),
+                    "attrs": event.get("attrs") or {},
+                })
+                written += 1
+            elif kind == "end":
+                new_id = id_map.get(old_id)
+                if new_id is None:
+                    continue  # end without a begin we kept
+                self._emit({
+                    "ev": "end",
+                    "id": new_id,
+                    "t": event.get("t", 0.0),
+                    "attrs": event.get("attrs") or {},
+                })
+                written += 1
+        return written
+
+    def close(self):
+        """Close any spans still open (crash/early-exit safety net)."""
+        while self._stack:
+            self._emit({"ev": "end", "id": self._stack.pop(),
+                        "t": time.perf_counter(), "attrs": {}})
+
+
+class Tracer(_TracerBase):
+    """File-backed tracer: every event is one JSON line, written
+    immediately so a killed process leaves a readable prefix."""
+
+    def __init__(self, path, metrics=None):
+        super().__init__(metrics=metrics)
+        self.path = str(path)
+        parent_dir = os.path.dirname(self.path)
+        if parent_dir:
+            os.makedirs(parent_dir, exist_ok=True)
+        self._handle = open(self.path, "w")
+        self._emit({
+            "ev": "meta",
+            "version": SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "wall": time.time(),
+            "mono": time.perf_counter(),
+        })
+
+    def _emit(self, event):
+        self._handle.write(json.dumps(event, separators=(",", ":"),
+                                      default=str) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        if self._handle.closed:
+            return
+        super().close()
+        # final metrics snapshot rides in the trace itself so `repro
+        # trace summarize` needs exactly one file
+        self._emit({
+            "ev": "point",
+            "id": self._new_id(),
+            "parent": None,
+            "name": "metrics.snapshot",
+            "t": time.perf_counter(),
+            "attrs": self.metrics.snapshot(),
+        })
+        self._handle.close()
+
+
+class BufferTracer(_TracerBase):
+    """In-memory tracer for worker processes: events accumulate in
+    ``events`` and travel back over the result pipe."""
+
+    def __init__(self, metrics=None):
+        super().__init__(metrics=metrics)
+        self.events = []
+
+    def _emit(self, event):
+        self.events.append(event)
+
+    def drain(self):
+        """Close open spans and hand over the event list."""
+        self.close()
+        events, self.events = self.events, []
+        return events
+
+
+_current = NULL_TRACER
+
+
+def get_tracer():
+    """The process-global current tracer (never ``None``)."""
+    return _current
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` (or the null tracer for ``None``); returns the
+    previous one so callers can restore it."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer):
+    """Scoped ``set_tracer``: installs on entry, restores on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -18,6 +18,8 @@ import time
 
 from repro.bmc.witness import Witness
 from repro.errors import ReproError, ResourceBudgetExceeded
+from repro.obs.profiling import profiled
+from repro.obs.tracer import get_tracer
 from repro.runner.outcome import AttemptRecord, CachedResult, CheckOutcome
 from repro.runner.policy import (
     BUDGET,
@@ -56,7 +58,7 @@ class CheckRunner:
     """
 
     def __init__(self, isolation=INLINE, limits=None, retry=None,
-                 fault_injector=None, mp_context=None):
+                 fault_injector=None, mp_context=None, profile_dir=None):
         if isolation not in (INLINE, PROCESS):
             raise ReproError(
                 "unknown isolation {!r}; pick {!r} or {!r}".format(
@@ -68,6 +70,7 @@ class CheckRunner:
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_injector = fault_injector
         self.mp_context = mp_context
+        self.profile_dir = profile_dir  # cProfile dumps, one per attempt
         self._caches = {}  # cache_dir -> OutcomeCache
 
     def cache_for(self, cache_dir):
@@ -93,7 +96,7 @@ class CheckRunner:
     @classmethod
     def configure(cls, workers=0, check_timeout=None, retries=0,
                   memory_bytes=None, halve_bound=False, backoff=0.0,
-                  fault_injector=None):
+                  fault_injector=None, profile_dir=None):
         """Build a runner from flat knobs (the CLI's view of the world)."""
         return cls(
             isolation=PROCESS if workers else INLINE,
@@ -105,6 +108,7 @@ class CheckRunner:
                 backoff=backoff,
             ),
             fault_injector=fault_injector,
+            profile_dir=profile_dir,
         )
 
     # ------------------------------------------------------------------ API
@@ -114,9 +118,32 @@ class CheckRunner:
         engine-side failures (supervisor bugs still propagate)."""
         if name is None:
             name = getattr(task, "property_name", "") or "check"
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._run(task, name, tracer)
+        with tracer.span("runner.check", check=name) as extra:
+            outcome = self._run(task, name, tracer)
+            extra.update(
+                status=outcome.status,
+                attempts=len(outcome.attempts),
+                cache=outcome.cache,
+                bound=outcome.bound_reached,
+            )
+            tracer.metrics.counter("runner.checks").inc()
+            tracer.metrics.counter("runner.attempts").inc(
+                len(outcome.attempts)
+            )
+            tracer.metrics.histogram("runner.check_seconds").observe(
+                outcome.elapsed
+            )
+        return outcome
+
+    def _run(self, task, name, tracer):
         start = time.perf_counter()
         outcome = CheckOutcome(name=name)
         task, resume_base = self._consult_cache(task, outcome)
+        if tracer.enabled and outcome.cache is not None:
+            tracer.point("cache." + outcome.cache, check=name)
         if outcome.cache == "hit":
             outcome.elapsed = time.perf_counter() - start
             return outcome
@@ -126,7 +153,7 @@ class CheckRunner:
             if delay > 0:
                 time.sleep(delay)
             attempt_task = self._rescale(task, index)
-            record = self._attempt(attempt_task, name, index)
+            record = self._attempt(attempt_task, name, index, tracer)
             outcome.attempts.append(record)
             outcome.bound_reached = max(
                 outcome.bound_reached, record.bound_reached
@@ -148,6 +175,15 @@ class CheckRunner:
                 best_partial = partial
             if not self.retry.should_retry(record.status, index):
                 break
+            if tracer.enabled:
+                tracer.point(
+                    "runner.retry",
+                    check=name,
+                    failed_status=record.status,
+                    next_attempt=index + 1,
+                    backoff=self.retry.delay_for(index + 1),
+                )
+                tracer.metrics.counter("runner.retries").inc()
         if outcome.result is None and best_partial is not None:
             outcome.result = best_partial
         if resume_base:
@@ -236,7 +272,7 @@ class CheckRunner:
                 task = task.with_budget(new_budget)
         return task
 
-    def _attempt(self, task, name, index):
+    def _attempt(self, task, name, index, tracer):
         start = time.perf_counter()
         mode = self.isolation
         record = AttemptRecord(
@@ -247,37 +283,63 @@ class CheckRunner:
             time_budget=getattr(task, "time_budget", None),
         )
         record._result = None
-        if mode == PROCESS:
-            message = run_in_process(
-                task,
-                name=name,
-                attempt_index=index,
-                hard_timeout=self.limits.effective_timeout(
-                    record.time_budget
-                ),
-                memory_bytes=self.limits.memory_bytes,
-                injector=self.fault_injector,
-                mp_context=self.mp_context,
-            )
-            self._absorb_message(record, message)
-        else:
-            try:
-                if self.fault_injector is not None:
-                    self.fault_injector.fire(name, index, in_worker=False)
-                result = task()
-            except ResourceBudgetExceeded as exc:
-                record.status = BUDGET
-                record.error = str(exc)
-                record.bound_reached = getattr(exc, "bound_reached", 0)
-            except Exception as exc:  # noqa: BLE001 - isolation boundary
-                record.status = CRASHED
-                record.error = "{}: {}".format(type(exc).__name__, exc)
+        with tracer.span(
+            "runner.attempt", check=name, index=index, mode=mode
+        ) as extra:
+            if mode == PROCESS:
+                message = run_in_process(
+                    task,
+                    name=name,
+                    attempt_index=index,
+                    hard_timeout=self.limits.effective_timeout(
+                        record.time_budget
+                    ),
+                    memory_bytes=self.limits.memory_bytes,
+                    injector=self.fault_injector,
+                    mp_context=self.mp_context,
+                    collect_events=tracer.enabled,
+                    profile_dir=self.profile_dir,
+                )
+                if tracer.enabled:
+                    message = self._absorb_telemetry(tracer, message)
+                self._absorb_message(record, message, name, tracer)
             else:
-                self._absorb_result(record, result)
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector.fire(name, index,
+                                                 in_worker=False)
+                    with profiled(self.profile_dir,
+                                  "{}.attempt{}".format(name, index)):
+                        result = task()
+                except ResourceBudgetExceeded as exc:
+                    record.status = BUDGET
+                    record.error = str(exc)
+                    record.bound_reached = getattr(exc, "bound_reached", 0)
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    record.status = CRASHED
+                    record.error = "{}: {}".format(type(exc).__name__, exc)
+                else:
+                    self._absorb_result(record, result)
+            extra.update(status=record.status, bound=record.bound_reached)
         record.elapsed = time.perf_counter() - start
         return record
 
-    def _absorb_message(self, record, message):
+    @staticmethod
+    def _absorb_telemetry(tracer, message):
+        """Strip a worker's trailing telemetry element off a protocol
+        tuple, grafting its events under the current (attempt) span and
+        folding its counters into this process's registry. Supervisor-
+        generated tuples (timeout, EOF-crash) carry none."""
+        if message and isinstance(message[-1], dict) and (
+            "events" in message[-1]
+        ):
+            telemetry = message[-1]
+            tracer.absorb(telemetry.get("events"))
+            tracer.metrics.merge_counters(telemetry.get("counters") or {})
+            message = message[:-1]
+        return message
+
+    def _absorb_message(self, record, message, name, tracer):
         kind = message[0]
         if kind == "ok":
             self._absorb_result(record, message[1])
@@ -288,9 +350,16 @@ class CheckRunner:
         elif kind == "timeout":
             record.status = TIMEOUT
             record.error = message[1]
+            if tracer.enabled:
+                # the worker was killed: its event buffer died with it
+                tracer.point("runner.kill", check=name, reason="timeout")
+                tracer.metrics.counter("runner.kills").inc()
         else:  # crashed
             record.status = CRASHED
             record.error = message[1]
+            if tracer.enabled:
+                tracer.point("runner.crash", check=name, error=message[1])
+                tracer.metrics.counter("runner.crashes").inc()
 
     def _absorb_result(self, record, result):
         record._result = result

@@ -15,6 +15,13 @@ protocol over a one-way pipe:
 * ``("timeout", message)`` — the supervisor killed the worker after the
   hard timeout.
 
+When the supervisor is tracing (``collect_events=True``) the worker
+buffers its own telemetry in a :class:`~repro.obs.tracer.BufferTracer`
+and appends one extra element to the child-sent tuples above — a dict
+``{"events": [...], "counters": {...}}`` — which the supervisor grafts
+under its attempt span. A killed or crashed-without-send worker loses
+its buffer by construction; the supervisor's kill event records that.
+
 On Linux workers are forked, so task objects are *not* re-pickled on
 the way in (only results travel back through the pipe); under spawn
 start methods everything in :mod:`repro.runner.tasks` pickles cleanly.
@@ -25,6 +32,8 @@ from __future__ import annotations
 import multiprocessing
 
 from repro.errors import ResourceBudgetExceeded
+from repro.obs.profiling import profiled
+from repro.obs.tracer import NULL_TRACER, BufferTracer, set_tracer
 
 _KILL_GRACE = 5.0  # seconds to wait after terminate() before SIGKILL
 
@@ -41,24 +50,44 @@ def _apply_memory_cap(memory_bytes):
     )
 
 
-def _child_main(conn, task, name, attempt_index, memory_bytes, injector):
+def _child_main(conn, task, name, attempt_index, memory_bytes, injector,
+                collect_events=False, profile_dir=None):
     """Worker entry point: run the task, report through the pipe."""
+    # A forked child inherits the parent's global tracer — including an
+    # open trace-file handle it must never write to (interleaved ids).
+    # Replace it before any engine code runs: a buffer when the parent
+    # wants events shipped back, the null tracer otherwise.
+    buffer = BufferTracer() if collect_events else None
+    set_tracer(buffer if collect_events else NULL_TRACER)
+
+    def payload(base):
+        if buffer is None:
+            return base
+        return base + ({
+            "events": buffer.drain(),
+            "counters": buffer.metrics.snapshot()["counters"],
+        },)
+
     try:
         if memory_bytes is not None:
             _apply_memory_cap(memory_bytes)
         if injector is not None:
             injector.fire(name, attempt_index, in_worker=True)
-        result = task()
-        conn.send(("ok", result))
+        with profiled(profile_dir,
+                      "{}.attempt{}".format(name, attempt_index)):
+            result = task()
+        conn.send(payload(("ok", result)))
     except ResourceBudgetExceeded as exc:
-        conn.send(("budget", str(exc), getattr(exc, "bound_reached", 0)))
+        conn.send(payload(
+            ("budget", str(exc), getattr(exc, "bound_reached", 0))
+        ))
     except MemoryError as exc:
-        conn.send(("crashed", "MemoryError: {}".format(exc)))
+        conn.send(payload(("crashed", "MemoryError: {}".format(exc))))
     except BaseException as exc:  # noqa: BLE001 - isolation boundary
         try:
-            conn.send(
+            conn.send(payload(
                 ("crashed", "{}: {}".format(type(exc).__name__, exc))
-            )
+            ))
         except Exception:  # pragma: no cover - pipe already gone
             pass
     finally:
@@ -74,13 +103,15 @@ def _context():
 
 
 def run_in_process(task, name="check", attempt_index=0, hard_timeout=None,
-                   memory_bytes=None, injector=None, mp_context=None):
+                   memory_bytes=None, injector=None, mp_context=None,
+                   collect_events=False, profile_dir=None):
     """Run ``task()`` in a worker; returns a protocol tuple (see module doc)."""
     ctx = mp_context if mp_context is not None else _context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
         target=_child_main,
-        args=(child_conn, task, name, attempt_index, memory_bytes, injector),
+        args=(child_conn, task, name, attempt_index, memory_bytes, injector,
+              collect_events, profile_dir),
         daemon=True,
     )
     proc.start()

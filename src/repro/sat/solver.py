@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
 from repro.errors import SolverError
+from repro.obs.tracer import get_tracer
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -43,7 +44,15 @@ class _Clause:
 
 @dataclass
 class SolveResult:
-    """Outcome of a :meth:`Solver.solve` call."""
+    """Outcome of a :meth:`Solver.solve` call.
+
+    ``core`` is set exactly when the status is ``"unsat"`` and the call
+    was made under assumptions: a subset of those assumption literals
+    that is already jointly inconsistent with the formula (the UNSAT
+    core, from analyzeFinal-style reason-chain analysis). A root-level
+    contradiction — UNSAT regardless of assumptions — yields an empty
+    core.
+    """
 
     status: str
     model: dict | None = None
@@ -51,6 +60,7 @@ class SolveResult:
     decisions: int = 0
     propagations: int = 0
     elapsed: float = 0.0
+    core: tuple | None = None
 
     def __bool__(self):
         return self.status == SAT
@@ -180,16 +190,42 @@ class Solver:
         """Search for a model consistent with ``assumptions``.
 
         Returns a :class:`SolveResult` whose status is ``"sat"``,
-        ``"unsat"`` (under the given assumptions) or ``"unknown"`` when a
-        budget ran out.
+        ``"unsat"`` (under the given assumptions, with an UNSAT ``core``)
+        or ``"unknown"`` when a budget ran out.
         """
+        assumptions = list(assumptions)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve(assumptions, conflict_budget, time_budget,
+                               tracer)
+        with tracer.span("sat.solve",
+                         assumptions=len(assumptions)) as extra:
+            res = self._solve(assumptions, conflict_budget, time_budget,
+                              tracer)
+            extra.update(
+                status=res.status,
+                conflicts=res.conflicts,
+                decisions=res.decisions,
+                propagations=res.propagations,
+            )
+            metrics = tracer.metrics
+            metrics.counter("sat.solve_calls").inc()
+            metrics.counter("sat.conflicts").inc(res.conflicts)
+            metrics.counter("sat.decisions").inc(res.decisions)
+            metrics.counter("sat.propagations").inc(res.propagations)
+            metrics.counter("sat.status." + res.status).inc()
+            metrics.histogram("sat.solve_seconds").observe(res.elapsed)
+            metrics.gauge("sat.learnts").set(len(self.learnts))
+        return res
+
+    def _solve(self, assumptions, conflict_budget, time_budget, tracer):
         start = time.perf_counter()
         self.stats.solve_calls += 1
         base_conflicts = self.stats.conflicts
         base_decisions = self.stats.decisions
         base_props = self.stats.propagations
 
-        def result(status, model=None):
+        def result(status, model=None, core=None):
             return SolveResult(
                 status=status,
                 model=model,
@@ -197,19 +233,25 @@ class Solver:
                 decisions=self.stats.decisions - base_decisions,
                 propagations=self.stats.propagations - base_props,
                 elapsed=time.perf_counter() - start,
+                core=core,
             )
 
         if self.root_unsat:
-            return result(UNSAT)
+            return result(UNSAT, core=() if assumptions else None)
         self._backtrack(0)
         if self._propagate() is not None:
             self.root_unsat = True
-            return result(UNSAT)
+            return result(UNSAT, core=() if assumptions else None)
 
-        assumptions = list(assumptions)
         restart_round = 0
         conflicts_since_restart = 0
         restart_limit = self.restart_base * luby(1)
+        traced = tracer.enabled
+        # Conflict-counter threshold for the wall-clock check: the first
+        # conflict always reads the clock, then every 16th, so a storm of
+        # expensive conflict analyses cannot overrun the budget the way
+        # the old `% 64 == 0` modulo gate allowed.
+        next_time_check = self.stats.conflicts
 
         while True:
             conflict = self._propagate()
@@ -218,18 +260,13 @@ class Solver:
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
                     self.root_unsat = True
-                    return result(UNSAT)
-                if self._decision_level() <= len(assumptions):
-                    # Conflict entirely under assumptions: analyze to learn,
-                    # then report UNSAT under these assumptions.
-                    learnt, bt = self._analyze(conflict)
-                    self._record_learnt(learnt, bt)
-                    if self._decision_level() <= len(assumptions) and bt == 0:
-                        pass
-                    # The learnt clause may allow progress, but a conflict at
-                    # or below the assumption frontier means the assumptions
-                    # are jointly inconsistent with the formula.
-                    return result(UNSAT)
+                    return result(UNSAT, core=() if assumptions else None)
+                # Every conflict — above or below the assumption frontier —
+                # is analyzed, learnt and backjumped uniformly. A conflict
+                # at a level <= len(assumptions) does NOT by itself prove
+                # the assumptions inconsistent: the learnt clause may make
+                # progress after re-propagation, and only a falsified
+                # assumption at decision time (below) justifies UNSAT.
                 learnt, bt = self._analyze(conflict)
                 self._record_learnt(learnt, bt)
                 self._decay_activities()
@@ -239,18 +276,35 @@ class Solver:
                     self._backtrack(0)
                     return result(UNKNOWN)
                 if time_budget is not None and (
-                    self.stats.conflicts - base_conflicts
-                ) % 64 == 0 and time.perf_counter() - start > time_budget:
-                    self._backtrack(0)
-                    return result(UNKNOWN)
+                    self.stats.conflicts >= next_time_check
+                ):
+                    next_time_check = self.stats.conflicts + 16
+                    if time.perf_counter() - start > time_budget:
+                        self._backtrack(0)
+                        return result(UNKNOWN)
                 if conflicts_since_restart >= restart_limit:
                     restart_round += 1
                     conflicts_since_restart = 0
                     restart_limit = self.restart_base * luby(restart_round + 1)
                     self.stats.restarts += 1
+                    if traced:
+                        tracer.point(
+                            "sat.restart",
+                            round=restart_round,
+                            conflicts=self.stats.conflicts - base_conflicts,
+                        )
+                        tracer.metrics.counter("sat.restarts").inc()
                     self._backtrack(0)
                 if len(self.learnts) > self.max_learnts:
+                    before = len(self.learnts)
                     self._reduce_db()
+                    if traced:
+                        tracer.point(
+                            "sat.reduce_db",
+                            before=before,
+                            after=len(self.learnts),
+                        )
+                        tracer.metrics.counter("sat.reduce_db").inc()
                 continue
 
             if time_budget is not None and (
@@ -266,7 +320,11 @@ class Solver:
                     raise SolverError("bad assumption {!r}".format(lit))
                 v = self._value(lit)
                 if v == -1:
-                    return result(UNSAT)
+                    # This assumption is falsified by the others plus the
+                    # formula: the genuine UNSAT-under-assumptions exit.
+                    core = self._final_core(lit)
+                    self._backtrack(0)
+                    return result(UNSAT, core=core)
                 self.trail_lim.append(len(self.trail))
                 if v == 0:
                     self._enqueue(lit, None)
@@ -419,6 +477,39 @@ class Solver:
                 max_i = i
         learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
         return learnt, self.level[abs(learnt[1])]
+
+    def _final_core(self, failed_lit):
+        """UNSAT core for a falsified assumption (analyzeFinal).
+
+        Called when assumption ``failed_lit`` is false at its decision
+        point: every decision currently on the trail is an earlier
+        assumption, so walking the reason chains back from
+        ``-failed_lit`` collects exactly the subset of assumptions the
+        falsification rests on. Returns them (plus ``failed_lit``) as a
+        tuple of assumption literals.
+        """
+        core = [failed_lit]
+        if self._decision_level() == 0:
+            return tuple(core)
+        seen = [False] * (self.num_vars + 1)
+        seen[abs(failed_lit)] = True
+        for i in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            lit = self.trail[i]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self.reason[var]
+            if reason is None:
+                # A decision below the assumption frontier is itself an
+                # assumption literal.
+                core.append(lit)
+            else:
+                for q in reason.lits:
+                    if self.level[abs(q)] > 0:
+                        seen[abs(q)] = True
+            seen[var] = False
+        core.sort(key=abs)
+        return tuple(core)
 
     def _record_learnt(self, learnt, bt_level):
         self._backtrack(bt_level)

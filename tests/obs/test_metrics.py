@@ -1,0 +1,66 @@
+"""Metrics registry tests: instruments, snapshots, worker merges."""
+
+import json
+
+from repro.obs import Metrics, NULL_METRICS
+
+
+class TestInstruments:
+    def test_counter_create_on_first_use(self):
+        metrics = Metrics()
+        metrics.counter("sat.conflicts").inc()
+        metrics.counter("sat.conflicts").inc(4)
+        assert metrics.snapshot()["counters"] == {"sat.conflicts": 5}
+
+    def test_gauge_tracks_high_water(self):
+        metrics = Metrics()
+        gauge = metrics.gauge("sat.learnts")
+        gauge.set(10)
+        gauge.set(3)
+        snap = metrics.snapshot()["gauges"]["sat.learnts"]
+        assert snap == {"value": 3, "high": 10}
+
+    def test_histogram_exact_stats(self):
+        metrics = Metrics()
+        hist = metrics.histogram("solve_seconds")
+        for value in (0.5, 1.5, 4.0):
+            hist.observe(value)
+        snap = metrics.snapshot()["histograms"]["solve_seconds"]
+        assert snap["count"] == 3
+        assert snap["total"] == 6.0
+        assert snap["min"] == 0.5
+        assert snap["max"] == 4.0
+        assert snap["mean"] == 2.0
+
+    def test_histogram_accepts_zero_and_negative(self):
+        hist = Metrics().histogram("h")
+        hist.observe(0.0)
+        hist.observe(-1.0)  # clamped into the bottom bucket, not a crash
+        assert hist.count == 2
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = Metrics()
+        metrics.counter("a").inc()
+        metrics.gauge("b").set(2)
+        metrics.histogram("c").observe(0.25)
+        json.dumps(metrics.snapshot())
+
+
+class TestMerge:
+    def test_merge_counters_folds_worker_totals(self):
+        metrics = Metrics()
+        metrics.counter("sat.conflicts").inc(10)
+        metrics.merge_counters({"sat.conflicts": 7, "sat.restarts": 2})
+        counters = metrics.snapshot()["counters"]
+        assert counters == {"sat.conflicts": 17, "sat.restarts": 2}
+
+
+class TestNullMetrics:
+    def test_all_operations_are_noops(self):
+        NULL_METRICS.counter("x").inc(5)
+        NULL_METRICS.gauge("y").set(9)
+        NULL_METRICS.histogram("z").observe(1.0)
+        NULL_METRICS.merge_counters({"x": 3})
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

@@ -1,0 +1,147 @@
+"""Trace summarizer tests: tree aggregation, damage tolerance, tallies."""
+
+import io
+
+from repro.obs import BufferTracer, Tracer
+from repro.obs.summary import build_tree, load_trace, render, summarize
+
+
+def make_trace(path):
+    """A small but representative trace: nested phases, a cache point,
+    a retry, a restart, and a second check."""
+    tracer = Tracer(path)
+    with tracer.span("audit", design="d"):
+        with tracer.span("runner.check", check="acc") as extra:
+            tracer.point("cache.miss", check="acc")
+            with tracer.span("runner.attempt", index=0):
+                with tracer.span("bmc.check"):
+                    with tracer.span("sat.solve"):
+                        tracer.point("sat.restart", round=1)
+            tracer.point("runner.retry", check="acc", failed_status="timeout")
+            with tracer.span("runner.attempt", index=1):
+                with tracer.span("bmc.check"):
+                    pass
+            extra.update(status="ok", attempts=2)
+        with tracer.span("runner.check", check="b") as extra:
+            tracer.point("cache.hit", check="b")
+            extra.update(status="ok", attempts=0)
+    tracer.metrics.counter("sat.conflicts").inc(12)
+    tracer.close()
+
+
+class TestSummarize:
+    def test_phase_tree_and_tallies(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        summary = summarize(path)
+        assert summary["bad_lines"] == 0
+        assert summary["dropped_events"] == 0
+        assert summary["wall_seconds"] >= 0
+        audit = summary["phases"][0]
+        assert audit["name"] == "audit" and audit["count"] == 1
+        check_row = audit["children"][0]
+        assert check_row["name"] == "runner.check"
+        assert check_row["count"] == 2
+        attempt_row = check_row["children"][0]
+        assert attempt_row["name"] == "runner.attempt"
+        assert attempt_row["count"] == 2
+        assert summary["tallies"]["cache"] == {"miss": 1, "hit": 1}
+        assert summary["tallies"]["retries"] == 1
+        assert summary["tallies"]["restarts"] == 1
+        assert summary["metrics"]["counters"]["sat.conflicts"] == 12
+
+    def test_slowest_checks_ranked_and_labelled(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        summary = summarize(path, top=1)
+        assert len(summary["slowest_checks"]) == 1
+        slowest = summary["slowest_checks"][0]
+        assert slowest["name"] in ("acc", "b")
+        assert slowest["status"] == "ok"
+
+    def test_nested_phase_totals_bounded_by_parent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        audit = summarize(path)["phases"][0]
+        child_total = sum(row["total"] for row in audit["children"])
+        assert child_total <= audit["total"] + 1e-6
+
+    def test_torn_final_line_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        with open(path, "a") as handle:
+            handle.write('{"ev": "begin", "id": 999, "na')  # killed mid-write
+        summary = summarize(path)
+        assert summary["bad_lines"] == 1
+        assert summary["phases"]  # the intact prefix still summarizes
+
+    def test_unterminated_span_charged_to_clock_end(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.begin("audit")
+        tracer.point("late", at="end")
+        tracer._handle.close()  # simulate a kill: no end, no snapshot
+        summary = summarize(path)
+        audit = summary["phases"][0]
+        assert audit["unterminated"] == 1
+        assert audit["total"] >= 0
+
+    def test_unknown_parent_promoted_to_root(self):
+        events = [
+            {"ev": "begin", "id": 5, "parent": 99, "name": "orphan", "t": 1.0},
+            {"ev": "end", "id": 5, "t": 2.0},
+        ]
+        roots, spans, dropped = build_tree(events)
+        assert dropped == 0
+        assert [r.name for r in roots] == ["orphan"]
+
+    def test_end_without_begin_is_dropped(self):
+        roots, spans, dropped = build_tree([{"ev": "end", "id": 1, "t": 0.0}])
+        assert dropped == 1
+        assert roots == []
+
+
+class TestRender:
+    def test_render_smoke(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        out = io.StringIO()
+        render(summarize(path), out)
+        text = out.getvalue()
+        assert "phase tree" in text
+        assert "runner.check" in text
+        assert "cache: 1 hit, 1 miss" in text
+        assert "retries: 1" in text
+        assert "solver restarts: 1" in text
+        assert "sat.conflicts: 12" in text
+        # a cached check ran 0 attempts — rendered as 0, not "?"
+        assert "0 attempt(s)" in text
+
+
+class TestWorkerRoundTrip:
+    def test_absorbed_buffer_summarizes_as_one_tree(self, tmp_path):
+        # Same motion the supervisor performs: a worker's BufferTracer
+        # events grafted under the attempt span, then summarized.
+        worker = BufferTracer()
+        with worker.span("bmc.check", property="p") as extra:
+            with worker.span("sat.solve"):
+                pass
+            extra["status"] = "proved"
+        shipped = worker.drain()
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("runner.check", check="p"):
+            with tracer.span("runner.attempt", index=0):
+                tracer.absorb(shipped)
+        tracer.close()
+
+        events, _meta, bad = load_trace(path)
+        assert bad == 0
+        roots, spans, dropped = build_tree(events)
+        assert dropped == 0
+        tree_roots = [r for r in roots if not r.point]
+        assert len(tree_roots) == 1
+        attempt = tree_roots[0].children[0]
+        assert [c.name for c in attempt.children] == ["bmc.check"]
+        assert attempt.children[0].end_attrs["status"] == "proved"

@@ -1,0 +1,247 @@
+"""Tracer tests: event stream shape, span stack, absorb, globals."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    BufferTracer,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.summary import build_tree, load_trace
+from repro.obs.tracer import SCHEMA_VERSION
+
+
+def read_lines(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestFileTracer:
+    def test_meta_header_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.close()
+        lines = read_lines(path)
+        assert lines[0]["ev"] == "meta"
+        assert lines[0]["version"] == SCHEMA_VERSION
+        assert "pid" in lines[0] and "wall" in lines[0]
+
+    def test_nested_spans_parent_automatically(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("outer", kind="audit"):
+            with tracer.span("inner"):
+                tracer.point("tick", n=1)
+        tracer.close()
+        events = [e for e in read_lines(path) if e["ev"] != "meta"]
+        begins = {e["name"]: e for e in events if e["ev"] in ("begin", "point")}
+        assert begins["outer"]["parent"] is None
+        assert begins["inner"]["parent"] == begins["outer"]["id"]
+        assert begins["tick"]["parent"] == begins["inner"]["id"]
+
+    def test_span_extra_lands_in_end_attrs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("solve") as extra:
+            extra["status"] = "sat"
+        tracer.close()
+        ends = [e for e in read_lines(path) if e["ev"] == "end"]
+        assert ends[0]["attrs"] == {"status": "sat"}
+
+    def test_exception_marks_span_as_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        tracer.close()
+        ends = [e for e in read_lines(path) if e["ev"] == "end"]
+        assert ends[0]["attrs"]["error"] is True
+
+    def test_close_force_closes_open_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        a = tracer.begin("outer")
+        tracer.begin("inner")
+        tracer.close()  # never ended explicitly
+        events = [e for e in read_lines(path) if e["ev"] != "meta"]
+        ends = [e for e in events if e["ev"] == "end"]
+        assert {e["id"] for e in ends} == {a, a + 1}
+        # metrics snapshot rides as the final point
+        assert events[-1]["name"] == "metrics.snapshot"
+        tracer.close()  # idempotent
+
+    def test_end_of_outer_closes_stranded_inner(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        outer = tracer.begin("outer")
+        tracer.begin("inner")
+        tracer.end(outer, status="ok")  # inner was never ended
+        tracer.close()
+        roots, spans, dropped = build_tree(load_trace(path)[0])
+        assert dropped == 0
+        assert all(s.end is not None for s in spans.values() if not s.point)
+
+    def test_metrics_snapshot_carries_counters(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.metrics.counter("sat.conflicts").inc(3)
+        tracer.close()
+        snapshot = read_lines(path)[-1]
+        assert snapshot["name"] == "metrics.snapshot"
+        assert snapshot["attrs"]["counters"] == {"sat.conflicts": 3}
+
+    def test_non_serializable_attrs_degrade_to_str(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.point("odd", obj=object())
+        tracer.close()
+        events, _meta, bad = load_trace(path)
+        assert bad == 0  # default=str keeps the line parseable
+
+
+class TestAbsorb:
+    def worker_events(self):
+        buffer = BufferTracer()
+        with buffer.span("bmc.check", property="p"):
+            with buffer.span("sat.solve"):
+                buffer.point("sat.restart", round=1)
+        return buffer.drain()
+
+    def test_roots_reparent_under_current_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        attempt = tracer.begin("runner.attempt")
+        written = tracer.absorb(self.worker_events())
+        tracer.end(attempt)
+        tracer.close()
+        assert written == 5  # two begin/end pairs plus the restart point
+        events, _, _ = load_trace(path)
+        roots, spans, dropped = build_tree(events)
+        assert dropped == 0
+        tree_roots = [r for r in roots if not r.point]
+        assert len(tree_roots) == 1 and tree_roots[0].name == "runner.attempt"
+        child = tree_roots[0].children[0]
+        assert child.name == "bmc.check"
+        assert child.children[0].name == "sat.solve"
+
+    def test_ids_remapped_no_collisions(self, tmp_path):
+        # Worker ids restart at 1 and would collide with the parent's.
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.begin("runner.attempt")  # parent id 1, same as worker's
+        tracer.absorb(self.worker_events())
+        tracer.close()
+        events, _, _ = load_trace(path)
+        ids = [e["id"] for e in events if e["ev"] in ("begin", "point")]
+        assert len(ids) == len(set(ids))
+
+    def test_malformed_entries_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        written = tracer.absorb([
+            None,
+            "not a dict",
+            {"ev": "meta", "version": 99},
+            {"ev": "end", "id": 123},          # end without begin
+            {"ev": "wat", "id": 7},            # unknown kind
+            {"ev": "point", "id": 7, "name": "kept", "t": 0.0},
+        ])
+        tracer.close()
+        assert written == 1
+        events, _, _ = load_trace(path)
+        assert [e["name"] for e in events if e.get("name") != "metrics.snapshot"] == ["kept"]
+
+    def test_absorb_none_is_harmless(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        assert tracer.absorb(None) == 0
+        tracer.close()
+
+
+class TestBufferTracer:
+    def test_drain_closes_and_resets(self):
+        buffer = BufferTracer()
+        buffer.begin("open")
+        events = buffer.drain()
+        assert [e["ev"] for e in events] == ["begin", "end"]
+        assert buffer.events == []
+
+
+class TestGlobals:
+    def test_default_is_null_tracer(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert get_tracer().enabled is False
+
+    def test_tracing_installs_and_restores(self):
+        buffer = BufferTracer()
+        before = get_tracer()
+        with tracing(buffer):
+            assert get_tracer() is buffer
+        assert get_tracer() is before
+
+    def test_set_tracer_none_means_null(self):
+        previous = set_tracer(None)
+        try:
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(previous)
+
+    def test_null_tracer_span_yields_dict(self):
+        with NULL_TRACER.span("anything", a=1) as extra:
+            extra["status"] = "ok"  # call sites update unconditionally
+        NULL_TRACER.point("x")
+        NULL_TRACER.end(NULL_TRACER.begin("y"))
+        NULL_TRACER.close()
+
+    def test_null_tracer_writes_no_file(self, tmp_path):
+        with tracing(None):
+            with get_tracer().span("solve"):
+                pass
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestRoundTrip:
+    def test_traced_solve_forms_single_tree(self, tmp_path):
+        # The ISSUE acceptance shape: run real instrumented code, then
+        # prove every emitted event parses and re-parents into one tree.
+        from repro.sat import UNSAT, Solver
+
+        path = tmp_path / "solve.jsonl"
+        tracer = Tracer(path)
+        with tracing(tracer):
+            with tracer.span("audit"):
+                solver = Solver(restart_base=1)
+                p = [[solver.new_var() for _ in range(4)] for _ in range(5)]
+                for row in p:
+                    solver.add_clause(row)
+                for j in range(4):
+                    for i1 in range(5):
+                        for i2 in range(i1 + 1, 5):
+                            solver.add_clause([-p[i1][j], -p[i2][j]])
+                assert solver.solve().status == UNSAT
+        tracer.close()
+
+        events, meta, bad_lines = load_trace(path)
+        assert bad_lines == 0
+        assert meta["version"] == SCHEMA_VERSION
+        roots, spans, dropped = build_tree(events)
+        assert dropped == 0
+        tree_roots = [r for r in roots if not r.point]
+        assert len(tree_roots) == 1 and tree_roots[0].name == "audit"
+        solve = tree_roots[0].children[0]
+        assert solve.name == "sat.solve"
+        assert solve.duration is not None and solve.duration >= 0
+        assert solve.end_attrs["status"] == UNSAT
+        # restart_base=1 guarantees restart points, parented inside solve
+        restarts = [s for s in solve.children if s.name == "sat.restart"]
+        assert restarts
+        # every span closed, timestamps monotonic within the file
+        times = [e["t"] for e in events]
+        assert times == sorted(times)
+        assert all(s.end is not None for s in spans.values() if not s.point)

@@ -1,0 +1,252 @@
+"""UNSAT-under-assumptions semantics: cores, incrementality, cadence.
+
+Regression suite for the CDCL rework that removed the premature
+"conflict below the assumption frontier => UNSAT" shortcut. The solver
+now only reports UNSAT under assumptions when an assumption literal is
+genuinely falsified at its decision point, and every such verdict
+carries an UNSAT ``core`` — a subset of the assumption literals that is
+already jointly inconsistent with the formula. The core tests fail on
+the old code, which returned UNSAT straight from the conflict branch
+with no core at all.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import SAT, UNKNOWN, UNSAT, Solver
+
+
+def brute_force_sat(num_vars, clauses, assumptions=()):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if any(assignment[abs(a)] != (a > 0) for a in assumptions):
+            continue
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def pigeonhole(solver, pigeons, holes):
+    """Encode pigeons-into-holes; UNSAT iff pigeons > holes."""
+    p = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    clauses = []
+
+    def add(clause):
+        clauses.append(clause)
+        solver.add_clause(clause)
+
+    for i in range(pigeons):
+        add(p[i])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                add([-p[i1][j], -p[i2][j]])
+    return p, clauses
+
+
+class TestUnsatCore:
+    def test_core_present_subset_and_unsat(self):
+        # (a | b) under [-a, -b]: the conflict surfaces below the
+        # assumption frontier — exactly the path the old shortcut
+        # hijacked, returning UNSAT with no core.
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])
+        result = solver.solve(assumptions=[-a, -b])
+        assert result.status == UNSAT
+        assert result.core is not None
+        assert set(result.core) <= {-a, -b}
+        assert not brute_force_sat(2, [[a, b]], result.core)
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        solver = Solver()
+        a, b, c, d = solver.new_vars(4)
+        solver.add_clause([a, b])
+        result = solver.solve(assumptions=[c, -a, d, -b])
+        assert result.status == UNSAT
+        assert set(result.core) <= {-a, -b}  # c and d played no part
+        assert not brute_force_sat(4, [[a, b]], result.core)
+
+    def test_contradictory_assumptions(self):
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])  # irrelevant padding
+        result = solver.solve(assumptions=[a, -a])
+        assert result.status == UNSAT
+        assert set(result.core) == {a, -a}
+
+    def test_root_contradiction_yields_empty_core(self):
+        solver = Solver()
+        (a,) = solver.new_vars(1)
+        solver.add_clause([a])
+        solver.add_clause([-a])
+        result = solver.solve(assumptions=[a])
+        assert result.status == UNSAT
+        assert result.core == ()
+
+    def test_unsat_without_assumptions_has_no_core(self):
+        solver = Solver()
+        (a,) = solver.new_vars(1)
+        solver.add_clause([a])
+        solver.add_clause([-a])
+        result = solver.solve()
+        assert result.status == UNSAT
+        assert result.core is None
+
+    def test_sat_and_unknown_have_no_core(self):
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])
+        assert solver.solve(assumptions=[-a]).core is None
+        hard = Solver()
+        pigeonhole(hard, 5, 4)
+        budget = hard.solve(conflict_budget=2, assumptions=[1])
+        if budget.status == UNKNOWN:  # tiny budget should not conclude
+            assert budget.core is None
+
+    def test_implication_chain_core(self):
+        # a -> x1 -> x2 -> x3 -> -b: assuming [a, b] is inconsistent but
+        # only via a multi-step propagation chain.
+        solver = Solver()
+        a, b, x1, x2, x3 = solver.new_vars(5)
+        clauses = [[-a, x1], [-x1, x2], [-x2, x3], [-x3, -b]]
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve(assumptions=[a, b])
+        assert result.status == UNSAT
+        assert set(result.core) == {a, b}
+        assert not brute_force_sat(5, clauses, result.core)
+
+
+class TestIncrementalRecovery:
+    def test_solver_usable_after_assumption_unsat(self):
+        # The learnt clauses from the failed call must not poison the
+        # formula: weaker assumptions and the bare formula stay SAT.
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])
+        assert solver.solve(assumptions=[-a, -b]).status == UNSAT
+        relaxed = solver.solve(assumptions=[-a])
+        assert relaxed.status == SAT
+        assert relaxed.model[b]
+        assert solver.solve().status == SAT
+
+    def test_alternating_unsat_sat_rounds(self):
+        solver = Solver()
+        a, b, c = solver.new_vars(3)
+        solver.add_clause([a, b, c])
+        for _ in range(3):
+            res = solver.solve(assumptions=[-a, -b, -c])
+            assert res.status == UNSAT
+            assert res.core is not None
+            assert set(res.core) <= {-a, -b, -c}
+            sat = solver.solve(assumptions=[-a, -b])
+            assert sat.status == SAT
+            assert sat.model[c]
+
+    def test_budget_exhaustion_under_assumptions_is_unknown(self):
+        solver = Solver()
+        p, clauses = pigeonhole(solver, 6, 5)
+        assumption = [p[0][0]]
+        res = solver.solve(assumptions=assumption, conflict_budget=2)
+        assert res.status in (UNKNOWN, UNSAT)
+        if res.status == UNKNOWN:
+            # and the instance is still decided correctly afterwards
+            assert res.core is None
+            assert solver.solve(assumptions=assumption).status == UNSAT
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_fuzz_assumption_cores_across_restarts(data):
+    # restart_base=1 restarts after every conflict: assumption decisions
+    # are torn down and replayed constantly, which is where premature
+    # UNSAT shortcuts and broken core bookkeeping would show.
+    num_vars = data.draw(st.integers(2, 7))
+    solver = Solver(restart_base=1)
+    solver.new_vars(num_vars)
+    clauses = []
+    for _ in range(data.draw(st.integers(1, 15))):
+        clause = [
+            data.draw(st.integers(1, num_vars))
+            * (1 if data.draw(st.booleans()) else -1)
+            for _ in range(data.draw(st.integers(1, 3)))
+        ]
+        clauses.append(clause)
+        solver.add_clause(clause)
+    for _round in range(3):
+        k = data.draw(st.integers(1, min(4, num_vars)))
+        variables = data.draw(
+            st.lists(
+                st.integers(1, num_vars), min_size=k, max_size=k, unique=True
+            )
+        )
+        assumptions = [
+            v * (1 if data.draw(st.booleans()) else -1) for v in variables
+        ]
+        result = solver.solve(assumptions=assumptions)
+        expected = brute_force_sat(num_vars, clauses, assumptions)
+        assert (result.status == SAT) == expected
+        if result.status == UNSAT:
+            assert result.core is not None
+            assert set(result.core) <= set(assumptions)
+            # the core alone must already be inconsistent
+            assert not brute_force_sat(num_vars, clauses, result.core)
+
+
+class _FakeClock:
+    """Deterministic stand-in for time.perf_counter: each read advances
+    the clock by a fixed step, so "time spent" is a call count."""
+
+    def __init__(self, step):
+        self.now = 0.0
+        self.step = step
+        self.reads = 0
+
+    def perf_counter(self):
+        self.reads += 1
+        self.now += self.step
+        return self.now
+
+
+class TestBudgetCadence:
+    def test_conflict_storm_respects_budget_promptly(self, monkeypatch):
+        # Every perf_counter read costs 0.01 fake seconds. The budget of
+        # 0.05 expires after a handful of reads; the solver must notice
+        # within one cadence window (first conflict, then every 16th),
+        # not coast for 64 conflicts like the old modulo gate allowed.
+        solver = Solver()
+        pigeonhole(solver, 6, 5)
+        clock = _FakeClock(step=0.01)
+        monkeypatch.setattr(
+            "repro.sat.solver.time",
+            type("t", (), {"perf_counter": staticmethod(clock.perf_counter)}),
+        )
+        result = solver.solve(time_budget=0.05)
+        assert result.status == UNKNOWN
+        assert result.conflicts <= 17
+
+    def test_first_conflict_reads_the_clock(self, monkeypatch):
+        # A budget that is already blown when the first conflict lands
+        # must stop immediately — the threshold starts at the current
+        # conflict count, it does not wait for a multiple.
+        solver = Solver()
+        pigeonhole(solver, 5, 4)
+        clock = _FakeClock(step=1.0)
+        monkeypatch.setattr(
+            "repro.sat.solver.time",
+            type("t", (), {"perf_counter": staticmethod(clock.perf_counter)}),
+        )
+        result = solver.solve(time_budget=0.5)
+        assert result.status == UNKNOWN
+        assert result.conflicts <= 1
+
+    def test_generous_budget_still_concludes(self):
+        solver = Solver()
+        pigeonhole(solver, 5, 4)
+        assert solver.solve(time_budget=60.0).status == UNSAT

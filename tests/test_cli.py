@@ -240,3 +240,75 @@ def test_audit_lint_prioritize():
     assert "lint pre-pass:" in text
     assert "TROJAN FOUND" in text
     assert "lint:" in text  # static evidence echoed in the summary
+
+
+class TestTraceCli:
+    def audit_with_trace(self, tmp_path, *extra):
+        trace = str(tmp_path / "audit.jsonl")
+        code, text = run_cli([
+            "audit", "--design", "mc8051-t700", "--engine", "bmc",
+            "--max-cycles", "8", "--register", "acc",
+            "--trace", trace, *extra,
+        ])
+        return code, text, trace
+
+    def test_audit_trace_writes_parseable_jsonl(self, tmp_path):
+        import json
+
+        code, text, trace = self.audit_with_trace(tmp_path)
+        assert code == 1
+        assert "trace written to" in text
+        with open(trace) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert lines[0]["ev"] == "meta"
+        assert any(e.get("name") == "audit" for e in lines)
+
+    def test_trace_summarize_renders_phase_tree(self, tmp_path):
+        _code, _text, trace = self.audit_with_trace(tmp_path)
+        code, text = run_cli(["trace", "summarize", trace])
+        assert code == 0
+        assert "phase tree" in text
+        assert "audit" in text
+        assert "slowest checks" in text
+
+    def test_phase_totals_cover_wall_clock(self, tmp_path):
+        # acceptance: the per-phase totals account for >= 95% of the
+        # trace's wall clock — the audit span brackets the whole run.
+        from repro.obs.summary import summarize
+
+        _code, _text, trace = self.audit_with_trace(tmp_path)
+        summary = summarize(trace)
+        total = sum(row["total"] for row in summary["phases"])
+        assert summary["wall_seconds"] > 0
+        assert total >= 0.95 * summary["wall_seconds"]
+
+    def test_trace_summarize_json_output(self, tmp_path):
+        import json
+
+        _code, _text, trace = self.audit_with_trace(tmp_path)
+        code, text = run_cli(["trace", "summarize", trace, "--json"])
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["bad_lines"] == 0
+        assert summary["phases"][0]["name"] == "audit"
+        assert summary["metrics"]["counters"]["sat.solve_calls"] >= 1
+
+    def test_trace_summarize_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            run_cli(["trace", "summarize", str(tmp_path / "nope.jsonl")])
+
+    def test_profile_requires_trace(self):
+        with pytest.raises(SystemExit, match="--profile needs --trace"):
+            run_cli([
+                "audit", "--design", "mc8051-t700", "--engine", "bmc",
+                "--max-cycles", "8", "--register", "acc", "--profile",
+            ])
+
+    def test_profile_dumps_next_to_trace(self, tmp_path):
+        from pathlib import Path
+
+        code, text, trace = self.audit_with_trace(tmp_path, "--profile")
+        assert code == 1
+        assert "profiles written to" in text
+        dumps = list(Path(trace + ".profiles").glob("*.pstats"))
+        assert dumps
