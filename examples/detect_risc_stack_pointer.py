@@ -13,7 +13,7 @@ solver likes), and replays it on the simulator to show the corruption.
 
 from __future__ import annotations
 
-from repro.core import TrojanDetector
+from repro.core import AuditConfig, TrojanDetector
 from repro.designs.risc import OPCODE_NAMES
 from repro.designs.trojans import risc_figure1
 from repro.sim import SequentialSimulator
@@ -38,9 +38,10 @@ def main():
     print()
 
     for engine in ("bmc", "atpg"):
+        config = AuditConfig(max_cycles=8 + 4 * (TRIGGER_COUNT + 3),
+                             engine=engine, time_budget=120)
         report = TrojanDetector(
-            netlist, spec, max_cycles=8 + 4 * (TRIGGER_COUNT + 3),
-            engine=engine, time_budget=120,
+            netlist, spec, config=config,
         ).run(registers=["stack_pointer"])
         finding = report.findings["stack_pointer"]
         print("[{}] {}".format(engine, report.summary()))

@@ -9,7 +9,7 @@ defender's valid-way spec, and runs Algorithm 1 with both formal engines.
 
 from __future__ import annotations
 
-from repro.core import TrojanDetector
+from repro.core import AuditConfig, TrojanDetector
 from repro.netlist import Circuit, stats
 from repro.properties import DesignSpec, RegisterSpec, ValidWay
 
@@ -62,12 +62,10 @@ def main():
         netlist = build_design(trojan=trojan)
         print("=== {} design: {}".format(label, stats(netlist)))
         for engine in ("bmc", "atpg"):
+            config = AuditConfig(max_cycles=15, engine=engine,
+                                 time_budget=60)
             report = TrojanDetector(
-                netlist,
-                defender_spec(),
-                max_cycles=15,
-                engine=engine,
-                time_budget=60,
+                netlist, defender_spec(), config=config,
             ).run()
             print("[{}] {}".format(engine, report.summary()))
             finding = report.findings["secret"]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 
-from repro.core import TrojanDetector
+from repro.core import AuditConfig, TrojanDetector
 from repro.designs import build_aes, build_router
 from repro.designs.trojans import mc8051_t800
 from repro.netlist import stats
@@ -36,14 +36,9 @@ def main():
     for name, netlist, spec, cycles in deliveries():
         print("=== auditing {} — {}".format(name, stats(netlist)))
         started = time.perf_counter()
-        report = TrojanDetector(
-            netlist,
-            spec,
-            max_cycles=cycles,
-            engine="bmc",
-            functional=True,
-            time_budget=120,
-        ).run()
+        config = AuditConfig(max_cycles=cycles, engine="bmc",
+                             functional=True, time_budget=120)
+        report = TrojanDetector(netlist, spec, config=config).run()
         elapsed = time.perf_counter() - started
         print(report.summary())
         print("  ({:.1f}s)".format(elapsed))
@@ -55,11 +50,11 @@ def main():
     print("=" * 64)
     for name, report in verdicts:
         if report.trojan_found:
-            print("  REJECT  {:-18s} data-corrupting Trojan found".format(
+            print("  REJECT  {:<18s} data-corrupting Trojan found".format(
                 name))
         else:
             print(
-                "  ACCEPT  {:-18s} trustworthy for {} cycles "
+                "  ACCEPT  {:<18s} trustworthy for {} cycles "
                 "(reset at least that often)".format(
                     name, report.trusted_for()
                 )

@@ -11,38 +11,97 @@ their Trojans.
 
 Quickstart::
 
-    from repro import TrojanDetector
+    from repro import AuditConfig, TrojanDetector
     from repro.designs.trojans import risc_t100
 
     design, spec = risc_t100()
-    report = TrojanDetector(design, spec, max_cycles=40).run()
+    config = AuditConfig(max_cycles=40, jobs=4)
+    report = TrojanDetector(design, spec, config=config).run()
     print(report.summary())
+
+``__all__`` below is the stable public surface: detector and config,
+report types, the parallel scheduler, the supervised runner, and the
+lint / cache / trace entry points. Everything else under ``repro.*`` is
+implementation detail that may move between releases.
 """
 
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
-__all__ = ["ReproError", "__version__"]
+__all__ = [
+    # detector + configuration
+    "TrojanDetector",
+    "AuditConfig",
+    # report types
+    "DetectionReport",
+    "RegisterFinding",
+    "scrub_volatile",
+    # parallel scheduling
+    "AuditScheduler",
+    "AuditRequest",
+    "PersistentWorkerPool",
+    # supervised execution
+    "CheckRunner",
+    "AuditCheckpoint",
+    # static lint pre-pass
+    "Linter",
+    "LintConfig",
+    "lint_design",
+    # outcome cache
+    "OutcomeCache",
+    # telemetry
+    "Tracer",
+    "summarize_trace",
+    # substrate
+    "Circuit",
+    "ValidWay",
+    "RegisterSpec",
+    "DesignSpec",
+    "SequentialSimulator",
+    # misc
+    "ReproError",
+    "__version__",
+]
+
+# Lazy re-exports keep `import repro` cheap while exposing the main API at
+# the top level. Target module per public name:
+_EXPORTS = {
+    "TrojanDetector": ("repro.core.detector", "TrojanDetector"),
+    "AuditConfig": ("repro.core.detector", "AuditConfig"),
+    "DetectionReport": ("repro.core.report", "DetectionReport"),
+    "RegisterFinding": ("repro.core.report", "RegisterFinding"),
+    "scrub_volatile": ("repro.core.report", "scrub_volatile"),
+    "AuditScheduler": ("repro.sched.scheduler", "AuditScheduler"),
+    "AuditRequest": ("repro.sched.scheduler", "AuditRequest"),
+    "PersistentWorkerPool": ("repro.sched.pool", "PersistentWorkerPool"),
+    "CheckRunner": ("repro.runner.supervisor", "CheckRunner"),
+    "AuditCheckpoint": ("repro.runner.checkpoint", "AuditCheckpoint"),
+    "Linter": ("repro.lint", "Linter"),
+    "LintConfig": ("repro.lint", "LintConfig"),
+    "lint_design": ("repro.lint", "lint_design"),
+    "OutcomeCache": ("repro.cache", "OutcomeCache"),
+    "Tracer": ("repro.obs.tracer", "Tracer"),
+    "summarize_trace": ("repro.obs.summary", "summarize"),
+    "Circuit": ("repro.netlist.builder", "Circuit"),
+    "ValidWay": ("repro.properties.valid_ways", "ValidWay"),
+    "RegisterSpec": ("repro.properties.valid_ways", "RegisterSpec"),
+    "DesignSpec": ("repro.properties.valid_ways", "DesignSpec"),
+    "SequentialSimulator": ("repro.sim.sequential", "SequentialSimulator"),
+}
 
 
 def __getattr__(name):
-    # Lazy re-exports keep `import repro` cheap while exposing the main API
-    # at the top level.
-    if name == "TrojanDetector":
-        from repro.core.detector import TrojanDetector
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            "module 'repro' has no attribute {!r}".format(name)
+        )
+    import importlib
 
-        return TrojanDetector
-    if name == "ValidWays":
-        from repro.properties.valid_ways import ValidWays
+    return getattr(importlib.import_module(module_name), attr)
 
-        return ValidWays
-    if name == "Circuit":
-        from repro.netlist.builder import Circuit
 
-        return Circuit
-    if name == "SequentialSimulator":
-        from repro.sim.sequential import SequentialSimulator
-
-        return SequentialSimulator
-    raise AttributeError("module 'repro' has no attribute {!r}".format(name))
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -260,6 +260,77 @@ def lint_run(label, netlist, spec=None, config=None):
 
 
 @dataclass
+class AuditRow:
+    """One design's Algorithm 1 verdict from a bench sweep."""
+
+    label: str
+    trojan_found: bool
+    expected: bool  # ground truth: does the bundled design carry a Trojan?
+    elapsed: float
+    status: str  # "ok" or "degraded"
+    registers: int
+    report: object = None  # the full DetectionReport
+
+    @property
+    def match(self):
+        return self.trojan_found == self.expected
+
+
+def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
+                time_budget=None, check_pseudo_critical=False,
+                check_bypass=False, cache_dir=None, runner=None):
+    """Run Algorithm 1 over many designs, scored against ground truth.
+
+    ``designs`` is a list of ``(label, netlist, spec)`` triples.  With
+    ``jobs`` set, every design's checks land on **one**
+    :class:`~repro.sched.AuditScheduler` pool — cross-design
+    parallelism, not a pool per design — so a sweep's wall clock is
+    bounded by total work over N workers rather than by the slowest
+    design times the design count.  Without ``jobs`` the designs run
+    serially through the classic detector loop (the baseline the
+    speedup acceptance criterion compares against).
+
+    Returns a list of :class:`AuditRow` in input order; ``row.match``
+    is False where the verdict disagrees with the design's bundled
+    ground truth (``spec.trojan``).
+    """
+    from repro.core.detector import AuditConfig, TrojanDetector
+
+    config = AuditConfig(
+        max_cycles=max_cycles,
+        engine=engine,
+        time_budget=time_budget,
+        check_pseudo_critical=check_pseudo_critical,
+        check_bypass=check_bypass,
+        cache_dir=cache_dir,
+        jobs=jobs,
+    )
+    detectors = [
+        TrojanDetector(netlist, spec, config=config, runner=runner)
+        for _label, netlist, spec in designs
+    ]
+    if jobs:
+        from repro.sched import AuditRequest, AuditScheduler
+
+        requests = [AuditRequest(detector) for detector in detectors]
+        reports = AuditScheduler(requests, jobs=jobs).run()
+    else:
+        reports = [detector.run() for detector in detectors]
+    rows = []
+    for (label, _netlist, spec), report in zip(designs, reports):
+        rows.append(AuditRow(
+            label=label,
+            trojan_found=report.trojan_found,
+            expected=spec.trojan is not None,
+            elapsed=report.elapsed,
+            status="degraded" if report.degraded else "ok",
+            registers=len(report.findings),
+            report=report,
+        ))
+    return rows
+
+
+@dataclass
 class BaselineRow:
     """FANCI + VeriTrust verdicts for one design."""
 

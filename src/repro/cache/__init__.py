@@ -22,6 +22,7 @@ sticky and because an engine whose bound loop never runs reports
 ``unknown``, never a vacuous ``proved``.
 """
 
+from repro.cache.claims import ClaimRegistry
 from repro.cache.keys import CheckKey, check_key
 from repro.cache.store import (
     FILENAME,
@@ -33,6 +34,7 @@ from repro.cache.store import (
 __all__ = [
     "CacheEntry",
     "CheckKey",
+    "ClaimRegistry",
     "check_key",
     "FILENAME",
     "OutcomeCache",

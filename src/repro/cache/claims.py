@@ -1,0 +1,165 @@
+"""Cross-process solve claims: two workers never solve one fingerprint.
+
+The outcome store (:mod:`repro.cache.store`) is already safe for
+concurrent *writers* — sub-``PIPE_BUF`` ``O_APPEND`` lines never tear.
+What it cannot prevent on its own is two pools (or two workers of one
+pool) both *missing* on the same fingerprint and solving it twice: the
+second solve is pure waste, and on a shared cache directory serving many
+audit processes the waste multiplies.
+
+:class:`ClaimRegistry` adds an advisory claim per fingerprint. A claim
+is one file, ``<cache_dir>/claims/<digest>.claim``, created with
+``O_CREAT | O_EXCL`` — the POSIX-atomic "exactly one winner" primitive
+on a local filesystem (no flock ordering games, no lock server). The
+file body records the claimant (pid, wall-clock timestamp) so other
+processes can *break* a claim whose owner died mid-solve: liveness is
+checked with ``kill(pid, 0)``, with an age TTL as the backstop for pid
+reuse and cross-host mounts.
+
+Protocol (the scheduler side lives in :mod:`repro.sched.scheduler`):
+
+1. cache lookup misses  →  ``acquire(key)``;
+2. acquire *succeeded*  →  re-check the cache (the previous owner may
+   have stored and released between our miss and our claim), then solve,
+   store, ``release(key)`` — store-before-release is what lets waiters
+   trust that a released claim means a readable verdict or a real
+   failure;
+3. acquire *failed*     →  someone else is solving it: defer the task
+   and re-consult the cache before trying again.
+
+Claims are advisory and crash-tolerant by construction: a process that
+never releases only costs other processes a TTL/liveness check, never a
+wrong verdict, and a deleted ``claims/`` directory merely re-admits the
+duplicate work the registry exists to avoid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+DIRNAME = "claims"
+SUFFIX = ".claim"
+
+#: Age after which a claim may be broken even if a process with the
+#: recorded pid is alive (pid reuse / NFS view of a dead remote host).
+DEFAULT_TTL = 6 * 3600.0
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, OverflowError, TypeError, ValueError):
+        return True  # no permission / odd pid: assume alive, TTL decides
+    return True
+
+
+class ClaimRegistry:
+    """Advisory per-fingerprint solve claims for one cache directory."""
+
+    def __init__(self, cache_dir, ttl=DEFAULT_TTL):
+        self.dir = Path(cache_dir) / DIRNAME
+        self.ttl = ttl
+        self.counters = {"acquired": 0, "busy": 0, "broken": 0,
+                         "released": 0}
+        self._owned = set()  # digests this registry holds
+
+    # ------------------------------------------------------------- helpers
+
+    def _path(self, key):
+        digest = key if isinstance(key, str) else key.digest
+        return self.dir / (digest + SUFFIX), digest
+
+    def _try_create(self, path):
+        try:
+            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except FileNotFoundError:
+            try:
+                self.dir.mkdir(parents=True, exist_ok=True)
+            except OSError:
+                return True  # claims unavailable: solve anyway
+            return self._try_create(path)
+        except OSError:
+            # read-only dir, exotic filesystem: a claim is an
+            # optimization, never a correctness gate — proceed to solve,
+            # accepting a possible duplicate, rather than stall the audit
+            return True
+        with os.fdopen(fd, "w") as handle:
+            json.dump({"pid": os.getpid(), "ts": time.time()}, handle)
+        return True
+
+    def holder(self, key):
+        """The claim record dict for ``key``, or ``None`` when unclaimed
+        (or unreadable — an unreadable claim is treated as breakable)."""
+        path, _digest = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _stale(self, record):
+        if record is None:
+            return True  # unreadable or vanished: contend for it
+        age = time.time() - record.get("ts", 0)
+        if self.ttl is not None and age > self.ttl:
+            return True
+        return not _pid_alive(record.get("pid"))
+
+    # ----------------------------------------------------------------- API
+
+    def acquire(self, key):
+        """Claim ``key`` for this process; ``True`` on success.
+
+        ``False`` means another live process is (apparently) solving the
+        fingerprint right now — defer and re-consult the cache. A stale
+        claim (dead pid, or older than the TTL) is broken and contended
+        for; losing that race also returns ``False``.
+        """
+        path, digest = self._path(key)
+        if digest in self._owned:
+            return False  # we already hold it (duplicate in-flight task)
+        if self._try_create(path):
+            self._owned.add(digest)
+            self.counters["acquired"] += 1
+            return True
+        if self._stale(self.holder(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass  # another breaker got there first
+            self.counters["broken"] += 1
+            if self._try_create(path):
+                self._owned.add(digest)
+                self.counters["acquired"] += 1
+                return True
+        self.counters["busy"] += 1
+        return False
+
+    def release(self, key):
+        """Drop a claim this registry holds (no-op for foreign claims)."""
+        path, digest = self._path(key)
+        if digest not in self._owned:
+            return
+        self._owned.discard(digest)
+        self.counters["released"] += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def release_all(self):
+        """Release every claim this registry still holds (shutdown)."""
+        for digest in list(self._owned):
+            self.release(digest)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release_all()

@@ -20,6 +20,24 @@ Commands
         python -m repro audit --design aes-t1200 --workers 1 \\
             --check-timeout 30 --retries 2 --resume aes_audit.json
 
+    ``--jobs N`` runs the audit's independent property checks on a
+    persistent pool of N worker processes (see README "Parallel
+    audits"); the report is byte-identical to the serial one::
+
+        python -m repro audit --design mc8051-t800 --jobs 4
+
+``bench``
+    Audit many designs on **one** scheduler pool and score every
+    verdict against the bundled ground truth (exit 1 on any
+    mismatch)::
+
+        python -m repro bench --jobs 4
+        python -m repro bench --design risc-t100 --design mc8051-t800 \\
+            --jobs 4 --max-cycles 12
+
+    ``--jobs``, ``--cache-dir`` and ``--trace`` are spelled the same
+    on ``audit``, ``bench`` and ``lint`` (one shared parent parser).
+
 ``lint``
     Run the static lint pre-pass (see README "Static lint pre-pass")::
 
@@ -70,7 +88,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import TrojanDetector
+from repro.core import AuditConfig, TrojanDetector
 from repro.designs import build_aes, build_mc8051, build_risc
 from repro.designs.router import build_router, router_redirect_trojan
 from repro.designs.trojans import (
@@ -159,36 +177,93 @@ def _lint_config_from_args(args):
     )
 
 
-def cmd_lint(args, out=sys.stdout):
-    from repro.lint import (
-        LintConfigError,
-        Linter,
-        severity_rank,
-        write_sarif,
-    )
+def _lint_one(design, config):
+    """Lint one bundled design; returns plain data (fork-Pool friendly)."""
+    from repro.lint import Linter
 
-    netlist, spec = build_design(args.design)
+    netlist, spec = build_design(design)
+    report = Linter(config=config).run(netlist, spec, design=design)
+    return {
+        "design": design,
+        "summary": report.summary(),
+        "json": report.to_json(),
+        "severities": [f.severity for f in report.findings],
+        "findings": len(report.findings),
+        "elapsed": report.elapsed,
+        "report": report,
+    }
+
+
+def cmd_lint(args, out=sys.stdout):
+    from repro.lint import LintConfigError, severity_rank, write_sarif
+
+    designs = args.design
+    if args.cache_dir:
+        raise SystemExit(
+            "lint runs no property checks, so it has no outcome cache; "
+            "--cache-dir applies to audit/bench"
+        )
     try:
         config = _lint_config_from_args(args)
-        report = Linter(config=config).run(netlist, spec, design=args.design)
     except LintConfigError as exc:
         raise SystemExit(str(exc))
+    if args.sarif and len(designs) > 1:
+        raise SystemExit("--sarif writes one log; pass a single --design")
+    jobs = args.jobs or 1
+    try:
+        if jobs > 1 and len(designs) > 1:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(min(jobs, len(designs))) as pool:
+                results = pool.starmap(
+                    _lint_one, [(d, config) for d in designs]
+                )
+        else:
+            results = [_lint_one(d, config) for d in designs]
+    except LintConfigError as exc:
+        raise SystemExit(str(exc))
+    if args.trace:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(args.trace)
+        try:
+            for res in results:
+                tracer.end(tracer.begin(
+                    "lint", design=res["design"],
+                    findings=res["findings"], elapsed=res["elapsed"],
+                ))
+        finally:
+            tracer.close()
     if args.json:
+        if len(designs) == 1:
+            payload = results[0]["json"]
+        else:
+            import json as json_mod
+
+            payload = json_mod.dumps(
+                {r["design"]: json_mod.loads(r["json"]) for r in results},
+                indent=2,
+            )
         if args.json == "-":
-            print(report.to_json(), file=out)
+            print(payload, file=out)
         else:
             with open(args.json, "w") as handle:
-                handle.write(report.to_json())
+                handle.write(payload)
                 handle.write("\n")
             print("wrote", args.json, file=out)
     if args.sarif:
-        write_sarif(args.sarif, report)
+        write_sarif(args.sarif, results[0]["report"])
         print("wrote", args.sarif, file=out)
     if not args.json or args.json != "-":
-        print(report.summary(), file=out)
+        for res in results:
+            print(res["summary"], file=out)
     floor = severity_rank(args.fail_on)
     failing = [
-        f for f in report.findings if severity_rank(f.severity) >= floor
+        sev
+        for res in results
+        for sev in res["severities"]
+        if severity_rank(sev) >= floor
     ]
     return 1 if failing else 0
 
@@ -201,6 +276,8 @@ def cmd_audit(args, out=sys.stdout):
     registers = args.register or None
     if args.workers < 0:
         raise SystemExit("--workers must be >= 0")
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
     if args.retries < 0:
         raise SystemExit("--retries must be >= 0")
     if args.check_timeout is not None and args.check_timeout <= 0:
@@ -231,21 +308,20 @@ def cmd_audit(args, out=sys.stdout):
             file=out,
         )
     cache_dir = None if args.no_cache else args.cache_dir
-    detector = TrojanDetector(
-        netlist,
-        spec,
+    config = AuditConfig(
         max_cycles=args.max_cycles,
         engine=args.engine,
         functional=not args.no_functional,
         check_pseudo_critical=args.check_pseudo_critical,
         check_bypass=args.check_bypass,
         time_budget=args.budget,
-        runner=runner,
         lint_report=lint_report,
         cache_dir=cache_dir,
         share_cones=args.share_cones,
         trace=args.trace,
+        jobs=args.jobs,
     )
+    detector = TrojanDetector(netlist, spec, config=config, runner=runner)
     try:
         report = detector.run(registers=registers, checkpoint=args.resume)
     except CheckpointError as exc:
@@ -267,6 +343,88 @@ def cmd_audit(args, out=sys.stdout):
             if finding.corrupted:
                 print(finding.corruption.witness.format(netlist), file=out)
     return 1 if report.trojan_found else 0
+
+
+def cmd_bench(args, out=sys.stdout):
+    import time as time_mod
+
+    from repro.bench.harness import audit_sweep
+    from repro.runner import CheckRunner
+
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    names = args.design or sorted(DESIGNS)
+    designs = []
+    for name in names:
+        netlist, spec = build_design(name)
+        designs.append((name, netlist, spec))
+    runner = CheckRunner.configure(
+        check_timeout=args.check_timeout, retries=args.retries
+    )
+    import contextlib
+
+    start = time_mod.perf_counter()
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            from repro.obs.tracer import Tracer, tracing
+
+            tracer = Tracer(args.trace)
+            stack.callback(tracer.close)
+            stack.enter_context(tracing(tracer))
+        rows = audit_sweep(
+            designs,
+            jobs=args.jobs,
+            max_cycles=args.max_cycles,
+            engine=args.engine,
+            time_budget=args.budget,
+            check_pseudo_critical=args.check_pseudo_critical,
+            check_bypass=args.check_bypass,
+            cache_dir=args.cache_dir,
+            runner=runner,
+        )
+    wall = time_mod.perf_counter() - start
+    if args.json:
+        import json as json_mod
+
+        print(json_mod.dumps({
+            "jobs": args.jobs,
+            "wall_seconds": wall,
+            "rows": [
+                {
+                    "design": row.label,
+                    "trojan_found": row.trojan_found,
+                    "expected": row.expected,
+                    "match": row.match,
+                    "status": row.status,
+                    "elapsed": row.elapsed,
+                    "registers": row.registers,
+                }
+                for row in rows
+            ],
+        }, indent=2), file=out)
+    else:
+        for row in rows:
+            verdict = "TROJAN" if row.trojan_found else "clean"
+            expected = "TROJAN" if row.expected else "clean"
+            marker = "ok" if row.match else "MISMATCH"
+            print(
+                "{:18s} {:7s} (expected {:7s}) {:9s} {:8.2f}s "
+                "{:2d} register(s) [{}]".format(
+                    row.label, verdict, expected, marker, row.elapsed,
+                    row.registers, row.status,
+                ),
+                file=out,
+            )
+        print(
+            "{} design(s) in {:.2f}s wall ({} mismatch(es), jobs={})".format(
+                len(rows), wall, sum(1 for r in rows if not r.match),
+                args.jobs or "serial",
+            ),
+            file=out,
+        )
+    if args.trace:
+        print("trace written to {}".format(args.trace), file=out)
+    return 1 if any(not row.match for row in rows) else 0
 
 
 def cmd_trace(args, out=sys.stdout):
@@ -351,12 +509,37 @@ def cmd_export(args, out=sys.stdout):
     return 0
 
 
+def _shared_parent():
+    """Flags spelled identically on every command that supports them.
+
+    ``audit``, ``bench`` and ``lint`` all accept ``--jobs``,
+    ``--cache-dir`` and ``--trace`` with the same spelling and meaning —
+    one parent parser, not three hand-copied declarations that drift.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("shared options")
+    group.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="run work on N parallel workers (audit/bench: "
+                            "one persistent check-worker pool; lint: one "
+                            "process per design)")
+    group.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="consult and populate a content-addressed "
+                            "check-outcome cache in DIR: re-audits of an "
+                            "unchanged design skip solved checks, deeper "
+                            "re-audits resume from the cached bound")
+    group.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                       help="write a structured JSONL telemetry trace "
+                            "here (see 'repro trace summarize')")
+    return parent
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Formal detection of data-corrupting hardware Trojans "
                     "(DAC'15 reproduction)",
     )
+    shared = _shared_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list bundled designs")
@@ -364,7 +547,8 @@ def build_parser():
     p_stats = sub.add_parser("stats", help="netlist statistics")
     p_stats.add_argument("--design", required=True)
 
-    p_audit = sub.add_parser("audit", help="run Algorithm 1")
+    p_audit = sub.add_parser("audit", help="run Algorithm 1",
+                             parents=[shared])
     p_audit.add_argument("--design", required=True)
     p_audit.add_argument("--engine", default="bmc",
                          choices=["bmc", "atpg", "atpg-backward",
@@ -397,28 +581,44 @@ def build_parser():
                          help="run the static lint pre-pass first, audit "
                               "flagged registers before clean-looking ones "
                               "and attach lint evidence to findings")
-    p_audit.add_argument("--cache-dir", metavar="DIR", default=None,
-                         help="consult and populate a content-addressed "
-                              "check-outcome cache in DIR: re-audits of an "
-                              "unchanged design skip solved checks, deeper "
-                              "re-audits resume from the cached bound")
     p_audit.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir (one-off override)")
     p_audit.add_argument("--share-cones", action="store_true",
                          help="batch each register's pseudo-critical "
                               "tracking checks onto one shared unrolling "
                               "(BMC only, runs inline)")
-    p_audit.add_argument("--trace", metavar="FILE.jsonl", default=None,
-                         help="write a structured JSONL telemetry trace "
-                              "of the whole audit here (see "
-                              "'repro trace summarize')")
     p_audit.add_argument("--profile", action="store_true",
                          help="wrap every check attempt in cProfile and "
                               "store pstats dumps next to the trace "
                               "(needs --trace; slows the engines)")
 
-    p_lint = sub.add_parser("lint", help="static structural lint pre-pass")
-    p_lint.add_argument("--design", required=True)
+    p_bench = sub.add_parser(
+        "bench", parents=[shared],
+        help="audit many designs on one scheduler, scored vs ground truth",
+    )
+    p_bench.add_argument("--design", action="append",
+                         help="audit this design (repeatable; default: "
+                              "every bundled design)")
+    p_bench.add_argument("--engine", default="bmc",
+                         choices=["bmc", "atpg", "atpg-backward",
+                                  "atpg-podem"])
+    p_bench.add_argument("--max-cycles", type=int, default=16)
+    p_bench.add_argument("--budget", type=float, default=120.0,
+                         help="seconds per property check")
+    p_bench.add_argument("--check-pseudo-critical", action="store_true")
+    p_bench.add_argument("--check-bypass", action="store_true")
+    p_bench.add_argument("--check-timeout", type=float, default=None,
+                         help="hard wall-clock seconds per check attempt")
+    p_bench.add_argument("--retries", type=int, default=0,
+                         help="re-run a crashed/exhausted check up to N "
+                              "extra times")
+    p_bench.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+
+    p_lint = sub.add_parser("lint", parents=[shared],
+                            help="static structural lint pre-pass")
+    p_lint.add_argument("--design", required=True, action="append",
+                        help="lint this design (repeatable)")
     p_lint.add_argument("--json", metavar="PATH",
                         help="write the JSON report here ('-' for stdout)")
     p_lint.add_argument("--sarif", metavar="PATH",
@@ -483,6 +683,7 @@ def main(argv=None, out=sys.stdout):
         "list": cmd_list,
         "stats": cmd_stats,
         "audit": cmd_audit,
+        "bench": cmd_bench,
         "cache": cmd_cache,
         "trace": cmd_trace,
         "export": cmd_export,

@@ -1,17 +1,23 @@
 """Algorithm 1: the Trojan detector and its backends."""
 
 from repro.core.backends import ENGINES, make_engine, run_objective
-from repro.core.detector import TrojanDetector
+from repro.core.detector import AuditConfig, TrojanDetector
 from repro.core.registers import all_registers, pseudo_critical_candidates
-from repro.core.report import DetectionReport, RegisterFinding
+from repro.core.report import (
+    DetectionReport,
+    RegisterFinding,
+    scrub_volatile,
+)
 
 __all__ = [
     "ENGINES",
     "make_engine",
     "run_objective",
+    "AuditConfig",
     "TrojanDetector",
     "all_registers",
     "pseudo_critical_candidates",
     "DetectionReport",
     "RegisterFinding",
+    "scrub_volatile",
 ]

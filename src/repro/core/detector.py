@@ -27,9 +27,12 @@ resume after an interruption.
 from __future__ import annotations
 
 import time
+import warnings
+from dataclasses import dataclass, fields, replace
 
 from repro.bmc.witness import confirms_violation
 from repro.core.registers import pseudo_critical_candidates
+from repro.errors import ReproError
 from repro.obs.tracer import Tracer, get_tracer, tracing
 from repro.core.report import DetectionReport, RegisterFinding
 from repro.properties.monitors import (
@@ -46,13 +49,95 @@ from repro.runner import (
 )
 
 
+@dataclass(frozen=True)
+class AuditConfig:
+    """Everything that shapes one Algorithm 1 audit, in one object.
+
+    :class:`TrojanDetector` grew a dozen keyword arguments one PR at a
+    time; this dataclass is their consolidated home —
+    ``TrojanDetector(netlist, spec, config=AuditConfig(...))``. The old
+    per-argument spellings still work (they build or override an
+    ``AuditConfig`` under the hood) but emit a ``DeprecationWarning``.
+
+    Fields mirror the historical arguments exactly; see
+    :class:`TrojanDetector` for their semantics. The one new field is
+    ``jobs``: ``None`` (default) keeps the serial in-process audit loop,
+    while any integer ``N >= 1`` routes the audit through
+    :class:`~repro.sched.AuditScheduler` on a persistent pool of ``N``
+    worker processes (``jobs=1`` is the serial *schedule* on pool
+    infrastructure — useful for byte-comparing parallel runs against a
+    one-worker baseline, since both execute checks in worker
+    processes).
+    """
+
+    max_cycles: int = 40
+    engine: str = "bmc"
+    functional: bool = True
+    check_pseudo_critical: bool = False
+    check_bypass: bool = False
+    time_budget: float | None = None
+    pseudo_critical_cycles: int | None = None
+    stop_on_first: bool = True
+    lint_report: object = None
+    cache_dir: str | None = None
+    share_cones: bool = False
+    trace: object = None
+    jobs: int | None = None
+
+    def __post_init__(self):
+        if self.jobs is not None and self.jobs < 1:
+            raise ReproError(
+                "jobs must be None (serial) or >= 1, got {}".format(
+                    self.jobs
+                )
+            )
+
+
+_CONFIG_FIELDS = tuple(f.name for f in fields(AuditConfig))
+
+
+def grouped_check_outcome(name, result):
+    """Synthesize the :class:`CheckOutcome` for one member of a
+    shared-cone tracking group (grouped checks bypass the supervised
+    runner, so their outcomes are reconstructed from the engine result).
+    Used identically by the serial grouped path and the scheduler."""
+    outcome = CheckOutcome(
+        name=name,
+        status=(
+            "ok" if result.status in ("violated", "proved")
+            else "exhausted"
+        ),
+        result=result,
+        bound_reached=result.bound,
+        elapsed=result.elapsed,
+    )
+    if outcome.status != "ok":
+        outcome.error = "engine returned {!r} at bound {}".format(
+            result.status, result.bound
+        )
+    return outcome
+
+
 class TrojanDetector:
     """Runs Algorithm 1 over a design and its valid-way spec.
+
+    Preferred construction::
+
+        TrojanDetector(netlist, spec, config=AuditConfig(...), runner=...)
+
+    The historical per-argument keywords (``max_cycles=``, ``engine=``,
+    ...) still work but are deprecated; they override the matching
+    :class:`AuditConfig` field and warn.
 
     Parameters
     ----------
     netlist, spec:
         The design under audit and its :class:`DesignSpec`.
+    config:
+        An :class:`AuditConfig`. Its fields carry the semantics
+        documented below under their historical argument names; its
+        ``jobs`` field selects parallel scheduling (see
+        :mod:`repro.sched`).
     max_cycles:
         T — the bound the trustworthiness guarantee covers; the paper
         resets the design every T cycles (Section 3.2).
@@ -103,33 +188,70 @@ class TrojanDetector:
         emits into one trace tree rooted at the ``audit`` span.
     """
 
-    def __init__(self, netlist, spec, max_cycles=40, engine="bmc",
-                 functional=True, check_pseudo_critical=False,
-                 check_bypass=False, time_budget=None,
-                 pseudo_critical_cycles=None, stop_on_first=True,
-                 runner=None, lint_report=None, cache_dir=None,
-                 share_cones=False, trace=None):
+    def __init__(self, netlist, spec, config=None, runner=None, **legacy):
+        if config is not None and not isinstance(config, AuditConfig):
+            # the historical third positional argument was max_cycles
+            warnings.warn(
+                "passing max_cycles positionally is deprecated; pass "
+                "config=AuditConfig(max_cycles=...)",
+                DeprecationWarning, stacklevel=2,
+            )
+            legacy.setdefault("max_cycles", config)
+            config = None
+        if legacy:
+            unknown = sorted(set(legacy) - set(_CONFIG_FIELDS))
+            if unknown:
+                raise TypeError(
+                    "TrojanDetector got unexpected keyword argument(s) "
+                    "{}".format(", ".join(unknown))
+                )
+            warnings.warn(
+                "TrojanDetector keyword argument(s) {} are deprecated; "
+                "pass config=AuditConfig(...) instead".format(
+                    ", ".join(sorted(legacy))
+                ),
+                DeprecationWarning, stacklevel=2,
+            )
+            config = (
+                AuditConfig(**legacy) if config is None
+                else replace(config, **legacy)
+            )
+        if config is None:
+            config = AuditConfig()
+        self.config = config
         self.netlist = netlist
         self.spec = spec
-        self.max_cycles = max_cycles
-        self.engine = engine
-        self.functional = functional
-        self.check_pseudo_critical = check_pseudo_critical
-        self.check_bypass = check_bypass
-        self.time_budget = time_budget
+        self.max_cycles = config.max_cycles
+        self.engine = config.engine
+        self.functional = config.functional
+        self.check_pseudo_critical = config.check_pseudo_critical
+        self.check_bypass = config.check_bypass
+        self.time_budget = config.time_budget
         self.pseudo_critical_cycles = (
-            pseudo_critical_cycles
-            if pseudo_critical_cycles is not None
-            else max(4, max_cycles // 2)
+            config.pseudo_critical_cycles
+            if config.pseudo_critical_cycles is not None
+            else max(4, config.max_cycles // 2)
         )
-        self.stop_on_first = stop_on_first
+        self.stop_on_first = config.stop_on_first
         self.runner = runner if runner is not None else CheckRunner()
-        self.lint_report = lint_report
-        self.cache_dir = cache_dir
-        self.share_cones = share_cones
-        self.trace = trace
+        self.lint_report = config.lint_report
+        self.cache_dir = config.cache_dir
+        self.share_cones = config.share_cones
+        self.trace = config.trace
+        self.jobs = config.jobs
 
     # ------------------------------------------------------------------ API
+
+    @property
+    def scheduler_jobs(self):
+        """Worker-pool size for this audit, or ``None`` for the serial
+        loop. ``config.jobs`` wins; otherwise a pool-backed runner
+        (``configure(workers=N)``, ``N >= 2``) implies its own size."""
+        if self.jobs is not None:
+            return self.jobs
+        if self.runner.jobs > 1:
+            return self.runner.jobs
+        return None
 
     def run(self, registers=None, checkpoint=None):
         """Run Algorithm 1; returns a :class:`DetectionReport`.
@@ -152,6 +274,18 @@ class TrojanDetector:
                 tracer.close()
 
     def _run(self, registers, checkpoint, tracer):
+        jobs = self.scheduler_jobs
+        if jobs:
+            # imported lazily: repro.sched imports this module for the
+            # shared task builders
+            from repro.sched.scheduler import AuditRequest, AuditScheduler
+
+            scheduler = AuditScheduler(
+                [AuditRequest(self, registers=registers,
+                              checkpoint=checkpoint)],
+                jobs=jobs,
+            )
+            return scheduler.run()[0]
         start = time.perf_counter()
         report = DetectionReport(
             design=self.netlist.name,
@@ -243,16 +377,8 @@ class TrojanDetector:
         # "before" ones).
         if not (self.stop_on_first and finding.corruption.detected):
             for name, direction in finding.pseudo_criticals:
-                shadow_spec = RegisterSpec(
-                    register=name,
-                    ways=spec.ways,
-                    description="pseudo-critical shadow of {} ({})".format(
-                        register, direction
-                    ),
-                    observe_latency=spec.observe_latency,
-                )
                 result = self._corruption_check(
-                    shadow_spec,
+                    self.shadow_spec(spec, name, direction),
                     functional=False,
                     way_delay=2 if direction == "after" else 0,
                     finding=finding,
@@ -276,6 +402,18 @@ class TrojanDetector:
             self.netlist, spec, functional=functional, way_delay=way_delay
         )
 
+    def shadow_spec(self, spec, name, direction):
+        """The :class:`RegisterSpec` a promoted pseudo-critical register
+        is audited under (mirrors the critical register's ways)."""
+        return RegisterSpec(
+            register=name,
+            ways=spec.ways,
+            description="pseudo-critical shadow of {} ({})".format(
+                spec.register, direction
+            ),
+            observe_latency=spec.observe_latency,
+        )
+
     def _supervised(self, task, name, finding=None):
         """Run one check under supervision, recording its outcome."""
         outcome = self.runner.run(task, name=name)
@@ -283,9 +421,12 @@ class TrojanDetector:
             finding.check_outcomes[name] = outcome
         return outcome
 
-    def _corruption_check(self, spec, functional=None, way_delay=1,
-                          finding=None):
-        """Eq. (2) on one register spec; returns an engine-shaped result."""
+    # Task builders: the serial loop and the parallel scheduler build
+    # checks through the same code paths, so a check's content — and
+    # therefore its cache fingerprint — cannot depend on who ran it.
+
+    def corruption_task(self, spec, functional=None, way_delay=1):
+        """``(task, check name)`` for Eq. (2) on one register spec."""
         monitor = self._monitor_for(spec, functional, way_delay)
         task = ObjectiveTask(
             engine=self.engine,
@@ -297,15 +438,10 @@ class TrojanDetector:
             check_kwargs={"time_budget": self.time_budget},
             cache_dir=self.cache_dir,
         )
-        name = "corruption({})".format(spec.register)
-        return self._supervised(task, name, finding=finding).verdict
+        return task, "corruption({})".format(spec.register)
 
-    def check_corruption(self, spec, functional=None, way_delay=1):
-        """Eq. (2) on one register spec; returns the engine result."""
-        return self._corruption_check(spec, functional, way_delay)
-
-    def check_tracking(self, spec, candidate, direction, finding=None):
-        """Eq. (3) for one candidate/direction; returns the engine result."""
+    def tracking_task(self, spec, candidate, direction):
+        """``(task, check name)`` for Eq. (3) on one candidate/direction."""
         monitor = build_tracking_monitor(
             self.netlist, spec, candidate, direction=direction
         )
@@ -322,6 +458,45 @@ class TrojanDetector:
         name = "tracking({}->{},{})".format(
             spec.register, candidate, direction
         )
+        return task, name
+
+    def bypass_task(self, spec):
+        """``(task, check name)`` for Eq. (4) CEGIS on one register."""
+        task = BypassTask(
+            netlist=self.netlist,
+            spec=spec,
+            max_cycles=self.max_cycles,
+            time_budget=self.time_budget,
+        )
+        return task, "bypass({})".format(spec.register)
+
+    def tracking_group_builds(self, spec, candidates):
+        """``(base, builds)`` for the shared-cone Eq. (3) sweep: one
+        clone of the design carrying every candidate/direction tracking
+        monitor, and the builds in serial order."""
+        base = self.netlist.clone()
+        builds = []  # (candidate, direction, MonitorBuild)
+        for candidate in candidates:
+            for direction in ("after", "before"):
+                builds.append((candidate, direction, build_tracking_monitor(
+                    self.netlist, spec, candidate, direction=direction,
+                    into=base,
+                )))
+        return base, builds
+
+    def _corruption_check(self, spec, functional=None, way_delay=1,
+                          finding=None):
+        """Eq. (2) on one register spec; returns an engine-shaped result."""
+        task, name = self.corruption_task(spec, functional, way_delay)
+        return self._supervised(task, name, finding=finding).verdict
+
+    def check_corruption(self, spec, functional=None, way_delay=1):
+        """Eq. (2) on one register spec; returns the engine result."""
+        return self._corruption_check(spec, functional, way_delay)
+
+    def check_tracking(self, spec, candidate, direction, finding=None):
+        """Eq. (3) for one candidate/direction; returns the engine result."""
+        task, name = self.tracking_task(spec, candidate, direction)
         return self._supervised(task, name, finding=finding).verdict
 
     def _find_pseudo_criticals(self, spec, finding=None):
@@ -361,14 +536,7 @@ class TrojanDetector:
         """
         from repro.bmc.group import MultiObjectiveBmc, group_objectives_by_cone
 
-        base = self.netlist.clone()
-        builds = []  # (candidate, direction, MonitorBuild)
-        for candidate in candidates:
-            for direction in ("after", "before"):
-                builds.append((candidate, direction, build_tracking_monitor(
-                    self.netlist, spec, candidate, direction=direction,
-                    into=base,
-                )))
+        base, builds = self.tracking_group_builds(spec, candidates)
         nets = [b.objective_net for _, _, b in builds]
         names = [b.property_name for _, _, b in builds]
         results = [None] * len(builds)
@@ -391,35 +559,16 @@ class TrojanDetector:
                 spec.register, candidate, direction
             )
             if finding is not None:
-                outcome = CheckOutcome(
-                    name=name,
-                    status=(
-                        "ok"
-                        if result.status in ("violated", "proved")
-                        else "exhausted"
-                    ),
-                    result=result,
-                    bound_reached=result.bound,
-                    elapsed=result.elapsed,
+                finding.check_outcomes[name] = grouped_check_outcome(
+                    name, result
                 )
-                if outcome.status != "ok":
-                    outcome.error = "engine returned {!r} at bound {}".format(
-                        result.status, result.bound
-                    )
-                finding.check_outcomes[name] = outcome
             if result.status == "proved" and candidate not in promoted:
                 promoted.add(candidate)
                 found.append((candidate, direction))
         return found
 
     def _bypass_check(self, spec, finding=None):
-        task = BypassTask(
-            netlist=self.netlist,
-            spec=spec,
-            max_cycles=self.max_cycles,
-            time_budget=self.time_budget,
-        )
-        name = "bypass({})".format(spec.register)
+        task, name = self.bypass_task(spec)
         return self._supervised(task, name, finding=finding).verdict
 
     def check_bypass_register(self, spec):

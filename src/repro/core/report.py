@@ -2,7 +2,26 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+
+#: keys whose values vary run-to-run (wall clock, RSS, cache bookkeeping);
+#: :func:`scrub_volatile` strips them so two audits of the same design can
+#: be compared byte-for-byte — the basis of the ``--jobs N`` determinism
+#: guarantee and of any golden-file test.
+VOLATILE_KEYS = frozenset({"elapsed", "peak_memory", "saved_elapsed", "ts"})
+
+
+def scrub_volatile(obj, keys=VOLATILE_KEYS):
+    """Recursively drop run-varying keys from a report/finding dict."""
+    if isinstance(obj, dict):
+        return {
+            k: scrub_volatile(v, keys) for k, v in obj.items()
+            if k not in keys
+        }
+    if isinstance(obj, list):
+        return [scrub_volatile(v, keys) for v in obj]
+    return obj
 
 
 @dataclass
@@ -135,6 +154,40 @@ class DetectionReport:
             if finding.bypass is not None:
                 bounds.append(finding.bypass.bound)
         return min(bounds) if bounds else 0
+
+    def to_dict(self, scrub=False):
+        """JSON-ready dict of the whole report.
+
+        Findings serialize through the same codec the resume checkpoint
+        uses (:func:`repro.runner.checkpoint.finding_to_dict`), so a
+        report dict and a checkpoint entry agree field-for-field. With
+        ``scrub=True``, run-varying keys (:data:`VOLATILE_KEYS`) are
+        dropped — two audits of the same design then compare equal
+        regardless of wall clock or worker count.
+        """
+        from repro.runner.checkpoint import finding_to_dict
+
+        data = {
+            "design": self.design,
+            "engine": self.engine,
+            "max_cycles": self.max_cycles,
+            "trojan_found": self.trojan_found,
+            "degraded": self.degraded,
+            "trusted_for": self.trusted_for(),
+            "elapsed": self.elapsed,
+            "findings": {
+                register: finding_to_dict(finding)
+                for register, finding in self.findings.items()
+            },
+        }
+        return scrub_volatile(data) if scrub else data
+
+    def to_json(self, scrub=False, indent=2):
+        """The report as a JSON string (see :meth:`to_dict`)."""
+        return json.dumps(
+            self.to_dict(scrub=scrub), indent=indent, sort_keys=False,
+            default=str,
+        )
 
     def summary(self):
         verdict = (

@@ -32,8 +32,21 @@ from repro.runner.policy import (
     ResourceLimits,
     RetryPolicy,
 )
-from repro.runner.supervisor import INLINE, PROCESS, CheckRunner
-from repro.runner.tasks import BypassTask, CallableTask, ObjectiveTask
+from repro.runner.execution import CheckExecution
+from repro.runner.supervisor import (
+    INLINE,
+    PROCESS,
+    CheckRunner,
+    absorb_message,
+    absorb_result,
+    strip_telemetry,
+)
+from repro.runner.tasks import (
+    BypassTask,
+    CallableTask,
+    GroupObjectiveTask,
+    ObjectiveTask,
+)
 
 __all__ = [
     "AuditCheckpoint",
@@ -42,8 +55,13 @@ __all__ = [
     "BypassTask",
     "CachedResult",
     "CallableTask",
+    "CheckExecution",
     "CheckOutcome",
     "CheckRunner",
+    "GroupObjectiveTask",
+    "absorb_message",
+    "absorb_result",
+    "strip_telemetry",
     "CRASHED",
     "DEGRADED_STATUSES",
     "EXHAUSTED",

@@ -10,17 +10,30 @@ an exhausted budget, a :class:`ResourceBudgetExceeded`, a hang killed at
 the timeout, or a worker that dies outright — the caller receives a
 structured :class:`CheckOutcome`, never an exception: a single solver
 blow-up can no longer abort a whole audit.
+
+The per-check decision logic (cache consult, retry ladder, partial-
+result folding) lives in :class:`~repro.runner.execution.CheckExecution`
+so the parallel scheduler (:mod:`repro.sched`) runs the *same* state
+machine on its persistent worker pool. ``CheckRunner`` itself is the
+serial driver: it executes attempts one at a time, in this thread.
+
+A runner configured for parallelism (``configure(workers=N)`` with
+``N >= 2``) sets :attr:`jobs` and refuses the serial :meth:`run` — it
+must be handed to :class:`~repro.core.detector.TrojanDetector` (or
+:mod:`repro.sched` directly), which drives the pool. Before the
+scheduler existed, ``workers=4`` silently behaved exactly like
+``workers=1``; it now either parallelizes or raises, never lies.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.bmc.witness import Witness
 from repro.errors import ReproError, ResourceBudgetExceeded
 from repro.obs.profiling import profiled
 from repro.obs.tracer import get_tracer
-from repro.runner.outcome import AttemptRecord, CachedResult, CheckOutcome
+from repro.runner.execution import CONCLUSIVE, CheckExecution
+from repro.runner.outcome import AttemptRecord
 from repro.runner.policy import (
     BUDGET,
     CRASHED,
@@ -35,8 +48,66 @@ from repro.runner.worker import run_in_process
 INLINE = "inline"
 PROCESS = "process"
 
-#: Engine result statuses that count as a conclusive verdict.
-_CONCLUSIVE = ("violated", "proved")
+#: Kept for backward compatibility; canonical home is runner.execution.
+_CONCLUSIVE = CONCLUSIVE
+
+
+def absorb_result(record, result):
+    """Write an engine result object onto an :class:`AttemptRecord`."""
+    record._result = result
+    record.bound_reached = getattr(result, "bound", 0)
+    record.peak_memory = getattr(result, "peak_memory", 0)
+    status = getattr(result, "status", None)
+    record.status = OK if status in CONCLUSIVE else EXHAUSTED
+    if record.status == EXHAUSTED:
+        record.error = "engine returned {!r} at bound {}".format(
+            status, record.bound_reached
+        )
+
+
+def absorb_message(record, message, name, tracer):
+    """Interpret a worker protocol tuple onto an :class:`AttemptRecord`.
+
+    The tagged-tuple protocol is shared by the fork-per-attempt worker
+    (:func:`~repro.runner.worker.run_in_process`) and the persistent
+    pool (:mod:`repro.sched.pool`): ``("ok", result)``, ``("budget",
+    message, bound)``, ``("timeout", message)``, ``("crashed", message)``.
+    """
+    kind = message[0]
+    if kind == "ok":
+        absorb_result(record, message[1])
+    elif kind == "budget":
+        record.status = BUDGET
+        record.error = message[1]
+        record.bound_reached = message[2]
+    elif kind == "timeout":
+        record.status = TIMEOUT
+        record.error = message[1]
+        if tracer.enabled:
+            # the worker was killed: its event buffer died with it
+            tracer.point("runner.kill", check=name, reason="timeout")
+            tracer.metrics.counter("runner.kills").inc()
+    else:  # crashed
+        record.status = CRASHED
+        record.error = message[1]
+        if tracer.enabled:
+            tracer.point("runner.crash", check=name, error=message[1])
+            tracer.metrics.counter("runner.crashes").inc()
+
+
+def strip_telemetry(tracer, message):
+    """Strip a worker's trailing telemetry element off a protocol
+    tuple, grafting its events under the current (attempt) span and
+    folding its counters into this process's registry. Supervisor-
+    generated tuples (timeout, EOF-crash) carry none."""
+    if message and isinstance(message[-1], dict) and (
+        "events" in message[-1]
+    ):
+        telemetry = message[-1]
+        tracer.absorb(telemetry.get("events"))
+        tracer.metrics.merge_counters(telemetry.get("counters") or {})
+        message = message[:-1]
+    return message
 
 
 class CheckRunner:
@@ -55,15 +126,30 @@ class CheckRunner:
     fault_injector:
         Optional :class:`~repro.runner.faultinject.FaultInjector`
         consulted inside the execution context before each attempt.
+    jobs:
+        Degree of check-level parallelism this runner *requests*. The
+        runner itself stays a serial executor; ``jobs >= 2`` marks it
+        as pool-backed, and the detector routes such a runner through
+        :class:`~repro.sched.AuditScheduler` (N persistent workers
+        honouring this runner's ``limits``/``retry``). Calling
+        :meth:`run` directly on a ``jobs >= 2`` runner raises.
     """
 
     def __init__(self, isolation=INLINE, limits=None, retry=None,
-                 fault_injector=None, mp_context=None, profile_dir=None):
+                 fault_injector=None, mp_context=None, profile_dir=None,
+                 jobs=1):
         if isolation not in (INLINE, PROCESS):
             raise ReproError(
                 "unknown isolation {!r}; pick {!r} or {!r}".format(
                     isolation, INLINE, PROCESS
                 )
+            )
+        if jobs < 1:
+            raise ReproError("jobs must be >= 1, got {}".format(jobs))
+        if jobs > 1 and isolation != PROCESS:
+            raise ReproError(
+                "jobs={} needs process isolation: pool workers are "
+                "processes".format(jobs)
             )
         self.isolation = isolation
         self.limits = limits if limits is not None else ResourceLimits()
@@ -71,6 +157,7 @@ class CheckRunner:
         self.fault_injector = fault_injector
         self.mp_context = mp_context
         self.profile_dir = profile_dir  # cProfile dumps, one per attempt
+        self.jobs = jobs
         self._caches = {}  # cache_dir -> OutcomeCache
 
     def cache_for(self, cache_dir):
@@ -97,7 +184,13 @@ class CheckRunner:
     def configure(cls, workers=0, check_timeout=None, retries=0,
                   memory_bytes=None, halve_bound=False, backoff=0.0,
                   fault_injector=None, profile_dir=None):
-        """Build a runner from flat knobs (the CLI's view of the world)."""
+        """Build a runner from flat knobs (the CLI's view of the world).
+
+        ``workers=0`` runs checks inline; ``workers=1`` isolates each
+        check in a (fresh) worker process; ``workers=N`` for ``N >= 2``
+        configures a pool-backed runner — ``jobs=N`` — that the detector
+        drives through the parallel scheduler's persistent worker pool.
+        """
         return cls(
             isolation=PROCESS if workers else INLINE,
             limits=ResourceLimits(
@@ -109,6 +202,7 @@ class CheckRunner:
             ),
             fault_injector=fault_injector,
             profile_dir=profile_dir,
+            jobs=max(1, workers),
         )
 
     # ------------------------------------------------------------------ API
@@ -116,6 +210,14 @@ class CheckRunner:
     def run(self, task, name=None):
         """Run ``task`` to a :class:`CheckOutcome`; never raises for
         engine-side failures (supervisor bugs still propagate)."""
+        if self.jobs > 1:
+            raise ReproError(
+                "this runner is configured for jobs={}: single checks "
+                "cannot be parallelized by run(); pass the runner to "
+                "TrojanDetector (or repro.sched.AuditScheduler), which "
+                "drives the worker pool — or configure(workers=1) for "
+                "serial supervised execution".format(self.jobs)
+            )
         if name is None:
             name = getattr(task, "property_name", "") or "check"
         tracer = get_tracer()
@@ -139,138 +241,32 @@ class CheckRunner:
         return outcome
 
     def _run(self, task, name, tracer):
-        start = time.perf_counter()
-        outcome = CheckOutcome(name=name)
-        task, resume_base = self._consult_cache(task, outcome)
-        if tracer.enabled and outcome.cache is not None:
-            tracer.point("cache." + outcome.cache, check=name)
-        if outcome.cache == "hit":
-            outcome.elapsed = time.perf_counter() - start
-            return outcome
-        best_partial = None  # deepest inconclusive engine result
-        for index in range(self.retry.attempts):
-            delay = self.retry.delay_for(index)
+        execution = CheckExecution(
+            task, name, self.retry,
+            cache=self.cache_for(getattr(task, "cache_dir", None)),
+        )
+        done = execution.consult_cache()
+        if tracer.enabled and execution.outcome.cache is not None:
+            tracer.point("cache." + execution.outcome.cache, check=name)
+        while not done:
+            attempt_task, delay = execution.next_attempt()
             if delay > 0:
                 time.sleep(delay)
-            attempt_task = self._rescale(task, index)
+            index = execution.attempt_index
             record = self._attempt(attempt_task, name, index, tracer)
-            outcome.attempts.append(record)
-            outcome.bound_reached = max(
-                outcome.bound_reached, record.bound_reached
-            )
-            outcome.peak_memory = max(
-                outcome.peak_memory, record.peak_memory
-            )
-            if record.status == OK:
-                outcome.status = OK
-                outcome.result = record._result
-                outcome.error = None
-                break
-            outcome.status = record.status
-            outcome.error = record.error
-            partial = record._result
-            if partial is not None and (
-                best_partial is None or partial.bound > best_partial.bound
-            ):
-                best_partial = partial
-            if not self.retry.should_retry(record.status, index):
-                break
-            if tracer.enabled:
+            done = execution.record_attempt(record)
+            if not done and tracer.enabled:
                 tracer.point(
                     "runner.retry",
                     check=name,
                     failed_status=record.status,
-                    next_attempt=index + 1,
-                    backoff=self.retry.delay_for(index + 1),
+                    next_attempt=execution.attempt_index,
+                    backoff=self.retry.delay_for(execution.attempt_index),
                 )
                 tracer.metrics.counter("runner.retries").inc()
-        if outcome.result is None and best_partial is not None:
-            outcome.result = best_partial
-        if resume_base:
-            # a resumed check's engine-side bounds only cover the frames
-            # it actually ran; fold the cached certified prefix back in
-            outcome.bound_reached = max(outcome.bound_reached, resume_base)
-            result = outcome.result
-            if result is not None and getattr(result, "status", None) in (
-                "proved", "unknown"
-            ):
-                result.bound = max(result.bound, resume_base)
-        outcome.elapsed = time.perf_counter() - start
-        return outcome
+        return execution.finish()
 
     # ------------------------------------------------------------ internals
-
-    def _consult_cache(self, task, outcome):
-        """Check the outcome cache before spending any solver time.
-
-        Returns ``(task, resume_base)``: the task possibly rewritten to
-        resume past a cached proved bound, and that bound (0 = none).
-        A full hit is written onto ``outcome`` (``cache="hit"``) and the
-        caller returns it without running anything.
-        """
-        cache = self.cache_for(getattr(task, "cache_dir", None))
-        if cache is None or not hasattr(task, "cache_key"):
-            return task, 0
-        entry = cache.lookup(task.cache_key())
-        requested = getattr(task, "max_cycles", 0) or 0
-        if entry is not None:
-            if (
-                entry.has_violation
-                and entry.violation_bound <= requested
-                and entry.witness is not None
-            ):
-                cache.counters["hits"] += 1
-                outcome.cache = "hit"
-                outcome.status = OK
-                outcome.bound_reached = entry.violation_bound
-                outcome.result = CachedResult(
-                    status="violated",
-                    bound=entry.violation_bound,
-                    witness=Witness.from_dict(entry.witness),
-                    property_name=outcome.name,
-                    saved_elapsed=entry.elapsed,
-                )
-                return task, 0
-            if entry.proved_bound >= requested > 0:
-                cache.counters["hits"] += 1
-                outcome.cache = "hit"
-                outcome.status = OK
-                outcome.bound_reached = entry.proved_bound
-                outcome.result = CachedResult(
-                    status="proved",
-                    bound=entry.proved_bound,
-                    property_name=outcome.name,
-                    saved_elapsed=entry.elapsed,
-                )
-                return task, 0
-            if (
-                0 < entry.proved_bound < requested
-                and getattr(task, "start_cycle", 1) == 1
-                and hasattr(task, "with_resume")
-            ):
-                cache.counters["partial_hits"] += 1
-                outcome.cache = "partial"
-                return task.with_resume(entry.proved_bound), entry.proved_bound
-        cache.counters["misses"] += 1
-        if outcome.cache is None:
-            outcome.cache = "miss"
-        return task, 0
-
-    def _rescale(self, task, index):
-        """Apply the retry policy's bound/budget schedule to attempt ``index``."""
-        if index == 0:
-            return task
-        max_cycles = getattr(task, "max_cycles", None)
-        if max_cycles is not None and hasattr(task, "with_bound"):
-            new_bound = self.retry.bound_for(index, max_cycles)
-            if new_bound != max_cycles:
-                task = task.with_bound(new_bound)
-        budget = getattr(task, "time_budget", None)
-        if budget is not None and hasattr(task, "with_budget"):
-            new_budget = self.retry.budget_for(index, budget)
-            if new_budget != budget:
-                task = task.with_budget(new_budget)
-        return task
 
     def _attempt(self, task, name, index, tracer):
         start = time.perf_counter()
@@ -301,8 +297,8 @@ class CheckRunner:
                     profile_dir=self.profile_dir,
                 )
                 if tracer.enabled:
-                    message = self._absorb_telemetry(tracer, message)
-                self._absorb_message(record, message, name, tracer)
+                    message = strip_telemetry(tracer, message)
+                absorb_message(record, message, name, tracer)
             else:
                 try:
                     if self.fault_injector is not None:
@@ -319,55 +315,7 @@ class CheckRunner:
                     record.status = CRASHED
                     record.error = "{}: {}".format(type(exc).__name__, exc)
                 else:
-                    self._absorb_result(record, result)
+                    absorb_result(record, result)
             extra.update(status=record.status, bound=record.bound_reached)
         record.elapsed = time.perf_counter() - start
         return record
-
-    @staticmethod
-    def _absorb_telemetry(tracer, message):
-        """Strip a worker's trailing telemetry element off a protocol
-        tuple, grafting its events under the current (attempt) span and
-        folding its counters into this process's registry. Supervisor-
-        generated tuples (timeout, EOF-crash) carry none."""
-        if message and isinstance(message[-1], dict) and (
-            "events" in message[-1]
-        ):
-            telemetry = message[-1]
-            tracer.absorb(telemetry.get("events"))
-            tracer.metrics.merge_counters(telemetry.get("counters") or {})
-            message = message[:-1]
-        return message
-
-    def _absorb_message(self, record, message, name, tracer):
-        kind = message[0]
-        if kind == "ok":
-            self._absorb_result(record, message[1])
-        elif kind == "budget":
-            record.status = BUDGET
-            record.error = message[1]
-            record.bound_reached = message[2]
-        elif kind == "timeout":
-            record.status = TIMEOUT
-            record.error = message[1]
-            if tracer.enabled:
-                # the worker was killed: its event buffer died with it
-                tracer.point("runner.kill", check=name, reason="timeout")
-                tracer.metrics.counter("runner.kills").inc()
-        else:  # crashed
-            record.status = CRASHED
-            record.error = message[1]
-            if tracer.enabled:
-                tracer.point("runner.crash", check=name, error=message[1])
-                tracer.metrics.counter("runner.crashes").inc()
-
-    def _absorb_result(self, record, result):
-        record._result = result
-        record.bound_reached = getattr(result, "bound", 0)
-        record.peak_memory = getattr(result, "peak_memory", 0)
-        status = getattr(result, "status", None)
-        record.status = OK if status in _CONCLUSIVE else EXHAUSTED
-        if record.status == EXHAUSTED:
-            record.error = "engine returned {!r} at bound {}".format(
-                status, record.bound_reached
-            )

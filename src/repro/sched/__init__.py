@@ -1,0 +1,29 @@
+"""Parallel audit scheduling on a persistent worker pool.
+
+Two layers:
+
+* :mod:`~repro.sched.pool` — :class:`PersistentWorkerPool`: N check
+  workers spawned once, each serving tasks over its own pipe with the
+  crash-isolation guarantees of the fork-per-attempt runner (hard
+  timeout kill + respawn, ``RLIMIT_AS`` at spawn, EOF-as-crash).
+* :mod:`~repro.sched.scheduler` — :class:`AuditScheduler`: Algorithm 1
+  as a dynamic task DAG, scheduled across registers and designs, with
+  serial-replay assembly so the parallel report is identical to the
+  serial one, claim-locked cache coordination, early cancellation, and
+  per-design telemetry subtrees.
+
+Entry points: ``TrojanDetector(..., config=AuditConfig(jobs=N))`` (or
+``CheckRunner.configure(workers=N)``) routes a single audit through the
+scheduler; :class:`AuditScheduler` directly schedules many designs on
+one pool (the ``repro bench`` path).
+"""
+
+from repro.sched.pool import PersistentWorkerPool, PoolEvent
+from repro.sched.scheduler import AuditRequest, AuditScheduler
+
+__all__ = [
+    "AuditRequest",
+    "AuditScheduler",
+    "PersistentWorkerPool",
+    "PoolEvent",
+]

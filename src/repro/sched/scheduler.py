@@ -1,0 +1,951 @@
+"""Dependency-aware parallel scheduling of Algorithm 1 audits.
+
+:class:`AuditScheduler` runs the paper's per-register check sequence —
+Eq. (3) pseudo-critical tracking, Eq. (2) corruption, Eq. (4) bypass —
+concurrently across registers *and* across designs on one
+:class:`~repro.sched.pool.PersistentWorkerPool`, and still produces
+reports **identical** to the serial
+:class:`~repro.core.detector.TrojanDetector` loop. Two ideas make that
+possible:
+
+**Dynamic task DAG.** Every check is a node. Within a register,
+``tracking(after)`` nodes are ready immediately; each ``tracking(before)``
+node is gated on its ``after`` sibling finishing *without* a proof
+(serial never runs ``before`` once ``after`` promoted the candidate). A
+candidate promoted to pseudo-critical dynamically enqueues its own
+shadow-corruption audit — new nodes appear as verdicts arrive. The
+corruption and bypass nodes are ready immediately and run
+*speculatively*: serial may never have reached them (``stop_on_first``),
+so whether their results are *used* is decided later.
+
+**Serial-replay assembly.** A register's finding is assembled only when
+every check the serial loop *would have run* has completed, consuming
+outcomes in exactly the serial order and discarding speculative results
+serial would not have produced (a bypass solved in parallel with a
+corruption check that found the Trojan is simply dropped). Registers
+commit strictly in the serial (lint-prioritized) order, so
+``report.findings``, each finding's ``check_outcomes`` insertion order,
+promotion lists and stop-on-first truncation are byte-for-byte the
+serial result. Early-cancel is the converse: the moment an outcome
+proves a node's result can never be consumed — a committed Trojan at an
+earlier register, a detected corruption ahead of its speculative bypass
+— the node's worker is killed and the node dropped, *without* waiting.
+
+Cross-pool coordination: cache-participating nodes claim their
+fingerprint in a :class:`~repro.cache.ClaimRegistry` before solving;
+losing the claim defers the node, which re-consults the cache while it
+waits — two pools sharing a ``--cache-dir`` never solve the same check
+twice. Telemetry: each node records its check/attempt spans (plus the
+worker-shipped engine spans) in a private buffer; committed registers
+replay their kept nodes' buffers, in serial order, into a per-design
+``audit`` subtree that lands in the main trace when the design finishes
+— N workers, one coherent tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+from repro.bmc.witness import confirms_violation
+from repro.cache import ClaimRegistry
+from repro.core.report import DetectionReport, RegisterFinding
+from repro.core.registers import pseudo_critical_candidates
+from repro.errors import ReproError
+from repro.obs.tracer import NULL_TRACER, BufferTracer, get_tracer
+from repro.runner import AuditCheckpoint
+from repro.runner.execution import CheckExecution
+from repro.runner.outcome import AttemptRecord
+from repro.runner.policy import CRASHED, OK, RetryPolicy
+from repro.runner.supervisor import PROCESS, absorb_message
+from repro.runner.tasks import GroupObjectiveTask
+from repro.sched.pool import PersistentWorkerPool
+
+#: Node kinds (one per Algorithm 1 check family).
+TRACKING = "tracking"
+GROUP = "group"
+CORRUPTION = "corruption"
+SHADOW = "shadow"
+BYPASS = "bypass"
+
+#: Seconds between cache re-consults while another process holds a claim.
+CLAIM_POLL = 0.05
+#: Idle wait when nothing is running (deferred work pending).
+IDLE_POLL = 0.2
+
+
+class AuditRequest:
+    """One design audit to schedule: a detector plus ``run()`` arguments."""
+
+    def __init__(self, detector, registers=None, checkpoint=None):
+        self.detector = detector
+        self.registers = registers
+        self.checkpoint = checkpoint
+
+
+class _Node:
+    """One schedulable check. States: waiting (gated), ready, deferred,
+    running, done, canceled."""
+
+    __slots__ = (
+        "audit", "reg", "kind", "name", "seq", "priority", "factory",
+        "task", "state", "execution", "retry", "candidate", "direction",
+        "group_members", "claim_key", "claim_registry", "claim_held",
+        "delay_served", "tracer", "check_span", "attempt_span",
+        "attempt_task", "attempt_started", "outcome", "events",
+    )
+
+    def __init__(self, audit, reg, kind, name, seq, factory=None,
+                 task=None):
+        self.audit = audit
+        self.reg = reg
+        self.kind = kind
+        self.name = name
+        self.seq = seq
+        self.priority = (-reg.lint_score, audit.index, reg.index, seq)
+        self.factory = factory
+        self.task = task
+        self.state = "waiting"
+        self.execution = None
+        self.retry = None
+        self.candidate = None
+        self.direction = None
+        self.group_members = None
+        self.claim_key = None
+        self.claim_registry = None
+        self.claim_held = False
+        self.delay_served = False
+        self.tracer = None
+        self.check_span = None
+        self.attempt_span = None
+        self.attempt_task = None
+        self.attempt_started = 0.0
+        self.outcome = None
+        self.events = None
+
+    @property
+    def done(self):
+        return self.state == "done"
+
+    @property
+    def verdict(self):
+        return self.outcome.verdict
+
+
+class _RegisterState:
+    """Scheduler-side view of one register's audit progress."""
+
+    def __init__(self, audit, index, register, lint_score):
+        self.audit = audit
+        self.index = index
+        self.register = register
+        self.lint_score = lint_score
+        self.spec = None
+        self.started = 0.0
+        self.error = None  # raised when the serial replay reaches it
+        self.candidates = []
+        self.tracking = {}  # (candidate, direction) -> node
+        self.grouped = False
+        self.builds = []  # (candidate, direction, MonitorBuild), serial order
+        self.group_nodes = []
+        self.group_pending = 0
+        self.group_results = {}  # build index -> engine result
+        self.group_failures = {}  # build index -> group node CheckOutcome
+        self.decisions = {}  # candidate -> (promoted, direction|None)
+        self.promoted = None  # [(candidate, direction)] once fully decided
+        self.corruption = None
+        self.shadows = {}  # candidate -> node
+        self.shadow_stop = None  # candidate index of first detected shadow
+        self.suppress_shadows = False  # corruption found + stop_on_first
+        self.bypass = None
+        self.committed = False
+        self.discarded = False
+
+    def nodes(self):
+        for node in self.tracking.values():
+            yield node
+        for node in self.group_nodes:
+            yield node
+        if self.corruption is not None:
+            yield self.corruption
+        for node in self.shadows.values():
+            yield node
+        if self.bypass is not None:
+            yield self.bypass
+
+
+class _AuditState:
+    """One design audit in flight."""
+
+    def __init__(self, index, detector, names, report, store):
+        self.index = index
+        self.detector = detector
+        self.names = names  # serial (lint-prioritized) register order
+        self.report = report
+        self.store = store  # AuditCheckpoint or None
+        self.regs = {}  # register -> _RegisterState (non-restored only)
+        self.frontier = 0  # index into names of next commit
+        self.started = time.perf_counter()
+        self.done = False
+        self.buf = None  # per-design BufferTracer
+        self.audit_span = None
+
+
+class AuditScheduler:
+    """Runs one or more audits on a persistent pool of ``jobs`` workers.
+
+    Pool-wide settings (memory cap, fault injector, profile dir,
+    multiprocessing context) come from the **first** request's runner;
+    per-node settings (retry policy, hard timeouts, cache directory)
+    honour each request's own runner and detector.
+    """
+
+    def __init__(self, requests, jobs, mp_context=None):
+        if not requests:
+            raise ReproError("no audits to schedule")
+        if jobs < 1:
+            raise ReproError("jobs must be >= 1, got {}".format(jobs))
+        self.requests = list(requests)
+        self.jobs = jobs
+        self.mp_context = mp_context
+        self.audits = []
+        self.pool = None
+        self.tracer = get_tracer()
+        self._seq = 0
+        self._ready = []  # heap of (priority, node)
+        self._deferred = []  # heap of (not_before, seq, node, wake_kind)
+        self._running = {}  # seq -> node
+        self._claims = {}  # cache_dir -> ClaimRegistry
+        self.stats = {"checks": 0, "cache_completed": 0, "discarded": 0,
+                      "canceled": 0}
+
+    # ------------------------------------------------------------------ API
+
+    def run(self):
+        """Run every audit to completion; returns reports in request
+        order. Reports are identical to each detector's serial output."""
+        self.tracer = get_tracer()
+        for index, request in enumerate(self.requests):
+            self.audits.append(self._setup_audit(index, request))
+        for audit in self.audits:
+            self._advance(audit)
+        if not self._incomplete():
+            return [audit.report for audit in self.audits]
+        first = self.requests[0].detector.runner
+        self.pool = PersistentWorkerPool(
+            self.jobs,
+            memory_bytes=first.limits.memory_bytes,
+            injector=first.fault_injector,
+            mp_context=self.mp_context or first.mp_context,
+            collect_events=self.tracer.enabled,
+            profile_dir=first.profile_dir,
+        )
+        try:
+            self.pool.start()
+            self._loop()
+        finally:
+            self.pool.shutdown()
+            for registry in self._claims.values():
+                registry.release_all()
+        return [audit.report for audit in self.audits]
+
+    # ------------------------------------------------------------ main loop
+
+    def _incomplete(self):
+        return any(not audit.done for audit in self.audits)
+
+    def _loop(self):
+        while self._incomplete():
+            now = time.perf_counter()
+            self._wake_deferred(now)
+            self._dispatch()
+            if not self._incomplete():
+                return
+            if not (self._running or self._ready or self._deferred):
+                stuck = [
+                    "{}[{}]".format(a.report.design, a.names[a.frontier])
+                    for a in self.audits
+                    if not a.done and a.frontier < len(a.names)
+                ]
+                raise ReproError(
+                    "scheduler stalled with no runnable work; blocked on "
+                    "{}".format(", ".join(stuck) or "nothing")
+                )
+            timeout = IDLE_POLL
+            if self._deferred:
+                timeout = min(
+                    timeout,
+                    max(0.0, self._deferred[0][0] - time.perf_counter()),
+                )
+            if self._running:
+                for event in self.pool.wait(timeout=timeout):
+                    self._on_event(event)
+            else:
+                time.sleep(max(timeout, 0.001))
+
+    def _wake_deferred(self, now):
+        while self._deferred and self._deferred[0][0] <= now:
+            _due, _seq, node, wake = heapq.heappop(self._deferred)
+            if node.state != "deferred":
+                continue
+            if wake == "claim" and node.execution.consult_cache(count=False):
+                self._complete(node)
+                continue
+            if wake == "backoff":
+                node.delay_served = True
+            node.state = "ready"
+            heapq.heappush(self._ready, (node.priority, node))
+
+    def _defer(self, node, until, wake):
+        node.state = "deferred"
+        heapq.heappush(self._deferred, (until, node.seq, node, wake))
+
+    def _dispatch(self):
+        while self._ready and self.pool.idle_count > 0:
+            _prio, node = heapq.heappop(self._ready)
+            if node.state not in ("ready",):
+                continue
+            if node.execution is None and not self._init_execution(node):
+                continue  # answered by the cache, or swallowed an error
+            if node.claim_key is not None and not node.claim_held:
+                if not node.claim_registry.acquire(node.claim_key):
+                    self._defer(node, time.perf_counter() + CLAIM_POLL,
+                                "claim")
+                    continue
+                node.claim_held = True
+                # the previous holder may have stored a verdict between
+                # our miss and our claim: one more look before solving
+                if node.execution.consult_cache(count=False):
+                    self._complete(node)
+                    continue
+            task, delay = node.execution.next_attempt()
+            if delay > 0 and not node.delay_served:
+                self._defer(node, time.perf_counter() + delay, "backoff")
+                continue
+            node.delay_served = False
+            self._submit(node, task)
+
+    def _submit(self, node, task):
+        runner = node.audit.detector.runner
+        index = node.execution.attempt_index
+        node.attempt_task = task
+        node.attempt_started = time.perf_counter()
+        if node.tracer is not None:
+            node.attempt_span = node.tracer.begin(
+                "runner.attempt", check=node.name, index=index,
+                mode=PROCESS,
+            )
+        self.pool.submit(
+            node.seq, task, name=node.name, attempt_index=index,
+            hard_timeout=runner.limits.effective_timeout(
+                getattr(task, "time_budget", None)
+            ),
+        )
+        node.state = "running"
+        self._running[node.seq] = node
+
+    def _on_event(self, event):
+        node = self._running.pop(event.task_id, None)
+        if node is None:
+            return  # canceled after the result was already in flight
+        execution = node.execution
+        task = node.attempt_task
+        record = AttemptRecord(
+            index=execution.attempt_index,
+            status=CRASHED,
+            mode=PROCESS,
+            max_cycles=getattr(task, "max_cycles", 0) or 0,
+            time_budget=getattr(task, "time_budget", None),
+        )
+        record._result = None
+        message = event.message
+        if node.tracer is not None and message and isinstance(
+            message[-1], dict
+        ) and "events" in message[-1]:
+            telemetry = message[-1]
+            node.tracer.absorb(telemetry.get("events"))
+            node.tracer.metrics.merge_counters(
+                telemetry.get("counters") or {}
+            )
+            message = message[:-1]
+        if node.kind == GROUP and message[0] == "ok":
+            # a group's result is a per-member list, not an engine result
+            record.status = OK
+            record._result = message[1]
+        else:
+            absorb_message(
+                record, message, node.name,
+                node.tracer if node.tracer is not None else NULL_TRACER,
+            )
+        record.elapsed = time.perf_counter() - node.attempt_started
+        if node.tracer is not None:
+            node.tracer.end(
+                node.attempt_span,
+                status=record.status, bound=record.bound_reached,
+            )
+            node.attempt_span = None
+        if execution.record_attempt(record):
+            self._complete(node)
+            return
+        retry = node.retry
+        if node.tracer is not None:
+            node.tracer.point(
+                "runner.retry",
+                check=node.name,
+                failed_status=record.status,
+                next_attempt=execution.attempt_index,
+                backoff=retry.delay_for(execution.attempt_index),
+            )
+            node.tracer.metrics.counter("runner.retries").inc()
+        delay = retry.delay_for(execution.attempt_index)
+        if delay > 0:
+            self._defer(node, time.perf_counter() + delay, "backoff")
+            node.delay_served = True
+        else:
+            node.state = "ready"
+            heapq.heappush(self._ready, (node.priority, node))
+
+    # --------------------------------------------------------- node plumbing
+
+    def _add_node(self, reg, kind, name, factory=None, task=None,
+                  ready=False):
+        self._seq += 1
+        node = _Node(reg.audit, reg, kind, name, self._seq,
+                     factory=factory, task=task)
+        node.retry = (
+            RetryPolicy() if kind == GROUP
+            else reg.audit.detector.runner.retry
+        )
+        if ready:
+            node.state = "ready"
+            heapq.heappush(self._ready, (node.priority, node))
+        return node
+
+    def _init_execution(self, node):
+        """Build the task and its state machine; consult the cache.
+
+        Returns ``False`` when the node needs no worker (full cache hit)
+        — the node is completed in place.
+        """
+        runner = node.audit.detector.runner
+        if node.task is None:
+            node.task = node.factory()
+        cache = runner.cache_for(getattr(node.task, "cache_dir", None))
+        node.execution = CheckExecution(
+            node.task, node.name, node.retry, cache=cache
+        )
+        if self.tracer.enabled:
+            node.tracer = BufferTracer()
+            node.check_span = node.tracer.begin(
+                "runner.check", check=node.name
+            )
+        done = node.execution.consult_cache()
+        if node.tracer is not None and (
+            node.execution.outcome.cache is not None
+        ):
+            node.tracer.point(
+                "cache." + node.execution.outcome.cache, check=node.name
+            )
+        if cache is not None and hasattr(node.task, "cache_key") and (
+            not done
+        ):
+            cache_dir = node.task.cache_dir
+            registry = self._claims.get(cache_dir)
+            if registry is None:
+                registry = self._claims[cache_dir] = ClaimRegistry(
+                    cache_dir
+                )
+            node.claim_registry = registry
+            node.claim_key = node.task.cache_key()
+        if done:
+            self.stats["cache_completed"] += 1
+            self._complete(node)
+            return False
+        return True
+
+    def _complete(self, node):
+        outcome = node.execution.finish()
+        node.outcome = outcome
+        node.state = "done"
+        self.stats["checks"] += 1
+        if node.claim_held:
+            # the worker stored its verdict before sending the result,
+            # so releasing here means waiters find a readable entry
+            node.claim_registry.release(node.claim_key)
+            node.claim_held = False
+        if node.tracer is not None:
+            node.tracer.end(
+                node.check_span,
+                status=outcome.status,
+                attempts=len(outcome.attempts),
+                cache=outcome.cache,
+                bound=outcome.bound_reached,
+            )
+            node.events = node.tracer.drain()
+            metrics = self.tracer.metrics
+            metrics.merge_counters(
+                node.tracer.metrics.snapshot()["counters"]
+            )
+            metrics.counter("runner.checks").inc()
+            metrics.counter("runner.attempts").inc(len(outcome.attempts))
+            metrics.histogram("runner.check_seconds").observe(
+                outcome.elapsed
+            )
+            node.tracer = None
+        self._node_finished(node)
+
+    def _cancel_node(self, node):
+        if node is None or node.state in ("done", "canceled"):
+            return
+        if node.state == "running":
+            self.pool.cancel(node.seq)
+            self._running.pop(node.seq, None)
+        if node.claim_held:
+            node.claim_registry.release(node.claim_key)
+            node.claim_held = False
+        node.state = "canceled"
+        node.tracer = None
+        self.stats["canceled"] += 1
+        if self.tracer.enabled:
+            self.tracer.metrics.counter("sched.canceled").inc()
+
+    # ----------------------------------------------------------- DAG events
+
+    def _node_finished(self, node):
+        reg = node.reg
+        if reg.discarded or node.audit.done:
+            return
+        det = node.audit.detector
+        stop = det.stop_on_first
+        if node.kind == TRACKING:
+            self._tracking_done(node)
+        elif node.kind == GROUP:
+            self._group_done(node)
+        elif node.kind == CORRUPTION:
+            if stop and node.verdict.detected:
+                # serial would never reach this register's shadows/bypass
+                reg.suppress_shadows = True
+                for shadow in reg.shadows.values():
+                    self._cancel_node(shadow)
+                self._cancel_node(reg.bypass)
+        elif node.kind == SHADOW:
+            if stop and node.verdict.detected:
+                order = reg.candidates.index(node.candidate)
+                if reg.shadow_stop is None or order < reg.shadow_stop:
+                    reg.shadow_stop = order
+                for candidate, shadow in reg.shadows.items():
+                    if reg.candidates.index(candidate) > order:
+                        self._cancel_node(shadow)
+                self._cancel_node(reg.bypass)
+        self._advance(node.audit)
+
+    def _tracking_done(self, node):
+        reg = node.reg
+        candidate = node.candidate
+        if node.direction == "after":
+            if node.verdict.status == "proved":
+                self._decide(reg, candidate, True, "after")
+                # serial short-circuits: "before" is never checked
+                before = reg.tracking.get((candidate, "before"))
+                if before is not None:
+                    before.state = "canceled"
+            else:
+                before = reg.tracking[(candidate, "before")]
+                if before.state == "waiting":
+                    before.state = "ready"
+                    heapq.heappush(self._ready, (before.priority, before))
+        else:
+            if node.verdict.status == "proved":
+                self._decide(reg, candidate, True, "before")
+            else:
+                self._decide(reg, candidate, False, None)
+
+    def _decide(self, reg, candidate, promoted, direction):
+        reg.decisions[candidate] = (promoted, direction)
+        if promoted:
+            self._spawn_shadow(reg, candidate, direction)
+        if len(reg.decisions) == len(reg.candidates):
+            reg.promoted = [
+                (name, reg.decisions[name][1])
+                for name in reg.candidates
+                if reg.decisions[name][0]
+            ]
+
+    def _group_done(self, node):
+        reg = node.reg
+        result = node.outcome.result if node.outcome.ok else None
+        if isinstance(result, list):
+            for build_index, member in zip(node.group_members, result):
+                reg.group_results[build_index] = member
+        else:
+            for build_index in node.group_members:
+                reg.group_failures[build_index] = node.outcome
+        reg.group_pending -= 1
+        if reg.group_pending > 0:
+            return
+        # all groups answered: replay the serial promotion scan, where
+        # "after" beats "before" because it comes first in build order
+        found = []
+        seen = set()
+        for index, (candidate, direction, _build) in enumerate(reg.builds):
+            member = reg.group_results.get(index)
+            if member is not None and member.status == "proved" and (
+                candidate not in seen
+            ):
+                seen.add(candidate)
+                found.append((candidate, direction))
+        reg.promoted = found
+        for candidate, direction in found:
+            self._spawn_shadow(reg, candidate, direction)
+
+    def _spawn_shadow(self, reg, candidate, direction):
+        """Dynamic DAG growth: a promoted register enqueues its own
+        shadow-corruption audit (Eq. 2, non-functional, shifted window)."""
+        det = reg.audit.detector
+        if reg.suppress_shadows or candidate in reg.shadows:
+            return
+        if reg.shadow_stop is not None and (
+            reg.candidates.index(candidate) > reg.shadow_stop
+        ):
+            return  # an earlier shadow already stopped the serial scan
+        shadow_spec = det.shadow_spec(reg.spec, candidate, direction)
+        way_delay = 2 if direction == "after" else 0
+        node = self._add_node(
+            reg, SHADOW, "corruption({})".format(candidate),
+            factory=lambda det=det, spec=shadow_spec, wd=way_delay: (
+                det.corruption_task(spec, functional=False, way_delay=wd)[0]
+            ),
+            ready=True,
+        )
+        node.candidate = candidate
+        node.direction = direction
+        reg.shadows[candidate] = node
+
+    # -------------------------------------------------------- audit assembly
+
+    def _setup_audit(self, index, request):
+        det = request.detector
+        report = DetectionReport(
+            design=det.netlist.name,
+            engine=det.engine,
+            max_cycles=det.max_cycles,
+            trojan_info=det.spec.trojan,
+        )
+        names = request.registers or list(det.spec.critical)
+        if det.lint_report is not None:
+            names = det.lint_report.prioritize(names)
+        store = None
+        if request.checkpoint is not None:
+            store = (
+                request.checkpoint
+                if isinstance(request.checkpoint, AuditCheckpoint)
+                else AuditCheckpoint(request.checkpoint)
+            )
+            restored = store.begin(
+                det.netlist.name, det.engine, det.max_cycles
+            )
+            for register in names:
+                if register in restored:
+                    report.findings[register] = restored[register]
+        audit = _AuditState(index, det, names, report, store)
+        if self.tracer.enabled:
+            audit.buf = BufferTracer()
+            audit.audit_span = audit.buf.begin(
+                "audit",
+                design=det.netlist.name,
+                engine=det.engine,
+                max_cycles=det.max_cycles,
+            )
+        scores = (
+            det.lint_report.register_scores()
+            if det.lint_report is not None else {}
+        )
+        for reg_index, register in enumerate(names):
+            if register in report.findings:
+                continue  # restored from the checkpoint
+            reg = _RegisterState(
+                audit, reg_index, register, scores.get(register, 0)
+            )
+            audit.regs[register] = reg
+            try:
+                self._init_register(reg)
+            except Exception as exc:  # noqa: BLE001 - replay serial timing
+                # serial raises only when its loop *reaches* the broken
+                # register; stash the error and re-raise at the frontier
+                reg.error = exc
+        return audit
+
+    def _init_register(self, reg):
+        det = reg.audit.detector
+        reg.spec = det.spec.spec_for(reg.register)
+        reg.started = time.perf_counter()
+        reg.corruption = self._add_node(
+            reg, CORRUPTION, "corruption({})".format(reg.register),
+            factory=lambda det=det, spec=reg.spec: (
+                det.corruption_task(spec)[0]
+            ),
+            ready=True,
+        )
+        if det.check_pseudo_critical:
+            reg.candidates = list(pseudo_critical_candidates(
+                det.netlist, det.spec, reg.register
+            ))
+            if det.share_cones and det.engine == "bmc" and reg.candidates:
+                self._init_grouped_tracking(reg)
+            else:
+                for candidate in reg.candidates:
+                    for direction in ("after", "before"):
+                        node = self._add_node(
+                            reg, TRACKING,
+                            "tracking({}->{},{})".format(
+                                reg.register, candidate, direction
+                            ),
+                            factory=lambda det=det, spec=reg.spec,
+                            c=candidate, d=direction: (
+                                det.tracking_task(spec, c, d)[0]
+                            ),
+                            ready=(direction == "after"),
+                        )
+                        node.candidate = candidate
+                        node.direction = direction
+                        reg.tracking[(candidate, direction)] = node
+            if not reg.candidates:
+                reg.promoted = []
+        else:
+            reg.promoted = []
+        if det.check_bypass:
+            reg.bypass = self._add_node(
+                reg, BYPASS, "bypass({})".format(reg.register),
+                factory=lambda det=det, spec=reg.spec: (
+                    det.bypass_task(spec)[0]
+                ),
+                ready=True,
+            )
+
+    def _init_grouped_tracking(self, reg):
+        from repro.bmc.group import group_objectives_by_cone
+
+        det = reg.audit.detector
+        reg.grouped = True
+        base, builds = det.tracking_group_builds(reg.spec, reg.candidates)
+        reg.builds = builds
+        nets = [build.objective_net for _, _, build in builds]
+        names = [build.property_name for _, _, build in builds]
+        for group in group_objectives_by_cone(base, nets):
+            task = GroupObjectiveTask(
+                netlist=base,
+                objective_nets=tuple(nets[i] for i in group),
+                max_cycles=det.pseudo_critical_cycles,
+                property_names=tuple(names[i] for i in group),
+                pinned_inputs=det.spec.pinned_inputs,
+                time_budget=det.time_budget,
+            )
+            node = self._add_node(
+                reg, GROUP, task.property_name, task=task, ready=True
+            )
+            node.group_members = list(group)
+            reg.group_nodes.append(node)
+        reg.group_pending = len(reg.group_nodes)
+
+    def _advance(self, audit):
+        """Serial-replay commit loop: commit frontier registers whose
+        serial check set is fully known, in serial order."""
+        if audit.done:
+            return
+        det = audit.detector
+        report = audit.report
+        while audit.frontier < len(audit.names):
+            name = audit.names[audit.frontier]
+            if name in report.findings:
+                audit.frontier += 1
+                continue  # restored from the checkpoint
+            if det.stop_on_first and report.trojan_found:
+                self._discard_rest(audit, audit.frontier)
+                break
+            reg = audit.regs[name]
+            if reg.error is not None:
+                raise reg.error
+            assembled = self._try_assemble(reg)
+            if assembled is None:
+                return  # frontier register still has checks in flight
+            finding, kept = assembled
+            self._commit(audit, reg, finding, kept)
+            audit.frontier += 1
+            if det.stop_on_first and finding.trojan_found:
+                self._discard_rest(audit, audit.frontier)
+                break
+        self._finalize(audit)
+
+    def _try_assemble(self, reg):
+        """Replay the serial per-register flow against completed nodes.
+
+        Returns ``(finding, kept_nodes)`` when every check the serial
+        loop would run has completed, else ``None``. ``kept_nodes`` are
+        the consumed nodes in serial execution order — speculative
+        results serial would not have produced are *not* consumed.
+        """
+        det = reg.audit.detector
+        stop = det.stop_on_first
+        kept = []
+        outcomes = []  # (check name, CheckOutcome), serial insertion order
+        promoted = []
+        if det.check_pseudo_critical and reg.candidates:
+            if reg.promoted is None:
+                return None
+            promoted = reg.promoted
+            if reg.grouped:
+                from repro.core.detector import grouped_check_outcome
+
+                kept.extend(reg.group_nodes)
+                for index, (candidate, direction, _build) in enumerate(
+                    reg.builds
+                ):
+                    name = "tracking({}->{},{})".format(
+                        reg.register, candidate, direction
+                    )
+                    member = reg.group_results.get(index)
+                    if member is not None:
+                        outcomes.append(
+                            (name, grouped_check_outcome(name, member))
+                        )
+                    else:
+                        outcomes.append((name, _group_failure_outcome(
+                            name, reg.group_failures.get(index)
+                        )))
+            else:
+                for candidate in reg.candidates:
+                    after = reg.tracking[(candidate, "after")]
+                    if not after.done:
+                        return None
+                    kept.append(after)
+                    outcomes.append((after.name, after.outcome))
+                    if after.verdict.status != "proved":
+                        before = reg.tracking[(candidate, "before")]
+                        if not before.done:
+                            return None
+                        kept.append(before)
+                        outcomes.append((before.name, before.outcome))
+        corruption = reg.corruption
+        if not corruption.done:
+            return None
+        kept.append(corruption)
+        outcomes.append((corruption.name, corruption.outcome))
+        corruption_verdict = corruption.verdict
+        shadows_used = []
+        if not (stop and corruption_verdict.detected):
+            for candidate, _direction in promoted:
+                shadow = reg.shadows.get(candidate)
+                if shadow is None or not shadow.done:
+                    return None
+                shadows_used.append((candidate, shadow))
+                kept.append(shadow)
+                outcomes.append((shadow.name, shadow.outcome))
+                if stop and shadow.verdict.detected:
+                    break
+        trojan_so_far = corruption_verdict.detected or any(
+            shadow.verdict.detected for _, shadow in shadows_used
+        )
+        bypass = None
+        if det.check_bypass and not (stop and trojan_so_far):
+            bypass = reg.bypass
+            if bypass is None or not bypass.done:
+                return None
+            kept.append(bypass)
+            outcomes.append((bypass.name, bypass.outcome))
+
+        finding = RegisterFinding(register=reg.register)
+        if det.lint_report is not None:
+            finding.lint_evidence = [
+                f.to_dict()
+                for f in det.lint_report.findings_for(reg.register)
+            ]
+        finding.pseudo_criticals = list(promoted)
+        for name, outcome in outcomes:
+            finding.check_outcomes[name] = outcome
+        finding.corruption = corruption_verdict
+        if corruption_verdict.detected:
+            monitor = det._monitor_for(reg.spec)
+            finding.witness_confirmed = confirms_violation(
+                monitor.netlist,
+                corruption_verdict.witness,
+                monitor.violation_net,
+            )
+        for candidate, shadow in shadows_used:
+            finding.pseudo_corruptions[candidate] = shadow.verdict
+        if bypass is not None:
+            finding.bypass = bypass.verdict
+        finding.elapsed = time.perf_counter() - reg.started
+        return finding, kept
+
+    def _commit(self, audit, reg, finding, kept):
+        if audit.buf is not None:
+            with audit.buf.span(
+                "audit.register", register=reg.register
+            ) as extra:
+                for node in kept:
+                    if node.events:
+                        audit.buf.absorb(node.events)
+                extra.update(trojan_found=finding.trojan_found)
+        audit.report.findings[reg.register] = finding
+        if audit.store is not None:
+            audit.store.save_finding(reg.register, finding)
+        reg.committed = True
+        # anything this register solved speculatively but serial never
+        # consumed (canceled or still running) is now provably unwanted
+        for node in reg.nodes():
+            if not (node.done and node in kept) and node.state != (
+                "canceled"
+            ):
+                if node.done:
+                    self.stats["discarded"] += 1
+                else:
+                    self._cancel_node(node)
+
+    def _discard_rest(self, audit, from_index):
+        """A committed Trojan ends the design's serial loop: every
+        not-yet-committed register after it is dropped, its workers
+        killed."""
+        for name in audit.names[from_index:]:
+            reg = audit.regs.get(name)
+            if reg is None or reg.committed or reg.discarded:
+                continue
+            reg.discarded = True
+            for node in reg.nodes():
+                if node.done:
+                    self.stats["discarded"] += 1
+                else:
+                    self._cancel_node(node)
+
+    def _finalize(self, audit):
+        audit.report.elapsed = time.perf_counter() - audit.started
+        audit.done = True
+        if audit.buf is not None:
+            audit.buf.end(
+                audit.audit_span,
+                trojan_found=audit.report.trojan_found,
+                registers=len(audit.report.findings),
+            )
+            self.tracer.absorb(audit.buf.drain())
+            audit.buf = None
+
+
+def _group_failure_outcome(name, group_outcome):
+    """Member outcome for a group that died without per-member verdicts.
+
+    Serial has no analogue (grouped solves run inline, so a crash there
+    aborts the whole audit); the pool degrades it to an unconcluded
+    outcome so the rest of the audit survives, exactly like any other
+    supervised check failure.
+    """
+    from repro.runner.outcome import CheckOutcome
+
+    if group_outcome is None:
+        return CheckOutcome(name=name, status=CRASHED,
+                            error="group check produced no result")
+    return CheckOutcome(
+        name=name,
+        status=group_outcome.status,
+        bound_reached=0,
+        elapsed=group_outcome.elapsed,
+        error=group_outcome.error or "group check failed",
+    )

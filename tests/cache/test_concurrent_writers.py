@@ -1,0 +1,80 @@
+"""Two scheduler pools, one cache dir: no corrupt lines, no double-solve."""
+
+import json
+import multiprocessing
+import os
+
+from repro.cache import OutcomeCache
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def _audit_into_cache(cache_dir, result_path):
+    """One full parallel audit writing into the shared cache dir."""
+    from repro.core import AuditConfig, TrojanDetector
+    from repro.properties import DesignSpec
+    from repro.runner import CheckRunner
+
+    nl = build_secret_design(trojan=True, pseudo=True)
+    spec = DesignSpec(name=nl.name, critical={"secret": secret_spec()})
+    config = AuditConfig(
+        max_cycles=10, time_budget=60, check_pseudo_critical=True,
+        stop_on_first=False, cache_dir=cache_dir, jobs=2,
+    )
+    detector = TrojanDetector(
+        nl, spec, config=config, runner=CheckRunner.configure(check_timeout=120)
+    )
+    report = detector.run()
+    with open(result_path, "w") as handle:
+        json.dump({"trojan_found": report.trojan_found}, handle)
+
+
+def test_two_pools_one_cache_dir(tmp_path):
+    cache_dir = str(tmp_path / "shared-cache")
+    ctx = multiprocessing.get_context("fork")
+    procs = []
+    results = []
+    for index in range(2):
+        result_path = str(tmp_path / "report{}.json".format(index))
+        results.append(result_path)
+        procs.append(ctx.Process(
+            target=_audit_into_cache, args=(cache_dir, result_path)
+        ))
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(300)
+        assert proc.exitcode == 0
+
+    # both audits reached the same verdict
+    for result_path in results:
+        with open(result_path) as handle:
+            assert json.load(handle)["trojan_found"] is True
+
+    # every cache line parses (no torn/interleaved writes) and every
+    # digest was solved exactly once (claims prevented double-solves,
+    # so gc finds nothing superseded and nothing unreadable)
+    cache = OutcomeCache(cache_dir)
+    stats = cache.stats()
+    assert stats["entries"] > 0
+    before, after, skipped = cache.gc()
+    assert skipped == 0, "corrupt cache lines survived concurrent writers"
+    assert before == after, "same fingerprint was solved more than once"
+
+    # no claim files left behind: both pools released on completion
+    claims_dir = os.path.join(cache_dir, "claims")
+    if os.path.isdir(claims_dir):
+        assert os.listdir(claims_dir) == []
+
+
+def test_second_pool_rides_the_first_pools_cache(tmp_path):
+    cache_dir = str(tmp_path / "warm-cache")
+    first = str(tmp_path / "first.json")
+    second = str(tmp_path / "second.json")
+    _audit_into_cache(cache_dir, first)
+    entries_after_first = OutcomeCache(cache_dir).stats()["entries"]
+    _audit_into_cache(cache_dir, second)
+    # the warm run adds nothing: every check was a cache hit
+    assert OutcomeCache(cache_dir).stats()["entries"] == entries_after_first
+    with open(second) as handle:
+        assert json.load(handle)["trojan_found"] is True
