@@ -48,8 +48,14 @@ __all__ = [
     "Linter",
     "LintConfig",
     "lint_design",
-    # outcome cache
+    # outcome cache + pluggable backends
     "OutcomeCache",
+    "CacheBackend",
+    "FallbackBackend",
+    # audit service
+    "AuditService",
+    "JobQueue",
+    "ServiceClient",
     # telemetry
     "Tracer",
     "summarize_trace",
@@ -81,6 +87,11 @@ _EXPORTS = {
     "LintConfig": ("repro.lint", "LintConfig"),
     "lint_design": ("repro.lint", "lint_design"),
     "OutcomeCache": ("repro.cache", "OutcomeCache"),
+    "CacheBackend": ("repro.cache.backend", "CacheBackend"),
+    "FallbackBackend": ("repro.cache.backend", "FallbackBackend"),
+    "AuditService": ("repro.serve.server", "AuditService"),
+    "JobQueue": ("repro.serve.queue", "JobQueue"),
+    "ServiceClient": ("repro.serve.server", "ServiceClient"),
     "Tracer": ("repro.obs.tracer", "Tracer"),
     "summarize_trace": ("repro.obs.summary", "summarize"),
     "Circuit": ("repro.netlist.builder", "Circuit"),

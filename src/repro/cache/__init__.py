@@ -22,6 +22,14 @@ sticky and because an engine whose bound loop never runs reports
 ``unknown``, never a vacuous ``proved``.
 """
 
+from repro.cache.backend import (
+    CacheBackend,
+    FallbackBackend,
+    LocalBackend,
+    MemoryBackend,
+    NullBackend,
+    backend_for,
+)
 from repro.cache.claims import ClaimRegistry
 from repro.cache.keys import CheckKey, check_key
 from repro.cache.store import (
@@ -32,11 +40,17 @@ from repro.cache.store import (
 )
 
 __all__ = [
+    "backend_for",
+    "CacheBackend",
     "CacheEntry",
     "CheckKey",
     "ClaimRegistry",
     "check_key",
+    "FallbackBackend",
     "FILENAME",
+    "LocalBackend",
+    "MemoryBackend",
+    "NullBackend",
     "OutcomeCache",
     "SCHEMA_VERSION",
 ]

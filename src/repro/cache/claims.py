@@ -11,10 +11,14 @@ audit processes the waste multiplies.
 is one file, ``<cache_dir>/claims/<digest>.claim``, created with
 ``O_CREAT | O_EXCL`` — the POSIX-atomic "exactly one winner" primitive
 on a local filesystem (no flock ordering games, no lock server). The
-file body records the claimant (pid, wall-clock timestamp) so other
-processes can *break* a claim whose owner died mid-solve: liveness is
-checked with ``kill(pid, 0)``, with an age TTL as the backstop for pid
-reuse and cross-host mounts.
+file body records the claimant (pid, wall-clock timestamp, and a host
+identity — hostname plus the kernel boot nonce) so other processes can
+*break* a claim whose owner died mid-solve. Liveness is checked with
+``kill(pid, 0)`` **only for claims written on this same host in this
+same boot**: a pid is a host-local name, so for a claim from another
+host (a shared NFS cache dir) or from a previous boot the age TTL is
+the only breaker — ``kill`` would be interrogating an unrelated local
+process that happens to share the number.
 
 Protocol (the scheduler side lives in :mod:`repro.sched.scheduler`):
 
@@ -37,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from pathlib import Path
 
@@ -46,6 +51,34 @@ SUFFIX = ".claim"
 #: Age after which a claim may be broken even if a process with the
 #: recorded pid is alive (pid reuse / NFS view of a dead remote host).
 DEFAULT_TTL = 6 * 3600.0
+
+
+def _boot_nonce():
+    """A string that changes across reboots of this host (or "")."""
+    try:
+        with open("/proc/sys/kernel/random/boot_id") as handle:
+            return handle.read().strip()
+    except OSError:
+        return ""
+
+
+def host_identity():
+    """``hostname/boot-nonce`` naming this host *in this boot*.
+
+    Two claims share an identity exactly when their writers' pid
+    namespaces are comparable: same machine, same boot. Hostname alone
+    is not enough — pids restart from scratch after a reboot, so a
+    pre-reboot claim's pid must not be probed with ``kill`` even on the
+    "same" host.
+    """
+    try:
+        name = socket.gethostname()
+    except OSError:
+        name = "?"
+    return "{}/{}".format(name, _boot_nonce())
+
+
+HOST_IDENTITY = host_identity()
 
 
 def _pid_alive(pid):
@@ -91,7 +124,11 @@ class ClaimRegistry:
             # accepting a possible duplicate, rather than stall the audit
             return True
         with os.fdopen(fd, "w") as handle:
-            json.dump({"pid": os.getpid(), "ts": time.time()}, handle)
+            json.dump({
+                "pid": os.getpid(),
+                "ts": time.time(),
+                "host": HOST_IDENTITY,
+            }, handle)
         return True
 
     def holder(self, key):
@@ -109,6 +146,11 @@ class ClaimRegistry:
         age = time.time() - record.get("ts", 0)
         if self.ttl is not None and age > self.ttl:
             return True
+        host = record.get("host")
+        if host is not None and host != HOST_IDENTITY:
+            # foreign host or pre-reboot claim: its pid means nothing
+            # here, so only the TTL above may break it
+            return False
         return not _pid_alive(record.get("pid"))
 
     # ----------------------------------------------------------------- API

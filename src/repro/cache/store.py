@@ -118,16 +118,19 @@ class OutcomeCache:
         skipped = 0
         if stat is not None:
             try:
-                text = self.path.read_text()
+                raw = self.path.read_bytes()
             except OSError:
-                text = ""
-            for line in text.splitlines():
-                line = line.strip()
-                if not line:
+                raw = b""
+            # decode per line, not whole-file: a writer killed mid-append
+            # can tear the tail inside a multi-byte UTF-8 sequence, and a
+            # whole-file decode would throw away every intact record
+            # before it
+            for raw_line in raw.splitlines():
+                if not raw_line.strip():
                     continue
                 try:
-                    record = json.loads(line)
-                except ValueError:
+                    record = json.loads(raw_line.decode("utf-8").strip())
+                except (UnicodeDecodeError, ValueError):
                     skipped += 1
                     continue
                 if (

@@ -71,6 +71,22 @@ Commands
     additionally wraps every check attempt in ``cProfile`` and drops
     pstats files next to the trace.
 
+``serve`` / ``submit`` / ``jobs``
+    Run audits as a crash-tolerant service (see README "Audit
+    service"): ``serve`` starts an HTTP front end over a durable job
+    queue with a pool of lease-holding worker threads; ``submit``
+    enqueues an audit and optionally waits for the verdict; ``jobs``
+    lists jobs or streams one job's progress events::
+
+        python -m repro serve --queue-dir ./queue --port 8630
+        python -m repro submit --design mc8051-t800 --wait
+        python -m repro jobs --job job-0001 --events
+
+    Jobs survive worker crashes and service restarts: the queue
+    journals every transition, leases expire by TTL, and a job that
+    keeps killing its workers is dead-lettered with its partial
+    findings attached.
+
 ``list``
     Show the bundled designs and their ground-truth Trojans.
 
@@ -490,6 +506,88 @@ def cmd_cache(args, out=sys.stdout):
     raise SystemExit("unknown cache command {!r}".format(args.cache_command))
 
 
+def cmd_serve(args, out=sys.stdout):
+    from repro.runner.faultinject import ServiceFaultPlan
+    from repro.serve import AuditService, run_server
+
+    plan = None
+    if args.inject:
+        try:
+            plan = ServiceFaultPlan.parse(args.inject)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+    def ready(address):
+        print("serving on http://{}:{} (queue: {})".format(
+            address[0], address[1], args.queue_dir), file=out)
+        out.flush()
+
+    service = AuditService(
+        args.queue_dir,
+        workers=args.workers or 2,
+        lease_ttl=args.lease_ttl,
+        max_leases=args.max_leases,
+        fault_plan=plan,
+    )
+    return run_server(service, host=args.host, port=args.port, ready=ready)
+
+
+def cmd_submit(args, out=sys.stdout):
+    from repro.errors import ServiceError
+    from repro.serve import ServiceClient
+
+    options = {}
+    if args.engine:
+        options["engine"] = args.engine
+    if args.max_cycles is not None:
+        options["max_cycles"] = args.max_cycles
+    if args.budget is not None:
+        options["time_budget"] = args.budget
+    if args.check_bypass:
+        options["check_bypass"] = True
+    if args.check_pseudo_critical:
+        options["check_pseudo_critical"] = True
+    client = ServiceClient(args.url)
+    try:
+        job_id = client.submit(args.design, options)
+        print(job_id, file=out)
+        if args.wait:
+            job = client.wait(job_id, timeout=args.timeout)
+            result = job.get("result") or {}
+            print("{}: {} ({})".format(
+                job_id,
+                "TROJAN" if result.get("trojan_found") else "clean",
+                job["state"]), file=out)
+            return 0 if job["state"] == "done" else 1
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
+def cmd_jobs(args, out=sys.stdout):
+    import json as json_mod
+
+    from repro.errors import ServiceError
+    from repro.serve import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job and args.events:
+            events, _cursor = client.events(args.job, after=args.after)
+            for event in events:
+                print(json_mod.dumps(event, default=str), file=out)
+        elif args.job:
+            print(json_mod.dumps(client.job(args.job), indent=2,
+                                 default=str), file=out)
+        else:
+            for row in client.jobs():
+                print("{:10s} {:8s} {} attempt(s)".format(
+                    row["id"], row["state"], row["attempts"]), file=out)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
 def cmd_export(args, out=sys.stdout):
     from pathlib import Path
 
@@ -671,6 +769,59 @@ def build_parser():
     t_sum.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the crash-tolerant audit service (durable job queue "
+             "+ JSON API; see README 'Audit service')",
+    )
+    p_serve.add_argument("--queue-dir", required=True, metavar="DIR",
+                         help="journal + snapshot + per-job trace files "
+                              "live here; restarting with the same DIR "
+                              "resumes unfinished jobs")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8630,
+                         help="0 picks an ephemeral port (printed on "
+                              "startup)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent audit worker threads")
+    p_serve.add_argument("--lease-ttl", type=float, default=30.0,
+                         help="seconds a job lease survives without a "
+                              "heartbeat before it is reclaimed")
+    p_serve.add_argument("--max-leases", type=int, default=3,
+                         help="attempts before a job is dead-lettered")
+    p_serve.add_argument("--inject", action="append", metavar="FAULT",
+                         help="deterministic service fault "
+                              "KIND[:MATCH[:TIMES]], e.g. "
+                              "kill-lease-holder:*@mid (repeatable; "
+                              "for chaos testing)")
+
+    p_submit = sub.add_parser("submit",
+                              help="submit an audit job to a running "
+                                   "service")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8630")
+    p_submit.add_argument("--design", required=True)
+    p_submit.add_argument("--engine", default=None,
+                          choices=["bmc", "atpg", "atpg-backward",
+                                   "atpg-podem"])
+    p_submit.add_argument("--max-cycles", type=int, default=None)
+    p_submit.add_argument("--budget", type=float, default=None)
+    p_submit.add_argument("--check-bypass", action="store_true")
+    p_submit.add_argument("--check-pseudo-critical", action="store_true")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job is terminal; exit 1 "
+                               "if it dead-letters")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="--wait deadline in seconds")
+
+    p_jobs = sub.add_parser("jobs", help="inspect a running service")
+    p_jobs.add_argument("--url", default="http://127.0.0.1:8630")
+    p_jobs.add_argument("--job", default=None, metavar="JOB_ID",
+                        help="show one job in full instead of the list")
+    p_jobs.add_argument("--events", action="store_true",
+                        help="with --job: stream its trace events")
+    p_jobs.add_argument("--after", type=int, default=0,
+                        help="with --events: skip the first N events")
+
     p_export = sub.add_parser("export", help="write Verilog + assertions")
     p_export.add_argument("--design", required=True)
     p_export.add_argument("--out", default="export")
@@ -688,6 +839,9 @@ def main(argv=None, out=sys.stdout):
         "trace": cmd_trace,
         "export": cmd_export,
         "lint": cmd_lint,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
     }[args.command]
     return handler(args, out=out)
 

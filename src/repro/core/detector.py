@@ -32,7 +32,7 @@ from dataclasses import dataclass, fields, replace
 
 from repro.bmc.witness import confirms_violation
 from repro.core.registers import pseudo_critical_candidates
-from repro.errors import ReproError
+from repro.errors import CheckpointWriteError, ReproError
 from repro.obs.tracer import Tracer, get_tracer, tracing
 from repro.core.report import DetectionReport, RegisterFinding
 from repro.properties.monitors import (
@@ -46,6 +46,9 @@ from repro.runner import (
     CheckOutcome,
     CheckRunner,
     ObjectiveTask,
+)
+from repro.runner.checkpoint import (
+    warn_checkpoint_lost as _warn_checkpoint_lost,
 )
 
 
@@ -330,7 +333,13 @@ class TrojanDetector:
                     reg_extra.update(trojan_found=finding.trojan_found)
                 report.findings[register] = finding
                 if store is not None:
-                    store.save_finding(register, finding)
+                    try:
+                        store.save_finding(register, finding)
+                    except CheckpointWriteError as exc:
+                        # a full disk must not kill a half-done audit:
+                        # drop checkpointing, keep the verdicts coming
+                        store = None
+                        _warn_checkpoint_lost(exc, tracer)
                 if self.stop_on_first and finding.trojan_found:
                     break
             report.elapsed = time.perf_counter() - start

@@ -69,6 +69,41 @@ class CheckpointError(ReproError):
     """An audit checkpoint is unreadable or belongs to a different audit."""
 
 
+class CheckpointWriteError(CheckpointError):
+    """A checkpoint could not be persisted (disk full, permissions, ...).
+
+    Carries the path and the original ``OSError`` so callers can log a
+    structured warning. An audit that hits this keeps running — it merely
+    loses crash-resume coverage from that point on — because losing a
+    checkpoint must never lose the verdicts it was protecting.
+    """
+
+    def __init__(self, path, cause):
+        self.path = str(path)
+        self.cause = cause
+        super().__init__(
+            "cannot write checkpoint {}: {}".format(path, cause)
+        )
+
+
+class CacheBackendError(ReproError):
+    """A shared cache backend misbehaved (unreachable, slow, corrupt).
+
+    Raised by backend implementations; always caught at the
+    :class:`~repro.cache.backend.FallbackBackend` seam and converted to
+    local degradation — cache trouble may cost duplicate solves but must
+    never stall or fail an audit.
+    """
+
+
+class ServiceError(ReproError):
+    """The audit service refused or could not process a request."""
+
+
+class JobQueueError(ServiceError):
+    """A durable-queue operation was invalid (unknown job, stale lease)."""
+
+
 class PropertyError(ReproError):
     """Malformed security-property specification (valid ways, monitors)."""
 

@@ -45,27 +45,36 @@ def load_trace(path):
     Returns ``(events, meta, bad_lines)`` where *events* is the list of
     parsed event dicts in file order, *meta* the header dict (or ``{}``),
     and *bad_lines* the number of lines that failed to parse.
+
+    The file is read as **bytes** and decoded line by line. The
+    crash-tolerant writer guarantees only a readable *prefix* — a killed
+    process can tear the final record anywhere, including mid-way
+    through a multi-byte UTF-8 sequence. Decoding the whole file at once
+    would turn that torn tail into a ``UnicodeDecodeError`` that loses
+    every good record before it; per-line decoding consumes exactly the
+    readable prefix and counts the tail as one bad line.
     """
     events = []
     meta = {}
     bad_lines = 0
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except ValueError:
-                bad_lines += 1
-                continue
-            if not isinstance(event, dict) or "ev" not in event:
-                bad_lines += 1
-                continue
-            if event["ev"] == "meta":
-                meta = event
-            else:
-                events.append(event)
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    for raw_line in raw.split(b"\n"):
+        if not raw_line.strip():
+            continue
+        try:
+            line = raw_line.decode("utf-8").strip()
+            event = json.loads(line)
+        except (UnicodeDecodeError, ValueError):
+            bad_lines += 1
+            continue
+        if not isinstance(event, dict) or "ev" not in event:
+            bad_lines += 1
+            continue
+        if event["ev"] == "meta":
+            meta = event
+        else:
+            events.append(event)
     return events, meta, bad_lines
 
 

@@ -24,16 +24,23 @@ Three tracer flavours share one interface:
   pipe; the supervisor re-parents the buffer under its own attempt span
   with :meth:`Tracer.absorb`.
 
-The *current* tracer is process-global (``get_tracer``/``set_tracer``
-and the ``tracing()`` context manager). The engines are synchronous and
-single-threaded per process, so a global — not a thread-local — is the
-honest scope.
+The *current* tracer is scoped per **thread**, with a process-wide
+default (``get_tracer``/``set_tracer`` and the ``tracing()`` context
+manager). The engines are synchronous, so within one thread of control
+the old process-global behaviour is unchanged: a single-threaded
+process (the CLI, a pool worker child) sees exactly one tracer. The
+thread dimension exists for the audit service (:mod:`repro.serve`),
+whose worker *threads* run concurrent audits in one process — each
+installs its own per-job tracer without the streams crossing. A tracer
+installed on the main thread before threads are spawned still acts as
+the process default: threads that never call ``set_tracer`` read it.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 
@@ -269,20 +276,37 @@ class BufferTracer(_TracerBase):
         return events
 
 
-_current = NULL_TRACER
+_default = NULL_TRACER  # process-wide fallback (main-thread installs)
+_local = threading.local()
 
 
 def get_tracer():
-    """The process-global current tracer (never ``None``)."""
-    return _current
+    """The current tracer for this thread (never ``None``).
+
+    A thread that has installed its own tracer sees that; every other
+    thread sees the process default — the tracer the main thread (or
+    the most recent caller on a thread with no local install) set.
+    """
+    return getattr(_local, "tracer", None) or _default
 
 
 def set_tracer(tracer):
     """Install ``tracer`` (or the null tracer for ``None``); returns the
-    previous one so callers can restore it."""
-    global _current
-    previous = _current
-    _current = tracer if tracer is not None else NULL_TRACER
+    previous one so callers can restore it.
+
+    On the main thread this sets the process default (preserving the
+    pre-thread-local behaviour: child threads inherit it); on any other
+    thread it sets only that thread's tracer.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if threading.current_thread() is threading.main_thread():
+        global _default
+        previous = getattr(_local, "tracer", None) or _default
+        _default = tracer
+        _local.tracer = None
+        return previous
+    previous = getattr(_local, "tracer", None) or _default
+    _local.tracer = tracer
     return previous
 
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.bmc.witness import Witness
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, CheckpointWriteError
 from repro.runner.outcome import CheckOutcome
 
 FORMAT_VERSION = 1
@@ -159,6 +159,29 @@ def finding_from_dict(data):
 # ----------------------------------------------------------------- storage
 
 
+def warn_checkpoint_lost(exc, tracer=None):
+    """Shared "checkpointing disabled" warning for detector + scheduler.
+
+    Emits a Python :class:`RuntimeWarning` (visible in logs/pytest) and,
+    when tracing, a ``checkpoint.write_failed`` telemetry point — the
+    audit continues, so this is the only record the failure leaves.
+    """
+    import warnings
+
+    warnings.warn(
+        "audit continues WITHOUT checkpointing: {}".format(exc),
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    if tracer is not None and tracer.enabled:
+        tracer.point(
+            "checkpoint.write_failed",
+            path=exc.path,
+            error=str(exc.cause),
+        )
+        tracer.metrics.counter("checkpoint.write_failures").inc()
+
+
 class AuditCheckpoint:
     """JSON-backed store of completed register findings for one audit."""
 
@@ -229,17 +252,36 @@ class AuditCheckpoint:
         self._write()
 
     def _write(self):
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
-        )
+        """Atomic, durable write: temp file, fsync, rename.
+
+        The fsync *before* the rename is the disk-full/power-loss
+        guard: ``os.replace`` is atomic in the namespace, but without
+        the fsync the renamed file may still be backed by unwritten
+        (or unwritable — ENOSPC surfaces at flush time) pages, and a
+        crash would leave a *named* checkpoint with torn contents.
+        Any ``OSError`` along the way becomes a structured
+        :class:`CheckpointWriteError` so the audit can keep running
+        uncheckpointed instead of dying on register N.
+        """
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name,
+                suffix=".tmp",
+            )
+        except OSError as exc:
+            raise CheckpointWriteError(self.path, exc) from exc
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(self._data, handle, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, self.path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                raise CheckpointWriteError(self.path, exc) from exc
             raise

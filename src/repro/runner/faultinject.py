@@ -147,3 +147,190 @@ class FaultInjector:
             if in_worker:
                 os._exit(66)  # simulate a segfaulting engine
             raise InjectedFault("hard crash (inline): " + spec.message)
+
+
+# --------------------------------------------------------------------------
+# Service-level faults (durable queue + cache backends, see repro.serve)
+# --------------------------------------------------------------------------
+
+#: A leased worker dies silently at a named stage of a job — no release,
+#: no complete, heartbeats stop. The queue must reclaim the lease by TTL.
+KILL_LEASE_HOLDER = "kill-lease-holder"
+#: A journal append is cut short after N bytes (the torn tail a power
+#: loss leaves); the CRC framing must degrade it to the previous record.
+TORN_JOURNAL_WRITE = "torn-journal-write"
+#: The queue's clock jumps by ``skew`` seconds for one reading — the
+#: cross-host skew that makes a *live* lease look expired (or vice versa).
+CLOCK_SKEW = "stale-lease-clock-skew"
+#: A cache-backend operation hangs past its deadline / fails outright;
+#: the FallbackBackend must degrade, never stall the audit.
+BACKEND_TIMEOUT = "backend-timeout"
+
+SERVICE_KINDS = (
+    KILL_LEASE_HOLDER, TORN_JOURNAL_WRITE, CLOCK_SKEW, BACKEND_TIMEOUT,
+)
+
+
+class WorkerKilled(BaseException):
+    """Raised *inside* a service worker to simulate SIGKILL mid-job.
+
+    Deliberately a ``BaseException``: engine- and queue-level ``except
+    Exception`` handlers must not be able to "survive" a kill, exactly
+    as they could not survive the real signal. Only the service worker
+    loop catches it — and reacts by abandoning the job without
+    releasing the lease, which is what a dead process does.
+    """
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One deterministic service-level injection rule.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`SERVICE_KINDS`.
+    match:
+        ``fnmatch`` pattern tested against the *subject* — for worker
+        kills, ``"<job_id>@<stage>"`` (stages: ``leased``, ``mid``,
+        ``pre-complete``); for torn writes, the journal record kind;
+        for backend faults, the operation name (``get``/``put``/
+        ``claim``/``release``); for clock skew, the queue operation.
+    first_times:
+        Fire only the first N times this rule matches its subject
+        (counted per ``(rule, subject)``); the default ``1`` gives
+        "kill the first lease holder, let the retry live" — the replay
+        determinism the chaos tests rest on.
+    skew:
+        Seconds added to the clock reading for ``stale-lease-clock-skew``.
+    keep_bytes:
+        Bytes of the record actually written by ``torn-journal-write``.
+    """
+
+    kind: str
+    match: str = "*"
+    first_times: int = 1
+    skew: float = 0.0
+    keep_bytes: int = 8
+
+    def __post_init__(self):
+        if self.kind not in SERVICE_KINDS:
+            raise ValueError(
+                "unknown service fault kind {!r}; pick one of {}".format(
+                    self.kind, SERVICE_KINDS
+                )
+            )
+
+
+class ServiceFaultPlan:
+    """Deterministic firing of :class:`ServiceFaultSpec` rules.
+
+    Occurrences are counted per ``(rule index, subject)``: the same
+    subject re-presented after a reclaim sees the occurrence counter it
+    already spent, so ``first_times=1`` kills a job's first lease holder
+    and spares the second — identically on every run.
+    """
+
+    def __init__(self, faults=()):
+        self.faults = list(faults)
+        self._seen = {}  # (rule_index, subject) -> occurrence count
+        self.fired = []  # (kind, subject) log, for assertions/telemetry
+
+    @classmethod
+    def parse(cls, entries):
+        """Build a plan from CLI strings ``KIND[:MATCH[:TIMES]]``.
+
+        Examples: ``kill-lease-holder:*@pre-complete``,
+        ``backend-timeout:get:3``, ``stale-lease-clock-skew:lease:1``.
+        """
+        faults = []
+        for entry in entries or ():
+            parts = str(entry).split(":")
+            kind = parts[0]
+            match = parts[1] if len(parts) > 1 and parts[1] else "*"
+            times = int(parts[2]) if len(parts) > 2 and parts[2] else 1
+            faults.append(
+                ServiceFaultSpec(kind=kind, match=match, first_times=times)
+            )
+        return cls(faults)
+
+    def fires(self, kind, subject):
+        """The first matching rule with occurrences left, or ``None``.
+
+        Calling this *consumes* one occurrence of the matched rule for
+        the subject.
+        """
+        for index, spec in enumerate(self.faults):
+            if spec.kind != kind or not fnmatchcase(subject, spec.match):
+                continue
+            seen = self._seen.get((index, subject), 0)
+            if seen >= spec.first_times:
+                continue
+            self._seen[(index, subject)] = seen + 1
+            self.fired.append((kind, subject))
+            return spec
+        return None
+
+    # ------------------------------------------------------- convenience
+
+    def kill_worker(self, job_id, stage):
+        """Raise :class:`WorkerKilled` when a kill rule fires here."""
+        spec = self.fires(KILL_LEASE_HOLDER, "{}@{}".format(job_id, stage))
+        if spec is not None:
+            raise WorkerKilled(
+                "injected worker kill: job {} at {}".format(job_id, stage)
+            )
+
+    def torn_bytes(self, record_kind):
+        """``keep_bytes`` for a torn journal append, or ``None``."""
+        spec = self.fires(TORN_JOURNAL_WRITE, record_kind)
+        return None if spec is None else spec.keep_bytes
+
+    def skew_for(self, operation):
+        """Clock-skew seconds to add to one reading (0.0 = none)."""
+        spec = self.fires(CLOCK_SKEW, operation)
+        return 0.0 if spec is None else spec.skew
+
+    def backend_fault(self, operation):
+        """Raise :class:`InjectedFault` when a backend rule fires."""
+        spec = self.fires(BACKEND_TIMEOUT, operation)
+        if spec is not None:
+            raise InjectedFault(
+                "injected backend timeout on {}".format(operation)
+            )
+
+
+class FaultyBackendProxy:
+    """Wraps a cache backend so a :class:`ServiceFaultPlan` can fail it.
+
+    Sits *between* a :class:`~repro.cache.backend.FallbackBackend` and
+    its primary: each op first consults the plan (raising
+    :class:`InjectedFault` on a ``backend-timeout`` rule), then
+    delegates. Tests point a FallbackBackend at this proxy to prove the
+    breaker opens, the audit degrades to local, and nothing stalls.
+    """
+
+    name = "faulty-proxy"
+
+    def __init__(self, inner, plan):
+        self.inner = inner
+        self.plan = plan
+
+    def get(self, key):
+        self.plan.backend_fault("get")
+        return self.inner.get(key)
+
+    def put(self, key, **fields):
+        self.plan.backend_fault("put")
+        self.inner.put(key, **fields)
+
+    def claim(self, key):
+        self.plan.backend_fault("claim")
+        return self.inner.claim(key)
+
+    def release(self, key):
+        self.plan.backend_fault("release")
+        self.inner.release(key)
+
+    def release_all(self):
+        self.inner.release_all()

@@ -137,7 +137,7 @@ class CheckRunner:
 
     def __init__(self, isolation=INLINE, limits=None, retry=None,
                  fault_injector=None, mp_context=None, profile_dir=None,
-                 jobs=1):
+                 jobs=1, backend_factory=None):
         if isolation not in (INLINE, PROCESS):
             raise ReproError(
                 "unknown isolation {!r}; pick {!r} or {!r}".format(
@@ -158,17 +158,30 @@ class CheckRunner:
         self.mp_context = mp_context
         self.profile_dir = profile_dir  # cProfile dumps, one per attempt
         self.jobs = jobs
-        self._caches = {}  # cache_dir -> OutcomeCache
+        self.backend_factory = backend_factory  # cache_dir -> CacheBackend
+        self._caches = {}  # cache_dir -> CacheBackend
 
     def cache_for(self, cache_dir):
-        """Memoized :class:`~repro.cache.OutcomeCache` for a directory."""
+        """Memoized :class:`~repro.cache.CacheBackend` for a directory.
+
+        The default factory builds a
+        :class:`~repro.cache.backend.LocalBackend` (the pre-backend
+        behaviour, verbatim); a runner constructed with
+        ``backend_factory=`` can substitute any backend — e.g. a
+        :class:`~repro.cache.backend.FallbackBackend` wrapping a shared
+        store — without the supervisor or scheduler noticing.
+        """
         if cache_dir is None:
             return None
         cache = self._caches.get(cache_dir)
         if cache is None:
-            from repro.cache import OutcomeCache
+            if self.backend_factory is not None:
+                cache = self.backend_factory(cache_dir)
+            else:
+                from repro.cache.backend import backend_for
 
-            cache = self._caches[cache_dir] = OutcomeCache(cache_dir)
+                cache = backend_for(cache_dir)
+            self._caches[cache_dir] = cache
         return cache
 
     @property

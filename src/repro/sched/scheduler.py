@@ -48,12 +48,12 @@ import heapq
 import time
 
 from repro.bmc.witness import confirms_violation
-from repro.cache import ClaimRegistry
 from repro.core.report import DetectionReport, RegisterFinding
 from repro.core.registers import pseudo_critical_candidates
-from repro.errors import ReproError
+from repro.errors import CheckpointWriteError, ReproError
 from repro.obs.tracer import NULL_TRACER, BufferTracer, get_tracer
 from repro.runner import AuditCheckpoint
+from repro.runner.checkpoint import warn_checkpoint_lost
 from repro.runner.execution import CheckExecution
 from repro.runner.outcome import AttemptRecord
 from repro.runner.policy import CRASHED, OK, RetryPolicy
@@ -215,7 +215,7 @@ class AuditScheduler:
         self._ready = []  # heap of (priority, node)
         self._deferred = []  # heap of (not_before, seq, node, wake_kind)
         self._running = {}  # seq -> node
-        self._claims = {}  # cache_dir -> ClaimRegistry
+        self._claims = {}  # id(backend) -> CacheBackend (claims released at end)
         self.stats = {"checks": 0, "cache_completed": 0, "discarded": 0,
                       "canceled": 0}
 
@@ -308,7 +308,7 @@ class AuditScheduler:
             if node.execution is None and not self._init_execution(node):
                 continue  # answered by the cache, or swallowed an error
             if node.claim_key is not None and not node.claim_held:
-                if not node.claim_registry.acquire(node.claim_key):
+                if not node.claim_registry.claim(node.claim_key):
                     self._defer(node, time.perf_counter() + CLAIM_POLL,
                                 "claim")
                     continue
@@ -449,13 +449,10 @@ class AuditScheduler:
         if cache is not None and hasattr(node.task, "cache_key") and (
             not done
         ):
-            cache_dir = node.task.cache_dir
-            registry = self._claims.get(cache_dir)
-            if registry is None:
-                registry = self._claims[cache_dir] = ClaimRegistry(
-                    cache_dir
-                )
-            node.claim_registry = registry
+            # the backend carries both the store and the claim registry;
+            # remember it so shutdown can release whatever is still held
+            self._claims[id(cache)] = cache
+            node.claim_registry = cache
             node.claim_key = node.task.cache_key()
         if done:
             self.stats["cache_completed"] += 1
@@ -888,7 +885,11 @@ class AuditScheduler:
                 extra.update(trojan_found=finding.trojan_found)
         audit.report.findings[reg.register] = finding
         if audit.store is not None:
-            audit.store.save_finding(reg.register, finding)
+            try:
+                audit.store.save_finding(reg.register, finding)
+            except CheckpointWriteError as exc:
+                audit.store = None  # keep auditing, uncheckpointed
+                warn_checkpoint_lost(exc, self.tracer)
         reg.committed = True
         # anything this register solved speculatively but serial never
         # consumed (canceled or still running) is now provably unwanted

@@ -1,0 +1,247 @@
+"""CacheBackend interface: local/memory/null backends and the fallback
+wrapper's circuit breaker + degradation guarantees."""
+
+import pytest
+
+from repro.cache import OutcomeCache
+from repro.cache.backend import (
+    CacheBackend,
+    FallbackBackend,
+    LocalBackend,
+    MemoryBackend,
+    NullBackend,
+    backend_for,
+)
+
+
+class FakeResult:
+    def __init__(self, status, bound, witness=None, elapsed=0.0):
+        self.status = status
+        self.bound = bound
+        self.witness = witness
+        self.elapsed = elapsed
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class FlakyBackend(CacheBackend):
+    """Raises on demand; counts the calls that reached it."""
+
+    name = "flaky"
+
+    def __init__(self):
+        super().__init__()
+        self.failing = True
+        self.calls = []
+        self.entries = {}
+
+    def _maybe_fail(self, op):
+        self.calls.append(op)
+        if self.failing:
+            raise ConnectionError("backend unreachable")
+
+    def get(self, key):
+        self._maybe_fail("get")
+        return self.entries.get(key)
+
+    def put(self, key, **fields):
+        self._maybe_fail("put")
+        self.entries[key] = fields
+
+    def claim(self, key):
+        self._maybe_fail("claim")
+        return True
+
+    def release(self, key):
+        self._maybe_fail("release")
+
+
+class TestLocalBackend:
+    def test_is_the_default_for_a_cache_dir(self, tmp_path):
+        backend = backend_for(tmp_path)
+        assert isinstance(backend, LocalBackend)
+        assert backend_for(None) is None
+        assert backend_for(backend) is backend  # pass-through
+
+    def test_roundtrip_through_the_real_store(self, tmp_path):
+        backend = LocalBackend(tmp_path)
+        assert backend.get("a" * 16) is None
+        backend.record_result("a" * 16, FakeResult("proved", 12),
+                              engine="bmc")
+        entry = backend.lookup("a" * 16)
+        assert entry.proved_bound == 12 and entry.engine == "bmc"
+        # visible to a plain OutcomeCache on the same directory
+        assert OutcomeCache(tmp_path).lookup("a" * 16).proved_bound == 12
+
+    def test_counters_shared_with_store(self, tmp_path):
+        backend = LocalBackend(tmp_path)
+        backend.put("b" * 16, proved_bound=4)
+        assert backend.counters["stores"] == 1
+
+    def test_claims_delegate_to_registry(self, tmp_path):
+        backend = LocalBackend(tmp_path)
+        other = LocalBackend(tmp_path)
+        assert backend.claim("c" * 16)
+        assert not other.claim("c" * 16)  # same fingerprint, live owner
+        backend.release("c" * 16)
+        assert other.claim("c" * 16)
+        other.release_all()
+
+
+class TestMemoryBackend:
+    def test_merge_semantics_match_the_store(self):
+        backend = MemoryBackend()
+        backend.put("k", proved_bound=4)
+        backend.put("k", proved_bound=10)          # deeper proof wins
+        backend.put("k", violation_bound=9, witness={"w": 1})
+        backend.put("k", violation_bound=7, witness={"w": 2})  # earliest
+        entry = backend.get("k")
+        assert entry.proved_bound == 10
+        assert entry.violation_bound == 7
+        assert entry.witness == {"w": 2}
+
+    def test_claim_exactly_one_winner(self):
+        backend = MemoryBackend()
+        assert backend.claim("k")
+        assert not backend.claim("k")
+        backend.release("k")
+        assert backend.claim("k")
+
+    def test_record_result_stores_only_conclusive_facts(self):
+        backend = MemoryBackend()
+        assert not backend.record_result("k", FakeResult("unknown", 0))
+        assert backend.record_result("k", FakeResult("unknown", 5))
+        assert backend.get("k").proved_bound == 5  # partial prefix
+        assert backend.record_result("k", FakeResult("violated", 8),
+                                     certified_base=5)
+        entry = backend.get("k")
+        assert entry.violation_bound == 8
+        assert entry.proved_bound == 5  # violation claims no proof
+
+
+class TestNullBackend:
+    def test_remembers_nothing_claims_everything(self):
+        backend = NullBackend()
+        backend.put("k", proved_bound=9)
+        assert backend.get("k") is None
+        assert backend.claim("k") and backend.claim("k")
+
+
+class TestFallbackBackend:
+    def make(self, failures=3, cooldown=30.0, local=None):
+        clock = FakeClock()
+        primary = FlakyBackend()
+        wrapper = FallbackBackend(
+            primary, local=local, slow_seconds=0.5,
+            failures=failures, cooldown=cooldown, clock=clock,
+        )
+        return wrapper, primary, clock
+
+    def test_failure_degrades_to_local(self):
+        local = MemoryBackend()
+        wrapper, primary, _clock = self.make(local=local)
+        local.put("k", proved_bound=6)
+        entry = wrapper.get("k")  # primary raises -> local answers
+        assert entry.proved_bound == 6
+        assert wrapper.stats["primary_failures"] == 1
+        assert wrapper.stats["degraded_calls"] == 1
+
+    def test_breaker_opens_after_consecutive_failures(self):
+        wrapper, primary, clock = self.make(failures=3, cooldown=30.0)
+        for _ in range(3):
+            wrapper.get("k")
+        assert wrapper.degraded
+        assert wrapper.stats["breaker_opens"] == 1
+        # while open, the primary is not even attempted
+        attempts = len(primary.calls)
+        wrapper.get("k")
+        wrapper.claim("k")
+        assert len(primary.calls) == attempts
+
+    def test_breaker_probes_after_cooldown_and_closes(self):
+        wrapper, primary, clock = self.make(failures=2, cooldown=30.0)
+        wrapper.get("k")
+        wrapper.get("k")
+        assert wrapper.degraded
+        primary.failing = False
+        clock.advance(31.0)
+        assert not wrapper.degraded  # cooldown elapsed: probing again
+        wrapper.get("k")             # probe succeeds
+        assert wrapper.stats["breaker_closes"] == 1
+        assert not wrapper.degraded
+
+    def test_slow_primary_counts_toward_the_breaker(self):
+        clock = FakeClock()
+        primary = MemoryBackend()
+        slow_get = primary.get
+
+        def get(key):
+            clock.advance(1.0)  # slower than slow_seconds
+            return slow_get(key)
+
+        primary.get = get
+        wrapper = FallbackBackend(primary, slow_seconds=0.5, failures=2,
+                                  cooldown=30.0, clock=clock)
+        wrapper.get("k")
+        wrapper.get("k")
+        assert wrapper.degraded
+        assert wrapper.stats["primary_failures"] == 2
+
+    def test_put_mirrors_to_local_always(self):
+        local = MemoryBackend()
+        wrapper, primary, _clock = self.make(local=local)
+        primary.failing = False
+        wrapper.put("k", proved_bound=3)
+        assert local.get("k").proved_bound == 3       # mirrored
+        assert primary.entries["k"]["proved_bound"] == 3
+        primary.failing = True
+        wrapper.put("k2", proved_bound=4)
+        assert local.get("k2").proved_bound == 4      # survives failure
+
+    def test_claim_defaults_to_granting_when_everything_fails(self):
+        # no local side: the floor is the NullBackend, which always
+        # grants — cache trouble must not stop the solve
+        wrapper, primary, _clock = self.make()
+        assert wrapper.claim("k") is True
+
+    def test_release_all_swallows_backend_errors(self):
+        wrapper, primary, _clock = self.make()
+
+        def boom():
+            raise ConnectionError("down")
+
+        primary.release_all = boom
+        wrapper.release_all()  # must not raise
+
+
+class TestRecordResultContract:
+    """The backend-level record_result must match the store's."""
+
+    @pytest.mark.parametrize("status,bound,base,proved,violation", [
+        ("proved", 10, 0, 10, None),
+        ("proved", 4, 7, 7, None),      # base deeper than this run
+        ("violated", 9, 3, 3, 9),
+        ("unknown", 6, 0, 6, None),     # partial prefix
+    ])
+    def test_semantics(self, status, bound, base, proved, violation):
+        backend = MemoryBackend()
+        assert backend.record_result(
+            "k", FakeResult(status, bound), certified_base=base
+        )
+        entry = backend.get("k")
+        assert entry.proved_bound == proved
+        assert entry.violation_bound == violation
+
+    def test_unknown_with_no_prefix_is_not_stored(self):
+        backend = MemoryBackend()
+        assert not backend.record_result("k", FakeResult("unknown", 0))
+        assert backend.get("k") is None

@@ -1,0 +1,108 @@
+"""Claim-file host identity: pid liveness is a same-host/same-boot test.
+
+A pid is a host-local name. A claim written on another host (shared NFS
+cache dir) or in a previous boot of this host must never be probed with
+``kill(pid, 0)`` — the number may belong to an unrelated live process —
+so for foreign claims the age TTL is the only breaker.
+"""
+
+import json
+import os
+
+from repro.cache.claims import (
+    HOST_IDENTITY,
+    ClaimRegistry,
+    host_identity,
+)
+
+
+def plant_claim(cache_dir, digest, pid, ts, host):
+    claims = cache_dir / "claims"
+    claims.mkdir(parents=True, exist_ok=True)
+    record = {"pid": pid, "ts": ts}
+    if host is not None:
+        record["host"] = host
+    (claims / (digest + ".claim")).write_text(json.dumps(record))
+
+
+class TestHostIdentity:
+    def test_identity_is_hostname_slash_boot_nonce(self):
+        identity = host_identity()
+        assert "/" in identity
+        assert identity == HOST_IDENTITY  # stable within one process
+
+    def test_own_claims_record_the_identity(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        assert registry.acquire("d" * 16)
+        record = registry.holder("d" * 16)
+        assert record["host"] == HOST_IDENTITY
+        assert record["pid"] == os.getpid()
+        registry.release_all()
+
+
+class TestForeignClaims:
+    def test_foreign_host_claim_ignores_pid_liveness(self, tmp_path):
+        """A fresh claim from another host carries *our* live pid — but
+        that pid means nothing there, so the claim holds until TTL."""
+        import time
+
+        plant_claim(tmp_path, "a" * 16, pid=os.getpid(), ts=time.time(),
+                    host="otherhost/beef-1234")
+        registry = ClaimRegistry(tmp_path, ttl=3600.0)
+        assert not registry.acquire("a" * 16)  # busy: cannot probe pid
+
+    def test_foreign_host_claim_breaks_by_ttl(self, tmp_path):
+        plant_claim(tmp_path, "b" * 16, pid=os.getpid(), ts=0.0,
+                    host="otherhost/beef-1234")
+        registry = ClaimRegistry(tmp_path, ttl=60.0)  # ts=0 is ancient
+        assert registry.acquire("b" * 16)
+        registry.release_all()
+
+    def test_prior_boot_claim_is_foreign_even_on_this_host(self, tmp_path):
+        """Same hostname, different boot nonce: pids restarted from
+        scratch, so liveness must not be probed."""
+        import time
+
+        hostname = HOST_IDENTITY.split("/", 1)[0]
+        plant_claim(tmp_path, "c" * 16, pid=os.getpid(), ts=time.time(),
+                    host="{}/previous-boot-nonce".format(hostname))
+        registry = ClaimRegistry(tmp_path, ttl=3600.0)
+        assert not registry.acquire("c" * 16)
+
+
+class TestSameHostClaims:
+    def test_same_host_dead_pid_is_broken_immediately(self, tmp_path):
+        """Our own host, our own boot, a pid that is certainly dead:
+        liveness breaks the claim without waiting for the TTL."""
+        import subprocess
+        import time
+
+        child = subprocess.Popen(["true"])
+        child.wait()  # now certainly dead (and reaped)
+        plant_claim(tmp_path, "e" * 16, pid=child.pid, ts=time.time(),
+                    host=HOST_IDENTITY)
+        registry = ClaimRegistry(tmp_path, ttl=3600.0)
+        assert registry.acquire("e" * 16)
+        registry.release_all()
+
+    def test_same_host_live_pid_holds(self, tmp_path):
+        import time
+
+        plant_claim(tmp_path, "f" * 16, pid=os.getpid(), ts=time.time(),
+                    host=HOST_IDENTITY)
+        registry = ClaimRegistry(tmp_path, ttl=3600.0)
+        assert not registry.acquire("f" * 16)
+
+    def test_legacy_claim_without_host_keeps_pid_semantics(self, tmp_path):
+        """Claims written before the host field existed fall back to
+        the old behaviour: pid liveness decides."""
+        import subprocess
+        import time
+
+        child = subprocess.Popen(["true"])
+        child.wait()
+        plant_claim(tmp_path, "9" * 16, pid=child.pid, ts=time.time(),
+                    host=None)
+        registry = ClaimRegistry(tmp_path, ttl=3600.0)
+        assert registry.acquire("9" * 16)
+        registry.release_all()

@@ -1,0 +1,82 @@
+"""``repro trace summarize`` on damaged traces: torn tails never error.
+
+A killed audit leaves a trace whose final record can be cut anywhere —
+including midway through a multi-byte UTF-8 sequence. The reader must
+consume the readable prefix and count the tail as one bad line, exactly
+the degrade-to-partial policy the rest of the repo uses.
+"""
+
+import io
+import json
+
+from repro.cli import main
+from repro.obs.summary import load_trace, summarize
+from repro.obs.tracer import Tracer
+
+
+def write_trace(path, design="demo"):
+    tracer = Tracer(path)
+    with tracer.span("audit", design=design):
+        with tracer.span("audit.register", register="secret"):
+            tracer.point("cache.miss")
+    tracer.close()
+
+
+class TestTornTail:
+    def test_truncated_final_record_is_one_bad_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path)
+        whole = path.read_bytes()
+        events_before, _meta, _bad = load_trace(path)
+        path.write_bytes(whole[:-25])  # tear the last record mid-line
+
+        events, meta, bad_lines = load_trace(path)
+        assert bad_lines == 1
+        assert meta.get("ev") == "meta"
+        assert len(events) == len(events_before) - 1
+
+    def test_tear_inside_a_multibyte_sequence(self, tmp_path):
+        """The historical crash: text-mode iteration raised
+        ``UnicodeDecodeError`` before json parsing even started."""
+        path = tmp_path / "trace.jsonl"
+        write_trace(path)
+        with open(path, "ab") as handle:
+            record = json.dumps({
+                "ev": "point", "id": 99, "parent": None,
+                "name": "registre-tracé", "t": 1.0, "attrs": {},
+            }, ensure_ascii=False).encode("utf-8")
+            cut = record.rindex("é".encode("utf-8")) + 1  # inside é
+            handle.write(record[:cut])
+
+        events, _meta, bad_lines = load_trace(path)
+        assert bad_lines == 1
+        assert all(e.get("name") != "registre-tracé" for e in events)
+
+    def test_summarize_survives_and_reports_the_damage(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path)
+        path.write_bytes(path.read_bytes()[:-25])
+
+        summary = summarize(path)
+        assert summary["bad_lines"] == 1
+        assert summary["events"] > 0
+        # the outermost span lost its end: charged as unterminated
+        names = [row["name"] for row in summary["phases"]]
+        assert "audit" in names
+
+    def test_cli_summarize_exit_zero_on_torn_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path)
+        path.write_bytes(path.read_bytes()[:-25])
+
+        out = io.StringIO()
+        rc = main(["trace", "summarize", str(path)], out=out)
+        assert rc == 0
+        assert "unparseable line" in out.getvalue()
+
+    def test_empty_file_is_a_valid_trace_of_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        summary = summarize(path)
+        assert summary["events"] == 0
+        assert summary["bad_lines"] == 0
