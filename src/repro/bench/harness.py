@@ -260,6 +260,58 @@ def lint_run(label, netlist, spec=None, config=None):
 
 
 @dataclass
+class IftRow:
+    """Static IFT screen figures for one design.
+
+    The row exists to make the modality's cost visible next to the
+    solver columns: ``solver_calls`` is identically zero (the screen is
+    pure graph traversal) and ``elapsed`` is expected to stay well
+    under a second per design.
+    """
+
+    label: str
+    elapsed: float
+    findings: int
+    suspicious: int
+    flagged_registers: dict = field(default_factory=dict)  # name -> score
+    tainted_registers: list = field(default_factory=list)
+    max_rounds: int = 0  # deepest fixpoint any register needed
+    solver_calls: int = 0  # by construction; kept explicit for tables
+
+    @property
+    def flagged(self):
+        """True when IFT implicated at least one register."""
+        return bool(self.flagged_registers)
+
+
+def ift_row(label, report):
+    """Condense an :class:`~repro.ift.findings.IftReport` to an IftRow."""
+    return IftRow(
+        label=label,
+        elapsed=report.elapsed,
+        findings=len(report.findings),
+        suspicious=report.severity_counts.get("suspicious", 0),
+        flagged_registers=report.register_scores(),
+        tainted_registers=report.tainted_registers,
+        max_rounds=max(
+            (st.rounds for st in report.register_stats.values()),
+            default=0,
+        ),
+    )
+
+
+def ift_run(label, netlist, spec):
+    """Run the static IFT screen on one design; returns an IftRow.
+
+    Mirrors :func:`lint_run`'s shape so bench sweeps can record the
+    screen's timing/verdict without re-deriving anything.
+    """
+    from repro.ift import analyze_design
+
+    return ift_row(label, analyze_design(netlist, spec, design=label))
+
+
+@dataclass
 class AuditRow:
     """One design's Algorithm 1 verdict from a bench sweep."""
 
@@ -270,6 +322,7 @@ class AuditRow:
     status: str  # "ok" or "degraded"
     registers: int
     report: object = None  # the full DetectionReport
+    ift: object = None  # IftRow when the sweep ran with ift=True
 
     @property
     def match(self):
@@ -278,7 +331,8 @@ class AuditRow:
 
 def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
                 time_budget=None, check_pseudo_critical=False,
-                check_bypass=False, cache_dir=None, runner=None):
+                check_bypass=False, cache_dir=None, runner=None,
+                ift=False):
     """Run Algorithm 1 over many designs, scored against ground truth.
 
     ``designs`` is a list of ``(label, netlist, spec)`` triples.  With
@@ -290,10 +344,18 @@ def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
     serially through the classic detector loop (the baseline the
     speedup acceptance criterion compares against).
 
+    With ``ift=True``, the static IFT screen runs first per design, its
+    report is fused into that design's audit (register prioritization,
+    ``ift_evidence``, ``leakage_suspect`` statuses) and each
+    :class:`AuditRow` carries the screen's timing/verdict figures as
+    ``row.ift`` (an :class:`IftRow`).
+
     Returns a list of :class:`AuditRow` in input order; ``row.match``
     is False where the verdict disagrees with the design's bundled
     ground truth (``spec.trojan``).
     """
+    from dataclasses import replace
+
     from repro.core.detector import AuditConfig, TrojanDetector
 
     config = AuditConfig(
@@ -305,9 +367,20 @@ def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
         cache_dir=cache_dir,
         jobs=jobs,
     )
+    ift_rows = {}
+    configs = []
+    for label, netlist, spec in designs:
+        if ift:
+            from repro.ift import analyze_design
+
+            ift_report = analyze_design(netlist, spec, design=label)
+            ift_rows[label] = ift_row(label, ift_report)
+            configs.append(replace(config, ift_report=ift_report))
+        else:
+            configs.append(config)
     detectors = [
-        TrojanDetector(netlist, spec, config=config, runner=runner)
-        for _label, netlist, spec in designs
+        TrojanDetector(netlist, spec, config=cfg, runner=runner)
+        for (_label, netlist, spec), cfg in zip(designs, configs)
     ]
     if jobs:
         from repro.sched import AuditRequest, AuditScheduler
@@ -326,6 +399,7 @@ def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
             status="degraded" if report.degraded else "ok",
             registers=len(report.findings),
             report=report,
+            ift=ift_rows.get(label),
         ))
     return rows
 

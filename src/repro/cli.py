@@ -51,6 +51,24 @@ Commands
     runs this pass first and audits flagged registers before clean
     ones, attaching the static evidence to each finding.
 
+``ift``
+    Run the static information-flow taint screen (see README
+    "Information-flow screening")::
+
+        python -m repro ift --design mc8051-t800
+        python -m repro ift --sarif all.sarif --json -
+
+    Zero solver calls: taint sources are the write-port nets a
+    register's ValidWays spec does not document, and findings mean
+    taint reached the critical register, a primary output, or another
+    register's write enable. ``--sarif`` writes one merged multi-run
+    SARIF document holding the lint *and* IFT runs of the selected
+    designs (``--no-lint`` for IFT runs only). ``--ift`` on ``audit``
+    fuses the screen into Algorithm 1: flagged registers are audited
+    first, taint findings attach as ``ift_evidence``, and an IFT hit
+    the dynamic checks cannot reproduce becomes a ``leakage_suspect``
+    status.
+
 ``cache``
     Inspect or maintain a check-outcome cache directory (see README
     "Outcome cache")::
@@ -284,6 +302,117 @@ def cmd_lint(args, out=sys.stdout):
     return 1 if failing else 0
 
 
+def _ift_one(design, with_lint):
+    """IFT-screen one bundled design; returns plain data (fork-Pool
+    friendly). With ``with_lint``, the default-config lint pass runs too
+    so the SARIF export can merge both modalities' runs."""
+    from repro.ift import analyze_design
+
+    netlist, spec = build_design(design)
+    lint_report = None
+    if with_lint:
+        from repro.lint import lint_design
+
+        lint_report = lint_design(netlist, spec, design=design)
+    report = analyze_design(netlist, spec, design=design)
+    return {
+        "design": design,
+        "summary": report.summary(),
+        "json": report.to_json(),
+        "severities": [f.severity for f in report.findings],
+        "findings": len(report.findings),
+        "elapsed": report.elapsed,
+        "report": report,
+        "lint_report": lint_report,
+    }
+
+
+def cmd_ift(args, out=sys.stdout):
+    from repro.lint import severity_rank
+
+    designs = args.design or sorted(DESIGNS)
+    if args.cache_dir:
+        raise SystemExit(
+            "ift runs no property checks, so it has no outcome cache; "
+            "--cache-dir applies to audit/bench"
+        )
+    with_lint = bool(args.sarif) and not args.no_lint
+    jobs = args.jobs or 1
+    if jobs > 1 and len(designs) > 1:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(jobs, len(designs))) as pool:
+            results = pool.starmap(
+                _ift_one, [(d, with_lint) for d in designs]
+            )
+    elif args.trace:
+        # serial + traced: install a real tracer so the screen's own
+        # ift / ift.register spans land in the trace tree
+        from repro.obs.tracer import Tracer, tracing
+
+        tracer = Tracer(args.trace)
+        try:
+            with tracing(tracer):
+                results = [_ift_one(d, with_lint) for d in designs]
+        finally:
+            tracer.close()
+    else:
+        results = [_ift_one(d, with_lint) for d in designs]
+    if args.trace and jobs > 1 and len(designs) > 1:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(args.trace)
+        try:
+            for res in results:
+                tracer.end(tracer.begin(
+                    "ift", design=res["design"],
+                    findings=res["findings"], elapsed=res["elapsed"],
+                ))
+        finally:
+            tracer.close()
+    if args.json:
+        if len(designs) == 1:
+            payload = results[0]["json"]
+        else:
+            import json as json_mod
+
+            payload = json_mod.dumps(
+                {r["design"]: json_mod.loads(r["json"]) for r in results},
+                indent=2,
+            )
+        if args.json == "-":
+            print(payload, file=out)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload)
+                handle.write("\n")
+            print("wrote", args.json, file=out)
+    if args.sarif:
+        from repro.ift.sarif import merged_sarif
+        from repro.report.sarif import write_log
+
+        lint_reports = [
+            r["lint_report"] for r in results if r["lint_report"] is not None
+        ]
+        write_log(
+            args.sarif,
+            merged_sarif([r["report"] for r in results], lint_reports),
+        )
+        print("wrote", args.sarif, file=out)
+    if not args.json or args.json != "-":
+        for res in results:
+            print(res["summary"], file=out)
+    floor = severity_rank(args.fail_on)
+    failing = [
+        sev
+        for res in results
+        for sev in res["severities"]
+        if severity_rank(sev) >= floor
+    ]
+    return 1 if failing else 0
+
+
 def cmd_audit(args, out=sys.stdout):
     from repro.errors import CheckpointError
     from repro.runner import CheckRunner
@@ -323,6 +452,23 @@ def cmd_audit(args, out=sys.stdout):
             ),
             file=out,
         )
+    ift_report = None
+    if args.ift:
+        from repro.ift import analyze_design
+
+        ift_report = analyze_design(netlist, spec, design=args.design)
+        flagged = ift_report.tainted_registers
+        print(
+            "ift pre-pass: {} taint finding{} in {:.2f}s{}".format(
+                len(ift_report.findings),
+                "" if len(ift_report.findings) == 1 else "s",
+                ift_report.elapsed,
+                "; flagged: {}".format(", ".join(flagged))
+                if flagged
+                else "",
+            ),
+            file=out,
+        )
     cache_dir = None if args.no_cache else args.cache_dir
     config = AuditConfig(
         max_cycles=args.max_cycles,
@@ -332,6 +478,7 @@ def cmd_audit(args, out=sys.stdout):
         check_bypass=args.check_bypass,
         time_budget=args.budget,
         lint_report=lint_report,
+        ift_report=ift_report,
         cache_dir=cache_dir,
         share_cones=args.share_cones,
         trace=args.trace,
@@ -397,6 +544,7 @@ def cmd_bench(args, out=sys.stdout):
             check_bypass=args.check_bypass,
             cache_dir=args.cache_dir,
             runner=runner,
+            ift=args.ift,
         )
     wall = time_mod.perf_counter() - start
     if args.json:
@@ -414,6 +562,14 @@ def cmd_bench(args, out=sys.stdout):
                     "status": row.status,
                     "elapsed": row.elapsed,
                     "registers": row.registers,
+                    "ift": {
+                        "elapsed": row.ift.elapsed,
+                        "findings": row.ift.findings,
+                        "suspicious": row.ift.suspicious,
+                        "tainted_registers": row.ift.tainted_registers,
+                        "max_rounds": row.ift.max_rounds,
+                        "solver_calls": row.ift.solver_calls,
+                    } if row.ift is not None else None,
                 }
                 for row in rows
             ],
@@ -423,11 +579,19 @@ def cmd_bench(args, out=sys.stdout):
             verdict = "TROJAN" if row.trojan_found else "clean"
             expected = "TROJAN" if row.expected else "clean"
             marker = "ok" if row.match else "MISMATCH"
+            ift_extra = ""
+            if row.ift is not None:
+                ift_extra = (
+                    " ift[{} finding(s), {:.3f}s, {} solver call(s)]"
+                ).format(
+                    row.ift.findings, row.ift.elapsed,
+                    row.ift.solver_calls,
+                )
             print(
                 "{:18s} {:7s} (expected {:7s}) {:9s} {:8.2f}s "
-                "{:2d} register(s) [{}]".format(
+                "{:2d} register(s) [{}]{}".format(
                     row.label, verdict, expected, marker, row.elapsed,
-                    row.registers, row.status,
+                    row.registers, row.status, ift_extra,
                 ),
                 file=out,
             )
@@ -679,6 +843,12 @@ def build_parser():
                          help="run the static lint pre-pass first, audit "
                               "flagged registers before clean-looking ones "
                               "and attach lint evidence to findings")
+    p_audit.add_argument("--ift", action="store_true",
+                         help="run the static information-flow screen "
+                              "first: taint evidence attaches to findings, "
+                              "flagged registers are audited earlier, and "
+                              "an IFT hit the dynamic checks cannot "
+                              "reproduce is reported as leakage_suspect")
     p_audit.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir (one-off override)")
     p_audit.add_argument("--share-cones", action="store_true",
@@ -712,6 +882,10 @@ def build_parser():
                               "extra times")
     p_bench.add_argument("--json", action="store_true",
                          help="machine-readable output")
+    p_bench.add_argument("--ift", action="store_true",
+                         help="run the static IFT screen per design, fuse "
+                              "it into each audit and add its timing/"
+                              "verdict figures to every row")
 
     p_lint = sub.add_parser("lint", parents=[shared],
                             help="static structural lint pre-pass")
@@ -738,6 +912,27 @@ def build_parser():
     p_lint.add_argument("--max-depth-lint", type=int, default=48,
                         metavar="DEPTH",
                         help="excessive-depth rule ceiling")
+
+    p_ift = sub.add_parser(
+        "ift", parents=[shared],
+        help="static information-flow taint screen (no solver)",
+    )
+    p_ift.add_argument("--design", action="append",
+                       help="screen this design (repeatable; default: "
+                            "every bundled design)")
+    p_ift.add_argument("--json", metavar="PATH",
+                       help="write the JSON report here ('-' for stdout)")
+    p_ift.add_argument("--sarif", metavar="PATH",
+                       help="write a SARIF 2.1.0 log here — one merged "
+                            "multi-run document with the lint runs of the "
+                            "same designs unless --no-lint")
+    p_ift.add_argument("--no-lint", action="store_true",
+                       help="with --sarif: emit only the IFT runs, skip "
+                            "the lint pass")
+    p_ift.add_argument("--fail-on", default="suspicious",
+                       choices=["info", "warn", "suspicious", "error"],
+                       help="exit 1 when any taint finding is at least "
+                            "this severe (default: suspicious)")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain a check-outcome cache"
@@ -839,6 +1034,7 @@ def main(argv=None, out=sys.stdout):
         "trace": cmd_trace,
         "export": cmd_export,
         "lint": cmd_lint,
+        "ift": cmd_ift,
         "serve": cmd_serve,
         "submit": cmd_submit,
         "jobs": cmd_jobs,

@@ -82,6 +82,7 @@ class AuditConfig:
     pseudo_critical_cycles: int | None = None
     stop_on_first: bool = True
     lint_report: object = None
+    ift_report: object = None
     cache_dir: str | None = None
     share_cones: bool = False
     trace: object = None
@@ -97,6 +98,41 @@ class AuditConfig:
 
 
 _CONFIG_FIELDS = tuple(f.name for f in fields(AuditConfig))
+
+
+def fused_register_scores(lint_report=None, ift_report=None):
+    """Combined static priority scores from the lint and IFT screens.
+
+    Per-register scores from both modalities simply add: each report
+    already weighs its findings on the shared severity ladder
+    (:data:`~repro.lint.findings.SEVERITY_WEIGHT`), so a register
+    implicated by both screens outranks one implicated by either alone.
+    """
+    scores = {}
+    for report in (lint_report, ift_report):
+        if report is None:
+            continue
+        for name, score in report.register_scores().items():
+            scores[name] = scores.get(name, 0) + score
+    return scores
+
+
+def prioritize_registers(names, lint_report=None, ift_report=None):
+    """Order ``names`` most-statically-suspicious first (stable ties).
+
+    The fused generalization of ``LintReport.prioritize``: with only a
+    lint report it reduces to exactly that ordering; an IFT report
+    promotes its flagged registers the same way. Used identically by
+    the serial detector loop and the parallel scheduler so both audit
+    registers in the same order.
+    """
+    if lint_report is None and ift_report is None:
+        return list(names)
+    scores = fused_register_scores(lint_report, ift_report)
+    order = {name: index for index, name in enumerate(names)}
+    return sorted(
+        names, key=lambda name: (-scores.get(name, 0), order[name])
+    )
 
 
 def grouped_check_outcome(name, result):
@@ -168,6 +204,15 @@ class TrojanDetector:
         runner's budget reaches the likeliest suspects before the
         clean-looking majority), and each register's lint findings are
         attached to its :class:`RegisterFinding` as ``lint_evidence``.
+    ift_report:
+        An :class:`~repro.ift.findings.IftReport` from the static
+        information-flow screen. Fused exactly like ``lint_report``:
+        its register scores add to lint's for Algorithm 1's audit
+        order, and each register's taint findings are attached as
+        ``ift_evidence``. A register the IFT screen flagged but every
+        dynamic check passed is reported with the distinct
+        ``leakage_suspect`` status (see
+        :attr:`RegisterFinding.leakage_suspect`).
     cache_dir:
         Directory of the content-addressed outcome cache
         (:mod:`repro.cache`). When set, every Eq. (2)/(3) objective
@@ -238,6 +283,7 @@ class TrojanDetector:
         self.stop_on_first = config.stop_on_first
         self.runner = runner if runner is not None else CheckRunner()
         self.lint_report = config.lint_report
+        self.ift_report = config.ift_report
         self.cache_dir = config.cache_dir
         self.share_cones = config.share_cones
         self.trace = config.trace
@@ -306,8 +352,9 @@ class TrojanDetector:
             )
         try:
             names = registers or list(self.spec.critical)
-            if self.lint_report is not None:
-                names = self.lint_report.prioritize(names)
+            names = prioritize_registers(
+                names, self.lint_report, self.ift_report
+            )
             store = None
             if checkpoint is not None:
                 store = (
@@ -361,6 +408,10 @@ class TrojanDetector:
         if self.lint_report is not None:
             finding.lint_evidence = [
                 f.to_dict() for f in self.lint_report.findings_for(register)
+            ]
+        if self.ift_report is not None:
+            finding.ift_evidence = [
+                f.to_dict() for f in self.ift_report.findings_for(register)
             ]
 
         if self.check_pseudo_critical:

@@ -44,6 +44,10 @@ class RegisterFinding:
     # attached when the detector runs with a lint report); persisted in
     # checkpoints so a resumed audit keeps its static evidence
     lint_evidence: list = field(default_factory=list)
+    # static information-flow findings implicating this register
+    # (IftFinding dicts, attached under --ift); persisted like
+    # lint_evidence so resumed audits keep the taint verdict
+    ift_evidence: list = field(default_factory=list)
 
     @property
     def corrupted(self):
@@ -67,6 +71,11 @@ class RegisterFinding:
         return bool(self.lint_evidence)
 
     @property
+    def ift_flagged(self):
+        """True when the static IFT screen implicated this register."""
+        return bool(self.ift_evidence)
+
+    @property
     def degraded_checks(self):
         """Check outcomes that did not complete (name -> CheckOutcome)."""
         return {
@@ -76,9 +85,38 @@ class RegisterFinding:
         }
 
     @property
+    def leakage_suspect(self):
+        """IFT sees undocumented information flow but the dynamic checks
+        came back clean and complete.
+
+        This is the fused verdict the ISSUE calls out: the bounded
+        corruption property (Eq. 2) can pass while a leakage-style
+        payload still routes undocumented data through the register —
+        taint evidence without corruption evidence is its signature.
+        A register whose checks found the Trojan, or whose checks never
+        concluded, is reported as ``trojan_found``/``degraded`` instead.
+        """
+        return (
+            self.ift_flagged
+            and not self.trojan_found
+            and not self.degraded_checks
+        )
+
+    @property
     def status(self):
-        """``"ok"`` when every supervised check concluded, else ``"degraded"``."""
-        return "degraded" if self.degraded_checks else "ok"
+        """Fused per-register verdict.
+
+        ``"degraded"`` when a supervised check did not conclude;
+        ``"leakage_suspect"`` when static IFT flagged the register but
+        the (complete) dynamic checks found nothing; ``"ok"``
+        otherwise. Without IFT evidence this reduces to the historical
+        ok/degraded split.
+        """
+        if self.degraded_checks:
+            return "degraded"
+        if self.leakage_suspect:
+            return "leakage_suspect"
+        return "ok"
 
     @property
     def attempts(self):
@@ -134,6 +172,15 @@ class DetectionReport:
         return any(f.status == "degraded" for f in self.findings.values())
 
     @property
+    def leakage_suspects(self):
+        """Registers flagged by IFT that every dynamic check passed."""
+        return [
+            name
+            for name, finding in self.findings.items()
+            if getattr(finding, "leakage_suspect", False)
+        ]
+
+    @property
     def resumed_registers(self):
         """Registers restored from a checkpoint rather than re-audited."""
         return [
@@ -173,6 +220,7 @@ class DetectionReport:
             "max_cycles": self.max_cycles,
             "trojan_found": self.trojan_found,
             "degraded": self.degraded,
+            "leakage_suspects": self.leakage_suspects,
             "trusted_for": self.trusted_for(),
             "elapsed": self.elapsed,
             "findings": {
@@ -198,6 +246,9 @@ class DetectionReport:
         )
         if self.degraded and not self.trojan_found:
             verdict += " [degraded: some checks hit resource limits]"
+        suspects = self.leakage_suspects
+        if suspects and not self.trojan_found:
+            verdict += " [leakage suspect: {}]".format(", ".join(suspects))
         lines = [
             "Algorithm 1 on {!r} via {} (bound {} cycles): {}".format(
                 self.design, self.engine, self.max_cycles, verdict,
@@ -251,6 +302,21 @@ class DetectionReport:
                                 {e["rule"] for e in finding.lint_evidence}
                             )
                         ),
+                    )
+                )
+            if getattr(finding, "ift_evidence", None):
+                parts.append(
+                    "ift: {} taint finding{} ({}){}".format(
+                        len(finding.ift_evidence),
+                        "" if len(finding.ift_evidence) == 1 else "s",
+                        ", ".join(
+                            sorted(
+                                {e["rule"] for e in finding.ift_evidence}
+                            )
+                        ),
+                        " — LEAKAGE SUSPECT"
+                        if finding.leakage_suspect
+                        else "",
                     )
                 )
             if getattr(finding, "restored", False):

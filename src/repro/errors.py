@@ -108,6 +108,10 @@ class PropertyError(ReproError):
     """Malformed security-property specification (valid ways, monitors)."""
 
 
+class IftError(ReproError):
+    """The static information-flow analysis failed (diverging fixpoint)."""
+
+
 class HdlError(ReproError):
     """Verilog parsing or writing failure."""
 

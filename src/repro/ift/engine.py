@@ -1,0 +1,209 @@
+"""Forward dataflow fixpoint engine over the gate-level netlist.
+
+Taint propagates from source nets through the combinational graph and
+across register boundaries until nothing changes:
+
+* a plain gate joins the taint of its inputs — any tainted input can
+  flip the output;
+* a ``MUX`` joins its **data** arms at full strength and its **select**
+  at :func:`~repro.ift.lattice.weaken`-ed strength (control-only
+  influence is ``MAYBE``, see the lattice module);
+* a flop transfers its D taint to its Q at the round boundary, which is
+  the sequential step that lets taint cross pipeline stages and close
+  register-only cycles.
+
+Each *round* is one full combinational sweep in topological order
+followed by one flop transfer. The sweep itself is a complete forward
+pass, so a round moves taint across exactly one register boundary;
+levels only increase (the lattice is a finite join-semilattice and every
+transfer function is monotone), hence the fixpoint arrives within
+``2 * |flops in reach| + 4`` rounds — each flop's taint can rise at
+most twice (untainted -> maybe -> tainted), a rise propagates to the
+next stage one round later, and the constant covers the initial comb
+sweep plus the final no-change round. The engine asserts that bound
+(:data:`round_limit`) and raises :class:`~repro.errors.IftError` if it
+is ever exceeded, so non-termination is impossible by construction; the
+actual ``rounds`` count is reported for the termination tests.
+
+Everything is restricted to the forward-reachable slice of the sources
+(``fanout_cone`` through flops): on a design whose spec documents all
+write-port sources there are no taint sources, the reach is empty and
+the engine is a no-op. Zero solver calls anywhere — this is the
+portfolio's cheap static modality.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import IftError
+from repro.ift.lattice import MAYBE, TAINTED, UNTAINTED, Level, join, weaken
+from repro.netlist.cells import Kind
+from repro.netlist.traversal import fanout_cone, fanout_map, topological_cells
+
+
+@dataclass
+class TaintResult:
+    """Fixpoint of one propagation: taint map plus engine accounting."""
+
+    taint: dict = field(default_factory=dict)  # net id -> Level (sparse)
+    rounds: int = 0
+    round_limit: int = 0
+    reach: frozenset = frozenset()  # forward-reachable net set
+
+    def level(self, net: int) -> Level:
+        """Taint level of a net (UNTAINTED when never touched)."""
+        return self.taint.get(net, UNTAINTED)
+
+    def max_level(self, nets: Iterable[int]) -> Level:
+        """Join of the taint levels of several nets."""
+        out = UNTAINTED
+        for net in nets:
+            level = self.taint.get(net, UNTAINTED)
+            if level > out:
+                out = level
+                if out == TAINTED:
+                    break
+        return out
+
+
+def _cell_taint(cell: Any, taint: dict, weak_selects: bool) -> Level:
+    """Transfer function of one combinational cell."""
+    ins = cell.inputs
+    if cell.kind is Kind.MUX:
+        sel, d0, d1 = ins
+        level = join(
+            taint.get(d0, UNTAINTED), taint.get(d1, UNTAINTED)
+        )
+        sel_level = taint.get(sel, UNTAINTED)
+        if weak_selects:
+            sel_level = weaken(sel_level)
+        return join(level, sel_level)
+    out = UNTAINTED
+    for net in ins:
+        level = taint.get(net, UNTAINTED)
+        if level > out:
+            out = level
+            if out == TAINTED:
+                break
+    return out
+
+
+def propagate(
+    netlist: Any,
+    sources: Iterable[int],
+    fanout: Any = None,
+    order: Any = None,
+    weak_selects: bool = True,
+) -> TaintResult:
+    """Run taint from ``sources`` to fixpoint; returns the taint map.
+
+    ``fanout``/``order`` accept precomputed
+    :func:`~repro.netlist.traversal.fanout_map` /
+    :func:`~repro.netlist.traversal.topological_cells` results so a
+    caller screening many registers of one design pays for them once.
+    ``weak_selects=False`` switches to the conservative two-level
+    reading where mux-select taint propagates at full strength.
+    """
+    source_list = sorted(set(sources))
+    if not source_list:
+        return TaintResult(round_limit=1)
+    if fanout is None:
+        fanout = fanout_map(netlist)
+    reach = fanout_cone(
+        netlist, source_list, through_flops=True, fanout=fanout
+    )
+    if order is None:
+        order = topological_cells(netlist)
+    # the slice the sweep actually evaluates, already topologically sorted
+    cell_slice = [
+        netlist.cells[idx]
+        for idx in order
+        if netlist.cells[idx].output in reach
+    ]
+    flop_slice = [
+        flop for flop in netlist.flops if flop.q in reach
+    ]
+    taint: dict[int, Level] = {net: TAINTED for net in source_list}
+    round_limit = 2 * len(flop_slice) + 4
+    rounds = 0
+    changed = True
+    while changed:
+        rounds += 1
+        if rounds > round_limit:
+            raise IftError(
+                "taint fixpoint exceeded its round bound "
+                "({} rounds, {} flops in reach) — the lattice transfer "
+                "functions are no longer monotone".format(
+                    rounds, len(flop_slice)
+                )
+            )
+        changed = False
+        for cell in cell_slice:
+            if cell.output in taint and taint[cell.output] == TAINTED:
+                continue  # already at top, cannot rise
+            level = _cell_taint(cell, taint, weak_selects)
+            if level > taint.get(cell.output, UNTAINTED):
+                taint[cell.output] = level
+                changed = True
+        for flop in flop_slice:
+            level = taint.get(flop.d, UNTAINTED)
+            if level > taint.get(flop.q, UNTAINTED):
+                taint[flop.q] = level
+                changed = True
+    return TaintResult(
+        taint=taint,
+        rounds=rounds,
+        round_limit=round_limit,
+        reach=frozenset(reach),
+    )
+
+
+def shortest_taint_path(
+    netlist: Any,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    result: TaintResult,
+    fanout: Any = None,
+) -> list:
+    """Shortest source-to-target chain through tainted nets.
+
+    BFS over forward edges (cell input -> output, flop D -> Q)
+    restricted to nets the fixpoint marked at least :data:`MAYBE`.
+    Deterministic: sources and per-net successors expand in sorted
+    order, so equal-length paths always resolve the same way. Returns
+    the path as a list of net ids (source first, target last), or an
+    empty list when no tainted target is reachable.
+    """
+    target_set = {
+        net for net in targets if result.level(net) >= MAYBE
+    }
+    if not target_set:
+        return []
+    if fanout is None:
+        fanout = fanout_map(netlist)
+    start = sorted(set(sources))
+    parent: dict[int, int | None] = {net: None for net in start}
+    queue = deque(start)
+    while queue:
+        net = queue.popleft()
+        if net in target_set:
+            path = [net]
+            while parent[path[-1]] is not None:
+                path.append(parent[path[-1]])  # type: ignore[arg-type]
+            path.reverse()
+            return path
+        successors = []
+        for kind, payload in fanout.get(net, ()):
+            if kind == "cell":
+                successors.append(netlist.cells[payload].output)
+            elif kind == "flop":
+                successors.append(netlist.flops[payload].q)
+        for succ in sorted(successors):
+            if succ in parent or result.level(succ) < MAYBE:
+                continue
+            parent[succ] = net
+            queue.append(succ)
+    return []

@@ -1,0 +1,77 @@
+"""SARIF 2.1.0 export of IFT reports, via the shared writer.
+
+One :class:`~repro.ift.findings.IftReport` becomes one ``run`` under
+driver ``repro-ift``. :func:`merged_sarif` is what the CLI writes by
+default: the lint runs and the IFT runs of the same designs in a single
+multi-run log, so a scanning UI shows both modalities side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ift.findings import IFT_RULES
+from repro.report.sarif import (
+    driver_rule,
+    make_log,
+    make_run,
+    write_log,
+)
+
+__all__ = ["ift_runs", "to_sarif", "write_sarif", "merged_sarif"]
+
+
+def _driver_rules() -> list:
+    return [
+        driver_rule(rule_id, description, severity)
+        for rule_id, (severity, description) in IFT_RULES.items()
+    ]
+
+
+def _run(report: Any) -> dict:
+    return make_run(
+        "repro-ift",
+        _driver_rules(),
+        report.findings,
+        {
+            "design": report.design,
+            "elapsed": report.elapsed,
+            "ruleHits": report.rule_hits,
+            "registerStats": {
+                name: stats.to_dict()
+                for name, stats in report.register_stats.items()
+            },
+        },
+    )
+
+
+def ift_runs(reports: Any) -> list:
+    """SARIF runs (one per report) for merging with other modalities."""
+    if not isinstance(reports, (list, tuple)):
+        reports = [reports]
+    return [_run(report) for report in reports]
+
+
+def to_sarif(reports: Any) -> dict:
+    """SARIF log dict of IFT runs only."""
+    return make_log(ift_runs(reports))
+
+
+def merged_sarif(
+    ift_reports: Any, lint_reports: Any = None
+) -> dict:
+    """One multi-run log: lint runs (if any) followed by IFT runs."""
+    from repro.lint.sarif import lint_runs
+
+    runs: list = []
+    if lint_reports:
+        runs.extend(lint_runs(lint_reports))
+    runs.extend(ift_runs(ift_reports))
+    return make_log(runs)
+
+
+def write_sarif(
+    path: Any, reports: Any, lint_reports: Any = None
+) -> Any:
+    """Write IFT (optionally merged with lint) SARIF to ``path``."""
+    return write_log(path, merged_sarif(reports, lint_reports))

@@ -1,0 +1,129 @@
+"""Taint-source derivation from a ValidWays specification.
+
+The IFT screen's threat model mirrors the paper's: the defender knows,
+from the datasheet, the *valid ways* a critical register may be updated.
+Every signal those documented ways are allowed to read is trusted; any
+**other** source net feeding the register's write port is an
+undocumented influence and becomes a taint source.
+
+Concretely, for critical register ``R``:
+
+* the spec's :class:`~repro.properties.valid_ways.ValidWay` callables
+  are evaluated against a :class:`RecordingCtx` — a
+  :class:`~repro.properties.valid_ways.MonitorCtx` that records every
+  design signal (input port, register Q, probe) the conditions and
+  expected-value expressions touch. Evaluation happens on a **clone** of
+  the netlist so monitor gates built by the callables never pollute the
+  design under analysis; net ids are preserved by
+  :meth:`~repro.netlist.netlist.Netlist.clone`, so recorded ids are
+  valid in the original.
+* the *documented support* is the union of the combinational supports of
+  those recorded anchors (a probe is an internal net — it stands for
+  whatever inputs/state compute it), plus ``R``'s own Q nets (holding or
+  recirculating your own value is always authorized) and the constants.
+* the *taint sources* are ``comb_support(R's D pins) - documented``:
+  source nets that structurally feed the write port but that no
+  documented way accounts for.
+
+On the bundled clean designs this set is empty — the specs were written
+against the honest RTL — so the fixpoint engine never runs and the
+screen is silent by construction. On the Trojaned designs the trigger
+counters/latch flops spliced into the D logic are exactly the nets this
+subtraction isolates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.netlist.builder import BitVec, Circuit
+from repro.netlist.cells import CONST0, CONST1
+from repro.properties.valid_ways import MonitorCtx
+
+
+class RecordingCtx(MonitorCtx):
+    """A MonitorCtx that records which design signals the spec reads."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        super().__init__(circuit)
+        self.anchors: set[int] = set()
+        self.anchor_names: set[str] = set()
+
+    def input(self, name: str) -> BitVec:
+        value = super().input(name)
+        self.anchors.update(value.nets)
+        self.anchor_names.add("input:{}".format(name))
+        return value
+
+    def reg(self, name: str) -> BitVec:
+        value = super().reg(name)
+        self.anchors.update(value.nets)
+        self.anchor_names.add("reg:{}".format(name))
+        return value
+
+    def probe(self, name: str) -> BitVec:
+        value = super().probe(name)
+        self.anchors.update(value.nets)
+        self.anchor_names.add("probe:{}".format(name))
+        return value
+
+
+@dataclass
+class TaintSources:
+    """Derived taint sources for one critical register."""
+
+    register: str
+    sources: list = field(default_factory=list)  # net ids, sorted
+    documented: frozenset = frozenset()  # trusted source nets
+    anchor_names: list = field(default_factory=list)  # spec signals read
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.sources
+
+
+def documented_support(
+    netlist: Any, spec: Any, register: str, analysis: Any
+) -> "tuple[frozenset[int], list[str]]":
+    """Trusted source nets of ``register`` per its ValidWays spec.
+
+    Returns ``(documented, anchor_names)`` where ``documented`` is the
+    set of input/flop-Q/const nets the documented ways may read (plus the
+    register's own Q and the constants) and ``anchor_names`` lists the
+    spec signals that contributed, for evidence.
+    """
+    reg_spec = spec.spec_for(register)
+    # evaluate the way-callables on a clone: they build monitor gates,
+    # and those must not leak into the netlist under analysis
+    scratch = netlist.clone()
+    ctx = RecordingCtx(Circuit.attach(scratch))
+    width = netlist.register_width(register)
+    for way in reg_spec.ways:
+        way.condition(ctx)
+        way.expected(ctx, width)
+    documented: set[int] = {CONST0, CONST1}
+    documented.update(netlist.register_q_nets(register))
+    if ctx.anchors:
+        # a probe anchor is an internal net; expand it to the inputs /
+        # flop Qs that compute it (comb_support passes through
+        # input/flop/const anchors unchanged)
+        documented.update(analysis.comb_support(sorted(ctx.anchors)))
+    return frozenset(documented), sorted(ctx.anchor_names)
+
+
+def derive_sources(
+    netlist: Any, spec: Any, register: str, analysis: Any
+) -> TaintSources:
+    """Taint sources for ``register``: undocumented write-port support."""
+    documented, anchor_names = documented_support(
+        netlist, spec, register, analysis
+    )
+    d_nets = netlist.register_d_nets(register)
+    support = analysis.comb_support(d_nets)
+    return TaintSources(
+        register=register,
+        sources=sorted(support - documented),
+        documented=documented,
+        anchor_names=anchor_names,
+    )

@@ -436,6 +436,76 @@ class BypassRegisterCandidate(Rule):
         return findings
 
 
+@rule
+class TaintIntoEnable(Rule):
+    """Undocumented logic inside a critical register's write-enable cone.
+
+    The valid-way spec pins down every signal a critical register's
+    update conditions may read. Any other input or flop Q reaching the
+    register's write selects can arm or suppress writes the datasheet
+    never mentions — the classic placement for a Trojan's trigger latch.
+    This is the enable-focused slice of the IFT screen's source
+    derivation (:mod:`repro.ift.sources`), surfaced as a lint warning so
+    pure-lint runs still see it.
+    """
+
+    name = "taint-into-enable"
+    severity = WARN
+    description = (
+        "a critical register's write-enable cone reads signals outside "
+        "the documented valid-way support"
+    )
+
+    def run(self, ctx):
+        if ctx.spec is None:
+            return []
+        # imported lazily: repro.ift.findings imports repro.lint.findings,
+        # so a module-level import here would close a cycle
+        from repro.ift.sources import documented_support
+
+        analysis = ctx.analysis
+        netlist = ctx.netlist
+        findings = []
+        for name in analysis.critical_registers:
+            selects = analysis.mux_tree(name).select_nets
+            if not selects:
+                continue
+            try:
+                documented, anchors = documented_support(
+                    netlist, ctx.spec, name, analysis
+                )
+            except Exception:
+                # the spec's way-callables reference signals this netlist
+                # does not have; without an evaluable spec there is no
+                # documented cone to compare against
+                continue
+            undocumented = sorted(
+                analysis.comb_support(selects) - documented
+            )
+            if not undocumented:
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    "write enable of critical register {!r} reads {} "
+                    "signal{} outside the documented valid-way support "
+                    "(first: {})".format(
+                        name,
+                        len(undocumented),
+                        "" if len(undocumented) == 1 else "s",
+                        ctx.names(undocumented[:5]),
+                    ),
+                    register=name,
+                    nets=undocumented[:10],
+                    evidence={
+                        "undocumented": len(undocumented),
+                        "anchors": anchors,
+                    },
+                )
+            )
+        return findings
+
+
 # --------------------------------------------------------------------------
 # Netlist hygiene
 # --------------------------------------------------------------------------

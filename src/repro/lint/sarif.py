@@ -1,123 +1,68 @@
 """SARIF 2.1.0 export of lint reports.
 
-SARIF (Static Analysis Results Interchange Format) is what code-scanning
-UIs ingest; exporting it lets the CI lint job upload netlist findings as
-a scan artifact. One :class:`~repro.lint.findings.LintReport` becomes
-one ``run``; gate-level designs have no source files, so findings carry
-*logical* locations (``design/register`` or ``design/net``) instead of
-physical ones, which the spec explicitly allows.
+Thin adapter over the shared writer in :mod:`repro.report.sarif`: this
+module contributes only the lint tool descriptor (driver ``repro-lint``,
+rules from :data:`~repro.lint.rules.RULE_REGISTRY`) and the per-report
+run properties. One :class:`~repro.lint.findings.LintReport` becomes one
+``run``.
 """
 
 from __future__ import annotations
 
-import json
+from typing import Any, Sequence
 
-from repro.lint.findings import ERROR, INFO, SUSPICIOUS, WARN
 from repro.lint.rules import RULE_REGISTRY
-
-SARIF_VERSION = "2.1.0"
-SARIF_SCHEMA = (
-    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
-    "Schemata/sarif-schema-2.1.0.json"
+from repro.report.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    driver_rule,
+    make_log,
+    make_run,
+    write_log,
 )
 
-# SARIF defines note/warning/error; the Trojan-shaped ``suspicious``
-# severity maps to error so scanning UIs surface it as blocking.
-_LEVEL = {INFO: "note", WARN: "warning", SUSPICIOUS: "error", ERROR: "error"}
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "lint_runs",
+    "to_sarif",
+    "write_sarif",
+]
 
 
-def _driver_rules():
+def _driver_rules() -> list[dict[str, Any]]:
     """The tool.driver.rules array, one entry per registered rule."""
-    rules = []
-    for name, cls in RULE_REGISTRY.items():
-        rules.append(
-            {
-                "id": name,
-                "shortDescription": {"text": cls.description},
-                "defaultConfiguration": {"level": _LEVEL[cls.severity]},
-                "properties": {"severity": cls.severity},
-            }
-        )
-    return rules
+    return [
+        driver_rule(name, cls.description, cls.severity)
+        for name, cls in RULE_REGISTRY.items()
+    ]
 
 
-def _result(finding, rule_index):
-    subject = finding.register or (
-        finding.net_names[0] if finding.net_names else finding.design
-    )
-    fq_name = (
-        "{}/{}".format(finding.design, subject)
-        if finding.design
-        else subject
-    )
-    result = {
-        "ruleId": finding.rule,
-        "level": _LEVEL[finding.severity],
-        "message": {"text": finding.message},
-        "locations": [
-            {
-                "logicalLocations": [
-                    {
-                        "name": subject,
-                        "fullyQualifiedName": fq_name,
-                        "kind": "member",
-                    }
-                ]
-            }
-        ],
-        "properties": {
-            "severity": finding.severity,
-            "design": finding.design,
-            "register": finding.register,
-            "netNames": list(finding.net_names),
-            "evidence": dict(finding.evidence),
-        },
-    }
-    if rule_index is not None:
-        result["ruleIndex"] = rule_index
-    return result
-
-
-def _run(report):
-    rules = _driver_rules()
-    index = {entry["id"]: i for i, entry in enumerate(rules)}
-    return {
-        "tool": {
-            "driver": {
-                "name": "repro-lint",
-                "informationUri": (
-                    "https://github.com/paper-repro/conf-dac-trojan"
-                ),
-                "version": "0.2.0",
-                "rules": rules,
-            }
-        },
-        "results": [
-            _result(finding, index.get(finding.rule))
-            for finding in report.findings
-        ],
-        "properties": {
+def _run(report: Any) -> dict[str, Any]:
+    return make_run(
+        "repro-lint",
+        _driver_rules(),
+        report.findings,
+        {
             "design": report.design,
             "elapsed": report.elapsed,
             "ruleHits": report.rule_hits,
         },
-    }
+    )
 
 
-def to_sarif(reports):
-    """SARIF log dict for one report or a list of reports (one run each)."""
+def lint_runs(reports: Any) -> list[dict[str, Any]]:
+    """SARIF runs (one per report) for merging with other modalities."""
     if not isinstance(reports, (list, tuple)):
         reports = [reports]
-    return {
-        "$schema": SARIF_SCHEMA,
-        "version": SARIF_VERSION,
-        "runs": [_run(report) for report in reports],
-    }
+    return [_run(report) for report in reports]
 
 
-def write_sarif(path, reports):
+def to_sarif(reports: Any) -> dict[str, Any]:
+    """SARIF log dict for one report or a list of reports (one run each)."""
+    return make_log(lint_runs(reports))
+
+
+def write_sarif(path: Any, reports: Sequence[Any]) -> Any:
     """Serialize :func:`to_sarif` to ``path``; returns the path."""
-    with open(path, "w") as handle:
-        json.dump(to_sarif(reports), handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    return path
+    return write_log(path, to_sarif(reports))

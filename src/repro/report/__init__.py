@@ -1,0 +1,33 @@
+"""Shared report serialization (SARIF) for the static modalities.
+
+Both static screens — :mod:`repro.lint` and :mod:`repro.ift` — emit
+SARIF 2.1.0 for code-scanning UIs. The writer lives here so each
+modality only describes its *tool* (driver name, rule registry) and the
+log assembly, level mapping and logical-location encoding stay in one
+place; :func:`merged_log` stitches the two into a single multi-run
+document.
+"""
+
+from repro.report.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    driver_rule,
+    finding_result,
+    make_log,
+    make_run,
+    merged_log,
+    severity_level,
+    write_log,
+)
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "driver_rule",
+    "finding_result",
+    "make_log",
+    "make_run",
+    "merged_log",
+    "severity_level",
+    "write_log",
+]

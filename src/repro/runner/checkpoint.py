@@ -124,6 +124,9 @@ def finding_to_dict(finding):
         "lint_evidence": [
             dict(entry) for entry in getattr(finding, "lint_evidence", [])
         ],
+        "ift_evidence": [
+            dict(entry) for entry in getattr(finding, "ift_evidence", [])
+        ],
     }
 
 
@@ -151,6 +154,9 @@ def finding_from_dict(data):
     }
     finding.lint_evidence = [
         dict(entry) for entry in data.get("lint_evidence", [])
+    ]
+    finding.ift_evidence = [
+        dict(entry) for entry in data.get("ift_evidence", [])
     ]
     finding.restored = True
     return finding

@@ -48,6 +48,10 @@ import heapq
 import time
 
 from repro.bmc.witness import confirms_violation
+from repro.core.detector import (
+    fused_register_scores,
+    prioritize_registers,
+)
 from repro.core.report import DetectionReport, RegisterFinding
 from repro.core.registers import pseudo_critical_candidates
 from repro.errors import CheckpointWriteError, ReproError
@@ -102,7 +106,7 @@ class _Node:
         self.kind = kind
         self.name = name
         self.seq = seq
-        self.priority = (-reg.lint_score, audit.index, reg.index, seq)
+        self.priority = (-reg.static_score, audit.index, reg.index, seq)
         self.factory = factory
         self.task = task
         self.state = "waiting"
@@ -135,11 +139,12 @@ class _Node:
 class _RegisterState:
     """Scheduler-side view of one register's audit progress."""
 
-    def __init__(self, audit, index, register, lint_score):
+    def __init__(self, audit, index, register, static_score):
         self.audit = audit
         self.index = index
         self.register = register
-        self.lint_score = lint_score
+        # fused lint + IFT priority score (see fused_register_scores)
+        self.static_score = static_score
         self.spec = None
         self.started = 0.0
         self.error = None  # raised when the serial replay reaches it
@@ -629,8 +634,9 @@ class AuditScheduler:
             trojan_info=det.spec.trojan,
         )
         names = request.registers or list(det.spec.critical)
-        if det.lint_report is not None:
-            names = det.lint_report.prioritize(names)
+        names = prioritize_registers(
+            names, det.lint_report, det.ift_report
+        )
         store = None
         if request.checkpoint is not None:
             store = (
@@ -653,10 +659,7 @@ class AuditScheduler:
                 engine=det.engine,
                 max_cycles=det.max_cycles,
             )
-        scores = (
-            det.lint_report.register_scores()
-            if det.lint_report is not None else {}
-        )
+        scores = fused_register_scores(det.lint_report, det.ift_report)
         for reg_index, register in enumerate(names):
             if register in report.findings:
                 continue  # restored from the checkpoint
@@ -855,6 +858,11 @@ class AuditScheduler:
             finding.lint_evidence = [
                 f.to_dict()
                 for f in det.lint_report.findings_for(reg.register)
+            ]
+        if det.ift_report is not None:
+            finding.ift_evidence = [
+                f.to_dict()
+                for f in det.ift_report.findings_for(reg.register)
             ]
         finding.pseudo_criticals = list(promoted)
         for name, outcome in outcomes:

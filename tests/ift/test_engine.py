@@ -1,0 +1,219 @@
+"""Fixpoint engine tests on adversarial graph shapes.
+
+Each test builds a miniature netlist whose structure stresses one part
+of the engine: select weakening, multi-fan-out enables, register-only
+cycles, cones shared between registers, and the round bound that makes
+non-termination impossible by construction.
+"""
+
+import pytest
+
+from repro.errors import IftError
+from repro.ift import (
+    MAYBE,
+    TAINTED,
+    UNTAINTED,
+    propagate,
+    shortest_taint_path,
+)
+from repro.netlist import Circuit
+
+
+def test_empty_sources_is_a_noop():
+    c = Circuit("tiny")
+    a = c.input("a", 1)
+    c.output("y", ~a)
+    result = propagate(c.finalize(), [])
+    assert result.taint == {}
+    assert result.rounds == 0
+    assert result.reach == frozenset()
+
+
+def test_taint_flows_through_plain_gates_at_full_strength():
+    c = Circuit("comb")
+    a = c.input("a", 1)
+    b = c.input("b", 1)
+    c.output("y", (a & b) ^ a)
+    netlist = c.finalize()
+    result = propagate(netlist, a.nets)
+    (y,) = netlist.outputs["y"]
+    assert result.level(y) == TAINTED
+    assert result.max_level(b.nets) == UNTAINTED  # no backward flow
+
+
+def test_mux_select_taint_weakens_to_maybe():
+    c = Circuit("muxsel")
+    sel = c.input("sel", 1)
+    d0 = c.input("d0", 1)
+    d1 = c.input("d1", 1)
+    c.output("y", c.mux(sel, d0, d1))
+    netlist = c.finalize()
+    (y,) = netlist.outputs["y"]
+    weak = propagate(netlist, sel.nets)
+    assert weak.level(y) == MAYBE  # control-only influence
+    strong = propagate(netlist, sel.nets, weak_selects=False)
+    assert strong.level(y) == TAINTED  # conservative two-level reading
+
+
+def test_mux_data_arm_taint_keeps_full_strength():
+    c = Circuit("muxdata")
+    sel = c.input("sel", 1)
+    d0 = c.input("d0", 1)
+    d1 = c.input("d1", 1)
+    c.output("y", c.mux(sel, d0, d1))
+    netlist = c.finalize()
+    (y,) = netlist.outputs["y"]
+    assert propagate(netlist, d1.nets).level(y) == TAINTED
+
+
+def test_multi_fanout_enable_taints_every_gated_register():
+    # one trigger net fans out into the write selects of two registers
+    c = Circuit("fanout")
+    trig = c.input("trig", 1)
+    din = c.input("din", 4)
+    rega = c.reg("rega", 4)
+    rega.hold_unless((trig, din))
+    regb = c.reg("regb", 4)
+    regb.hold_unless((trig, din + rega.q))
+    c.output("ya", rega.q)
+    c.output("yb", regb.q)
+    netlist = c.finalize()
+    result = propagate(netlist, trig.nets)
+    for name in ("rega", "regb"):
+        level = result.max_level(netlist.register_d_nets(name))
+        assert level == MAYBE, name  # select-only influence on both
+        # taint crosses the flop boundary into the outputs
+        assert result.max_level(netlist.register_q_nets(name)) == MAYBE
+
+
+def test_register_only_cycle_reaches_fixpoint():
+    # a ring of flops: taint must travel the whole cycle and stop
+    c = Circuit("ring")
+    seed = c.input("seed", 1)
+    a = c.reg("a", 1)
+    b = c.reg("b", 1)
+    d = c.reg("d", 1)
+    a.drive(d.q ^ seed)
+    b.drive(a.q)
+    d.drive(b.q)
+    c.output("y", d.q)
+    netlist = c.finalize()
+    result = propagate(netlist, seed.nets)
+    for name in ("a", "b", "d"):
+        assert result.max_level(netlist.register_q_nets(name)) == TAINTED
+    assert result.rounds <= result.round_limit
+
+
+def test_shared_cone_taints_both_consumers():
+    # two registers read one shared combinational cone; a source inside
+    # it must implicate both, not just the first one swept
+    c = Circuit("shared")
+    x = c.input("x", 4)
+    y = c.input("y", 4)
+    shared = x ^ y
+    rega = c.reg("rega", 4)
+    rega.drive(shared)
+    regb = c.reg("regb", 4)
+    regb.drive(~shared)
+    c.output("out", rega.q & regb.q)
+    netlist = c.finalize()
+    result = propagate(netlist, x.nets)
+    assert result.max_level(netlist.register_d_nets("rega")) == TAINTED
+    assert result.max_level(netlist.register_d_nets("regb")) == TAINTED
+
+
+def test_pipeline_round_count_is_bounded_and_linear():
+    # a chain of N flops needs ~N rounds; the bound 2N+4 must hold with
+    # room to spare and the engine must report the actual count
+    depth = 12
+    c = Circuit("chain")
+    src = c.input("src", 1)
+    prev = src
+    for i in range(depth):
+        stage = c.reg("s{}".format(i), 1)
+        stage.drive(prev)
+        prev = stage.q
+    c.output("y", prev)
+    netlist = c.finalize()
+    result = propagate(netlist, src.nets)
+    (y,) = netlist.outputs["y"]
+    assert result.level(y) == TAINTED
+    assert result.round_limit == 2 * depth + 4
+    assert result.rounds <= result.round_limit
+    assert result.rounds >= depth  # taint really crossed every stage
+
+
+def test_reach_restriction_keeps_taint_sparse():
+    c = Circuit("split")
+    a = c.input("a", 1)
+    b = c.input("b", 1)
+    c.output("ya", ~a)
+    c.output("yb", ~b)
+    netlist = c.finalize()
+    result = propagate(netlist, a.nets)
+    (yb,) = netlist.outputs["yb"]
+    assert yb not in result.taint  # disconnected logic never touched
+    assert yb not in result.reach
+
+
+def test_round_limit_breach_raises_ift_error(monkeypatch):
+    # sabotage monotonicity: a transfer function that undoes the flop's
+    # sequential progress every sweep can never settle, and the engine
+    # must refuse to spin forever
+    c = Circuit("guard")
+    a = c.input("a", 1)
+    b = c.input("b", 1)
+    r = c.reg("r", 1)
+    r.drive(c.mux(a, b, ~b))
+    c.output("y", r.q)
+    netlist = c.finalize()
+    (q,) = netlist.register_q_nets("r")
+
+    from repro.ift import engine
+
+    real = engine._cell_taint
+
+    def non_monotone(cell, taint, weak_selects):
+        taint.pop(q, None)
+        return real(cell, taint, weak_selects)
+
+    monkeypatch.setattr(engine, "_cell_taint", non_monotone)
+    with pytest.raises(IftError):
+        propagate(netlist, a.nets)
+
+
+class TestShortestTaintPath:
+    def build(self):
+        c = Circuit("path")
+        trig = c.input("trig", 1)
+        din = c.input("din", 1)
+        stage = c.reg("stage", 1)
+        stage.drive(trig)
+        target = c.reg("target", 1)
+        target.drive(stage.q ^ din)
+        c.output("y", target.q)
+        return c.finalize(), trig, din
+
+    def test_path_runs_source_to_sink_through_tainted_nets(self):
+        netlist, trig, _din = self.build()
+        result = propagate(netlist, trig.nets)
+        d_nets = netlist.register_d_nets("target")
+        path = shortest_taint_path(netlist, trig.nets, d_nets, result)
+        assert path[0] in trig.nets
+        assert path[-1] in d_nets
+        for net in path:
+            assert result.level(net) >= MAYBE
+
+    def test_path_is_deterministic(self):
+        netlist, trig, _din = self.build()
+        result = propagate(netlist, trig.nets)
+        d_nets = netlist.register_d_nets("target")
+        first = shortest_taint_path(netlist, trig.nets, d_nets, result)
+        second = shortest_taint_path(netlist, trig.nets, d_nets, result)
+        assert first == second
+
+    def test_untainted_target_yields_empty_path(self):
+        netlist, trig, din = self.build()
+        result = propagate(netlist, trig.nets)
+        path = shortest_taint_path(netlist, trig.nets, din.nets, result)
+        assert path == []

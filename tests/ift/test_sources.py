@@ -1,0 +1,65 @@
+"""Taint-source derivation: the documented cone vs the write-port cone."""
+
+from repro.ift import derive_sources
+from repro.ift.sources import documented_support
+from repro.lint import DesignAnalysis
+from repro.properties.valid_ways import DesignSpec
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def derive(trojan):
+    netlist = build_secret_design(trojan=trojan)
+    spec = DesignSpec(name=netlist.name, critical={"secret": secret_spec()})
+    analysis = DesignAnalysis(netlist, spec)
+    return netlist, spec, analysis, derive_sources(
+        netlist, spec, "secret", analysis
+    )
+
+
+def test_clean_design_has_no_sources():
+    _netlist, _spec, _analysis, sources = derive(trojan=False)
+    assert sources.is_clean
+    assert sources.sources == []
+
+
+def test_trojan_trigger_state_becomes_a_source():
+    netlist, _spec, _analysis, sources = derive(trojan=True)
+    assert not sources.is_clean
+    counter_q = set(netlist.register_q_nets("troj_counter"))
+    # the spliced counter is undocumented write-port support
+    assert counter_q <= set(sources.sources)
+    # everything the spec reads is NOT a source
+    assert not set(sources.sources) & sources.documented
+
+
+def test_documented_cone_covers_spec_reads_and_own_q():
+    netlist, spec, analysis, _sources = derive(trojan=True)
+    documented, anchors = documented_support(
+        netlist, spec, "secret", analysis
+    )
+    for name in ("input:reset", "input:load", "input:key_in"):
+        assert name in anchors
+    own_q = set(netlist.register_q_nets("secret"))
+    assert own_q <= documented
+    load_nets = set(netlist.inputs["load"])
+    assert load_nets <= documented
+
+
+def test_recording_does_not_pollute_the_netlist():
+    netlist = build_secret_design(trojan=True)
+    spec = DesignSpec(name=netlist.name, critical={"secret": secret_spec()})
+    analysis = DesignAnalysis(netlist, spec)
+    cells_before = len(netlist.cells)
+    nets_before = netlist.num_nets
+    derive_sources(netlist, spec, "secret", analysis)
+    assert len(netlist.cells) == cells_before
+    assert netlist.num_nets == nets_before
+
+
+def test_sources_are_sorted_and_stable():
+    _netlist, _spec, _analysis, first = derive(trojan=True)
+    _netlist, _spec, _analysis, second = derive(trojan=True)
+    assert first.sources == sorted(first.sources)
+    assert first.sources == second.sources
+    assert first.anchor_names == second.anchor_names

@@ -145,3 +145,62 @@ class TestSharedStats:
         assert analysis.order == []
         assert analysis.counters == []
         assert analysis.live_nets == set()
+
+
+class TestAdversarialGraphs:
+    """Analysis queries on graph shapes the IFT fusion leans on."""
+
+    def test_multi_fanout_enable_appears_in_both_mux_trees(self):
+        # one trigger net gates two registers; each tree must report it
+        # and their enable cones must share the trigger's support
+        c = Circuit("fanout")
+        trig = c.input("trig", 1)
+        din = c.input("din", 4)
+        rega = c.reg("rega", 4)
+        rega.hold_unless((trig, din))
+        regb = c.reg("regb", 4)
+        regb.hold_unless((trig, din + rega.q))
+        c.output("y", rega.q ^ regb.q)
+        analysis = DesignAnalysis(c.finalize())
+        cone_a = analysis.comb_support(analysis.mux_tree("rega").select_nets)
+        cone_b = analysis.comb_support(analysis.mux_tree("regb").select_nets)
+        assert trig.nets[0] in cone_a
+        assert trig.nets[0] in cone_b
+
+    def test_register_only_cycle_support_stops_at_the_boundary(self):
+        # comb_support must treat flop Qs as anchors, not recurse through
+        # the sequential cycle forever
+        c = Circuit("ring")
+        seed = c.input("seed", 1)
+        a = c.reg("a", 1)
+        b = c.reg("b", 1)
+        a.drive(b.q ^ seed)
+        b.drive(a.q)
+        c.output("y", b.q)
+        netlist = c.finalize()
+        analysis = DesignAnalysis(netlist)
+        support = analysis.comb_support(netlist.register_d_nets("a"))
+        assert set(netlist.register_q_nets("b")) <= support
+        assert seed.nets[0] in support
+        # b's own D support is just a's Q: the cycle was not flattened
+        support_b = analysis.comb_support(netlist.register_d_nets("b"))
+        assert support_b == set(netlist.register_q_nets("a"))
+
+    def test_shared_cone_is_reported_for_every_consumer(self):
+        c = Circuit("shared")
+        x = c.input("x", 4)
+        y = c.input("y", 4)
+        shared = x ^ y
+        rega = c.reg("rega", 4)
+        rega.drive(shared)
+        regb = c.reg("regb", 4)
+        regb.drive(~shared)
+        c.output("out", rega.q & regb.q)
+        netlist = c.finalize()
+        analysis = DesignAnalysis(netlist)
+        for name in ("rega", "regb"):
+            support = analysis.comb_support(
+                netlist.register_d_nets(name)
+            )
+            assert set(x.nets) <= support
+            assert set(y.nets) <= support

@@ -233,3 +233,40 @@ class TestExcessiveDepth:
             self._deep_chain(10), config=LintConfig(max_depth=5)
         )
         assert hits(report, "excessive-depth")
+
+
+class TestTaintIntoEnable:
+    def test_clean_enable_cone_matches_the_spec(self):
+        report = lint_design(
+            build_secret_design(trojan=False), secret_design_spec()
+        )
+        assert hits(report, "taint-into-enable") == []
+
+    def test_trojan_trigger_in_enable_cone_is_flagged(self):
+        report = lint_design(
+            build_secret_design(trojan=True), secret_design_spec()
+        )
+        found = hits(report, "taint-into-enable")
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.register == "secret"
+        assert finding.severity == "warn"
+        assert finding.evidence["undocumented"] >= 1
+        # the recorded anchors show what the spec *did* authorize
+        assert "input:load" in finding.evidence["anchors"]
+
+    def test_rule_needs_a_spec(self):
+        report = lint_design(build_secret_design(trojan=True), spec=None)
+        assert hits(report, "taint-into-enable") == []
+
+    def test_unevaluable_spec_is_skipped_not_fatal(self):
+        # the spec's way-callables read a 'reset' input this netlist
+        # does not have; the rule must skip, not crash the lint run
+        c = Circuit("bare")
+        load = c.input("load", 1)
+        din = c.input("din", 8)
+        r = c.reg("secret", 8)
+        r.hold_unless((load, din))
+        c.output("y", r.q)
+        report = lint_design(c.finalize(), secret_design_spec("bare"))
+        assert hits(report, "taint-into-enable") == []
