@@ -23,10 +23,12 @@ import time
 import tracemalloc
 from dataclasses import dataclass, field
 
+from repro.bmc.canonical import canonicalize_model
 from repro.bmc.unroll import Unroller
 from repro.bmc.witness import Witness
 from repro.obs.tracer import get_tracer
-from repro.sat.solver import SAT, UNKNOWN, Solver
+from repro.sat.factory import default_solver
+from repro.sat.solver import SAT, UNKNOWN
 
 VIOLATED = "violated"
 PROVED = "proved"
@@ -75,8 +77,15 @@ class BmcResult:
         head = "[{}] {} at bound {}".format(
             self.property_name or "bmc", self.status, self.bound
         )
-        tail = " ({:.2f}s, {} conflicts, {} vars, {} clauses, cone={})".format(
-            self.elapsed, self.conflicts, self.variables, self.clauses, self.cone
+        # Deltas alone are misleading under session reuse (the second
+        # property of a warm session adds near-zero clauses), so the
+        # cumulative solver totals are always shown alongside.
+        tail = (
+            " ({:.2f}s, {} conflicts, {} vars, {} clauses,"
+            " {} total vars, {} total clauses, cone={})".format(
+                self.elapsed, self.conflicts, self.variables, self.clauses,
+                self.total_variables, self.total_clauses, self.cone,
+            )
         )
         return head + tail
 
@@ -85,18 +94,25 @@ class BmcEngine:
     """Incremental BMC over a 1-bit objective net."""
 
     def __init__(self, netlist, objective_net, property_name="", use_coi=True,
-                 solver=None, pinned_inputs=None):
+                 solver=None, pinned_inputs=None, unroller=None):
         self.netlist = netlist
         self.objective_net = objective_net
         self.property_name = property_name
-        self.solver = solver if solver is not None else Solver()
-        self.unroller = Unroller(
-            netlist,
-            self.solver,
-            [objective_net],
-            use_coi=use_coi,
-            pinned_inputs=pinned_inputs,
-        )
+        if unroller is not None:
+            # Session path: share an existing solver+unroller (the
+            # unroller's cone must already cover the objective — see
+            # SolverSession, which extends it via add_targets).
+            self.solver = unroller.solver
+            self.unroller = unroller
+        else:
+            self.solver = solver if solver is not None else default_solver()
+            self.unroller = Unroller(
+                netlist,
+                self.solver,
+                [objective_net],
+                use_coi=use_coi,
+                pinned_inputs=pinned_inputs,
+            )
 
     def check(self, max_cycles, time_budget=None, conflict_budget=None,
               measure_memory=False, start_cycle=1):
@@ -184,10 +200,19 @@ class BmcEngine:
                     if result.status == SAT:
                         status = VIOLATED
                         bound = t
-                        witness = Witness(
-                            inputs=self.unroller.input_assignment(
-                                result.model, t
+                        model = canonicalize_model(
+                            self.solver,
+                            self.unroller,
+                            [objective_lit],
+                            result.model,
+                            t,
+                            time_budget=(
+                                None if time_budget is None else
+                                time_budget - (time.perf_counter() - start)
                             ),
+                        )
+                        witness = Witness(
+                            inputs=self.unroller.input_assignment(model, t),
                             violation_cycle=t - 1,
                             property_name=self.property_name,
                         )
@@ -197,6 +222,12 @@ class BmcEngine:
                         stop = True
                     else:
                         bound = t  # proved up to t
+                        # UNSAT under [objective_lit] means the formula
+                        # implies ¬objective@t-1; promoting it to a unit
+                        # lets BCP kill the whole sticky chain backward,
+                        # strengthening later bounds and later session
+                        # checks for free.
+                        self.solver.add_clause([-objective_lit])
                 if stop:
                     break
             if measure_memory:

@@ -33,12 +33,14 @@ from repro.bmc.engine import (
     VIOLATED,
     BmcResult,
 )
+from repro.bmc.canonical import canonicalize_model
 from repro.bmc.unroll import Unroller
 from repro.bmc.witness import Witness
 from repro.errors import ReproError
 from repro.netlist.traversal import cone_of_influence
 from repro.obs.tracer import get_tracer
-from repro.sat.solver import SAT, UNKNOWN, Solver
+from repro.sat.factory import default_solver
+from repro.sat.solver import SAT, UNKNOWN
 
 
 def group_objectives_by_cone(netlist, objective_nets, min_overlap=0.5):
@@ -104,7 +106,7 @@ class MultiObjectiveBmc:
                 )
             )
         self.property_names = list(property_names)
-        self.solver = solver if solver is not None else Solver()
+        self.solver = solver if solver is not None else default_solver()
         self.unroller = Unroller(
             netlist,
             self.solver,
@@ -225,8 +227,19 @@ class MultiObjectiveBmc:
                 elapsed_solving[i] += solve_elapsed
                 if result.status == SAT:
                     decided[i] = VIOLATED
+                    model = canonicalize_model(
+                        self.solver,
+                        self.unroller,
+                        [lit],
+                        result.model,
+                        t,
+                        time_budget=(
+                            None if time_budget is None else
+                            time_budget - (time.perf_counter() - start)
+                        ),
+                    )
                     witnesses[i] = Witness(
-                        inputs=self.unroller.input_assignment(result.model, t),
+                        inputs=self.unroller.input_assignment(model, t),
                         violation_cycle=t - 1,
                         property_name=self.property_names[i],
                     )
@@ -237,6 +250,10 @@ class MultiObjectiveBmc:
                     proved_to[i] = t
                     if t == bounds[i]:
                         decided[i] = PROVED
+                        # F ⊨ ¬lit after an UNSAT assumption solve:
+                        # promote it so sibling objectives and deeper
+                        # bounds propagate it for free.
+                        self.solver.add_clause([-lit])
             if out_of_budget:
                 break
 

@@ -29,7 +29,8 @@ from repro.bmc.engine import BmcEngine
 from repro.netlist.cells import Kind
 from repro.netlist.traversal import cone_of_influence
 from repro.obs.tracer import get_tracer
-from repro.sat.solver import UNKNOWN, UNSAT, Solver
+from repro.sat.factory import default_solver
+from repro.sat.solver import UNKNOWN, UNSAT
 from repro.sat.tseitin import encode_cell
 
 PROVED_UNBOUNDED = "proved-unbounded"
@@ -152,10 +153,17 @@ def _prove_by_induction(netlist, objective_net, max_k, time_budget,
     start = time.perf_counter()
 
     def remaining():
+        # Returns the *real* remainder, negative included — callers bail
+        # out when it is ≤ 0. (This used to clamp an exhausted budget to
+        # 0.001s, which turned "out of time" into an endless sequence of
+        # 1ms solver calls that each made a little progress: the loop
+        # could overrun a 1s budget by orders of magnitude.)
         if time_budget is None:
             return None
-        left = time_budget - (time.perf_counter() - start)
-        return max(left, 0.001)
+        return time_budget - (time.perf_counter() - start)
+
+    def out_of_time(left):
+        return left is not None and left <= 0
 
     base_engine = BmcEngine(
         netlist,
@@ -163,15 +171,23 @@ def _prove_by_induction(netlist, objective_net, max_k, time_budget,
         property_name=property_name + ":base",
         pinned_inputs=pinned_inputs,
     )
-    step_solver = Solver()
+    step_solver = default_solver()
     step = _FreeStateUnroller(
         netlist, step_solver, [objective_net], pinned_inputs=pinned_inputs
     )
 
+    step_frames_constrained = 0
     for k in range(1, max_k + 1):
+        left = remaining()
+        if out_of_time(left):
+            return InductionResult(
+                status=UNKNOWN_STATUS, k=k,
+                elapsed=time.perf_counter() - start,
+                property_name=property_name,
+            )
         # base: no violation within k cycles from reset
         base = base_engine.check(
-            k, start_cycle=k, time_budget=remaining()
+            k, start_cycle=k, time_budget=left
         )
         if base.status == "violated":
             return InductionResult(
@@ -189,11 +205,24 @@ def _prove_by_induction(netlist, objective_net, max_k, time_budget,
         # step: k clean frames from an arbitrary state, then a violation
         with tracer.span("induction.encode", k=k):
             step.extend_to(k + 1)
-        for frame in range(k):
+        # The step solver is incremental across k: frames 0..k-2 already
+        # carry their ¬violation clause from earlier iterations, so only
+        # the newly uncovered frame needs one. (Re-adding all k clauses
+        # each round made the problem-clause count quadratic in k and
+        # skewed every clause-growth statistic derived from it.)
+        for frame in range(step_frames_constrained, k):
             step_solver.add_clause([-step.lit(objective_net, frame)])
+        step_frames_constrained = k
+        left = remaining()
+        if out_of_time(left):
+            return InductionResult(
+                status=UNKNOWN_STATUS, k=k,
+                elapsed=time.perf_counter() - start,
+                property_name=property_name,
+            )
         result = step_solver.solve(
             assumptions=[step.lit(objective_net, k)],
-            time_budget=remaining(),
+            time_budget=left,
         )
         if result.status == UNSAT:
             return InductionResult(

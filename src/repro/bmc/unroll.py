@@ -33,6 +33,7 @@ class Unroller:
         self.netlist = netlist
         self.solver = solver
         self.use_coi = use_coi
+        self.targets = list(target_nets)
         # port name -> pinned constant word (e.g. {"reset": 0}: the initial
         # state already models reset, so the run holds it inactive)
         self.pinned_inputs = dict(pinned_inputs or {})
@@ -43,18 +44,24 @@ class Unroller:
             cell_idxs = topological_cells(netlist)
             flop_idxs = list(range(len(netlist.flops)))
             self.cone = None  # everything
+        self._cell_idxs = list(cell_idxs)
+        self._flop_idxs = list(flop_idxs)
         self._cells = [netlist.cells[i] for i in cell_idxs]
         self._flops = [netlist.flops[i] for i in flop_idxs]
-        self._input_nets = []
-        for name, nets in netlist.inputs.items():
-            for bit, net in enumerate(nets):
-                if self.cone is None or net in self.cone:
-                    self._input_nets.append((name, bit, net))
+        self._input_nets = self._cone_inputs()
         self.frames = 0
         self._lit = {}
         self.true_lit = solver.new_var()
         solver.add_clause([self.true_lit])
         self.vars_per_frame = []
+
+    def _cone_inputs(self):
+        inputs = []
+        for name, nets in self.netlist.inputs.items():
+            for bit, net in enumerate(nets):
+                if self.cone is None or net in self.cone:
+                    inputs.append((name, bit, net))
+        return inputs
 
     # ------------------------------------------------------------ expansion
 
@@ -64,13 +71,75 @@ class Unroller:
             self._build_frame(self.frames)
             self.frames += 1
 
+    def add_targets(self, target_nets):
+        """Widen the cone to cover additional target nets.
+
+        Newly reachable inputs, flops and cells are encoded into every
+        already-built frame, so literals for the new targets exist at all
+        current frames and future :meth:`extend_to` calls cover the
+        union cone. Logic already encoded is untouched — existing
+        literals, and any solver state derived from them, stay valid
+        (the new cone only ever *adds* constraints over fresh
+        variables). This is what lets one session's unrolling serve a
+        register's properties one monitor at a time.
+        """
+        fresh = [net for net in target_nets if net not in self.targets]
+        if not fresh:
+            return
+        self.targets.extend(fresh)
+        if self.cone is None:
+            return  # use_coi=False: everything is already encoded
+        cone, cell_idxs, flop_idxs = cone_of_influence(
+            self.netlist, self.targets
+        )
+        old_cells = set(self._cell_idxs)
+        old_flops = set(self._flop_idxs)
+        new_cells = [
+            self.netlist.cells[i] for i in cell_idxs if i not in old_cells
+        ]
+        new_flops = [
+            self.netlist.flops[i] for i in flop_idxs if i not in old_flops
+        ]
+        old_input_nets = {net for _, _, net in self._input_nets}
+        self.cone = cone
+        self._cell_idxs = list(cell_idxs)
+        self._flop_idxs = list(flop_idxs)
+        self._cells = [self.netlist.cells[i] for i in cell_idxs]
+        self._flops = [self.netlist.flops[i] for i in flop_idxs]
+        self._input_nets = self._cone_inputs()
+        new_inputs = [
+            entry for entry in self._input_nets
+            if entry[2] not in old_input_nets
+        ]
+        if not (new_cells or new_flops or new_inputs):
+            return
+        for t in range(self.frames):
+            vars_before = self.solver.num_vars
+            self._encode_members(t, new_inputs, new_flops, new_cells)
+            self.vars_per_frame[t] += self.solver.num_vars - vars_before
+
     def _build_frame(self, t):
         solver = self.solver
-        lit = self._lit
         vars_before = solver.num_vars
-        lit[(0, t)] = -self.true_lit
-        lit[(1, t)] = self.true_lit
-        for name, bit, net in self._input_nets:
+        self._lit[(0, t)] = -self.true_lit
+        self._lit[(1, t)] = self.true_lit
+        self._encode_members(
+            t, self._input_nets, self._flops, self._cells
+        )
+        self.vars_per_frame.append(solver.num_vars - vars_before)
+
+    def _encode_members(self, t, input_nets, flops, cells):
+        """Encode a (sub)set of the cone's members at frame ``t``.
+
+        ``cells`` must be in topological order and closed under fan-in
+        relative to what is already encoded at this frame — true both
+        for a full frame build and for the new-members slice
+        :meth:`add_targets` computes (a cone is fan-in closed, so a new
+        cell only reads new nets or nets the old cone already encoded).
+        """
+        solver = self.solver
+        lit = self._lit
+        for name, bit, net in input_nets:
             pinned = self.pinned_inputs.get(name)
             if pinned is not None:
                 lit[(net, t)] = (
@@ -78,14 +147,14 @@ class Unroller:
                 )
             else:
                 lit[(net, t)] = solver.new_var()
-        for flop in self._flops:
+        for flop in flops:
             if t == 0:
                 lit[(flop.q, 0)] = (
                     self.true_lit if flop.init else -self.true_lit
                 )
             else:
                 lit[(flop.q, t)] = lit[(flop.d, t - 1)]
-        for cell in self._cells:
+        for cell in cells:
             ins = [lit[(net, t)] for net in cell.inputs]
             if cell.kind is Kind.BUF:
                 lit[(cell.output, t)] = ins[0]
@@ -95,7 +164,6 @@ class Unroller:
                 out = solver.new_var()
                 lit[(cell.output, t)] = out
                 encode_cell(solver, cell.kind, out, ins)
-        self.vars_per_frame.append(solver.num_vars - vars_before)
 
     # --------------------------------------------------------------- access
 

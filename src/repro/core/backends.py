@@ -69,9 +69,19 @@ def validate_check_kwargs(name, engine, check_kwargs):
 
 
 def make_engine(name, netlist, objective_net, property_name="",
-                pinned_inputs=None, use_coi=True):
-    """Instantiate a formal engine by name."""
+                pinned_inputs=None, use_coi=True, session=None):
+    """Instantiate a formal engine by name.
+
+    ``session`` is a :class:`~repro.bmc.session.SessionObjective`
+    execution hint. It only applies to the BMC engine — the other
+    engines keep no reusable solver state worth sharing — and it
+    redirects the check onto the session's warm solver and stacked
+    netlist clone. Verdicts and witnesses are identical either way;
+    the hint trades encoding/search time, not meaning.
+    """
     if name == "bmc":
+        if session is not None:
+            return session
         return BmcEngine(
             netlist,
             objective_net,
@@ -109,8 +119,15 @@ def make_engine(name, netlist, objective_net, property_name="",
 
 
 def run_objective(name, netlist, objective_net, max_cycles, property_name="",
-                  pinned_inputs=None, use_coi=True, **check_kwargs):
-    """One-shot: build the named engine and run its bounded check."""
+                  pinned_inputs=None, use_coi=True, session=None,
+                  **check_kwargs):
+    """One-shot: build the named engine and run its bounded check.
+
+    When ``session`` is given (BMC only) the check runs on the
+    session's persistent solver instead of a cold engine; ``netlist``
+    and ``objective_net`` still describe the standalone monitor build
+    and keep defining the check's identity (cache fingerprints).
+    """
     engine = make_engine(
         name,
         netlist,
@@ -118,6 +135,7 @@ def run_objective(name, netlist, objective_net, max_cycles, property_name="",
         property_name=property_name,
         pinned_inputs=pinned_inputs,
         use_coi=use_coi,
+        session=session,
     )
     validate_check_kwargs(name, engine, check_kwargs)
     return engine.check(max_cycles, **check_kwargs)

@@ -87,6 +87,13 @@ class AuditConfig:
     share_cones: bool = False
     trace: object = None
     jobs: int | None = None
+    #: Keep one solver+unrolling alive per critical register across its
+    #: corruption / tracking / bypass-adjacent checks (serial BMC only;
+    #: worker pools cannot share a live solver across processes).
+    #: Verdicts, witnesses and cache fingerprints are identical with or
+    #: without sessions — this trades repeated cone re-encoding for
+    #: incremental solver reuse, nothing more.
+    sessions: bool = True
 
     def __post_init__(self):
         if self.jobs is not None and self.jobs < 1:
@@ -288,6 +295,7 @@ class TrojanDetector:
         self.share_cones = config.share_cones
         self.trace = config.trace
         self.jobs = config.jobs
+        self.sessions = config.sessions
 
     # ------------------------------------------------------------------ API
 
@@ -401,9 +409,32 @@ class TrojanDetector:
 
     # ------------------------------------------------------------ internals
 
+    def _register_session(self):
+        """A per-register :class:`SolverSession`, or ``None``.
+
+        Sessions only pay off where a live solver can actually be
+        reused: the serial in-process loop with the BMC engine and an
+        inline runner. Everywhere else (worker pools, process-isolated
+        runners, other engines) the hint would be dropped at the
+        process boundary anyway, so no session is built.
+        """
+        if (
+            not self.sessions
+            or self.engine != "bmc"
+            or self.scheduler_jobs is not None
+            or getattr(self.runner, "isolation", "inline") != "inline"
+        ):
+            return None
+        from repro.bmc.session import SolverSession
+
+        return SolverSession(
+            self.netlist.clone(), pinned_inputs=self.spec.pinned_inputs
+        )
+
     def _audit_register(self, register):
         reg_start = time.perf_counter()
         spec = self.spec.spec_for(register)
+        session = self._register_session()
         finding = RegisterFinding(register=register)
         if self.lint_report is not None:
             finding.lint_evidence = [
@@ -416,10 +447,12 @@ class TrojanDetector:
 
         if self.check_pseudo_critical:
             finding.pseudo_criticals = self._find_pseudo_criticals(
-                spec, finding
+                spec, finding, session=session
             )
 
-        finding.corruption = self._corruption_check(spec, finding=finding)
+        finding.corruption = self._corruption_check(
+            spec, finding=finding, session=session
+        )
         if finding.corruption.detected:
             monitor = self._monitor_for(spec)
             finding.witness_confirmed = confirms_violation(
@@ -437,11 +470,14 @@ class TrojanDetector:
         # "before" ones).
         if not (self.stop_on_first and finding.corruption.detected):
             for name, direction in finding.pseudo_criticals:
+                # the shadow register's cone overlaps the critical
+                # register's heavily, so its checks ride the same session
                 result = self._corruption_check(
                     self.shadow_spec(spec, name, direction),
                     functional=False,
                     way_delay=2 if direction == "after" else 0,
                     finding=finding,
+                    session=session,
                 )
                 finding.pseudo_corruptions[name] = result
                 if self.stop_on_first and result.detected:
@@ -485,9 +521,31 @@ class TrojanDetector:
     # checks through the same code paths, so a check's content — and
     # therefore its cache fingerprint — cannot depend on who ran it.
 
-    def corruption_task(self, spec, functional=None, way_delay=1):
-        """``(task, check name)`` for Eq. (2) on one register spec."""
+    def corruption_task(self, spec, functional=None, way_delay=1,
+                        session=None):
+        """``(task, check name)`` for Eq. (2) on one register spec.
+
+        The standalone monitor build always comes first and alone
+        defines the task (and its cache fingerprint). A ``session``
+        additionally stacks the *same* monitor onto the session's
+        netlist clone and attaches the resulting objective as an
+        execution hint — fingerprints ignore net names, so the two
+        builds hash identically.
+        """
+        if functional is None:
+            functional = self.functional
         monitor = self._monitor_for(spec, functional, way_delay)
+        live = None
+        if session is not None and self.engine == "bmc":
+            stacked = build_corruption_monitor(
+                self.netlist, spec, functional=functional,
+                way_delay=way_delay, into=session.netlist,
+            )
+            live = session.objective(
+                stacked.objective_net,
+                violation_net=stacked.violation_net,
+                property_name=stacked.property_name,
+            )
         task = ObjectiveTask(
             engine=self.engine,
             netlist=monitor.netlist,
@@ -497,14 +555,26 @@ class TrojanDetector:
             pinned_inputs=self.spec.pinned_inputs,
             check_kwargs={"time_budget": self.time_budget},
             cache_dir=self.cache_dir,
+            session=live,
         )
         return task, "corruption({})".format(spec.register)
 
-    def tracking_task(self, spec, candidate, direction):
+    def tracking_task(self, spec, candidate, direction, session=None):
         """``(task, check name)`` for Eq. (3) on one candidate/direction."""
         monitor = build_tracking_monitor(
             self.netlist, spec, candidate, direction=direction
         )
+        live = None
+        if session is not None and self.engine == "bmc":
+            stacked = build_tracking_monitor(
+                self.netlist, spec, candidate, direction=direction,
+                into=session.netlist,
+            )
+            live = session.objective(
+                stacked.objective_net,
+                violation_net=stacked.violation_net,
+                property_name=stacked.property_name,
+            )
         task = ObjectiveTask(
             engine=self.engine,
             netlist=monitor.netlist,
@@ -514,6 +584,7 @@ class TrojanDetector:
             pinned_inputs=self.spec.pinned_inputs,
             check_kwargs={"time_budget": self.time_budget},
             cache_dir=self.cache_dir,
+            session=live,
         )
         name = "tracking({}->{},{})".format(
             spec.register, candidate, direction
@@ -545,21 +616,26 @@ class TrojanDetector:
         return base, builds
 
     def _corruption_check(self, spec, functional=None, way_delay=1,
-                          finding=None):
+                          finding=None, session=None):
         """Eq. (2) on one register spec; returns an engine-shaped result."""
-        task, name = self.corruption_task(spec, functional, way_delay)
+        task, name = self.corruption_task(
+            spec, functional, way_delay, session=session
+        )
         return self._supervised(task, name, finding=finding).verdict
 
     def check_corruption(self, spec, functional=None, way_delay=1):
         """Eq. (2) on one register spec; returns the engine result."""
         return self._corruption_check(spec, functional, way_delay)
 
-    def check_tracking(self, spec, candidate, direction, finding=None):
+    def check_tracking(self, spec, candidate, direction, finding=None,
+                       session=None):
         """Eq. (3) for one candidate/direction; returns the engine result."""
-        task, name = self.tracking_task(spec, candidate, direction)
+        task, name = self.tracking_task(
+            spec, candidate, direction, session=session
+        )
         return self._supervised(task, name, finding=finding).verdict
 
-    def _find_pseudo_criticals(self, spec, finding=None):
+    def _find_pseudo_criticals(self, spec, finding=None, session=None):
         candidates = list(
             pseudo_critical_candidates(self.netlist, self.spec, spec.register)
         )
@@ -571,7 +647,8 @@ class TrojanDetector:
         for candidate in candidates:
             for direction in ("after", "before"):
                 result = self.check_tracking(
-                    spec, candidate, direction, finding=finding
+                    spec, candidate, direction, finding=finding,
+                    session=session,
                 )
                 # "proved" = no valid sequence makes the candidate diverge
                 # from the critical register: it tracks, hence is

@@ -42,6 +42,22 @@ class ObjectiveTask:
     check_kwargs: dict = field(default_factory=dict)
     cache_dir: str | None = None
     cache_resume_base: int = 0
+    #: Execution hint only (see repro.bmc.session.SessionObjective):
+    #: routes the check onto a live per-register solver session when one
+    #: exists in this process. Excluded from equality so session and
+    #: fresh builds of the same check compare equal, and dropped by
+    #: pickling so worker processes fall back to cold engines — a live
+    #: solver cannot cross a process boundary.
+    session: object = field(default=None, compare=False, repr=False)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["session"] = None
+        return state
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
     @property
     def time_budget(self):
@@ -108,6 +124,7 @@ class ObjectiveTask:
             property_name=self.property_name,
             pinned_inputs=self.pinned_inputs,
             use_coi=self.use_coi,
+            session=self.session,
             **self.check_kwargs,
         )
         try:

@@ -3,20 +3,37 @@
 This is the decision procedure behind the BMC engine, standing in for the
 SAT core of Cadence SMV used by the paper. Features:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation over a flat integer clause arena
+  (no per-clause objects on the propagation path) with blocker literals
+  and a dedicated binary-clause fast path,
 * 1-UIP conflict analysis with clause learning,
 * VSIDS variable activities with phase saving,
 * Luby-sequence restarts,
-* learned-clause database reduction,
+* LBD-tagged learnt clauses driving clause-database reduction,
+* opt-in chronological backtracking (``chrono_backtrack=N`` caps how many
+  decision levels a single backjump may undo),
 * incremental solving under assumptions (the BMC bound loop re-solves the
   same growing formula with a different "violation at frame t" assumption),
 * conflict and wall-clock budgets (the paper caps every run at a fixed
   time budget and reports the largest bound reached — engines need a solver
   that can give up cleanly with ``UNKNOWN``).
 
-The implementation favours clarity over micro-optimization but is careful
-about the things that dominate in CPython: tight propagate loop, list-based
-watcher schemes, no per-literal object allocation.
+Arena layout: a clause with reference ``c`` occupies
+``arena[c] = size``, ``arena[c + 1] = lbd`` (``-1`` for problem clauses)
+and ``arena[c + 2 : c + 2 + size]`` are the literals, with the two watched
+literals always in the first two slots. Watcher lists are flat
+``[blocker, cref, blocker, cref, ...]`` pairs and hold only clauses of
+three or more literals; binary clauses live in a separate implication
+table (``bins[lit]`` lists the literals implied when ``lit`` becomes
+false), so binary propagation is a tight loop that never touches the
+arena or migrates watches. Literal truth
+values live in a single list indexed by the literal directly —
+``_val[lit]`` works for negative literals through Python's negative
+indexing — which removes the sign branches from the hot loop.
+
+``self.clauses`` and ``self.learnts`` remain lists (of arena offsets), so
+``len(solver.clauses)``/``len(solver.learnts)`` keep their historical
+meaning for the engines' delta accounting.
 """
 
 from __future__ import annotations
@@ -31,15 +48,6 @@ from repro.obs.tracer import get_tracer
 SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
-
-
-class _Clause:
-    __slots__ = ("lits", "learned", "activity")
-
-    def __init__(self, lits, learned):
-        self.lits = lits
-        self.learned = learned
-        self.activity = 0.0
 
 
 @dataclass
@@ -97,26 +105,50 @@ def luby(i):
 class Solver:
     """Incremental CDCL solver."""
 
-    def __init__(self, restart_base=100, var_decay=0.95, cla_decay=0.999):
+    def __init__(self, restart_base=2000, var_decay=0.95, cla_decay=0.999,
+                 chrono_backtrack=0, adaptive_restart_factor=0.0):
         self.num_vars = 0
-        self.clauses = []  # problem clauses
-        self.learnts = []  # learned clauses
-        self.watches = {}  # literal -> list of _Clause watching it
-        self.assign = [0]  # var -> 0 / 1 / -1
+        # Flat clause arena; offsets 0/1 are a sentinel so crefs are >= 2
+        # and a negated cref in a watcher list is always distinguishable.
+        self.arena = [0, 0]
+        self.arena_waste = 0  # ints occupied by deleted learnt clauses
+        self.compact_waste_limit = 1 << 20
+        self.clauses = []  # problem clause crefs
+        self.learnts = []  # learnt clause crefs
+        # _val[lit] is the literal's truth value (1/-1/0) for positive AND
+        # negative lits via negative indexing; var truth is _val[var].
+        # watches is indexed the same way: watches[lit] is a flat
+        # [blocker, cref, ...] pair list (or None) of 3+-literal clauses
+        # watching lit. Binary clauses live in their own implication
+        # table: bins[lit] is a flat [implied, cref, ...] pair list of
+        # consequences of lit becoming false — they never migrate, so the
+        # binary propagation loop is branch-minimal.
+        self._val_cap = 1024
+        self._val = [0] * (2 * self._val_cap + 1)
+        self.watches = [None] * (2 * self._val_cap + 1)
+        self.bins = [None] * (2 * self._val_cap + 1)
         self.level = [0]
-        self.reason = [None]
+        self.reason = [0]  # var -> cref (0 = decision / no reason)
         self.activity = [0.0]
         self.phase = [False]
         self.trail = []
         self.trail_lim = []
         self.qhead = 0
+        # assumptions whose decision levels survived the last solve (in
+        # order, one level each) — the reusable prefix for the next solve
+        self._assump_trail = []
         self.heap = []
         self.in_heap = [False]
         self.var_inc = 1.0
         self.var_decay = var_decay
-        self.cla_inc = 1.0
-        self.cla_decay = cla_decay
+        self.cla_decay = cla_decay  # kept for API compat; LBD replaces it
         self.restart_base = restart_base
+        self.chrono_backtrack = chrono_backtrack
+        # Adaptive (Glucose-style) restart trigger: restart when the mean
+        # LBD of the last 50 learnt clauses, scaled by this factor,
+        # exceeds the solve's running mean. 0 disables the adaptive layer
+        # (pure Luby).
+        self.adaptive_restart_factor = adaptive_restart_factor
         self.root_unsat = False
         self.max_learnts = 4000.0
         self.stats = SolverStats()
@@ -125,22 +157,41 @@ class Solver:
 
     def new_var(self):
         self.num_vars += 1
-        self.assign.append(0)
+        v = self.num_vars
+        if v >= self._val_cap:
+            self._grow_val()
         self.level.append(0)
-        self.reason.append(None)
+        self.reason.append(0)
         self.activity.append(0.0)
         self.phase.append(False)
-        self.in_heap.append(False)
-        self._heap_insert(self.num_vars)
-        return self.num_vars
+        self.in_heap.append(True)
+        heappush(self.heap, (0.0, v))
+        return v
 
     def new_vars(self, count):
         return [self.new_var() for _ in range(count)]
+
+    def _grow_val(self):
+        old, old_watch, old_bins = self._val, self.watches, self.bins
+        old_cap = self._val_cap
+        cap = self._val_cap = max(2 * old_cap, self.num_vars + 1)
+        val = self._val = [0] * (2 * cap + 1)
+        watches = self.watches = [None] * (2 * cap + 1)
+        bins = self.bins = [None] * (2 * cap + 1)
+        for v in range(1, self.num_vars + 1):
+            neg = 2 * old_cap + 1 - v
+            val[v] = old[v]
+            val[-v] = old[neg]
+            watches[v] = old_watch[v]
+            watches[-v] = old_watch[neg]
+            bins[v] = old_bins[v]
+            bins[-v] = old_bins[neg]
 
     def add_clause(self, literals):
         """Add a problem clause. Must be called at decision level 0."""
         if self.trail_lim:
             self._backtrack(0)
+            self._assump_trail = []
         seen = set()
         lits = []
         for lit in literals:
@@ -153,9 +204,10 @@ class Solver:
             seen.add(lit)
             lits.append(lit)
         # Drop root-false literals, detect root-satisfied clauses.
+        val = self._val
         final = []
         for lit in lits:
-            v = self._value(lit)
+            v = val[lit]
             if v == 1 and self.level[abs(lit)] == 0:
                 return True
             if v == -1 and self.level[abs(lit)] == 0:
@@ -165,16 +217,16 @@ class Solver:
             self.root_unsat = True
             return False
         if len(final) == 1:
-            if not self._enqueue(final[0], None):
+            if not self._enqueue(final[0], 0):
                 self.root_unsat = True
                 return False
             if self._propagate() is not None:
                 self.root_unsat = True
                 return False
             return True
-        clause = _Clause(final, learned=False)
-        self.clauses.append(clause)
-        self._watch(clause)
+        cref = self._alloc(final, -1)
+        self.clauses.append(cref)
+        self._watch(cref, final)
         return True
 
     def add_cnf(self, cnf):
@@ -183,6 +235,30 @@ class Solver:
             self.new_var()
         for clause in cnf.clauses:
             self.add_clause(clause)
+
+    def _alloc(self, lits, lbd):
+        arena = self.arena
+        cref = len(arena)
+        arena.append(len(lits))
+        arena.append(lbd)
+        arena.extend(lits)
+        return cref
+
+    def _watch(self, cref, lits):
+        a, b = lits[0], lits[1]
+        table = self.bins if len(lits) == 2 else self.watches
+        wa = table[a]
+        if wa is None:
+            table[a] = [b, cref]
+        else:
+            wa.append(b)
+            wa.append(cref)
+        wb = table[b]
+        if wb is None:
+            table[b] = [a, cref]
+        else:
+            wb.append(a)
+            wb.append(cref)
 
     # ------------------------------------------------------------ searching
 
@@ -238,15 +314,47 @@ class Solver:
 
         if self.root_unsat:
             return result(UNSAT, core=() if assumptions else None)
-        self._backtrack(0)
-        if self._propagate() is not None:
+        # Assumption-prefix reuse: every exit below leaves the trail at
+        # its assumption levels (one decision level per assumption, in
+        # order) and records them in _assump_trail. When the next solve's
+        # assumption list shares a prefix with the previous one — the
+        # dominant pattern in canonical witness extraction, where the
+        # list only ever grows by one literal — the shared levels and all
+        # their propagations are kept instead of being torn down and
+        # redone. Any clause addition invalidates the kept prefix
+        # (add_clause backtracks to 0), so a kept level's propagations
+        # are always complete for the current formula.
+        prev = self._assump_trail
+        keep = 0
+        limit = min(len(prev), len(assumptions), len(self.trail_lim))
+        while keep < limit and prev[keep] == assumptions[keep]:
+            keep += 1
+        self._backtrack(keep)
+        self._assump_trail = prev[:keep]
+        if not keep and self._propagate() is not None:
             self.root_unsat = True
             return result(UNSAT, core=() if assumptions else None)
 
+        n_assumptions = len(assumptions)
+        chrono = self.chrono_backtrack
         restart_round = 0
         conflicts_since_restart = 0
         restart_limit = self.restart_base * luby(1)
         traced = tracer.enabled
+        # Glucose-style adaptive restarts, layered on the Luby schedule:
+        # restart early when the recent learnt-clause quality (LBD) is
+        # worse than the solve's running average, but hold off while the
+        # trail is much deeper than usual (the search is likely closing
+        # in on a model). All counters are per-solve, so incremental
+        # callers see deterministic, self-contained behavior.
+        adaptive = self.adaptive_restart_factor
+        lbd_sum = 0.0
+        trail_sum = 0.0
+        n_conflicts_here = 0
+        recent = [0] * 50
+        recent_sum = 0.0
+        recent_fill = 0
+        recent_idx = 0
         # Conflict-counter threshold for the wall-clock check: the first
         # conflict always reads the clock, then every 16th, so a storm of
         # expensive conflict analyses cannot overrun the budget the way
@@ -258,8 +366,9 @@ class Solver:
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
-                if self._decision_level() == 0:
+                if not self.trail_lim:
                     self.root_unsat = True
+                    self._assump_trail = []
                     return result(UNSAT, core=() if assumptions else None)
                 # Every conflict — above or below the assumption frontier —
                 # is analyzed, learnt and backjumped uniformly. A conflict
@@ -268,24 +377,66 @@ class Solver:
                 # progress after re-propagation, and only a falsified
                 # assumption at decision time (below) justifies UNSAT.
                 learnt, bt = self._analyze(conflict)
-                self._record_learnt(learnt, bt)
-                self._decay_activities()
+                if chrono:
+                    # Chronological backtracking: a backjump further than
+                    # `chrono` levels is capped at one level instead. The
+                    # learnt clause is still asserting there (its other
+                    # literals sit at levels <= the computed backjump
+                    # level), and the assumption frontier is never
+                    # crossed, so core bookkeeping is unaffected.
+                    cur = len(self.trail_lim)
+                    if cur - bt > chrono and cur - 1 >= n_assumptions:
+                        bt = cur - 1
+                n_conflicts_here += 1
+                trail_here = len(self.trail)
+                trail_sum += trail_here
+                lbd = self._record_learnt(learnt, bt)
+                lbd_sum += lbd
+                if (
+                    recent_fill == 50
+                    and trail_here * n_conflicts_here > 1.4 * trail_sum
+                ):
+                    # Blocking: the trail is unusually deep — the search
+                    # may be near a model, postpone adaptive restarts.
+                    recent_fill = 0
+                    recent_sum = 0.0
+                    recent_idx = 0
+                elif recent_fill == 50:
+                    recent_sum += lbd - recent[recent_idx]
+                    recent[recent_idx] = lbd
+                    recent_idx = (recent_idx + 1) % 50
+                else:
+                    recent[recent_idx] = lbd
+                    recent_sum += lbd
+                    recent_idx = (recent_idx + 1) % 50
+                    recent_fill += 1
+                self.var_inc /= self.var_decay
                 if conflict_budget is not None and (
                     self.stats.conflicts - base_conflicts >= conflict_budget
                 ):
-                    self._backtrack(0)
+                    self._retreat_to_assumptions(assumptions, n_assumptions)
                     return result(UNKNOWN)
                 if time_budget is not None and (
                     self.stats.conflicts >= next_time_check
                 ):
                     next_time_check = self.stats.conflicts + 16
                     if time.perf_counter() - start > time_budget:
-                        self._backtrack(0)
+                        self._retreat_to_assumptions(
+                            assumptions, n_assumptions
+                        )
                         return result(UNKNOWN)
-                if conflicts_since_restart >= restart_limit:
+                if conflicts_since_restart >= restart_limit or (
+                    adaptive
+                    and recent_fill == 50
+                    and recent_sum * adaptive * n_conflicts_here
+                    > 50 * lbd_sum
+                ):
                     restart_round += 1
                     conflicts_since_restart = 0
                     restart_limit = self.restart_base * luby(restart_round + 1)
+                    recent_fill = 0
+                    recent_sum = 0.0
+                    recent_idx = 0
                     self.stats.restarts += 1
                     if traced:
                         tracer.point(
@@ -310,173 +461,310 @@ class Solver:
             if time_budget is not None and (
                 time.perf_counter() - start > time_budget
             ):
-                self._backtrack(0)
+                self._retreat_to_assumptions(assumptions, n_assumptions)
                 return result(UNKNOWN)
 
             # Assumption decisions first.
-            if self._decision_level() < len(assumptions):
-                lit = assumptions[self._decision_level()]
+            if len(self.trail_lim) < n_assumptions:
+                lit = assumptions[len(self.trail_lim)]
                 if abs(lit) > self.num_vars or lit == 0:
                     raise SolverError("bad assumption {!r}".format(lit))
-                v = self._value(lit)
+                v = self._val[lit]
                 if v == -1:
                     # This assumption is falsified by the others plus the
                     # formula: the genuine UNSAT-under-assumptions exit.
+                    # All current levels are assumption levels; keep them
+                    # for the next solve's shared prefix.
                     core = self._final_core(lit)
-                    self._backtrack(0)
+                    self._assump_trail = list(
+                        assumptions[:len(self.trail_lim)]
+                    )
                     return result(UNSAT, core=core)
                 self.trail_lim.append(len(self.trail))
                 if v == 0:
-                    self._enqueue(lit, None)
+                    self._enqueue(lit, 0)
                 continue
 
             # Regular decision.
             var = self._pick_branch_var()
             if var is None:
+                val = self._val
                 model = {
-                    v: self.assign[v] == 1 for v in range(1, self.num_vars + 1)
+                    v: val[v] == 1 for v in range(1, self.num_vars + 1)
                 }
-                self._backtrack(0)
+                self._retreat_to_assumptions(assumptions, n_assumptions)
                 return result(SAT, model)
             self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))
-            lit = var if self.phase[var] else -var
-            self._enqueue(lit, None)
+            self._enqueue(var if self.phase[var] else -var, 0)
 
     # ----------------------------------------------------------- internals
 
+    def _retreat_to_assumptions(self, assumptions, n_assumptions):
+        """Exit a solve keeping only the assumption decision levels.
+
+        The first ``min(n_assumptions, current levels)`` levels are, by
+        construction of the decision loop, the assumptions in order —
+        backjumps and restarts only ever remove levels from the top, and
+        re-placement happens in list order. Keeping them (and recording
+        which assumptions they are) lets the next solve with a shared
+        assumption prefix skip re-propagating it.
+        """
+        keep = min(n_assumptions, len(self.trail_lim))
+        self._backtrack(keep)
+        self._assump_trail = list(assumptions[:keep])
+
     def _value(self, lit):
-        v = self.assign[abs(lit)]
-        return v if lit > 0 else -v
+        return self._val[lit]
 
     def _decision_level(self):
         return len(self.trail_lim)
 
-    def _watch(self, clause):
-        self.watches.setdefault(clause.lits[0], []).append(clause)
-        self.watches.setdefault(clause.lits[1], []).append(clause)
-
     def _enqueue(self, lit, reason):
-        v = self._value(lit)
-        if v == 1:
-            return True
-        if v == -1:
-            return False
-        var = abs(lit)
-        self.assign[var] = 1 if lit > 0 else -1
-        self.level[var] = self._decision_level()
+        val = self._val
+        v = val[lit]
+        if v:
+            return v == 1
+        var = lit if lit > 0 else -lit
+        val[lit] = 1
+        val[-lit] = -1
+        self.level[var] = len(self.trail_lim)
         self.reason[var] = reason
         self.phase[var] = lit > 0
         self.trail.append(lit)
         return True
 
     def _propagate(self):
-        assign = self.assign
+        """Unit propagation; returns the conflicting cref or ``None``.
+
+        The loop works on flat watcher pair-lists and the literal-indexed
+        value array; the only arena traffic is for non-binary clauses
+        whose blocker is not already satisfied. Each watcher list is
+        edited in place — entries are only compacted (shifted left) after
+        the first clause actually migrates to a new watch, so the common
+        all-entries-stay visit does no list writes beyond blocker updates.
+        """
+        val = self._val
+        arena = self.arena
         watches = self.watches
+        bins = self.bins
         trail = self.trail
-        while self.qhead < len(trail):
-            p = trail[self.qhead]
-            self.qhead += 1
-            self.stats.propagations += 1
-            false_lit = -p
-            ws = watches.get(false_lit)
+        trail_append = trail.append
+        level = self.level
+        reason = self.reason
+        phase = self.phase
+        lvl = len(self.trail_lim)
+        qhead = self.qhead
+        ntrail = len(trail)
+        props = 0
+        confl = None
+        while qhead < ntrail:
+            p = trail[qhead]
+            qhead += 1
+            props += 1
+            bw = bins[-p]
+            if bw:
+                # Binary fast path: every pair (b, cref) in bins[-p] is a
+                # clause {-p, b}; with -p now false, b must hold.
+                i = 0
+                nb = len(bw)
+                while i < nb:
+                    b = bw[i]
+                    v = val[b]
+                    if v == 0:
+                        var = b if b > 0 else -b
+                        val[b] = 1
+                        val[-b] = -1
+                        level[var] = lvl
+                        reason[var] = bw[i + 1]
+                        phase[var] = b > 0
+                        trail_append(b)
+                        ntrail += 1
+                    elif v < 0:
+                        confl = bw[i + 1]
+                        break
+                    i += 2
+                if confl is not None:
+                    qhead = ntrail
+                    break
+            ws = watches[-p]
             if not ws:
                 continue
-            watches[false_lit] = kept = []
-            idx = 0
+            i = 0
+            j = -1  # compaction cursor; -1 while no entry has migrated
             n = len(ws)
-            level = len(self.trail_lim)
-            while idx < n:
-                clause = ws[idx]
-                idx += 1
-                lits = clause.lits
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                if first > 0:
-                    first_val = assign[first]
-                else:
-                    first_val = -assign[-first]
-                if first_val == 1:
-                    kept.append(clause)
+            while i < n:
+                b = ws[i]
+                if val[b] == 1:
+                    # Blocker satisfied: clause is true, keep untouched.
+                    if j >= 0:
+                        ws[j] = b
+                        ws[j + 1] = ws[i + 1]
+                        j += 2
+                    i += 2
                     continue
-                moved = False
-                for k in range(2, len(lits)):
-                    lit = lits[k]
-                    value = assign[lit] if lit > 0 else -assign[-lit]
-                    if value != -1:
-                        lits[1], lits[k] = lit, lits[1]
-                        other = watches.get(lit)
-                        if other is None:
-                            watches[lit] = [clause]
+                cref = ws[i + 1]
+                base = cref + 2
+                l0 = arena[base]
+                if l0 == -p:
+                    l0 = arena[base + 1]
+                    arena[base + 1] = -p
+                    arena[base] = l0
+                v0 = val[l0]
+                if v0 == 1:
+                    if j >= 0:
+                        ws[j] = l0
+                        ws[j + 1] = cref
+                        j += 2
+                    else:
+                        ws[i] = l0
+                    i += 2
+                    continue
+                end = base + arena[cref]
+                k = base + 2
+                while k < end:
+                    lk = arena[k]
+                    if val[lk] >= 0:
+                        # New watch found: move the clause over.
+                        arena[base + 1] = lk
+                        arena[k] = -p
+                        wl = watches[lk]
+                        if wl is None:
+                            watches[lk] = [l0, cref]
                         else:
-                            other.append(clause)
-                        moved = True
+                            wl.append(l0)
+                            wl.append(cref)
                         break
-                if moved:
-                    continue
-                kept.append(clause)
-                if first_val == -1:
-                    kept.extend(ws[idx:])
-                    self.qhead = len(trail)
-                    return clause
-                var = first if first > 0 else -first
-                assign[var] = 1 if first > 0 else -1
-                self.level[var] = level
-                self.reason[var] = clause
-                self.phase[var] = first > 0
-                trail.append(first)
-        return None
+                    k += 1
+                else:
+                    if j >= 0:
+                        ws[j] = l0
+                        ws[j + 1] = cref
+                        j += 2
+                    else:
+                        ws[i] = l0
+                    i += 2
+                    if v0 == 0:
+                        var = l0 if l0 > 0 else -l0
+                        val[l0] = 1
+                        val[-l0] = -1
+                        level[var] = lvl
+                        reason[var] = cref
+                        phase[var] = l0 > 0
+                        trail_append(l0)
+                        ntrail += 1
+                        continue
+                    confl = cref
+                    break
+                # Entry migrated away: start (or continue) compacting.
+                if j < 0:
+                    j = i
+                i += 2
+            if j >= 0:
+                while i < n:
+                    ws[j] = ws[i]
+                    ws[j + 1] = ws[i + 1]
+                    j += 2
+                    i += 2
+                del ws[j:]
+            if confl is not None:
+                qhead = ntrail
+                break
+        self.qhead = qhead
+        self.stats.propagations += props
+        return confl
+
+    def _clause_lits(self, cref):
+        base = cref + 2
+        return self.arena[base:base + self.arena[cref]]
 
     def _analyze(self, conflict):
         """1-UIP conflict analysis; returns (learnt clause, backjump level)."""
-        learnt = [None]  # position 0 reserved for the asserting literal
-        seen = [False] * (self.num_vars + 1)
+        arena = self.arena
+        level = self.level
+        reason = self.reason
+        trail = self.trail
+        activity = self.activity
+        in_heap = self.in_heap
+        heap = self.heap
+        var_inc = self.var_inc
+        learnt = [0]  # position 0 reserved for the asserting literal
+        seen = bytearray(self.num_vars + 1)
         counter = 0
-        p = None
-        reason_lits = conflict.lits
-        if conflict.learned:
-            self._bump_clause(conflict)
-        trail_idx = len(self.trail) - 1
-        current_level = self._decision_level()
+        p = 0
+        cref = conflict
+        trail_idx = len(trail) - 1
+        current_level = len(self.trail_lim)
 
         while True:
-            for q in reason_lits:
-                if p is not None and q == p:
+            base = cref + 2
+            for k in range(base, base + arena[cref]):
+                q = arena[k]
+                if q == p:
                     continue
-                var = abs(q)
-                if not seen[var] and self.level[var] > 0:
-                    seen[var] = True
-                    self._bump_var(var)
-                    if self.level[var] >= current_level:
+                var = q if q > 0 else -q
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
+                    # Inline activity bump (lazy heap: push a fresh entry,
+                    # stale ones are skipped on pop).
+                    act = activity[var] + var_inc
+                    activity[var] = act
+                    if act > 1e100:
+                        self.var_inc = var_inc
+                        self._rescale_activities()
+                        var_inc = self.var_inc
+                        act = activity[var]
+                    in_heap[var] = True
+                    heappush(heap, (-act, var))
+                    if level[var] >= current_level:
                         counter += 1
                     else:
                         learnt.append(q)
-            while not seen[abs(self.trail[trail_idx])]:
+            while True:
+                p_lit = trail[trail_idx]
+                if seen[p_lit if p_lit > 0 else -p_lit]:
+                    break
                 trail_idx -= 1
-            p_lit = self.trail[trail_idx]
             trail_idx -= 1
             p = p_lit
             counter -= 1
             if counter == 0:
                 break
-            reason = self.reason[abs(p_lit)]
-            if reason is None:
+            cref = reason[p_lit if p_lit > 0 else -p_lit]
+            if not cref:
                 raise SolverError("UIP search hit a decision without reason")
-            if reason.learned:
-                self._bump_clause(reason)
-            reason_lits = reason.lits
         learnt[0] = -p
 
+        if len(learnt) == 1:
+            return learnt, 0
+        # Conflict-clause minimization (MiniSat "basic"): a literal is
+        # redundant if its variable was propagated by a clause whose other
+        # literals are all already in the learnt clause (seen) or at the
+        # root level — removing it keeps the clause implied.
+        kept = [learnt[0]]
+        for idx in range(1, len(learnt)):
+            q = learnt[idx]
+            r = reason[q if q > 0 else -q]
+            if not r:
+                kept.append(q)
+                continue
+            base = r + 2
+            for k in range(base, base + arena[r]):
+                lit = arena[k]
+                var = lit if lit > 0 else -lit
+                if not seen[var] and level[var] > 0:
+                    kept.append(q)
+                    break
+        learnt = kept
         if len(learnt) == 1:
             return learnt, 0
         # Find the second-highest decision level and move it to position 1.
         max_i = 1
         for i in range(2, len(learnt)):
-            if self.level[abs(learnt[i])] > self.level[abs(learnt[max_i])]:
+            if level[abs(learnt[i])] > level[abs(learnt[max_i])]:
                 max_i = i
         learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-        return learnt, self.level[abs(learnt[1])]
+        return learnt, level[abs(learnt[1])]
 
     def _final_core(self, failed_lit):
         """UNSAT core for a falsified assumption (analyzeFinal).
@@ -489,129 +777,197 @@ class Solver:
         tuple of assumption literals.
         """
         core = [failed_lit]
-        if self._decision_level() == 0:
+        if not self.trail_lim:
             return tuple(core)
-        seen = [False] * (self.num_vars + 1)
-        seen[abs(failed_lit)] = True
+        arena = self.arena
+        level = self.level
+        seen = bytearray(self.num_vars + 1)
+        seen[abs(failed_lit)] = 1
         for i in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
             lit = self.trail[i]
             var = abs(lit)
             if not seen[var]:
                 continue
-            reason = self.reason[var]
-            if reason is None:
+            cref = self.reason[var]
+            if not cref:
                 # A decision below the assumption frontier is itself an
                 # assumption literal.
                 core.append(lit)
             else:
-                for q in reason.lits:
-                    if self.level[abs(q)] > 0:
-                        seen[abs(q)] = True
-            seen[var] = False
+                base = cref + 2
+                for k in range(base, base + arena[cref]):
+                    q = arena[k]
+                    if level[abs(q)] > 0:
+                        seen[abs(q)] = 1
+            seen[var] = 0
         core.sort(key=abs)
         return tuple(core)
 
     def _record_learnt(self, learnt, bt_level):
-        self._backtrack(bt_level)
+        """Backjump, store the learnt clause, return its LBD."""
         if len(learnt) == 1:
-            if not self._enqueue(learnt[0], None):
+            self._backtrack(bt_level)
+            if not self._enqueue(learnt[0], 0):
                 self.root_unsat = True
-            return
-        clause = _Clause(learnt, learned=True)
-        clause.activity = self.cla_inc
-        self.learnts.append(clause)
+            return 1
+        # LBD = number of distinct decision levels among the literals,
+        # computed before backtracking invalidates the levels.
+        level = self.level
+        lbd = len({level[abs(q)] for q in learnt})
+        self._backtrack(bt_level)
+        cref = self._alloc(learnt, lbd)
+        self.learnts.append(cref)
         self.stats.learned_clauses += 1
-        self._watch(clause)
-        self._enqueue(learnt[0], clause)
+        self._watch(cref, learnt)
+        self._enqueue(learnt[0], cref)
+        return lbd
 
     def _backtrack(self, target_level):
-        if self._decision_level() <= target_level:
+        if len(self.trail_lim) <= target_level:
             return
+        val = self._val
+        reason = self.reason
+        in_heap = self.in_heap
+        activity = self.activity
+        heap = self.heap
+        trail = self.trail
         boundary = self.trail_lim[target_level]
-        for i in range(len(self.trail) - 1, boundary - 1, -1):
-            lit = self.trail[i]
-            var = abs(lit)
-            self.assign[var] = 0
-            self.reason[var] = None
-            if not self.in_heap[var]:
-                self._heap_insert(var)
-        del self.trail[boundary:]
+        for i in range(len(trail) - 1, boundary - 1, -1):
+            lit = trail[i]
+            var = lit if lit > 0 else -lit
+            val[lit] = 0
+            val[-lit] = 0
+            reason[var] = 0
+            if not in_heap[var]:
+                in_heap[var] = True
+                heappush(heap, (-activity[var], var))
+        del trail[boundary:]
         del self.trail_lim[target_level:]
-        self.qhead = min(self.qhead, len(self.trail))
+        if self.qhead > boundary:
+            self.qhead = boundary
 
     # ---------------------------------------------------------- activities
 
     def _bump_var(self, var):
-        self.activity[var] += self.var_inc
-        if self.activity[var] > 1e100:
-            for v in range(1, self.num_vars + 1):
-                self.activity[v] *= 1e-100
-            self.var_inc *= 1e-100
-        if not self.in_heap[var]:
-            self._heap_insert(var)
-        else:
-            # Lazy heap: push a fresh entry, stale ones are skipped on pop.
-            heappush(self.heap, (-self.activity[var], var))
+        activity = self.activity
+        activity[var] += self.var_inc
+        if activity[var] > 1e100:
+            self._rescale_activities()
+        # Lazy heap: push a fresh entry, stale ones are skipped on pop.
+        self.in_heap[var] = True
+        heappush(self.heap, (-activity[var], var))
 
-    def _bump_clause(self, clause):
-        clause.activity += self.cla_inc
-        if clause.activity > 1e20:
-            for c in self.learnts:
-                c.activity *= 1e-20
-            self.cla_inc *= 1e-20
+    def _rescale_activities(self):
+        activity = self.activity
+        for v in range(1, self.num_vars + 1):
+            activity[v] *= 1e-100
+        self.var_inc *= 1e-100
 
     def _decay_activities(self):
         self.var_inc /= self.var_decay
-        self.cla_inc /= self.cla_decay
 
     def _heap_insert(self, var):
         self.in_heap[var] = True
         heappush(self.heap, (-self.activity[var], var))
 
     def _pick_branch_var(self):
-        while self.heap:
-            neg_act, var = heappop(self.heap)
-            if self.assign[var] == 0 and -neg_act == self.activity[var]:
-                self.in_heap[var] = False
+        val = self._val
+        activity = self.activity
+        in_heap = self.in_heap
+        heap = self.heap
+        while heap:
+            neg_act, var = heappop(heap)
+            if not val[var] and -neg_act == activity[var]:
+                in_heap[var] = False
                 return var
-            if self.assign[var] != 0:
-                self.in_heap[var] = False
+            if val[var]:
+                in_heap[var] = False
         # Heap exhausted: linear scan fallback (stale entries were dropped).
         for var in range(1, self.num_vars + 1):
-            if self.assign[var] == 0:
+            if not val[var]:
                 return var
         return None
 
     # ------------------------------------------------------------ reduction
 
-    def _is_reason(self, clause):
-        lit = clause.lits[0]
-        return self._value(lit) == 1 and self.reason[abs(lit)] is clause
+    def _is_reason(self, cref):
+        lit = self.arena[cref + 2]
+        return self._val[lit] == 1 and self.reason[abs(lit)] == cref
 
     def _reduce_db(self):
-        """Drop the less active half of the learned clauses."""
-        self.learnts.sort(key=lambda c: c.activity)
-        keep_from = len(self.learnts) // 2
+        """Drop the worst half of the learnt clauses, ranked by LBD.
+
+        Glue clauses (LBD <= 2), binary clauses and clauses currently
+        locked as a reason on the trail are always kept.
+        """
+        arena = self.arena
+        learnts = self.learnts
+        learnts.sort(key=lambda c: (arena[c + 1], arena[c]))
+        keep_from = len(learnts) // 2
         kept = []
         removed = 0
-        for i, clause in enumerate(self.learnts):
-            if i >= keep_from or len(clause.lits) <= 2 or self._is_reason(clause):
-                kept.append(clause)
+        for i, cref in enumerate(learnts):
+            if (
+                i < keep_from
+                or arena[cref] <= 2
+                or arena[cref + 1] <= 2
+                or self._is_reason(cref)
+            ):
+                kept.append(cref)
             else:
-                self._unwatch(clause)
+                self._unwatch(cref)
+                self.arena_waste += arena[cref] + 2
                 removed += 1
         self.learnts = kept
         self.stats.deleted_clauses += removed
         self.max_learnts *= 1.1
+        if self.arena_waste > self.compact_waste_limit:
+            self._compact_arena()
 
-    def _unwatch(self, clause):
-        for lit in clause.lits[:2]:
-            watchers = self.watches.get(lit)
-            if watchers is not None:
-                try:
-                    watchers.remove(clause)
-                except ValueError:
-                    pass
+    def _unwatch(self, cref):
+        # Only 3+-literal clauses are ever unwatched: _reduce_db protects
+        # binary clauses, so bins entries are immortal.
+        arena = self.arena
+        for lit in (arena[cref + 2], arena[cref + 3]):
+            ws = self.watches[lit]
+            if ws is None:
+                continue
+            for i in range(1, len(ws), 2):
+                if ws[i] == cref:
+                    del ws[i - 1:i + 1]
+                    break
+
+    def _compact_arena(self):
+        """Copy live clauses into a fresh arena, dropping deleted ones.
+
+        Remaps clause references in the problem/learnt lists, the reason
+        array and every watcher entry; watched-literal positions are
+        preserved, so the propagation invariants carry over unchanged.
+        """
+        arena = self.arena
+        new_arena = [0, 0]
+        remap = {}
+        for lst in (self.clauses, self.learnts):
+            for idx, cref in enumerate(lst):
+                size = arena[cref]
+                nc = len(new_arena)
+                new_arena.extend(arena[cref:cref + 2 + size])
+                remap[cref] = nc
+                lst[idx] = nc
+        reason = self.reason
+        for lit in self.trail:
+            var = lit if lit > 0 else -lit
+            r = reason[var]
+            if r:
+                reason[var] = remap[r]
+        for table in (self.watches, self.bins):
+            for ws in table:
+                if not ws:
+                    continue
+                for i in range(1, len(ws), 2):
+                    ws[i] = remap[ws[i]]
+        self.arena = new_arena
+        self.arena_waste = 0
 
     # ------------------------------------------------------------- utility
 

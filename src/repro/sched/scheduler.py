@@ -615,7 +615,9 @@ class AuditScheduler:
         node = self._add_node(
             reg, SHADOW, "corruption({})".format(candidate),
             factory=lambda det=det, spec=shadow_spec, wd=way_delay: (
-                det.corruption_task(spec, functional=False, way_delay=wd)[0]
+                det.corruption_task(
+                    spec, functional=False, way_delay=wd, session=None
+                )[0]
             ),
             ready=True,
         )
@@ -679,10 +681,14 @@ class AuditScheduler:
         det = reg.audit.detector
         reg.spec = det.spec.spec_for(reg.register)
         reg.started = time.perf_counter()
+        # session=None throughout: scheduler tasks execute in worker
+        # processes, which cannot share the supervisor's live solver —
+        # pickling would drop the session hint anyway, so the scheduler
+        # never builds one.
         reg.corruption = self._add_node(
             reg, CORRUPTION, "corruption({})".format(reg.register),
             factory=lambda det=det, spec=reg.spec: (
-                det.corruption_task(spec)[0]
+                det.corruption_task(spec, session=None)[0]
             ),
             ready=True,
         )
@@ -702,7 +708,7 @@ class AuditScheduler:
                             ),
                             factory=lambda det=det, spec=reg.spec,
                             c=candidate, d=direction: (
-                                det.tracking_task(spec, c, d)[0]
+                                det.tracking_task(spec, c, d, session=None)[0]
                             ),
                             ready=(direction == "after"),
                         )

@@ -81,3 +81,144 @@ def test_risc_stack_pointer_unbounded():
         property_name="risc-sp-forever",
     )
     assert result.proved_forever
+
+
+def _shift_chain(n):
+    """n-stage shift register fed by constant 0: the last stage's
+    "violation" is true-but-only-n-inductive, so k-induction must deepen
+    to exactly k=n before the step closes."""
+    from repro.netlist import Circuit
+
+    c = Circuit("shift{}".format(n))
+    regs = [c.reg("s{}".format(i), 1) for i in range(n)]
+    regs[0].drive(c.const(0, 1))
+    for i in range(1, n):
+        regs[i].drive(regs[i - 1].q)
+    c.output("v", regs[-1].q)
+    nl = c.finalize()
+    return nl, nl.register_q_nets("s{}".format(n - 1))[0]
+
+
+def test_step_clause_growth_is_linear_in_k(monkeypatch):
+    """Each frame's ¬violation constraint is added to the step solver
+    exactly once across the whole deepening loop (regression: it used to
+    be re-added for frames 0..k-1 at every k, i.e. k(k+1)/2 times)."""
+    import repro.bmc.induction as ind
+    from repro.sat.solver import Solver
+
+    created = []
+
+    class CountingSolver(Solver):
+        def __init__(self, **kwargs):
+            super().__init__(**kwargs)
+            self.unit_adds = 0
+
+        def add_clause(self, literals):
+            literals = list(literals)
+            if len(literals) == 1:
+                self.unit_adds += 1
+            return super().add_clause(literals)
+
+    def counting_factory(**kwargs):
+        solver = CountingSolver(**kwargs)
+        created.append(solver)
+        return solver
+
+    monkeypatch.setattr(ind, "default_solver", counting_factory)
+    netlist, objective = _shift_chain(5)
+    result = ind.prove_by_induction(netlist, objective, max_k=8)
+    assert result.proved_forever
+    assert result.k == 5
+    (step_solver,) = created
+    # one unit for the unroller's constant-true literal, then exactly one
+    # step constraint per frame 0..k-1 — linear, not quadratic
+    assert step_solver.unit_adds == 1 + result.k
+
+
+def test_exhausted_budget_bails_before_any_solving(monkeypatch):
+    """A budget that is already spent must return unknown immediately —
+    not proceed with clamped 1ms slices (regression: remaining() used to
+    floor at 0.001s, so 'out of time' never stopped the loop)."""
+    import types
+
+    import repro.bmc.induction as ind
+
+    class Clock:
+        def __init__(self, step):
+            self.now = 0.0
+            self.step = step
+
+        def perf_counter(self):
+            self.now += self.step
+            return self.now
+
+    class ForbiddenEngine:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def check(self, *args, **kwargs):
+            raise AssertionError("base BMC ran despite exhausted budget")
+
+    # every clock read advances 0.6s against a 0.4s budget: exhausted at
+    # the first top-of-loop check
+    clock = Clock(0.6)
+    monkeypatch.setattr(
+        ind, "time", types.SimpleNamespace(perf_counter=clock.perf_counter)
+    )
+    monkeypatch.setattr(ind, "BmcEngine", ForbiddenEngine)
+    netlist, objective = _shift_chain(3)
+    result = ind.prove_by_induction(
+        netlist, objective, max_k=8, time_budget=0.4
+    )
+    assert result.status == "unknown"
+    assert result.k == 1
+
+
+def test_budget_expiry_mid_loop_stops_deepening(monkeypatch):
+    """The loop re-checks the remaining budget before each step solve and
+    stops deepening the moment it goes negative."""
+    import types
+
+    import repro.bmc.induction as ind
+    from repro.sat.solver import Solver
+
+    class Clock:
+        def __init__(self, step):
+            self.now = 0.0
+            self.step = step
+
+        def perf_counter(self):
+            self.now += self.step
+            return self.now
+
+    created = []
+
+    class CountingSolver(Solver):
+        def __init__(self, **kwargs):
+            super().__init__(**kwargs)
+            self.solve_calls = 0
+
+        def solve(self, **kwargs):
+            self.solve_calls += 1
+            return super().solve(**kwargs)
+
+    def counting_factory(**kwargs):
+        solver = CountingSolver(**kwargs)
+        created.append(solver)
+        return solver
+
+    monkeypatch.setattr(ind, "default_solver", counting_factory)
+    # 0.3s per clock read, 1.0s budget: k=1 fits (step solve #1, SAT —
+    # the chain needs k=5), then the budget runs out during k=2
+    clock = Clock(0.3)
+    monkeypatch.setattr(
+        ind, "time", types.SimpleNamespace(perf_counter=clock.perf_counter)
+    )
+    netlist, objective = _shift_chain(5)
+    result = ind.prove_by_induction(
+        netlist, objective, max_k=8, time_budget=1.0
+    )
+    assert result.status == "unknown"
+    assert result.k == 2
+    (step_solver,) = created
+    assert step_solver.solve_calls == 1

@@ -1,0 +1,154 @@
+"""Persistent solver sessions: identity and accounting guarantees.
+
+A :class:`~repro.bmc.session.SolverSession` keeps one solver and one
+unrolling alive across all of a register's checks. These tests pin the
+contract that makes that reuse safe to ship: verdicts, bounds, witnesses
+and cache fingerprints are *identical* with and without sessions — the
+session is purely an execution hint — and per-check solver statistics
+remain attributable even when one solver serves several properties.
+"""
+
+import json
+
+import pytest
+
+from repro.bmc.session import SolverSession
+from repro.core import AuditConfig, TrojanDetector
+from repro.core.report import scrub_volatile
+from repro.properties import DesignSpec
+from repro.properties.monitors import build_corruption_monitor
+
+from tests.conftest import build_secret_design, secret_spec
+
+
+def _design(trojan):
+    netlist = build_secret_design(trojan=trojan)
+    return netlist, DesignSpec(
+        name=netlist.name, critical={"secret": secret_spec()}
+    )
+
+
+def _scrubbed(netlist, spec, **config_kwargs):
+    det = TrojanDetector(
+        netlist, spec, config=AuditConfig(**config_kwargs)
+    )
+    report = det.run()
+    return json.dumps(scrub_volatile(report.to_dict()), sort_keys=True)
+
+
+class TestReportIdentity:
+    @pytest.mark.parametrize("trojan", [False, True])
+    def test_fresh_vs_session_reports_byte_identical(self, trojan):
+        cold = _scrubbed(*_design(trojan), sessions=False)
+        warm = _scrubbed(*_design(trojan), sessions=True)
+        assert cold == warm
+
+    def test_one_worker_vs_many_workers_byte_identical(self):
+        # jobs=1 and jobs=N both execute in worker processes (sessions
+        # stay supervisor-side), so their scrubbed reports must match to
+        # the byte — including the runner's mode metadata.
+        one = _scrubbed(*_design(True), jobs=1)
+        many = _scrubbed(*_design(True), jobs=3)
+        assert one == many
+
+    def test_serial_session_vs_worker_pool_same_verdicts(self):
+        # serial (inline, session-backed) vs pooled (process, fresh
+        # engines): identical up to the runner's execution-mode tag
+        serial = _scrubbed(*_design(True)).replace('"inline"', '"X"')
+        pooled = _scrubbed(*_design(True), jobs=2).replace('"process"', '"X"')
+        assert serial == pooled
+
+
+class TestCacheParity:
+    def test_warm_session_hits_cold_engine_cache(self, tmp_path):
+        """Fresh engines populate the cache; a session run against the
+        same directory must compute the very same fingerprints — every
+        check a hit, no new entries — because fingerprints hash what is
+        checked, never the solver state it is checked with."""
+        cache_dir = str(tmp_path / "audit-cache")
+        _scrubbed(*_design(True), sessions=False, cache_dir=cache_dir)
+        entries_after_cold = sorted(
+            p.name for p in (tmp_path / "audit-cache").rglob("*")
+            if p.is_file()
+        )
+        fresh_hits = _scrubbed(
+            *_design(True), sessions=False, cache_dir=cache_dir
+        )
+        session_hits = _scrubbed(
+            *_design(True), sessions=True, cache_dir=cache_dir
+        )
+        entries_after_warm = sorted(
+            p.name for p in (tmp_path / "audit-cache").rglob("*")
+            if p.is_file()
+        )
+        # all-hit runs are byte-identical whichever engine kind runs them
+        assert fresh_hits == session_hits
+        assert '"cache": "hit"' in session_hits
+        assert '"cache": "miss"' not in session_hits
+        # no session-run fingerprint missed (a miss would write an entry)
+        assert entries_after_cold == entries_after_warm
+
+
+class TestStatAttribution:
+    def test_one_solver_three_properties_deltas_sum(self):
+        """Per-check stat deltas must partition the shared solver's
+        totals when one session serves several properties."""
+        base = build_secret_design(trojan=True)
+        spec = secret_spec()
+        session = SolverSession(base.clone(), use_induction=False)
+        results = []
+        for functional, way_delay in ((False, 1), (True, 1), (False, 2)):
+            monitor = build_corruption_monitor(
+                base, spec, functional=functional, way_delay=way_delay,
+                into=session.netlist,
+            )
+            live = session.objective(
+                monitor.objective_net,
+                violation_net=monitor.violation_net,
+                property_name=monitor.property_name,
+            )
+            results.append(live.check(max_cycles=20))
+        assert session.checks_served == 3
+        # the shared solver's cumulative counters equal the sum of the
+        # per-check deltas — nothing double-counted, nothing lost
+        totals = session.solver.stats
+        assert sum(r.conflicts for r in results) == totals.conflicts
+        assert sum(r.decisions for r in results) == totals.decisions
+        assert sum(r.variables for r in results) == session.solver.num_vars
+        # cumulative totals are monotone across the serving order
+        assert results[0].total_variables <= results[1].total_variables
+        assert results[1].total_variables <= results[2].total_variables
+        assert results[2].total_variables == session.solver.num_vars
+
+    def test_session_verdicts_match_fresh_engines(self):
+        """Check-level ground truth: each property's status/bound/witness
+        from the shared session equals a cold single-property engine."""
+        from repro.bmc.engine import BmcEngine
+
+        base = build_secret_design(trojan=True)
+        spec = secret_spec()
+        session = SolverSession(base.clone(), use_induction=False)
+        for functional in (False, True):
+            stacked = build_corruption_monitor(
+                base, spec, functional=functional, into=session.netlist
+            )
+            live = session.objective(
+                stacked.objective_net,
+                violation_net=stacked.violation_net,
+                property_name=stacked.property_name,
+            )
+            warm = live.check(max_cycles=20)
+            standalone = build_corruption_monitor(
+                base, spec, functional=functional
+            )
+            cold = BmcEngine(
+                standalone.netlist,
+                standalone.objective_net,
+                property_name=standalone.property_name,
+            ).check(20)
+            assert warm.status == cold.status
+            assert warm.bound == cold.bound
+            if cold.witness is None:
+                assert warm.witness is None
+            else:
+                assert warm.witness.inputs == cold.witness.inputs
