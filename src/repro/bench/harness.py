@@ -312,6 +312,57 @@ def ift_run(label, netlist, spec):
 
 
 @dataclass
+class DiffRow:
+    """Golden-model differential screen figures for one design.
+
+    Like :class:`IftRow`, the row makes the modality's cost visible
+    next to the solver columns: ``solver_calls`` is identically zero
+    (the screen is pure bit-parallel simulation) and ``cycles`` /
+    ``lanes`` record how much stimulus bought the verdict.
+    """
+
+    label: str
+    elapsed: float
+    findings: int
+    suspicious: int
+    flagged_registers: dict = field(default_factory=dict)  # name -> score
+    divergent_registers: list = field(default_factory=list)
+    cycles: int = 0  # total stimulus cycles driven across phases
+    lanes: int = 0  # bit-parallel lanes per cycle
+    solver_calls: int = 0  # by construction; kept explicit for tables
+
+    @property
+    def flagged(self):
+        """True when the diff screen implicated at least one register."""
+        return bool(self.flagged_registers)
+
+
+def diff_row(label, report):
+    """Condense a :class:`~repro.diff.findings.DiffReport` to a DiffRow."""
+    return DiffRow(
+        label=label,
+        elapsed=report.elapsed,
+        findings=len(report.findings),
+        suspicious=report.severity_counts.get("suspicious", 0),
+        flagged_registers=report.register_scores(),
+        divergent_registers=report.divergent_registers,
+        cycles=report.cycles,
+        lanes=report.lanes,
+    )
+
+
+def diff_run(label, netlist, spec):
+    """Run the differential screen on one design; returns a DiffRow.
+
+    Mirrors :func:`ift_run`'s shape so bench sweeps can record the
+    screen's timing/verdict without re-deriving anything.
+    """
+    from repro.diff import analyze_design
+
+    return diff_row(label, analyze_design(netlist, spec, design=label))
+
+
+@dataclass
 class AuditRow:
     """One design's Algorithm 1 verdict from a bench sweep."""
 
@@ -323,6 +374,7 @@ class AuditRow:
     registers: int
     report: object = None  # the full DetectionReport
     ift: object = None  # IftRow when the sweep ran with ift=True
+    diff: object = None  # DiffRow when the sweep ran with diff=True
 
     @property
     def match(self):
@@ -332,7 +384,7 @@ class AuditRow:
 def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
                 time_budget=None, check_pseudo_critical=False,
                 check_bypass=False, cache_dir=None, runner=None,
-                ift=False):
+                ift=False, diff=False):
     """Run Algorithm 1 over many designs, scored against ground truth.
 
     ``designs`` is a list of ``(label, netlist, spec)`` triples.  With
@@ -349,6 +401,11 @@ def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
     ``ift_evidence``, ``leakage_suspect`` statuses) and each
     :class:`AuditRow` carries the screen's timing/verdict figures as
     ``row.ift`` (an :class:`IftRow`).
+
+    With ``diff=True``, the golden-model differential screen runs the
+    same way: its report is fused into the audit (``diff_evidence``,
+    ``differential_suspect`` statuses, prioritization) and each row
+    carries ``row.diff`` (a :class:`DiffRow`).
 
     Returns a list of :class:`AuditRow` in input order; ``row.match``
     is False where the verdict disagrees with the design's bundled
@@ -368,16 +425,24 @@ def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
         jobs=jobs,
     )
     ift_rows = {}
+    diff_rows = {}
     configs = []
     for label, netlist, spec in designs:
+        overrides = {}
         if ift:
             from repro.ift import analyze_design
 
             ift_report = analyze_design(netlist, spec, design=label)
             ift_rows[label] = ift_row(label, ift_report)
-            configs.append(replace(config, ift_report=ift_report))
-        else:
-            configs.append(config)
+            overrides["ift_report"] = ift_report
+        if diff:
+            from repro.diff import analyze_design as diff_analyze
+
+            diff_report = diff_analyze(netlist, spec, design=label)
+            diff_rows[label] = diff_row(label, diff_report)
+            overrides["diff_report"] = diff_report
+        configs.append(replace(config, **overrides) if overrides
+                       else config)
     detectors = [
         TrojanDetector(netlist, spec, config=cfg, runner=runner)
         for (_label, netlist, spec), cfg in zip(designs, configs)
@@ -400,6 +465,7 @@ def audit_sweep(designs, jobs=None, max_cycles=16, engine="bmc",
             registers=len(report.findings),
             report=report,
             ift=ift_rows.get(label),
+            diff=diff_rows.get(label),
         ))
     return rows
 

@@ -69,6 +69,26 @@ Commands
     the dynamic checks cannot reproduce becomes a ``leakage_suspect``
     status.
 
+``diff``
+    Run the golden-model differential screen (see README "Differential
+    screening")::
+
+        python -m repro diff --design risc-t100
+        python -m repro diff --sarif all.sarif --json -
+
+    Zero solver calls: each critical register's ValidWays spec is
+    compiled into an executable reference next-state function, the
+    implementation is driven with seeded lane-parallel stimulus, and a
+    finding means the register departed from *every* documented way's
+    prediction on some cycle (with a replayable VCD witness attached).
+    ``--sarif`` writes one merged multi-run SARIF document holding the
+    lint, IFT *and* diff runs of the selected designs (``--no-lint`` /
+    ``--no-ift`` to drop the companion passes). ``--diff`` on ``audit``
+    fuses the screen into Algorithm 1: divergence findings attach as
+    ``diff_evidence``, flagged registers are audited first, and a
+    divergence the dynamic checks cannot corroborate becomes a
+    ``differential_suspect`` status.
+
 ``cache``
     Inspect or maintain a check-outcome cache directory (see README
     "Outcome cache")::
@@ -413,6 +433,133 @@ def cmd_ift(args, out=sys.stdout):
     return 1 if failing else 0
 
 
+def _diff_one(design, with_lint, with_ift):
+    """Diff-screen one bundled design; returns plain data (fork-Pool
+    friendly). With ``with_lint``/``with_ift``, the companion screens
+    run too so the SARIF export can merge all three modalities' runs."""
+    from repro.diff import analyze_design
+
+    netlist, spec = build_design(design)
+    lint_report = None
+    if with_lint:
+        from repro.lint import lint_design
+
+        lint_report = lint_design(netlist, spec, design=design)
+    ift_report = None
+    if with_ift:
+        from repro.ift import analyze_design as ift_analyze
+
+        ift_report = ift_analyze(netlist, spec, design=design)
+    report = analyze_design(netlist, spec, design=design)
+    return {
+        "design": design,
+        "summary": report.summary(),
+        "json": report.to_json(),
+        "severities": [f.severity for f in report.findings],
+        "findings": len(report.findings),
+        "elapsed": report.elapsed,
+        "report": report,
+        "lint_report": lint_report,
+        "ift_report": ift_report,
+    }
+
+
+def cmd_diff(args, out=sys.stdout):
+    from repro.lint import severity_rank
+
+    designs = args.design or sorted(DESIGNS)
+    if args.cache_dir:
+        raise SystemExit(
+            "diff runs no property checks, so it has no outcome cache; "
+            "--cache-dir applies to audit/bench"
+        )
+    with_lint = bool(args.sarif) and not args.no_lint
+    with_ift = bool(args.sarif) and not args.no_ift
+    jobs = args.jobs or 1
+    if jobs > 1 and len(designs) > 1:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(jobs, len(designs))) as pool:
+            results = pool.starmap(
+                _diff_one, [(d, with_lint, with_ift) for d in designs]
+            )
+    elif args.trace:
+        # serial + traced: install a real tracer so the screen's own
+        # diff / diff.phase spans land in the trace tree
+        from repro.obs.tracer import Tracer, tracing
+
+        tracer = Tracer(args.trace)
+        try:
+            with tracing(tracer):
+                results = [
+                    _diff_one(d, with_lint, with_ift) for d in designs
+                ]
+        finally:
+            tracer.close()
+    else:
+        results = [_diff_one(d, with_lint, with_ift) for d in designs]
+    if args.trace and jobs > 1 and len(designs) > 1:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(args.trace)
+        try:
+            for res in results:
+                tracer.end(tracer.begin(
+                    "diff", design=res["design"],
+                    findings=res["findings"], elapsed=res["elapsed"],
+                ))
+        finally:
+            tracer.close()
+    if args.json:
+        if len(designs) == 1:
+            payload = results[0]["json"]
+        else:
+            import json as json_mod
+
+            payload = json_mod.dumps(
+                {r["design"]: json_mod.loads(r["json"]) for r in results},
+                indent=2,
+            )
+        if args.json == "-":
+            print(payload, file=out)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload)
+                handle.write("\n")
+            print("wrote", args.json, file=out)
+    if args.sarif:
+        from repro.diff.sarif import merged_sarif
+        from repro.report.sarif import write_log
+
+        lint_reports = [
+            r["lint_report"] for r in results if r["lint_report"] is not None
+        ]
+        ift_reports = [
+            r["ift_report"] for r in results if r["ift_report"] is not None
+        ]
+        write_log(
+            args.sarif,
+            merged_sarif(
+                [r["report"] for r in results],
+                ift_reports=ift_reports,
+                lint_reports=lint_reports,
+            ),
+        )
+        print("wrote", args.sarif, file=out)
+    if not args.json or args.json != "-":
+        for res in results:
+            print(res["summary"], file=out)
+    floor = severity_rank(args.fail_on)
+    failing = [
+        sev
+        for res in results
+        for sev in res["severities"]
+        if severity_rank(sev) >= floor
+    ]
+    return 1 if failing else 0
+
+
 def cmd_audit(args, out=sys.stdout):
     from repro.errors import CheckpointError
     from repro.runner import CheckRunner
@@ -469,6 +616,23 @@ def cmd_audit(args, out=sys.stdout):
             ),
             file=out,
         )
+    diff_report = None
+    if args.diff:
+        from repro.diff import analyze_design as diff_analyze
+
+        diff_report = diff_analyze(netlist, spec, design=args.design)
+        divergent = diff_report.divergent_registers
+        print(
+            "diff pre-pass: {} divergence finding{} in {:.2f}s{}".format(
+                len(diff_report.findings),
+                "" if len(diff_report.findings) == 1 else "s",
+                diff_report.elapsed,
+                "; divergent: {}".format(", ".join(divergent))
+                if divergent
+                else "",
+            ),
+            file=out,
+        )
     cache_dir = None if args.no_cache else args.cache_dir
     config = AuditConfig(
         max_cycles=args.max_cycles,
@@ -479,6 +643,7 @@ def cmd_audit(args, out=sys.stdout):
         time_budget=args.budget,
         lint_report=lint_report,
         ift_report=ift_report,
+        diff_report=diff_report,
         cache_dir=cache_dir,
         share_cones=args.share_cones,
         trace=args.trace,
@@ -545,6 +710,7 @@ def cmd_bench(args, out=sys.stdout):
             cache_dir=args.cache_dir,
             runner=runner,
             ift=args.ift,
+            diff=args.diff,
         )
     wall = time_mod.perf_counter() - start
     if args.json:
@@ -570,6 +736,15 @@ def cmd_bench(args, out=sys.stdout):
                         "max_rounds": row.ift.max_rounds,
                         "solver_calls": row.ift.solver_calls,
                     } if row.ift is not None else None,
+                    "diff": {
+                        "elapsed": row.diff.elapsed,
+                        "findings": row.diff.findings,
+                        "suspicious": row.diff.suspicious,
+                        "divergent_registers": row.diff.divergent_registers,
+                        "cycles": row.diff.cycles,
+                        "lanes": row.diff.lanes,
+                        "solver_calls": row.diff.solver_calls,
+                    } if row.diff is not None else None,
                 }
                 for row in rows
             ],
@@ -587,11 +762,20 @@ def cmd_bench(args, out=sys.stdout):
                     row.ift.findings, row.ift.elapsed,
                     row.ift.solver_calls,
                 )
+            diff_extra = ""
+            if row.diff is not None:
+                diff_extra = (
+                    " diff[{} finding(s), {:.3f}s, {} divergent "
+                    "register(s)]"
+                ).format(
+                    row.diff.findings, row.diff.elapsed,
+                    len(row.diff.divergent_registers),
+                )
             print(
                 "{:18s} {:7s} (expected {:7s}) {:9s} {:8.2f}s "
-                "{:2d} register(s) [{}]{}".format(
+                "{:2d} register(s) [{}]{}{}".format(
                     row.label, verdict, expected, marker, row.elapsed,
-                    row.registers, row.status, ift_extra,
+                    row.registers, row.status, ift_extra, diff_extra,
                 ),
                 file=out,
             )
@@ -849,6 +1033,13 @@ def build_parser():
                               "flagged registers are audited earlier, and "
                               "an IFT hit the dynamic checks cannot "
                               "reproduce is reported as leakage_suspect")
+    p_audit.add_argument("--diff", action="store_true",
+                         help="run the golden-model differential screen "
+                              "first: divergence evidence attaches to "
+                              "findings, flagged registers are audited "
+                              "earlier, and a divergence the dynamic "
+                              "checks cannot corroborate is reported as "
+                              "differential_suspect")
     p_audit.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir (one-off override)")
     p_audit.add_argument("--share-cones", action="store_true",
@@ -886,6 +1077,11 @@ def build_parser():
                          help="run the static IFT screen per design, fuse "
                               "it into each audit and add its timing/"
                               "verdict figures to every row")
+    p_bench.add_argument("--diff", action="store_true",
+                         help="run the golden-model differential screen "
+                              "per design, fuse it into each audit and "
+                              "add its timing/verdict figures to every "
+                              "row")
 
     p_lint = sub.add_parser("lint", parents=[shared],
                             help="static structural lint pre-pass")
@@ -933,6 +1129,29 @@ def build_parser():
                        choices=["info", "warn", "suspicious", "error"],
                        help="exit 1 when any taint finding is at least "
                             "this severe (default: suspicious)")
+
+    p_diff = sub.add_parser(
+        "diff", parents=[shared],
+        help="golden-model differential screen (no solver)",
+    )
+    p_diff.add_argument("--design", action="append",
+                        help="screen this design (repeatable; default: "
+                             "every bundled design)")
+    p_diff.add_argument("--json", metavar="PATH",
+                        help="write the JSON report here ('-' for stdout)")
+    p_diff.add_argument("--sarif", metavar="PATH",
+                        help="write a SARIF 2.1.0 log here — one merged "
+                             "multi-run document with the lint and IFT "
+                             "runs of the same designs unless --no-lint/"
+                             "--no-ift")
+    p_diff.add_argument("--no-lint", action="store_true",
+                        help="with --sarif: skip the lint pass")
+    p_diff.add_argument("--no-ift", action="store_true",
+                        help="with --sarif: skip the IFT pass")
+    p_diff.add_argument("--fail-on", default="suspicious",
+                        choices=["info", "warn", "suspicious", "error"],
+                        help="exit 1 when any divergence finding is at "
+                             "least this severe (default: suspicious)")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain a check-outcome cache"
@@ -1035,6 +1254,7 @@ def main(argv=None, out=sys.stdout):
         "export": cmd_export,
         "lint": cmd_lint,
         "ift": cmd_ift,
+        "diff": cmd_diff,
         "serve": cmd_serve,
         "submit": cmd_submit,
         "jobs": cmd_jobs,

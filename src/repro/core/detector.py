@@ -83,6 +83,7 @@ class AuditConfig:
     stop_on_first: bool = True
     lint_report: object = None
     ift_report: object = None
+    diff_report: object = None
     cache_dir: str | None = None
     share_cones: bool = False
     trace: object = None
@@ -107,16 +108,17 @@ class AuditConfig:
 _CONFIG_FIELDS = tuple(f.name for f in fields(AuditConfig))
 
 
-def fused_register_scores(lint_report=None, ift_report=None):
-    """Combined static priority scores from the lint and IFT screens.
+def fused_register_scores(lint_report=None, ift_report=None,
+                          diff_report=None):
+    """Combined screen priority scores from lint, IFT and diff.
 
-    Per-register scores from both modalities simply add: each report
+    Per-register scores from the modalities simply add: each report
     already weighs its findings on the shared severity ladder
     (:data:`~repro.lint.findings.SEVERITY_WEIGHT`), so a register
-    implicated by both screens outranks one implicated by either alone.
+    implicated by several screens outranks one implicated by fewer.
     """
     scores = {}
-    for report in (lint_report, ift_report):
+    for report in (lint_report, ift_report, diff_report):
         if report is None:
             continue
         for name, score in report.register_scores().items():
@@ -124,18 +126,19 @@ def fused_register_scores(lint_report=None, ift_report=None):
     return scores
 
 
-def prioritize_registers(names, lint_report=None, ift_report=None):
-    """Order ``names`` most-statically-suspicious first (stable ties).
+def prioritize_registers(names, lint_report=None, ift_report=None,
+                         diff_report=None):
+    """Order ``names`` most-suspicious-first (stable ties).
 
     The fused generalization of ``LintReport.prioritize``: with only a
-    lint report it reduces to exactly that ordering; an IFT report
-    promotes its flagged registers the same way. Used identically by
-    the serial detector loop and the parallel scheduler so both audit
-    registers in the same order.
+    lint report it reduces to exactly that ordering; IFT and diff
+    reports promote their flagged registers the same way. Used
+    identically by the serial detector loop and the parallel scheduler
+    so both audit registers in the same order.
     """
-    if lint_report is None and ift_report is None:
+    if lint_report is None and ift_report is None and diff_report is None:
         return list(names)
-    scores = fused_register_scores(lint_report, ift_report)
+    scores = fused_register_scores(lint_report, ift_report, diff_report)
     order = {name: index for index, name in enumerate(names)}
     return sorted(
         names, key=lambda name: (-scores.get(name, 0), order[name])
@@ -220,6 +223,15 @@ class TrojanDetector:
         dynamic check passed is reported with the distinct
         ``leakage_suspect`` status (see
         :attr:`RegisterFinding.leakage_suspect`).
+    diff_report:
+        A :class:`~repro.diff.findings.DiffReport` from the golden-model
+        differential screen. Fused exactly like ``ift_report``: its
+        register scores add into Algorithm 1's audit order, and each
+        register's divergence findings are attached as
+        ``diff_evidence``. A register the diff screen flagged but every
+        dynamic check passed is reported with the distinct
+        ``differential_suspect`` status (see
+        :attr:`RegisterFinding.differential_suspect`).
     cache_dir:
         Directory of the content-addressed outcome cache
         (:mod:`repro.cache`). When set, every Eq. (2)/(3) objective
@@ -291,6 +303,7 @@ class TrojanDetector:
         self.runner = runner if runner is not None else CheckRunner()
         self.lint_report = config.lint_report
         self.ift_report = config.ift_report
+        self.diff_report = config.diff_report
         self.cache_dir = config.cache_dir
         self.share_cones = config.share_cones
         self.trace = config.trace
@@ -361,7 +374,8 @@ class TrojanDetector:
         try:
             names = registers or list(self.spec.critical)
             names = prioritize_registers(
-                names, self.lint_report, self.ift_report
+                names, self.lint_report, self.ift_report,
+                self.diff_report,
             )
             store = None
             if checkpoint is not None:
@@ -443,6 +457,10 @@ class TrojanDetector:
         if self.ift_report is not None:
             finding.ift_evidence = [
                 f.to_dict() for f in self.ift_report.findings_for(register)
+            ]
+        if self.diff_report is not None:
+            finding.diff_evidence = [
+                f.to_dict() for f in self.diff_report.findings_for(register)
             ]
 
         if self.check_pseudo_critical:

@@ -48,6 +48,10 @@ class RegisterFinding:
     # (IftFinding dicts, attached under --ift); persisted like
     # lint_evidence so resumed audits keep the taint verdict
     ift_evidence: list = field(default_factory=list)
+    # golden-model differential findings implicating this register
+    # (DiffFinding dicts, attached under --diff); persisted like the
+    # other evidence lists so resumed audits keep the divergence verdict
+    diff_evidence: list = field(default_factory=list)
 
     @property
     def corrupted(self):
@@ -74,6 +78,11 @@ class RegisterFinding:
     def ift_flagged(self):
         """True when the static IFT screen implicated this register."""
         return bool(self.ift_evidence)
+
+    @property
+    def diff_flagged(self):
+        """True when the differential screen implicated this register."""
+        return bool(self.diff_evidence)
 
     @property
     def degraded_checks(self):
@@ -103,17 +112,37 @@ class RegisterFinding:
         )
 
     @property
+    def differential_suspect(self):
+        """The differential screen saw the register depart from every
+        documented way, but the dynamic checks came back clean and
+        complete.
+
+        A simulated divergence is a concrete trace the bounded Eq. 2
+        property may have missed (a corruption past the unroll bound,
+        or one only reachable from forced undocumented state) — so it
+        outranks the structural ``leakage_suspect`` in the ladder.
+        """
+        return (
+            self.diff_flagged
+            and not self.trojan_found
+            and not self.degraded_checks
+        )
+
+    @property
     def status(self):
         """Fused per-register verdict.
 
         ``"degraded"`` when a supervised check did not conclude;
+        ``"differential_suspect"`` when the golden-model diff saw a
+        divergence the (complete) dynamic checks did not corroborate;
         ``"leakage_suspect"`` when static IFT flagged the register but
-        the (complete) dynamic checks found nothing; ``"ok"``
-        otherwise. Without IFT evidence this reduces to the historical
-        ok/degraded split.
+        nothing dynamic fired; ``"ok"`` otherwise. Without screen
+        evidence this reduces to the historical ok/degraded split.
         """
         if self.degraded_checks:
             return "degraded"
+        if self.differential_suspect:
+            return "differential_suspect"
         if self.leakage_suspect:
             return "leakage_suspect"
         return "ok"
@@ -181,6 +210,15 @@ class DetectionReport:
         ]
 
     @property
+    def differential_suspects(self):
+        """Registers the diff screen flagged that every check passed."""
+        return [
+            name
+            for name, finding in self.findings.items()
+            if getattr(finding, "differential_suspect", False)
+        ]
+
+    @property
     def resumed_registers(self):
         """Registers restored from a checkpoint rather than re-audited."""
         return [
@@ -221,6 +259,7 @@ class DetectionReport:
             "trojan_found": self.trojan_found,
             "degraded": self.degraded,
             "leakage_suspects": self.leakage_suspects,
+            "differential_suspects": self.differential_suspects,
             "trusted_for": self.trusted_for(),
             "elapsed": self.elapsed,
             "findings": {
@@ -246,6 +285,11 @@ class DetectionReport:
         )
         if self.degraded and not self.trojan_found:
             verdict += " [degraded: some checks hit resource limits]"
+        diff_suspects = self.differential_suspects
+        if diff_suspects and not self.trojan_found:
+            verdict += " [differential suspect: {}]".format(
+                ", ".join(diff_suspects)
+            )
         suspects = self.leakage_suspects
         if suspects and not self.trojan_found:
             verdict += " [leakage suspect: {}]".format(", ".join(suspects))
@@ -316,6 +360,21 @@ class DetectionReport:
                         ),
                         " — LEAKAGE SUSPECT"
                         if finding.leakage_suspect
+                        else "",
+                    )
+                )
+            if getattr(finding, "diff_evidence", None):
+                parts.append(
+                    "diff: {} divergence finding{} ({}){}".format(
+                        len(finding.diff_evidence),
+                        "" if len(finding.diff_evidence) == 1 else "s",
+                        ", ".join(
+                            sorted(
+                                {e["rule"] for e in finding.diff_evidence}
+                            )
+                        ),
+                        " — DIFFERENTIAL SUSPECT"
+                        if finding.differential_suspect
                         else "",
                     )
                 )

@@ -1,0 +1,108 @@
+"""Executable golden models derived from ValidWays specifications.
+
+The paper's spec artifact — the set of valid ways to update a critical
+register — already *is* a reference next-state function: each way gives
+a firing condition and (optionally) the value the register must take
+when that way fires. Rather than hand-writing a second model of every
+design (a second chance to encode the same misunderstanding), the
+differential screen compiles the spec itself into simulable monitor
+logic:
+
+* the design netlist is cloned and a :class:`~repro.netlist.builder.
+  Circuit` is re-attached, exactly as the BMC monitor synthesizer does;
+* every way's ``when``/``value`` callables are evaluated against a
+  :class:`~repro.ift.sources.RecordingCtx`, producing combinational
+  condition/expected nets *inside the clone* while recording which
+  design signals (input ports, register Qs, probes) the spec reads;
+* the recorded input anchors feed the way-directed stimulus phases, and
+  :func:`~repro.ift.sources.derive_sources` supplies the register's
+  undocumented write-port state for the excitation phase.
+
+Because the monitor nets live in the same netlist as the implementation
+and are evaluated in the same combinational frame, implementation and
+golden model can never disagree due to sampling skew: both read the
+identical pre-edge values of every signal the spec mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ift.sources import RecordingCtx, derive_sources
+from repro.lint.analysis import DesignAnalysis
+from repro.netlist.builder import Circuit
+
+
+@dataclass
+class WayMonitor:
+    """One compiled valid way: condition/expected nets in the clone."""
+
+    name: str
+    cond_net: int
+    value_nets: "list | None"  # None: way documents no expected value
+    input_anchors: list = field(default_factory=list)  # port names read
+
+
+@dataclass
+class GoldenModel:
+    """Executable reference next-state function for one register."""
+
+    register: str
+    width: int
+    q_nets: list
+    ways: list  # WayMonitor, spec order
+    sources: Any  # TaintSources: undocumented write-port state
+
+    @property
+    def source_nets(self) -> list:
+        return list(self.sources.sources)
+
+
+def build_golden_models(
+    netlist: Any, spec: Any, analysis: "DesignAnalysis | None" = None
+) -> "tuple[Any, dict]":
+    """Compile every critical register's spec into monitor logic.
+
+    Returns ``(augmented, models)``: one clone of ``netlist`` carrying
+    the monitor gates of *all* critical registers (net ids of the
+    original stay valid — :meth:`~repro.netlist.netlist.Netlist.clone`
+    preserves them), and a name-keyed dict of :class:`GoldenModel`.
+    """
+    if analysis is None:
+        analysis = DesignAnalysis(netlist, spec)
+    augmented = netlist.clone()
+    circuit = Circuit.attach(augmented)
+    models = {}
+    for register in sorted(spec.critical):
+        reg_spec = spec.spec_for(register)
+        width = netlist.register_width(register)
+        ways = []
+        for way in reg_spec.ways:
+            # one recording context per way so the directed stimulus
+            # phase knows which input ports *this* way reads
+            ctx = RecordingCtx(circuit)
+            cond = way.condition(ctx)
+            value = way.expected(ctx, width)
+            ways.append(
+                WayMonitor(
+                    name=way.name,
+                    cond_net=cond.nets[0],
+                    value_nets=(
+                        list(value.nets) if value is not None else None
+                    ),
+                    input_anchors=sorted(
+                        name.split(":", 1)[1]
+                        for name in ctx.anchor_names
+                        if name.startswith("input:")
+                    ),
+                )
+            )
+        models[register] = GoldenModel(
+            register=register,
+            width=width,
+            q_nets=list(netlist.register_q_nets(register)),
+            ways=ways,
+            sources=derive_sources(netlist, spec, register, analysis),
+        )
+    return augmented, models

@@ -1,0 +1,154 @@
+"""Seeded stimulus portfolio for the differential screen.
+
+Four phase families, all derived deterministically from one seed so a
+finding's ``(seed, phase, cycle, lane)`` coordinates replay exactly:
+
+* ``random`` — independent random input words per cycle *per lane*; the
+  bit-parallel simulator runs ``lanes`` stimulus sequences at once.
+* ``hold`` — per-lane random input words held constant for a window of
+  cycles, repeated for several rounds. Sequential triggers that count
+  consecutive qualifying cycles (the RISC instruction-range counters)
+  are reachable by held stimulus but near-unreachable by white noise.
+* ``way:*`` — one directed phase per documented way that reads input
+  ports: the way's recorded input anchors are driven active (1-bit
+  ports) or held at per-lane random words, exercising the documented
+  update paths and the logic around them.
+* ``excite:*`` — only for registers whose write port has *undocumented*
+  state (:func:`~repro.ift.sources.derive_sources` is non-empty, i.e.
+  never on the bundled clean designs): architectural state is
+  randomized per lane once, then the undocumented source nets are
+  forced to adversarial per-lane patterns every cycle (lane 0 all-ones,
+  lane 1 all-zeros, remaining lanes random) while inputs stay random.
+  Forcing leaf nets (inputs / flop Qs) is divergence-safe for spec-
+  conforming logic — implementation and way monitors read the same
+  forced frame — so any divergence demonstrates undocumented control.
+
+Input ports pinned by the spec (``pinned_inputs``, normally
+``{"reset": 0}``) stay pinned in every phase, except that a directed
+phase may drive a pinned port its way explicitly reads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Phase:
+    """One stimulus phase: per-cycle per-lane inputs plus net forces."""
+
+    name: str
+    rule: str  # finding rule id for divergences seen in this phase
+    cycles: list  # per cycle: {port: [word per lane]}
+    forces: dict = field(default_factory=dict)  # net -> lane pattern
+    init_state: dict = field(default_factory=dict)  # flop Q -> pattern
+    registers: "tuple | None" = None  # None: check every screened register
+
+
+def _random_cycle(rng, inputs, lanes, pinned, overrides=None):
+    cycle = {}
+    for name, nets in inputs.items():
+        if overrides and name in overrides:
+            cycle[name] = overrides[name]
+        elif name in pinned:
+            cycle[name] = [pinned[name]] * lanes
+        else:
+            width = len(nets)
+            cycle[name] = [rng.getrandbits(width) for _ in range(lanes)]
+    return cycle
+
+
+def _held_words(rng, width, lanes):
+    if width == 1:
+        return [1] * lanes
+    return [rng.getrandbits(width) for _ in range(lanes)]
+
+
+def build_phases(netlist: Any, spec: Any, models: dict, config: Any) -> list:
+    """The full deterministic phase list for one design."""
+    rng = random.Random(config.seed)
+    inputs = netlist.inputs
+    lanes = config.lanes
+    pinned = dict(spec.pinned_inputs)
+    phases = []
+
+    phases.append(
+        Phase(
+            name="random",
+            rule="diff-divergence",
+            cycles=[
+                _random_cycle(rng, inputs, lanes, pinned)
+                for _ in range(config.random_cycles)
+            ],
+        )
+    )
+
+    hold_cycles = []
+    for _ in range(config.hold_rounds):
+        held = {
+            name: (
+                [pinned[name]] * lanes
+                if name in pinned
+                else [
+                    rng.getrandbits(len(nets)) for _ in range(lanes)
+                ]
+            )
+            for name, nets in inputs.items()
+        }
+        hold_cycles.extend([held] * config.hold_window)
+    phases.append(
+        Phase(name="hold", rule="diff-divergence", cycles=hold_cycles)
+    )
+
+    for register in sorted(models):
+        for way in models[register].ways:
+            anchors = [a for a in way.input_anchors if a in inputs]
+            if not anchors:
+                continue  # the random phases already cover this way
+            overrides = {
+                name: _held_words(rng, len(inputs[name]), lanes)
+                for name in anchors
+            }
+            phases.append(
+                Phase(
+                    name="way:{}:{}".format(register, way.name),
+                    rule="diff-divergence",
+                    cycles=[
+                        _random_cycle(rng, inputs, lanes, pinned, overrides)
+                        for _ in range(config.directed_cycles)
+                    ],
+                )
+            )
+
+    for register in sorted(models):
+        model = models[register]
+        if not model.source_nets:
+            continue
+        forces = {}
+        for net in model.source_nets:
+            pattern = 1  # lane 0: forced high, lane 1: forced low
+            if lanes > 2:
+                pattern |= rng.getrandbits(lanes - 2) << 2
+            forces[net] = pattern
+        init_state = {
+            flop.q: rng.getrandbits(lanes)
+            for flop in netlist.flops
+            if flop.q not in forces
+        }
+        phases.append(
+            Phase(
+                name="excite:{}".format(register),
+                rule="diff-undocumented-state",
+                cycles=[
+                    _random_cycle(rng, inputs, lanes, pinned)
+                    for _ in range(config.excite_cycles)
+                ],
+                forces=forces,
+                init_state=init_state,
+                registers=(register,),
+            )
+        )
+
+    return phases

@@ -127,6 +127,9 @@ def finding_to_dict(finding):
         "ift_evidence": [
             dict(entry) for entry in getattr(finding, "ift_evidence", [])
         ],
+        "diff_evidence": [
+            dict(entry) for entry in getattr(finding, "diff_evidence", [])
+        ],
     }
 
 
@@ -157,6 +160,9 @@ def finding_from_dict(data):
     ]
     finding.ift_evidence = [
         dict(entry) for entry in data.get("ift_evidence", [])
+    ]
+    finding.diff_evidence = [
+        dict(entry) for entry in data.get("diff_evidence", [])
     ]
     finding.restored = True
     return finding

@@ -143,7 +143,7 @@ class _RegisterState:
         self.audit = audit
         self.index = index
         self.register = register
-        # fused lint + IFT priority score (see fused_register_scores)
+        # fused lint + IFT + diff priority score (fused_register_scores)
         self.static_score = static_score
         self.spec = None
         self.started = 0.0
@@ -637,7 +637,7 @@ class AuditScheduler:
         )
         names = request.registers or list(det.spec.critical)
         names = prioritize_registers(
-            names, det.lint_report, det.ift_report
+            names, det.lint_report, det.ift_report, det.diff_report
         )
         store = None
         if request.checkpoint is not None:
@@ -661,7 +661,9 @@ class AuditScheduler:
                 engine=det.engine,
                 max_cycles=det.max_cycles,
             )
-        scores = fused_register_scores(det.lint_report, det.ift_report)
+        scores = fused_register_scores(
+            det.lint_report, det.ift_report, det.diff_report
+        )
         for reg_index, register in enumerate(names):
             if register in report.findings:
                 continue  # restored from the checkpoint
@@ -869,6 +871,11 @@ class AuditScheduler:
             finding.ift_evidence = [
                 f.to_dict()
                 for f in det.ift_report.findings_for(reg.register)
+            ]
+        if det.diff_report is not None:
+            finding.diff_evidence = [
+                f.to_dict()
+                for f in det.diff_report.findings_for(reg.register)
             ]
         finding.pseudo_criticals = list(promoted)
         for name, outcome in outcomes:

@@ -99,7 +99,14 @@ class CombEvaluator:
             values[net] = mask if (word >> i) & 1 else 0
 
     def set_word_lanes(self, values, nets, words):
-        """Set per-lane words: ``words[k]`` drives lane ``k``."""
+        """Set per-lane words: ``words[k]`` drives lane ``k``.
+
+        More words than lanes is an error.  *Fewer* words than lanes is
+        allowed and zero-fills: lanes ``len(words)..lanes-1`` are driven
+        to 0, not left at their previous value and not broadcast from
+        the last word.  Callers that want a broadcast should use
+        :meth:`set_word` instead.
+        """
         if len(words) > self.lanes:
             raise SimulationError(
                 "{} words but only {} lanes".format(len(words), self.lanes)

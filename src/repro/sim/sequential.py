@@ -17,17 +17,34 @@ from repro.sim.engine import CombEvaluator
 
 @dataclass
 class Trace:
-    """Captured per-cycle values of selected registers/ports (lane 0)."""
+    """Captured per-cycle values of selected registers/ports (lane 0).
+
+    ``complete`` is set by :meth:`SequentialSimulator.run` once every
+    observed series has been fully captured.  A trace assembled by hand
+    (or inspected mid-run) may legitimately have series of different
+    lengths; a *complete* trace may not.
+    """
 
     registers: dict = field(default_factory=dict)  # name -> [value per cycle]
     outputs: dict = field(default_factory=dict)  # name -> [value per cycle]
+    complete: bool = False
 
     def cycles(self):
-        for series in self.registers.values():
-            return len(series)
-        for series in self.outputs.values():
-            return len(series)
-        return 0
+        """Number of captured cycles: the max across all series.
+
+        Raises :class:`SimulationError` if a complete trace is ragged
+        (series of unequal length), which indicates a capture bug rather
+        than a mid-run snapshot.
+        """
+        lengths = {len(series) for series in self.registers.values()}
+        lengths.update(len(series) for series in self.outputs.values())
+        if not lengths:
+            return 0
+        if self.complete and len(lengths) > 1:
+            raise SimulationError(
+                "ragged trace: series lengths {}".format(sorted(lengths))
+            )
+        return max(lengths)
 
 
 class SequentialSimulator:
@@ -43,7 +60,14 @@ class SequentialSimulator:
     # ----------------------------------------------------------------- state
 
     def reset(self):
-        """Load every flop's init value and clear the cycle counter."""
+        """Restore the power-on state: fresh net values, flop inits, cycle 0.
+
+        Rebuilds the whole value vector rather than just reloading flop Q
+        nets — otherwise previously driven input ports and stale
+        combinational values would survive into the next run and replay
+        old stimulus.
+        """
+        self.values = self.evaluator.fresh_values()
         for flop in self.netlist.flops:
             self.values[flop.q] = self.evaluator.mask if flop.init else 0
         self.cycle = 0
@@ -110,6 +134,7 @@ class SequentialSimulator:
             self.clock()
             for name in observe_registers:
                 trace.registers[name].append(self.register_value(name))
+        trace.complete = True
         return trace
 
     # ---------------------------------------------------------- observation

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import io
 
+from repro.errors import SimulationError
+
 
 _ID_CHARS = "".join(chr(c) for c in range(33, 127))
 
@@ -23,6 +25,13 @@ def _identifier(index):
     return "".join(chars)
 
 
+def _change(value, width, ident):
+    """One value-change line (scalar or vector form by width)."""
+    if width == 1:
+        return "{}{}\n".format(value, ident)
+    return "b{:b} {}\n".format(value, ident)
+
+
 class VcdWriter:
     """Accumulates named multi-bit signals and writes a VCD document."""
 
@@ -33,10 +42,23 @@ class VcdWriter:
         self._series = []  # per-var list of per-cycle values
 
     def add_signal(self, name, width, values):
-        """Register a signal with one integer value per cycle."""
+        """Register a signal with one integer value per cycle.
+
+        Every value must fit the declared width; out-of-range values are
+        an error (a truncated waveform would silently misrepresent the
+        trace it is supposed to witness).
+        """
+        series = list(values)
+        limit = 1 << width
+        for cycle, value in enumerate(series):
+            if not 0 <= value < limit:
+                raise SimulationError(
+                    "signal {!r} cycle {}: value {} does not fit "
+                    "width {}".format(name, cycle, value, width)
+                )
         ident = _identifier(len(self._vars))
         self._vars.append((name, width, ident))
-        self._series.append(list(values))
+        self._series.append(series)
 
     def add_trace(self, trace, widths):
         """Add every series from a :class:`~repro.sim.sequential.Trace`.
@@ -62,9 +84,17 @@ class VcdWriter:
         out.write("$upscope $end\n$enddefinitions $end\n")
         cycles = max((len(s) for s in self._series), default=0)
         previous = [None] * len(self._vars)
-        for cycle in range(cycles):
+        out.write("#0\n$dumpvars\n")
+        for idx, (_name, width, ident) in enumerate(self._vars):
+            series = self._series[idx]
+            if not series:
+                continue
+            previous[idx] = series[0]
+            out.write(_change(series[0], width, ident))
+        out.write("$end\n")
+        for cycle in range(1, cycles):
             out.write("#{}\n".format(cycle))
-            for idx, (name, width, ident) in enumerate(self._vars):
+            for idx, (_name, width, ident) in enumerate(self._vars):
                 series = self._series[idx]
                 if cycle >= len(series):
                     continue
@@ -72,12 +102,7 @@ class VcdWriter:
                 if value == previous[idx]:
                     continue
                 previous[idx] = value
-                if width == 1:
-                    out.write("{}{}\n".format(value & 1, ident))
-                else:
-                    out.write(
-                        "b{:b} {}\n".format(value & ((1 << width) - 1), ident)
-                    )
+                out.write(_change(value, width, ident))
         out.write("#{}\n".format(cycles))
         return out.getvalue()
 

@@ -115,6 +115,44 @@ class TestDepthRamp:
         assert elapsed <= 3.0
 
 
+class TestDiffSweep:
+    def test_diff_run_condenses_the_report(self):
+        from repro.bench.harness import diff_run
+
+        netlist, spec = design_and_spec()
+        row = diff_run("toy", netlist, spec)
+        assert row.flagged
+        assert row.divergent_registers == ["secret"]
+        assert row.suspicious == row.findings >= 1
+        assert row.solver_calls == 0
+        assert row.lanes > 0 and row.cycles > 0
+
+    def test_audit_sweep_fuses_the_diff_screen(self):
+        from repro.bench.harness import audit_sweep
+
+        netlist, spec = design_and_spec()
+        clean_netlist, clean_spec = design_and_spec(trojan=False)
+        rows = audit_sweep(
+            [("toy", netlist, spec),
+             ("toy-clean", clean_netlist, clean_spec)],
+            max_cycles=2, time_budget=30, diff=True,
+        )
+        trojaned, clean = rows
+        assert trojaned.diff is not None and trojaned.diff.flagged
+        assert trojaned.report.differential_suspects == ["secret"]
+        assert clean.diff is not None and not clean.diff.flagged
+        assert clean.report.differential_suspects == []
+
+    def test_sweep_without_diff_leaves_rows_bare(self):
+        from repro.bench.harness import audit_sweep
+
+        netlist, spec = design_and_spec()
+        (row,) = audit_sweep(
+            [("toy", netlist, spec)], max_cycles=2, time_budget=30,
+        )
+        assert row.diff is None
+
+
 class TestBaselineRun:
     def test_runs_and_scores(self):
         netlist, spec = design_and_spec()

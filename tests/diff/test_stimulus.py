@@ -1,0 +1,124 @@
+"""The seeded stimulus portfolio: structure and determinism."""
+
+from repro.cli import build_design
+from repro.diff import DiffConfig, build_golden_models, build_phases
+from repro.properties import DesignSpec
+
+from tests.conftest import build_secret_design, secret_spec
+
+CONFIG = DiffConfig(lanes=8, random_cycles=6, hold_rounds=2,
+                    hold_window=5, directed_cycles=3, excite_cycles=4)
+
+
+def phases_for(trojan=True, config=CONFIG):
+    netlist = build_secret_design(trojan=trojan)
+    spec = DesignSpec(
+        name=netlist.name, critical={"secret": secret_spec()}
+    )
+    _augmented, models = build_golden_models(netlist, spec)
+    return netlist, build_phases(netlist, spec, models, config)
+
+
+def test_portfolio_order_and_rules():
+    _netlist, phases = phases_for()
+    names = [p.name for p in phases]
+    assert names == [
+        "random",
+        "hold",
+        "way:secret:reset",
+        "way:secret:load",
+        "excite:secret",
+    ]
+    by_name = {p.name: p for p in phases}
+    assert by_name["random"].rule == "diff-divergence"
+    assert by_name["hold"].rule == "diff-divergence"
+    assert by_name["excite:secret"].rule == "diff-undocumented-state"
+
+
+def test_cycle_budgets_follow_the_config():
+    _netlist, phases = phases_for()
+    by_name = {p.name: p for p in phases}
+    assert len(by_name["random"].cycles) == CONFIG.random_cycles
+    assert len(by_name["hold"].cycles) == (
+        CONFIG.hold_rounds * CONFIG.hold_window
+    )
+    assert len(by_name["way:secret:load"].cycles) == CONFIG.directed_cycles
+    assert len(by_name["excite:secret"].cycles) == CONFIG.excite_cycles
+
+
+def test_every_cycle_drives_every_input_with_one_word_per_lane():
+    netlist, phases = phases_for()
+    for phase in phases:
+        for cycle in phase.cycles:
+            assert set(cycle) == set(netlist.inputs)
+            for name, words in cycle.items():
+                width = len(netlist.inputs[name])
+                assert len(words) == CONFIG.lanes
+                assert all(0 <= w < (1 << width) for w in words)
+
+
+def test_hold_phase_repeats_each_round_verbatim():
+    _netlist, phases = phases_for()
+    hold = next(p for p in phases if p.name == "hold")
+    window = CONFIG.hold_window
+    for round_start in range(0, len(hold.cycles), window):
+        block = hold.cycles[round_start:round_start + window]
+        assert all(cycle == block[0] for cycle in block)
+
+
+def test_directed_phase_holds_the_ways_anchor_ports():
+    _netlist, phases = phases_for()
+    directed = next(p for p in phases if p.name == "way:secret:load")
+    first = directed.cycles[0]
+    for cycle in directed.cycles:
+        # anchors held constant; the 1-bit firing port driven active
+        assert cycle["load"] == [1] * CONFIG.lanes
+        assert cycle["key_in"] == first["key_in"]
+
+
+def test_excite_phase_only_exists_with_undocumented_sources():
+    _netlist, trojaned = phases_for(trojan=True)
+    assert any(p.name.startswith("excite:") for p in trojaned)
+    _netlist, clean = phases_for(trojan=False)
+    assert not any(p.name.startswith("excite:") for p in clean)
+
+
+def test_excite_forces_are_adversarial_per_lane():
+    netlist, phases = phases_for()
+    excite = next(p for p in phases if p.name == "excite:secret")
+    assert excite.registers == ("secret",)
+    assert excite.forces, "sources must be forced"
+    for pattern in excite.forces.values():
+        assert pattern & 1 == 1  # lane 0 forced high
+        assert (pattern >> 1) & 1 == 0  # lane 1 forced low
+    # every non-forced flop gets a randomized initial state pattern
+    forced = set(excite.forces)
+    expected_q = {
+        q for flop in netlist.flops for q in [flop.q] if q not in forced
+    }
+    assert set(excite.init_state) == expected_q
+
+
+def test_pinned_inputs_stay_pinned_outside_directed_phases():
+    netlist, spec = build_design("risc")
+    _augmented, models = build_golden_models(netlist, spec)
+    phases = build_phases(netlist, spec, models, CONFIG)
+    assert spec.pinned_inputs, "risc pins its reset port"
+    for phase in phases:
+        if phase.name.startswith("way:"):
+            continue  # a way may legitimately drive its pinned anchor
+        for cycle in phase.cycles:
+            for name, value in spec.pinned_inputs.items():
+                assert cycle[name] == [value] * CONFIG.lanes
+
+
+def test_same_seed_same_stimulus_different_seed_different():
+    _netlist, first = phases_for()
+    _netlist, second = phases_for()
+    assert [p.cycles for p in first] == [p.cycles for p in second]
+    _netlist, reseeded = phases_for(
+        config=DiffConfig(seed=7, lanes=8, random_cycles=6,
+                          hold_rounds=2, hold_window=5,
+                          directed_cycles=3, excite_cycles=4)
+    )
+    assert first[0].cycles != reseeded[0].cycles

@@ -66,6 +66,28 @@ class TestMultiLane:
         with pytest.raises(SimulationError):
             ev.set_word_lanes(ev.fresh_values(), nl.inputs["a"], [1, 2, 3])
 
+    def test_fewer_words_than_lanes_zero_fill(self):
+        # Documented semantics: missing upper lanes are driven to 0,
+        # even if they previously held nonzero values.
+        nl = build_alu()
+        ev = CombEvaluator(nl, lanes=4)
+        values = ev.fresh_values()
+        ev.set_word_lanes(values, nl.inputs["a"], [0xFF, 0xFF, 0xFF, 0xFF])
+        ev.set_word_lanes(values, nl.inputs["a"], [0x12, 0x34])
+        assert ev.get_word_lanes(values, nl.inputs["a"]) == [
+            0x12, 0x34, 0, 0,
+        ]
+
+    def test_lane_words_roundtrip(self):
+        nl = build_alu()
+        lanes = 8
+        ev = CombEvaluator(nl, lanes=lanes)
+        values = ev.fresh_values()
+        rng = random.Random(7)
+        words = [rng.getrandbits(8) for _ in range(lanes)]
+        ev.set_word_lanes(values, nl.inputs["b"], words)
+        assert ev.get_word_lanes(values, nl.inputs["b"]) == words
+
     @settings(max_examples=30, deadline=None)
     @given(x=st.integers(0, 255), y=st.integers(0, 255))
     def test_broadcast_equals_lane(self, x, y):

@@ -40,6 +40,19 @@ class TestClocking:
         assert sim.register_value("count") == 0
         assert sim.cycle == 0
 
+    def test_reset_clears_driven_inputs(self):
+        # Regression: reset() used to reload only flop Q nets, so a
+        # previously driven input port survived into the next run and
+        # replayed stale stimulus.
+        sim = SequentialSimulator(build_counter(4))
+        for _ in range(3):
+            sim.step({"en": 1})
+        sim.reset()
+        fresh = SequentialSimulator(build_counter(4))
+        assert sim.values == fresh.values
+        sim.step()  # en was never driven after reset: must hold at 0
+        assert sim.register_value("count") == 0
+
     def test_inputs_persist_between_steps(self):
         sim = SequentialSimulator(build_counter(4))
         sim.step({"en": 1})
@@ -71,6 +84,32 @@ class TestTrace:
         sim = SequentialSimulator(build_counter(4))
         sim.step({"en": 1})
         assert sim.state() == {"count": 1}
+
+    def test_cycles_is_max_across_series(self):
+        # Regression: cycles() used to report whichever series iterated
+        # first, so a hand-assembled (incomplete) ragged trace lied.
+        from repro.sim.sequential import Trace
+
+        trace = Trace(registers={"r": [1, 2]}, outputs={"y": [0, 1, 2]})
+        assert trace.cycles() == 3
+        assert Trace().cycles() == 0
+
+    def test_ragged_complete_trace_rejected(self):
+        from repro.sim.sequential import Trace
+
+        trace = Trace(
+            registers={"r": [1, 2]},
+            outputs={"y": [0, 1, 2]},
+            complete=True,
+        )
+        with pytest.raises(SimulationError):
+            trace.cycles()
+
+    def test_run_marks_trace_complete(self):
+        sim = SequentialSimulator(build_counter(4))
+        trace = sim.run([{"en": 1}] * 2, observe_registers=["count"])
+        assert trace.complete
+        assert trace.cycles() == 2
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,5 +1,8 @@
 """VCD writer tests."""
 
+import pytest
+
+from repro.errors import SimulationError
 from repro.sim import SequentialSimulator, VcdWriter
 
 from tests.conftest import build_counter
@@ -29,6 +32,35 @@ def test_vcd_from_trace():
     text = writer.dumps()
     assert "count" in text and "value" in text
     assert "#5" in text
+
+
+def test_value_wider_than_declared_width_rejected():
+    # Regression: width-1 values used to be truncated with `value & 1`,
+    # silently rendering 2 as 0 in the waveform.
+    writer = VcdWriter()
+    with pytest.raises(SimulationError):
+        writer.add_signal("flag", 1, [0, 2])
+    with pytest.raises(SimulationError):
+        writer.add_signal("bus", 4, [0, 16])
+    with pytest.raises(SimulationError):
+        writer.add_signal("neg", 4, [-1])
+
+
+def test_initial_values_dumped_at_time_zero():
+    # Regression: no $dumpvars block meant viewers rendered `x` until
+    # the first change of each signal.
+    writer = VcdWriter()
+    writer.add_signal("count", 4, [5, 5, 6])
+    writer.add_signal("flag", 1, [0, 1, 1])
+    text = writer.dumps()
+    head, _, tail = text.partition("$end\n#1\n")
+    assert "$dumpvars" in head
+    ident_count = writer._vars[0][2]
+    ident_flag = writer._vars[1][2]
+    assert "b101 {}\n".format(ident_count) in head
+    assert "0{}\n".format(ident_flag) in head
+    # later cycles stay change-only
+    assert "b110 {}\n".format(ident_count) in tail
 
 
 def test_identifier_uniqueness():

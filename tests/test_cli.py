@@ -429,3 +429,81 @@ class TestLintMultiDesign:
                 "lint", "--design", "router", "--design", "mc8051-t800",
                 "--sarif", "out.sarif",
             ])
+
+
+class TestDiffCli:
+    def test_diff_flags_trojaned_design_and_exits_nonzero(self):
+        code, text = run_cli(["diff", "--design", "risc-t100"])
+        assert code == 1
+        assert "diff-divergence" in text
+        assert "program_counter" in text
+
+    def test_diff_clean_design_exits_zero(self):
+        code, text = run_cli(["diff", "--design", "router"])
+        assert code == 0
+        assert "clean" in text
+
+    def test_diff_rejects_cache_dir_instead_of_ignoring_it(self):
+        with pytest.raises(SystemExit, match="no outcome cache"):
+            run_cli(["diff", "--design", "router", "--cache-dir", "x"])
+
+    def test_diff_jobs_fanout_matches_serial(self):
+        import re
+
+        def no_clock(text):
+            return re.sub(r"in \d+\.\d+s", "in <t>", text)
+
+        serial_code, serial_text = run_cli([
+            "diff", "--design", "router", "--design", "risc-t100",
+        ])
+        parallel_code, parallel_text = run_cli([
+            "diff", "--design", "router", "--design", "risc-t100",
+            "--jobs", "2",
+        ])
+        assert parallel_code == serial_code == 1
+        assert no_clock(parallel_text) == no_clock(serial_text)
+
+    def test_diff_sarif_merges_all_three_modalities(self, tmp_path):
+        import json
+
+        target = tmp_path / "portfolio.sarif"
+        code, text = run_cli([
+            "diff", "--design", "risc-t100", "--sarif", str(target),
+        ])
+        assert code == 1
+        assert "wrote" in text
+        log = json.loads(target.read_text())
+        drivers = [run["tool"]["driver"]["name"] for run in log["runs"]]
+        assert drivers == ["repro-lint", "repro-ift", "repro-diff"]
+
+    def test_diff_sarif_no_companions(self, tmp_path):
+        import json
+
+        target = tmp_path / "diff-only.sarif"
+        code, _text = run_cli([
+            "diff", "--design", "risc-t100", "--sarif", str(target),
+            "--no-lint", "--no-ift",
+        ])
+        assert code == 1
+        log = json.loads(target.read_text())
+        drivers = [run["tool"]["driver"]["name"] for run in log["runs"]]
+        assert drivers == ["repro-diff"]
+
+    def test_audit_diff_fuses_the_pre_pass(self):
+        # bound 4 is below the RISC trigger count: the checks pass and
+        # the simulated divergence surfaces as a differential suspect
+        code, text = run_cli([
+            "audit", "--design", "risc-t100", "--max-cycles", "4",
+            "--register", "program_counter", "--diff",
+        ])
+        assert code == 0
+        assert "diff pre-pass:" in text
+        assert "divergent: program_counter" in text
+        assert "DIFFERENTIAL SUSPECT" in text
+
+    def test_bench_diff_adds_screen_figures_to_rows(self):
+        code, text = run_cli([
+            "bench", "--design", "router", "--max-cycles", "6", "--diff",
+        ])
+        assert code == 0
+        assert "diff[0 finding(s)" in text
