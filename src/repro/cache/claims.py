@@ -42,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import socket
+import tempfile
 import time
 from pathlib import Path
 
@@ -108,10 +109,18 @@ class ClaimRegistry:
         return self.dir / (digest + SUFFIX), digest
 
     def _try_create(self, path):
+        # The record body is written to a private temp file first and
+        # hard-linked into place: link(2) is atomic and fails with
+        # EEXIST when the claim is held, so a visible claim file always
+        # carries a complete record. Creating the file O_EXCL and
+        # writing the body afterwards had a torn window where a
+        # contender read an empty record, judged the live claim
+        # unreadable-therefore-stale, and broke it — two pools then
+        # solved the same fingerprint.
         try:
-            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.dir), suffix=SUFFIX + ".tmp"
+            )
         except FileNotFoundError:
             try:
                 self.dir.mkdir(parents=True, exist_ok=True)
@@ -123,13 +132,25 @@ class ClaimRegistry:
             # optimization, never a correctness gate — proceed to solve,
             # accepting a possible duplicate, rather than stall the audit
             return True
-        with os.fdopen(fd, "w") as handle:
-            json.dump({
-                "pid": os.getpid(),
-                "ts": time.time(),
-                "host": HOST_IDENTITY,
-            }, handle)
-        return True
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump({
+                    "pid": os.getpid(),
+                    "ts": time.time(),
+                    "host": HOST_IDENTITY,
+                }, handle)
+            try:
+                os.link(tmp_name, str(path))
+            except FileExistsError:
+                return False
+            except OSError:
+                return True  # no hard links here: claims stay advisory
+            return True
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
 
     def holder(self, key):
         """The claim record dict for ``key``, or ``None`` when unclaimed

@@ -125,13 +125,38 @@ Commands
     keeps killing its workers is dead-lettered with its partial
     findings attached.
 
-``list``
-    Show the bundled designs and their ground-truth Trojans.
+``list`` / ``list-designs``
+    Show every resolvable design with its provenance. Every
+    ``--design`` flag in this CLI goes through
+    :func:`repro.frontend.load_design`, so any command also accepts a
+    ``*.design.json`` bundle or a ``*.v`` Verilog file (with its
+    ``<stem>.spec.json`` sidecar) in place of a built-in name::
+
+        python -m repro list-designs
+        python -m repro audit --design out/risc.v
+        python -m repro lint --design corpus/risc-comb-trigger-00000.design.json
+
+``corpus``
+    Generate and screen seeded Trojan-mutant corpora (see README
+    "Design ingestion & corpus fuzzing"). ``generate`` derives mutants
+    from the base designs — Trojan injections with in-band ground
+    truth, DeTrust-style restructurings, and clean structural growth —
+    as ``*.design.json`` bundles; ``run`` fans them through the
+    lint+IFT+diff portfolio and scores per-mutator recall against the
+    carried ground truth (exit 1 on any trojaned miss or clean false
+    positive)::
+
+        python -m repro corpus generate --seed 7 -n 40 --out corpus/
+        python -m repro corpus run corpus/ --jobs 4 --json report.json
+        python -m repro corpus stats corpus/
 
 ``export``
-    Write a design's structural Verilog and its assertion file::
+    Write a design's structural Verilog (with ``// repro:`` structural
+    pragmas), its ValidWays spec sidecar and its assertion file —
+    ``--bundle`` adds the ``*.design.json`` form. The ``.v`` +
+    ``.spec.json`` pair re-imports fingerprint-identically::
 
-        python -m repro export --design risc --out out_dir/
+        python -m repro export --design risc --out out_dir/ --bundle
 
 ``stats``
     Print netlist statistics for a design.
@@ -143,68 +168,48 @@ import argparse
 import sys
 
 from repro.core import AuditConfig, TrojanDetector
-from repro.designs import build_aes, build_mc8051, build_risc
-from repro.designs.router import build_router, router_redirect_trojan
-from repro.designs.trojans import (
-    aes_t700,
-    aes_t800,
-    aes_t1200,
-    mc8051_t400,
-    mc8051_t700,
-    mc8051_t800,
-    risc_figure1,
-    risc_t100,
-    risc_t300,
-    risc_t400,
-)
-
-DESIGNS = {
-    "risc": build_risc,
-    "mc8051": build_mc8051,
-    "aes": build_aes,
-    "router": build_router,
-    "risc-t100": risc_t100,
-    "risc-t300": risc_t300,
-    "risc-t400": risc_t400,
-    "risc-fig1": risc_figure1,
-    "mc8051-t400": mc8051_t400,
-    "mc8051-t700": mc8051_t700,
-    "mc8051-t800": mc8051_t800,
-    "aes-t700": aes_t700,
-    "aes-t800": aes_t800,
-    "aes-t1200": aes_t1200,
-    "router-redirect": router_redirect_trojan,
-}
+from repro.frontend import design_names, load_design
 
 
-def build_design(name):
+def _load(source):
+    """Resolve any design source through the frontend, or exit.
+
+    Accepts everything :func:`repro.frontend.load_design` does — a
+    built-in name, a ``*.design.json`` bundle, or a ``*.v`` file — and
+    converts the structured :class:`~repro.errors.FrontendError` (with
+    its candidate list) into the CLI's exit-with-message convention.
+    """
+    from repro.errors import FrontendError
+
     try:
-        factory = DESIGNS[name]
-    except KeyError:
-        raise SystemExit(
-            "unknown design {!r}; try: {}".format(
-                name, ", ".join(sorted(DESIGNS))
-            )
-        )
-    return factory()
+        return load_design(source)
+    except FrontendError as exc:
+        raise SystemExit(str(exc))
 
 
-def cmd_list(_args, out=sys.stdout):
-    for name in sorted(DESIGNS):
-        _netlist, spec = build_design(name)
+def cmd_list(args, out=sys.stdout):
+    from repro.frontend import list_designs
+
+    for name, origin, info in list_designs():
+        print("{:18s} {:8s} {}".format(name, origin, info), file=out)
+    for source in getattr(args, "design", None) or ():
+        loaded = _load(source)
+        spec = loaded.spec
         if spec.trojan is None:
-            print("{:18s} clean ({} critical registers)".format(
-                name, len(spec.critical)), file=out)
+            info = "clean ({} critical registers)".format(
+                len(spec.critical)
+            )
         else:
-            print("{:18s} {} — {}".format(
-                name, spec.trojan.name, spec.trojan.payload), file=out)
+            info = "{} — {}".format(spec.trojan.name, spec.trojan.payload)
+        print("{:18s} {:8s} {}".format(source, loaded.origin, info),
+              file=out)
     return 0
 
 
 def cmd_stats(args, out=sys.stdout):
     from repro.netlist import stats
 
-    netlist, _spec = build_design(args.design)
+    netlist, _spec = _load(args.design)
     print(stats(netlist), file=out)
     return 0
 
@@ -235,7 +240,7 @@ def _lint_one(design, config):
     """Lint one bundled design; returns plain data (fork-Pool friendly)."""
     from repro.lint import Linter
 
-    netlist, spec = build_design(design)
+    netlist, spec = _load(design)
     report = Linter(config=config).run(netlist, spec, design=design)
     return {
         "design": design,
@@ -328,7 +333,7 @@ def _ift_one(design, with_lint):
     so the SARIF export can merge both modalities' runs."""
     from repro.ift import analyze_design
 
-    netlist, spec = build_design(design)
+    netlist, spec = _load(design)
     lint_report = None
     if with_lint:
         from repro.lint import lint_design
@@ -350,7 +355,7 @@ def _ift_one(design, with_lint):
 def cmd_ift(args, out=sys.stdout):
     from repro.lint import severity_rank
 
-    designs = args.design or sorted(DESIGNS)
+    designs = args.design or design_names()
     if args.cache_dir:
         raise SystemExit(
             "ift runs no property checks, so it has no outcome cache; "
@@ -439,7 +444,7 @@ def _diff_one(design, with_lint, with_ift):
     run too so the SARIF export can merge all three modalities' runs."""
     from repro.diff import analyze_design
 
-    netlist, spec = build_design(design)
+    netlist, spec = _load(design)
     lint_report = None
     if with_lint:
         from repro.lint import lint_design
@@ -467,7 +472,7 @@ def _diff_one(design, with_lint, with_ift):
 def cmd_diff(args, out=sys.stdout):
     from repro.lint import severity_rank
 
-    designs = args.design or sorted(DESIGNS)
+    designs = args.design or design_names()
     if args.cache_dir:
         raise SystemExit(
             "diff runs no property checks, so it has no outcome cache; "
@@ -564,7 +569,7 @@ def cmd_audit(args, out=sys.stdout):
     from repro.errors import CheckpointError
     from repro.runner import CheckRunner
 
-    netlist, spec = build_design(args.design)
+    netlist, spec = _load(args.design)
     registers = args.register or None
     if args.workers < 0:
         raise SystemExit("--workers must be >= 0")
@@ -681,10 +686,10 @@ def cmd_bench(args, out=sys.stdout):
 
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
-    names = args.design or sorted(DESIGNS)
+    names = args.design or design_names()
     designs = []
     for name in names:
-        netlist, spec = build_design(name)
+        netlist, spec = _load(name)
         designs.append((name, netlist, spec))
     runner = CheckRunner.configure(
         check_timeout=args.check_timeout, retries=args.retries
@@ -936,22 +941,183 @@ def cmd_jobs(args, out=sys.stdout):
     return 0
 
 
+def _export_stem(source):
+    """A filesystem-friendly stem for an export: built-in names pass
+    through; path sources drop directories and known suffixes."""
+    import os
+
+    stem = os.path.basename(str(source))
+    for suffix in (".design.json", ".spec.json", ".v", ".sv"):
+        if stem.endswith(suffix):
+            return stem[: -len(suffix)]
+    return stem
+
+
 def cmd_export(args, out=sys.stdout):
     from pathlib import Path
 
+    from repro.frontend import save_spec_sidecar, spec_sidecar_path
     from repro.hdl import write_verilog
     from repro.properties import render_spec
 
-    netlist, spec = build_design(args.design)
+    loaded = _load(args.design)
+    netlist, spec = loaded
     target = Path(args.out)
     target.mkdir(parents=True, exist_ok=True)
-    verilog_path = target / "{}.v".format(args.design)
+    stem = _export_stem(args.design)
+    verilog_path = target / "{}.v".format(stem)
     verilog_path.write_text(write_verilog(netlist))
     print("wrote", verilog_path, file=out)
+    # the sidecar makes the .v re-loadable with its ValidWays spec:
+    # `repro audit --design out/<stem>.v` resolves both files
+    sidecar = spec_sidecar_path(str(verilog_path))
+    save_spec_sidecar(sidecar, spec)
+    print("wrote", sidecar, file=out)
     blocks = [render_spec(s) for s in spec.critical.values()]
-    props_path = target / "{}_props.sv".format(args.design)
+    props_path = target / "{}_props.sv".format(stem)
     props_path.write_text("\n".join(blocks))
     print("wrote", props_path, file=out)
+    if args.bundle:
+        from repro.corpus import save_bundle
+
+        bundle_path = target / "{}.design.json".format(stem)
+        save_bundle(
+            str(bundle_path), netlist, spec,
+            provenance={"origin": loaded.origin, "source": str(args.design)},
+        )
+        print("wrote", bundle_path, file=out)
+    return 0
+
+
+def cmd_corpus(args, out=sys.stdout):
+    from repro.errors import CorpusError
+
+    try:
+        if args.corpus_command == "generate":
+            return _corpus_generate(args, out)
+        if args.corpus_command == "run":
+            return _corpus_run(args, out)
+        if args.corpus_command == "stats":
+            return _corpus_stats(args, out)
+    except CorpusError as exc:
+        raise SystemExit(str(exc))
+    raise SystemExit(
+        "unknown corpus command {!r}".format(args.corpus_command)
+    )
+
+
+def _corpus_generate(args, out):
+    from repro.corpus import CorpusConfig, generate_corpus
+
+    defaults = CorpusConfig()
+    config = CorpusConfig(
+        seed=args.seed,
+        count=args.count,
+        bases=tuple(args.base) if args.base else defaults.bases,
+        mutators=tuple(args.mutator) if args.mutator else defaults.mutators,
+    )
+    manifest = generate_corpus(config, args.out)
+    trojaned = sum(1 for e in manifest["mutants"] if e["trojaned"])
+    print(
+        "wrote {} bundle(s) to {} (seed {}, {} trojaned / {} clean)".format(
+            len(manifest["mutants"]), args.out, config.seed,
+            trojaned, len(manifest["mutants"]) - trojaned,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _corpus_run(args, out):
+    from repro.corpus import (
+        RunConfig,
+        detection_gate,
+        dumps_report,
+        run_corpus,
+        score_results,
+    )
+
+    modalities = tuple(
+        m for m in ("lint", "ift", "diff")
+        if not getattr(args, "no_{}".format(m))
+    )
+    if not modalities and not args.audit:
+        raise SystemExit("every screening modality is disabled")
+    config = RunConfig(
+        jobs=args.jobs or 1,
+        fail_on=args.fail_on,
+        modalities=modalities,
+        audit=args.audit,
+        audit_max_cycles=args.audit_max_cycles,
+    )
+    rows = run_corpus(args.corpus_dir, config)
+    report = score_results(rows, config)
+    payload = dumps_report(report)
+    summary = out
+    if args.json:
+        if args.json == "-":
+            out.write(payload)
+            # keep stdout machine-parsable; summary moves to stderr
+            summary = sys.stderr
+        else:
+            with open(args.json, "w", encoding="ascii") as handle:
+                handle.write(payload)
+            print("wrote", args.json, file=out)
+    totals = report["totals"]
+    print(
+        "{} mutant(s): {}/{} trojaned detected (recall {}), "
+        "{} false positive(s) over {} clean (fp rate {})".format(
+            totals["mutants"], totals["detected"], totals["trojaned"],
+            totals["recall"], totals["false_positives"], totals["clean"],
+            totals["fp_rate"],
+        ),
+        file=summary,
+    )
+    for name in report["missed"]:
+        print("MISSED  {}".format(name), file=summary)
+    for name in report["false_positives"]:
+        print("FALSE+  {}".format(name), file=summary)
+    if args.no_enforce:
+        return 0
+    return detection_gate(report)
+
+
+def _corpus_stats(args, out):
+    import json as json_mod
+    import os
+
+    from repro.corpus.mutate import MANIFEST_NAME
+    from repro.errors import CorpusError
+
+    manifest_path = os.path.join(args.corpus_dir, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="ascii") as handle:
+            manifest = json_mod.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CorpusError(
+            "unreadable corpus manifest {}: {}".format(manifest_path, exc)
+        )
+    entries = manifest.get("mutants", [])
+    config = manifest.get("config", {})
+    per_mutator = {}
+    for entry in entries:
+        per_mutator.setdefault(entry["mutator"], []).append(entry)
+    print(
+        "corpus of {} mutant(s), seed {}, bases: {}".format(
+            len(entries), config.get("seed"),
+            ", ".join(config.get("bases", [])),
+        ),
+        file=out,
+    )
+    for mutator in sorted(per_mutator):
+        group = per_mutator[mutator]
+        trojaned = sum(1 for e in group if e["trojaned"])
+        print(
+            "  {:16s} {:3d} mutant(s) ({} trojaned, {} clean)".format(
+                mutator, len(group), trojaned, len(group) - trojaned
+            ),
+            file=out,
+        )
     return 0
 
 
@@ -988,7 +1154,14 @@ def build_parser():
     shared = _shared_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list bundled designs")
+    p_list = sub.add_parser(
+        "list", aliases=["list-designs"],
+        help="list resolvable designs with provenance",
+    )
+    p_list.add_argument("--design", action="append", metavar="SOURCE",
+                        help="also resolve and describe this external "
+                             "source — a *.design.json bundle or a "
+                             "*.v file (repeatable)")
 
     p_stats = sub.add_parser("stats", help="netlist statistics")
     p_stats.add_argument("--design", required=True)
@@ -1239,6 +1412,66 @@ def build_parser():
     p_export = sub.add_parser("export", help="write Verilog + assertions")
     p_export.add_argument("--design", required=True)
     p_export.add_argument("--out", default="export")
+    p_export.add_argument("--bundle", action="store_true",
+                          help="also write the design as a "
+                               "*.design.json bundle")
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="generate and screen seeded Trojan-mutant corpora",
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command",
+                                         required=True)
+    cg = corpus_sub.add_parser(
+        "generate", help="write a seeded mutant corpus of bundles"
+    )
+    cg.add_argument("--seed", type=int, default=0,
+                    help="corpus seed; same seed, same bytes")
+    cg.add_argument("-n", "--count", type=int, default=40,
+                    help="number of mutants (default 40)")
+    cg.add_argument("--out", default="corpus", metavar="DIR",
+                    help="output directory (default ./corpus)")
+    cg.add_argument("--base", action="append", metavar="DESIGN",
+                    help="mutate this base design (repeatable; any "
+                         "load_design source; default: risc, mc8051, "
+                         "router)")
+    cg.add_argument("--mutator", action="append", metavar="NAME",
+                    help="use this mutator (repeatable; default: the "
+                         "non-evasive set)")
+    cr = corpus_sub.add_parser(
+        "run",
+        help="screen a corpus through lint+IFT+diff and score recall",
+    )
+    cr.add_argument("corpus_dir", metavar="DIR")
+    cr.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="screen N mutants in parallel worker processes")
+    cr.add_argument("--fail-on", default="suspicious",
+                    choices=["info", "warn", "suspicious", "error"],
+                    help="a finding at least this severe flags the "
+                         "mutant (default: suspicious)")
+    cr.add_argument("--no-lint", action="store_true",
+                    help="skip the lint modality")
+    cr.add_argument("--no-ift", action="store_true",
+                    help="skip the IFT modality")
+    cr.add_argument("--no-diff", action="store_true",
+                    help="skip the differential modality")
+    cr.add_argument("--audit", action="store_true",
+                    help="also run Algorithm 1 per mutant on one "
+                         "scheduler pool (catches the evasive mutators "
+                         "the static screens may miss)")
+    cr.add_argument("--audit-max-cycles", type=int, default=12)
+    cr.add_argument("--json", metavar="PATH",
+                    help="write the detection-rate report here "
+                         "('-' for stdout); byte-identical across "
+                         "reruns of the same corpus")
+    cr.add_argument("--no-enforce", action="store_true",
+                    help="exit 0 even on trojaned misses or clean "
+                         "false positives (exploratory runs with "
+                         "evasive mutators)")
+    cs = corpus_sub.add_parser(
+        "stats", help="summarize a corpus manifest"
+    )
+    cs.add_argument("corpus_dir", metavar="DIR")
     return parser
 
 
@@ -1246,6 +1479,8 @@ def main(argv=None, out=sys.stdout):
     args = build_parser().parse_args(argv)
     handler = {
         "list": cmd_list,
+        "list-designs": cmd_list,
+        "corpus": cmd_corpus,
         "stats": cmd_stats,
         "audit": cmd_audit,
         "bench": cmd_bench,

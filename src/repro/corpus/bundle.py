@@ -1,0 +1,262 @@
+"""The ``*.design.json`` bundle format.
+
+One file carries everything an audit needs: the flat gate-level netlist
+(ACFLS-style — a signals table plus cells/flops with *explicit* net
+ids), the ValidWays spec serialized through the expression-way DSL, and
+optional provenance for fuzzer-generated mutants.
+
+Two properties the rest of the corpus machinery leans on:
+
+* **Bit-exact round-trip.** Net ids, cell order, flop order, and port
+  declaration order are stored explicitly, so
+  ``bundle_to_design(design_to_bundle(netlist, spec))`` reproduces the
+  netlist to :func:`~repro.netlist.fingerprint.netlist_fingerprint`
+  identity and the spec rebuilds bit-identical monitor circuits.
+
+* **Canonical bytes.** :func:`dumps_bundle` emits sorted-key,
+  fixed-separator JSON with every ordered collection stored as a JSON
+  array (JSON objects would be re-ordered by key sorting), so the same
+  design always serializes to the same bytes — corpus determinism is a
+  byte comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import CorpusError
+from repro.netlist.cells import Kind
+from repro.netlist.netlist import Netlist
+from repro.properties.spec_dsl import (
+    register_spec_from_dict,
+    register_spec_to_dict,
+)
+from repro.properties.valid_ways import DesignSpec, TrojanInfo
+
+BUNDLE_FORMAT = "repro-design-bundle"
+BUNDLE_VERSION = 1
+
+
+class Bundle:
+    """A loaded ``*.design.json``: design + spec + optional provenance."""
+
+    __slots__ = ("netlist", "spec", "provenance", "path")
+
+    def __init__(self, netlist, spec, provenance=None, path=None):
+        self.netlist = netlist
+        self.spec = spec
+        self.provenance = provenance
+        self.path = path
+
+    def __iter__(self):
+        # supports the ubiquitous ``netlist, spec = ...`` unpacking
+        return iter((self.netlist, self.spec))
+
+    def __repr__(self):
+        return "Bundle({!r}, provenance={!r})".format(
+            self.spec.name, None if self.provenance is None else
+            self.provenance.get("mutator")
+        )
+
+
+# -------------------------------------------------------------- serialize
+
+
+def design_to_bundle(netlist, spec, provenance=None):
+    """Build the JSON-ready bundle payload for a (netlist, spec) pair."""
+    return {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "netlist": _netlist_to_dict(netlist),
+        "spec": spec_to_dict(spec),
+        "provenance": provenance,
+    }
+
+
+def _netlist_to_dict(netlist):
+    return {
+        "module": netlist.name,
+        "num_nets": netlist.num_nets,
+        # ACFLS-style signals table: ports/registers/probes with their
+        # net (or flop) bindings, arrays so declaration order survives
+        # key-sorted serialization
+        "inputs": [
+            {"name": name, "nets": list(nets)}
+            for name, nets in netlist.inputs.items()
+        ],
+        "outputs": [
+            {"name": name, "nets": list(nets)}
+            for name, nets in netlist.outputs.items()
+        ],
+        "registers": [
+            {"name": name, "flops": list(idxs)}
+            for name, idxs in netlist.registers.items()
+        ],
+        "probes": [
+            {"name": name, "nets": list(nets)}
+            for name, nets in netlist.probes.items()
+        ],
+        # compact row-per-gate arrays: 12k-cell designs stay manageable
+        "cells": [
+            [cell.kind.value, list(cell.inputs), cell.output]
+            for cell in netlist.cells
+        ],
+        "flops": [
+            [flop.d, flop.q, flop.init] for flop in netlist.flops
+        ],
+        "net_names": [
+            [net, name]
+            for net, name in sorted(netlist._net_names.items())
+            if net > 1  # 0/1 are always the constants
+        ],
+    }
+
+
+def spec_to_dict(spec):
+    trojan = None
+    if spec.trojan is not None:
+        trojan = {
+            "name": spec.trojan.name,
+            "trigger": spec.trojan.trigger,
+            "payload": spec.trojan.payload,
+            "target_register": spec.trojan.target_register,
+            "trigger_cycles": spec.trojan.trigger_cycles,
+            "trojan_nets": sorted(spec.trojan.trojan_nets),
+        }
+    return {
+        "name": spec.name,
+        "notes": spec.notes,
+        "critical": [
+            register_spec_to_dict(reg_spec)
+            for reg_spec in spec.critical.values()
+        ],
+        "candidate_registers": list(spec.candidate_registers),
+        "exclude_registers": list(spec.exclude_registers),
+        "pinned_inputs": [
+            [name, value] for name, value in spec.pinned_inputs.items()
+        ],
+        "trojan": trojan,
+    }
+
+
+def dumps_bundle(payload):
+    """Canonical bundle text: same design, same bytes, every time."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ) + "\n"
+
+
+def save_bundle(path, netlist, spec, provenance=None):
+    """Write a ``*.design.json`` bundle; returns the payload written."""
+    payload = design_to_bundle(netlist, spec, provenance=provenance)
+    tmp = "{}.tmp.{}".format(path, os.getpid())
+    with open(tmp, "w", encoding="ascii") as handle:
+        handle.write(dumps_bundle(payload))
+    os.replace(tmp, path)
+    return payload
+
+
+# ------------------------------------------------------------ deserialize
+
+
+def bundle_to_design(payload, path=None):
+    """Rebuild a :class:`Bundle` from a parsed payload dict."""
+    if not isinstance(payload, dict):
+        raise CorpusError("design bundle must be a JSON object")
+    if payload.get("format") != BUNDLE_FORMAT:
+        raise CorpusError(
+            "not a design bundle (format={!r}, expected {!r})".format(
+                payload.get("format"), BUNDLE_FORMAT
+            )
+        )
+    if payload.get("version") != BUNDLE_VERSION:
+        raise CorpusError(
+            "unsupported bundle version {!r} (this build reads "
+            "version {})".format(payload.get("version"), BUNDLE_VERSION)
+        )
+    try:
+        netlist = _netlist_from_dict(payload["netlist"])
+        spec = spec_from_dict(payload["spec"])
+    except CorpusError:
+        raise
+    except Exception as exc:
+        raise CorpusError(
+            "malformed design bundle: {}".format(exc)
+        ) from exc
+    provenance = payload.get("provenance")
+    if provenance is not None and not isinstance(provenance, dict):
+        raise CorpusError("bundle provenance must be an object or null")
+    return Bundle(netlist, spec, provenance=provenance, path=path)
+
+
+def _netlist_from_dict(data):
+    netlist = Netlist(data.get("module", "top"))
+    num_nets = int(data["num_nets"])
+    if num_nets < 2:
+        raise CorpusError("bundle netlist needs at least the const nets")
+    # Net ids were fixed by the original allocation; reserve the pool up
+    # front and attach every driver to its stored id explicitly.
+    netlist.reserve_nets(num_nets)
+    for entry in data["inputs"]:
+        netlist.bind_input(entry["name"], entry["nets"])
+    for kind, inputs, output in data["cells"]:
+        netlist.add_cell(Kind(kind), inputs, output=output)
+    for d, q, init in data["flops"]:
+        netlist.add_flop(d, q=q, init=int(init))
+    for entry in data["outputs"]:
+        netlist.add_output(entry["name"], entry["nets"])
+    for entry in data["registers"]:
+        netlist.add_register(entry["name"], entry["flops"])
+    for entry in data["probes"]:
+        netlist.add_probe(entry["name"], entry["nets"])
+    for net, name in data.get("net_names", []):
+        netlist.set_net_name(net, name)
+    return netlist
+
+
+def spec_from_dict(data):
+    critical = {}
+    for entry in data["critical"]:
+        reg_spec = register_spec_from_dict(entry)
+        critical[reg_spec.register] = reg_spec
+    trojan = None
+    if data.get("trojan") is not None:
+        raw = data["trojan"]
+        trojan = TrojanInfo(
+            name=raw["name"],
+            trigger=raw.get("trigger", ""),
+            payload=raw.get("payload", ""),
+            target_register=raw["target_register"],
+            trigger_cycles=raw.get("trigger_cycles", 1),
+            trojan_nets=frozenset(raw.get("trojan_nets", [])),
+        )
+    return DesignSpec(
+        name=data["name"],
+        critical=critical,
+        trojan=trojan,
+        notes=data.get("notes", ""),
+        candidate_registers=list(data.get("candidate_registers", [])),
+        exclude_registers=list(data.get("exclude_registers", [])),
+        pinned_inputs={
+            name: value for name, value in data.get("pinned_inputs", [])
+        },
+    )
+
+
+def load_bundle(path):
+    """Read and rebuild a ``*.design.json`` bundle from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CorpusError(
+            "cannot read design bundle {!r}: {}".format(str(path), exc)
+        ) from exc
+    except ValueError as exc:
+        raise CorpusError(
+            "design bundle {!r} is not valid JSON: {}".format(
+                str(path), exc
+            )
+        ) from exc
+    return bundle_to_design(payload, path=str(path))

@@ -1,0 +1,630 @@
+"""Seeded mutation engine: derive new designs from any base design.
+
+Every mutant is produced by one *mutator* applied to a clone of a base
+design with a per-mutant :class:`random.Random` whose seed is derived
+by SHA-256 from ``(corpus seed, mutant index, mutator name)`` — so a
+corpus is a pure function of its :class:`CorpusConfig` and regenerating
+it is byte-identical, while different corpus seeds draw different
+trigger inputs, polarities, widths and flop inits (disjoint structural
+fingerprints).
+
+Trojan-injection mutators (ground truth carried in-band, both in the
+bundle provenance and as ``spec.trojan``):
+
+``comb-trigger``
+    Combinational trigger — an AND of 8–24 seeded input literals
+    (one wide cell when the width reaches the lint comparator
+    threshold, a 2-input tree below it) piped through 1–3 new flops,
+    payload mux on the critical register's D.
+``counter-trigger``
+    Sequential trigger — a 4–8 bit counter stepped by a narrow input
+    condition, firing at all-ones; payload mux as above.
+``split-seq``
+    DeTrust-style trigger restructuring: the comparator is split into
+    2–4 fragments, each registered in its own flop *before* the
+    conjunction, so no single cell is wide enough for the lint
+    comparator rule.
+``merge-comb``
+    DeTrust-style payload restructuring: no clean mux arm — the armed
+    signal is XOR-folded into a seeded subset of the register's D bits,
+    hiding the payload inside the documented update cone.
+``upstream-payload`` (evasive; excluded from the default plan)
+    Payload on a *non-critical* register one hop upstream, the
+    pseudo-critical placement of Section 3.3 — built to exercise the
+    full-audit path, since the three screens guard critical registers
+    and may all stay silent.
+
+Clean mutators (structural growth, no Trojan, must not trip any
+screen):
+
+``passthru-pipe``
+    New input port through a pipeline of XOR-mixing flop stages to a
+    new output port; stages are grouped as a named register.
+``output-tap``
+    A buffer chain tapping an existing output into a new output port.
+
+Every mutant also gets a 32-bit constant ``corpus_tag`` register
+(seeded flop inits, self-holding, exposed as an output): the per-mutant
+serial number that makes fingerprints from different corpus seeds
+disjoint even when two draws pick the same structure. Flop init values
+are part of the structural fingerprint.
+
+Detectability, by construction: every default Trojan mutator routes its
+trigger through at least one **new flop** whose Q is not documented by
+any ValidWay, so the IFT screen always finds undocumented state feeding
+the critical register, and the diff screen's undocumented-state
+excitation can force the armed net without solving the trigger — the
+portfolio's recall on the default mutators is structural, not
+probabilistic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+from repro.corpus.bundle import design_to_bundle, dumps_bundle
+from repro.errors import CorpusError
+from repro.netlist.cells import CONST0, CONST1, Kind
+from repro.netlist.fingerprint import netlist_fingerprint
+from repro.properties.valid_ways import DesignSpec, TrojanInfo
+
+DEFAULT_BASES = ("risc", "mc8051", "router")
+DEFAULT_MUTATORS = (
+    "comb-trigger",
+    "counter-trigger",
+    "split-seq",
+    "merge-comb",
+    "passthru-pipe",
+    "output-tap",
+)
+MANIFEST_NAME = "corpus.json"
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Everything that determines a corpus (same config ⇒ same bytes)."""
+
+    seed: int = 0
+    count: int = 40
+    bases: tuple = DEFAULT_BASES
+    mutators: tuple = DEFAULT_MUTATORS
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "bases": list(self.bases),
+            "mutators": list(self.mutators),
+        }
+
+
+@dataclass(frozen=True)
+class MutantPlan:
+    """One planned mutant: everything needed to build it."""
+
+    index: int
+    name: str
+    base: str
+    mutator: str
+    seed: int  # per-mutant RNG seed, derived from the corpus seed
+
+
+@dataclass
+class Mutant:
+    """A built mutant, ready to serialize or screen."""
+
+    plan: MutantPlan
+    netlist: object
+    spec: object
+    provenance: dict
+    fingerprint: str = ""
+
+    def __post_init__(self):
+        if not self.fingerprint:
+            self.fingerprint = netlist_fingerprint(self.netlist)
+
+
+def _mutant_seed(corpus_seed, index, mutator):
+    digest = hashlib.sha256(
+        "{}:{}:{}".format(corpus_seed, index, mutator).encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def mutant_plans(config):
+    """The deterministic plan list for a config.
+
+    Mutators round-robin per index and bases rotate underneath, so
+    every (base, mutator) pair gets an even share of any corpus size —
+    the per-mutator recall table needs balanced samples.
+    """
+    if config.count < 0:
+        raise CorpusError("corpus count must be >= 0")
+    for mutator in config.mutators:
+        if mutator not in MUTATORS:
+            raise CorpusError(
+                "unknown mutator {!r}; known: {}".format(
+                    mutator, ", ".join(sorted(MUTATORS))
+                )
+            )
+    if not config.bases or not config.mutators:
+        raise CorpusError("corpus needs at least one base and one mutator")
+    plans = []
+    for index in range(config.count):
+        mutator = config.mutators[index % len(config.mutators)]
+        base = config.bases[
+            (index // len(config.mutators)) % len(config.bases)
+        ]
+        plans.append(
+            MutantPlan(
+                index=index,
+                name="{}-{}-{:05d}".format(base, mutator, index),
+                base=base,
+                mutator=mutator,
+                seed=_mutant_seed(config.seed, index, mutator),
+            )
+        )
+    return plans
+
+
+def build_mutant(plan, base_netlist, base_spec, corpus_seed=None):
+    """Apply one plan to a base design; returns a :class:`Mutant`.
+
+    The base is cloned, never modified; the RNG is fresh per mutant.
+    """
+    import random
+
+    rng = random.Random(plan.seed)
+    netlist = base_netlist.clone()
+    netlist.name = plan.name
+    mutator = MUTATORS[plan.mutator]
+    before = netlist.num_nets
+    ground_truth = mutator.apply(netlist, base_spec, rng)
+    _attach_tag(netlist, rng)
+    trojan = None
+    if ground_truth.get("trojaned"):
+        trojan = TrojanInfo(
+            name=plan.name,
+            trigger=ground_truth.get("trigger", plan.mutator),
+            payload=ground_truth.get("payload", ""),
+            target_register=ground_truth["target_register"],
+            trigger_cycles=ground_truth.get("trigger_cycles", 1),
+            trojan_nets=frozenset(range(before, netlist.num_nets)),
+        )
+    spec = DesignSpec(
+        name=plan.name,
+        critical=base_spec.critical,
+        trojan=trojan,
+        notes="corpus mutant of {!r} via {}".format(
+            plan.base, plan.mutator
+        ),
+        candidate_registers=list(base_spec.candidate_registers),
+        exclude_registers=list(base_spec.exclude_registers),
+        pinned_inputs=dict(base_spec.pinned_inputs),
+    )
+    provenance = {
+        "base": plan.base,
+        "corpus_seed": corpus_seed,
+        "index": plan.index,
+        "mutant_seed": plan.seed,
+        "mutator": plan.mutator,
+        "params": ground_truth.get("params", {}),
+        "trojaned": bool(ground_truth.get("trojaned")),
+        "target_register": ground_truth.get("target_register"),
+    }
+    return Mutant(plan, netlist, spec, provenance)
+
+
+def generate_corpus(config, out_dir, build_base=None, progress=None):
+    """Build and serialize a whole corpus; returns the manifest dict.
+
+    ``build_base(name) -> (netlist, spec)`` defaults to the frontend's
+    built-in registry; pass a loader to fuzz external bundles instead.
+    """
+    if build_base is None:
+        from repro.frontend import load_design
+
+        def build_base(name):
+            loaded = load_design(name)
+            return loaded.netlist, loaded.spec
+
+    os.makedirs(out_dir, exist_ok=True)
+    bases = {}
+    for base in config.bases:
+        bases[base] = build_base(base)
+
+    entries = []
+    for plan in mutant_plans(config):
+        base_netlist, base_spec = bases[plan.base]
+        mutant = build_mutant(
+            plan, base_netlist, base_spec, corpus_seed=config.seed
+        )
+        file_name = plan.name + ".design.json"
+        path = os.path.join(out_dir, file_name)
+        payload = design_to_bundle(
+            mutant.netlist, mutant.spec, provenance=mutant.provenance
+        )
+        tmp = "{}.tmp.{}".format(path, os.getpid())
+        with open(tmp, "w", encoding="ascii") as handle:
+            handle.write(dumps_bundle(payload))
+        os.replace(tmp, path)
+        entries.append(
+            {
+                "name": plan.name,
+                "file": file_name,
+                "base": plan.base,
+                "mutator": plan.mutator,
+                "trojaned": mutant.provenance["trojaned"],
+                "target_register": mutant.provenance["target_register"],
+                "fingerprint": mutant.fingerprint,
+            }
+        )
+        if progress is not None:
+            progress(plan, mutant)
+
+    manifest = {
+        "format": "repro-corpus",
+        "version": 1,
+        "config": config.to_dict(),
+        "mutants": entries,
+    }
+    manifest_path = os.path.join(out_dir, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="ascii") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+# ------------------------------------------------------------- the mutators
+
+
+class Mutator:
+    """One seeded design transformation.
+
+    ``apply(netlist, spec, rng)`` mutates the (cloned) netlist in place
+    and returns the ground-truth dict: ``trojaned``, ``params``, and —
+    for Trojans — ``target_register`` plus trigger/payload descriptions.
+    """
+
+    name = ""
+    trojaned = False
+    evasive = False  # True: may legitimately defeat all three screens
+
+    def apply(self, netlist, spec, rng):
+        raise NotImplementedError
+
+
+def _attach_tag(netlist, rng):
+    """The 32-bit seeded serial-number register every mutant carries."""
+    qs = [netlist.new_net("corpus_tag[{}]".format(i)) for i in range(32)]
+    indexes = []
+    for q in qs:
+        indexes.append(len(netlist.flops))
+        netlist.add_flop(q, q=q, init=rng.getrandbits(1))
+    netlist.add_register("corpus_tag", indexes)
+    netlist.add_output("corpus_tag", qs)
+
+
+def _input_bit_pool(netlist, spec):
+    """Input nets a trigger may read: everything not pinned by the spec.
+
+    Pinned ports (normally ``reset``) are held constant during formal
+    runs; a trigger literal over them would be partially dead.
+    """
+    pool = []
+    for name, nets in netlist.inputs.items():
+        if name in spec.pinned_inputs:
+            continue
+        pool.extend(nets)
+    if not pool:
+        raise CorpusError("base design has no unpinned input bits")
+    return pool
+
+
+def _pick_target(spec, rng):
+    names = sorted(spec.critical)
+    if not names:
+        raise CorpusError("base design spec declares no critical registers")
+    return names[rng.randrange(len(names))]
+
+
+def _literals(netlist, rng, bits):
+    """Seeded-polarity literals over the chosen input bits."""
+    nets = []
+    for bit in bits:
+        if rng.getrandbits(1):
+            nets.append(netlist.add_cell(Kind.NOT, (bit,)))
+        else:
+            nets.append(bit)
+    return nets
+
+
+def _and_tree(netlist, nets):
+    """Conjunction as a balanced tree of 2-input ANDs."""
+    level = list(nets)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(netlist.add_cell(Kind.AND, (level[i], level[i + 1])))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _pipeline(netlist, net, depth):
+    """Register a net through ``depth`` new flops (all init 0)."""
+    for _ in range(depth):
+        net = netlist.add_flop(net)
+    return net
+
+
+def _payload_mux(netlist, spec, rng, target, armed):
+    """The classic payload: per-bit mux between the documented D and a
+    corrupted value, selected by the armed trigger."""
+    corrupt_kinds = []
+    for flop_index in netlist.registers[target]:
+        old_d = netlist.flops[flop_index].d
+        if rng.getrandbits(1):
+            bad = netlist.add_cell(Kind.NOT, (old_d,))
+            corrupt_kinds.append("invert")
+        else:
+            bad = CONST1 if rng.getrandbits(1) else CONST0
+            corrupt_kinds.append("stuck")
+        new_d = netlist.add_cell(Kind.MUX, (armed, old_d, bad))
+        netlist.rewire_flop_d(flop_index, new_d)
+    return corrupt_kinds
+
+
+class CombTrigger(Mutator):
+    name = "comb-trigger"
+    trojaned = True
+
+    def apply(self, netlist, spec, rng):
+        target = _pick_target(spec, rng)
+        width = rng.randrange(8, 25)
+        depth = rng.randrange(1, 4)
+        pool = _input_bit_pool(netlist, spec)
+        bits = rng.sample(pool, min(width, len(pool)))
+        literals = _literals(netlist, rng, bits)
+        if len(literals) >= 16:
+            # one wide conjunction: exactly the shape the lint
+            # wide-comparator rule exists to catch
+            trigger = netlist.add_cell(Kind.AND, tuple(literals))
+        else:
+            trigger = _and_tree(netlist, literals)
+        armed = _pipeline(netlist, trigger, depth)
+        _payload_mux(netlist, spec, rng, target, armed)
+        return {
+            "trojaned": True,
+            "target_register": target,
+            "trigger": "comb AND of {} input literals, {} flop "
+            "pipeline".format(len(literals), depth),
+            "payload": "mux-corrupt {}".format(target),
+            "trigger_cycles": depth,
+            "params": {"width": len(literals), "depth": depth},
+        }
+
+
+class CounterTrigger(Mutator):
+    name = "counter-trigger"
+    trojaned = True
+
+    def apply(self, netlist, spec, rng):
+        target = _pick_target(spec, rng)
+        counter_width = rng.randrange(4, 9)
+        arm_width = rng.randrange(2, 5)
+        pool = _input_bit_pool(netlist, spec)
+        bits = rng.sample(pool, min(arm_width, len(pool)))
+        step = _and_tree(netlist, _literals(netlist, rng, bits))
+        # a ripple-carry counter that advances on qualifying cycles
+        qs = [netlist.new_net() for _ in range(counter_width)]
+        carry = step
+        for bit, q in enumerate(qs):
+            d = netlist.add_cell(Kind.XOR, (q, carry))
+            netlist.add_flop(d, q=q, init=0)
+            if bit + 1 < len(qs):
+                carry = netlist.add_cell(Kind.AND, (q, carry))
+        armed_comb = _and_tree(netlist, qs)  # fires at all-ones
+        armed = netlist.add_flop(armed_comb)
+        _payload_mux(netlist, spec, rng, target, armed)
+        return {
+            "trojaned": True,
+            "target_register": target,
+            "trigger": "{}-bit counter armed by {} input literals".format(
+                counter_width, arm_width
+            ),
+            "payload": "mux-corrupt {}".format(target),
+            "trigger_cycles": (1 << counter_width) - 1,
+            "params": {
+                "counter_width": counter_width,
+                "arm_width": arm_width,
+            },
+        }
+
+
+class SplitSeq(Mutator):
+    name = "split-seq"
+    trojaned = True
+
+    def apply(self, netlist, spec, rng):
+        target = _pick_target(spec, rng)
+        width = rng.randrange(12, 25)
+        fragments = rng.randrange(2, 5)
+        pool = _input_bit_pool(netlist, spec)
+        bits = rng.sample(pool, min(width, len(pool)))
+        literals = _literals(netlist, rng, bits)
+        # DeTrust: register each partial product before the conjunction
+        # so no cell sees enough inputs to look like a comparator
+        partials = []
+        chunk = max(1, len(literals) // fragments)
+        for start in range(0, len(literals), chunk):
+            part = _and_tree(netlist, literals[start : start + chunk])
+            partials.append(netlist.add_flop(part))
+        armed = netlist.add_flop(_and_tree(netlist, partials))
+        _payload_mux(netlist, spec, rng, target, armed)
+        return {
+            "trojaned": True,
+            "target_register": target,
+            "trigger": "split comparator: {} literals across {} flop "
+            "fragments".format(len(literals), len(partials)),
+            "payload": "mux-corrupt {}".format(target),
+            "trigger_cycles": 2,
+            "params": {
+                "width": len(literals),
+                "fragments": len(partials),
+            },
+        }
+
+
+class MergeComb(Mutator):
+    name = "merge-comb"
+    trojaned = True
+
+    def apply(self, netlist, spec, rng):
+        target = _pick_target(spec, rng)
+        width = rng.randrange(8, 15)  # below the comparator threshold
+        depth = rng.randrange(1, 3)
+        pool = _input_bit_pool(netlist, spec)
+        bits = rng.sample(pool, min(width, len(pool)))
+        armed = _pipeline(
+            netlist, _and_tree(netlist, _literals(netlist, rng, bits)), depth
+        )
+        # DeTrust payload merge: no mux arm — fold the armed signal into
+        # a seeded subset of the D cone with XORs
+        indexes = netlist.registers[target]
+        mask = [rng.getrandbits(1) for _ in indexes]
+        if not any(mask):
+            mask[rng.randrange(len(mask))] = 1
+        flipped = 0
+        for flop_index, hit in zip(indexes, mask):
+            if not hit:
+                continue
+            old_d = netlist.flops[flop_index].d
+            netlist.rewire_flop_d(
+                flop_index, netlist.add_cell(Kind.XOR, (old_d, armed))
+            )
+            flipped += 1
+        return {
+            "trojaned": True,
+            "target_register": target,
+            "trigger": "comb AND of {} input literals, {} flop "
+            "pipeline".format(len(bits), depth),
+            "payload": "xor-fold into {} of {} D bits of {}".format(
+                flipped, len(indexes), target
+            ),
+            "trigger_cycles": depth,
+            "params": {"width": len(bits), "depth": depth,
+                       "flipped_bits": flipped},
+        }
+
+
+class UpstreamPayload(Mutator):
+    name = "upstream-payload"
+    trojaned = True
+    evasive = True
+
+    def apply(self, netlist, spec, rng):
+        critical = set(spec.critical)
+        upstream = sorted(
+            name for name in netlist.registers
+            if name not in critical and name not in spec.exclude_registers
+        )
+        # placement degrades to the critical register when the base has
+        # no other register to corrupt
+        target = (
+            upstream[rng.randrange(len(upstream))]
+            if upstream
+            else _pick_target(spec, rng)
+        )
+        width = rng.randrange(8, 13)
+        pool = _input_bit_pool(netlist, spec)
+        bits = rng.sample(pool, min(width, len(pool)))
+        armed = _pipeline(
+            netlist, _and_tree(netlist, _literals(netlist, rng, bits)), 1
+        )
+        _payload_mux(netlist, spec, rng, target, armed)
+        return {
+            "trojaned": True,
+            "target_register": target,
+            "trigger": "comb AND of {} input literals, 1 flop".format(
+                len(bits)
+            ),
+            "payload": "mux-corrupt upstream register {}".format(target),
+            "trigger_cycles": 1,
+            "params": {"width": len(bits),
+                       "upstream": target not in critical},
+        }
+
+
+class PassthruPipe(Mutator):
+    name = "passthru-pipe"
+    trojaned = False
+
+    def apply(self, netlist, spec, rng):
+        width = rng.randrange(4, 9)
+        depth = rng.randrange(2, 5)
+        port_index = len(netlist.inputs)
+        in_nets = netlist.add_input(
+            "thru_in_{}".format(port_index), width
+        )
+        stage = in_nets
+        indexes = []
+        for _level in range(depth):
+            nxt = []
+            for bit, net in enumerate(stage):
+                # XOR-mix with the neighbouring bit so the pipeline is
+                # not a pure shift register
+                if rng.getrandbits(1) and width > 1:
+                    other = stage[(bit + 1) % width]
+                    if other != net:
+                        net = netlist.add_cell(Kind.XOR, (net, other))
+                indexes.append(len(netlist.flops))
+                nxt.append(netlist.add_flop(net, init=rng.getrandbits(1)))
+            stage = nxt
+        netlist.add_register("thru_pipe_{}".format(port_index), indexes)
+        netlist.add_output("thru_out_{}".format(port_index), stage)
+        return {
+            "trojaned": False,
+            "target_register": None,
+            "params": {"width": width, "depth": depth},
+        }
+
+
+class OutputTap(Mutator):
+    name = "output-tap"
+    trojaned = False
+
+    def apply(self, netlist, spec, rng):
+        outputs = sorted(netlist.outputs)
+        port = outputs[rng.randrange(len(outputs))]
+        nets = netlist.outputs[port]
+        net = nets[rng.randrange(len(nets))]
+        depth = rng.randrange(2, 7)
+        for _ in range(depth):
+            net = netlist.add_cell(Kind.BUF, (net,))
+        netlist.add_output(
+            "tap_{}_{}".format(port, len(netlist.outputs)), [net]
+        )
+        return {
+            "trojaned": False,
+            "target_register": None,
+            "params": {"port": port, "depth": depth},
+        }
+
+
+MUTATORS = {
+    mutator.name: mutator
+    for mutator in (
+        CombTrigger(),
+        CounterTrigger(),
+        SplitSeq(),
+        MergeComb(),
+        UpstreamPayload(),
+        PassthruPipe(),
+        OutputTap(),
+    )
+}

@@ -108,6 +108,36 @@ class PropertyError(ReproError):
     """Malformed security-property specification (valid ways, monitors)."""
 
 
+class SpecDslError(PropertyError):
+    """An expression-way DSL string failed to parse, or a spec callable
+    could not be traced into the DSL (it uses an operation the symbolic
+    tracer does not model, so it cannot be serialized into a bundle)."""
+
+
+class FrontendError(ReproError):
+    """A design source could not be resolved by :func:`repro.frontend.load_design`.
+
+    Carries the offending ``source``, a ``reason`` string and the list of
+    ``candidates`` (known built-in design names, closest matches first) so
+    CLIs and services can render one structured "unknown design" error.
+    """
+
+    def __init__(self, source, reason, candidates=()):
+        self.source = str(source)
+        self.reason = reason
+        self.candidates = list(candidates)
+        message = "cannot load design {!r}: {}".format(self.source, reason)
+        if self.candidates:
+            message += "\n  known designs: {}".format(
+                ", ".join(self.candidates)
+            )
+        super().__init__(message)
+
+
+class CorpusError(ReproError):
+    """A corpus bundle, manifest or mutation request is malformed."""
+
+
 class IftError(ReproError):
     """The static information-flow analysis failed (diverging fixpoint)."""
 

@@ -1,0 +1,235 @@
+"""Design ingestion frontend: one entry point for every design source.
+
+Everything that audits a design — CLI subcommands, the bench harness,
+the audit service, the corpus runner — resolves its input through
+:func:`load_design`, which accepts three kinds of source:
+
+* a **built-in name** (``"mc8051-t800"``) from the bundled benchmark
+  registry (:mod:`repro.frontend.builtins`),
+* a ``*.design.json`` **bundle** (netlist + ValidWays spec + optional
+  mutant provenance, see :mod:`repro.corpus.bundle`),
+* a ``*.v`` **structural Verilog file** via the :mod:`repro.hdl`
+  parser; a sidecar ``<stem>.spec.json`` (written by ``repro export``)
+  restores the ValidWays spec, and the writer's ``// repro:`` pragmas
+  restore net ids, register groups and probes.
+
+Unknown sources raise one structured
+:class:`~repro.errors.FrontendError` carrying the candidate list, so
+every command reports resolution failures the same way.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+
+from repro.errors import FrontendError
+from repro.frontend.builtins import (
+    BUILTIN_DESIGNS,
+    build_builtin,
+    builtin_names,
+)
+
+SPEC_SIDECAR_FORMAT = "repro-design-spec"
+SPEC_SIDECAR_VERSION = 1
+
+__all__ = [
+    "BUILTIN_DESIGNS",
+    "LoadedDesign",
+    "build_builtin",
+    "builtin_names",
+    "design_names",
+    "list_designs",
+    "load_design",
+    "load_spec_sidecar",
+    "save_spec_sidecar",
+    "spec_sidecar_path",
+]
+
+
+class LoadedDesign:
+    """A resolved design: netlist + spec + where it came from.
+
+    Iterable as ``(netlist, spec)`` so call sites keep the historical
+    ``netlist, spec = load_design(source)`` unpacking.
+    """
+
+    __slots__ = ("netlist", "spec", "origin", "source", "provenance")
+
+    def __init__(self, netlist, spec, origin, source, provenance=None):
+        self.netlist = netlist
+        self.spec = spec
+        self.origin = origin  # "builtin" | "bundle" | "verilog"
+        self.source = source
+        self.provenance = provenance
+
+    def __iter__(self):
+        return iter((self.netlist, self.spec))
+
+    def __repr__(self):
+        return "LoadedDesign({!r} from {} {!r})".format(
+            self.spec.name, self.origin, self.source
+        )
+
+
+def design_names():
+    """Sorted built-in design names (the resolvable bare names)."""
+    return builtin_names()
+
+
+def load_design(source):
+    """Resolve any design source to a :class:`LoadedDesign`.
+
+    Resolution order: built-in name, then ``*.design.json`` bundle,
+    then ``*.v`` Verilog file. Raises
+    :class:`~repro.errors.FrontendError` for anything else.
+    """
+    if isinstance(source, LoadedDesign):
+        return source
+    text = str(source)
+    if text in BUILTIN_DESIGNS:
+        netlist, spec = build_builtin(text)
+        return LoadedDesign(netlist, spec, "builtin", text)
+    if text.endswith(".design.json"):
+        return _load_bundle_file(text)
+    if text.endswith(".v") or text.endswith(".sv"):
+        return _load_verilog_file(text)
+    if os.path.exists(text):
+        raise FrontendError(
+            text,
+            "unsupported design file (expected *.design.json or *.v)",
+        )
+    raise FrontendError(
+        text,
+        "not a built-in design, bundle, or Verilog file",
+        difflib.get_close_matches(text, builtin_names(), n=5, cutoff=0.3)
+        or builtin_names(),
+    )
+
+
+def _load_bundle_file(path):
+    from repro.corpus.bundle import load_bundle
+    from repro.errors import CorpusError
+
+    if not os.path.exists(path):
+        raise FrontendError(path, "no such file")
+    try:
+        bundle = load_bundle(path)
+    except CorpusError as exc:
+        raise FrontendError(path, str(exc)) from exc
+    return LoadedDesign(
+        bundle.netlist,
+        bundle.spec,
+        "bundle",
+        path,
+        provenance=bundle.provenance,
+    )
+
+
+def _load_verilog_file(path):
+    from repro.errors import HdlError
+    from repro.hdl import parse_verilog
+
+    if not os.path.exists(path):
+        raise FrontendError(path, "no such file")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            netlist = parse_verilog(handle.read())
+    except HdlError as exc:
+        raise FrontendError(path, "Verilog import failed: {}".format(exc))
+    spec = load_spec_sidecar(spec_sidecar_path(path), netlist=netlist)
+    return LoadedDesign(netlist, spec, "verilog", path)
+
+
+# ------------------------------------------------------------ spec sidecar
+
+
+def spec_sidecar_path(verilog_path):
+    """The ``<stem>.spec.json`` path next to a Verilog file."""
+    stem, _ = os.path.splitext(str(verilog_path))
+    return stem + ".spec.json"
+
+
+def load_spec_sidecar(path, netlist=None):
+    """Load a spec sidecar; a permissive empty spec when none exists.
+
+    Without a sidecar the design still loads — lint's structural rules
+    run fine — but there are no critical registers to audit, which the
+    returned spec's ``notes`` say out loud.
+    """
+    from repro.corpus.bundle import spec_from_dict
+    from repro.errors import CorpusError
+    from repro.properties.valid_ways import DesignSpec
+
+    if not os.path.exists(path):
+        return DesignSpec(
+            name="imported",
+            critical={},
+            notes=(
+                "no spec sidecar found; write one (repro export emits "
+                "it) to declare critical registers and their valid ways"
+            ),
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except ValueError as exc:
+        raise FrontendError(
+            path, "spec sidecar is not valid JSON: {}".format(exc)
+        ) from exc
+    if payload.get("format") != SPEC_SIDECAR_FORMAT:
+        raise FrontendError(
+            path,
+            "not a spec sidecar (format={!r}, expected {!r})".format(
+                payload.get("format"), SPEC_SIDECAR_FORMAT
+            ),
+        )
+    try:
+        spec = spec_from_dict(payload["spec"])
+    except (CorpusError, KeyError) as exc:
+        raise FrontendError(
+            path, "malformed spec sidecar: {}".format(exc)
+        ) from exc
+    if netlist is not None:
+        for register in spec.critical:
+            if register not in netlist.registers:
+                raise FrontendError(
+                    path,
+                    "spec names critical register {!r} but the design "
+                    "has no such register group (registers: {})".format(
+                        register, ", ".join(sorted(netlist.registers))
+                    ),
+                )
+    return spec
+
+
+def save_spec_sidecar(path, spec):
+    """Write a spec sidecar JSON file for a Verilog export."""
+    from repro.corpus.bundle import spec_to_dict
+
+    payload = {
+        "format": SPEC_SIDECAR_FORMAT,
+        "version": SPEC_SIDECAR_VERSION,
+        "spec": spec_to_dict(spec),
+    }
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+# ----------------------------------------------------------------- listing
+
+
+def list_designs():
+    """Provenance rows for ``repro list-designs``: (name, origin, info)."""
+    rows = []
+    for name in builtin_names():
+        _netlist, spec = build_builtin(name)
+        if spec.trojan is None:
+            info = "clean ({} critical registers)".format(len(spec.critical))
+        else:
+            info = "{} — {}".format(spec.trojan.name, spec.trojan.payload)
+        rows.append((name, "builtin", info))
+    return rows

@@ -1,0 +1,61 @@
+"""The bundled benchmark designs, as a registry.
+
+This table used to live inside ``cli.py`` as a hard-coded ``DESIGNS``
+dict; every consumer (CLI subcommands, the bench harness, the audit
+service, tests) now reaches it through :mod:`repro.frontend` so that
+built-in names, ``.v`` files and ``.design.json`` bundles are all the
+same kind of thing: a source :func:`repro.frontend.load_design` can
+resolve.
+"""
+
+from __future__ import annotations
+
+from repro.designs import build_aes, build_mc8051, build_risc
+from repro.designs.router import build_router, router_redirect_trojan
+from repro.designs.trojans import (
+    aes_t700,
+    aes_t800,
+    aes_t1200,
+    mc8051_t400,
+    mc8051_t700,
+    mc8051_t800,
+    risc_figure1,
+    risc_t100,
+    risc_t300,
+    risc_t400,
+)
+from repro.errors import FrontendError
+
+BUILTIN_DESIGNS = {
+    "risc": build_risc,
+    "mc8051": build_mc8051,
+    "aes": build_aes,
+    "router": build_router,
+    "risc-t100": risc_t100,
+    "risc-t300": risc_t300,
+    "risc-t400": risc_t400,
+    "risc-fig1": risc_figure1,
+    "mc8051-t400": mc8051_t400,
+    "mc8051-t700": mc8051_t700,
+    "mc8051-t800": mc8051_t800,
+    "aes-t700": aes_t700,
+    "aes-t800": aes_t800,
+    "aes-t1200": aes_t1200,
+    "router-redirect": router_redirect_trojan,
+}
+
+
+def builtin_names():
+    """Sorted names of the bundled designs."""
+    return sorted(BUILTIN_DESIGNS)
+
+
+def build_builtin(name):
+    """Construct a bundled design; returns ``(netlist, spec)``."""
+    try:
+        factory = BUILTIN_DESIGNS[name]
+    except KeyError:
+        raise FrontendError(
+            name, "no built-in design by that name", builtin_names()
+        ) from None
+    return factory()

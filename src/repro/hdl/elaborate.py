@@ -9,10 +9,14 @@ carry; pass ``register_groups`` (name -> list of flop q signal refs, e.g.
 
 from __future__ import annotations
 
+import re
+
 from repro.errors import HdlError
 from repro.hdl import parser as ast
 from repro.netlist.cells import Kind
 from repro.netlist.netlist import Netlist
+
+_NET_ID = re.compile(r"^n\d+$")
 
 _GATE_KINDS = {
     "and": Kind.AND,
@@ -36,6 +40,22 @@ class _Elaborator:
         self.flop_inits = {}  # net -> 0/1
         self.pending_flops = []  # (q net, d net)
         self.output_names = []
+        # preserve-ids mode, driven by the writer's "// repro:" pragmas:
+        # net ids come from the source verbatim instead of being
+        # reallocated, so re-import is fingerprint-identical
+        self.pragmas = {"input": {}, "output": {}, "register": {},
+                        "probe": {}}
+        self.preserve = False
+        for pragma in module.pragmas:
+            if pragma.kind == "nets":
+                self.preserve = True
+                self.netlist.reserve_nets(pragma.values[0])
+            else:
+                self.pragmas[pragma.kind][pragma.name] = pragma.values
+        if not self.preserve and any(self.pragmas.values()):
+            raise HdlError(
+                "repro pragmas present without a 'repro:nets' pragma"
+            )
 
     def run(self):
         decls = [i for i in self.module.items if isinstance(i, ast.Decl)]
@@ -46,10 +66,9 @@ class _Elaborator:
                     continue
                 if name in self.signals:
                     raise HdlError("duplicate signal {!r}".format(name))
-                if decl.direction == "input":
-                    nets = self.netlist.add_input(name, decl.width)
-                else:
-                    nets = self.netlist.new_nets(decl.width, name)
+                nets = self._declare(decl, name)
+                if nets is None:
+                    continue  # preserve mode n<id> names resolve lazily
                 self.signals[name] = nets
                 self.directions[name] = decl.direction
                 if decl.direction == "output":
@@ -77,7 +96,56 @@ class _Elaborator:
 
         for name in self.output_names:
             self.netlist.add_output(name, self.signals[name])
+
+        if self.preserve:
+            for name, idxs in self.pragmas["register"].items():
+                self.netlist.add_register(name, idxs)
+            for name, nets in self.pragmas["probe"].items():
+                self.netlist.add_probe(name, nets)
         return self.netlist
+
+    def _declare(self, decl, name):
+        """Resolve one declared name to its net ids (or defer)."""
+        if not self.preserve:
+            if decl.direction == "input":
+                return self.netlist.add_input(name, decl.width)
+            return self.netlist.new_nets(decl.width, name)
+        if decl.direction in ("input", "output"):
+            try:
+                nets = self.pragmas[decl.direction][name]
+            except KeyError:
+                raise HdlError(
+                    "preserve-mode import: no 'repro:{}' pragma for "
+                    "port {!r}".format(decl.direction, name)
+                ) from None
+            if len(nets) != decl.width:
+                raise HdlError(
+                    "port {!r}: pragma binds {} nets, declared width "
+                    "is {}".format(name, len(nets), decl.width)
+                )
+            if decl.direction == "input":
+                self.netlist.bind_input(name, nets)
+            return list(nets)
+        # wire/reg declarations name nets by id (n<k>); they resolve
+        # through _net_id_name on use and allocate nothing
+        if _NET_ID.match(name):
+            return None
+        raise HdlError(
+            "preserve-mode import: non-port signal {!r} is not a net "
+            "id".format(name)
+        )
+
+    def _net_id_name(self, name):
+        """In preserve mode, ``n<k>`` identifiers *are* net ids."""
+        match = _NET_ID.match(name)
+        if match is None:
+            return None
+        net = int(name[1:])
+        if net >= self.netlist.num_nets:
+            raise HdlError(
+                "net id {!r} outside the pragma-declared pool".format(name)
+            )
+        return net
 
     def _guess_clock(self):
         for item in self.module.items:
@@ -89,6 +157,10 @@ class _Elaborator:
         try:
             nets = self.signals[ref.name]
         except KeyError:
+            if self.preserve:
+                net = self._net_id_name(ref.name)
+                if net is not None and ref.bit in (None, 0):
+                    return net
             raise HdlError("undeclared signal {!r}".format(ref.name)) from None
         bit = ref.bit if ref.bit is not None else 0
         if ref.bit is None and len(nets) != 1:
@@ -119,6 +191,14 @@ class _Elaborator:
         self.netlist.add_cell(kind, ins, output=out)
 
     def _assign(self, item):
+        if (
+            self.preserve
+            and self.directions.get(item.target.name) == "output"
+        ):
+            # output-port assigns restate the 'repro:output' pragma
+            # binding for external tools; the pragma already carries the
+            # nets, so no buffer cell is inserted on re-import
+            return
         out = self._ref_net(item.target)
         expr = item.expr
         if isinstance(expr, (ast.Ref, ast.Const)):
@@ -170,6 +250,9 @@ def elaborate(module, clock=None, register_groups=None):
                     net = ref
                 else:
                     nets = elaborator.signals.get(ref)
+                    if nets is None and _NET_ID.match(ref):
+                        # preserve-mode sources name flop qs by net id
+                        nets = [int(ref[1:])]
                     if not nets or len(nets) != 1:
                         raise HdlError(
                             "register group {!r}: no scalar signal "
@@ -183,6 +266,8 @@ def elaborate(module, clock=None, register_groups=None):
                         )
                     )
                 indexes.append(q_to_flop[net])
+            if netlist.registers.get(name) == indexes:
+                continue  # already restored by a repro:register pragma
             netlist.add_register(name, indexes)
     return netlist
 

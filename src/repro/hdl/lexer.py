@@ -44,7 +44,18 @@ def tokenize(text):
             continue
         if text.startswith("//", i):
             end = text.find("\n", i)
-            i = n if end == -1 else end
+            end = n if end == -1 else end
+            comment = text[i + 2 : end].strip()
+            # "// repro:" comments are structural pragmas the writer
+            # emits so netlists re-import with their original net ids,
+            # register groups and probes (see repro.hdl.writer); other
+            # comments are skipped as before.
+            if comment.startswith("repro:"):
+                tokens.append(
+                    Token("pragma", comment[len("repro:"):].strip(),
+                          line, column)
+                )
+            i = end
             continue
         if text.startswith("/*", i):
             end = text.find("*/", i)

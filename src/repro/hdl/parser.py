@@ -104,10 +104,28 @@ class InitialAssign:
 
 
 @dataclass
+class Pragma:
+    """A ``// repro:`` structural pragma (see :mod:`repro.hdl.writer`).
+
+    ``kind`` is one of ``nets`` (values = [pool size]), ``input`` /
+    ``output`` / ``probe`` (name + net ids) or ``register`` (name + flop
+    indexes).
+    """
+
+    kind: str
+    name: str | None
+    values: list
+
+
+@dataclass
 class ModuleAst:
     name: str
     ports: list
     items: list = field(default_factory=list)
+
+    @property
+    def pragmas(self):
+        return [i for i in self.items if isinstance(i, Pragma)]
 
 
 # ------------------------------------------------------------------- parser
@@ -176,6 +194,8 @@ class Parser:
             return self._always()
         if token.kind == "initial":
             return self._initial()
+        if token.kind == "pragma":
+            return self._pragma()
         raise HdlSyntaxError(
             "unexpected {!r}".format(token.text), token.line, token.column
         )
@@ -249,6 +269,32 @@ class Parser:
         width, value = parse_sized_literal(literal.text)
         self.expect(";")
         return InitialAssign(target, Const(width, value))
+
+    def _pragma(self):
+        token = self.advance()
+        text = token.text
+        kind, _, rest = text.partition(" ")
+        try:
+            if kind == "nets":
+                return Pragma("nets", None, [int(rest)])
+            if kind in ("input", "output", "register", "probe"):
+                name, sep, values = rest.partition("=")
+                if not sep:
+                    raise ValueError("missing '='")
+                return Pragma(
+                    kind, name.strip(), [int(v) for v in values.split()]
+                )
+        except ValueError as exc:
+            raise HdlSyntaxError(
+                "malformed repro pragma {!r}: {}".format(text, exc),
+                token.line,
+                token.column,
+            ) from None
+        raise HdlSyntaxError(
+            "unknown repro pragma {!r}".format(text),
+            token.line,
+            token.column,
+        )
 
     def _lvalue(self):
         name = self.expect("id").text

@@ -2,10 +2,21 @@
 
 Emits a netlist as a flat, synthesizable structural Verilog module:
 primitive gate instances (``and``/``or``/...), ``assign`` ternaries for
-muxes, one ``always @(posedge clk)`` block per flop, ``initial`` blocks
-recording reset values, and named probe/register groupings as comments.
-The emitted subset is exactly what :mod:`repro.hdl.parser` accepts, so
-netlists round-trip (a property test in the suite).
+muxes, one ``always @(posedge clk)`` block per flop, and ``initial``
+blocks recording reset values. The emitted subset is exactly what
+:mod:`repro.hdl.parser` accepts, so netlists round-trip (a property
+test in the suite).
+
+By default the writer also emits ``// repro:`` *structural pragmas* —
+the net-pool size, each port's net ids, register groups (flop indexes)
+and probes. Plain Verilog cannot carry net identity, register grouping
+or probe names; the pragmas let :mod:`repro.hdl.elaborate` re-import
+the file onto the **original net ids**, making
+``parse_verilog(write_verilog(netlist))`` structurally
+fingerprint-identical, not merely behaviorally equivalent. They are
+comments, so every other Verilog tool ignores them. Pass
+``pragmas=False`` for a pragma-free file (round-trips behaviorally,
+with fresh net ids and per-bit input alias assigns).
 
 This is the interchange artifact of the paper's flow: "assertions were
 embedded into the respective designs and provided as input to the BMC
@@ -17,6 +28,7 @@ external commercial toolchain.
 from __future__ import annotations
 
 import io
+import re
 
 from repro.netlist.cells import Kind
 
@@ -31,6 +43,8 @@ _PRIMITIVES = {
     Kind.BUF: "buf",
 }
 
+_NET_ID_NAME = re.compile(r"^n\d+$")
+
 
 def _sanitize(name):
     out = []
@@ -42,41 +56,73 @@ def _sanitize(name):
     return text
 
 
-def write_verilog(netlist, module_name=None, clock="clk"):
+def write_verilog(netlist, module_name=None, clock="clk", pragmas=True):
     """Render a netlist as structural Verilog text."""
     module_name = _sanitize(module_name or netlist.name)
-    out = io.StringIO()
+
+    port_names = {}
+    for name in list(netlist.inputs) + list(netlist.outputs):
+        pname = _sanitize(name)
+        # a port literally named like a net id would collide with the
+        # n<id> namespace the body uses; so would two ports sanitizing
+        # to the same identifier
+        if _NET_ID_NAME.match(pname) or pname in port_names.values():
+            pname = "p_" + pname
+        port_names[name] = pname
+
+    # pragma mode references input nets through their port names (valid
+    # Verilog, no alias assigns, and the port name survives re-import);
+    # legacy mode wires ports to n<id> aliases instead
+    input_ref = {}
+    if pragmas:
+        for name, nets in netlist.inputs.items():
+            pname = port_names[name]
+            for bit, net in enumerate(nets):
+                if len(nets) == 1:
+                    input_ref[net] = pname
+                else:
+                    input_ref[net] = "{}[{}]".format(pname, bit)
 
     def net_ref(net):
         if net == 0:
             return "1'b0"
         if net == 1:
             return "1'b1"
+        if net in input_ref:
+            return input_ref[net]
         return "n{}".format(net)
 
+    out = io.StringIO()
     ports = [clock]
     decls = ["  input {};".format(clock)]
     connect = []
     for name, nets in netlist.inputs.items():
-        pname = _sanitize(name)
+        pname = port_names[name]
         ports.append(pname)
         if len(nets) == 1:
             decls.append("  input {};".format(pname))
-            connect.append("  assign n{} = {};".format(nets[0], pname))
         else:
             decls.append(
                 "  input [{}:0] {};".format(len(nets) - 1, pname)
             )
+        if not pragmas:
             for bit, net in enumerate(nets):
-                connect.append(
-                    "  assign n{} = {}[{}];".format(net, pname, bit)
-                )
+                if len(nets) == 1:
+                    connect.append(
+                        "  assign n{} = {};".format(net, pname)
+                    )
+                else:
+                    connect.append(
+                        "  assign n{} = {}[{}];".format(net, pname, bit)
+                    )
     for name, nets in netlist.outputs.items():
-        pname = _sanitize(name)
+        pname = port_names[name]
         ports.append(pname)
         if len(nets) == 1:
             decls.append("  output {};".format(pname))
-            connect.append("  assign {} = {};".format(pname, net_ref(nets[0])))
+            connect.append(
+                "  assign {} = {};".format(pname, net_ref(nets[0]))
+            )
         else:
             decls.append(
                 "  output [{}:0] {};".format(len(nets) - 1, pname)
@@ -90,9 +136,37 @@ def write_verilog(netlist, module_name=None, clock="clk"):
     for line in decls:
         out.write(line + "\n")
 
+    if pragmas:
+        out.write("  // repro:nets {}\n".format(netlist.num_nets))
+        for name, nets in netlist.inputs.items():
+            out.write(
+                "  // repro:input {} = {}\n".format(
+                    port_names[name], " ".join(str(n) for n in nets)
+                )
+            )
+        for name, nets in netlist.outputs.items():
+            out.write(
+                "  // repro:output {} = {}\n".format(
+                    port_names[name], " ".join(str(n) for n in nets)
+                )
+            )
+        for name, idxs in netlist.registers.items():
+            out.write(
+                "  // repro:register {} = {}\n".format(
+                    _sanitize(name), " ".join(str(i) for i in idxs)
+                )
+            )
+        for name, nets in netlist.probes.items():
+            out.write(
+                "  // repro:probe {} = {}\n".format(
+                    _sanitize(name), " ".join(str(n) for n in nets)
+                )
+            )
+
     wires = []
-    for nets in netlist.inputs.values():
-        wires.extend(nets)
+    if not pragmas:
+        for nets in netlist.inputs.values():
+            wires.extend(nets)
     wires.extend(cell.output for cell in netlist.cells)
     if wires:
         out.write(
@@ -106,13 +180,16 @@ def write_verilog(netlist, module_name=None, clock="clk"):
     for line in connect:
         out.write(line + "\n")
 
-    for name, idxs in netlist.registers.items():
-        out.write(
-            "  // register {}: {}\n".format(
-                _sanitize(name),
-                ", ".join("n{}".format(netlist.flops[i].q) for i in idxs),
+    if not pragmas:
+        for name, idxs in netlist.registers.items():
+            out.write(
+                "  // register {}: {}\n".format(
+                    _sanitize(name),
+                    ", ".join(
+                        "n{}".format(netlist.flops[i].q) for i in idxs
+                    ),
+                )
             )
-        )
 
     for index, cell in enumerate(netlist.cells):
         if cell.kind is Kind.MUX:
@@ -137,15 +214,15 @@ def write_verilog(netlist, module_name=None, clock="clk"):
 
     for flop in netlist.flops:
         out.write(
-            "  always @(posedge {}) {} <= {};\n".format(
-                clock, net_ref(flop.q), net_ref(flop.d)
+            "  always @(posedge {}) n{} <= {};\n".format(
+                clock, flop.q, net_ref(flop.d)
             )
         )
     if netlist.flops:
         out.write("  initial begin\n")
         for flop in netlist.flops:
             out.write(
-                "    {} = 1'b{};\n".format(net_ref(flop.q), flop.init)
+                "    n{} = 1'b{};\n".format(flop.q, flop.init)
             )
         out.write("  end\n")
     out.write("endmodule\n")

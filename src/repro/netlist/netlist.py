@@ -61,6 +61,42 @@ class Netlist:
             return [self.new_net() for _ in range(count)]
         return [self.new_net("{}[{}]".format(name, i)) for i in range(count)]
 
+    def reserve_nets(self, count):
+        """Grow the net pool so ids ``[0, count)`` all exist.
+
+        Importers (design bundles, pragma-preserving Verilog) re-create
+        netlists whose net ids were fixed by the original allocation;
+        they reserve the pool up front and then attach drivers to
+        explicit ids via ``add_cell(output=...)`` / ``add_flop(q=...)``
+        / :meth:`bind_input`.
+        """
+        count = int(count)
+        if count > self._num_nets:
+            self._num_nets = count
+        return self._num_nets
+
+    def bind_input(self, name, nets):
+        """Declare an input port over *existing* undriven nets.
+
+        The importer counterpart of :meth:`add_input`, which would
+        allocate fresh ids.
+        """
+        if name in self.inputs or name in self.outputs:
+            raise NetlistError("duplicate port name {!r}".format(name))
+        nets = list(nets)
+        for net in nets:
+            self._check_net(net)
+            if net in self._driver:
+                raise NetlistError(
+                    "net {} ({}) already driven".format(
+                        net, self.net_name(net)
+                    )
+                )
+        for net in nets:
+            self._driver[net] = ("input", name)
+        self.inputs[name] = nets
+        return nets
+
     def net_name(self, net):
         return self._net_names.get(net, "n{}".format(net))
 

@@ -1,0 +1,721 @@
+"""The expression-way DSL: a serializable form of ValidWays specs.
+
+:class:`~repro.properties.valid_ways.ValidWay` conditions and expected
+values are Python callables evaluated against a
+:class:`~repro.properties.valid_ways.MonitorCtx` — perfect for building
+monitor circuits, useless for putting a spec *in a file*. Design bundles
+(:mod:`repro.corpus.bundle`) need exactly that, so this module defines a
+small expression language covering everything the bundled specs (and any
+spec built from the same vocabulary) can say, plus three conversions:
+
+``trace_way_callable(fn)``
+    Run the callable once against a :class:`SymbolicCtx` — a stand-in
+    for ``MonitorCtx`` whose signal accessors return :class:`Expr` nodes
+    instead of :class:`~repro.netlist.builder.BitVec` words. Operator
+    overloads record the computation as a tree. A callable that uses an
+    operation the tracer does not model (data-dependent branching, raw
+    net surgery, ``reg_width`` arithmetic, ...) raises
+    :class:`~repro.errors.SpecDslError` — it cannot be serialized, by
+    design: the DSL is the *documentation format*, not a pickle jar.
+
+``render(expr)`` / ``parse_expr(text)``
+    The textual form stored in bundles, e.g.::
+
+        probe("is_call") & probe("p4")
+        reg("stack_pointer") + 2
+        ~(probe("is_lcall") | probe("is_sjmp"))
+
+    ``parse_expr(render(e))`` is the identity on trees and the grammar
+    accepts nothing it cannot evaluate.
+
+``build(expr, ctx)`` / ``compile_expr(expr)``
+    Evaluate a tree against a real ``MonitorCtx``, re-building the exact
+    gate sequence the original callable would have built (operands are
+    evaluated left to right, exactly like the Python expression), so a
+    spec that round-trips through the DSL synthesizes bit-identical
+    monitor circuits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecDslError
+from repro.properties.valid_ways import RegisterSpec, ValidWay
+
+_SIGNAL_KINDS = ("input", "reg", "probe")
+
+
+# ------------------------------------------------------------------ nodes
+
+
+class Expr:
+    """Base node: immutable, comparable, hash-stable expression tree."""
+
+    __slots__ = ()
+
+    # -- operator overloads shared by traced and parsed trees ------------
+
+    def __and__(self, other):
+        return Nary("&", (self, _expr(other)))
+
+    def __or__(self, other):
+        return Nary("|", (self, _expr(other)))
+
+    def __xor__(self, other):
+        return Nary("^", (self, _expr(other)))
+
+    def __invert__(self):
+        return Unary("~", self)
+
+    def __add__(self, other):
+        return Arith("+", self, _int_or_expr(other))
+
+    def __sub__(self, other):
+        return Arith("-", self, _int_or_expr(other))
+
+    def __getitem__(self, index):
+        if not isinstance(index, int):
+            raise SpecDslError(
+                "spec DSL supports single-bit selects only, got "
+                "{!r}".format(index)
+            )
+        return Bit(self, index)
+
+    def eq_const(self, value):
+        return EqConst(self, int(value))
+
+    # traced specs must not branch on circuit values
+    def __bool__(self):
+        raise SpecDslError(
+            "spec callable branches on a circuit value; data-dependent "
+            "control flow cannot be serialized into the expression-way DSL"
+        )
+
+    def __eq__(self, other):  # structural equality (trees are values)
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self):
+        return "Expr({})".format(render(self))
+
+
+class Signal(Expr):
+    """``input("name")`` / ``reg("name")`` / ``probe("name")``."""
+
+    __slots__ = ("kind", "name")
+
+    def __init__(self, kind, name):
+        if kind not in _SIGNAL_KINDS:
+            raise SpecDslError("unknown signal kind {!r}".format(kind))
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "name", str(name))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self):
+        return (self.kind, self.name)
+
+
+class Const(Expr):
+    """``const(value, width)``; ``true()``/``false()`` render specially."""
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value, width):
+        width = int(width)
+        if width < 1:
+            raise SpecDslError("const width must be >= 1")
+        object.__setattr__(self, "value", int(value) & ((1 << width) - 1))
+        object.__setattr__(self, "width", width)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self):
+        return (self.value, self.width)
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "operand", _expr(operand))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self):
+        return (self.op, self.operand)
+
+
+class Nary(Expr):
+    """Left-associative chain of one bitwise operator: ``a & b & c``."""
+
+    __slots__ = ("op", "operands")
+
+    def __init__(self, op, operands):
+        if op not in ("&", "|", "^"):
+            raise SpecDslError("unknown operator {!r}".format(op))
+        flat = []
+        for operand in operands:
+            operand = _expr(operand)
+            # a & b & c traces as Nary(&, (Nary(&, (a, b)), c)); flatten
+            # left-nested same-op chains so render/parse are canonical
+            if isinstance(operand, Nary) and operand.op == op and not flat:
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self):
+        return (self.op, self.operands)
+
+
+class Arith(Expr):
+    """``lhs + rhs`` / ``lhs - rhs``; rhs is an int literal or a tree."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op, lhs, rhs):
+        if op not in ("+", "-"):
+            raise SpecDslError("unknown operator {!r}".format(op))
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "lhs", _expr(lhs))
+        object.__setattr__(
+            self, "rhs", rhs if isinstance(rhs, int) else _expr(rhs)
+        )
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self):
+        return (self.op, self.lhs, self.rhs)
+
+
+class Bit(Expr):
+    """Single-bit select ``expr[i]``."""
+
+    __slots__ = ("operand", "index")
+
+    def __init__(self, operand, index):
+        object.__setattr__(self, "operand", _expr(operand))
+        object.__setattr__(self, "index", int(index))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self):
+        return (self.operand, self.index)
+
+
+class EqConst(Expr):
+    """``expr.eq_const(value)`` — 1-bit equality against a literal."""
+
+    __slots__ = ("operand", "value")
+
+    def __init__(self, operand, value):
+        object.__setattr__(self, "operand", _expr(operand))
+        object.__setattr__(self, "value", int(value))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self):
+        return (self.operand, self.value)
+
+
+class Mux(Expr):
+    """``mux(sel, if_false, if_true)``."""
+
+    __slots__ = ("sel", "if_false", "if_true")
+
+    def __init__(self, sel, if_false, if_true):
+        object.__setattr__(self, "sel", _expr(sel))
+        object.__setattr__(self, "if_false", _expr(if_false))
+        object.__setattr__(self, "if_true", _expr(if_true))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self):
+        return (self.sel, self.if_false, self.if_true)
+
+
+def _expr(value):
+    if isinstance(value, Expr):
+        return value
+    raise SpecDslError(
+        "spec callable mixes circuit values with {!r}; only DSL "
+        "expressions and integer add/sub literals are traceable".format(
+            type(value).__name__
+        )
+    )
+
+
+def _int_or_expr(value):
+    if isinstance(value, int):
+        return value
+    return _expr(value)
+
+
+# ----------------------------------------------------------------- tracing
+
+
+class SymbolicCtx:
+    """MonitorCtx look-alike whose accessors return :class:`Expr` nodes.
+
+    Covers the documented spec vocabulary (`input`/`reg`/`probe`/`const`/
+    `true`/`false`/`all_of`/`any_of`/`mux`); anything else a callable
+    reaches for raises :class:`SpecDslError` via ``__getattr__``.
+    """
+
+    def input(self, name):
+        return Signal("input", name)
+
+    def reg(self, name):
+        return Signal("reg", name)
+
+    def probe(self, name):
+        return Signal("probe", name)
+
+    def const(self, value, width):
+        return Const(value, width)
+
+    def true(self):
+        return Const(1, 1)
+
+    def false(self):
+        return Const(0, 1)
+
+    def all_of(self, *conds):
+        return Nary("&", conds)
+
+    def any_of(self, *conds):
+        return Nary("|", conds)
+
+    def mux(self, sel, if_false, if_true):
+        return Mux(sel, if_false, if_true)
+
+    def __getattr__(self, name):
+        raise SpecDslError(
+            "spec callable uses MonitorCtx.{}(), which the expression-way "
+            "DSL does not model; rewrite the way in terms of input/reg/"
+            "probe/const/mux and the bitwise operators".format(name)
+        )
+
+
+def trace_way_callable(fn):
+    """Run a way callable symbolically; returns its :class:`Expr` tree."""
+    try:
+        result = fn(SymbolicCtx())
+    except SpecDslError:
+        raise
+    except Exception as exc:
+        raise SpecDslError(
+            "spec callable could not be traced into the DSL: {}".format(exc)
+        ) from exc
+    return _expr(result)
+
+
+# --------------------------------------------------------------- rendering
+
+
+def render(expr):
+    """Canonical textual form of a tree (``parse_expr`` inverts it)."""
+    return _render(expr, parent=None)
+
+
+def _render(expr, parent):
+    if isinstance(expr, Signal):
+        return '{}("{}")'.format(expr.kind, expr.name)
+    if isinstance(expr, Const):
+        if expr.width == 1 and expr.value == 1:
+            return "true()"
+        if expr.width == 1 and expr.value == 0:
+            return "false()"
+        return "const({}, {})".format(expr.value, expr.width)
+    if isinstance(expr, Unary):
+        return "~{}".format(_render(expr.operand, parent="~"))
+    if isinstance(expr, Nary):
+        body = " {} ".format(expr.op).join(
+            _render(op, parent=expr.op) for op in expr.operands
+        )
+        return _parenthesize(body, parent)
+    if isinstance(expr, Arith):
+        rhs = (
+            str(expr.rhs)
+            if isinstance(expr.rhs, int)
+            else _render(expr.rhs, parent=expr.op)
+        )
+        body = "{} {} {}".format(
+            _render(expr.lhs, parent=expr.op), expr.op, rhs
+        )
+        return _parenthesize(body, parent)
+    if isinstance(expr, Bit):
+        return "{}[{}]".format(_render(expr.operand, parent="["), expr.index)
+    if isinstance(expr, EqConst):
+        return "{}.eq_const({})".format(
+            _render(expr.operand, parent="."), expr.value
+        )
+    if isinstance(expr, Mux):
+        return "mux({}, {}, {})".format(
+            _render(expr.sel, parent=None),
+            _render(expr.if_false, parent=None),
+            _render(expr.if_true, parent=None),
+        )
+    raise SpecDslError("cannot render {!r}".format(expr))
+
+
+def _parenthesize(body, parent):
+    # compound expressions nested under any operator get parentheses;
+    # top-level and call-argument positions do not
+    if parent is None:
+        return body
+    return "({})".format(body)
+
+
+# ----------------------------------------------------------------- parsing
+
+
+class _Lexer:
+    _PUNCT = ("(", ")", "[", "]", ",", "&", "|", "^", "~", "+", "-", ".")
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+        self.tokens = []
+        self._scan()
+        self.index = 0
+
+    def _scan(self):
+        text = self.text
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch in self._PUNCT:
+                self.tokens.append(("punct", ch))
+                i += 1
+                continue
+            if ch == '"':
+                j = text.find('"', i + 1)
+                if j < 0:
+                    raise SpecDslError(
+                        "unterminated string in {!r}".format(text)
+                    )
+                self.tokens.append(("string", text[i + 1 : j]))
+                i = j + 1
+                continue
+            if ch.isdigit():
+                j = i
+                while j < len(text) and (
+                    text[j].isalnum() or text[j] == "x"
+                ):
+                    j += 1
+                literal = text[i:j]
+                try:
+                    value = int(literal, 0)
+                except ValueError:
+                    raise SpecDslError(
+                        "bad integer literal {!r}".format(literal)
+                    ) from None
+                self.tokens.append(("int", value))
+                i = j
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                self.tokens.append(("name", text[i:j]))
+                i = j
+                continue
+            raise SpecDslError(
+                "unexpected character {!r} in spec expression {!r}".format(
+                    ch, text
+                )
+            )
+        self.tokens.append(("eof", None))
+
+    def peek(self):
+        return self.tokens[self.index]
+
+    def next(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise SpecDslError(
+                "expected {} in spec expression {!r}, found {!r}".format(
+                    value or kind, self.text, token[1]
+                )
+            )
+        return token
+
+
+class _Parser:
+    """Grammar (loosest binding first)::
+
+        expr    := arith (("&" | "|" | "^") arith)*     # one op per chain
+        arith   := unary (("+" | "-") (int | unary))*
+        unary   := "~" unary | postfix
+        postfix := primary ("[" int "]" | "." "eq_const" "(" int ")")*
+        primary := call | "(" expr ")"
+        call    := name "(" args ")"
+    """
+
+    def __init__(self, text):
+        self.lexer = _Lexer(text)
+        self.text = text
+
+    def parse(self):
+        expr = self._expr()
+        self.lexer.expect("eof")
+        return expr
+
+    def _expr(self):
+        first = self._arith()
+        kind, value = self.lexer.peek()
+        if kind == "punct" and value in ("&", "|", "^"):
+            op = value
+            operands = [first]
+            while True:
+                kind, value = self.lexer.peek()
+                if kind != "punct" or value not in ("&", "|", "^"):
+                    break
+                if value != op:
+                    raise SpecDslError(
+                        "mixed {!r}/{!r} without parentheses in "
+                        "{!r}".format(op, value, self.text)
+                    )
+                self.lexer.next()
+                operands.append(self._arith())
+            return Nary(op, operands)
+        return first
+
+    def _arith(self):
+        expr = self._unary()
+        while True:
+            kind, value = self.lexer.peek()
+            if kind != "punct" or value not in ("+", "-"):
+                return expr
+            self.lexer.next()
+            nkind, nvalue = self.lexer.peek()
+            if nkind == "int":
+                self.lexer.next()
+                expr = Arith(value, expr, nvalue)
+            else:
+                expr = Arith(value, expr, self._unary())
+
+    def _unary(self):
+        kind, value = self.lexer.peek()
+        if kind == "punct" and value == "~":
+            self.lexer.next()
+            return Unary("~", self._unary())
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._primary()
+        while True:
+            kind, value = self.lexer.peek()
+            if kind == "punct" and value == "[":
+                self.lexer.next()
+                index = self.lexer.expect("int")[1]
+                self.lexer.expect("punct", "]")
+                expr = Bit(expr, index)
+            elif kind == "punct" and value == ".":
+                self.lexer.next()
+                self.lexer.expect("name", "eq_const")
+                self.lexer.expect("punct", "(")
+                literal = self.lexer.expect("int")[1]
+                self.lexer.expect("punct", ")")
+                expr = EqConst(expr, literal)
+            else:
+                return expr
+
+    def _primary(self):
+        kind, value = self.lexer.next()
+        if kind == "punct" and value == "(":
+            expr = self._expr()
+            self.lexer.expect("punct", ")")
+            return expr
+        if kind == "name":
+            return self._call(value)
+        raise SpecDslError(
+            "unexpected {!r} in spec expression {!r}".format(
+                value, self.text
+            )
+        )
+
+    def _call(self, name):
+        self.lexer.expect("punct", "(")
+        if name in _SIGNAL_KINDS:
+            signal = self.lexer.expect("string")[1]
+            self.lexer.expect("punct", ")")
+            return Signal(name, signal)
+        if name == "const":
+            value = self.lexer.expect("int")[1]
+            self.lexer.expect("punct", ",")
+            width = self.lexer.expect("int")[1]
+            self.lexer.expect("punct", ")")
+            return Const(value, width)
+        if name in ("true", "false"):
+            self.lexer.expect("punct", ")")
+            return Const(1 if name == "true" else 0, 1)
+        if name == "mux":
+            sel = self._expr()
+            self.lexer.expect("punct", ",")
+            if_false = self._expr()
+            self.lexer.expect("punct", ",")
+            if_true = self._expr()
+            self.lexer.expect("punct", ")")
+            return Mux(sel, if_false, if_true)
+        raise SpecDslError(
+            "unknown function {!r} in spec expression {!r}".format(
+                name, self.text
+            )
+        )
+
+
+def parse_expr(text):
+    """Parse DSL text into an :class:`Expr` tree."""
+    if not isinstance(text, str) or not text.strip():
+        raise SpecDslError("empty spec expression")
+    return _Parser(text).parse()
+
+
+# --------------------------------------------------------------- evaluation
+
+
+def build(expr, ctx):
+    """Evaluate a tree against a real MonitorCtx, building circuitry.
+
+    Operand order matches Python's left-to-right evaluation of the
+    original callable, so the gate sequence (and therefore every net id,
+    via the builder's structural hashing) is identical.
+    """
+    if isinstance(expr, Signal):
+        return getattr(ctx, expr.kind)(expr.name)
+    if isinstance(expr, Const):
+        return ctx.const(expr.value, expr.width)
+    if isinstance(expr, Unary):
+        return ~build(expr.operand, ctx)
+    if isinstance(expr, Nary):
+        value = build(expr.operands[0], ctx)
+        for operand in expr.operands[1:]:
+            word = build(operand, ctx)
+            if expr.op == "&":
+                value = value & word
+            elif expr.op == "|":
+                value = value | word
+            else:
+                value = value ^ word
+        return value
+    if isinstance(expr, Arith):
+        lhs = build(expr.lhs, ctx)
+        rhs = expr.rhs if isinstance(expr.rhs, int) else build(expr.rhs, ctx)
+        return lhs + rhs if expr.op == "+" else lhs - rhs
+    if isinstance(expr, Bit):
+        return build(expr.operand, ctx)[expr.index]
+    if isinstance(expr, EqConst):
+        return build(expr.operand, ctx).eq_const(expr.value)
+    if isinstance(expr, Mux):
+        sel = build(expr.sel, ctx)
+        if_false = build(expr.if_false, ctx)
+        if_true = build(expr.if_true, ctx)
+        return ctx.mux(sel, if_false, if_true)
+    raise SpecDslError("cannot evaluate {!r}".format(expr))
+
+
+class _CompiledWay:
+    """Picklable callable wrapper: a parsed tree bound to :func:`build`.
+
+    A plain ``lambda m: build(expr, m)`` would work but not survive the
+    fork/spawn boundaries the runner and scheduler cross; a module-level
+    class with state does.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+    def __call__(self, ctx):
+        return build(self.expr, ctx)
+
+    def __getstate__(self):
+        return render(self.expr)
+
+    def __setstate__(self, state):
+        self.expr = parse_expr(state)
+
+    def __repr__(self):
+        return "compiled<{}>".format(render(self.expr))
+
+
+def compile_expr(expr):
+    """Turn a tree (or DSL text) into a MonitorCtx callable."""
+    if isinstance(expr, str):
+        expr = parse_expr(expr)
+    return _CompiledWay(_expr(expr))
+
+
+# ------------------------------------------------------- spec (de)serialize
+
+
+def way_to_dict(way):
+    """Serialize one :class:`ValidWay` via the DSL (raises SpecDslError
+    when a callable is untraceable)."""
+    payload = {
+        "name": way.name,
+        "cycle": way.cycle,
+        "expression": way.expression,
+        "when": render(trace_way_callable(way.when)),
+        "value": None,
+    }
+    if way.value is not None:
+        payload["value"] = render(trace_way_callable(way.value))
+    return payload
+
+
+def way_from_dict(payload):
+    value = payload.get("value")
+    return ValidWay(
+        name=payload["name"],
+        when=compile_expr(payload["when"]),
+        value=None if value is None else compile_expr(value),
+        cycle=payload.get("cycle", "any"),
+        expression=payload.get("expression", ""),
+    )
+
+
+def register_spec_to_dict(reg_spec):
+    return {
+        "register": reg_spec.register,
+        "description": reg_spec.description,
+        "observe_latency": reg_spec.observe_latency,
+        "ways": [way_to_dict(way) for way in reg_spec.ways],
+    }
+
+
+def register_spec_from_dict(payload):
+    return RegisterSpec(
+        register=payload["register"],
+        ways=[way_from_dict(way) for way in payload["ways"]],
+        description=payload.get("description", ""),
+        observe_latency=payload.get("observe_latency", 1),
+    )

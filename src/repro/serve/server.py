@@ -97,16 +97,21 @@ class _KillPointTracer:
 def _build_audit(payload):
     """(netlist, spec, config) for one job payload.
 
-    Imported lazily: :mod:`repro.cli` owns the design registry and must
-    not be imported at service module load (the CLI imports us back).
+    Designs resolve through the ingestion frontend, so a job can name a
+    built-in, a ``*.design.json`` bundle, or a Verilog file — anything
+    :func:`repro.frontend.load_design` accepts.
     """
-    from repro.cli import build_design
     from repro.core import AuditConfig
+    from repro.errors import FrontendError
+    from repro.frontend import load_design
 
     design = payload.get("design")
     if not design:
         raise ServiceError("job payload needs a 'design'")
-    netlist, spec = build_design(design)
+    try:
+        netlist, spec = load_design(design)
+    except FrontendError as exc:
+        raise ServiceError(str(exc))
     options = dict(payload.get("options") or {})
     known = {
         "engine", "max_cycles", "time_budget", "functional",

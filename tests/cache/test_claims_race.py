@@ -1,0 +1,84 @@
+"""Claim acquisition is atomic: contenders never break a live claim.
+
+Regression for a torn-claim race: the claim file used to be created
+O_EXCL with the record body written afterwards, so a contender reading
+in that window saw an empty record, judged the claim
+unreadable-therefore-stale, broke it, and both pools solved the same
+fingerprint.
+"""
+
+import json
+import multiprocessing
+import os
+
+from repro.cache.claims import ClaimRegistry
+
+KEY = "f" * 64
+
+
+def _contend(cache_dir, barrier, rounds, wins):
+    registry = ClaimRegistry(cache_dir)
+    for round_index in range(rounds):
+        barrier.wait()
+        if registry.acquire("{}{:04d}".format(KEY[:-4], round_index)):
+            wins.put(round_index)
+        barrier.wait()
+
+
+def test_exactly_one_winner_per_contended_key(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    rounds = 25
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(6)
+    wins = ctx.Queue()
+    procs = [
+        ctx.Process(target=_contend, args=(cache_dir, barrier, rounds, wins))
+        for _ in range(6)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(120)
+        assert proc.exitcode == 0
+    winners = []
+    while not wins.empty():
+        winners.append(wins.get())
+    assert sorted(winners) == list(range(rounds)), (
+        "every round must have exactly one claim winner"
+    )
+
+
+def test_visible_claim_always_carries_a_complete_record(tmp_path):
+    registry = ClaimRegistry(str(tmp_path / "cache"))
+    assert registry.acquire(KEY)
+    record = registry.holder(KEY)
+    assert record is not None
+    assert record["pid"] == os.getpid()
+    assert "ts" in record and "host" in record
+    # and no temp droppings survive the acquire
+    names = os.listdir(registry.dir)
+    assert all(not name.endswith(".tmp") for name in names)
+
+
+def test_contender_defers_to_a_live_claim(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    holder = ClaimRegistry(cache_dir)
+    contender = ClaimRegistry(cache_dir)
+    assert holder.acquire(KEY)
+    assert not contender.acquire(KEY)
+    assert contender.counters["busy"] == 1
+    assert contender.counters["broken"] == 0
+    holder.release(KEY)
+    assert contender.acquire(KEY)
+
+
+def test_empty_stray_claim_file_is_still_breakable(tmp_path):
+    # an empty file can no longer be produced by acquire itself, but a
+    # crashed legacy writer's stray must not wedge the key forever
+    registry = ClaimRegistry(str(tmp_path / "cache"))
+    registry.dir.mkdir(parents=True)
+    path, _digest = registry._path(KEY)
+    path.write_text("")
+    assert registry.holder(KEY) is None
+    assert registry.acquire(KEY)
+    assert json.loads(path.read_text())["pid"] == os.getpid()

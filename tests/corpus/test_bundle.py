@@ -1,0 +1,94 @@
+"""Bundle format: bit-exact round-trips and structured failures."""
+
+import json
+
+import pytest
+
+from repro.corpus import (
+    bundle_to_design,
+    design_to_bundle,
+    dumps_bundle,
+    load_bundle,
+    save_bundle,
+)
+from repro.errors import CorpusError
+from repro.frontend import build_builtin
+from repro.netlist.fingerprint import netlist_fingerprint
+
+ROUND_TRIP = ["router", "router-redirect", "mc8051-t800", "risc-t100"]
+
+
+@pytest.mark.parametrize("name", ROUND_TRIP)
+def test_round_trip_is_fingerprint_identical(tmp_path, name):
+    netlist, spec = build_builtin(name)
+    path = tmp_path / "{}.design.json".format(name)
+    save_bundle(str(path), netlist, spec, provenance={"origin": "test"})
+    bundle = load_bundle(str(path))
+    assert netlist_fingerprint(bundle.netlist) == netlist_fingerprint(
+        netlist
+    )
+    assert sorted(bundle.spec.critical) == sorted(spec.critical)
+    assert bundle.provenance == {"origin": "test"}
+    assert (bundle.spec.trojan is None) == (spec.trojan is None)
+    if spec.trojan is not None:
+        assert bundle.spec.trojan.target_register == (
+            spec.trojan.target_register
+        )
+        assert bundle.spec.trojan.trojan_nets == spec.trojan.trojan_nets
+
+
+@pytest.mark.parametrize("name", ROUND_TRIP)
+def test_reserialization_is_byte_identical(name):
+    netlist, spec = build_builtin(name)
+    first = dumps_bundle(design_to_bundle(netlist, spec))
+    loaded = bundle_to_design(json.loads(first))
+    second = dumps_bundle(
+        design_to_bundle(loaded.netlist, loaded.spec)
+    )
+    assert first == second
+
+
+def test_monitor_circuits_survive_the_round_trip():
+    from repro.properties.monitors import build_corruption_monitor
+
+    netlist, spec = build_builtin("router-redirect")
+    loaded = bundle_to_design(design_to_bundle(netlist, spec))
+    for register in spec.critical:
+        original = build_corruption_monitor(
+            netlist.clone(), spec.critical[register]
+        )
+        twin = build_corruption_monitor(
+            loaded.netlist.clone(), loaded.spec.critical[register]
+        )
+        assert netlist_fingerprint(original.netlist) == (
+            netlist_fingerprint(twin.netlist)
+        )
+
+
+def test_wrong_format_rejected(tmp_path):
+    path = tmp_path / "bad.design.json"
+    path.write_text(json.dumps({"format": "something-else", "version": 1}))
+    with pytest.raises(CorpusError):
+        load_bundle(str(path))
+
+
+def test_wrong_version_rejected(tmp_path):
+    netlist, spec = build_builtin("router")
+    payload = design_to_bundle(netlist, spec)
+    payload["version"] = 999
+    path = tmp_path / "v999.design.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(CorpusError):
+        load_bundle(str(path))
+
+
+def test_unreadable_json_rejected(tmp_path):
+    path = tmp_path / "torn.design.json"
+    path.write_text('{"format": "repro-design-bundle", "vers')
+    with pytest.raises(CorpusError):
+        load_bundle(str(path))
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(CorpusError):
+        load_bundle(str(tmp_path / "nope.design.json"))

@@ -1,0 +1,123 @@
+"""Mutation-engine determinism and ground-truth plumbing."""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.corpus import (
+    CorpusConfig,
+    MUTATORS,
+    build_mutant,
+    generate_corpus,
+    mutant_plans,
+)
+from repro.errors import CorpusError
+from repro.frontend import build_builtin
+from repro.netlist import validate
+
+
+def _dir_digest(path):
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(path)):
+        digest.update(name.encode("ascii"))
+        with open(os.path.join(path, name), "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def test_same_seed_regenerates_byte_identical_corpora(tmp_path):
+    config = CorpusConfig(seed=7, count=9, bases=("router",))
+    first = tmp_path / "a"
+    second = tmp_path / "b"
+    generate_corpus(config, str(first))
+    generate_corpus(config, str(second))
+    assert _dir_digest(str(first)) == _dir_digest(str(second))
+
+
+def test_different_seeds_give_disjoint_fingerprints(tmp_path):
+    fingerprints = {}
+    for seed in (1, 2):
+        manifest = generate_corpus(
+            CorpusConfig(seed=seed, count=8, bases=("router",)),
+            str(tmp_path / str(seed)),
+        )
+        fingerprints[seed] = {
+            entry["fingerprint"] for entry in manifest["mutants"]
+        }
+    assert not (fingerprints[1] & fingerprints[2])
+
+
+def test_plans_round_robin_mutators_and_bases():
+    config = CorpusConfig(
+        seed=0, count=12, bases=("router", "risc"),
+        mutators=("comb-trigger", "output-tap"),
+    )
+    plans = mutant_plans(config)
+    assert [p.mutator for p in plans[:4]] == [
+        "comb-trigger", "output-tap", "comb-trigger", "output-tap",
+    ]
+    assert plans[0].base == "router"
+    assert plans[2].base == "risc"
+    # balanced: every (base, mutator) pair appears count/4 times
+    pairs = {}
+    for plan in plans:
+        pairs[(plan.base, plan.mutator)] = (
+            pairs.get((plan.base, plan.mutator), 0) + 1
+        )
+    assert set(pairs.values()) == {3}
+
+
+def test_unknown_mutator_rejected():
+    with pytest.raises(CorpusError):
+        mutant_plans(CorpusConfig(mutators=("no-such-mutator",)))
+
+
+@pytest.mark.parametrize("mutator", sorted(MUTATORS))
+def test_every_mutator_builds_a_valid_mutant(mutator):
+    netlist, spec = build_builtin("router")
+    config = CorpusConfig(
+        seed=3, count=1, bases=("router",), mutators=(mutator,)
+    )
+    plan = mutant_plans(config)[0]
+    mutant = build_mutant(plan, netlist, spec, corpus_seed=3)
+    validate(mutant.netlist)
+    assert "corpus_tag" in mutant.netlist.registers
+    assert mutant.provenance["mutator"] == mutator
+    trojaned = MUTATORS[mutator].trojaned
+    assert mutant.provenance["trojaned"] is trojaned
+    if trojaned:
+        assert mutant.spec.trojan is not None
+        assert mutant.spec.trojan.target_register in (
+            mutant.netlist.registers
+        )
+        assert mutant.spec.trojan.trojan_nets
+    else:
+        assert mutant.spec.trojan is None
+        assert mutant.provenance["target_register"] is None
+
+
+def test_base_netlist_is_never_mutated():
+    from repro.netlist.fingerprint import netlist_fingerprint
+
+    netlist, spec = build_builtin("router")
+    before = netlist_fingerprint(netlist)
+    config = CorpusConfig(seed=5, count=6, bases=("router",))
+    for plan in mutant_plans(config):
+        build_mutant(plan, netlist, spec, corpus_seed=5)
+    assert netlist_fingerprint(netlist) == before
+
+
+def test_manifest_records_ground_truth(tmp_path):
+    config = CorpusConfig(seed=11, count=6, bases=("router",))
+    manifest = generate_corpus(config, str(tmp_path))
+    assert manifest["format"] == "repro-corpus"
+    assert manifest["config"]["seed"] == 11
+    on_disk = json.loads((tmp_path / "corpus.json").read_text())
+    assert on_disk == manifest
+    for entry in manifest["mutants"]:
+        assert (tmp_path / entry["file"]).exists()
+        assert entry["trojaned"] == (
+            MUTATORS[entry["mutator"]].trojaned
+        )

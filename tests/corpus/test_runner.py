@@ -1,0 +1,78 @@
+"""Corpus runner: recall scoring, gating and report determinism."""
+
+import pytest
+
+from repro.corpus import (
+    CorpusConfig,
+    RunConfig,
+    detection_gate,
+    dumps_report,
+    generate_corpus,
+    run_corpus,
+    score_results,
+)
+from repro.errors import CorpusError
+
+
+@pytest.fixture(scope="module")
+def small_corpus(tmp_path_factory):
+    out = tmp_path_factory.mktemp("corpus")
+    generate_corpus(
+        CorpusConfig(seed=13, count=6, bases=("router",)), str(out)
+    )
+    return str(out)
+
+
+def test_default_mutators_are_fully_detected(small_corpus):
+    rows = run_corpus(small_corpus, RunConfig())
+    report = score_results(rows, RunConfig())
+    assert report["totals"]["recall"] == 1.0
+    assert report["totals"]["fp_rate"] == 0.0
+    assert report["missed"] == []
+    assert report["false_positives"] == []
+    assert detection_gate(report) == 0
+
+
+def test_report_is_byte_identical_across_reruns(small_corpus):
+    config = RunConfig()
+    first = dumps_report(
+        score_results(run_corpus(small_corpus, config), config)
+    )
+    second = dumps_report(
+        score_results(run_corpus(small_corpus, config), config)
+    )
+    assert first == second
+
+
+def test_parallel_rows_match_serial(small_corpus):
+    serial = run_corpus(small_corpus, RunConfig(jobs=1))
+    parallel = run_corpus(small_corpus, RunConfig(jobs=4))
+    assert serial == parallel
+
+
+def test_missed_trojan_trips_the_gate(small_corpus):
+    # lint alone cannot see every restructured trigger, so a weaker
+    # portfolio has misses — and the gate must say so
+    rows = run_corpus(small_corpus, RunConfig(modalities=("lint",)))
+    report = score_results(rows, RunConfig(modalities=("lint",)))
+    trojaned = [r for r in rows if r["trojaned"]]
+    undetected = [r for r in trojaned if not r["detected"]]
+    assert detection_gate(report) == (1 if undetected else 0)
+    assert sorted(r["name"] for r in undetected) == report["missed"]
+
+
+def test_per_mutator_table_sums_to_totals(small_corpus):
+    report = score_results(run_corpus(small_corpus, RunConfig()))
+    totals = report["totals"]
+    assert totals["mutants"] == sum(
+        s["mutants"] for s in report["per_mutator"].values()
+    )
+    assert totals["trojaned"] == sum(
+        s["trojaned"] for s in report["per_mutator"].values()
+    )
+    assert totals["clean"] == totals["mutants"] - totals["trojaned"]
+
+
+def test_missing_corpus_dir_rejected(tmp_path):
+    with pytest.raises(CorpusError):
+        run_corpus(str(tmp_path / "empty"))

@@ -5,7 +5,8 @@ way carries the textual expression the assertion writer needs."""
 
 import pytest
 
-from repro.cli import DESIGNS, build_design
+from repro.frontend import BUILTIN_DESIGNS as DESIGNS
+from repro.frontend import build_builtin as build_design
 from repro.netlist import validate
 from repro.properties.monitors import (
     build_corruption_monitor,

@@ -13,7 +13,8 @@ import functools
 import pytest
 
 import repro.sat.solver as sat_solver
-from repro.cli import DESIGNS, build_design
+from repro.frontend import BUILTIN_DESIGNS as DESIGNS
+from repro.frontend import build_builtin as build_design
 from repro.diff import analyze_design
 from repro.lint import SUSPICIOUS
 

@@ -45,7 +45,7 @@ def test_input_anchors_record_what_each_way_reads():
 def test_monitor_nets_live_in_the_clone_not_the_original():
     # the RISC spec's ways build real expressions (pc + 1, sp - 1), so
     # compiling them must add monitor gates — to the clone only
-    from repro.cli import build_design
+    from repro.frontend import build_builtin as build_design
 
     netlist, spec = build_design("risc")
     before = netlist.num_nets

@@ -1,6 +1,6 @@
 """The seeded stimulus portfolio: structure and determinism."""
 
-from repro.cli import build_design
+from repro.frontend import build_builtin as build_design
 from repro.diff import DiffConfig, build_golden_models, build_phases
 from repro.properties import DesignSpec
 

@@ -1,0 +1,97 @@
+"""Ingestion frontend: one load_design for names, bundles and Verilog."""
+
+import pytest
+
+from repro.corpus import save_bundle
+from repro.errors import FrontendError
+from repro.frontend import (
+    LoadedDesign,
+    build_builtin,
+    design_names,
+    list_designs,
+    load_design,
+    save_spec_sidecar,
+    spec_sidecar_path,
+)
+from repro.hdl import write_verilog
+from repro.netlist.fingerprint import netlist_fingerprint
+
+
+def test_builtin_names_resolve():
+    loaded = load_design("router-redirect")
+    assert isinstance(loaded, LoadedDesign)
+    assert loaded.origin == "builtin"
+    netlist, spec = loaded  # historical unpacking keeps working
+    assert spec.trojan is not None
+    assert "router-redirect" in design_names()
+
+
+def test_loaded_design_passes_through():
+    loaded = load_design("router")
+    assert load_design(loaded) is loaded
+
+
+def test_unknown_name_reports_candidates():
+    with pytest.raises(FrontendError) as exc:
+        load_design("rsic")
+    assert "risc" in str(exc.value)
+
+
+def test_unsupported_file_rejected(tmp_path):
+    path = tmp_path / "design.vhdl"
+    path.write_text("entity e is end;")
+    with pytest.raises(FrontendError):
+        load_design(str(path))
+
+
+def test_bundle_file_loads_with_provenance(tmp_path):
+    netlist, spec = build_builtin("mc8051-t800")
+    path = tmp_path / "m.design.json"
+    save_bundle(str(path), netlist, spec, provenance={"base": "mc8051"})
+    loaded = load_design(str(path))
+    assert loaded.origin == "bundle"
+    assert loaded.provenance == {"base": "mc8051"}
+    assert netlist_fingerprint(loaded.netlist) == (
+        netlist_fingerprint(netlist)
+    )
+
+
+def test_verilog_with_sidecar_restores_the_full_design(tmp_path):
+    netlist, spec = build_builtin("router-redirect")
+    path = tmp_path / "router.v"
+    path.write_text(write_verilog(netlist))
+    save_spec_sidecar(spec_sidecar_path(str(path)), spec)
+    loaded = load_design(str(path))
+    assert loaded.origin == "verilog"
+    assert netlist_fingerprint(loaded.netlist) == (
+        netlist_fingerprint(netlist)
+    )
+    assert sorted(loaded.spec.critical) == sorted(spec.critical)
+    assert loaded.spec.trojan is not None
+
+
+def test_verilog_without_sidecar_gets_permissive_spec(tmp_path):
+    netlist, _spec = build_builtin("router")
+    path = tmp_path / "bare.v"
+    path.write_text(write_verilog(netlist))
+    loaded = load_design(str(path))
+    assert loaded.spec.critical == {}
+    assert "no spec sidecar" in loaded.spec.notes
+
+
+def test_sidecar_naming_unknown_register_rejected(tmp_path):
+    netlist, spec = build_builtin("router")
+    other_netlist, other_spec = build_builtin("mc8051")
+    path = tmp_path / "router.v"
+    path.write_text(write_verilog(netlist))
+    save_spec_sidecar(spec_sidecar_path(str(path)), other_spec)
+    with pytest.raises(FrontendError):
+        load_design(str(path))
+
+
+def test_list_designs_has_provenance_rows():
+    rows = list_designs()
+    assert len(rows) == len(design_names())
+    names = [name for name, _origin, _info in rows]
+    assert names == sorted(names)
+    assert all(origin == "builtin" for _n, origin, _i in rows)

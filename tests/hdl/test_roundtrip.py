@@ -83,3 +83,30 @@ def test_random_circuits_roundtrip(seed):
     c.output("y", exprs[-1])
     nl = c.finalize()
     assert_equivalent(nl, cycles=25, seed=seed)
+
+
+# ------------------------------------------------- structural identity
+
+import pytest
+
+from repro.frontend import BUILTIN_DESIGNS, build_builtin
+from repro.netlist.fingerprint import netlist_fingerprint
+
+
+@pytest.mark.parametrize("name", sorted(BUILTIN_DESIGNS))
+def test_builtin_round_trip_is_fingerprint_identical(name):
+    """The `// repro:` pragmas make re-import structurally exact —
+    same net ids, ports, flop inits, register groups and probes — not
+    merely behaviorally equivalent."""
+    netlist, _spec = build_builtin(name)
+    twin = parse_verilog(write_verilog(netlist))
+    assert netlist_fingerprint(twin) == netlist_fingerprint(netlist)
+    assert twin.registers == netlist.registers
+    assert twin.probes == netlist.probes
+
+
+def test_pragma_free_output_still_roundtrips_behaviorally():
+    nl = build_secret_design(trojan=True)
+    text = write_verilog(nl, pragmas=False)
+    twin = parse_verilog(text)
+    assert len(twin.flops) == len(nl.flops)

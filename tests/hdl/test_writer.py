@@ -25,9 +25,16 @@ def test_flops_get_always_blocks_and_inits():
     assert "= 1'b1;" in text and "= 1'b0;" in text
 
 
-def test_register_groups_commented():
+def test_register_groups_as_pragmas():
     text = write_verilog(build_secret_design(trojan=False))
+    assert "// repro:register secret =" in text
+    assert "// repro:nets " in text
+
+
+def test_register_groups_commented_without_pragmas():
+    text = write_verilog(build_secret_design(trojan=False), pragmas=False)
     assert "// register secret:" in text
+    assert "// repro:" not in text
 
 
 def test_mux_as_ternary():

@@ -9,7 +9,8 @@ assumed: the SAT entry point is booby-trapped for the whole module.
 import pytest
 
 import repro.sat.solver as sat_solver
-from repro.cli import DESIGNS, build_design
+from repro.frontend import BUILTIN_DESIGNS as DESIGNS
+from repro.frontend import build_builtin as build_design
 from repro.ift import analyze_design
 from repro.lint import SUSPICIOUS
 

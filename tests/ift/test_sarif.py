@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_design
+from repro.frontend import build_builtin as build_design
 from repro.ift import analyze_design, merged_sarif, to_sarif, write_sarif
 from repro.lint import lint_design
 

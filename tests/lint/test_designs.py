@@ -8,7 +8,8 @@ ahead of the median clean register in Algorithm 1's order.
 
 import pytest
 
-from repro.cli import DESIGNS, build_design
+from repro.frontend import BUILTIN_DESIGNS as DESIGNS
+from repro.frontend import build_builtin as build_design
 from repro.lint import SUSPICIOUS, lint_design, severity_rank
 
 TROJANED = [

@@ -11,7 +11,7 @@ import json
 
 import pytest
 
-from repro.cli import build_design
+from repro.frontend import build_builtin as build_design
 from repro.lint import lint_design, to_sarif, write_sarif
 
 # Faithful subset of sarif-schema-2.1.0.json for the emitted features:

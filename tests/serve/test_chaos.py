@@ -13,7 +13,7 @@ import json
 import pytest
 
 from repro.cache.backend import FallbackBackend, LocalBackend, MemoryBackend
-from repro.cli import build_design
+from repro.frontend import build_builtin as build_design
 from repro.core import AuditConfig, TrojanDetector
 from repro.core.report import scrub_volatile
 from repro.runner.faultinject import (

@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.cli import build_design, main
+from repro.cli import _load as build_design, main
 
 
 def run_cli(argv):
@@ -507,3 +507,54 @@ class TestDiffCli:
         ])
         assert code == 0
         assert "diff[0 finding(s)" in text
+
+
+class TestCorpusCommands:
+    @pytest.fixture(scope="class")
+    def corpus_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("corpus") / "c"
+        code, text = run_cli([
+            "corpus", "generate", "--seed", "11", "-n", "4",
+            "--base", "router", "--out", str(path),
+        ])
+        assert code == 0
+        assert "wrote 4 bundle(s)" in text
+        return str(path)
+
+    def test_generate_emits_bundles_and_manifest(self, corpus_dir):
+        import os
+
+        names = sorted(os.listdir(corpus_dir))
+        assert "corpus.json" in names
+        assert sum(n.endswith(".design.json") for n in names) == 4
+
+    def test_stats_summarizes_the_manifest(self, corpus_dir):
+        code, text = run_cli(["corpus", "stats", corpus_dir])
+        assert code == 0
+        assert "corpus of 4 mutant(s), seed 11" in text
+
+    def test_run_gates_on_detection_and_prints_totals(self, corpus_dir):
+        code, text = run_cli(["corpus", "run", corpus_dir])
+        assert code == 0  # full portfolio: no misses, no false positives
+        assert "4 mutant(s):" in text
+        assert "MISSED" not in text
+        assert "FALSE+" not in text
+
+    def test_run_json_stdout_is_pure_json(self, corpus_dir, capsys):
+        import json
+
+        code, text = run_cli([
+            "corpus", "run", corpus_dir, "--json", "-",
+        ])
+        assert code == 0
+        report = json.loads(text)  # human summary must not pollute stdout
+        assert report["format"] == "repro-corpus-report"
+        assert report["totals"]["mutants"] == 4
+        assert "mutant(s):" in capsys.readouterr().err
+
+    def test_run_rejects_all_modalities_disabled(self, corpus_dir):
+        with pytest.raises(SystemExit, match="disabled"):
+            run_cli([
+                "corpus", "run", corpus_dir,
+                "--no-lint", "--no-ift", "--no-diff",
+            ])
